@@ -1,0 +1,64 @@
+"""Ablation: NLRI packing in UPDATE messages.
+
+Real BGP packs many prefixes sharing attributes into one UPDATE; CrystalNet
+inherits that efficiency through the vendor stacks.  This ablation disables
+packing (one prefix per UPDATE, a deliberately naive stack) and measures
+the message count and convergence time on the same topology — motivating
+why the emulator must run *production-grade* protocol stacks to scale.
+"""
+
+from conftest import banner, run_once
+
+import repro.firmware.bgp.daemon as daemon_module
+from repro.firmware.lab import BgpLab
+
+
+def build(seed):
+    lab = BgpLab(seed=seed)
+    # A two-tier fabric: 4 ToRs x 2 leaves, 40 prefixes total.
+    leaves = [lab.router(f"leaf{i}", asn=10 + i) for i in range(2)]
+    for t in range(4):
+        tor = lab.router(f"tor{t}", asn=100 + t,
+                         networks=[f"10.{t}.{j}.0/24" for j in range(10)])
+        for leaf in leaves:
+            lab.link(tor, leaf)
+    lab.start()
+    return lab
+
+
+def total_updates(lab):
+    return sum(s.updates_sent for r in lab.routers.values()
+               for s in r.daemon.sessions.values())
+
+
+def run():
+    results = {}
+    original = daemon_module.MAX_NLRI_PER_UPDATE
+    try:
+        for label, cap in (("packed (500/msg)", 500), ("naive (1/msg)", 1)):
+            daemon_module.MAX_NLRI_PER_UPDATE = cap
+            lab = build(seed=95)
+            converge_time = lab.converge(timeout=1200)
+            results[label] = {
+                "messages": total_updates(lab),
+                "converge": converge_time,
+            }
+    finally:
+        daemon_module.MAX_NLRI_PER_UPDATE = original
+    return results
+
+
+def test_ablation_nlri_batching(benchmark):
+    results = run_once(benchmark, run)
+
+    banner("Ablation: NLRI packing in UPDATE messages", "DESIGN.md ablations")
+    for label, row in results.items():
+        print(f"  {label:<18} updates sent: {row['messages']:>6}   "
+              f"convergence: {row['converge']:.1f}s")
+
+    packed = results["packed (500/msg)"]
+    naive = results["naive (1/msg)"]
+    ratio = naive["messages"] / packed["messages"]
+    print(f"  message inflation without packing: {ratio:.1f}x")
+    assert naive["messages"] > 3 * packed["messages"]
+    assert naive["converge"] >= packed["converge"]

@@ -1,0 +1,91 @@
+"""Boundary fidelity: the §5 correctness claim, measured.
+
+A safe static boundary must leave the emulated region's control-plane state
+*identical* to the full network — before and after changes.  This benchmark
+emulates S-DC twice:
+
+* **full** — every administered device emulated (ground truth);
+* **pod**  — Algorithm 1's boundary around pod 0, with static speakers.
+
+It then compares the FIBs of the devices common to both (using the
+non-determinism-aware comparator), injects the same change into both
+(a new prefix on a pod-0 ToR), reconverges, and compares again.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import CrystalNet
+from repro.topology import SDC, build_clos, pod_devices
+from repro.verify import FibComparator
+
+
+def add_network(net, device, prefix_text):
+    text = net.pull_config(device)
+    idx = text.index(" router-id")
+    line_end = text.index("\n", idx)
+    net.reload(device, config_text=(text[:line_end + 1]
+                                    + f" network {prefix_text}\n"
+                                    + text[line_end + 1:]))
+    net.converge()
+
+
+def fibs_of(net, devices):
+    return {name: net.pull_states(name)["fib"] for name in devices}
+
+
+def run():
+    topo = build_clos(SDC())
+
+    full = CrystalNet(emulation_id="fid-full", seed=111)
+    full.prepare(topo)
+    full.mockup()
+
+    pod = CrystalNet(emulation_id="fid-pod", seed=112)
+    pod.prepare(topo, must_have=pod_devices(topo, 0))
+    pod.mockup()
+
+    common = [name for name in pod.emulated
+              if pod.devices[name].kind == "device"]
+    before = (fibs_of(full, common), fibs_of(pod, common))
+
+    add_network(full, "tor-0-0", "10.222.0.0/16")
+    add_network(pod, "tor-0-0", "10.222.0.0/16")
+    after = (fibs_of(full, common), fibs_of(pod, common))
+
+    result = {
+        "common": common,
+        "before": before,
+        "after": after,
+        "pod_devices": len(pod.emulated),
+        "full_devices": len(full.emulated),
+        "verdict": pod.verdict,
+    }
+    full.destroy()
+    pod.destroy()
+    return result
+
+
+def test_boundary_emulation_matches_full_network(benchmark):
+    result = run_once(benchmark, run)
+
+    comparator = FibComparator()
+    diffs_before = comparator.diff(result["before"][0], result["before"][1])
+    diffs_after = comparator.diff(result["after"][0], result["after"][1])
+
+    banner("Boundary fidelity: pod emulation vs full-network ground truth",
+           "§5 / §8.4")
+    print(f"Emulated devices: full={result['full_devices']}  "
+          f"boundary={result['pod_devices']} "
+          f"(safe={result['verdict'].safe}, {result['verdict'].rule})")
+    print(f"Devices compared: {len(result['common'])}")
+    print(f"FIB differences at steady state : {len(diffs_before)}")
+    print(f"FIB differences after the change: {len(diffs_after)}")
+    for diff in (diffs_before + diffs_after)[:5]:
+        print(f"  ! {diff}")
+
+    assert result["pod_devices"] < result["full_devices"]
+    assert diffs_before == []
+    assert diffs_after == []
+    # The new prefix propagated identically in both emulations.
+    sample = dict(result["after"][1]["spn-0"])
+    assert "10.222.0.0/16" in sample

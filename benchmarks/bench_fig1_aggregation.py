@@ -1,0 +1,84 @@
+"""Figure 1: traffic load imbalance caused by vendor-specific aggregation.
+
+Reproduces the incident end to end on real (emulated) firmware: R6
+(vendor CTNR-A, inherit-best aggregation) and R7 (vendor CTNR-B,
+reset-path) both aggregate P1/P2 into P3; R8 prefers R7's shorter AS path
+and sends *all* P3 traffic one way.  A control run with identical vendors
+shows the balanced behaviour operators expected.
+"""
+
+from conftest import banner, run_once
+
+from repro.config.model import AggregateConfig
+from repro.firmware.lab import BgpLab
+from repro.net import IPv4Address, Prefix
+
+P3 = Prefix("10.1.0.0/23")
+
+
+def build_lab(vendor_r6: str, vendor_r7: str) -> BgpLab:
+    lab = BgpLab(seed=51)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.1.1.0/24"])
+    mids = [lab.router(f"r{i}", asn=i) for i in range(2, 6)]
+    r6 = lab.router("r6", asn=6, vendor=vendor_r6)
+    r7 = lab.router("r7", asn=7, vendor=vendor_r7)
+    r8 = lab.router("r8", asn=8)
+    for mid in mids:
+        lab.link(r1, mid)
+    lab.link(mids[0], r6); lab.link(mids[1], r6)
+    lab.link(mids[2], r7); lab.link(mids[3], r7)
+    lab.link(r6, r8); lab.link(r7, r8)
+    agg = AggregateConfig(prefix=P3, summary_only=True)
+    r6.aggregates.append(agg)
+    r7.aggregates.append(agg)
+    lab.start()
+    lab.converge(timeout=900)
+    return lab
+
+
+def traffic_split(lab: BgpLab) -> dict:
+    """Hash 256 flows through R8's FIB; count exits toward R6 vs R7."""
+    r8 = lab.routers["r8"]
+    entry = r8.stack.fib.lookup(IPv4Address("10.1.0.1"))
+    counts = {}
+    from repro.net.packet import Ipv4Packet
+    for flow in range(256):
+        packet = Ipv4Packet(src=IPv4Address(0x14000000 + flow * 7919),
+                            dst=IPv4Address("10.1.0.1"))
+        hop = r8.stack._pick_next_hop(entry, packet)
+        counts[str(hop.ip)] = counts.get(str(hop.ip), 0) + 1
+    return counts
+
+
+def run():
+    mixed = build_lab("ctnr-a", "ctnr-b")
+    control = build_lab("ctnr-b", "ctnr-b")
+    return mixed, control
+
+
+def test_fig1_vendor_aggregation_imbalance(benchmark):
+    mixed, control = run_once(benchmark, run)
+
+    banner("Figure 1: vendor-divergent aggregation of P1+P2 into P3",
+           "Figure 1 / §2")
+    mixed_r8 = mixed.routers["r8"].daemon
+    candidates = {r.peer_asn: list(r.attrs.as_path)
+                  for r in mixed_r8.adj_in.candidates(P3)}
+    print(f"R8's candidate paths for P3={P3}:")
+    for asn, path in sorted(candidates.items()):
+        print(f"  via R{asn}: AS path {path}")
+    mixed_split = traffic_split(mixed)
+    control_split = traffic_split(control)
+    print(f"\nTraffic split at R8 over 256 flows:")
+    print(f"  mixed vendors  : {mixed_split}")
+    print(f"  same vendor    : {control_split}")
+
+    # Shape: mixed vendors -> R7 wins outright (paths 3 vs 1); control ->
+    # both paths used (ECMP over equal-length aggregates).
+    assert len(candidates[6]) == 3 and candidates[6][0] == 6
+    assert candidates[7] == [7]
+    assert len(mixed_split) == 1            # total imbalance
+    assert len(control_split) == 2          # balanced control
+    ratio = max(control_split.values()) / min(control_split.values())
+    print(f"  control balance ratio: {ratio:.2f}")
+    assert ratio < 3.0

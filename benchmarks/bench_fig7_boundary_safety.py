@@ -1,0 +1,77 @@
+"""Figure 7: unsafe and safe static boundaries, statically and empirically.
+
+For each of the paper's three boundary choices over the same BGP datacenter:
+
+1. classify it with Propositions 5.2/5.3 (static judgement), and
+2. emulate it, apply the paper's exact change (add IP prefix 10.1.0.0/16 —
+   here 10.99.0.0/16 — on T4), and check Lemma 5.1 empirically against the
+   speakers' receive logs.
+
+The static verdicts and the empirical outcomes must agree: 7a leaks an
+update that the real external devices would have propagated back inside;
+7b and 7c stay consistent.
+"""
+
+from conftest import banner, run_once
+
+from repro.boundary import classify_boundary, lemma51_empirical_violations
+from repro.core import CrystalNet
+from repro.topology.examples import FIG7_CASES, figure7_topology
+
+
+def run_case(topo, case):
+    emulated, expected_safe = FIG7_CASES[case]
+    verdict = classify_boundary(topo, emulated)
+    net = CrystalNet(emulation_id=f"b{case[:2]}", seed=71)
+    net.prepare(topo, emulated_override=emulated)
+    net.mockup()
+    baseline = net.env.now
+
+    t4 = net.devices.get("T4")
+    if t4 is not None and t4.kind == "device":
+        text = net.pull_config("T4")
+        idx = text.index(" router-id")
+        line_end = text.index("\n", idx)
+        text = (text[:line_end + 1] + " network 10.99.0.0/16\n"
+                + text[line_end + 1:])
+        net.reload("T4", config_text=text)
+    else:
+        # 7c emulates only L1-4/S1-2: the change is a link event instead.
+        net.disconnect("S1", "L1")
+        net.run(90)
+    net.converge()
+
+    logs = {name: record.guest.received
+            for name, record in net.devices.items()
+            if record.kind == "speaker"}
+    violations = lemma51_empirical_violations(topo, emulated, logs,
+                                              baseline_time=baseline)
+    net.destroy()
+    return {"case": case, "expected_safe": expected_safe,
+            "verdict": verdict, "violations": violations}
+
+
+def run():
+    topo = figure7_topology()
+    return [run_case(topo, case) for case in
+            ("7a-unsafe", "7b-safe", "7c-safe")]
+
+
+def test_fig7_boundary_safety(benchmark):
+    rows = run_once(benchmark, run)
+
+    banner("Figure 7: safe vs unsafe static boundaries", "Figure 7 / §5")
+    print(f"{'Case':<11} {'Static verdict':<22} {'Empirical violations':>21}")
+    for row in rows:
+        verdict = row["verdict"]
+        print(f"{row['case']:<11} safe={verdict.safe!s:<5} "
+              f"({verdict.rule:<9}) {len(row['violations']):>21}")
+        for violation in row["violations"][:2]:
+            print(f"    ! {violation}")
+
+    for row in rows:
+        assert row["verdict"].safe is row["expected_safe"]
+        if row["expected_safe"]:
+            assert row["violations"] == [], row["case"]
+        else:
+            assert row["violations"], row["case"]

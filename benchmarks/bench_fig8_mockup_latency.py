@@ -1,0 +1,93 @@
+"""Figure 8: Mockup / network-ready / route-ready / Clear latencies.
+
+Sweeps (datacenter, #VMs) pairs with repeated runs and reports the 10th /
+50th / 90th percentile of each latency, exactly the figure's structure.
+The VM counts are the paper's {5,10}/{50,100}/{500,1000} scaled by the same
+factor as the topologies.
+
+Shape assertions:
+  * median Mockup latency is minutes-scale and ordered S-DC <= M-DC < L-DC;
+  * network-ready stays under 2 simulated minutes at every scale (<5% of
+    Mockup — the "CrystalNet overhead is minimal" claim);
+  * route-ready dominates Mockup;
+  * Clear stays under 2 simulated minutes;
+  * more VMs never slow an emulation down (within noise).
+"""
+
+from conftest import banner, percentile, run_once
+
+from repro.core import CrystalNet
+from repro.topology import LDC, MDC, SDC, build_clos
+
+# (preset, scaled VM counts, repeats)
+SWEEP = [
+    (SDC, (2, 4), 5),
+    (MDC, (4, 8), 3),
+    (LDC, (12, 24), 2),
+]
+
+
+def one_run(preset, num_vms, seed):
+    topo = build_clos(preset())
+    net = CrystalNet(emulation_id=f"f8-{topo.name}-{num_vms}-{seed}",
+                     seed=seed)
+    net.prepare(topo, num_vms=num_vms)
+    net.mockup()
+    metrics = net.metrics
+    net.clear()
+    result = {
+        "network_ready": metrics.network_ready_latency,
+        "route_ready": metrics.route_ready_latency,
+        "mockup": metrics.mockup_latency,
+        "clear": metrics.clear_latency,
+    }
+    net.destroy()
+    return result
+
+
+def run():
+    table = {}
+    for preset, vm_counts, repeats in SWEEP:
+        name = preset().name
+        for num_vms in vm_counts:
+            runs = [one_run(preset, num_vms, seed=100 + r)
+                    for r in range(repeats)]
+            table[f"{name}/{num_vms}"] = runs
+    return table
+
+
+def test_fig8_mockup_and_clear_latencies(benchmark):
+    table = run_once(benchmark, run)
+
+    banner("Figure 8: start/stop latencies (simulated minutes, p10/p50/p90)",
+           "Figure 8 / §8.2")
+    print(f"{'DC/#VMs':<12} {'mockup':>20} {'net-ready':>20} "
+          f"{'route-ready':>20} {'clear':>18}")
+
+    def fmt(runs, key):
+        values = [r[key] / 60 for r in runs]
+        return (f"{percentile(values, 10):5.1f}/{percentile(values, 50):5.1f}"
+                f"/{percentile(values, 90):5.1f}")
+
+    medians = {}
+    for label, runs in table.items():
+        print(f"{label:<12} {fmt(runs, 'mockup'):>20} "
+              f"{fmt(runs, 'network_ready'):>20} "
+              f"{fmt(runs, 'route_ready'):>20} {fmt(runs, 'clear'):>18}")
+        medians[label] = percentile([r["mockup"] for r in runs], 50)
+
+    # --- shape assertions -------------------------------------------------
+    for label, runs in table.items():
+        for run_result in runs:
+            assert run_result["network_ready"] < 120, label   # < 2 min
+            assert run_result["clear"] < 120, label           # < 2 min
+            assert (run_result["route_ready"]
+                    > 3 * run_result["network_ready"]), label
+    # Scale ordering of median mockup latency (paper: ~13 / ~22 / ~30 min).
+    assert medians["S-DC/2"] <= medians["M-DC/4"] < medians["L-DC/12"]
+    # All medians in the minutes regime the paper reports (< 50 min p90).
+    for label, runs in table.items():
+        assert percentile([r["mockup"] for r in runs], 90) < 50 * 60, label
+    # More VMs helps (or is neutral): compare medians per DC.
+    assert medians["L-DC/24"] <= medians["L-DC/12"] * 1.05
+    assert medians["M-DC/8"] <= medians["M-DC/4"] * 1.05

@@ -1,0 +1,64 @@
+"""Table 1: root causes of production incidents and validation coverage.
+
+Runs the executable incident library through both strategies and rebuilds
+the paper's coverage matrix: CrystalNet-style emulation covers software
+bugs, configuration bugs, and human errors; configuration verification
+covers only configuration bugs; neither covers hardware faults or
+unidentified transients.
+"""
+
+from conftest import banner, run_once
+
+from repro.scenarios import SCENARIOS, TABLE1_PROPORTIONS, run_all
+
+
+def test_table1_incident_coverage(benchmark):
+    results = run_once(benchmark, run_all)
+
+    coverage = {}
+    for scenario in SCENARIOS:
+        bucket = coverage.setdefault(scenario.category,
+                                     {"emulation": True, "verification": True,
+                                      "count": 0})
+        bucket["count"] += 1
+        bucket["emulation"] &= results[scenario.id]["emulation"].detected
+        bucket["verification"] &= \
+            results[scenario.id]["verification"].detected
+
+    banner("Table 1: incident root causes and coverage", "Table 1")
+    print(f"{'Root Cause':<18} {'Proportion':>10} {'#Scen':>6} "
+          f"{'CrystalNet':>11} {'Verification':>13}")
+    order = ["software-bug", "config-bug", "human-error",
+             "hardware-failure", "unidentified"]
+    mark = lambda flag: "YES" if flag else "no"
+    for category in order:
+        bucket = coverage[category]
+        print(f"{category:<18} {TABLE1_PROPORTIONS[category]:>9.0%} "
+              f"{bucket['count']:>6} {mark(bucket['emulation']):>11} "
+              f"{mark(bucket['verification']):>13}")
+    print("\nPer-scenario detail:")
+    for scenario in SCENARIOS:
+        emu = results[scenario.id]["emulation"]
+        ver = results[scenario.id]["verification"]
+        print(f"  {scenario.id:<12} emu={mark(emu.detected):<3} "
+              f"verif={mark(ver.detected):<3} {scenario.description}")
+
+    # Shape assertions: the paper's coverage matrix.
+    assert coverage["software-bug"] == {"emulation": True,
+                                        "verification": False,
+                                        "count": coverage["software-bug"]["count"]}
+    assert coverage["config-bug"]["emulation"]
+    assert coverage["config-bug"]["verification"]
+    assert coverage["human-error"]["emulation"]
+    assert not coverage["human-error"]["verification"]
+    assert not coverage["hardware-failure"]["emulation"]
+    assert not coverage["unidentified"]["verification"]
+    # Weighted coverage: emulation covers 36+27+6 = 69% of incident mass,
+    # verification only 27%.
+    emu_mass = sum(TABLE1_PROPORTIONS[c] for c in order
+                   if coverage[c]["emulation"])
+    ver_mass = sum(TABLE1_PROPORTIONS[c] for c in order
+                   if coverage[c]["verification"])
+    print(f"\nIncident mass covered: emulation {emu_mass:.0%}, "
+          f"verification {ver_mass:.0%}")
+    assert emu_mass > 2 * ver_mass

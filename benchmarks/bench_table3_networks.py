@@ -1,0 +1,58 @@
+"""Table 3: the evaluation datacenters (S-DC, M-DC, L-DC).
+
+Generates the three topologies, emulates each fully, and reports the layer
+populations plus the total number of routing-table entries across all
+switches — the paper's last column.  Absolute counts are scaled down with
+the topologies (DESIGN.md); the orderings (S < M < L on every column, and
+route totals growing faster than device counts) are asserted.
+"""
+
+from conftest import banner, run_once
+
+from repro.core import CrystalNet
+from repro.topology import LDC, MDC, SDC, build_clos
+
+
+def measure(preset):
+    topo = build_clos(preset())
+    net = CrystalNet(emulation_id=f"t3-{topo.name.lower()}", seed=61)
+    net.prepare(topo)
+    net.mockup()
+    total_routes = 0
+    for name, state in net.pull_states().items():
+        total_routes += len(state.get("fib", []))
+    by_role = {}
+    for d in topo:
+        by_role[d.role] = by_role.get(d.role, 0) + 1
+    net.destroy()
+    return {"name": topo.name, "roles": by_role, "routes": total_routes,
+            "devices": len(topo)}
+
+
+def run():
+    return [measure(p) for p in (SDC, MDC, LDC)]
+
+
+def test_table3_network_scales(benchmark):
+    rows = run_once(benchmark, run)
+
+    banner("Table 3: datacenter networks used in evaluations", "Table 3")
+    print(f"{'Network':<8} {'#Borders':>9} {'#Spines':>8} {'#Leaves':>8} "
+          f"{'#ToRs':>6} {'#Routes':>9}")
+    paper = {"S-DC": "O(1)/O(1)/O(10)/O(100)/O(50K)",
+             "M-DC": "O(10)/O(10)/O(100)/O(400)/O(1M)",
+             "L-DC": "O(10)/O(100)/O(1000)/O(3000)/O(20M)"}
+    for row in rows:
+        roles = row["roles"]
+        print(f"{row['name']:<8} {roles['border']:>9} {roles['spine']:>8} "
+              f"{roles['leaf']:>8} {roles['tor']:>6} {row['routes']:>9}")
+        print(f"         (paper, full scale: {paper[row['name']]})")
+
+    s, m, l = rows
+    for key in ("border", "spine", "leaf", "tor"):
+        assert s["roles"][key] <= m["roles"][key] <= l["roles"][key]
+    assert s["routes"] < m["routes"] < l["routes"]
+    # Route totals grow super-linearly in device count (paper: 50K -> 1M ->
+    # 20M while devices grow ~4x per step).
+    assert (m["routes"] / s["routes"]) > (m["devices"] / s["devices"])
+    assert (l["routes"] / m["routes"]) > (l["devices"] / m["devices"])

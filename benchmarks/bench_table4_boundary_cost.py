@@ -1,0 +1,79 @@
+"""Table 4 / §8.4: safe static boundaries shrink common validations >90%.
+
+Runs Algorithm 1 on a *full-scale* L-DC topology (generation is cheap; only
+emulation needs scaling) for the paper's two operational cases:
+
+* **One Pod** — operators change a group of adjacent ToRs+Leaves;
+* **All Spines** — operators change the whole spine layer.
+
+Reports the emulated-device table of Table 4, the VM counts (paper: 20 and
+30 vs. 500+ for the whole network), and the >90% cost reduction of §8.4.
+"""
+
+from conftest import banner, run_once
+
+from repro.boundary import boundary_plan
+from repro.core import plan_vms
+from repro.topology import ClosParams, build_clos, pod_devices
+
+# Full-scale L-DC (Table 3's O() row): 12 borders, 96 spines, 1000 leaves,
+# 3000 ToRs.
+FULL_LDC = ClosParams("L-DC-full", num_borders=12, num_spines=96,
+                      num_pods=250, leaves_per_pod=4, tors_per_pod=12,
+                      num_wan_routers=4)
+
+
+def vm_plan_for(topo, plan, tag):
+    vendors = {n: topo.device(n).vendor for n in plan.emulated}
+    return plan_vms(vendors, plan.speaker_devices, tag)
+
+
+def run():
+    topo = build_clos(FULL_LDC)
+    administered = [d.name for d in topo if d.role != "wan"]
+    full = boundary_plan(topo, administered)
+    one_pod = boundary_plan(topo, pod_devices(topo, 0))
+    all_spines = boundary_plan(topo, [d.name for d in topo.by_role("spine")])
+    return topo, administered, full, one_pod, all_spines
+
+
+def test_table4_safe_boundary_scales(benchmark):
+    topo, administered, full, one_pod, all_spines = run_once(benchmark, run)
+
+    banner("Table 4: emulation scales with safe boundaries in L-DC",
+           "Table 4 / §8.4")
+    full_vms = vm_plan_for(topo, full, "full")
+    print(f"Full L-DC: {len(administered)} devices, "
+          f"{full_vms.vm_count} VMs, ${full_vms.hourly_cost_usd():.2f}/h "
+          f"(paper: 500+ VMs, ~$100/h)\n")
+    print(f"{'Case':<12} {'#Borders':>9} {'#Spines':>8} {'#Leaves':>8} "
+          f"{'#ToRs':>6} {'Prop.':>7} {'#VMs':>5} {'Saving':>8}")
+    for label, plan in (("One Pod", one_pod), ("All Spines", all_spines)):
+        roles = plan.emulated_by_role()
+        vms = vm_plan_for(topo, plan, label)
+        saving = 1 - vms.hourly_cost_usd() / full_vms.hourly_cost_usd()
+        print(f"{label:<12} {roles.get('border', 0):>9} "
+              f"{roles.get('spine', 0):>8} {roles.get('leaf', 0):>8} "
+              f"{roles.get('tor', 0):>6} "
+              f"{plan.proportion_of_network():>6.1%} {vms.vm_count:>5} "
+              f"{saving:>7.0%}")
+        print(f"{'':<12} speakers: {len(plan.speaker_devices)} "
+              f"(lightweight, 50/VM)")
+
+    # Shape assertions against Table 4.
+    pod_roles = one_pod.emulated_by_role()
+    params = FULL_LDC
+    assert pod_roles["leaf"] == params.leaves_per_pod          # 4
+    assert pod_roles["tor"] == params.tors_per_pod             # 12 (paper 16)
+    assert pod_roles["spine"] == params.num_spines             # whole layer
+    assert pod_roles["border"] == params.num_borders           # whole layer
+    assert one_pod.proportion_of_network() <= 0.04             # paper <= 2%
+    spine_roles = all_spines.emulated_by_role()
+    assert set(spine_roles) == {"spine", "border"}
+    assert all_spines.proportion_of_network() <= 0.03          # paper <= 3%
+    assert one_pod.verdict.safe and all_spines.verdict.safe
+    # §8.4: boundary selection cuts the cost by over 90%.
+    for plan, label in ((one_pod, "One Pod"), (all_spines, "All Spines")):
+        vms = vm_plan_for(topo, plan, label)
+        saving = 1 - vms.hourly_cost_usd() / full_vms.hourly_cost_usd()
+        assert saving > 0.90, (label, saving)

@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+it next to the paper's reported values.  Absolute numbers are not expected
+to match (the substrate is a simulator and the topologies are scaled, see
+DESIGN.md); the *shape* — orderings, ratios, crossovers — is the claim
+under test, and each benchmark asserts it.
+"""
+
+import math
+
+import pytest
+
+
+def percentile(values, q):
+    """Nearest-rank percentile (q in [0, 100])."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def banner(title: str, paper_ref: str) -> None:
+    print()
+    print("=" * 72)
+    print(f"{title}   [{paper_ref}]")
+    print("=" * 72)
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment callable exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Safe emulation boundaries: correctness and cost (§5, §8.4).
+
+Three demonstrations on the paper's own examples:
+
+1. **Figure 7** — classify the three boundary choices (unsafe 7a, safe 7b,
+   safe 7c) with Propositions 5.2/5.3.
+2. **Lemma 5.1 empirically** — emulate the *unsafe* 7a boundary, add a new
+   IP prefix on T4 (the paper's exact experiment), and show the speakers
+   hear an update they would have had to propagate back inside; the safe
+   7b boundary shows no such violation.
+3. **Algorithm 1 at scale** — compute the "One Pod" boundary on L-DC and
+   compare the VM bill against emulating everything.
+
+Run:  python examples/boundary_exploration.py
+"""
+
+from repro.boundary import boundary_plan, classify_boundary, \
+    lemma51_empirical_violations
+from repro.core import CrystalNet, plan_vms
+from repro.topology import LDC, build_clos, pod_devices
+from repro.topology.examples import FIG7_CASES, figure7_topology
+
+
+def classify_fig7():
+    print("=" * 64)
+    print("1. Figure 7 boundary classification")
+    print("=" * 64)
+    topo = figure7_topology()
+    for case, (emulated, expected_safe) in FIG7_CASES.items():
+        verdict = classify_boundary(topo, emulated)
+        assert verdict.safe is expected_safe
+        print(f"  {case:10s} emulate {len(emulated):2d} devices -> "
+              f"safe={verdict.safe!s:5s} rule={verdict.rule:9s} "
+              f"speakers={verdict.speaker_devices}")
+    return topo
+
+
+def empirical_lemma51(topo):
+    print()
+    print("=" * 64)
+    print("2. Lemma 5.1, empirically (add 10.99.0.0/16 on T4)")
+    print("=" * 64)
+    for case in ("7a-unsafe", "7b-safe"):
+        emulated, _ = FIG7_CASES[case]
+        net = CrystalNet(emulation_id=f"f{case[:2]}", seed=31)
+        net.prepare(topo, emulated_override=emulated)
+        net.mockup()
+        baseline = net.env.now
+
+        # The change: T4 announces a brand-new prefix.
+        text = net.pull_config("T4")
+        marker = " router-id"
+        idx = text.index(marker)
+        line_end = text.index("\n", idx)
+        text = (text[:line_end + 1] + " network 10.99.0.0/16\n"
+                + text[line_end + 1:])
+        net.reload("T4", config_text=text)
+        net.converge()
+
+        logs = {name: record.guest.received
+                for name, record in net.devices.items()
+                if record.kind == "speaker"}
+        violations = lemma51_empirical_violations(topo, emulated, logs,
+                                                  baseline_time=baseline)
+        print(f"  {case:10s}: boundary verdict safe={net.verdict.safe}, "
+              f"{len(violations)} consistency violation(s) after the change")
+        for violation in violations[:2]:
+            print(f"     ! {violation}")
+        if case == "7a-unsafe":
+            assert violations, "unsafe boundary must show a violation"
+        else:
+            assert not violations, "safe boundary must stay consistent"
+        net.destroy()
+
+
+def algorithm1_cost():
+    print()
+    print("=" * 64)
+    print("3. Algorithm 1 on L-DC: the cost of a safe 'One Pod' boundary")
+    print("=" * 64)
+    topo = build_clos(LDC())
+    administered = [d.name for d in topo if d.role != "wan"]
+
+    full_plan = boundary_plan(topo, administered)
+    full_vms = plan_vms({n: topo.device(n).vendor for n in administered},
+                        full_plan.speaker_devices, "full")
+    pod = boundary_plan(topo, pod_devices(topo, 0))
+    pod_vms = plan_vms({n: topo.device(n).vendor for n in pod.emulated},
+                       pod.speaker_devices, "pod")
+
+    print(f"  whole network : {len(administered):4d} devices -> "
+          f"{full_vms.vm_count:3d} VMs  ${full_vms.hourly_cost_usd():6.2f}/h")
+    print(f"  one-pod (Alg 1): {len(pod.emulated):4d} devices -> "
+          f"{pod_vms.vm_count:3d} VMs  ${pod_vms.hourly_cost_usd():6.2f}/h "
+          f"(safe={pod.verdict.safe}, {pod.verdict.rule})")
+    saving = 1 - pod_vms.hourly_cost_usd() / full_vms.hourly_cost_usd()
+    print(f"  cost reduction : {saving:.0%}")
+
+
+def main() -> None:
+    topo = classify_fig7()
+    empirical_lemma51(topo)
+    algorithm1_cost()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: emulate a small Clos datacenter and poke at it.
+
+Walks the canonical CrystalNet workflow end to end:
+
+1. Prepare   — boundary computation, config generation, VM spawning
+2. Mockup    — PhyNet containers, VXLAN links, firmware boot, route-ready
+3. Operate   — log into devices, run CLI commands, inject probe packets
+4. Clear     — tear the emulation down, keeping the VMs
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import CrystalNet
+from repro.dataplane import reconstruct_paths
+from repro.topology import SDC, build_clos
+
+
+def main() -> None:
+    # ---- 1. Prepare -------------------------------------------------------
+    topology = build_clos(SDC())
+    print(f"Topology: {topology.name} — {len(topology)} devices, "
+          f"{len(topology.links)} links")
+
+    net = CrystalNet(emulation_id="quickstart")
+    net.prepare(topology)
+    print(f"Prepared: {net.metrics.vm_count} VMs "
+          f"(${net.metrics.hourly_cost_usd:.2f}/hour), "
+          f"{len(net.emulated)} emulated devices, "
+          f"{len(net.speakers)} boundary speakers")
+    print(f"Boundary: safe={net.verdict.safe} via {net.verdict.rule}")
+
+    # ---- 2. Mockup --------------------------------------------------------
+    net.mockup()
+    m = net.metrics
+    print(f"Mockup: network-ready {m.network_ready_latency:.0f}s, "
+          f"route-ready {m.route_ready_latency:.0f}s, "
+          f"total {m.mockup_latency / 60:.1f} min (simulated)")
+
+    # ---- 3. Operate -------------------------------------------------------
+    # Log in over the management plane, exactly like production.
+    session = net.login("spn-0")
+    print("\n$ ssh spn-0 'show ip bgp summary'")
+    print(session.execute("show ip bgp summary"))
+    session.close()
+
+    # Inject a signed probe from one ToR's server subnet to another's.
+    src = topology.device("tor-0-0").originated[0].address_at(10)
+    dst = topology.device("tor-1-2").originated[0].address_at(10)
+    net.inject_packets("tor-0-0", src, dst, signature="quickstart-probe")
+    net.run(5)
+    paths = reconstruct_paths(net.pull_packets(signature="quickstart-probe"))
+    probe = paths["quickstart-probe"]
+    print(f"\nProbe {src} -> {dst}: "
+          f"{' -> '.join(probe.hops)} (delivered={probe.delivered})")
+
+    # Break a link and watch BGP fail over.
+    print("\nCutting tor-0-0 <-> lf-0-0 ...")
+    net.disconnect("tor-0-0", "lf-0-0")
+    net.run(90)           # hold timers expire
+    net.converge()
+    fib = dict(net.pull_states("tor-0-0")["fib"])
+    print(f"tor-0-0 default WAN route now has "
+          f"{len(fib['100.100.0.0/16'])} next hop(s) (was 2)")
+
+    # ---- 4. Clear ---------------------------------------------------------
+    net.clear()
+    print(f"\nCleared in {net.metrics.clear_latency:.0f}s; VMs retained for "
+          f"the next experiment.")
+    net.destroy()
+    print(f"Total simulated cloud spend: ${net.cloud.total_cost_usd():.2f}")
+
+
+if __name__ == "__main__":
+    main()

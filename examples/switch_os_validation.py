@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""§7 Case 2: a validation pipeline for an in-house switch OS.
+
+The team develops its own build of the open switch OS (CTNR-B).  Candidate
+builds are dropped into an emulated *production* environment — some ToRs
+swapped to the new image — and a battery of checks runs:
+
+  1. FIB equivalence against the golden (shipping) build
+  2. default-route behaviour under uplink failure
+  3. BGP session flap stress
+
+The candidate build here carries three injected bugs straight from the
+paper: failing to update the default route when routes are learned from
+BGP, silently suppressing certain announcements, and crashing after several
+session flaps.  None of these is visible to config verification; all three
+fall out of the emulation within one pipeline run.
+
+Run:  python examples/switch_os_validation.py
+"""
+
+from repro.core import CrystalNet
+from repro.firmware.vendors import get_vendor
+from repro.net import Prefix
+from repro.topology import SDC, build_clos
+from repro.verify import FibComparator
+
+
+CANARY = "tor-0-0"
+
+
+def build_emulation():
+    topo = build_clos(SDC())
+    net = CrystalNet(emulation_id="os-pipeline")
+    net.prepare(topo)
+    # Production design: borders originate a default route into the DC.
+    for border in (d.name for d in topo.by_role("border")):
+        text = net.config_texts[border]
+        marker = " router-id"
+        idx = text.index(marker)
+        line_end = text.index("\n", idx)
+        net.config_texts[border] = (text[:line_end + 1]
+                                    + " network 0.0.0.0/0\n"
+                                    + text[line_end + 1:])
+    net.mockup()
+    return topo, net
+
+
+def check_fib_equivalence(net, golden_fib) -> list:
+    current = net.pull_states(CANARY).get("fib", [])
+    comparator = FibComparator()
+    return comparator.diff_device(CANARY, golden_fib, current)
+
+
+def check_default_route_failover(net) -> bool:
+    """Cut one uplink; the default route must drop to a single next hop."""
+    net.disconnect(CANARY, "lf-0-0")
+    net.run(90)
+    net.converge()
+    fib = dict(net.pull_states(CANARY).get("fib", []))
+    hops = fib.get("0.0.0.0/0", [])
+    ok = len(hops) == 1
+    net.connect(CANARY, "lf-0-0")
+    net.run(60)
+    net.converge()
+    return ok
+
+
+def check_peer_visibility(net) -> list:
+    """Every prefix the canary originates must be in its leaf's FIB."""
+    leaf_fib = dict(net.pull_states("lf-0-0").get("fib", []))
+    canary_config = net.devices[CANARY].guest.config
+    return [str(p) for p in canary_config.bgp.networks
+            if str(p) not in leaf_fib and p.length < 32]
+
+
+def check_flap_survival(net) -> bool:
+    """Three quick session flaps must not crash the firmware."""
+    for _ in range(3):
+        net.disconnect(CANARY, "lf-0-1")
+        net.run(90)
+        net.connect(CANARY, "lf-0-1")
+        net.run(90)
+    net.converge()
+    return net.devices[CANARY].status == "running"
+
+
+def run_pipeline(net, golden_fib, build_name) -> list:
+    print(f"\n=== validating build {build_name!r} on {CANARY} ===")
+    bugs = []
+
+    diffs = check_fib_equivalence(net, golden_fib)
+    if diffs:
+        bugs.append(f"FIB diverges from golden build: {diffs[0]}")
+        print(f"  [FAIL] FIB equivalence: {len(diffs)} differences "
+              f"(e.g. {diffs[0]})")
+    else:
+        print("  [ ok ] FIB equivalence with golden build")
+
+    if check_default_route_failover(net):
+        print("  [ ok ] default route updated on uplink failure")
+    else:
+        bugs.append("default route not updated when BGP routes change")
+        print("  [FAIL] default route left stale after uplink failure")
+
+    missing = check_peer_visibility(net)
+    if missing:
+        bugs.append(f"canary stopped announcing {missing} to its peers")
+        print(f"  [FAIL] peers lost routes the canary should announce: "
+              f"{missing}")
+    else:
+        print("  [ ok ] peers see all of the canary's announcements")
+
+    if check_flap_survival(net):
+        print("  [ ok ] survived session flap stress")
+    else:
+        bugs.append("firmware crashed after BGP session flaps")
+        print("  [FAIL] firmware crashed during flap stress")
+    return bugs
+
+
+def main() -> None:
+    topo, net = build_emulation()
+    print(f"Production environment emulated: {len(net.emulated)} devices, "
+          f"route-ready in {net.metrics.route_ready_latency / 60:.1f} min "
+          f"(simulated)")
+
+    golden_fib = net.pull_states(CANARY)["fib"]
+    print(f"Golden FIB captured from shipping OS: {len(golden_fib)} routes")
+
+    # -- candidate build: three injected regressions -------------------------
+    candidate = get_vendor("ctnr-b").with_quirks(
+        "default-route-stuck",
+        "suppress-announcements",
+        "crash-on-session-flaps",
+        suppress_prefixes=[Prefix("10.192.0.0/24")],
+        crash_after_flaps=3,
+    )
+    net.reload(CANARY, vendor=candidate)
+    net.converge()
+    bugs = run_pipeline(net, golden_fib, "candidate-build-1472")
+    print(f"\nPipeline found {len(bugs)} bug(s):")
+    for bug in bugs:
+        print(f"  - {bug}")
+    assert len(bugs) >= 3  # all three injected regressions surface
+
+    # -- fixed build ---------------------------------------------------------
+    net.reload(CANARY, vendor=get_vendor("ctnr-b"))
+    net.converge()
+    bugs = run_pipeline(net, golden_fib, "candidate-build-1473 (fixed)")
+    assert bugs == []
+    print("\nBuild 1473 is clean; promoting to the canary ToR ring.")
+    net.destroy()
+
+
+if __name__ == "__main__":
+    main()

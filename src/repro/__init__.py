@@ -1,0 +1,12 @@
+"""CrystalNet (SOSP 2017) reproduction.
+
+A high-fidelity, cloud-scale *control-plane* network emulator: it boots
+vendor firmware stacks in containers on simulated cloud VMs, wires them with
+VXLAN virtual links into production topologies, loads production-style
+configurations, and replaces everything outside a provably safe static
+boundary with static BGP speakers.
+
+Public entry point: :class:`repro.core.CrystalNet`.
+"""
+
+__version__ = "1.0.0"

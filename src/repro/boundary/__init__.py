@@ -1,0 +1,27 @@
+"""Emulation boundary: static speakers, safety theory, Algorithm 1 search."""
+
+from .safety import (
+    BoundaryVerdict,
+    check_boundary_safe,
+    check_ospf_boundary,
+    check_sdn_boundary,
+    classify_boundary,
+    lemma51_empirical_violations,
+)
+from .search import BoundaryPlan, boundary_plan, find_safe_dc_boundary
+from .speaker import ReceivedRoute, SpeakerOS, SpeakerRoute
+
+__all__ = [
+    "BoundaryPlan",
+    "BoundaryVerdict",
+    "ReceivedRoute",
+    "SpeakerOS",
+    "SpeakerRoute",
+    "boundary_plan",
+    "check_boundary_safe",
+    "check_ospf_boundary",
+    "check_sdn_boundary",
+    "classify_boundary",
+    "find_safe_dc_boundary",
+    "lemma51_empirical_violations",
+]

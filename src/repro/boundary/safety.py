@@ -1,0 +1,300 @@
+"""Safe-static-boundary judgements (§5.2).
+
+Given a topology and a proposed set of emulated devices, classify the
+boundary using the paper's sufficient conditions:
+
+* **Proposition 5.2** — all boundary devices share a single AS (and the
+  speakers are in different ASes): no route update can leave and re-enter,
+  because BGP never sends a path back into an AS it contains.
+* **Proposition 5.3** — boundary devices fall into several ASes that have
+  *no reachability to each other via external networks*: an exiting update
+  can never reach another boundary device.
+* **Proposition 5.4** (OSPF) — boundary/speaker links are unchanged by the
+  planned operation and all DRs/BDRs are emulated.
+
+These are sufficient conditions under Lemma 5.1; the *empirical* check —
+run the change, assert no speaker would have had to react — is implemented
+by :func:`lemma51_empirical_violations` over speaker receive logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..net.ip import Prefix
+from ..topology.graph import Topology
+from .speaker import ReceivedRoute
+
+__all__ = [
+    "BoundaryVerdict",
+    "classify_boundary",
+    "check_boundary_safe",
+    "check_ospf_boundary",
+    "check_sdn_boundary",
+    "lemma51_empirical_violations",
+]
+
+
+@dataclass
+class BoundaryVerdict:
+    """Result of a boundary-safety judgement."""
+
+    safe: bool
+    rule: str            # "prop-5.2" | "prop-5.3" | "none"
+    reason: str
+    boundary_devices: List[str] = field(default_factory=list)
+    speaker_devices: List[str] = field(default_factory=list)
+    internal_devices: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.safe
+
+
+def classify_boundary(topology: Topology, emulated: Iterable[str],
+                      valley_free: bool = True) -> BoundaryVerdict:
+    """Partition devices and apply Propositions 5.2 / 5.3.
+
+    ``valley_free``: datacenter networks forbid valley routing (§5.2
+    property ii) — a route that has travelled *down* a layer never goes
+    back up.  The Prop-5.3 reachability walk honours that policy; pass
+    False for arbitrary (non-layered) networks to fall back to pure graph
+    reachability, which is strictly more conservative.
+    """
+    emulated_set = set(emulated)
+    unknown = emulated_set - set(topology.devices)
+    if unknown:
+        raise ValueError(f"unknown devices in boundary: {sorted(unknown)}")
+
+    boundary: List[str] = []
+    internal: List[str] = []
+    speakers: Set[str] = set()
+    for name in sorted(emulated_set):
+        outside = [n for n in topology.neighbors(name)
+                   if n not in emulated_set]
+        if outside:
+            boundary.append(name)
+            speakers.update(outside)
+        else:
+            internal.append(name)
+    speaker_list = sorted(speakers)
+
+    def verdict(safe: bool, rule: str, reason: str) -> BoundaryVerdict:
+        return BoundaryVerdict(safe=safe, rule=rule, reason=reason,
+                               boundary_devices=boundary,
+                               speaker_devices=speaker_list,
+                               internal_devices=internal)
+
+    if not boundary:
+        return verdict(True, "prop-5.2",
+                       "no boundary: the whole network is emulated")
+
+    boundary_asns = {topology.device(d).asn for d in boundary}
+    speaker_asns = [topology.device(s).asn for s in speaker_list]
+
+    if len(boundary_asns) == 1:
+        if len(set(speaker_asns)) == len(speaker_asns):
+            return verdict(True, "prop-5.2",
+                           f"boundary devices share AS {next(iter(boundary_asns))} "
+                           f"and speakers are in distinct ASes")
+        # Speakers sharing an AS could, in the real network, exchange
+        # updates between themselves and re-deliver (e.g. iBGP) — outside
+        # Prop 5.2's guarantee.
+        return verdict(False, "none",
+                       "boundary devices share one AS but several speakers "
+                       "share an AS; prop 5.2 does not apply")
+
+    if _boundary_asns_mutually_unreachable(topology, emulated_set, boundary,
+                                           valley_free):
+        return verdict(True, "prop-5.3",
+                       "boundary device ASes are mutually unreachable "
+                       "through external networks")
+
+    return verdict(False, "none",
+                   f"boundary spans ASes {sorted(boundary_asns)} that are "
+                   f"reachable to each other via external devices; a route "
+                   f"update could exit and re-enter (unsafe, cf. Fig. 7a)")
+
+
+def check_boundary_safe(topology: Topology, emulated: Iterable[str]) -> bool:
+    return classify_boundary(topology, emulated).safe
+
+
+def _boundary_asns_mutually_unreachable(topology: Topology,
+                                        emulated: Set[str],
+                                        boundary: Sequence[str],
+                                        valley_free: bool) -> bool:
+    """Proposition 5.3's condition, checked by flooding the external graph.
+
+    For each boundary device, walk only through *external* (non-emulated)
+    devices; if the walk can deliver an update to a boundary device in a
+    *different* AS, the boundary is not covered by Prop 5.3.
+
+    With ``valley_free``, the walk carries an up/down phase: while a route
+    is travelling "up" the layers it may turn around once; after going
+    "down" it may never rise again — the export policy of every production
+    Clos ([4, 5] in the paper).  States are (device, phase) pairs.
+    """
+    by_asn: Dict[str, int] = {d: topology.device(d).asn for d in boundary}
+    boundary_set = set(boundary)
+
+    def layer(name: str) -> int:
+        return topology.device(name).layer
+
+    for start in boundary:
+        # Phase of the first hop: up if the speaker is above us.
+        frontier: List[tuple] = []
+        visited: Set[tuple] = set()
+        for neighbor in topology.neighbors(start):
+            if neighbor in emulated:
+                continue
+            phase = "up" if (layer(neighbor) > layer(start)) else "down"
+            if not valley_free:
+                phase = "up"  # unrestricted walk
+            state = (neighbor, phase)
+            if state not in visited:
+                visited.add(state)
+                frontier.append(state)
+        while frontier:
+            current, phase = frontier.pop()
+            for neighbor in topology.neighbors(current):
+                going_up = layer(neighbor) > layer(current)
+                if valley_free and phase == "down" and going_up:
+                    continue  # valley: a descended route never rises
+                next_phase = ("up" if (going_up and phase == "up")
+                              else "down")
+                if not valley_free:
+                    next_phase = "up"
+                if neighbor in boundary_set:
+                    if by_asn[neighbor] != by_asn[start]:
+                        return False
+                    continue
+                if neighbor in emulated:
+                    continue
+                state = (neighbor, next_phase)
+                if state not in visited:
+                    visited.add(state)
+                    frontier.append(state)
+    return True
+
+
+def check_ospf_boundary(topology: Topology, emulated: Iterable[str],
+                        designated_routers: Iterable[str],
+                        changed_links: Iterable[frozenset] = ()) -> BoundaryVerdict:
+    """Proposition 5.4 for OSPF/IS-IS networks.
+
+    ``changed_links`` are the (dev, dev) pairs the planned operation may
+    touch; the boundary is safe if no such link crosses the boundary and
+    every DR/BDR is emulated.
+    """
+    emulated_set = set(emulated)
+    verdict = classify_boundary(topology, emulated_set)
+    missing_drs = [d for d in designated_routers if d not in emulated_set]
+    if missing_drs:
+        return BoundaryVerdict(
+            safe=False, rule="none",
+            reason=f"DR/BDR {missing_drs} outside the emulation",
+            boundary_devices=verdict.boundary_devices,
+            speaker_devices=verdict.speaker_devices,
+            internal_devices=verdict.internal_devices)
+    boundary_links = {frozenset((l.dev_a, l.dev_b))
+                      for l in topology.boundary_cut(emulated_set)}
+    touched = [set(link) for link in changed_links
+               if frozenset(link) in boundary_links]
+    if touched:
+        return BoundaryVerdict(
+            safe=False, rule="none",
+            reason=f"planned changes touch boundary links {touched}",
+            boundary_devices=verdict.boundary_devices,
+            speaker_devices=verdict.speaker_devices,
+            internal_devices=verdict.internal_devices)
+    return BoundaryVerdict(
+        safe=True, rule="prop-5.4",
+        reason="boundary/speaker links unchanged and DR/BDRs emulated",
+        boundary_devices=verdict.boundary_devices,
+        speaker_devices=verdict.speaker_devices,
+        internal_devices=verdict.internal_devices)
+
+
+def check_sdn_boundary(topology: Topology, emulated: Iterable[str],
+                       controller: str,
+                       controller_inputs: Iterable[str],
+                       valley_free: bool = True) -> BoundaryVerdict:
+    """§5.2's SDN rule.
+
+    SDN deployments run BGP/OSPF for controller<->device connectivity (the
+    *control network*), validated with Props 5.2/5.3/5.4 as usual.  For the
+    *data network*, "a boundary is safe if it includes all devices whose
+    states may impact the controller's decision" — given here as
+    ``controller_inputs``.
+    """
+    emulated_set = set(emulated)
+    control_verdict = classify_boundary(topology, emulated_set,
+                                        valley_free=valley_free)
+    if controller not in emulated_set:
+        return BoundaryVerdict(
+            safe=False, rule="none",
+            reason=f"controller {controller} is outside the emulation",
+            boundary_devices=control_verdict.boundary_devices,
+            speaker_devices=control_verdict.speaker_devices,
+            internal_devices=control_verdict.internal_devices)
+    missing = sorted(set(controller_inputs) - emulated_set)
+    if missing:
+        return BoundaryVerdict(
+            safe=False, rule="none",
+            reason=f"devices feeding the controller's decisions are not "
+                   f"emulated: {missing}",
+            boundary_devices=control_verdict.boundary_devices,
+            speaker_devices=control_verdict.speaker_devices,
+            internal_devices=control_verdict.internal_devices)
+    if not control_verdict.safe:
+        return BoundaryVerdict(
+            safe=False, rule="none",
+            reason=f"control network boundary unsafe: "
+                   f"{control_verdict.reason}",
+            boundary_devices=control_verdict.boundary_devices,
+            speaker_devices=control_verdict.speaker_devices,
+            internal_devices=control_verdict.internal_devices)
+    return BoundaryVerdict(
+        safe=True, rule="sdn+" + control_verdict.rule,
+        reason="controller, all its decision inputs, and a safe control-"
+               "network boundary are emulated",
+        boundary_devices=control_verdict.boundary_devices,
+        speaker_devices=control_verdict.speaker_devices,
+        internal_devices=control_verdict.internal_devices)
+
+
+def lemma51_empirical_violations(
+        topology: Topology, emulated: Iterable[str],
+        speaker_logs: Dict[str, List[ReceivedRoute]],
+        baseline_time: float = 0.0) -> List[str]:
+    """Check Lemma 5.1 against what speakers actually heard.
+
+    A static boundary is inconsistent if, after a change inside the
+    emulation (post ``baseline_time``), a speaker received an update that
+    the real external device would have *propagated to another emulated
+    device*.  With BGP semantics that is exactly: the speaker heard a path
+    it could legally forward to a second boundary device (the path does not
+    contain that device's AS).
+    """
+    emulated_set = set(emulated)
+    violations: List[str] = []
+    for speaker_name, log in speaker_logs.items():
+        other_boundary_asns = {
+            topology.device(n).asn
+            for n in topology.neighbors(speaker_name) if n in emulated_set}
+        for record in log:
+            if record.time <= baseline_time or record.withdrawn:
+                continue
+            # Would the real device have re-advertised this to some other
+            # emulated neighbor?  Only if that neighbor's AS is absent from
+            # the path (BGP loop prevention) — with >1 emulated neighbor in
+            # different ASes this can happen.
+            for asn in other_boundary_asns:
+                if asn not in record.as_path and len(other_boundary_asns) > 1:
+                    violations.append(
+                        f"{speaker_name}: route {record.prefix} "
+                        f"(path {list(record.as_path)}) would re-enter the "
+                        f"emulation at AS {asn}")
+                    break
+    return violations

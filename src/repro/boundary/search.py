@@ -1,0 +1,99 @@
+"""Algorithm 1: FindSafeDCBoundary.
+
+Given the "must-have devices" operators want to emulate, grow the set
+upward — every connected upper-layer device, transitively, until the
+highest operator-administered layer (the border switches).  In a Clos
+datacenter with (i) a layered topology, (ii) no valley routing, and
+(iii) borders sharing one AS, the result satisfies Proposition 5.2, so the
+static boundary is safe (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set
+
+from ..topology.graph import Topology
+from .safety import BoundaryVerdict, classify_boundary
+
+__all__ = ["find_safe_dc_boundary", "boundary_plan", "BoundaryPlan"]
+
+
+def find_safe_dc_boundary(topology: Topology, must_have: Iterable[str],
+                          highest_layer: Optional[int] = None) -> List[str]:
+    """Algorithm 1 (BFS toward the roots).  Returns all devices to emulate.
+
+    ``highest_layer`` defaults to the topmost layer that is *not* external
+    ("wan" devices are outside the administrative domain and become
+    speakers).
+    """
+    if highest_layer is None:
+        administered = [d for d in topology if d.role != "wan"]
+        if not administered:
+            raise ValueError("topology has no administered devices")
+        highest_layer = max(d.layer for d in administered)
+
+    pending = deque()
+    result: Set[str] = set()
+    queued: Set[str] = set()
+    for name in must_have:
+        topology.device(name)  # raises on unknown device
+        if name not in queued:
+            pending.append(name)
+            queued.add(name)
+
+    while pending:
+        device = pending.popleft()
+        result.add(device)
+        if topology.device(device).layer >= highest_layer:
+            continue
+        for upper in topology.upper_neighbors(device):
+            if topology.device(upper).layer > highest_layer:
+                continue  # external (e.g. WAN) devices become speakers
+            if upper not in queued:
+                pending.append(upper)
+                queued.add(upper)
+    return sorted(result)
+
+
+class BoundaryPlan:
+    """A computed emulation boundary, with its safety verdict and scale."""
+
+    def __init__(self, topology: Topology, emulated: List[str],
+                 verdict: BoundaryVerdict):
+        self.topology = topology
+        self.emulated = emulated
+        self.verdict = verdict
+
+    @property
+    def speaker_devices(self) -> List[str]:
+        return self.verdict.speaker_devices
+
+    @property
+    def boundary_devices(self) -> List[str]:
+        return self.verdict.boundary_devices
+
+    def emulated_by_role(self) -> dict:
+        counts: dict = {}
+        for name in self.emulated:
+            role = self.topology.device(name).role
+            counts[role] = counts.get(role, 0) + 1
+        return counts
+
+    def proportion_of_network(self) -> float:
+        """Fraction of administered devices emulated (Table 4's last column)."""
+        administered = [d for d in self.topology if d.role != "wan"]
+        return len(self.emulated) / max(len(administered), 1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<BoundaryPlan {len(self.emulated)} emulated, "
+                f"{len(self.speaker_devices)} speakers, "
+                f"safe={self.verdict.safe} ({self.verdict.rule})>")
+
+
+def boundary_plan(topology: Topology, must_have: Iterable[str],
+                  highest_layer: Optional[int] = None) -> BoundaryPlan:
+    """Run Algorithm 1 and classify the resulting boundary."""
+    emulated = find_safe_dc_boundary(topology, must_have, highest_layer)
+    verdict = classify_boundary(topology, emulated)
+    return BoundaryPlan(topology, emulated, verdict)

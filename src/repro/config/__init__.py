@@ -1,0 +1,35 @@
+"""Configuration: vendor-neutral model, generator, vendor CLI dialects."""
+
+from .dialects import DIALECTS, parse_config, render_config
+from .generator import ConfigGenerator
+from .model import (
+    Acl,
+    AclRule,
+    AggregateConfig,
+    BgpConfig,
+    BgpNeighborConfig,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+
+__all__ = [
+    "Acl",
+    "AclRule",
+    "AggregateConfig",
+    "BgpConfig",
+    "BgpNeighborConfig",
+    "ConfigError",
+    "ConfigGenerator",
+    "DIALECTS",
+    "DeviceConfig",
+    "InterfaceConfig",
+    "PrefixList",
+    "RouteMap",
+    "RouteMapClause",
+    "parse_config",
+    "render_config",
+]

@@ -1,0 +1,337 @@
+"""Vendor CLI dialects: render configs to text and parse them back.
+
+Operators interact with *text* configurations, so CrystalNet loads real
+config files into emulated devices.  Each vendor family here shares one
+industry-style grammar with vendor-specific keyword spellings — enough
+divergence that a config written for one vendor fails noisily on another,
+as in production.
+
+The module also reproduces the §2 incident where a vendor changed its ACL
+format between firmware versions "but neglected to document the change":
+``ctnr-a`` firmware version 2 expects ``permit ip <dir> <prefix>`` while
+version 1 wrote ``permit <prefix>``.  Parsing a v1 file with the v2 parser
+**silently drops the ACL rules** — exactly the failure mode that bit the
+paper's operators, and which only emulation (not config verification against
+an idealized model) can surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net.ip import IPv4Address, Prefix
+from .model import (
+    Acl,
+    AclRule,
+    AggregateConfig,
+    BgpConfig,
+    BgpNeighborConfig,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+
+__all__ = ["render_config", "parse_config", "DIALECTS"]
+
+# Keyword spelling differences across vendor families.
+DIALECTS: Dict[str, Dict[str, str]] = {
+    "ctnr-a": {"ip_address": "ip address", "router_bgp": "router bgp"},
+    "ctnr-b": {"ip_address": "ip address", "router_bgp": "router bgp"},
+    "vm-a": {"ip_address": "address", "router_bgp": "protocols bgp"},
+    "vm-b": {"ip_address": "address", "router_bgp": "protocols bgp"},
+}
+
+
+def _dialect(vendor: str) -> Dict[str, str]:
+    try:
+        return DIALECTS[vendor]
+    except KeyError:
+        raise ConfigError(f"unknown vendor dialect {vendor!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_config(config: DeviceConfig, firmware_version: int = 1) -> str:
+    """Render a config to vendor CLI text."""
+    kw = _dialect(config.vendor)
+    out: List[str] = [f"hostname {config.hostname}", "!"]
+
+    for iface in config.interfaces:
+        out.append(f"interface {iface.name}")
+        if iface.description:
+            out.append(f" description {iface.description}")
+        out.append(f" {kw['ip_address']} "
+                   f"{iface.address}/{iface.prefix_length}")
+        if iface.shutdown:
+            out.append(" shutdown")
+        out.append("!")
+
+    if config.bgp is not None:
+        bgp = config.bgp
+        out.append(f"{kw['router_bgp']} {bgp.asn}")
+        out.append(f" router-id {bgp.router_id}")
+        if bgp.multipath:
+            out.append(f" maximum-paths {bgp.max_paths}")
+        for network in bgp.networks:
+            out.append(f" network {network}")
+        for agg in bgp.aggregates:
+            suffix = " summary-only" if agg.summary_only else ""
+            out.append(f" aggregate-address {agg.prefix}{suffix}")
+        for n in bgp.neighbors:
+            out.append(f" neighbor {n.peer_ip} remote-as {n.remote_asn}")
+            if n.description:
+                out.append(f" neighbor {n.peer_ip} description {n.description}")
+            if n.import_policy:
+                out.append(f" neighbor {n.peer_ip} route-map {n.import_policy} in")
+            if n.export_policy:
+                out.append(f" neighbor {n.peer_ip} route-map {n.export_policy} out")
+            if n.shutdown:
+                out.append(f" neighbor {n.peer_ip} shutdown")
+        out.append("!")
+
+    for pl in config.prefix_lists.values():
+        mode = "le 32 " if pl.allow_more_specific else ""
+        for entry in pl.entries:
+            out.append(f"ip prefix-list {pl.name} permit {entry} {mode}".rstrip())
+    if config.prefix_lists:
+        out.append("!")
+
+    for rm in config.route_maps.values():
+        for seq, clause in enumerate(rm.clauses, start=1):
+            out.append(f"route-map {rm.name} {clause.action} {seq * 10}")
+            if clause.match_prefix_list:
+                out.append(f" match ip address prefix-list "
+                           f"{clause.match_prefix_list}")
+            if clause.match_community:
+                out.append(f" match community {clause.match_community}")
+            if clause.set_local_pref is not None:
+                out.append(f" set local-preference {clause.set_local_pref}")
+            if clause.set_med is not None:
+                out.append(f" set metric {clause.set_med}")
+            if clause.set_community:
+                out.append(f" set community {clause.set_community}")
+            if clause.prepend_asn:
+                out.append(f" set as-path prepend {clause.prepend_asn}")
+        out.append("!")
+
+    for acl in config.acls.values():
+        for rule in acl.rules:
+            if firmware_version >= 2 and config.vendor == "ctnr-a":
+                # v2 format: explicit protocol + direction token.
+                out.append(f"access-list {acl.name} {rule.action} ip "
+                           f"{rule.direction} {rule.prefix}")
+            else:
+                dir_part = "" if rule.direction == "any" else f"{rule.direction} "
+                out.append(f"access-list {acl.name} {rule.action} "
+                           f"{dir_part}{rule.prefix}")
+        out.append("!")
+
+    if config.fib_capacity is not None:
+        out.append(f"fib capacity {config.fib_capacity}")
+    return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+def parse_config(text: str, vendor: str, firmware_version: int = 1) -> DeviceConfig:
+    """Parse vendor CLI text back into a :class:`DeviceConfig`.
+
+    Raises :class:`ConfigError` on lines the vendor's grammar rejects —
+    except for the documented v2 ACL pitfall, where v1-format rules are
+    *silently ignored* (bug-compatible behaviour, see module docstring).
+    """
+    kw = _dialect(vendor)
+    config = DeviceConfig(hostname="", vendor=vendor)
+    current_iface: Optional[InterfaceConfig] = None
+    current_clause: Optional[RouteMapClause] = None
+    current_neighbor_ctx: Optional[BgpConfig] = None
+    in_bgp = False
+
+    def finish_sections():
+        nonlocal current_iface, current_clause, in_bgp
+        current_iface = None
+        current_clause = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line or line.lstrip().startswith("!"):
+            # "!" is both section separator and comment leader.
+            finish_sections()
+            continue
+        stripped = line.strip()
+        indented = line.startswith(" ")
+
+        if not indented:
+            in_bgp = False
+            if stripped.startswith("hostname "):
+                config.hostname = stripped.split(None, 1)[1]
+            elif stripped.startswith("interface "):
+                name = stripped.split(None, 1)[1]
+                current_iface = InterfaceConfig(
+                    name=name, address=IPv4Address(0), prefix_length=32)
+                config.interfaces.append(current_iface)
+            elif stripped.startswith(kw["router_bgp"] + " "):
+                asn = int(stripped.rsplit(None, 1)[1])
+                config.bgp = BgpConfig(asn=asn, router_id=IPv4Address(0),
+                                       multipath=False)
+                in_bgp = True
+            elif stripped.startswith("ip prefix-list "):
+                _parse_prefix_list_line(config, stripped)
+            elif stripped.startswith("route-map "):
+                current_clause = _parse_route_map_header(config, stripped)
+            elif stripped.startswith("access-list "):
+                _parse_acl_line(config, stripped, vendor, firmware_version)
+            elif stripped.startswith("fib capacity "):
+                config.fib_capacity = int(stripped.rsplit(None, 1)[1])
+            else:
+                raise ConfigError(f"unrecognized line: {line!r}")
+            continue
+
+        # Indented continuation lines.
+        if current_iface is not None:
+            _parse_interface_line(current_iface, stripped, kw)
+        elif in_bgp and config.bgp is not None:
+            _parse_bgp_line(config.bgp, stripped)
+        elif current_clause is not None:
+            _parse_route_map_line(current_clause, stripped)
+        else:
+            raise ConfigError(f"orphan indented line: {line!r}")
+
+    if not config.hostname:
+        raise ConfigError("config has no hostname")
+    return config
+
+
+def _parse_interface_line(iface: InterfaceConfig, stripped: str,
+                          kw: Dict[str, str]) -> None:
+    if stripped.startswith("description "):
+        iface.description = stripped.split(None, 1)[1]
+    elif stripped.startswith(kw["ip_address"] + " "):
+        addr_text = stripped.rsplit(None, 1)[1]
+        addr, length = addr_text.split("/")
+        iface.address = IPv4Address(addr)
+        iface.prefix_length = int(length)
+    elif stripped == "shutdown":
+        iface.shutdown = True
+    else:
+        raise ConfigError(f"unrecognized interface line: {stripped!r}")
+
+
+def _parse_bgp_line(bgp: BgpConfig, stripped: str) -> None:
+    tokens = stripped.split()
+    if stripped.startswith("router-id "):
+        bgp.router_id = IPv4Address(tokens[1])
+    elif stripped.startswith("maximum-paths "):
+        bgp.multipath = True
+        bgp.max_paths = int(tokens[1])
+    elif stripped.startswith("network "):
+        bgp.networks.append(Prefix(tokens[1]))
+    elif stripped.startswith("aggregate-address "):
+        bgp.aggregates.append(AggregateConfig(
+            prefix=Prefix(tokens[1]),
+            summary_only="summary-only" in tokens))
+    elif stripped.startswith("neighbor "):
+        peer_ip = IPv4Address(tokens[1])
+        existing = next((n for n in bgp.neighbors if n.peer_ip == peer_ip), None)
+        if tokens[2] == "remote-as":
+            if existing is None:
+                bgp.neighbors.append(BgpNeighborConfig(
+                    peer_ip=peer_ip, remote_asn=int(tokens[3])))
+            else:
+                existing.remote_asn = int(tokens[3])
+        elif existing is None:
+            raise ConfigError(f"neighbor {peer_ip} used before remote-as")
+        elif tokens[2] == "description":
+            existing.description = " ".join(tokens[3:])
+        elif tokens[2] == "route-map":
+            if tokens[4] == "in":
+                existing.import_policy = tokens[3]
+            elif tokens[4] == "out":
+                existing.export_policy = tokens[3]
+            else:
+                raise ConfigError(f"bad route-map direction {tokens[4]!r}")
+        elif tokens[2] == "shutdown":
+            existing.shutdown = True
+        else:
+            raise ConfigError(f"unrecognized neighbor line: {stripped!r}")
+    else:
+        raise ConfigError(f"unrecognized bgp line: {stripped!r}")
+
+
+def _parse_prefix_list_line(config: DeviceConfig, stripped: str) -> None:
+    tokens = stripped.split()
+    # ip prefix-list NAME permit PREFIX [le 32]
+    name = tokens[2]
+    if tokens[3] != "permit":
+        raise ConfigError(f"unsupported prefix-list action {tokens[3]!r}")
+    pl = config.prefix_lists.setdefault(
+        name, PrefixList(name=name, allow_more_specific=False))
+    pl.entries.append(Prefix(tokens[4]))
+    if "le" in tokens:
+        pl.allow_more_specific = True
+
+
+def _parse_route_map_header(config: DeviceConfig, stripped: str) -> RouteMapClause:
+    tokens = stripped.split()
+    name, action = tokens[1], tokens[2]
+    if action not in ("permit", "deny"):
+        raise ConfigError(f"bad route-map action {action!r}")
+    rm = config.route_maps.setdefault(name, RouteMap(name=name))
+    clause = RouteMapClause(action=action)
+    rm.clauses.append(clause)
+    return clause
+
+
+def _parse_route_map_line(clause: RouteMapClause, stripped: str) -> None:
+    tokens = stripped.split()
+    if stripped.startswith("match ip address prefix-list "):
+        clause.match_prefix_list = tokens[-1]
+    elif stripped.startswith("match community "):
+        clause.match_community = tokens[-1]
+    elif stripped.startswith("set local-preference "):
+        clause.set_local_pref = int(tokens[-1])
+    elif stripped.startswith("set metric "):
+        clause.set_med = int(tokens[-1])
+    elif stripped.startswith("set community "):
+        clause.set_community = tokens[-1]
+    elif stripped.startswith("set as-path prepend "):
+        clause.prepend_asn = int(tokens[-1])
+    else:
+        raise ConfigError(f"unrecognized route-map line: {stripped!r}")
+
+
+def _parse_acl_line(config: DeviceConfig, stripped: str, vendor: str,
+                    firmware_version: int) -> None:
+    tokens = stripped.split()
+    name, action = tokens[1], tokens[2]
+    acl = config.acls.setdefault(name, Acl(name=name))
+    rest = tokens[3:]
+
+    if vendor == "ctnr-a" and firmware_version >= 2:
+        # v2 grammar: ACTION ip DIRECTION PREFIX.  A v1-format line lacks
+        # the "ip" token; the v2 parser treats it as an unknown legacy
+        # statement and *silently skips it* — the undocumented format
+        # change from §2.
+        if not rest or rest[0] != "ip":
+            return
+        direction, prefix_text = rest[1], rest[2]
+        acl.rules.append(AclRule(action=action, prefix=Prefix(prefix_text),
+                                 direction=direction))
+        return
+
+    # v1 grammar: ACTION [DIRECTION] PREFIX.
+    if len(rest) == 2:
+        direction, prefix_text = rest
+    elif len(rest) == 1:
+        direction, prefix_text = "any", rest[0]
+    else:
+        raise ConfigError(f"unrecognized acl line: {stripped!r}")
+    acl.rules.append(AclRule(action=action, prefix=Prefix(prefix_text),
+                             direction=direction))

@@ -1,0 +1,96 @@
+"""Production-style configuration generator.
+
+The paper's devices are initially configured automatically by a generator
+similar to Robotron/Propane ([9, 28] in the paper); incidents mostly come
+from *ad-hoc changes* layered on top.  This module is that generator: given
+a :class:`~repro.topology.Topology`, it emits a complete, consistent
+:class:`~repro.config.model.DeviceConfig` per device — eBGP on every link,
+loopbacks and server subnets originated, optional per-role FIB capacities
+and policies.
+
+Tests and scenarios then mutate these configs (typos, ACL edits, aggregate
+statements) to reproduce the incident classes of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..net.ip import IPv4Address, Prefix
+from ..topology.graph import DeviceSpec, Topology
+from .model import (
+    BgpConfig,
+    BgpNeighborConfig,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+)
+
+__all__ = ["ConfigGenerator"]
+
+
+class ConfigGenerator:
+    """Generates per-device configs for a topology.
+
+    ``fib_capacity_by_role`` reproduces the hardware diversity that caused
+    the FIB-overflow incident (§2): e.g. older border hardware with small
+    tables.  ``None`` means unlimited.
+    """
+
+    def __init__(self, topology: Topology,
+                 fib_capacity_by_role: Optional[Dict[str, int]] = None):
+        self.topology = topology
+        self.fib_capacity_by_role = fib_capacity_by_role or {}
+
+    def generate_all(self) -> Dict[str, DeviceConfig]:
+        return {spec.name: self.generate(spec.name)
+                for spec in self.topology}
+
+    def generate(self, device_name: str) -> DeviceConfig:
+        spec = self.topology.device(device_name)
+        config = DeviceConfig(hostname=spec.name, vendor=spec.vendor)
+
+        if spec.loopback is not None:
+            config.interfaces.append(InterfaceConfig(
+                name="lo0", address=spec.loopback, prefix_length=32,
+                description="loopback",
+            ))
+
+        networks = list(spec.originated)
+        if spec.loopback is not None:
+            networks.append(Prefix(spec.loopback.value, 32))
+
+        router_id = spec.loopback or self._first_link_ip(spec)
+        if router_id is None:
+            raise ConfigError(f"{spec.name}: no address for router-id")
+        bgp = BgpConfig(asn=spec.asn, router_id=router_id, networks=networks)
+
+        for link in self.topology.links_of(spec.name):
+            peer_name, _peer_if = link.other_end(spec.name)
+            local_if = link.if_a if link.dev_a == spec.name else link.if_b
+            if link.subnet is None:
+                raise ConfigError(
+                    f"link {spec.name}<->{peer_name} has no subnet")
+            peer_spec = self.topology.device(peer_name)
+            config.interfaces.append(InterfaceConfig(
+                name=local_if,
+                address=link.address_of(spec.name),
+                prefix_length=link.subnet.length,
+                description=f"to {peer_name}",
+            ))
+            bgp.neighbors.append(BgpNeighborConfig(
+                peer_ip=link.address_of(peer_name),
+                remote_asn=peer_spec.asn,
+                description=peer_name,
+            ))
+
+        config.bgp = bgp
+        config.fib_capacity = self.fib_capacity_by_role.get(spec.role)
+        config.validate()
+        return config
+
+    def _first_link_ip(self, spec: DeviceSpec) -> Optional[IPv4Address]:
+        for link in self.topology.links_of(spec.name):
+            if link.subnet is not None:
+                return link.address_of(spec.name)
+        return None

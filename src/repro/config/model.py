@@ -1,0 +1,238 @@
+"""Vendor-neutral device configuration model.
+
+A :class:`DeviceConfig` is the in-memory form of one device's production
+configuration: interfaces, BGP process, policies, ACLs.  Vendor dialects
+(:mod:`repro.config.dialects`) render it to/parse it from vendor CLI text —
+that round trip is what operators actually edit, and where the paper's
+config-format incidents (ACL dialect changes, typos) live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..net.ip import IPv4Address, Prefix
+
+__all__ = [
+    "InterfaceConfig",
+    "BgpNeighborConfig",
+    "AggregateConfig",
+    "BgpConfig",
+    "AclRule",
+    "Acl",
+    "RouteMapClause",
+    "RouteMap",
+    "PrefixList",
+    "DeviceConfig",
+    "ConfigError",
+]
+
+
+class ConfigError(Exception):
+    """Malformed or inconsistent configuration."""
+
+
+@dataclass
+class InterfaceConfig:
+    """One L3 interface: name + /31 (or loopback /32) address."""
+
+    name: str
+    address: IPv4Address
+    prefix_length: int
+    description: str = ""
+    shutdown: bool = False
+
+    @property
+    def subnet(self) -> Prefix:
+        return Prefix(self.address.value, self.prefix_length)
+
+
+@dataclass
+class BgpNeighborConfig:
+    """One BGP peering."""
+
+    peer_ip: IPv4Address
+    remote_asn: int
+    description: str = ""
+    import_policy: Optional[str] = None   # route-map name
+    export_policy: Optional[str] = None
+    shutdown: bool = False
+
+
+@dataclass
+class AggregateConfig:
+    """An ``aggregate-address`` statement.
+
+    ``summary_only`` suppresses the more-specific contributors — the setting
+    involved in the Figure 1 incident.
+    """
+
+    prefix: Prefix
+    summary_only: bool = True
+
+
+@dataclass
+class BgpConfig:
+    asn: int
+    router_id: IPv4Address
+    neighbors: List[BgpNeighborConfig] = field(default_factory=list)
+    networks: List[Prefix] = field(default_factory=list)
+    aggregates: List[AggregateConfig] = field(default_factory=list)
+    multipath: bool = True
+    max_paths: int = 64
+
+    def neighbor(self, peer_ip: IPv4Address) -> BgpNeighborConfig:
+        for n in self.neighbors:
+            if n.peer_ip == peer_ip:
+                return n
+        raise ConfigError(f"no neighbor {peer_ip}")
+
+
+@dataclass
+class AclRule:
+    """One access-list rule, evaluated in order."""
+
+    action: str            # permit | deny
+    prefix: Prefix
+    direction: str = "any"  # src | dst | any
+
+    def __post_init__(self):
+        if self.action not in ("permit", "deny"):
+            raise ConfigError(f"bad ACL action {self.action!r}")
+        if self.direction not in ("src", "dst", "any"):
+            raise ConfigError(f"bad ACL direction {self.direction!r}")
+
+    def matches(self, src: IPv4Address, dst: IPv4Address) -> bool:
+        if self.direction == "src":
+            return src in self.prefix
+        if self.direction == "dst":
+            return dst in self.prefix
+        return src in self.prefix or dst in self.prefix
+
+
+@dataclass
+class Acl:
+    """An ordered packet filter; default-deny when any rule exists is NOT
+    assumed — an explicit trailing rule decides, like production ACLs."""
+
+    name: str
+    rules: List[AclRule] = field(default_factory=list)
+
+    def evaluate(self, src: IPv4Address, dst: IPv4Address) -> str:
+        for rule in self.rules:
+            if rule.matches(src, dst):
+                return rule.action
+        return "permit"
+
+
+@dataclass
+class RouteMapClause:
+    """One route-map clause: match conditions + set/permit actions."""
+
+    action: str = "permit"                     # permit | deny
+    match_prefix_list: Optional[str] = None
+    match_community: Optional[str] = None
+    set_local_pref: Optional[int] = None
+    set_med: Optional[int] = None
+    set_community: Optional[str] = None
+    prepend_asn: int = 0                        # prepend own ASN N extra times
+
+
+@dataclass
+class RouteMap:
+    name: str
+    clauses: List[RouteMapClause] = field(default_factory=list)
+
+
+@dataclass
+class PrefixList:
+    """Named list of (prefix, le) matchers used by route-maps."""
+
+    name: str
+    entries: List[Prefix] = field(default_factory=list)
+    # match any prefix equal to or more specific than an entry
+    allow_more_specific: bool = True
+
+    def matches(self, pfx: Prefix) -> bool:
+        for entry in self.entries:
+            if pfx == entry:
+                return True
+            if self.allow_more_specific and entry.contains(pfx):
+                return True
+        return False
+
+
+@dataclass
+class DeviceConfig:
+    """Everything one device needs to boot into production behaviour."""
+
+    hostname: str
+    vendor: str
+    interfaces: List[InterfaceConfig] = field(default_factory=list)
+    bgp: Optional[BgpConfig] = None
+    acls: Dict[str, Acl] = field(default_factory=dict)
+    route_maps: Dict[str, RouteMap] = field(default_factory=dict)
+    prefix_lists: Dict[str, PrefixList] = field(default_factory=dict)
+    fib_capacity: Optional[int] = None
+    ssh_credential: str = "crystalnet"
+
+    def interface(self, name: str) -> InterfaceConfig:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        raise ConfigError(f"{self.hostname}: no interface {name}")
+
+    def loopback(self) -> Optional[InterfaceConfig]:
+        for iface in self.interfaces:
+            if iface.name.startswith("lo"):
+                return iface
+        return None
+
+    def clone(self) -> "DeviceConfig":
+        """Deep-enough copy for staged what-if edits (Reload workflows)."""
+        return DeviceConfig(
+            hostname=self.hostname,
+            vendor=self.vendor,
+            interfaces=[replace(i) for i in self.interfaces],
+            bgp=None if self.bgp is None else BgpConfig(
+                asn=self.bgp.asn,
+                router_id=self.bgp.router_id,
+                neighbors=[replace(n) for n in self.bgp.neighbors],
+                networks=list(self.bgp.networks),
+                aggregates=[replace(a) for a in self.bgp.aggregates],
+                multipath=self.bgp.multipath,
+                max_paths=self.bgp.max_paths,
+            ),
+            acls={k: Acl(v.name, [replace(r) for r in v.rules])
+                  for k, v in self.acls.items()},
+            route_maps={k: RouteMap(v.name, [replace(c) for c in v.clauses])
+                        for k, v in self.route_maps.items()},
+            prefix_lists={k: PrefixList(v.name, list(v.entries),
+                                        v.allow_more_specific)
+                          for k, v in self.prefix_lists.items()},
+            fib_capacity=self.fib_capacity,
+            ssh_credential=self.ssh_credential,
+        )
+
+    def validate(self) -> None:
+        names = [i.name for i in self.interfaces]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"{self.hostname}: duplicate interface names")
+        if self.bgp is not None:
+            peers = [n.peer_ip.value for n in self.bgp.neighbors]
+            if len(peers) != len(set(peers)):
+                raise ConfigError(f"{self.hostname}: duplicate BGP neighbors")
+            for neighbor in self.bgp.neighbors:
+                for policy in (neighbor.import_policy, neighbor.export_policy):
+                    if policy is not None and policy not in self.route_maps:
+                        raise ConfigError(
+                            f"{self.hostname}: neighbor {neighbor.peer_ip} "
+                            f"references unknown route-map {policy!r}")
+        for rm in self.route_maps.values():
+            for clause in rm.clauses:
+                if (clause.match_prefix_list is not None
+                        and clause.match_prefix_list not in self.prefix_lists):
+                    raise ConfigError(
+                        f"{self.hostname}: route-map {rm.name} references "
+                        f"unknown prefix-list {clause.match_prefix_list!r}")

@@ -1,0 +1,31 @@
+"""CrystalNet core: the orchestrator (Table 2 API) and support services."""
+
+from .health import HealthAlert, HealthMonitor
+from .orchestrator import (
+    CrystalNet,
+    EmulatedDevice,
+    EmulationMetrics,
+    OrchestratorError,
+)
+from .planner import PlacementPlan, VmPlan, plan_vms
+from .snapshot import capture, load, restore, save
+from .workflow import StepResult, ValidationStep, ValidationWorkflow
+
+__all__ = [
+    "CrystalNet",
+    "EmulatedDevice",
+    "EmulationMetrics",
+    "HealthAlert",
+    "HealthMonitor",
+    "OrchestratorError",
+    "PlacementPlan",
+    "StepResult",
+    "ValidationStep",
+    "ValidationWorkflow",
+    "VmPlan",
+    "capture",
+    "load",
+    "plan_vms",
+    "restore",
+    "save",
+]

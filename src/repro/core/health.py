@@ -1,0 +1,235 @@
+"""Health monitoring and auto-recovery (§6.2, §8.3).
+
+VMs fail without warning in any large cloud deployment.  The health daemon
+periodically checks device uptime and link status (by injecting and
+capturing probe frames at both ends); on failure it alerts and repairs:
+reboot the VM, re-create its bridges/links, restart its PhyNet and device
+containers.  VMs are independent, so recovery never touches healthy VMs —
+the property that makes recovery take seconds, not a re-Mockup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..sim import Environment, Interrupt
+from ..virt.links import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .orchestrator import CrystalNet
+
+__all__ = ["HealthMonitor", "HealthAlert"]
+
+
+@dataclass
+class HealthAlert:
+    time: float
+    kind: str          # vm-failed | link-dead | device-crashed | recovered
+    subject: str
+    detail: str = ""
+
+
+class HealthMonitor:
+    """Periodic health checker + repair daemon for one emulation."""
+
+    def __init__(self, net: "CrystalNet", check_interval: float = 10.0,
+                 auto_recover: bool = True, spares: int = 0):
+        """``spares``: pre-spawned standby VMs per SKU in use (§8.3's
+        "keep a small number of spare VMs in reserve to quickly swap out
+        failed VMs instead of waiting for failed VMs to reboot")."""
+        self.net = net
+        self.env: Environment = net.env
+        self.check_interval = check_interval
+        self.auto_recover = auto_recover
+        self.spares = spares
+        self._spare_pool: Dict[str, List] = {}   # sku name -> [VMs]
+        self._spare_seq = 0
+        self.alerts: List[HealthAlert] = []
+        self.recoveries = 0
+        self._recovering: set = set()
+        self._process = None
+
+    # -- daemon lifecycle -------------------------------------------------
+
+    def start(self) -> None:
+        if self._process is None or not self._process.is_alive:
+            self._process = self.env.process(self._run(), name="health")
+        if self.spares:
+            self.env.process(self._fill_spare_pool(), name="spares")
+
+    def _skus_in_use(self) -> Dict[str, object]:
+        return {vm.sku.name: vm.sku for vm in self.net.vms.values()}
+
+    def _fill_spare_pool(self):
+        """Keep ``spares`` standby VMs warm per SKU in use."""
+        spawns = []
+        for sku_name, sku in self._skus_in_use().items():
+            pool = self._spare_pool.setdefault(sku_name, [])
+            while len(pool) < self.spares:
+                self._spare_seq += 1
+                name = f"{self.net.emulation_id}-spare{self._spare_seq}"
+                event = self.net.cloud.spawn_vm(name, sku)
+                spawns.append((sku_name, event))
+                pool.append(None)  # reserve the slot
+        for sku_name, event in spawns:
+            vm = yield event
+            pool = self._spare_pool[sku_name]
+            pool[pool.index(None)] = vm
+
+    def _take_spare(self, sku_name: str):
+        pool = self._spare_pool.get(sku_name, [])
+        for i, vm in enumerate(pool):
+            if vm is not None:
+                return pool.pop(i)
+        return None
+
+    def stop(self) -> None:
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+
+    def _run(self):
+        try:
+            while True:
+                yield self.env.timeout(self.check_interval)
+                self.check_once()
+        except Interrupt:
+            return
+
+    # -- checking -----------------------------------------------------------
+
+    def check_once(self) -> List[HealthAlert]:
+        """One sweep: VM liveness, device uptime, link status."""
+        found: List[HealthAlert] = []
+        for name, vm in self.net.vms.items():
+            if vm.state == "failed" and name not in self._recovering:
+                alert = self._alert("vm-failed", name,
+                                    f"VM {name} is down")
+                found.append(alert)
+                if self.auto_recover:
+                    self._recovering.add(name)
+                    self.env.process(self._recover_vm(name),
+                                     name=f"recover:{name}")
+        for record in self.net.devices.values():
+            if record.status == "crashed":
+                found.append(self._alert(
+                    "device-crashed", record.name,
+                    f"device {record.name} firmware crashed"))
+        for pair, link in self.net.links.items():
+            if not link.up:
+                continue
+            if (link.a.vm.state != "running" or link.b.vm.state != "running"
+                    or link.a.vm.name in self._recovering
+                    or link.b.vm.name in self._recovering):
+                continue  # already alerted at VM granularity
+            for veth in link.veths:
+                if not veth.a.up or not veth.b.up:
+                    found.append(self._alert(
+                        "link-dead", "-".join(sorted(pair)),
+                        "link endpoint down while link is nominally up"))
+                    break
+        return found
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover_vm(self, vm_name: str):
+        """Re-provision everything a failed VM hosted.
+
+        With a warm spare available, the devices move onto the spare
+        immediately and the failed VM reboots into the pool in the
+        background; otherwise we wait out the reboot (§8.3).
+        """
+        net = self.net
+        failed = net.vms[vm_name]
+        spare = self._take_spare(failed.sku.name) if self.spares else None
+        if spare is not None:
+            replacement = spare
+            net.vms[vm_name] = replacement
+            self._alert("spare-swap", vm_name,
+                        f"devices moving to warm spare {replacement.name}")
+            # Reboot the dead machine into the pool, off the critical path.
+            self.env.process(self._reboot_into_pool(failed),
+                             name=f"pool:{failed.name}")
+        else:
+            yield failed.reboot()
+            replacement = failed
+        vm = replacement
+        start = self.env.now
+
+        from ..virt.container import DockerEngine, PHYNET_IMAGE
+        engine = DockerEngine(self.env, vm)
+        engine.pull_image(PHYNET_IMAGE)
+        for plan in net.placement.vms:
+            if plan.name == vm_name and plan.vendor_group != "speakers":
+                from ..firmware.vendors.profiles import get_vendor
+                engine.pull_image(get_vendor(plan.vendor_group).image)
+
+        # Recreate namespaces + PhyNet containers for hosted devices.
+        affected = [r for r in net.devices.values()
+                    if r.vm is failed or r.vm is vm]
+        for record in affected:
+            record.vm = vm
+        starts = []
+        for record in affected:
+            from ..virt.netns import NetworkNamespace
+            record.netns = NetworkNamespace(record.name)
+            record.phynet = engine.create(f"phynet-{record.name}",
+                                          PHYNET_IMAGE, netns=record.netns)
+            starts.append(record.phynet.start())
+        if starts:
+            yield self.env.all_of(starts)
+
+        # Recreate the VM's links (both local and cross-VM).
+        dead_links = [pair for pair, link in net.links.items()
+                      if link.a.vm is failed or link.b.vm is failed
+                      or link.a.vm is vm or link.b.vm is vm]
+        for pair in dead_links:
+            old = net.links.pop(pair)
+            net.fabric.destroy(old)
+            dev_a, dev_b = sorted(pair)
+            rec_a, rec_b = net.devices[dev_a], net.devices[dev_b]
+            spec_link = net.topology.link_between(dev_a, dev_b)
+            if_a = spec_link.if_a if spec_link.dev_a == dev_a else spec_link.if_b
+            if_b = spec_link.if_b if spec_link.dev_b == dev_b else spec_link.if_a
+            net.links[pair] = net.fabric.connect(
+                Endpoint(rec_a.vm, rec_a.netns, if_a),
+                Endpoint(rec_b.vm, rec_b.netns, if_b))
+
+        # Restart the device sandboxes.
+        boot_events = []
+        for record in affected:
+            net.mgmt.unregister_device(record.name)
+            boot_events.append(net._boot_guest(record))
+        if boot_events:
+            yield self.env.all_of(boot_events)
+        # Remote ends of recreated cross-VM links saw an interface flap;
+        # their BGP FSMs re-establish on their own retry timers.
+        self.recoveries += 1
+        self._recovering.discard(vm_name)
+        self._alert("recovered", vm_name,
+                    f"VM {vm_name} restored in {self.env.now - start:.1f}s "
+                    f"({len(affected)} devices, {len(dead_links)} links)")
+
+    def _reboot_into_pool(self, failed_vm):
+        yield failed_vm.reboot()
+        self._spare_pool.setdefault(failed_vm.sku.name, []).append(failed_vm)
+        self._alert("spare-ready", failed_vm.name,
+                    "rebooted machine joined the spare pool")
+
+    def spare_count(self) -> int:
+        return sum(1 for pool in self._spare_pool.values()
+                   for vm in pool if vm is not None)
+
+    def _alert(self, kind: str, subject: str, detail: str) -> HealthAlert:
+        alert = HealthAlert(time=self.env.now, kind=kind, subject=subject,
+                            detail=detail)
+        self.alerts.append(alert)
+        return alert
+
+    def recovery_time(self, vm_name: str) -> Optional[float]:
+        """Seconds the last recovery of ``vm_name`` took (from reboot-done
+        to devices restarted), per the §8.3 metric."""
+        for alert in reversed(self.alerts):
+            if alert.kind == "recovered" and alert.subject == vm_name:
+                return float(alert.detail.split("restored in ")[1].split("s")[0])
+        return None

@@ -1,0 +1,716 @@
+"""The CrystalNet orchestrator — "the brain" (§3.2).
+
+Implements the Table 2 API over the simulated cloud substrate:
+
+* **Provision** — Prepare (boundary computation, config generation, speaker
+  route snapshots, VM planning + spawning), Mockup (PhyNet layer, virtual
+  links, device/speaker boot, management plane), Clear, Destroy.
+* **Control** — Reload, Connect, Disconnect, InjectPackets.
+* **Monitor** — PullStates, PullConfig, PullPackets, List, Login.
+
+All heavy operations are aggressively batched and parallelized: VM spawns
+run concurrently, PhyNet containers start in one wave, links are wired in
+batches, device sandboxes boot in a second wave.  Latency metrics
+(network-ready / route-ready / mockup / clear, §8.1) are recorded on the
+emulation object so the Figure 8/9 benchmarks can read them off directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..boundary.safety import BoundaryVerdict, classify_boundary
+from ..boundary.search import find_safe_dc_boundary
+from ..boundary.speaker import SpeakerOS, SpeakerRoute
+from ..config.dialects import render_config
+from ..config.generator import ConfigGenerator
+from ..config.model import DeviceConfig
+from ..firmware.device import DeviceOS, PacketRecord
+from ..firmware.vendors.profiles import VendorProfile, get_vendor
+from ..net.ip import IPv4Address
+from ..sim import Environment, Event
+from ..topology.graph import Topology
+from ..verify.batfish import ControlPlaneSimulator
+from ..virt.cloud import Cloud, VirtualMachine, VmSku
+from ..virt.container import Container, DockerEngine, PHYNET_IMAGE
+from ..virt.fanout import FanoutSwitch, HardwareDevice
+from ..virt.links import DataLink, Endpoint, LinkFabric
+from ..virt.mgmt import LoginSession, ManagementPlane
+from ..virt.netns import NetworkNamespace
+from .planner import PlacementPlan, plan_vms
+
+__all__ = ["CrystalNet", "EmulatedDevice", "EmulationMetrics",
+           "OrchestratorError"]
+
+# Orchestrator-side wall-clock cost of issuing one batch of link-creation
+# RPCs (the aggressive batching of §6.2).
+LINK_BATCH_SIZE = 100
+LINK_BATCH_LATENCY = 2.0
+# One-time per-VM overlay setup (kernel modules, docker networks), cpu-s.
+VM_OVERLAY_INIT_COST = 25.0
+# Per-VM fixed cleanup plus per-container teardown cost for Clear, cpu-s.
+VM_CLEAR_BASE_COST = 20.0
+CONTAINER_TEARDOWN_COST = 0.3
+# Route-ready detection: control plane must be stable this long (§8.1).
+ROUTE_READY_SETTLE = 10.0
+ROUTE_READY_POLL = 5.0
+# The on-premise lab server hosting fanout-attached hardware (§4.1).  It is
+# owned outright, so it bills nothing per hour.
+LAB_SERVER_SKU = VmSku("OnPrem_Lab", cores=16, memory_gb=64,
+                       price_per_hour=0.0)
+
+
+class OrchestratorError(Exception):
+    """Invalid orchestrator operation."""
+
+
+def _neighbor_shutdown(guest, peer_ip: IPv4Address) -> bool:
+    """True if ``guest``'s BGP config shuts down (or lacks) this peering."""
+    config = getattr(guest, "config", None)
+    if config is None or config.bgp is None:
+        return False
+    for neighbor in config.bgp.neighbors:
+        if neighbor.peer_ip == peer_ip:
+            return neighbor.shutdown
+    return True  # not configured: the session can never establish
+
+
+@dataclass
+class EmulationMetrics:
+    """The §8 performance metrics for one emulation run."""
+
+    prepare_latency: float = 0.0
+    network_ready_latency: float = 0.0
+    route_ready_latency: float = 0.0
+    clear_latency: float = 0.0
+    vm_count: int = 0
+    device_count: int = 0
+    speaker_count: int = 0
+    link_count: int = 0
+    hourly_cost_usd: float = 0.0
+
+    @property
+    def mockup_latency(self) -> float:
+        return self.network_ready_latency + self.route_ready_latency
+
+
+@dataclass
+class EmulatedDevice:
+    """Runtime record of one emulated device (or speaker)."""
+
+    name: str
+    kind: str                      # device | speaker
+    vendor: Optional[VendorProfile]
+    vm: VirtualMachine
+    netns: NetworkNamespace
+    phynet: Container
+    sandbox: Optional[Container] = None
+    guest: object = None           # DeviceOS | SpeakerOS
+
+    @property
+    def status(self) -> str:
+        if self.guest is None:
+            return "not-started"
+        return self.guest.status
+
+
+class CrystalNet:
+    """One emulation instance (create one per emulated network)."""
+
+    def __init__(self, env: Optional[Environment] = None,
+                 cloud: Optional[Cloud] = None, seed: int = 17,
+                 emulation_id: str = "emu", use_ovs: bool = False,
+                 clouds: Optional[List[Cloud]] = None):
+        """``clouds``: run the emulation across several (federated) clouds
+        (§3.1); VMs are spread round-robin and cross-cloud links punch the
+        NATs automatically.  Defaults to a single cloud."""
+        self.env = env or Environment()
+        if clouds:
+            from ..virt.federation import CloudFederation
+            federation = CloudFederation(self.env)
+            for member in clouds:
+                federation.join(member)
+            self.clouds = list(clouds)
+            self.cloud = clouds[0]
+        else:
+            self.cloud = cloud or Cloud(self.env, seed=seed)
+            self.clouds = [self.cloud]
+        self.rng = random.Random(seed)
+        self.emulation_id = emulation_id
+        self.fabric = LinkFabric(self.env, self.cloud, use_ovs=use_ovs,
+                                 name=emulation_id)
+        self.mgmt = ManagementPlane(self.env)
+        self.metrics = EmulationMetrics()
+
+        self.topology: Optional[Topology] = None
+        self.emulated: List[str] = []
+        self.speakers: List[str] = []
+        self.verdict: Optional[BoundaryVerdict] = None
+        self.configs: Dict[str, DeviceConfig] = {}
+        self.config_texts: Dict[str, str] = {}
+        self.speaker_routes: Dict[str, Dict[int, List[SpeakerRoute]]] = {}
+        self.placement: Optional[PlacementPlan] = None
+        self.vms: Dict[str, VirtualMachine] = {}
+        self.devices: Dict[str, EmulatedDevice] = {}
+        self.links: Dict[frozenset, DataLink] = {}
+        self.vendor_overrides: Dict[str, VendorProfile] = {}
+        # Real-hardware integration (§4.1): device name -> HardwareDevice.
+        self.hardware: Dict[str, HardwareDevice] = {}
+        self.fanout: Optional[FanoutSwitch] = None
+        self.lab_server: Optional[VirtualMachine] = None
+        self.prepared = False
+        self.mocked_up = False
+        self.events: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Prepare
+    # ------------------------------------------------------------------
+
+    def prepare(self, topology: Topology,
+                must_have: Optional[Iterable[str]] = None,
+                num_vms: Optional[int] = None,
+                fib_capacity_by_role: Optional[Dict[str, int]] = None,
+                vendor_overrides: Optional[Dict[str, VendorProfile]] = None,
+                emulated_override: Optional[Iterable[str]] = None,
+                group_by_vendor: bool = True,
+                hardware: Optional[Iterable[str]] = None,
+                ) -> "CrystalNet":
+        """Blocking Prepare: runs the simulation until VMs are up."""
+        done = self.env.process(self.prepare_async(
+            topology, must_have=must_have, num_vms=num_vms,
+            fib_capacity_by_role=fib_capacity_by_role,
+            vendor_overrides=vendor_overrides,
+            emulated_override=emulated_override,
+            group_by_vendor=group_by_vendor,
+            hardware=hardware), name="prepare")
+        self.env.run(until=done)
+        return self
+
+    def prepare_async(self, topology: Topology,
+                      must_have: Optional[Iterable[str]] = None,
+                      num_vms: Optional[int] = None,
+                      fib_capacity_by_role: Optional[Dict[str, int]] = None,
+                      vendor_overrides: Optional[Dict[str, VendorProfile]] = None,
+                      emulated_override: Optional[Iterable[str]] = None,
+                      group_by_vendor: bool = True,
+                      hardware: Optional[Iterable[str]] = None):
+        """Gather info and spawn VMs (a simulation process).
+
+        The emulated set is, in order of precedence: ``emulated_override``
+        verbatim (researchers may deliberately pick an *unsafe* boundary —
+        the verdict still reports it), else Algorithm 1 grown from
+        ``must_have``, else every administered device (role != "wan").
+        """
+        start = self.env.now
+        self.topology = topology
+        self.vendor_overrides = dict(vendor_overrides or {})
+
+        # 1. Boundary: a safe superset of the must-have devices.
+        if emulated_override is not None:
+            self.emulated = sorted(emulated_override)
+        elif must_have is None:
+            self.emulated = sorted(d.name for d in topology
+                                   if d.role != "wan")
+        else:
+            self.emulated = find_safe_dc_boundary(topology, must_have)
+        self.verdict = classify_boundary(topology, self.emulated)
+        self.speakers = self.verdict.speaker_devices
+        self._log(f"boundary: {len(self.emulated)} emulated, "
+                  f"{len(self.speakers)} speakers, safe={self.verdict.safe} "
+                  f"({self.verdict.rule})")
+
+        # 2. Configurations (production generator) for the full topology.
+        generator = ConfigGenerator(topology,
+                                    fib_capacity_by_role=fib_capacity_by_role)
+        self.configs = generator.generate_all()
+        for name in self.emulated:
+            self.config_texts[name] = render_config(self.configs[name])
+
+        # 3. Speaker route snapshots from the idealized full-network
+        #    simulation (Prepare pulls "routing states snapshots", §6.1).
+        simulator = ControlPlaneSimulator(topology, self.configs)
+        emulated_set = set(self.emulated)
+        for speaker in self.speakers:
+            per_peer: Dict[int, List[SpeakerRoute]] = {}
+            for link in topology.links_of(speaker):
+                neighbor, _if = link.other_end(speaker)
+                if neighbor not in emulated_set:
+                    continue
+                peer_ip = link.address_of(speaker)
+                announcements = [
+                    SpeakerRoute(prefix=pfx, as_path=path)
+                    for pfx, path in simulator.announcements_to(speaker,
+                                                                neighbor)]
+                # Key by the *speaker-side* address: that is the local IP the
+                # speaker's session uses... sessions are keyed by the peer
+                # (boundary device) address.
+                boundary_ip = link.address_of(neighbor)
+                per_peer[boundary_ip.value] = announcements
+            self.speaker_routes[speaker] = per_peer
+
+        # 4. VM planning.
+        hardware_set = set(hardware or ())
+        unknown_hw = hardware_set - set(self.emulated)
+        if unknown_hw:
+            raise OrchestratorError(
+                f"hardware devices {sorted(unknown_hw)} are not in the "
+                f"emulated set")
+        for name in sorted(hardware_set):
+            self.hardware[name] = HardwareDevice(
+                name=name, ports=sorted(topology.interfaces_of(name)))
+        vendors = {name: self._vendor_of(name).name for name in self.emulated
+                   if name not in hardware_set}
+        self.placement = plan_vms(vendors, self.speakers,
+                                  emulation_id=self.emulation_id,
+                                  num_vms=num_vms,
+                                  group_by_vendor=group_by_vendor)
+
+        # 5. Spawn VMs on-demand, in parallel (round-robin over clouds).
+        homes = {plan.name: self.clouds[i % len(self.clouds)]
+                 for i, plan in enumerate(self.placement.vms)}
+        spawn_events = [homes[plan.name].spawn_vm(plan.name, plan.sku)
+                        for plan in self.placement.vms]
+        if self.hardware:
+            # The fanout switch tunnels each hardware port to a virtual
+            # interface on an on-premise server we bridge into the overlay.
+            self.fanout = FanoutSwitch(self.env)
+            spawn_events.append(self.cloud.spawn_vm(
+                f"{self.emulation_id}-lab0", LAB_SERVER_SKU))
+        yield self.env.all_of(spawn_events)
+        for plan in self.placement.vms:
+            vm = homes[plan.name].vm(plan.name)
+            self.vms[plan.name] = vm
+            engine = DockerEngine(self.env, vm)
+            engine.pull_image(PHYNET_IMAGE)
+            if plan.vendor_group == "mixed":
+                for device in plan.devices:
+                    engine.pull_image(self._vendor_of(device).image)
+            elif plan.vendor_group != "speakers":
+                engine.pull_image(get_vendor(plan.vendor_group).image)
+        if self.hardware:
+            lab_name = f"{self.emulation_id}-lab0"
+            self.lab_server = self.cloud.vm(lab_name)
+            self.vms[lab_name] = self.lab_server
+            engine = DockerEngine(self.env, self.lab_server)
+            engine.pull_image(PHYNET_IMAGE)
+            for name in self.hardware:
+                engine.pull_image(self._vendor_of(name).image)
+        self.metrics.prepare_latency = self.env.now - start
+        self.metrics.vm_count = len(self.vms)
+        self.metrics.hourly_cost_usd = self.placement.hourly_cost_usd()
+        self.metrics.device_count = len(self.emulated)
+        self.metrics.speaker_count = len(self.speakers)
+        self.prepared = True
+        self._log(f"prepare done: {len(self.vms)} VMs "
+                  f"(${self.metrics.hourly_cost_usd:.2f}/h)")
+        return self
+
+    # ------------------------------------------------------------------
+    # Mockup
+    # ------------------------------------------------------------------
+
+    def mockup(self, route_ready_timeout: float = 3600.0) -> "CrystalNet":
+        done = self.env.process(self.mockup_async(route_ready_timeout),
+                                name="mockup")
+        self.env.run(until=done)
+        return self
+
+    def mockup_async(self, route_ready_timeout: float = 3600.0):
+        """Create the emulation (a simulation process)."""
+        if not self.prepared:
+            raise OrchestratorError("call prepare() before mockup()")
+        if self.mocked_up:
+            raise OrchestratorError("already mocked up; Clear first")
+        start = self.env.now
+
+        # Per-VM overlay initialization (kernel modules, docker networking).
+        yield self.env.all_of([vm.cpu.execute(VM_OVERLAY_INIT_COST)
+                               for vm in self.vms.values()])
+
+        # Phase 1a: PhyNet containers (hold namespaces + tooling, §4.1).
+        phynet_events: List[Event] = []
+        speaker_set = set(self.speakers)
+        for name in self.emulated + self.speakers:
+            if name in self.hardware:
+                vm = self.lab_server
+                netns = self.fanout.attach(self.hardware[name])
+                kind = "hardware"
+            else:
+                vm = self.vms[self.placement.vm_of(name)]
+                netns = NetworkNamespace(name)
+                kind = "speaker" if name in speaker_set else "device"
+            phynet = vm.docker.create(f"phynet-{name}", PHYNET_IMAGE,
+                                      netns=netns)
+            self.devices[name] = EmulatedDevice(
+                name=name,
+                kind=kind,
+                vendor=(None if kind == "speaker" else self._vendor_of(name)),
+                vm=vm, netns=netns, phynet=phynet)
+            phynet_events.append(phynet.start())
+        yield self.env.all_of(phynet_events)
+
+        # Phase 1b: virtual links (batched).
+        participants = set(self.emulated) | set(self.speakers)
+        batch = 0
+        for link in self.topology.links:
+            if link.dev_a not in participants or link.dev_b not in participants:
+                continue
+            rec_a, rec_b = self.devices[link.dev_a], self.devices[link.dev_b]
+            data_link = self.fabric.connect(
+                Endpoint(rec_a.vm, rec_a.netns, link.if_a),
+                Endpoint(rec_b.vm, rec_b.netns, link.if_b))
+            self.links[frozenset((link.dev_a, link.dev_b))] = data_link
+            batch += 1
+            if batch % LINK_BATCH_SIZE == 0:
+                yield self.env.timeout(LINK_BATCH_LATENCY)
+        # Links are up once every VM has drained its setup work: a zero-cost
+        # task on a FCFS CPU completes after everything queued before it.
+        yield self.env.all_of([vm.cpu.execute(0.0)
+                               for vm in self.vms.values()])
+        self.metrics.link_count = len(self.links)
+        self.metrics.network_ready_latency = self.env.now - start
+        self._log(f"network-ready in {self.metrics.network_ready_latency:.1f}s "
+                  f"({len(self.links)} links)")
+
+        # Phase 2: boot device software + speakers, wire management plane.
+        boot_events: List[Event] = []
+        for name, record in self.devices.items():
+            boot_events.append(self._boot_guest(record))
+        yield self.env.all_of(boot_events)
+
+        # Route-ready: wait for control-plane quiescence (§8.1).
+        yield from self._wait_route_ready(start, route_ready_timeout)
+        self.mocked_up = True
+        return self
+
+    def _boot_guest(self, record: EmulatedDevice) -> Event:
+        name = record.name
+        if record.kind == "speaker":
+            guest = SpeakerOS(self.env, name,
+                              self._speaker_config(name),
+                              self.speaker_routes.get(name, {}),
+                              seed=self.rng.getrandbits(32))
+            image = PHYNET_IMAGE  # ExaBGP-style: negligible footprint
+            sandbox = record.vm.docker.create(f"speaker-{name}", image,
+                                              netns=record.netns, guest=guest)
+        else:
+            vendor = record.vendor
+            guest = DeviceOS(self.env, name, vendor,
+                             self.config_texts[name],
+                             seed=self.rng.getrandbits(32),
+                             on_crash=lambda reason, n=name:
+                                 self._log(f"{n} CRASHED: {reason}"))
+            sandbox = record.vm.docker.create(f"os-{name}", vendor.image,
+                                              netns=record.netns, guest=guest)
+        record.sandbox = sandbox
+        record.guest = guest
+        self.mgmt.register_device(name, record.vm, sandbox, guest.execute)
+        return sandbox.start()
+
+    def _wait_route_ready(self, mockup_start: float, timeout: float):
+        network_ready_at = mockup_start + self.metrics.network_ready_latency
+        deadline = self.env.now + timeout
+        quiet_since: Optional[float] = None
+        while self.env.now < deadline:
+            if self._control_plane_ready():
+                if quiet_since is None:
+                    quiet_since = self.env.now
+                elif self.env.now - quiet_since >= ROUTE_READY_SETTLE:
+                    self.metrics.route_ready_latency = (
+                        quiet_since - network_ready_at)
+                    self._log(f"route-ready in "
+                              f"{self.metrics.route_ready_latency:.1f}s")
+                    return
+            else:
+                quiet_since = None
+            yield self.env.timeout(ROUTE_READY_POLL)
+        raise OrchestratorError(
+            f"routes did not stabilize within {timeout}s; "
+            f"statuses={ {n: r.status for n, r in self.devices.items()} }")
+
+    def _control_plane_ready(self) -> bool:
+        alive: Set[str] = set()
+        for name, record in self.devices.items():
+            if record.status in ("running",):
+                alive.add(name)
+            elif record.status == "crashed":
+                continue
+            elif record.kind == "speaker" and record.status == "running":
+                alive.add(name)
+        for name, record in self.devices.items():
+            guest = record.guest
+            if guest is None:
+                return False
+            if record.status == "booting":
+                return False
+            if record.status == "crashed":
+                continue
+            if not guest.is_quiescent:
+                return False
+            # Every session toward a live neighbor must be established.
+            if record.kind in ("device", "hardware") and guest.bgp is not None:
+                expected = self._expected_peers(name, alive)
+                established = {
+                    IPv4Address(peer_value).value
+                    for peer_value, session in guest.bgp.sessions.items()
+                    if session.state == "established"}
+                if not expected <= established:
+                    return False
+        return True
+
+    def _expected_peers(self, name: str, alive: Set[str]) -> Set[int]:
+        expected: Set[int] = set()
+        my_guest = self.devices[name].guest
+        for link in self.topology.links_of(name):
+            neighbor, _ = link.other_end(name)
+            if neighbor not in alive or neighbor == name:
+                continue
+            pair = frozenset((name, neighbor))
+            data_link = self.links.get(pair)
+            if data_link is None or not data_link.up:
+                continue
+            local_ip = link.address_of(name)
+            peer_ip = link.address_of(neighbor)
+            if peer_ip is None or local_ip is None:
+                continue
+            # Administratively-shut-down peerings (on either side) are not
+            # expected to establish.
+            peer_guest = self.devices[neighbor].guest
+            if (_neighbor_shutdown(my_guest, peer_ip)
+                    or _neighbor_shutdown(peer_guest, local_ip)):
+                continue
+            expected.add(peer_ip.value)
+        return expected
+
+    def _speaker_config(self, name: str) -> DeviceConfig:
+        """A speaker's minimal config: boundary-facing interfaces + peers."""
+        full = self.configs[name]
+        emulated_set = set(self.emulated)
+        config = DeviceConfig(hostname=name, vendor="ctnr-b")
+        keep_ifaces = {"lo0"}
+        keep_peers = set()
+        for link in self.topology.links_of(name):
+            neighbor, _ = link.other_end(name)
+            if neighbor in emulated_set:
+                local_if = (link.if_a if link.dev_a == name else link.if_b)
+                keep_ifaces.add(local_if)
+                keep_peers.add(link.address_of(neighbor).value)
+        config.interfaces = [i for i in full.interfaces
+                             if i.name in keep_ifaces]
+        if full.bgp is not None:
+            from ..config.model import BgpConfig
+            config.bgp = BgpConfig(
+                asn=full.bgp.asn, router_id=full.bgp.router_id,
+                neighbors=[n for n in full.bgp.neighbors
+                           if n.peer_ip.value in keep_peers])
+        return config
+
+    # ------------------------------------------------------------------
+    # Clear / Destroy
+    # ------------------------------------------------------------------
+
+    def clear(self) -> "CrystalNet":
+        done = self.env.process(self.clear_async(), name="clear")
+        self.env.run(until=done)
+        return self
+
+    def clear_async(self):
+        """Reset VMs to a clean state; keep them for the next Mockup."""
+        start = self.env.now
+        containers_per_vm: Dict[str, int] = {}
+        for record in self.devices.values():
+            if record.sandbox is not None:
+                record.vm.docker.remove(record.sandbox.name)
+                containers_per_vm[record.vm.name] = (
+                    containers_per_vm.get(record.vm.name, 0) + 1)
+            record.vm.docker.remove(record.phynet.name)
+            containers_per_vm[record.vm.name] = (
+                containers_per_vm.get(record.vm.name, 0) + 1)
+            self.mgmt.unregister_device(record.name)
+        for data_link in list(self.links.values()):
+            self.fabric.destroy(data_link)
+        self.links.clear()
+        self.devices.clear()
+        # Cleanup cost: container teardown batched across VMs, in parallel.
+        teardown = [
+            vm.cpu.execute(VM_CLEAR_BASE_COST
+                           + CONTAINER_TEARDOWN_COST
+                           * containers_per_vm.get(vm.name, 0))
+            for vm in self.vms.values()]
+        if teardown:
+            yield self.env.all_of(teardown)
+        self.metrics.clear_latency = self.env.now - start
+        self.mocked_up = False
+        self._log(f"clear in {self.metrics.clear_latency:.1f}s")
+        return self
+
+    def destroy(self) -> None:
+        """Erase everything including the VMs."""
+        if self.mocked_up:
+            self.clear()
+        for name, vm in list(self.vms.items()):
+            vm.cloud.delete_vm(name)
+        self.vms.clear()
+        self.prepared = False
+        self._log("destroyed")
+
+    # ------------------------------------------------------------------
+    # Control functions
+    # ------------------------------------------------------------------
+
+    def reload(self, device: str, config_text: Optional[str] = None,
+               vendor: Optional[VendorProfile] = None) -> float:
+        """Reboot one device with new software/config (blocking).
+
+        Returns the reload latency.  Thanks to the two-layer design the
+        PhyNet namespace (interfaces, links) survives, so this is seconds,
+        not minutes (§8.3).
+        """
+        record = self._device_record(device)
+        if record.kind == "speaker":
+            raise OrchestratorError(f"{device} is a speaker; reconfigure "
+                                    f"the boundary instead")
+        start = self.env.now
+        guest: DeviceOS = record.guest
+        if config_text is not None:
+            self.config_texts[device] = config_text
+            guest.config_text = config_text
+        if vendor is not None:
+            # Firmware upgrade: swap the guest for one running the new image.
+            record.vm.docker.remove(record.sandbox.name)
+            new_guest = DeviceOS(self.env, device, vendor,
+                                 self.config_texts[device],
+                                 seed=self.rng.getrandbits(32))
+            sandbox = record.vm.docker.create(f"os-{device}", vendor.image,
+                                              netns=record.netns,
+                                              guest=new_guest)
+            record.sandbox = sandbox
+            record.guest = new_guest
+            record.vendor = vendor
+            self.mgmt.unregister_device(device)
+            self.mgmt.register_device(device, record.vm, sandbox,
+                                      new_guest.execute)
+            self.env.run(until=sandbox.start())
+        else:
+            self.env.run(until=record.sandbox.restart())
+        return self.env.now - start
+
+    def connect(self, dev_a: str, dev_b: str) -> None:
+        """(Re-)connect the topology link between two devices."""
+        link = self.links.get(frozenset((dev_a, dev_b)))
+        if link is None:
+            raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
+        self.fabric.reconnect(link)
+
+    def disconnect(self, dev_a: str, dev_b: str) -> None:
+        """Cut the link between two devices (fiber-cut injection)."""
+        link = self.links.get(frozenset((dev_a, dev_b)))
+        if link is None:
+            raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
+        self.fabric.disconnect(link)
+
+    def inject_packets(self, device: str, src: str | IPv4Address,
+                       dst: str | IPv4Address, signature: str,
+                       count: int = 1, interval: float = 0.1) -> None:
+        """Inject ``count`` signed probes at ``device`` (§3.3)."""
+        record = self._device_record(device)
+        if record.kind == "speaker":
+            raise OrchestratorError("packets are injected at emulated "
+                                    "devices, not speakers")
+        guest: DeviceOS = record.guest
+        src_ip = IPv4Address(src) if isinstance(src, str) else src
+        dst_ip = IPv4Address(dst) if isinstance(dst, str) else dst
+        for i in range(count):
+            self.env.call_later(
+                i * interval,
+                lambda: guest.inject_packet(src_ip, dst_ip, signature))
+
+    # ------------------------------------------------------------------
+    # Monitor functions
+    # ------------------------------------------------------------------
+
+    def list_devices(self) -> List[dict]:
+        return [{"name": r.name, "kind": r.kind,
+                 "vendor": r.vendor.name if r.vendor else "speaker",
+                 "vm": r.vm.name, "status": r.status}
+                for r in self.devices.values()]
+
+    def pull_states(self, device: Optional[str] = None) -> dict:
+        if device is not None:
+            return self._device_record(device).guest.pull_states()
+        return {name: record.guest.pull_states()
+                for name, record in self.devices.items()
+                if record.guest is not None}
+
+    def pull_config(self, device: str) -> str:
+        record = self._device_record(device)
+        if record.kind == "speaker":
+            raise OrchestratorError(f"{device} is a speaker")
+        return record.guest.config_text
+
+    def pull_packets(self, signature: Optional[str] = None,
+                     clean: bool = True) -> List[PacketRecord]:
+        records: List[PacketRecord] = []
+        for device in self.devices.values():
+            for container in (device.sandbox, device.phynet):
+                if container is None:
+                    continue
+                kept = []
+                for packet in container.captures:
+                    if signature is None or packet.signature == signature:
+                        records.append(packet)
+                    elif clean:
+                        kept.append(packet)
+                if clean:
+                    container.captures[:] = kept if signature else []
+        records.sort(key=lambda r: (r.signature, r.time))
+        return records
+
+    def login(self, device: str) -> LoginSession:
+        return self.mgmt.login(device)
+
+    def run(self, seconds: float) -> None:
+        """Advance the emulation clock (convenience wrapper)."""
+        self.env.run(until=self.env.now + seconds)
+
+    def converge(self, timeout: float = 1800.0,
+                 settle: float = ROUTE_READY_SETTLE) -> float:
+        """Run until the control plane stabilizes again (after a change)."""
+        start = self.env.now
+        deadline = start + timeout
+        quiet_since: Optional[float] = None
+        while self.env.now < deadline:
+            if self._all_quiescent():
+                if quiet_since is None:
+                    quiet_since = self.env.now
+                elif self.env.now - quiet_since >= settle:
+                    return quiet_since - start
+            else:
+                quiet_since = None
+            self.env.run(until=min(deadline, self.env.now + ROUTE_READY_POLL))
+        raise OrchestratorError(f"no convergence within {timeout}s")
+
+    def _all_quiescent(self) -> bool:
+        return all(r.guest is not None and r.status != "booting"
+                   and r.guest.is_quiescent
+                   for r in self.devices.values())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _vendor_of(self, name: str) -> VendorProfile:
+        if name in self.vendor_overrides:
+            return self.vendor_overrides[name]
+        return get_vendor(self.topology.device(name).vendor)
+
+    def _device_record(self, name: str) -> EmulatedDevice:
+        record = self.devices.get(name)
+        if record is None:
+            raise OrchestratorError(f"unknown device {name!r} (not emulated)")
+        return record
+
+    def _log(self, message: str) -> None:
+        self.events.append(f"[{self.env.now:10.1f}] {message}")

@@ -1,0 +1,161 @@
+"""VM planning: how many VMs, which SKUs, which devices on which VM.
+
+Encodes §6.1/§6.2's placement lessons:
+
+* Devices of different vendors never share a VM (one vendor's kernel
+  checksum tweak breaks co-located devices — reproduced as a placement
+  ablation).
+* VM-based vendor images need nested-virtualization SKUs and are memory
+  bound; container images are CPU bound; speakers are nearly free (a VM
+  holds 50+).
+* Neither too many tiny VMs (orchestrator burden, cost) nor too-large VMs
+  (kernel packet-forwarding degrades with too many virtual interfaces) —
+  the planner packs against per-kind density caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..firmware.vendors.profiles import VendorProfile, get_vendor
+from ..virt.cloud import STANDARD_D4, STANDARD_D4_NESTED, VmSku
+
+__all__ = ["PlacementPlan", "VmPlan", "plan_vms", "SPEAKERS_PER_VM"]
+
+# Density caps per 4-core VM (devices-per-VM).
+CONTAINER_OS_PER_VM = 12
+VM_OS_PER_VM = 3
+SPEAKERS_PER_VM = 50
+
+
+@dataclass
+class VmPlan:
+    """One VM to provision and what it will host."""
+
+    name: str
+    sku: VmSku
+    vendor_group: str                 # vendor name or "speakers"
+    devices: List[str] = field(default_factory=list)
+
+    @property
+    def device_count(self) -> int:
+        return len(self.devices)
+
+
+@dataclass
+class PlacementPlan:
+    """The complete placement: VMs plus a device -> VM index."""
+
+    vms: List[VmPlan]
+    assignment: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.assignment:
+            for vm in self.vms:
+                for device in vm.devices:
+                    self.assignment[device] = vm.name
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    def hourly_cost_usd(self) -> float:
+        return sum(vm.sku.price_per_hour for vm in self.vms)
+
+    def vm_of(self, device: str) -> str:
+        return self.assignment[device]
+
+
+def _density(vendor: VendorProfile) -> Tuple[int, VmSku]:
+    if vendor.image.kind == "vm-os":
+        return VM_OS_PER_VM, STANDARD_D4_NESTED
+    return CONTAINER_OS_PER_VM, STANDARD_D4
+
+
+def _group_density(group: str) -> Tuple[int, VmSku]:
+    if group == "mixed":
+        return CONTAINER_OS_PER_VM, STANDARD_D4
+    return _density(get_vendor(group))
+
+
+def plan_vms(devices: Dict[str, str], speakers: List[str],
+             emulation_id: str = "emu",
+             num_vms: Optional[int] = None,
+             group_by_vendor: bool = True) -> PlacementPlan:
+    """Compute the placement.
+
+    ``devices`` maps device name -> vendor name; ``speakers`` is the list
+    of speaker device names.  ``num_vms`` optionally forces the total VM
+    count for *emulated devices* (the Figure 8 experiments vary it); it is
+    distributed over vendor groups proportionally to their default VM
+    demand and never below one VM per vendor group.
+
+    ``group_by_vendor=False`` deliberately mixes vendors on shared VMs —
+    the configuration §6.2 warns against (kernel checksum tweaks break
+    co-located other-vendor devices).  Only container-OS vendors may be
+    mixed; it exists for the placement ablation benchmark.
+    """
+    groups: Dict[str, List[str]] = {}
+    if group_by_vendor:
+        for name in sorted(devices):
+            groups.setdefault(devices[name], []).append(name)
+    else:
+        for name in sorted(devices):
+            if get_vendor(devices[name]).image.kind == "vm-os":
+                raise ValueError("mixed placement supports container-OS "
+                                 "vendors only")
+        if devices:
+            groups["mixed"] = sorted(devices)
+
+    # Default VM demand per group.
+    demand: Dict[str, int] = {}
+    for vendor_name, members in groups.items():
+        cap, _sku = _group_density(vendor_name)
+        demand[vendor_name] = max(1, -(-len(members) // cap))
+
+    if num_vms is not None:
+        total_default = sum(demand.values()) or 1
+        if num_vms < len(groups):
+            raise ValueError(
+                f"need at least {len(groups)} VMs (one per vendor group), "
+                f"got {num_vms}")
+        # Proportional shares, then distribute the remainder to the groups
+        # with the largest fractional need.
+        shares = {v: max(1, (num_vms * d) // total_default)
+                  for v, d in demand.items()}
+        while sum(shares.values()) < num_vms:
+            worst = max(groups, key=lambda v: len(groups[v]) / shares[v])
+            shares[worst] += 1
+        while sum(shares.values()) > num_vms:
+            best = max((v for v in groups if shares[v] > 1),
+                       key=lambda v: shares[v] / max(len(groups[v]), 1),
+                       default=None)
+            if best is None:
+                break
+            shares[best] -= 1
+        demand = shares
+
+    vms: List[VmPlan] = []
+    index = 0
+    for vendor_name in sorted(groups):
+        members = groups[vendor_name]
+        _cap, sku = _group_density(vendor_name)
+        count = demand[vendor_name]
+        buckets: List[List[str]] = [[] for _ in range(count)]
+        for i, device in enumerate(members):
+            buckets[i % count].append(device)
+        for bucket in buckets:
+            if not bucket:
+                continue
+            vms.append(VmPlan(name=f"{emulation_id}-vm{index}", sku=sku,
+                              vendor_group=vendor_name, devices=bucket))
+            index += 1
+
+    for start in range(0, len(speakers), SPEAKERS_PER_VM):
+        chunk = sorted(speakers)[start:start + SPEAKERS_PER_VM]
+        vms.append(VmPlan(name=f"{emulation_id}-vm{index}", sku=STANDARD_D4,
+                          vendor_group="speakers", devices=chunk))
+        index += 1
+
+    return PlacementPlan(vms=vms)

@@ -1,0 +1,125 @@
+"""Save/restore of emulation state (§1, §3.1).
+
+VM failures are a fact of life at cloud scale, and re-running Prepare for
+every experiment is wasteful — so CrystalNet supports snapshotting an
+emulation (topology, boundary, configurations, link states) to a JSON
+document and reconstructing an equivalent emulation from it, including
+quick incremental changes on top.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, TYPE_CHECKING
+
+from ..net.ip import IPv4Address, Prefix
+from ..sim import Environment
+from ..topology.graph import DeviceSpec, LinkSpec, Topology
+from ..virt.cloud import Cloud
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .orchestrator import CrystalNet
+
+__all__ = ["topology_to_dict", "topology_from_dict", "capture", "save",
+           "load", "restore"]
+
+
+def topology_to_dict(topology: Topology) -> dict:
+    return {
+        "name": topology.name,
+        "devices": [
+            {
+                "name": d.name, "role": d.role, "asn": d.asn,
+                "layer": d.layer, "vendor": d.vendor, "pod": d.pod,
+                "loopback": str(d.loopback) if d.loopback else None,
+                "originated": [str(p) for p in d.originated],
+                "attrs": {k: str(v) for k, v in d.attrs.items()},
+            }
+            for d in topology
+        ],
+        "links": [
+            {
+                "dev_a": l.dev_a, "if_a": l.if_a,
+                "dev_b": l.dev_b, "if_b": l.if_b,
+                "subnet": str(l.subnet) if l.subnet else None,
+            }
+            for l in topology.links
+        ],
+    }
+
+
+def topology_from_dict(data: dict) -> Topology:
+    topology = Topology(data["name"])
+    for dev in data["devices"]:
+        topology.add_device(DeviceSpec(
+            name=dev["name"], role=dev["role"], asn=dev["asn"],
+            layer=dev["layer"], vendor=dev["vendor"], pod=dev["pod"],
+            loopback=IPv4Address(dev["loopback"]) if dev["loopback"] else None,
+            originated=[Prefix(p) for p in dev["originated"]],
+            attrs=dict(dev["attrs"]),
+        ))
+    for link in data["links"]:
+        topology.add_link(LinkSpec(
+            dev_a=link["dev_a"], if_a=link["if_a"],
+            dev_b=link["dev_b"], if_b=link["if_b"],
+            subnet=Prefix(link["subnet"]) if link["subnet"] else None,
+        ))
+    return topology
+
+
+def capture(net: "CrystalNet") -> dict:
+    """Snapshot an emulation's full reconstructable state."""
+    if net.topology is None:
+        raise ValueError("nothing to snapshot: emulation not prepared")
+    return {
+        "emulation_id": net.emulation_id,
+        "topology": topology_to_dict(net.topology),
+        "emulated": list(net.emulated),
+        "speakers": list(net.speakers),
+        "config_texts": dict(net.config_texts),
+        "num_vms": (len([p for p in net.placement.vms
+                         if p.vendor_group != "speakers"])
+                    if net.placement else None),
+        "link_states": {
+            "|".join(sorted(pair)): link.up
+            for pair, link in net.links.items()
+        },
+        "sim_time": net.env.now,
+    }
+
+
+def save(net: "CrystalNet", path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(capture(net), fh, indent=1)
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def restore(snapshot: dict, env: Optional[Environment] = None,
+            cloud: Optional[Cloud] = None, mockup: bool = True):
+    """Rebuild an equivalent emulation from a snapshot.
+
+    Returns a fresh :class:`CrystalNet` that has been Prepared (and, with
+    ``mockup=True``, Mocked-up) with the snapshot's configurations and link
+    states re-applied.
+    """
+    from .orchestrator import CrystalNet
+
+    topology = topology_from_dict(snapshot["topology"])
+    net = CrystalNet(env=env, cloud=cloud,
+                     emulation_id=snapshot["emulation_id"] + "-restored")
+    # The emulated set is restored verbatim (not re-derived): Algorithm 1
+    # already ran when the snapshot was taken.
+    net.prepare(topology, must_have=snapshot["emulated"],
+                num_vms=snapshot["num_vms"])
+    net.config_texts.update(snapshot["config_texts"])
+    if mockup:
+        net.mockup()
+        for key, up in snapshot["link_states"].items():
+            dev_a, dev_b = key.split("|")
+            if not up:
+                net.disconnect(dev_a, dev_b)
+    return net

@@ -1,0 +1,122 @@
+"""The network-update validation workflow (Figure 3).
+
+Operators validate a multi-step change plan one step at a time:
+
+    Provision -> [ Control -> Monitor -> expected outcome? ] per step
+                    no -> Reload(original) -> fix -> retry
+                    yes -> next step
+
+:class:`ValidationWorkflow` drives that loop over a live emulation.  The
+apply/check halves of each step are operator-specific callables (CrystalNet
+covers the blue boxes of Figure 3; the rest of the workflow belongs to the
+operator, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .orchestrator import CrystalNet
+
+__all__ = ["ValidationStep", "StepResult", "ValidationWorkflow"]
+
+ApplyFn = Callable[["CrystalNet"], None]
+CheckFn = Callable[["CrystalNet"], bool]
+
+
+@dataclass
+class ValidationStep:
+    """One step of an update plan."""
+
+    name: str
+    apply: ApplyFn
+    check: CheckFn
+    # Devices whose configs should be snapshotted for rollback; None = all.
+    rollback_devices: Optional[List[str]] = None
+    converge_timeout: float = 1800.0
+
+
+@dataclass
+class StepResult:
+    step: str
+    passed: bool
+    attempts: int
+    detail: str = ""
+    converge_time: float = 0.0
+
+
+class ValidationWorkflow:
+    """Run validation steps against an emulation, rolling back failures."""
+
+    def __init__(self, net: "CrystalNet", max_attempts: int = 2):
+        self.net = net
+        self.max_attempts = max_attempts
+        self.steps: List[ValidationStep] = []
+        self.results: List[StepResult] = []
+
+    def add_step(self, name: str, apply: ApplyFn, check: CheckFn,
+                 rollback_devices: Optional[List[str]] = None,
+                 converge_timeout: float = 1800.0) -> ValidationStep:
+        step = ValidationStep(name=name, apply=apply, check=check,
+                              rollback_devices=rollback_devices,
+                              converge_timeout=converge_timeout)
+        self.steps.append(step)
+        return step
+
+    def run(self, stop_on_failure: bool = True) -> List[StepResult]:
+        """Execute all steps in order; returns per-step results."""
+        self.results = []
+        for step in self.steps:
+            result = self._run_step(step)
+            self.results.append(result)
+            if not result.passed and stop_on_failure:
+                break
+        return self.results
+
+    @property
+    def passed(self) -> bool:
+        return (len(self.results) == len(self.steps)
+                and all(r.passed for r in self.results))
+
+    def _snapshot_configs(self, step: ValidationStep) -> Dict[str, str]:
+        devices = (step.rollback_devices
+                   if step.rollback_devices is not None
+                   else [r.name for r in self.net.devices.values()
+                         if r.kind == "device"])
+        return {name: self.net.pull_config(name) for name in devices}
+
+    def _run_step(self, step: ValidationStep) -> StepResult:
+        net = self.net
+        for attempt in range(1, self.max_attempts + 1):
+            backup = self._snapshot_configs(step)
+            try:
+                step.apply(net)
+                converge_time = net.converge(timeout=step.converge_timeout)
+            except Exception as exc:
+                self._rollback(backup)
+                if attempt == self.max_attempts:
+                    return StepResult(step=step.name, passed=False,
+                                      attempts=attempt,
+                                      detail=f"apply failed: {exc}")
+                continue
+            if step.check(net):
+                return StepResult(step=step.name, passed=True,
+                                  attempts=attempt,
+                                  converge_time=converge_time)
+            # Unexpected outcome: Reload(original) and report (Figure 3's
+            # "Fix Bugs" edge is the operator's job).
+            self._rollback(backup)
+            net.converge(timeout=step.converge_timeout)
+            if attempt == self.max_attempts:
+                return StepResult(step=step.name, passed=False,
+                                  attempts=attempt,
+                                  detail="check failed; rolled back")
+        return StepResult(step=step.name, passed=False,
+                          attempts=self.max_attempts, detail="unreachable")
+
+    def _rollback(self, backup: Dict[str, str]) -> None:
+        for device, config_text in backup.items():
+            if self.net.pull_config(device) != config_text:
+                self.net.reload(device, config_text=config_text)

@@ -1,0 +1,11 @@
+"""Data-plane utilities: probe injection analysis, path reconstruction."""
+
+from .telemetry import (
+    ProbePath,
+    detect_blackholes,
+    path_counters,
+    reconstruct_paths,
+)
+
+__all__ = ["ProbePath", "detect_blackholes", "path_counters",
+           "reconstruct_paths"]

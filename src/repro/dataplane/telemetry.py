@@ -1,0 +1,94 @@
+"""Packet-level telemetry analysis (§3.3, modelled on Everflow [32]).
+
+Operators inject signed probe packets; every emulated device captures
+matching packets.  These helpers turn the capture records PullPackets
+returns into *paths* and *counters* so validation scripts can assert on
+forwarding behaviour ("did my probe reach the border, and via which
+spine?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..firmware.device import PacketRecord
+
+__all__ = ["ProbePath", "reconstruct_paths", "path_counters", "detect_blackholes"]
+
+
+@dataclass
+class ProbePath:
+    """The reconstructed journey of one signature's probes."""
+
+    signature: str
+    hops: List[str]                  # device names in traversal order
+    delivered: bool                  # reached a device that kept it (no re-tx)
+    rx_count: int = 0
+    tx_count: int = 0
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+
+def reconstruct_paths(records: Sequence[PacketRecord]) -> Dict[str, ProbePath]:
+    """Group capture records by signature and order hops by capture time.
+
+    A probe is *delivered* if the last device that received it did not
+    transmit it onward (it terminated there — e.g. the destination ToR's
+    locally-originated prefix).  A probe whose trail ends with a ``tx`` is
+    in flight or was dropped by the next hop.
+    """
+    by_signature: Dict[str, List[PacketRecord]] = {}
+    for record in records:
+        by_signature.setdefault(record.signature, []).append(record)
+
+    out: Dict[str, ProbePath] = {}
+    for signature, recs in by_signature.items():
+        recs.sort(key=lambda r: (r.time, 0 if r.event == "rx" else 1))
+        hops: List[str] = []
+        rx = tx = 0
+        for record in recs:
+            if record.event == "rx":
+                rx += 1
+            else:
+                tx += 1
+            if not hops or hops[-1] != record.device:
+                hops.append(record.device)
+        last_device_events = [r.event for r in recs
+                              if r.device == (hops[-1] if hops else None)]
+        delivered = bool(hops) and last_device_events[-1] == "rx"
+        out[signature] = ProbePath(signature=signature, hops=hops,
+                                   delivered=delivered, rx_count=rx,
+                                   tx_count=tx)
+    return out
+
+
+def path_counters(records: Sequence[PacketRecord]) -> Dict[str, Dict[str, int]]:
+    """Per-device rx/tx counters per signature (the 'counters' of Table 2)."""
+    counters: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        key = f"{record.device}:{record.event}"
+        counters.setdefault(record.signature, {})
+        counters[record.signature][key] = (
+            counters[record.signature].get(key, 0) + 1)
+    return counters
+
+
+def detect_blackholes(paths: Dict[str, ProbePath],
+                      expected_destination: Optional[str] = None
+                      ) -> List[Tuple[str, str]]:
+    """Signatures that were dropped (and where their trail went cold).
+
+    Returns (signature, last device seen).  With ``expected_destination``,
+    a probe that terminated anywhere else also counts as blackholed.
+    """
+    holes: List[Tuple[str, str]] = []
+    for signature, path in sorted(paths.items()):
+        last = path.hops[-1] if path.hops else "<nowhere>"
+        if not path.delivered:
+            holes.append((signature, last))
+        elif expected_destination is not None and last != expected_destination:
+            holes.append((signature, last))
+    return holes

@@ -1,0 +1,20 @@
+"""Device firmware: host stack, FIB, BGP/OSPF daemons, vendor profiles."""
+
+from .fib import Fib, FibEntry, FibFullError, FirmwareCrash, NextHop
+from .lab import BgpLab, LabRouter
+from .netstack import HostStack, InterfaceAddress, StackError
+from .worker import SerialWorker
+
+__all__ = [
+    "BgpLab",
+    "Fib",
+    "FibEntry",
+    "FibFullError",
+    "FirmwareCrash",
+    "HostStack",
+    "InterfaceAddress",
+    "LabRouter",
+    "NextHop",
+    "SerialWorker",
+    "StackError",
+]

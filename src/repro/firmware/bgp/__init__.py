@@ -1,0 +1,40 @@
+"""From-scratch BGP-4: messages, RIBs, decision process, sessions, daemon."""
+
+from .daemon import BgpDaemon
+from .decision import compare, select
+from .messages import (
+    BGP_PORT,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    PathAttributes,
+    UpdateMessage,
+)
+from .policy import PolicyContext, apply_route_map
+from .rib import AdjRibIn, AdjRibOut, LocRib, Route
+from .session import BgpSession
+
+__all__ = [
+    "AdjRibIn",
+    "AdjRibOut",
+    "BGP_PORT",
+    "BgpDaemon",
+    "BgpSession",
+    "KeepaliveMessage",
+    "LocRib",
+    "NotificationMessage",
+    "ORIGIN_EGP",
+    "ORIGIN_IGP",
+    "ORIGIN_INCOMPLETE",
+    "OpenMessage",
+    "PathAttributes",
+    "PolicyContext",
+    "Route",
+    "UpdateMessage",
+    "apply_route_map",
+    "compare",
+    "select",
+]

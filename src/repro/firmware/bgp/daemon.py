@@ -1,0 +1,506 @@
+"""The BGP routing daemon of one emulated device.
+
+Ties together sessions, RIBs, the decision process, policy, aggregation,
+and FIB programming.  All protocol work is charged to the device's
+:class:`~repro.firmware.worker.SerialWorker`, so convergence time emerges
+from CPU contention on the hosting VM — the effect Figures 8/9 measure.
+
+Vendor behaviour hooks (aggregation mode, FIB overflow policy, decision
+tie-break, quirks) come from the :class:`~repro.firmware.vendors.profiles.
+VendorProfile`, making distinct vendors "bug compatible" with their real
+counterparts' divergences (§2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ...config.model import DeviceConfig
+from ...net.ip import IPv4Address, Prefix
+from ...net.stream import Connection, StreamManager
+from ...sim import Environment
+from ..fib import Fib, FibEntry, FibFullError, FirmwareCrash, NextHop
+from ..netstack import HostStack
+from ..vendors.profiles import VendorProfile
+from ..worker import SerialWorker
+from .decision import default_tie_breaker, select
+from .messages import (
+    BGP_PORT,
+    ORIGIN_IGP,
+    PathAttributes,
+    UpdateMessage,
+)
+from .policy import PolicyContext, apply_route_map
+from .rib import AdjRibIn, AdjRibOut, LocRib, Route
+from .session import BgpSession
+
+__all__ = ["BgpDaemon"]
+
+# How many NLRI one UPDATE message carries at most (wire MTU analogue).
+MAX_NLRI_PER_UPDATE = 500
+
+
+class BgpDaemon:
+    """One device's BGP process."""
+
+    def __init__(self, env: Environment, stack: HostStack,
+                 streams: StreamManager, config: DeviceConfig,
+                 vendor: VendorProfile, worker: SerialWorker,
+                 rng: Optional[random.Random] = None,
+                 on_crash: Optional[Callable[[str], None]] = None):
+        if config.bgp is None:
+            raise ValueError(f"{config.hostname}: no BGP configuration")
+        self.env = env
+        self.stack = stack
+        self.streams = streams
+        self.config = config
+        self.bgp_config = config.bgp
+        self.vendor = vendor
+        self.worker = worker
+        self.rng = rng or random.Random(hash(config.hostname) & 0xFFFF)
+        self.on_crash = on_crash
+
+        self.asn = self.bgp_config.asn
+        self.router_id = self.bgp_config.router_id
+        self.policy = PolicyContext.from_config(config)
+
+        self.adj_in = AdjRibIn()
+        self.loc_rib = LocRib()
+        self.adj_out = AdjRibOut()
+        self.local_routes: Dict[Prefix, Route] = {}
+        self.aggregate_routes: Dict[Prefix, Route] = {}
+
+        self.sessions: Dict[int, BgpSession] = {}
+        self._dirty: Set[Prefix] = set()
+        # Per-peer advertisement backlog, drained max_nlri_per_flush at a
+        # time per advertisement interval (vendor send-buffer pacing).
+        self._pending_adv: Dict[int, Set[Prefix]] = {}
+        self._decision_scheduled = False
+        self._flush_scheduled = False
+        self.running = False
+        self.crashed = False
+        self.crash_reason = ""
+        self.errors: List[str] = []
+        self.total_flaps = 0
+
+        if self.vendor.tie_break == "highest-peer":
+            self._tie_breaker = lambda a, b: (
+                a if _peer_key(a) >= _peer_key(b) else b)
+        else:
+            self._tie_breaker = default_tie_breaker
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Originate local networks, open the BGP port, start sessions."""
+        self.running = True
+        self.streams.listen(BGP_PORT, self._on_accept)
+        for network in self.bgp_config.networks:
+            self.local_routes[network] = Route(
+                prefix=network,
+                attrs=PathAttributes(as_path=(), origin=ORIGIN_IGP),
+                peer_ip=None, peer_asn=None, is_ebgp=False)
+            self._dirty.add(network)
+        for neighbor in self.bgp_config.neighbors:
+            session = BgpSession(
+                self.env, self.streams, neighbor,
+                local_asn=self.asn, router_id=self.router_id,
+                hold_time=self.vendor.hold_time,
+                keepalive_interval=self.vendor.keepalive_interval,
+                connect_retry=self.vendor.connect_retry,
+                rng=self.rng,
+                on_established=self._on_session_established,
+                on_down=self._on_session_down,
+                on_update=self._on_session_update,
+            )
+            self.sessions[neighbor.peer_ip.value] = session
+            session.start(initiator=self._initiates_to(neighbor.peer_ip))
+        self._schedule_decision()
+
+    def stop(self) -> None:
+        """Graceful daemon stop: sessions close, BGP routes leave the FIB."""
+        self.running = False
+        for session in list(self.sessions.values()):
+            session.stop()
+        self.sessions.clear()
+        self.streams.unlisten(BGP_PORT)
+        self.stack.fib.clear_protocol("bgp")
+        self.worker.stop()
+
+    def _crash(self, reason: str) -> None:
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_reason = reason
+        self.errors.append(f"CRASH: {reason}")
+        self.stop()
+        if self.on_crash is not None:
+            self.on_crash(reason)
+
+    def _initiates_to(self, peer_ip: IPv4Address) -> bool:
+        try:
+            local = self.stack.source_address_for(peer_ip)
+        except Exception:
+            return True
+        return local.value < peer_ip.value
+
+    def _on_accept(self, conn: Connection) -> None:
+        session = self.sessions.get(conn.remote_ip.value)
+        if session is None:
+            conn.close()
+            return
+        session.accept(conn)
+
+    # -- session events ------------------------------------------------------
+
+    def _on_session_established(self, session: BgpSession) -> None:
+        peer_key = session.peer_ip.value
+        self.worker.submit(self.vendor.session_setup_cost,
+                           lambda: self._mark_full_sync(peer_key))
+
+    def _mark_full_sync(self, peer_key: int) -> None:
+        """Queue the entire table toward a newly-established peer."""
+        backlog = self._pending_adv.setdefault(peer_key, set())
+        backlog.update(self.loc_rib.prefixes())
+        self._schedule_flush()
+
+    def _on_session_down(self, session: BgpSession, reason: str) -> None:
+        self.total_flaps += 1
+        peer_ip = session.peer_ip
+        self.adj_out.drop_peer(peer_ip)
+        self._pending_adv.pop(peer_ip.value, None)
+
+        def process() -> None:
+            for prefix in self.adj_in.drop_peer(peer_ip):
+                self._dirty.add(prefix)
+            self._schedule_decision()
+
+        self.worker.submit(self.vendor.update_base_cost, process)
+        limit = self.vendor.quirk_param("crash_after_flaps", 3)
+        if (self.vendor.has_quirk("crash-on-session-flaps")
+                and self.total_flaps >= limit):
+            self._crash(f"session flap limit reached ({self.total_flaps})")
+
+    def _on_session_update(self, session: BgpSession,
+                           update: UpdateMessage) -> None:
+        cost = (self.vendor.update_base_cost
+                + self.vendor.update_per_prefix_cost * update.route_count)
+        self.worker.submit(cost, lambda: self._process_update(session, update))
+
+    # -- inbound processing ----------------------------------------------------
+
+    def _process_update(self, session: BgpSession,
+                        update: UpdateMessage) -> None:
+        if self.crashed:
+            return
+        peer_ip = session.peer_ip
+        neighbor = session.neighbor
+        for prefix in update.withdrawn:
+            if self.adj_in.withdraw(peer_ip, prefix):
+                self._dirty.add(prefix)
+        if update.nlri:
+            attrs = update.attrs
+            if (attrs.contains_asn(self.asn)
+                    and not self.vendor.has_quirk("allow-own-asn")):
+                pass  # loop: discard all NLRI of this update
+            else:
+                is_ebgp = neighbor.remote_asn != self.asn
+                if is_ebgp:
+                    # LOCAL_PREF is not transitive across eBGP.
+                    attrs = attrs.replace(local_pref=100)
+                for prefix in update.nlri:
+                    imported = apply_route_map(
+                        self.policy, neighbor.import_policy, prefix, attrs,
+                        self.asn)
+                    if imported is None:
+                        # Policy rejection still clears any previous route.
+                        if self.adj_in.withdraw(peer_ip, prefix):
+                            self._dirty.add(prefix)
+                        continue
+                    self.adj_in.insert(Route(
+                        prefix=prefix, attrs=imported, peer_ip=peer_ip,
+                        peer_asn=neighbor.remote_asn, is_ebgp=is_ebgp))
+                    self._dirty.add(prefix)
+        if self._dirty:
+            self._schedule_decision()
+
+    # -- decision process -------------------------------------------------------
+
+    def _schedule_decision(self) -> None:
+        if self._decision_scheduled or self.crashed:
+            return
+        self._decision_scheduled = True
+        cost = max(self.vendor.decision_cost_per_prefix * max(len(self._dirty), 1),
+                   1e-4)
+        self.worker.submit(cost, self._run_decision)
+
+    def _run_decision(self) -> None:
+        self._decision_scheduled = False
+        if self.crashed:
+            return
+        dirty, self._dirty = self._dirty, set()
+        changed: Set[Prefix] = set()
+        for prefix in dirty:
+            if self._recompute(prefix):
+                changed.add(prefix)
+        changed |= self._recompute_aggregates()
+        if changed:
+            for session in self.sessions.values():
+                if session.state == "established":
+                    self._pending_adv.setdefault(
+                        session.peer_ip.value, set()).update(changed)
+            self._schedule_flush()
+        if self._dirty:
+            # Aggregation created new dirty prefixes; go again.
+            self._schedule_decision()
+
+    def _candidates(self, prefix: Prefix) -> List[Route]:
+        candidates = self.adj_in.candidates(prefix)
+        local = self.local_routes.get(prefix)
+        if local is not None:
+            candidates.append(local)
+        aggregate = self.aggregate_routes.get(prefix)
+        if aggregate is not None:
+            candidates.append(aggregate)
+        return candidates
+
+    def _recompute(self, prefix: Prefix) -> bool:
+        """Re-select for one prefix; returns True if Loc-RIB/FIB changed."""
+        best, multipath = select(
+            self._candidates(prefix),
+            multipath=self.bgp_config.multipath and self.vendor.multipath,
+            max_paths=self.bgp_config.max_paths,
+            tie_breaker=self._tie_breaker)
+        if best is None:
+            removed = self.loc_rib.remove(prefix)
+            if removed:
+                self._fib_remove(prefix)
+            return removed
+        old_best = self.loc_rib.best(prefix)
+        old_multi = self.loc_rib.multipath(prefix)
+        if (old_best is not None and old_best.attrs == best.attrs
+                and old_best.peer_ip == best.peer_ip
+                and old_multi == multipath):
+            return False
+        self.loc_rib.set(prefix, best, multipath)
+        self._fib_install(prefix, multipath)
+        return True
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _recompute_aggregates(self) -> Set[Prefix]:
+        changed: Set[Prefix] = set()
+        for agg in self.bgp_config.aggregates:
+            contributors = [
+                (p, self.loc_rib.best(p)) for p in self.loc_rib.prefixes()
+                if agg.prefix.contains(p) and p != agg.prefix]
+            contributors = [(p, r) for p, r in contributors if r is not None]
+            current = self.aggregate_routes.get(agg.prefix)
+            if not contributors:
+                if current is not None:
+                    del self.aggregate_routes[agg.prefix]
+                    self._dirty.add(agg.prefix)
+                continue
+            if (current is not None
+                    and self.vendor.aggregation_mode == "inherit-first"):
+                # Sticky/timing-dependent: the first-selected contributor's
+                # path is kept for as long as any contributor exists (§9).
+                continue
+            attrs = self._aggregate_attrs([r for _p, r in contributors])
+            if current is None or current.attrs != attrs:
+                self.aggregate_routes[agg.prefix] = Route(
+                    prefix=agg.prefix, attrs=attrs, peer_ip=None,
+                    peer_asn=None, is_ebgp=False)
+                self._dirty.add(agg.prefix)
+                if agg.summary_only:
+                    # (De)activation changes contributor suppression.
+                    changed |= {p for p, _ in contributors}
+        return changed
+
+    def _aggregate_attrs(self, contributors: List[Route]) -> PathAttributes:
+        """Vendor-divergent aggregation (the Figure 1 incident).
+
+        * ``inherit-best``: pick one contributing path and keep its AS path
+          (Figure 1's R6: P3 announced with {6, 2, 1}).
+        * ``inherit-first``: like inherit-best, but sticky on whichever
+          contributor converged first (timing-dependent, §9).
+        * ``reset-path``: empty AS path + ATOMIC_AGGREGATE (Figure 1's R7:
+          P3 announced with just {7}).
+        """
+        if self.vendor.aggregation_mode in ("inherit-best", "inherit-first"):
+            best = contributors[0]
+            for route in contributors[1:]:
+                from .decision import compare
+                best = compare(best, route, self._tie_breaker)
+            return PathAttributes(
+                as_path=best.attrs.as_path, origin=best.attrs.origin,
+                aggregator_asn=self.asn)
+        return PathAttributes(as_path=(), origin=ORIGIN_IGP,
+                              atomic_aggregate=True, aggregator_asn=self.asn)
+
+    def _suppressed(self, prefix: Prefix) -> bool:
+        for agg in self.bgp_config.aggregates:
+            if (agg.summary_only and agg.prefix in self.aggregate_routes
+                    and agg.prefix.contains(prefix)
+                    and prefix != agg.prefix):
+                return True
+        return False
+
+    # -- FIB programming -----------------------------------------------------------
+
+    def _fib_install(self, prefix: Prefix, multipath: Tuple[Route, ...]) -> None:
+        if (self.vendor.has_quirk("default-route-stuck")
+                and prefix == Prefix(0, 0)
+                and self.stack.fib.get(prefix) is not None):
+            self.errors.append("quirk: default route left stale")
+            return
+        hops: List[NextHop] = []
+        for route in multipath:
+            hop = self._resolve_next_hop(route)
+            if hop is not None and hop not in hops:
+                hops.append(hop)
+        if not hops:
+            self._fib_remove(prefix)
+            return
+        try:
+            self.stack.fib.install(FibEntry(
+                prefix=prefix, next_hops=tuple(hops), source="bgp"))
+        except FibFullError as exc:
+            self.errors.append(str(exc))
+        except FirmwareCrash as exc:
+            self._crash(str(exc))
+
+    def _fib_remove(self, prefix: Prefix) -> None:
+        entry = self.stack.fib.get(prefix)
+        if entry is not None and entry.source == "bgp":
+            self.stack.fib.remove(prefix)
+
+    def _resolve_next_hop(self, route: Route) -> Optional[NextHop]:
+        if route.is_local:
+            return NextHop(ip=None, interface="local")
+        next_hop = route.attrs.next_hop
+        if next_hop is None:
+            return None
+        connected = self.stack.fib.lookup(next_hop)
+        if connected is None or connected.source != "connected":
+            return None  # next hop unresolvable
+        return NextHop(ip=next_hop, interface=connected.next_hops[0].interface)
+
+    # -- outbound advertisement ------------------------------------------------------
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled or self.crashed:
+            return
+        self._flush_scheduled = True
+        delay = self.vendor.advertisement_interval * self.rng.uniform(0.5, 1.0)
+        self.env.call_later(
+            delay, lambda: self.worker.submit(self.vendor.update_base_cost,
+                                              self._flush))
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if self.crashed or not self.running:
+            return
+        cap = self.vendor.max_nlri_per_flush
+        leftovers = False
+        for session in self.sessions.values():
+            if session.state != "established":
+                continue
+            backlog = self._pending_adv.get(session.peer_ip.value)
+            if not backlog:
+                continue
+            batch = sorted(backlog, key=lambda p: p.key())[:cap]
+            backlog.difference_update(batch)
+            self._advertise(session, batch)
+            if backlog:
+                leftovers = True
+        if leftovers:
+            self._schedule_flush()
+
+    def _advertise(self, session: BgpSession, prefixes: List[Prefix]) -> None:
+        peer_ip = session.peer_ip
+        groups: Dict[PathAttributes, List[Prefix]] = {}
+        withdrawals: List[Prefix] = []
+        for prefix in prefixes:
+            attrs = self._export(session, prefix)
+            previous = self.adj_out.advertised(peer_ip, prefix)
+            if attrs is None:
+                if previous is not None:
+                    withdrawals.append(prefix)
+                    self.adj_out.forget(peer_ip, prefix)
+                continue
+            if previous == attrs:
+                continue
+            groups.setdefault(attrs, []).append(prefix)
+            self.adj_out.record(peer_ip, prefix, attrs)
+        if withdrawals:
+            session.send_update(UpdateMessage(withdrawn=tuple(withdrawals)))
+        for attrs, nlri in groups.items():
+            for start in range(0, len(nlri), MAX_NLRI_PER_UPDATE):
+                session.send_update(UpdateMessage(
+                    nlri=tuple(nlri[start:start + MAX_NLRI_PER_UPDATE]),
+                    attrs=attrs))
+
+    def _export(self, session: BgpSession,
+                prefix: Prefix) -> Optional[PathAttributes]:
+        best = self.loc_rib.best(prefix)
+        if best is None:
+            return None
+        if self._suppressed(prefix):
+            return None
+        neighbor = session.neighbor
+        is_ebgp = neighbor.remote_asn != self.asn
+        # Sender-side loop avoidance: never send a path back into an AS it
+        # already traversed (the property Lemma 5.1's proof leans on).
+        if best.attrs.contains_asn(neighbor.remote_asn):
+            return None
+        if not is_ebgp and not best.is_ebgp and not best.is_local:
+            return None  # no iBGP-to-iBGP reflection
+        attrs = apply_route_map(self.policy, neighbor.export_policy, prefix,
+                                best.attrs, self.asn)
+        if attrs is None:
+            return None
+        suppress = self.vendor.quirk_param("suppress_prefixes")
+        if (self.vendor.has_quirk("suppress-announcements") and suppress
+                and any(prefix == s or s.contains(prefix) for s in suppress)):
+            return None
+        if is_ebgp:
+            attrs = attrs.prepend(self.asn).replace(local_pref=100)
+            try:
+                local_ip = self.stack.source_address_for(session.peer_ip)
+            except Exception:
+                return None
+            attrs = attrs.with_next_hop(local_ip)
+        return attrs
+
+    # -- introspection --------------------------------------------------------------
+
+    def is_quiescent(self) -> bool:
+        """No protocol work outstanding (used for route-ready detection)."""
+        if self.crashed:
+            return True
+        return (self.worker.idle and not self._dirty
+                and not any(self._pending_adv.values())
+                and not self._flush_scheduled
+                and not self._decision_scheduled)
+
+    def established_sessions(self) -> int:
+        return sum(1 for s in self.sessions.values()
+                   if s.state == "established")
+
+    def rib_snapshot(self) -> Dict[str, object]:
+        return {
+            "asn": self.asn,
+            "router_id": str(self.router_id),
+            "sessions": {str(s.peer_ip): s.state
+                         for s in self.sessions.values()},
+            "loc_rib": {str(p): [list(r.attrs.as_path) for r in multi]
+                        for p, _b, multi in self.loc_rib.items()},
+            "adj_in_routes": self.adj_in.route_count(),
+            "errors": list(self.errors),
+        }
+
+
+def _peer_key(route: Route) -> int:
+    return route.peer_ip.value if route.peer_ip is not None else -1

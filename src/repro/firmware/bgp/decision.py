@@ -1,0 +1,97 @@
+"""The BGP decision process (best-path selection + multipath).
+
+Standard ordering:
+
+1. highest LOCAL_PREF
+2. locally-originated before learned
+3. shortest AS_PATH
+4. lowest ORIGIN (IGP < EGP < INCOMPLETE)
+5. lowest MED (compared only between routes from the same neighbor AS)
+6. eBGP over iBGP
+7. lowest peer router address (deterministic final tie-break)
+
+``select`` returns (best, multipath): the multipath set is every candidate
+equal to the best through step 4 with distinct next hops (multipath-relax,
+as datacenter BGP deployments configure).  A vendor hook can override the
+final tie-break — one of the documented sources of cross-vendor
+non-determinism the FIB comparator must tolerate (§9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .rib import Route
+
+__all__ = ["select", "compare", "TieBreaker"]
+
+# Returns the preferred of two routes that tie through step 6.
+TieBreaker = Callable[[Route, Route], Route]
+
+
+def _peer_key(route: Route) -> int:
+    return route.peer_ip.value if route.peer_ip is not None else -1
+
+
+def default_tie_breaker(a: Route, b: Route) -> Route:
+    return a if _peer_key(a) <= _peer_key(b) else b
+
+
+def compare(a: Route, b: Route,
+            tie_breaker: TieBreaker = default_tie_breaker) -> Route:
+    """Return the preferred of two candidate routes for the same prefix."""
+    if a.attrs.local_pref != b.attrs.local_pref:
+        return a if a.attrs.local_pref > b.attrs.local_pref else b
+    if a.is_local != b.is_local:
+        return a if a.is_local else b
+    if a.attrs.path_length() != b.attrs.path_length():
+        return a if a.attrs.path_length() < b.attrs.path_length() else b
+    if a.attrs.origin != b.attrs.origin:
+        return a if a.attrs.origin < b.attrs.origin else b
+    same_neighbor_as = (a.attrs.as_path[:1] == b.attrs.as_path[:1]
+                        and a.attrs.as_path[:1] != ())
+    if same_neighbor_as and a.attrs.med != b.attrs.med:
+        return a if a.attrs.med < b.attrs.med else b
+    if a.is_ebgp != b.is_ebgp:
+        return a if a.is_ebgp else b
+    return tie_breaker(a, b)
+
+
+def _multipath_equivalent(a: Route, b: Route) -> bool:
+    """Equal through step 4 (multipath-relax: AS-path *length*, not content)."""
+    return (a.attrs.local_pref == b.attrs.local_pref
+            and a.is_local == b.is_local
+            and a.attrs.path_length() == b.attrs.path_length()
+            and a.attrs.origin == b.attrs.origin
+            and a.is_ebgp == b.is_ebgp)
+
+
+def select(candidates: Sequence[Route], multipath: bool = True,
+           max_paths: int = 64,
+           tie_breaker: TieBreaker = default_tie_breaker
+           ) -> Tuple[Optional[Route], Tuple[Route, ...]]:
+    """Run the decision process over one prefix's candidate set."""
+    if not candidates:
+        return None, ()
+    best = candidates[0]
+    for route in candidates[1:]:
+        best = compare(best, route, tie_breaker)
+    if not multipath:
+        return best, (best,)
+    group: List[Route] = []
+    seen_next_hops = set()
+    for route in sorted(candidates, key=_peer_key):
+        if not _multipath_equivalent(route, best):
+            continue
+        hop = route.attrs.next_hop
+        hop_key = hop.value if hop is not None else -1
+        if hop_key in seen_next_hops:
+            continue
+        seen_next_hops.add(hop_key)
+        group.append(route)
+        if len(group) >= max_paths:
+            break
+    # The best route is always part of its own multipath set.
+    if best not in group:
+        group = [best] + group[: max_paths - 1]
+    return best, tuple(group)

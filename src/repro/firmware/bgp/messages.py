@@ -1,0 +1,131 @@
+"""BGP-4 message and path-attribute types.
+
+Messages are semantic objects (no wire encoding), but the protocol grammar
+is the real one: OPEN negotiates ASN/hold-time, UPDATE carries shared path
+attributes plus packed NLRI (many prefixes per message — the batching that
+makes full-datacenter convergence tractable, for the emulator exactly as for
+real routers), KEEPALIVE refreshes hold timers, NOTIFICATION reports fatal
+errors before close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ...net.ip import IPv4Address, Prefix
+
+__all__ = [
+    "ORIGIN_IGP",
+    "ORIGIN_EGP",
+    "ORIGIN_INCOMPLETE",
+    "PathAttributes",
+    "OpenMessage",
+    "UpdateMessage",
+    "KeepaliveMessage",
+    "NotificationMessage",
+    "BGP_PORT",
+]
+
+BGP_PORT = 179
+
+ORIGIN_IGP = 0
+ORIGIN_EGP = 1
+ORIGIN_INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute set shared by every NLRI in one UPDATE.
+
+    Immutable and hash-shared: thousands of RIB entries point at the same
+    object, which is what keeps large emulations in memory.
+    """
+
+    as_path: Tuple[int, ...] = ()
+    next_hop: Optional[IPv4Address] = None
+    origin: int = ORIGIN_IGP
+    med: int = 0
+    local_pref: int = 100
+    communities: FrozenSet[str] = frozenset()
+    atomic_aggregate: bool = False
+    aggregator_asn: Optional[int] = None
+
+    def path_length(self) -> int:
+        return len(self.as_path)
+
+    def contains_asn(self, asn: int) -> bool:
+        return asn in self.as_path
+
+    def prepend(self, asn: int, count: int = 1) -> "PathAttributes":
+        return PathAttributes(
+            as_path=(asn,) * count + self.as_path,
+            next_hop=self.next_hop,
+            origin=self.origin,
+            med=self.med,
+            local_pref=self.local_pref,
+            communities=self.communities,
+            atomic_aggregate=self.atomic_aggregate,
+            aggregator_asn=self.aggregator_asn,
+        )
+
+    def with_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
+        return PathAttributes(
+            as_path=self.as_path,
+            next_hop=next_hop,
+            origin=self.origin,
+            med=self.med,
+            local_pref=self.local_pref,
+            communities=self.communities,
+            atomic_aggregate=self.atomic_aggregate,
+            aggregator_asn=self.aggregator_asn,
+        )
+
+    def replace(self, **changes) -> "PathAttributes":
+        base = {
+            "as_path": self.as_path,
+            "next_hop": self.next_hop,
+            "origin": self.origin,
+            "med": self.med,
+            "local_pref": self.local_pref,
+            "communities": self.communities,
+            "atomic_aggregate": self.atomic_aggregate,
+            "aggregator_asn": self.aggregator_asn,
+        }
+        base.update(changes)
+        return PathAttributes(**base)
+
+
+@dataclass(frozen=True)
+class OpenMessage:
+    asn: int
+    router_id: IPv4Address
+    hold_time: float
+
+
+@dataclass(frozen=True)
+class UpdateMessage:
+    """Announce ``nlri`` with shared ``attrs``; withdraw ``withdrawn``."""
+
+    nlri: Tuple[Prefix, ...] = ()
+    attrs: Optional[PathAttributes] = None
+    withdrawn: Tuple[Prefix, ...] = ()
+
+    def __post_init__(self):
+        if self.nlri and self.attrs is None:
+            raise ValueError("UPDATE with NLRI requires path attributes")
+
+    @property
+    def route_count(self) -> int:
+        return len(self.nlri) + len(self.withdrawn)
+
+
+@dataclass(frozen=True)
+class KeepaliveMessage:
+    pass
+
+
+@dataclass(frozen=True)
+class NotificationMessage:
+    code: str
+    detail: str = ""

@@ -1,0 +1,68 @@
+"""Route-map evaluation: import/export policy application.
+
+A route-map is an ordered list of clauses; the first clause whose match
+conditions hold decides (permit with sets applied, or deny).  A route that
+matches no clause is denied — the industry default that has caught many an
+operator (and which our human-error scenarios exploit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...config.model import DeviceConfig, PrefixList, RouteMap
+from ...net.ip import Prefix
+from .messages import PathAttributes
+
+__all__ = ["apply_route_map", "PolicyContext"]
+
+
+class PolicyContext:
+    """The named policies one device's BGP process can reference."""
+
+    def __init__(self, route_maps: Dict[str, RouteMap],
+                 prefix_lists: Dict[str, PrefixList]):
+        self.route_maps = route_maps
+        self.prefix_lists = prefix_lists
+
+    @classmethod
+    def from_config(cls, config: DeviceConfig) -> "PolicyContext":
+        return cls(config.route_maps, config.prefix_lists)
+
+
+def apply_route_map(context: PolicyContext, map_name: Optional[str],
+                    prefix: Prefix, attrs: PathAttributes,
+                    own_asn: int) -> Optional[PathAttributes]:
+    """Evaluate a route-map; returns transformed attrs or None (denied).
+
+    ``map_name`` None means "no policy": permit unchanged.
+    """
+    if map_name is None:
+        return attrs
+    route_map = context.route_maps.get(map_name)
+    if route_map is None:
+        # Referencing a nonexistent map denies everything — the production
+        # failure mode of a half-applied config change.
+        return None
+    for clause in route_map.clauses:
+        if clause.match_prefix_list is not None:
+            plist = context.prefix_lists.get(clause.match_prefix_list)
+            if plist is None or not plist.matches(prefix):
+                continue
+        if clause.match_community is not None:
+            if clause.match_community not in attrs.communities:
+                continue
+        if clause.action == "deny":
+            return None
+        changes = {}
+        if clause.set_local_pref is not None:
+            changes["local_pref"] = clause.set_local_pref
+        if clause.set_med is not None:
+            changes["med"] = clause.set_med
+        if clause.set_community is not None:
+            changes["communities"] = attrs.communities | {clause.set_community}
+        result = attrs.replace(**changes) if changes else attrs
+        if clause.prepend_asn:
+            result = result.prepend(own_asn, clause.prepend_asn)
+        return result
+    return None

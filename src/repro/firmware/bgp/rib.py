@@ -1,0 +1,150 @@
+"""BGP RIBs: Adj-RIB-In view, Loc-RIB, and Adj-RIB-Out bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ...net.ip import IPv4Address, Prefix
+from .messages import PathAttributes
+
+__all__ = ["Route", "AdjRibIn", "LocRib", "AdjRibOut"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One candidate path for one prefix, as learned from one peer.
+
+    ``peer_ip`` is None for locally-originated routes (network statements,
+    aggregates).
+    """
+
+    prefix: Prefix
+    attrs: PathAttributes
+    peer_ip: Optional[IPv4Address]
+    peer_asn: Optional[int]
+    is_ebgp: bool = True
+
+    @property
+    def is_local(self) -> bool:
+        return self.peer_ip is None
+
+
+class AdjRibIn:
+    """All routes accepted from peers, indexed both ways.
+
+    ``by_prefix[prefix][peer_ip.value]`` -> Route (the decision process
+    reads per-prefix candidate sets); ``by_peer[peer_ip.value]`` -> set of
+    prefixes (session teardown withdraws per peer).
+    """
+
+    def __init__(self):
+        self.by_prefix: Dict[Prefix, Dict[int, Route]] = {}
+        self.by_peer: Dict[int, Set[Prefix]] = {}
+
+    def insert(self, route: Route) -> None:
+        if route.peer_ip is None:
+            raise ValueError("AdjRibIn only stores peer-learned routes")
+        peer_key = route.peer_ip.value
+        self.by_prefix.setdefault(route.prefix, {})[peer_key] = route
+        self.by_peer.setdefault(peer_key, set()).add(route.prefix)
+
+    def withdraw(self, peer_ip: IPv4Address, prefix: Prefix) -> bool:
+        peer_key = peer_ip.value
+        candidates = self.by_prefix.get(prefix)
+        if not candidates or peer_key not in candidates:
+            return False
+        del candidates[peer_key]
+        if not candidates:
+            del self.by_prefix[prefix]
+        prefixes = self.by_peer.get(peer_key)
+        if prefixes is not None:
+            prefixes.discard(prefix)
+        return True
+
+    def drop_peer(self, peer_ip: IPv4Address) -> List[Prefix]:
+        """Remove everything learned from a dead peer; returns the prefixes
+        whose candidate set changed."""
+        peer_key = peer_ip.value
+        prefixes = sorted(self.by_peer.pop(peer_key, set()),
+                          key=lambda p: p.key())
+        for prefix in prefixes:
+            candidates = self.by_prefix.get(prefix)
+            if candidates is not None:
+                candidates.pop(peer_key, None)
+                if not candidates:
+                    del self.by_prefix[prefix]
+        return prefixes
+
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        return list(self.by_prefix.get(prefix, {}).values())
+
+    def route_count(self) -> int:
+        return sum(len(c) for c in self.by_prefix.values())
+
+    def peer_prefixes(self, peer_ip: IPv4Address) -> Set[Prefix]:
+        return set(self.by_peer.get(peer_ip.value, set()))
+
+
+class LocRib:
+    """Selected routes: per prefix, the best route plus its ECMP set."""
+
+    def __init__(self):
+        self._selected: Dict[Prefix, Tuple[Route, Tuple[Route, ...]]] = {}
+
+    def set(self, prefix: Prefix, best: Route, multipath: Tuple[Route, ...]) -> None:
+        self._selected[prefix] = (best, multipath)
+
+    def remove(self, prefix: Prefix) -> bool:
+        return self._selected.pop(prefix, None) is not None
+
+    def best(self, prefix: Prefix) -> Optional[Route]:
+        selected = self._selected.get(prefix)
+        return selected[0] if selected else None
+
+    def multipath(self, prefix: Prefix) -> Tuple[Route, ...]:
+        selected = self._selected.get(prefix)
+        return selected[1] if selected else ()
+
+    def prefixes(self) -> List[Prefix]:
+        return sorted(self._selected, key=lambda p: p.key())
+
+    def items(self) -> Iterator[Tuple[Prefix, Route, Tuple[Route, ...]]]:
+        for prefix in self.prefixes():
+            best, multi = self._selected[prefix]
+            yield prefix, best, multi
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._selected
+
+    def __len__(self) -> int:
+        return len(self._selected)
+
+
+class AdjRibOut:
+    """What we have advertised to each peer (for correct withdrawals)."""
+
+    def __init__(self):
+        self._advertised: Dict[int, Dict[Prefix, PathAttributes]] = {}
+
+    def record(self, peer_ip: IPv4Address, prefix: Prefix,
+               attrs: PathAttributes) -> None:
+        self._advertised.setdefault(peer_ip.value, {})[prefix] = attrs
+
+    def forget(self, peer_ip: IPv4Address, prefix: Prefix) -> bool:
+        table = self._advertised.get(peer_ip.value)
+        if table is None:
+            return False
+        return table.pop(prefix, None) is not None
+
+    def advertised(self, peer_ip: IPv4Address, prefix: Prefix
+                   ) -> Optional[PathAttributes]:
+        table = self._advertised.get(peer_ip.value)
+        return None if table is None else table.get(prefix)
+
+    def drop_peer(self, peer_ip: IPv4Address) -> None:
+        self._advertised.pop(peer_ip.value, None)
+
+    def prefixes_for(self, peer_ip: IPv4Address) -> List[Prefix]:
+        return sorted(self._advertised.get(peer_ip.value, {}),
+                      key=lambda p: p.key())

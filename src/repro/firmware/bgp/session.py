@@ -1,0 +1,277 @@
+"""The BGP session finite-state machine.
+
+One :class:`BgpSession` per configured neighbor.  Sessions run over the
+TCP-lite transport; liveness comes from keepalives and hold timers, so a
+cut virtual link (Disconnect API) tears sessions down on the same timescale
+a real deployment would see.
+
+Connection setup is deterministic: the side with the numerically lower
+interface address initiates; the other side only accepts.  (Real BGP races
+both directions and resolves collisions by router-id; the deterministic
+variant produces the same single session without the race, keeping emulation
+runs reproducible — engine-level non-determinism would defeat the FIB
+comparator of §9.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, TYPE_CHECKING
+
+from ...net.ip import IPv4Address
+from ...net.stream import Connection, StreamManager
+from ...sim import Environment
+from .messages import (
+    BGP_PORT,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...config.model import BgpNeighborConfig
+
+__all__ = ["BgpSession"]
+
+
+class BgpSession:
+    """FSM states: idle -> connect -> open-sent -> established."""
+
+    def __init__(self, env: Environment, streams: StreamManager,
+                 neighbor: "BgpNeighborConfig", local_asn: int,
+                 router_id: IPv4Address, *,
+                 hold_time: float, keepalive_interval: float,
+                 connect_retry: float, rng: random.Random,
+                 on_established: Callable[["BgpSession"], None],
+                 on_down: Callable[["BgpSession", str], None],
+                 on_update: Callable[["BgpSession", UpdateMessage], None]):
+        self.env = env
+        self.streams = streams
+        self.neighbor = neighbor
+        self.peer_ip = neighbor.peer_ip
+        self.local_asn = local_asn
+        self.router_id = router_id
+        self.hold_time = hold_time
+        self.keepalive_interval = keepalive_interval
+        self.connect_retry = connect_retry
+        self.rng = rng
+        self.on_established = on_established
+        self.on_down = on_down
+        self.on_update = on_update
+
+        self.state = "idle"
+        self.conn: Optional[Connection] = None
+        self.peer_open: Optional[OpenMessage] = None
+        self.initiator = False
+        self._stopped = False
+        self._last_recv = 0.0
+        self._hold_check_scheduled = False
+        self.flaps = 0
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.last_error = ""
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, initiator: bool) -> None:
+        if self.neighbor.shutdown:
+            self.state = "idle"
+            return
+        self.initiator = initiator
+        if initiator:
+            self._schedule_connect(first=True)
+        else:
+            self.state = "connect"  # passively waiting for the peer
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.state = "idle"
+        if self.conn is not None:
+            conn, self.conn = self.conn, None
+            conn.on_close = None   # no down-notification for a local stop
+            conn.close()
+
+    # -- connecting --------------------------------------------------------
+
+    def _schedule_connect(self, first: bool = False) -> None:
+        if self._stopped or self.neighbor.shutdown:
+            return
+        delay = (self.rng.uniform(0.1, 1.0) if first
+                 else self.connect_retry * self.rng.uniform(0.8, 1.2))
+        self.env.call_later(delay, self._attempt_connect)
+
+    def _attempt_connect(self) -> None:
+        if self._stopped or self.state == "established" or self.conn is not None:
+            return
+        self.state = "connect"
+        try:
+            conn = self.streams.connect(self.peer_ip, BGP_PORT)
+        except Exception as exc:  # no route/source yet: retry later
+            self.last_error = str(exc)
+            self._schedule_connect()
+            return
+        conn.established.add_callback(lambda ev: self._on_connected(conn, ev.ok))
+        # A SYN into a dead link is silently dropped; give up on this
+        # attempt after the retry interval so the FSM keeps trying.
+        self.env.call_later(self.connect_retry,
+                            lambda: self._connect_timeout(conn))
+
+    def _connect_timeout(self, conn: Connection) -> None:
+        if conn.state == "connecting":
+            conn.abort("connect-timeout")
+
+    def _on_connected(self, conn: Connection, ok: Optional[bool]) -> None:
+        if self._stopped:
+            conn.abort()
+            return
+        # The connection may have been reset/FIN'd between establishment and
+        # this (deferred) callback — e.g. the peer's OS accepted then
+        # immediately closed a session to a shut-down neighbor.
+        if not ok or conn.state != "established":
+            self._schedule_connect()
+            return
+        self._adopt(conn)
+        self._send_open()
+
+    def accept(self, conn: Connection) -> None:
+        """Daemon hands us an inbound connection from our peer's address."""
+        if self._stopped or self.neighbor.shutdown:
+            conn.close()
+            return
+        if conn.state != "established":
+            return
+        if self.conn is not None:
+            # Collision: deterministic rule — the passive side wins.
+            if self.initiator and self.state != "established":
+                self.conn.abort("collision")
+                self._adopt(conn)
+                self._send_open()
+                return
+            conn.close()
+            return
+        self._adopt(conn)
+
+    def _adopt(self, conn: Connection) -> None:
+        self.conn = conn
+        self._last_recv = self.env.now
+        conn.on_message = self._on_message
+        conn.on_close = self._on_conn_closed
+        self.state = "open-sent"
+
+    def _send_open(self) -> None:
+        if self.conn is not None:
+            self.conn.send(OpenMessage(asn=self.local_asn,
+                                       router_id=self.router_id,
+                                       hold_time=self.hold_time))
+
+    # -- message handling ----------------------------------------------------
+
+    def _on_message(self, message) -> None:
+        self._last_recv = self.env.now
+        if isinstance(message, OpenMessage):
+            self._on_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            pass  # hold timer already refreshed
+        elif isinstance(message, UpdateMessage):
+            if self.state == "established":
+                self.updates_received += 1
+                self.on_update(self, message)
+        elif isinstance(message, NotificationMessage):
+            self._go_down(f"notification:{message.code}")
+
+    def _on_open(self, message: OpenMessage) -> None:
+        if message.asn != self.neighbor.remote_asn:
+            self.last_error = (f"OPEN asn {message.asn} != configured "
+                               f"{self.neighbor.remote_asn}")
+            if self.conn is not None:
+                self.conn.send(NotificationMessage(code="bad-peer-as",
+                                                   detail=self.last_error))
+                self.conn.close()
+                self.conn = None
+            self.state = "connect"
+            if self.initiator:
+                self._schedule_connect()
+            return
+        self.peer_open = message
+        # Negotiated hold time is the minimum of both OPENs.
+        self.hold_time = min(self.hold_time, message.hold_time)
+        if not self.initiator:
+            self._send_open()
+        self._establish()
+
+    def _establish(self) -> None:
+        if self.state == "established":
+            return
+        self.state = "established"
+        if self.conn is not None:
+            self.conn.send(KeepaliveMessage())
+        self._schedule_keepalive()
+        self._schedule_hold_check()
+        self.on_established(self)
+
+    # -- timers ----------------------------------------------------------------
+
+    def _schedule_keepalive(self) -> None:
+        if self.state != "established" or self._stopped:
+            return
+        delay = self.keepalive_interval * self.rng.uniform(0.75, 1.0)
+        self.env.call_later(delay, self._send_keepalive)
+
+    def _send_keepalive(self) -> None:
+        if self.state != "established" or self.conn is None:
+            return
+        self.conn.send(KeepaliveMessage())
+        self._schedule_keepalive()
+
+    def _schedule_hold_check(self) -> None:
+        if self._hold_check_scheduled or self.hold_time <= 0:
+            return
+        self._hold_check_scheduled = True
+        self.env.call_later(self.hold_time, self._hold_check)
+
+    def _hold_check(self) -> None:
+        self._hold_check_scheduled = False
+        if self.state != "established" or self._stopped:
+            return
+        expired_at = self._last_recv + self.hold_time
+        if self.env.now >= expired_at - 1e-9:
+            self._go_down("hold-timer-expired")
+            return
+        self.env.call_later(expired_at - self.env.now, self._hold_check)
+        self._hold_check_scheduled = True
+
+    # -- teardown ----------------------------------------------------------------
+
+    def _on_conn_closed(self, reason: str) -> None:
+        if self.state == "established":
+            self._go_down(reason)
+        else:
+            self.conn = None
+            if self.initiator:
+                self._schedule_connect()
+
+    def _go_down(self, reason: str) -> None:
+        was_established = self.state == "established"
+        self.state = "connect"
+        self.last_error = reason
+        if self.conn is not None:
+            conn, self.conn = self.conn, None
+            conn.on_close = None
+            conn.abort(reason)
+        if was_established:
+            self.flaps += 1
+            self.on_down(self, reason)
+        if not self._stopped and self.initiator:
+            self._schedule_connect()
+
+    # -- data ------------------------------------------------------------------
+
+    def send_update(self, update: UpdateMessage) -> None:
+        if self.state != "established" or self.conn is None:
+            return
+        self.updates_sent += 1
+        self.conn.send(update)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BgpSession to {self.peer_ip} {self.state}>"

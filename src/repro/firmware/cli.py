@@ -1,0 +1,157 @@
+"""Vendor CLIs: the command surface operators (and their tools) script.
+
+CrystalNet's value for the *human errors* category (§2) comes from letting
+operators practice on the exact device command interfaces.  Each vendor
+family answers the same questions with slightly different spellings, and the
+configuration mode accepts live edits — including the typo'd ones our
+scenarios replay (``deny 10.0.0.0/2``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from ..net.ip import IPv4Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import DeviceOS
+
+__all__ = ["VendorCli"]
+
+
+# Per-vendor-family spellings of the common operational commands.
+_SHOW_COMMANDS = {
+    "ctnr-a": {"routes": "show ip route", "bgp": "show ip bgp summary",
+               "version": "show version"},
+    "ctnr-b": {"routes": "show ip route", "bgp": "show ip bgp summary",
+               "version": "show version"},
+    "vm-a": {"routes": "show route", "bgp": "show bgp summary",
+             "version": "show version"},
+    "vm-b": {"routes": "show route", "bgp": "show bgp summary",
+             "version": "show version"},
+}
+
+
+class VendorCli:
+    """One device's command-line interface."""
+
+    def __init__(self, device: "DeviceOS"):
+        self.device = device
+        self._config_mode = False
+        self._pending_lines: List[str] = []
+        family = device.vendor.name
+        spellings = _SHOW_COMMANDS.get(family, _SHOW_COMMANDS["ctnr-a"])
+        self._dispatch: Dict[str, Callable[[], str]] = {
+            spellings["routes"]: self._show_routes,
+            spellings["bgp"]: self._show_bgp_summary,
+            spellings["version"]: self._show_version,
+            "show running-config": self._show_running_config,
+        }
+
+    def execute(self, command: str) -> str:
+        command = command.strip()
+        if not command:
+            return ""
+        if self._config_mode:
+            return self._config_line(command)
+        if command in ("configure", "configure terminal", "edit"):
+            self._config_mode = True
+            self._pending_lines = []
+            return f"{self.device.hostname}(config)#"
+        handler = self._dispatch.get(command)
+        if handler is not None:
+            return handler()
+        if command.startswith("ping "):
+            return self._ping(command.split(None, 1)[1])
+        return f"% Invalid input: {command!r}"
+
+    # -- configuration mode ------------------------------------------------
+
+    def _config_line(self, line: str) -> str:
+        if line in ("end", "commit", "exit"):
+            self._config_mode = False
+            return self._apply_pending()
+        if line == "abort":
+            self._config_mode = False
+            self._pending_lines = []
+            return "% changes discarded"
+        self._pending_lines.append(line)
+        return ""
+
+    def _apply_pending(self) -> str:
+        """Apply accumulated config-mode lines to the *text* config and
+        reload the control plane — a scoped version of a real commit."""
+        if not self._pending_lines:
+            return "% no changes"
+        device = self.device
+        new_text = device.config_text.rstrip("\n") + "\n" + \
+            "\n".join(self._pending_lines) + "\n"
+        self._pending_lines = []
+        device.config_text = new_text
+        # Reparse; on parse failure the commit is rejected (real vendors
+        # validate candidate configs).
+        from ..config.dialects import parse_config
+        try:
+            device.config = parse_config(
+                new_text, device.vendor.name,
+                firmware_version=device.vendor.acl_firmware_version)
+        except Exception as exc:
+            return f"% commit failed: {exc}"
+        device._apply_transit_acl()
+        return "% committed"
+
+    # -- show commands -----------------------------------------------------
+
+    def _show_routes(self) -> str:
+        stack = self.device.stack
+        if stack is None:
+            return "% control plane not running"
+        lines = [f"{self.device.hostname} routing table:"]
+        for prefix, hops in stack.fib.routes():
+            vias = ", ".join(
+                f"via {h.ip} dev {h.interface}" if h.ip else
+                f"directly connected ({h.interface})" for h in hops)
+            lines.append(f"  {prefix}  {vias}")
+        return "\n".join(lines)
+
+    def _show_bgp_summary(self) -> str:
+        bgp = self.device.bgp
+        if bgp is None:
+            return "% BGP is not running"
+        lines = [
+            f"BGP router identifier {bgp.router_id}, local AS {bgp.asn}",
+            f"RIB entries {len(bgp.loc_rib)}",
+            "Neighbor        AS      State       Up/Down  PfxRcd",
+        ]
+        for session in bgp.sessions.values():
+            lines.append(
+                f"{str(session.peer_ip):<15} {session.neighbor.remote_asn:<7} "
+                f"{session.state:<11} flaps={session.flaps} "
+                f"{len(bgp.adj_in.peer_prefixes(session.peer_ip))}")
+        return "\n".join(lines)
+
+    def _show_version(self) -> str:
+        vendor = self.device.vendor
+        return (f"{vendor.image.name} ({vendor.name}), "
+                f"ACL grammar v{vendor.acl_firmware_version}, "
+                f"boot #{self.device.boot_count}")
+
+    def _show_running_config(self) -> str:
+        return self.device.config_text
+
+    def _ping(self, target: str) -> str:
+        """Data-plane liveness probe: checks a forwarding path exists."""
+        stack = self.device.stack
+        if stack is None:
+            return "% control plane not running"
+        try:
+            dst = IPv4Address(target)
+        except ValueError:
+            return f"% bad address {target!r}"
+        if stack.is_local_address(dst):
+            return f"PING {dst}: local address, 0.0ms"
+        entry = stack.fib.lookup(dst)
+        if entry is None:
+            return f"PING {dst}: Network is unreachable"
+        return (f"PING {dst}: via {entry.prefix} "
+                f"[{', '.join(h.interface for h in entry.next_hops)}]")

@@ -1,0 +1,120 @@
+"""The forwarding information base (FIB) of an emulated device.
+
+Real switches have *finite* FIB space, and the paper's load-balancer
+incident (§2) — a router silently dropping route announcements once its FIB
+filled, blackholing traffic — is exactly the class of bug configuration
+verifiers miss.  The FIB therefore models capacity and exposes a
+vendor-controlled overflow policy:
+
+* ``"drop-silent"``  — the route is not installed, no error (the incident).
+* ``"reject"``       — installation fails loudly (an error the control plane
+  can react to).
+* ``"crash"``        — firmware crash (some stacks do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..net.ip import IPv4Address, Prefix
+from ..net.trie import PrefixTrie
+
+__all__ = ["NextHop", "FibEntry", "Fib", "FibFullError", "FirmwareCrash"]
+
+
+class FibFullError(Exception):
+    """Raised by the ``reject`` overflow policy."""
+
+
+class FirmwareCrash(Exception):
+    """Raised by the ``crash`` overflow policy; kills the device daemon."""
+
+
+@dataclass(frozen=True)
+class NextHop:
+    """Where to send matching packets: a gateway IP (None = connected) out
+    of a named interface."""
+
+    ip: Optional[IPv4Address]
+    interface: str
+
+    def __repr__(self) -> str:  # pragma: no cover
+        via = str(self.ip) if self.ip is not None else "connected"
+        return f"NextHop({via} dev {self.interface})"
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    prefix: Prefix
+    next_hops: Tuple[NextHop, ...]
+    source: str = "bgp"  # bgp | connected | static | ospf
+
+    def __post_init__(self):
+        if not self.next_hops:
+            raise ValueError(f"FIB entry {self.prefix} has no next hops")
+
+
+class Fib:
+    """LPM table with optional capacity and an overflow policy."""
+
+    def __init__(self, capacity: Optional[int] = None,
+                 overflow_policy: str = "reject"):
+        if overflow_policy not in ("drop-silent", "reject", "crash"):
+            raise ValueError(f"unknown overflow policy {overflow_policy!r}")
+        self._trie = PrefixTrie()
+        self.capacity = capacity
+        self.overflow_policy = overflow_policy
+        self.installed = 0
+        self.overflow_drops = 0
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __contains__(self, pfx: Prefix) -> bool:
+        return pfx in self._trie
+
+    def install(self, entry: FibEntry) -> bool:
+        """Install (or replace) a route.  Returns False when the overflow
+        policy silently dropped it."""
+        replacing = entry.prefix in self._trie
+        if (not replacing and self.capacity is not None
+                and len(self._trie) >= self.capacity):
+            self.overflow_drops += 1
+            if self.overflow_policy == "drop-silent":
+                return False
+            if self.overflow_policy == "reject":
+                raise FibFullError(
+                    f"FIB full ({self.capacity} entries), cannot install "
+                    f"{entry.prefix}")
+            raise FirmwareCrash(
+                f"FIB overflow at {self.capacity} entries")
+        self._trie.insert(entry.prefix, entry)
+        self.installed += 1
+        return True
+
+    def remove(self, pfx: Prefix) -> bool:
+        return self._trie.delete(pfx)
+
+    def lookup(self, addr: IPv4Address) -> Optional[FibEntry]:
+        return self._trie.lookup(addr)
+
+    def get(self, pfx: Prefix) -> Optional[FibEntry]:
+        return self._trie.get(pfx)
+
+    def entries(self) -> Iterator[FibEntry]:
+        return iter(self._trie.values())
+
+    def routes(self) -> List[Tuple[Prefix, Tuple[NextHop, ...]]]:
+        """Stable snapshot for PullStates / FIB comparison."""
+        return sorted(
+            ((entry.prefix, entry.next_hops) for entry in self._trie.values()),
+            key=lambda item: item[0].key(),
+        )
+
+    def clear_protocol(self, source: str) -> int:
+        """Remove all routes learned from one protocol (daemon restart)."""
+        victims = [p for p, e in self._trie.items() if e.source == source]
+        for pfx in victims:
+            self._trie.delete(pfx)
+        return len(victims)

@@ -1,0 +1,198 @@
+"""A lightweight protocol lab: routers on a bench, no cloud substrate.
+
+For unit-testing routing behaviour (and for small reproductions like the
+paper's Figure 1) the full orchestrator is overkill.  :class:`BgpLab` wires
+:class:`~repro.firmware.netstack.HostStack`-based routers together with raw
+veth pairs, boots their BGP daemons, and runs the simulation until the
+control plane is quiescent.
+
+The full-substrate path (containers on VMs, VXLAN links, management plane)
+is exercised by :mod:`repro.core`; both layers run the *same* firmware code.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..config.model import (
+    BgpConfig,
+    BgpNeighborConfig,
+    DeviceConfig,
+    InterfaceConfig,
+)
+from ..net.ip import IPv4Address, Prefix
+from ..net.packet import MacAllocator
+from ..net.stream import StreamManager
+from ..sim import CpuScheduler, Environment
+from ..virt.netns import NetworkNamespace, VethPair
+from .bgp.daemon import BgpDaemon
+from .netstack import HostStack
+from .vendors.profiles import VendorProfile, get_vendor
+from .worker import SerialWorker
+
+__all__ = ["LabRouter", "BgpLab"]
+
+
+class LabRouter:
+    """One router on the bench: stack + worker + (eventually) a daemon."""
+
+    def __init__(self, lab: "BgpLab", name: str, asn: int,
+                 vendor: VendorProfile, networks: List[Prefix],
+                 router_id: Optional[IPv4Address] = None):
+        self.lab = lab
+        self.name = name
+        self.asn = asn
+        self.vendor = vendor
+        self.cpu = CpuScheduler(lab.env, cores=4, name=f"{name}.cpu")
+        self.stack = HostStack(lab.env, name)
+        self.stack.attach(NetworkNamespace(name))
+        self.streams = StreamManager(lab.env, self.stack)
+        self.worker = SerialWorker(lab.env, self.cpu, name=f"{name}.worker")
+        self.networks = networks
+        self.router_id = router_id or IPv4Address(0x0A400000 + len(lab.routers) + 1)
+        self.neighbors: List[BgpNeighborConfig] = []
+        self.aggregates = []
+        self.route_maps = {}
+        self.prefix_lists = {}
+        self.fib_capacity: Optional[int] = None
+        self.daemon: Optional[BgpDaemon] = None
+        # Loopback so router-id is a real local address.
+        self.stack.configure_interface("lo0", self.router_id, 32)
+
+    @property
+    def fib(self):
+        return self.stack.fib
+
+    def config(self) -> DeviceConfig:
+        cfg = DeviceConfig(hostname=self.name, vendor=self.vendor.name
+                           if self.vendor.name in ("ctnr-a", "ctnr-b", "vm-a",
+                                                   "vm-b") else "ctnr-a")
+        cfg.interfaces = [InterfaceConfig("lo0", self.router_id, 32)]
+        for ifname, addr in self.stack.addresses.items():
+            if ifname != "lo0":
+                cfg.interfaces.append(InterfaceConfig(
+                    ifname, addr.address, addr.prefix_length))
+        cfg.bgp = BgpConfig(asn=self.asn, router_id=self.router_id,
+                            neighbors=self.neighbors,
+                            networks=list(self.networks),
+                            aggregates=list(self.aggregates))
+        cfg.route_maps = self.route_maps
+        cfg.prefix_lists = self.prefix_lists
+        cfg.fib_capacity = self.fib_capacity
+        return cfg
+
+    def boot(self) -> BgpDaemon:
+        if self.daemon is not None:
+            self.daemon.stop()
+        # Each boot gets a fresh worker (the previous one is stopped).
+        self.worker = SerialWorker(self.lab.env, self.cpu,
+                                   name=f"{self.name}.worker")
+        if self.fib_capacity is not None:
+            # Rebuild the FIB with the vendor's overflow behaviour, keeping
+            # connected routes.
+            from .fib import Fib
+            new_fib = Fib(capacity=self.fib_capacity,
+                          overflow_policy=self.vendor.fib_overflow_policy)
+            for _pfx, entry in list(self.stack.fib._trie.items()):
+                new_fib.install(entry)
+            self.stack.fib = new_fib
+        self.daemon = BgpDaemon(
+            self.lab.env, self.stack, self.streams, self.config(),
+            self.vendor, self.worker,
+            rng=random.Random(self.lab.rng.getrandbits(32)))
+        self.daemon.start()
+        return self.daemon
+
+
+class BgpLab:
+    """Declarative bench for BGP topologies."""
+
+    def __init__(self, seed: int = 11):
+        self.env = Environment()
+        self.rng = random.Random(seed)
+        self.macs = MacAllocator()
+        self.routers: Dict[str, LabRouter] = {}
+        self.cables: List[Tuple[str, str, VethPair]] = []
+        self._subnets = Prefix("172.16.0.0/12").subnets(31)
+
+    def router(self, name: str, asn: int, networks: List[str] = (),
+               vendor: str | VendorProfile = "ctnr-a",
+               router_id: Optional[str] = None) -> LabRouter:
+        if name in self.routers:
+            raise ValueError(f"duplicate router {name}")
+        profile = vendor if isinstance(vendor, VendorProfile) else get_vendor(vendor)
+        router = LabRouter(
+            self, name, asn, profile, [Prefix(n) for n in networks],
+            router_id=IPv4Address(router_id) if router_id else None)
+        self.routers[name] = router
+        return router
+
+    def link(self, a: LabRouter, b: LabRouter,
+             subnet: Optional[str] = None) -> VethPair:
+        """Cable two routers and configure the BGP peering both ways."""
+        net = Prefix(subnet) if subnet else next(self._subnets)
+        ip_a, ip_b = net.address_at(0), net.address_at(1)
+        name_a = f"et{len([i for i in a.stack.addresses if i != 'lo0'])}"
+        name_b = f"et{len([i for i in b.stack.addresses if i != 'lo0'])}"
+        pair = VethPair(self.env, name_a, name_b,
+                        self.macs.allocate(), self.macs.allocate())
+        pair.a.attach_namespace(a.stack.netns)
+        pair.b.attach_namespace(b.stack.netns)
+        a.stack.configure_interface(name_a, ip_a, net.length)
+        b.stack.configure_interface(name_b, ip_b, net.length)
+        a.neighbors.append(BgpNeighborConfig(peer_ip=ip_b, remote_asn=b.asn,
+                                             description=b.name))
+        b.neighbors.append(BgpNeighborConfig(peer_ip=ip_a, remote_asn=a.asn,
+                                             description=a.name))
+        self.cables.append((a.name, b.name, pair))
+        return pair
+
+    def cable_between(self, a: str, b: str) -> VethPair:
+        for name_a, name_b, pair in self.cables:
+            if {name_a, name_b} == {a, b}:
+                return pair
+        raise KeyError(f"no cable between {a} and {b}")
+
+    def start(self) -> None:
+        for router in self.routers.values():
+            router.boot()
+
+    def quiescent(self) -> bool:
+        return all(r.daemon is not None and r.daemon.is_quiescent()
+                   for r in self.routers.values())
+
+    def converge(self, timeout: float = 600.0, settle: float = 5.0) -> float:
+        """Run until the control plane has been quiet for ``settle`` seconds;
+        returns the convergence time.  Raises on timeout."""
+        start = self.env.now
+        deadline = start + timeout
+        quiet_since: Optional[float] = None
+        while self.env.now < deadline:
+            if self.quiescent():
+                if quiet_since is None:
+                    quiet_since = self.env.now
+                elif self.env.now - quiet_since >= settle:
+                    return quiet_since - start
+            else:
+                quiet_since = None
+            next_event = self.env.peek()
+            step_to = min(deadline, max(self.env.now + 0.5,
+                                        min(next_event, self.env.now + 5.0)))
+            self.env.run(until=step_to)
+        raise TimeoutError(
+            f"no convergence within {timeout}s; states: "
+            f"{ {n: r.daemon.rib_snapshot()['sessions'] for n, r in self.routers.items()} }")
+
+    def wait(self, seconds: float) -> None:
+        """Advance sim time (e.g. to let hold timers expire after a cut)."""
+        self.env.run(until=self.env.now + seconds)
+
+    def routes(self, router: str) -> Dict[str, List[str]]:
+        """FIB snapshot of one router: prefix -> sorted next-hop strings."""
+        fib = self.routers[router].stack.fib
+        out = {}
+        for prefix, hops in fib.routes():
+            out[str(prefix)] = sorted(
+                f"{h.ip or 'local'}@{h.interface}" for h in hops)
+        return out

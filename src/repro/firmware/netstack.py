@@ -1,0 +1,280 @@
+"""The host IP stack every firmware runs on.
+
+This is the part of a switch OS between the wire and the routing daemons:
+interface addressing, ARP, local delivery, and FIB-driven forwarding with
+ECMP.  It binds to the PhyNet container's network namespace, so it sees the
+same Ethernet interfaces real firmware would (§4.1).
+
+Data-plane fidelity notes (matching the paper's scope, §1/§9): forwarding is
+*functionally* exact — LPM, TTL, ACLs, ECMP hashing — but link bandwidth and
+queueing are not modelled; CrystalNet explicitly does not target data-plane
+performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.ip import IPv4Address, Prefix
+from ..net.packet import (
+    ArpMessage,
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Ipv4Packet,
+    MacAddress,
+)
+from ..sim import Environment
+from ..virt.netns import NetworkNamespace, VirtualInterface
+from .fib import Fib, FibEntry, NextHop
+
+__all__ = ["HostStack", "InterfaceAddress", "StackError"]
+
+ARP_TIMEOUT = 1.0          # seconds before an unanswered ARP retries
+ARP_MAX_RETRIES = 3
+DEFAULT_TTL = 64
+
+
+class StackError(Exception):
+    """Host-stack misuse (unknown interface, no source address...)."""
+
+
+def _is_multicast(addr: IPv4Address) -> bool:
+    return (addr.value >> 28) == 0xE  # 224.0.0.0/4
+
+
+@dataclass
+class InterfaceAddress:
+    ifname: str
+    address: IPv4Address
+    prefix_length: int
+
+    @property
+    def subnet(self) -> Prefix:
+        return Prefix(self.address.value, self.prefix_length)
+
+
+ProtocolHandler = Callable[[Ipv4Packet, str], None]  # (packet, ingress ifname)
+CaptureHook = Callable[[str, str, Ipv4Packet], None]  # (ifname, event, packet)
+
+
+class HostStack:
+    """ARP + IP + forwarding for one device."""
+
+    def __init__(self, env: Environment, hostname: str,
+                 fib: Optional[Fib] = None):
+        self.env = env
+        self.hostname = hostname
+        self.fib = fib or Fib()
+        self.netns: Optional[NetworkNamespace] = None
+        self.addresses: Dict[str, InterfaceAddress] = {}
+        self.arp_table: Dict[int, MacAddress] = {}
+        self._arp_pending: Dict[int, List[Tuple[Ipv4Packet, str]]] = {}
+        self._protocols: Dict[str, ProtocolHandler] = {}
+        self.capture_hook: Optional[CaptureHook] = None
+        # Packet-filter hook (ACLs): returns True to permit.
+        self.packet_filter: Optional[
+            Callable[[IPv4Address, IPv4Address], bool]] = None
+        # Vendor quirk hook: ARP refresh behaviour (§2 incident).
+        self.arp_refresh_enabled = True
+        self.counters = {
+            "forwarded": 0, "delivered": 0, "dropped_no_route": 0,
+            "dropped_ttl": 0, "dropped_acl": 0, "dropped_arp": 0,
+            "arp_requests": 0, "arp_replies": 0, "sent": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, netns: NetworkNamespace) -> None:
+        """Bind to a namespace: the firmware is now on the wire."""
+        self.netns = netns
+        netns.bind(self._on_frame)
+
+    def detach(self) -> None:
+        if self.netns is not None:
+            self.netns.unbind()
+            self.netns = None
+
+    def configure_interface(self, ifname: str, address: IPv4Address,
+                            prefix_length: int) -> None:
+        """Assign an address; installs the connected route (non-loopback
+        interfaces must exist in the namespace — like real firmware, which
+        only configures ports that are present)."""
+        is_loopback = ifname.startswith("lo")
+        if not is_loopback:
+            if self.netns is None or ifname not in self.netns.interfaces:
+                raise StackError(f"{self.hostname}: no interface {ifname}")
+        self.addresses[ifname] = InterfaceAddress(ifname, address, prefix_length)
+        self.fib.install(FibEntry(
+            prefix=Prefix(address.value, prefix_length),
+            next_hops=(NextHop(ip=None, interface=ifname),),
+            source="connected",
+        ))
+
+    def deconfigure_all(self) -> None:
+        self.addresses.clear()
+        self.fib.clear_protocol("connected")
+
+    def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
+        self._protocols[protocol] = handler
+
+    # -- queries -----------------------------------------------------------
+
+    def is_local_address(self, addr: IPv4Address) -> bool:
+        return any(a.address == addr for a in self.addresses.values())
+
+    def address_of(self, ifname: str) -> IPv4Address:
+        try:
+            return self.addresses[ifname].address
+        except KeyError:
+            raise StackError(f"{self.hostname}: {ifname} unconfigured") from None
+
+    def source_address_for(self, dst: IPv4Address) -> IPv4Address:
+        """Pick the source address a socket to ``dst`` would use."""
+        route = self.fib.lookup(dst)
+        if route is not None:
+            ifname = route.next_hops[0].interface
+            if ifname in self.addresses:
+                return self.addresses[ifname].address
+        for addr in self.addresses.values():
+            if not addr.ifname.startswith("lo"):
+                return addr.address
+        raise StackError(f"{self.hostname}: no usable source address")
+
+    # -- transmit path -------------------------------------------------------
+
+    def send_ip(self, packet: Ipv4Packet) -> None:
+        """Send a locally-originated packet."""
+        self.counters["sent"] += 1
+        if self.is_local_address(packet.dst):
+            self._deliver_local(packet, "lo0")
+            return
+        self._route_and_transmit(packet)
+
+    def _route_and_transmit(self, packet: Ipv4Packet) -> None:
+        entry = self.fib.lookup(packet.dst)
+        if entry is None:
+            self.counters["dropped_no_route"] += 1
+            return
+        hop = self._pick_next_hop(entry, packet)
+        gateway = hop.ip if hop.ip is not None else packet.dst
+        self._transmit_via(hop.interface, gateway, packet)
+
+    def _pick_next_hop(self, entry: FibEntry, packet: Ipv4Packet) -> NextHop:
+        hops = entry.next_hops
+        if len(hops) == 1:
+            return hops[0]
+        # Deterministic ECMP flow hash on the 3-tuple.
+        key = (packet.src.value * 2654435761 + packet.dst.value * 40503
+               + hash(packet.protocol)) & 0xFFFFFFFF
+        return hops[key % len(hops)]
+
+    def _transmit_via(self, ifname: str, gateway: IPv4Address,
+                      packet: Ipv4Packet) -> None:
+        if self.netns is None or ifname not in self.netns.interfaces:
+            self.counters["dropped_no_route"] += 1
+            return
+        iface = self.netns.interface(ifname)
+        mac = self.arp_table.get(gateway.value)
+        if mac is None:
+            self._arp_resolve(gateway, ifname, packet)
+            return
+        if self.capture_hook is not None:
+            self.capture_hook(ifname, "tx", packet)
+        iface.transmit(EthernetFrame(
+            src=iface.mac, dst=mac, ethertype=ETHERTYPE_IPV4, payload=packet))
+
+    # -- ARP -----------------------------------------------------------------
+
+    def _arp_resolve(self, target: IPv4Address, ifname: str,
+                     pending_packet: Optional[Ipv4Packet]) -> None:
+        queue = self._arp_pending.setdefault(target.value, [])
+        if pending_packet is not None:
+            queue.append((pending_packet, ifname))
+        if len(queue) > 1 and pending_packet is not None:
+            return  # a request is already outstanding
+        self._send_arp_request(target, ifname, retries_left=ARP_MAX_RETRIES)
+
+    def _send_arp_request(self, target: IPv4Address, ifname: str,
+                          retries_left: int) -> None:
+        if self.netns is None or ifname not in self.netns.interfaces:
+            return
+        if target.value in self.arp_table:
+            return
+        if retries_left <= 0:
+            dropped = self._arp_pending.pop(target.value, [])
+            self.counters["dropped_arp"] += len(dropped)
+            return
+        iface = self.netns.interface(ifname)
+        local = self.addresses.get(ifname)
+        if local is None:
+            return
+        self.counters["arp_requests"] += 1
+        iface.transmit(EthernetFrame(
+            src=iface.mac, dst=BROADCAST_MAC, ethertype=ETHERTYPE_ARP,
+            payload=ArpMessage(op="request", sender_mac=iface.mac,
+                               sender_ip=local.address, target_ip=target)))
+        self.env.call_later(
+            ARP_TIMEOUT,
+            lambda: self._send_arp_request(target, ifname, retries_left - 1))
+
+    def _on_arp(self, iface: VirtualInterface, message: ArpMessage) -> None:
+        local = self.addresses.get(iface.name)
+        # Learn the sender either way (standard ARP optimization).
+        if self.arp_refresh_enabled or message.sender_ip.value not in self.arp_table:
+            self.arp_table[message.sender_ip.value] = message.sender_mac
+        self._flush_arp_pending(message.sender_ip)
+        if message.op == "request" and local is not None \
+                and message.target_ip == local.address:
+            self.counters["arp_replies"] += 1
+            iface.transmit(EthernetFrame(
+                src=iface.mac, dst=message.sender_mac, ethertype=ETHERTYPE_ARP,
+                payload=ArpMessage(op="reply", sender_mac=iface.mac,
+                                   sender_ip=local.address,
+                                   target_ip=message.sender_ip,
+                                   target_mac=message.sender_mac)))
+
+    def _flush_arp_pending(self, resolved: IPv4Address) -> None:
+        queue = self._arp_pending.pop(resolved.value, [])
+        for packet, ifname in queue:
+            self._transmit_via(ifname, resolved, packet)
+
+    # -- receive path ----------------------------------------------------
+
+    def _on_frame(self, iface: VirtualInterface, frame: EthernetFrame) -> None:
+        if frame.ethertype == ETHERTYPE_ARP and isinstance(frame.payload,
+                                                           ArpMessage):
+            self._on_arp(iface, frame.payload)
+            return
+        if frame.ethertype != ETHERTYPE_IPV4:
+            return
+        packet = frame.payload
+        if not isinstance(packet, Ipv4Packet):
+            return
+        if self.capture_hook is not None:
+            self.capture_hook(iface.name, "rx", packet)
+        # Link-local multicast (224.0.0.0/4, e.g. OSPF's AllSPFRouters) is
+        # consumed locally, never forwarded.
+        if self.is_local_address(packet.dst) or _is_multicast(packet.dst):
+            self._deliver_local(packet, iface.name)
+            return
+        self._forward(packet)
+
+    def _deliver_local(self, packet: Ipv4Packet, ingress: str) -> None:
+        self.counters["delivered"] += 1
+        handler = self._protocols.get(packet.protocol)
+        if handler is not None:
+            handler(packet, ingress)
+
+    def _forward(self, packet: Ipv4Packet) -> None:
+        if self.packet_filter is not None and not self.packet_filter(
+                packet.src, packet.dst):
+            self.counters["dropped_acl"] += 1
+            return
+        if packet.ttl <= 1:
+            self.counters["dropped_ttl"] += 1
+            return
+        self.counters["forwarded"] += 1
+        self._route_and_transmit(packet.decrement_ttl())

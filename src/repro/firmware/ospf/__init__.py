@@ -1,0 +1,7 @@
+"""OSPF: hellos, DR/BDR election, LSA flooding, SPF."""
+
+from .daemon import OspfDaemon, OspfInterfaceConfig
+from .messages import HelloPacket, Lsa, LsUpdate, OSPF_PROTO
+
+__all__ = ["HelloPacket", "Lsa", "LsUpdate", "OSPF_PROTO", "OspfDaemon",
+           "OspfInterfaceConfig"]

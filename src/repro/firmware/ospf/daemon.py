@@ -1,0 +1,369 @@
+"""A compact OSPF implementation: hellos, DR/BDR election, LSA flooding, SPF.
+
+This is the link-state counterpart of the BGP daemon, used to emulate
+IGP-run networks and to exercise Proposition 5.4 (OSPF boundary safety):
+state changes on a link make the attached routers re-originate their router
+LSA toward the (designated-router-anchored) database, so a boundary is only
+safe if DR/BDRs are emulated and boundary links stay untouched.
+
+Faithful pieces: periodic hellos with dead-interval neighbor expiry,
+priority-then-router-id DR/BDR election on LAN segments, sequence-numbered
+router-LSA flooding with deduplication, incremental SPF (Dijkstra) over the
+LSDB, and FIB programming with ECMP.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...net.ip import IPv4Address, Prefix
+from ...net.packet import Ipv4Packet
+from ...sim import Environment
+from ..fib import FibEntry, NextHop
+from ..netstack import HostStack
+from ..worker import SerialWorker
+from .messages import HelloPacket, Lsa, LsUpdate, OSPF_PROTO
+
+__all__ = ["OspfInterfaceConfig", "OspfDaemon"]
+
+ALL_OSPF_ROUTERS = IPv4Address("224.0.0.5")
+
+
+@dataclass
+class OspfInterfaceConfig:
+    name: str
+    cost: int = 10
+    priority: int = 1
+    network_type: str = "p2p"       # p2p | broadcast
+    hello_interval: float = 10.0
+    dead_interval: float = 40.0
+
+
+@dataclass
+class _Neighbor:
+    router_id: IPv4Address
+    address: IPv4Address
+    last_seen: float
+    state: str = "init"             # init | 2way | full
+    priority: int = 1
+
+
+class OspfDaemon:
+    """One router's OSPF process."""
+
+    def __init__(self, env: Environment, stack: HostStack,
+                 router_id: IPv4Address,
+                 interfaces: List[OspfInterfaceConfig],
+                 stub_networks: Optional[List[Prefix]] = None,
+                 worker: Optional[SerialWorker] = None,
+                 rng: Optional[random.Random] = None):
+        self.env = env
+        self.stack = stack
+        self.router_id = router_id
+        self.interfaces = {i.name: i for i in interfaces}
+        self.stub_networks = list(stub_networks or [])
+        self.worker = worker
+        self.rng = rng or random.Random(router_id.value)
+        self.running = False
+
+        # Per-interface neighbor tables and DR/BDR views.
+        self.neighbors: Dict[str, Dict[int, _Neighbor]] = {
+            name: {} for name in self.interfaces}
+        self.dr: Dict[str, Optional[IPv4Address]] = {
+            name: None for name in self.interfaces}
+        self.bdr: Dict[str, Optional[IPv4Address]] = {
+            name: None for name in self.interfaces}
+
+        self.lsdb: Dict[int, Lsa] = {}
+        self._my_seq = 0
+        self.spf_runs = 0
+        self.lsas_originated = 0
+        stack.register_protocol(OSPF_PROTO, self._on_packet)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.running = True
+        self._originate()
+        for name in self.interfaces:
+            self._hello_loop(name, first=True)
+        self._expiry_loop()
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- hello machinery ------------------------------------------------------
+
+    def _hello_loop(self, ifname: str, first: bool = False) -> None:
+        if not self.running:
+            return
+        config = self.interfaces[ifname]
+        self._send_hello(ifname)
+        delay = config.hello_interval * (self.rng.uniform(0.1, 0.5) if first
+                                         else self.rng.uniform(0.9, 1.1))
+        self.env.call_later(delay, lambda: self._hello_loop(ifname))
+
+    def _send_hello(self, ifname: str) -> None:
+        if ifname not in self.stack.addresses:
+            return
+        config = self.interfaces[ifname]
+        seen = frozenset(self.neighbors[ifname])
+        hello = HelloPacket(
+            router_id=self.router_id, priority=config.priority,
+            seen_neighbors=seen, dr=self.dr[ifname], bdr=self.bdr[ifname],
+            hello_interval=config.hello_interval,
+            dead_interval=config.dead_interval)
+        local = self.stack.addresses[ifname]
+        # OSPF multicasts on the segment; our stack broadcasts on-link by
+        # sending to the subnet broadcast via ARP-free direct flood.
+        self._multicast(ifname, Ipv4Packet(
+            src=local.address, dst=ALL_OSPF_ROUTERS, protocol=OSPF_PROTO,
+            ttl=1, payload=("hello", ifname, hello)))
+
+    def _multicast(self, ifname: str, packet: Ipv4Packet) -> None:
+        """Link-local multicast: broadcast frame on the interface."""
+        if self.stack.netns is None or ifname not in self.stack.netns.interfaces:
+            return
+        from ...net.packet import BROADCAST_MAC, EthernetFrame, ETHERTYPE_IPV4
+        iface = self.stack.netns.interface(ifname)
+        iface.transmit(EthernetFrame(src=iface.mac, dst=BROADCAST_MAC,
+                                     ethertype=ETHERTYPE_IPV4,
+                                     payload=packet))
+
+    def _expiry_loop(self) -> None:
+        if not self.running:
+            return
+        now = self.env.now
+        changed = False
+        for ifname, table in self.neighbors.items():
+            dead = [rid for rid, n in table.items()
+                    if now - n.last_seen > self.interfaces[ifname].dead_interval]
+            for rid in dead:
+                del table[rid]
+                changed = True
+            if dead:
+                self._elect(ifname)
+        if changed:
+            self._originate()
+        self.env.call_later(5.0, self._expiry_loop)
+
+    # -- packet handling --------------------------------------------------------
+
+    def _on_packet(self, packet: Ipv4Packet, ingress: str) -> None:
+        if not self.running or not isinstance(packet.payload, tuple):
+            return
+        kind = packet.payload[0]
+        if kind == "hello":
+            _k, _sender_if, hello = packet.payload
+            self._on_hello(ingress, packet.src, hello)
+        elif kind == "lsu":
+            _k, update = packet.payload
+            self._on_ls_update(ingress, update)
+
+    def _on_hello(self, ifname: str, src: IPv4Address,
+                  hello: HelloPacket) -> None:
+        if ifname not in self.neighbors:
+            return
+        table = self.neighbors[ifname]
+        rid = hello.router_id.value
+        is_new = rid not in table
+        neighbor = table.get(rid) or _Neighbor(
+            router_id=hello.router_id, address=src, last_seen=self.env.now,
+            priority=hello.priority)
+        neighbor.last_seen = self.env.now
+        neighbor.priority = hello.priority
+        table[rid] = neighbor
+        # Bidirectional check: do they see us?
+        if self.router_id.value in hello.seen_neighbors:
+            if neighbor.state == "init":
+                neighbor.state = "full"   # (collapsed ExStart/Exchange)
+                self._elect(ifname)
+                self._originate()
+                self._flood_full_db(ifname, neighbor)
+        elif is_new:
+            self._send_hello(ifname)  # accelerate two-way discovery
+
+    def _elect(self, ifname: str) -> None:
+        """DR/BDR election: highest (priority, router-id) wins."""
+        config = self.interfaces[ifname]
+        if config.network_type != "broadcast":
+            return
+        candidates: List[Tuple[int, int, IPv4Address]] = [
+            (config.priority, self.router_id.value, self.router_id)]
+        for neighbor in self.neighbors[ifname].values():
+            if neighbor.state == "full" and neighbor.priority > 0:
+                candidates.append((neighbor.priority,
+                                   neighbor.router_id.value,
+                                   neighbor.router_id))
+        candidates.sort(reverse=True)
+        self.dr[ifname] = candidates[0][2] if candidates else None
+        self.bdr[ifname] = candidates[1][2] if len(candidates) > 1 else None
+
+    # -- LSA origination & flooding -------------------------------------------------
+
+    def _originate(self) -> None:
+        if not self.running:
+            return
+        links: List[tuple] = []
+        for ifname, config in self.interfaces.items():
+            for neighbor in self.neighbors[ifname].values():
+                if neighbor.state != "full":
+                    continue
+                if config.network_type == "broadcast":
+                    dr = self.dr[ifname]
+                    if dr is not None:
+                        links.append(("transit", dr.value, config.cost))
+                        break
+                else:
+                    links.append(("p2p", neighbor.router_id.value,
+                                  config.cost))
+            addr = self.stack.addresses.get(ifname)
+            if addr is not None:
+                links.append(("stub", addr.subnet, config.cost))
+        for network in self.stub_networks:
+            links.append(("stub", network, 1))
+        self._my_seq += 1
+        lsa = Lsa(adv_router=self.router_id, seq=self._my_seq,
+                  links=tuple(links))
+        self.lsas_originated += 1
+        self._install_lsa(lsa, from_if=None)
+
+    def _install_lsa(self, lsa: Lsa, from_if: Optional[str]) -> None:
+        current = self.lsdb.get(lsa.key)
+        if current is not None and not lsa.newer_than(current):
+            return
+        self.lsdb[lsa.key] = lsa
+        self._flood(lsa, exclude_if=from_if)
+        self._schedule_spf()
+
+    def _flood(self, lsa: Lsa, exclude_if: Optional[str]) -> None:
+        for ifname in self.interfaces:
+            if ifname == exclude_if:
+                continue
+            if not any(n.state == "full"
+                       for n in self.neighbors[ifname].values()):
+                continue
+            local = self.stack.addresses.get(ifname)
+            if local is None:
+                continue
+            self._multicast(ifname, Ipv4Packet(
+                src=local.address, dst=ALL_OSPF_ROUTERS, protocol=OSPF_PROTO,
+                ttl=1, payload=("lsu", LsUpdate(lsas=(lsa,)))))
+
+    def _flood_full_db(self, ifname: str, neighbor: _Neighbor) -> None:
+        """Database exchange on adjacency formation (collapsed)."""
+        local = self.stack.addresses.get(ifname)
+        if local is None or not self.lsdb:
+            return
+        self._multicast(ifname, Ipv4Packet(
+            src=local.address, dst=ALL_OSPF_ROUTERS, protocol=OSPF_PROTO,
+            ttl=1, payload=("lsu", LsUpdate(lsas=tuple(self.lsdb.values())))))
+
+    def _on_ls_update(self, ingress: str, update: LsUpdate) -> None:
+        def process():
+            for lsa in update.lsas:
+                if lsa.adv_router == self.router_id:
+                    continue
+                self._install_lsa(lsa, from_if=ingress)
+        if self.worker is not None:
+            self.worker.submit(0.002 * len(update.lsas), process)
+        else:
+            process()
+
+    # -- SPF -----------------------------------------------------------------------
+
+    def _schedule_spf(self) -> None:
+        if self.worker is not None:
+            self.worker.submit(0.005 * max(len(self.lsdb), 1), self._run_spf)
+        else:
+            self._run_spf()
+
+    def _run_spf(self) -> None:
+        """Dijkstra over the LSDB; installs stub prefixes into the FIB."""
+        if not self.running:
+            return
+        self.spf_runs += 1
+        graph: Dict[int, List[Tuple[int, int]]] = {}
+        stubs: Dict[int, List[Tuple[Prefix, int]]] = {}
+        lan_members: Dict[int, List[int]] = {}
+        for lsa in self.lsdb.values():
+            rid = lsa.key
+            graph.setdefault(rid, [])
+            for link in lsa.links:
+                if link[0] == "p2p":
+                    graph[rid].append((link[1], link[2]))
+                elif link[0] == "transit":
+                    lan_members.setdefault(link[1], []).append(rid)
+                    graph[rid].append(("lan", link[1], link[2]))
+                elif link[0] == "stub":
+                    stubs.setdefault(rid, []).append((link[1], link[2]))
+        # Expand LANs: members of the same DR's LAN are mutually adjacent.
+        for dr_value, members in lan_members.items():
+            for a in members:
+                for b in members:
+                    if a != b:
+                        graph.setdefault(a, []).append((b, 1))
+        # Bidirectional check for p2p: keep edge only if reverse exists.
+        def has_reverse(a: int, b: int) -> bool:
+            return any(e[0] == a for e in graph.get(b, ())
+                       if not isinstance(e[0], str))
+
+        distances: Dict[int, int] = {self.router_id.value: 0}
+        first_hop: Dict[int, int] = {}
+        heap = [(0, self.router_id.value, None)]
+        while heap:
+            dist, node, via = heapq.heappop(heap)
+            if dist > distances.get(node, 1 << 30):
+                continue
+            for edge in graph.get(node, ()):
+                if isinstance(edge[0], str):
+                    continue  # 'lan' placeholder already expanded
+                neighbor_rid, cost = edge
+                if not has_reverse(node, neighbor_rid):
+                    continue
+                new_dist = dist + cost
+                if new_dist < distances.get(neighbor_rid, 1 << 30):
+                    distances[neighbor_rid] = new_dist
+                    hop = via if via is not None else neighbor_rid
+                    first_hop[neighbor_rid] = hop
+                    heapq.heappush(heap, (new_dist, neighbor_rid, hop))
+
+        # Install routes for other routers' stub prefixes.
+        self.stack.fib.clear_protocol("ospf")
+        for rid, prefixes in stubs.items():
+            if rid == self.router_id.value or rid not in distances:
+                continue
+            hop_rid = first_hop.get(rid)
+            hop = self._neighbor_next_hop(hop_rid)
+            if hop is None:
+                continue
+            for prefix, _cost in prefixes:
+                existing = self.stack.fib.get(prefix)
+                if existing is not None and existing.source == "connected":
+                    continue
+                try:
+                    self.stack.fib.install(FibEntry(
+                        prefix=prefix, next_hops=(hop,), source="ospf"))
+                except Exception:
+                    pass
+
+    def _neighbor_next_hop(self, rid: Optional[int]) -> Optional[NextHop]:
+        if rid is None:
+            return None
+        for ifname, table in self.neighbors.items():
+            neighbor = table.get(rid)
+            if neighbor is not None and neighbor.state == "full":
+                return NextHop(ip=neighbor.address, interface=ifname)
+        return None
+
+    # -- introspection ----------------------------------------------------------
+
+    def full_neighbors(self) -> int:
+        return sum(1 for t in self.neighbors.values()
+                   for n in t.values() if n.state == "full")
+
+    def is_dr(self, ifname: str) -> bool:
+        return self.dr.get(ifname) == self.router_id

@@ -1,0 +1,57 @@
+"""OSPF protocol messages and LSAs (semantic form)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from ...net.ip import IPv4Address, Prefix
+
+__all__ = ["HelloPacket", "Lsa", "LsUpdate", "LsAck", "OSPF_PROTO"]
+
+OSPF_PROTO = "ospf"
+
+
+@dataclass(frozen=True)
+class HelloPacket:
+    """Neighbor discovery + DR election state, sent periodically."""
+
+    router_id: IPv4Address
+    priority: int
+    seen_neighbors: FrozenSet[int]          # router-id values seen recently
+    dr: Optional[IPv4Address] = None
+    bdr: Optional[IPv4Address] = None
+    hello_interval: float = 10.0
+    dead_interval: float = 40.0
+
+
+@dataclass(frozen=True)
+class Lsa:
+    """A router LSA: the advertising router's links.
+
+    ``links`` entries are tuples:
+      ("p2p", neighbor_router_id_value, cost)     — adjacency
+      ("transit", dr_router_id_value, cost)       — attachment to a LAN
+      ("stub", prefix, cost)                      — attached prefix
+    """
+
+    adv_router: IPv4Address
+    seq: int
+    links: Tuple[tuple, ...]
+
+    @property
+    def key(self) -> int:
+        return self.adv_router.value
+
+    def newer_than(self, other: "Lsa") -> bool:
+        return self.seq > other.seq
+
+
+@dataclass(frozen=True)
+class LsUpdate:
+    lsas: Tuple[Lsa, ...]
+
+
+@dataclass(frozen=True)
+class LsAck:
+    keys: Tuple[Tuple[int, int], ...]   # (adv_router_value, seq)

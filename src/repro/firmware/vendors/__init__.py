@@ -1,0 +1,5 @@
+"""Vendor firmware profiles and quirk (bug) registry."""
+
+from .profiles import QUIRKS, VENDORS, VendorProfile, get_vendor
+
+__all__ = ["QUIRKS", "VENDORS", "VendorProfile", "get_vendor"]

@@ -1,0 +1,163 @@
+"""Vendor firmware profiles: the blackbox-image diversity CrystalNet exists for.
+
+Each :class:`VendorProfile` bundles what differs between switch-OS vendors:
+
+* packaging (container vs VM image, boot cost/memory — §4.1),
+* protocol timing (boot delay, keepalive/hold, advertisement batching),
+* **behavioural divergences in standard protocols** (§2): aggregation
+  AS-path selection (Figure 1), FIB-overflow handling, decision tie-breaks,
+* an injectable *quirk* set — the unknown firmware bugs that make emulation
+  "bug compatible" where config verification cannot be.
+
+The stock profiles mirror the paper's fleet: ``CTNR-A`` (containerized big
+vendor), ``CTNR-B`` (open-source SONiC-like OS, P4 soft ASIC), ``VM-A`` and
+``VM-B`` (VM-image vendors needing nested virtualization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ...virt.container import ContainerImage
+
+__all__ = ["VendorProfile", "VENDORS", "get_vendor", "QUIRKS"]
+
+# Documented quirk identifiers (see repro.scenarios for reproductions).
+QUIRKS: Dict[str, str] = {
+    "suppress-announcements": "new firmware stops announcing certain prefixes "
+                              "(§7 case 2 / §2 software bug)",
+    "arp-refresh-failure": "ARP entries go stale after peering config change "
+                           "(§2)",
+    "default-route-stuck": "default route not updated when learned via BGP "
+                           "(§7 case 2)",
+    "crash-on-session-flaps": "firmware crashes after several BGP session "
+                              "flaps (§7 case 2)",
+    "acl-format-v2": "ACL config format changed without documentation (§2)",
+    "allow-own-asn": "accepts routes containing own ASN (loop-check bug)",
+}
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Behaviour and packaging of one vendor's switch OS."""
+
+    name: str
+    image: ContainerImage
+    # Seconds of firmware initialization after the container is up before
+    # the routing daemon starts (config load, platform init).  Vendor images
+    # dominate Mockup's route-ready latency (§8.2).
+    boot_delay_range: Tuple[float, float] = (120.0, 300.0)
+    keepalive_interval: float = 15.0
+    hold_time: float = 45.0
+    connect_retry: float = 5.0
+    # Outbound UPDATE batching delay (MRAI-like) and the per-flush NLRI
+    # pacing cap: vendor stacks drain their send buffers gradually, which
+    # is why large tables converge in minutes at near-idle CPU (Figure 9).
+    advertisement_interval: float = 5.0
+    max_nlri_per_flush: int = 100
+    # CPU costs (seconds) charged to the hosting VM.  NOTE: prefix counts
+    # are ~100x scaled down vs production (DESIGN.md); per-prefix costs are
+    # scaled up accordingly.
+    update_base_cost: float = 0.005
+    update_per_prefix_cost: float = 0.004
+    decision_cost_per_prefix: float = 0.004
+    session_setup_cost: float = 0.05
+    # Behavioural divergences.  "inherit-first" keeps the path of whichever
+    # contributor happened to be selected first — the timing-dependent
+    # behaviour behind the §9 non-determinism ("if R6 chooses path for P3
+    # randomly or basing on timing").
+    aggregation_mode: str = "reset-path"   # reset-path | inherit-best | inherit-first
+    fib_overflow_policy: str = "drop-silent"
+    multipath: bool = True
+    tie_break: str = "lowest-peer"         # lowest-peer | highest-peer
+    # Kernel tuning that breaks co-located other-vendor devices (§6.2).
+    kernel_checksum_tweak: bool = False
+    # ACL grammar version the firmware parses (§2 format-change incident).
+    acl_firmware_version: int = 1
+    # Active bugs; parameters live in quirk_params.
+    quirks: FrozenSet[str] = frozenset()
+    quirk_params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        unknown = set(self.quirks) - set(QUIRKS)
+        if unknown:
+            raise ValueError(f"unknown quirks {sorted(unknown)}")
+        if self.aggregation_mode not in ("reset-path", "inherit-best",
+                                         "inherit-first"):
+            raise ValueError(f"bad aggregation mode {self.aggregation_mode!r}")
+
+    def has_quirk(self, quirk: str) -> bool:
+        return quirk in self.quirks
+
+    def quirk_param(self, key: str, default=None):
+        for k, v in self.quirk_params:
+            if k == key:
+                return v
+        return default
+
+    def with_quirks(self, *quirks: str, **params) -> "VendorProfile":
+        """A copy of this profile with extra bugs enabled (for test builds
+        of firmware, §7 case 2)."""
+        return replace(
+            self,
+            quirks=self.quirks | frozenset(quirks),
+            quirk_params=self.quirk_params + tuple(params.items()),
+        )
+
+    def with_version(self, acl_firmware_version: int) -> "VendorProfile":
+        return replace(self, acl_firmware_version=acl_firmware_version)
+
+
+def _image(name: str, kind: str, boot: float, mem: float, vendor: str):
+    return ContainerImage(name=name, kind=kind, boot_cpu_cost=boot,
+                          memory_gb=mem, vendor=vendor)
+
+
+VENDORS: Dict[str, VendorProfile] = {
+    # Containerized major vendor: runs Border/Spine/Leaf in the paper's DCs.
+    "ctnr-a": VendorProfile(
+        name="ctnr-a",
+        image=_image("vendor/ctnr-a:latest", "container-os", 30.0, 0.6, "ctnr-a"),
+        boot_delay_range=(240.0, 540.0),
+        advertisement_interval=8.0,
+        max_nlri_per_flush=60,
+        aggregation_mode="inherit-best",
+        fib_overflow_policy="drop-silent",
+        kernel_checksum_tweak=True,
+    ),
+    # Open-source switch OS (SONiC-like) with a P4 BMv2 soft ASIC; ToRs.
+    "ctnr-b": VendorProfile(
+        name="ctnr-b",
+        image=_image("opensource/ctnr-b:latest", "container-os", 18.0, 0.5, "ctnr-b"),
+        boot_delay_range=(150.0, 360.0),
+        advertisement_interval=4.0,
+        max_nlri_per_flush=120,
+        aggregation_mode="reset-path",
+        fib_overflow_policy="reject",
+    ),
+    # VM-image vendors: KVM-in-container, slow boot, more memory (§4.1).
+    "vm-a": VendorProfile(
+        name="vm-a",
+        image=_image("vendor/vm-a:latest", "vm-os", 90.0, 3.0, "vm-a"),
+        boot_delay_range=(420.0, 780.0),
+        advertisement_interval=12.0,
+        aggregation_mode="inherit-first",
+        tie_break="highest-peer",
+    ),
+    "vm-b": VendorProfile(
+        name="vm-b",
+        image=_image("vendor/vm-b:latest", "vm-os", 90.0, 3.0, "vm-b"),
+        boot_delay_range=(420.0, 780.0),
+        advertisement_interval=12.0,
+        aggregation_mode="reset-path",
+    ),
+}
+
+
+def get_vendor(name: str) -> VendorProfile:
+    try:
+        return VENDORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown vendor {name!r}; known: {sorted(VENDORS)}") from None

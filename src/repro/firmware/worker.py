@@ -1,0 +1,77 @@
+"""Per-device serial work queue.
+
+Routing daemons on real switches are (mostly) single-threaded event loops;
+convergence time comes from messages queueing behind CPU work.  Each device
+gets one :class:`SerialWorker`: jobs carry a CPU cost, are executed in FIFO
+order, and the cost is charged to the *hosting VM's* scheduler — so packing
+more devices per VM slows everyone down, which is the resource/latency
+trade-off Figures 8 and 9 measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..sim import CpuScheduler, Environment, Event, Interrupt
+
+__all__ = ["SerialWorker"]
+
+
+class SerialWorker:
+    """FIFO job executor charging CPU per job."""
+
+    def __init__(self, env: Environment, cpu: CpuScheduler, name: str = "worker"):
+        self.env = env
+        self.cpu = cpu
+        self.name = name
+        self._queue: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self._wakeup: Optional[Event] = None
+        self._stopped = False
+        self.jobs_done = 0
+        self._process = env.process(self._run(), name=f"{name}.loop")
+
+    def submit(self, cost: float, fn: Callable[[], None]) -> None:
+        """Queue ``fn`` to run after ``cost`` cpu-seconds of this device's
+        share of the VM."""
+        if self._stopped:
+            return
+        self._queue.append((cost, fn))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and self._wakeup is not None
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def stop(self) -> None:
+        """Discard queued work and stop the loop."""
+        self._stopped = True
+        self._queue.clear()
+        if self._process.is_alive:
+            self._process.interrupt("stop")
+
+    def _run(self):
+        while True:
+            if not self._queue:
+                self._wakeup = self.env.event(name=f"{self.name}.wake")
+                try:
+                    yield self._wakeup
+                except Interrupt:
+                    return
+                finally:
+                    self._wakeup = None
+            while self._queue:
+                cost, fn = self._queue.popleft()
+                try:
+                    yield self.cpu.execute(cost)
+                except Interrupt:
+                    return
+                if self._stopped:
+                    return
+                fn()
+                self.jobs_done += 1

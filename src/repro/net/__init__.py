@@ -1,0 +1,37 @@
+"""Network primitives: IPv4 types, prefix trie, packet formats, streams."""
+
+from .ip import IPv4Address, Prefix, ip, prefix, summarize
+from .packet import (
+    ArpMessage,
+    BROADCAST_MAC,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    EthernetFrame,
+    Ipv4Packet,
+    MacAddress,
+    MacAllocator,
+    UdpDatagram,
+    VXLAN_UDP_PORT,
+    VxlanHeader,
+)
+from .trie import PrefixTrie
+
+__all__ = [
+    "ArpMessage",
+    "BROADCAST_MAC",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV4",
+    "EthernetFrame",
+    "IPv4Address",
+    "Ipv4Packet",
+    "MacAddress",
+    "MacAllocator",
+    "Prefix",
+    "PrefixTrie",
+    "UdpDatagram",
+    "VXLAN_UDP_PORT",
+    "VxlanHeader",
+    "ip",
+    "prefix",
+    "summarize",
+]

@@ -1,0 +1,149 @@
+"""Packet formats for the emulated data plane.
+
+Frames are plain Python objects, not byte buffers: the emulation cares about
+header *semantics* (addressing, TTL, VXLAN IDs, telemetry signatures), not
+wire encoding.  Every frame that traverses a virtual link is one of these.
+
+Layering mirrors reality:
+
+    EthernetFrame(payload=Ipv4Packet(payload=UdpDatagram(payload=...)))
+
+and VXLAN encapsulation wraps a whole Ethernet frame inside a UDP datagram,
+exactly as CrystalNet's virtual links do (§4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from .ip import IPv4Address
+
+__all__ = [
+    "MacAddress",
+    "MacAllocator",
+    "EthernetFrame",
+    "Ipv4Packet",
+    "UdpDatagram",
+    "VxlanHeader",
+    "ArpMessage",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "VXLAN_UDP_PORT",
+    "BROADCAST_MAC",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+VXLAN_UDP_PORT = 4789
+
+
+class MacAddress:
+    """An immutable 48-bit MAC address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | str):
+        if isinstance(value, str):
+            value = int(value.replace(":", ""), 16)
+        if not 0 <= value < (1 << 48):
+            raise ValueError(f"MAC out of range: {value}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("MacAddress is immutable")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MacAddress) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self.value))
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+class MacAllocator:
+    """Hands out locally-administered, globally-unique MACs (02:...)."""
+
+    def __init__(self):
+        self._counter = itertools.count(1)
+
+    def allocate(self) -> MacAddress:
+        return MacAddress((0x02 << 40) | next(self._counter))
+
+
+@dataclass(frozen=True)
+class VxlanHeader:
+    """VXLAN shim: the virtual-network identifier isolating each link."""
+
+    vni: int
+
+    def __post_init__(self):
+        if not 0 <= self.vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {self.vni}")
+
+
+@dataclass
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: Any = None
+
+    @property
+    def is_vxlan(self) -> bool:
+        return self.dst_port == VXLAN_UDP_PORT
+
+
+@dataclass
+class Ipv4Packet:
+    src: IPv4Address
+    dst: IPv4Address
+    payload: Any = None
+    protocol: str = "udp"  # "udp" | "tcp" | "icmp" | "ospf"
+    ttl: int = 64
+    dscp: int = 0
+    # CrystalNet packet-level telemetry (§3.3): injected probes carry a
+    # signature that every emulated device's capture filter matches on.
+    signature: Optional[str] = None
+
+    def decrement_ttl(self) -> "Ipv4Packet":
+        return replace(self, ttl=self.ttl - 1)
+
+
+@dataclass
+class EthernetFrame:
+    src: MacAddress
+    dst: MacAddress
+    ethertype: int = ETHERTYPE_IPV4
+    payload: Any = None
+    vlan: Optional[int] = None
+    # Hop trace appended by the substrate for debugging/telemetry; carries
+    # (component-name) strings.  Not visible to firmware logic.
+    hop_trace: list = field(default_factory=list)
+
+    def trace(self, hop: str) -> None:
+        self.hop_trace.append(hop)
+
+
+@dataclass
+class ArpMessage:
+    """ARP request/reply carried in an Ethernet frame."""
+
+    op: str  # "request" | "reply"
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_ip: IPv4Address
+    target_mac: Optional[MacAddress] = None

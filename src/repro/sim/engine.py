@@ -1,0 +1,369 @@
+"""Discrete-event simulation engine.
+
+Every CrystalNet subsystem in this reproduction — the cloud substrate, the
+virtual links, the routing firmwares, the orchestrator — runs on top of this
+engine.  It is a small, dependency-free kernel in the style of SimPy:
+
+* :class:`Environment` owns the clock and the event heap.
+* :class:`Event` is a one-shot occurrence that callbacks and processes can
+  wait on.
+* :class:`Process` wraps a generator; the generator ``yield``\\ s events
+  (timeouts, other events, composites) and is resumed when they fire.
+
+The engine is fully deterministic: events scheduled for the same timestamp
+fire in scheduling order (a monotonically increasing sequence number breaks
+ties), so emulation runs are reproducible — important for debugging the same
+way CrystalNet's FIB comparator has to deal with *protocol*-level
+non-determinism rather than engine-level jitter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double-fire, past scheduling)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*, can be :meth:`succeed`-ed or :meth:`fail`-ed
+    exactly once, and then invokes its callbacks in registration order.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful; callbacks run at ``now + delay``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name or self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule_event(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes see ``exception`` raised."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name or self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule_event(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately so late listeners still fire.
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._ok else "failed"
+        return f"<Event {self.name!r} {state} @{self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` sim-seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(env, name=f"timeout({delay})")
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule_event(self, delay)
+
+
+class _Composite(Event):
+    """Base for AllOf / AnyOf."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], name: str):
+        super().__init__(env, name=name)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Fires when every child event has fired; fails fast on child failure."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, name="all_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e.value for e in self.events})
+
+
+class AnyOf(_Composite):
+    """Fires when the first child event fires (success or failure)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, name="any_of")
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed({ev: ev.value})
+        else:
+            self.fail(ev.value)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-based coroutine running on the simulation timeline.
+
+    The wrapped generator yields :class:`Event` instances and is resumed with
+    the event's value once it fires.  The :class:`Process` itself is an event
+    that fires with the generator's return value, so processes can wait on
+    each other.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator, name: str = ""):
+        super().__init__(env, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time via an immediately-successful event.
+        bootstrap = Event(env, name=f"init:{self.name}")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        wake = Event(self.env, name=f"interrupt:{self.name}")
+        wake.add_callback(self._resume_interrupt)
+        wake.succeed(Interrupt(cause))
+
+    def _detach(self) -> None:
+        self._waiting_on = None
+
+    def _resume_interrupt(self, ev: Event) -> None:
+        if self._triggered:
+            return  # finished before the interrupt was delivered
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(ev.value, throw=True)
+
+    def _resume(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        if ev.ok:
+            self._step(ev.value, throw=False)
+        else:
+            self._step(ev.value, throw=True)
+
+    def _step(self, value: Any, throw: bool) -> None:
+        try:
+            if throw:
+                exc = value if isinstance(value, BaseException) else SimulationError(value)
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            if self.env.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; processes must yield events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation clock, event heap, and factory for events/processes."""
+
+    def __init__(self, initial_time: float = 0.0, strict: bool = False):
+        self.now: float = initial_time
+        self.strict = strict
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- factories -------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` at absolute sim-time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
+        ev = self.timeout(when - self.now)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn`` after ``delay`` sim-seconds."""
+        ev = self.timeout(delay)
+        ev.add_callback(lambda _e: fn())
+        return ev
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        ``until`` may be an absolute time, an :class:`Event` (whose value is
+        returned; its failure re-raised), or ``None`` (drain everything).
+        """
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"event {target.name!r} never fired; simulation starved"
+                    )
+                self.step()
+            if target.ok:
+                return target.value
+            exc = target.value
+            raise exc if isinstance(exc, BaseException) else SimulationError(exc)
+
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        deadline = float(until)
+        if deadline < self.now:
+            raise SimulationError(f"deadline {deadline} is in the past (now={self.now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self.now = deadline
+        return None

@@ -1,0 +1,17 @@
+"""Operator automation tools running against the Table 2 API (§7)."""
+
+from .operations import (
+    OperationReport,
+    drain_device,
+    rolling_reload,
+    staged_config_rollout,
+    undrain_device,
+)
+
+__all__ = [
+    "OperationReport",
+    "drain_device",
+    "rolling_reload",
+    "staged_config_rollout",
+    "undrain_device",
+]

@@ -1,0 +1,156 @@
+"""Operator automation tools, built against the emulation's public API.
+
+The paper's operators "use it as a realistic test environment for
+developing network automation tools" (§7) — and buggy tools are themselves
+a Table-1 incident class.  This module is that tooling layer: standard
+fleet operations implemented purely on CrystalNet's Table 2 API, so they
+run unchanged against an emulation today and (conceptually) production
+tomorrow.
+
+* :func:`drain_device` / :func:`undrain_device` — graceful maintenance:
+  AS-path-prepend everything the device announces so traffic shifts away
+  *before* touching it.
+* :func:`rolling_reload` — reload a fleet one device at a time, gating each
+  step on a health check, aborting on the first failure.
+* :func:`staged_config_rollout` — canary-first config change with automatic
+  rollback of the canary on check failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.orchestrator import CrystalNet
+
+__all__ = [
+    "OperationReport",
+    "drain_device",
+    "undrain_device",
+    "rolling_reload",
+    "staged_config_rollout",
+]
+
+DRAIN_MAP = "TOOL_DRAIN"
+DRAIN_PREPENDS = 3
+
+
+@dataclass
+class OperationReport:
+    """What a tool run did, device by device."""
+
+    operation: str
+    succeeded: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    detail: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def _insert_bgp_lines(text: str, lines: Sequence[str]) -> str:
+    marker = "router bgp"
+    idx = text.index(marker)
+    block_end = text.index("!", idx)
+    return text[:block_end] + "\n".join(lines) + "\n" + text[block_end:]
+
+
+def drain_device(net: "CrystalNet", device: str,
+                 converge_timeout: float = 1800.0) -> OperationReport:
+    """Shift traffic away from a device before maintenance.
+
+    Applies an export route-map that prepends the device's ASN three times
+    on every peering, making its paths uniformly less attractive; peers'
+    ECMP groups shrink away from it once the network reconverges.
+    """
+    report = OperationReport(operation=f"drain({device})")
+    text = net.pull_config(device)
+    if DRAIN_MAP in text:
+        report.failed.append(device)
+        report.detail[device] = "already drained"
+        return report
+    config = net.configs[device]
+    lines = [f"route-map {DRAIN_MAP} permit 10",
+             f" set as-path prepend {DRAIN_PREPENDS}"]
+    neighbor_lines = [f" neighbor {n.peer_ip} route-map {DRAIN_MAP} out"
+                      for n in config.bgp.neighbors]
+    new_text = _insert_bgp_lines(text, neighbor_lines)
+    new_text = new_text.rstrip("\n") + "\n" + "\n".join(lines) + "\n"
+    net.reload(device, config_text=new_text)
+    net.converge(timeout=converge_timeout)
+    report.succeeded.append(device)
+    report.detail[device] = f"prepending x{DRAIN_PREPENDS} on all peerings"
+    return report
+
+
+def undrain_device(net: "CrystalNet", device: str,
+                   converge_timeout: float = 1800.0) -> OperationReport:
+    """Remove a previous drain."""
+    report = OperationReport(operation=f"undrain({device})")
+    text = net.pull_config(device)
+    if DRAIN_MAP not in text:
+        report.failed.append(device)
+        report.detail[device] = "not drained"
+        return report
+    kept = [line for line in text.splitlines()
+            if DRAIN_MAP not in line
+            and not (line.startswith(" set as-path prepend"))]
+    net.reload(device, config_text="\n".join(kept) + "\n")
+    net.converge(timeout=converge_timeout)
+    report.succeeded.append(device)
+    return report
+
+
+def rolling_reload(net: "CrystalNet", devices: Sequence[str],
+                   check: Callable[["CrystalNet"], bool],
+                   converge_timeout: float = 1800.0) -> OperationReport:
+    """Reload a fleet one device at a time, gated by a health check.
+
+    Stops at the first device whose post-reload check fails — the remaining
+    fleet is untouched (the blast-radius discipline §7's operators practice
+    on the emulator).
+    """
+    report = OperationReport(operation="rolling-reload")
+    for device in devices:
+        net.reload(device)
+        net.converge(timeout=converge_timeout)
+        if check(net):
+            report.succeeded.append(device)
+        else:
+            report.failed.append(device)
+            report.detail[device] = "post-reload check failed; halting"
+            break
+    return report
+
+
+def staged_config_rollout(net: "CrystalNet", devices: Sequence[str],
+                          transform: Callable[[str], str],
+                          check: Callable[["CrystalNet"], bool],
+                          converge_timeout: float = 1800.0
+                          ) -> OperationReport:
+    """Canary-first config rollout.
+
+    Applies ``transform`` to the first device only; if the check fails, the
+    canary is rolled back and the rollout aborts.  Otherwise the rest of
+    the fleet follows (each gated by the same check).
+    """
+    report = OperationReport(operation="staged-rollout")
+    if not devices:
+        return report
+    for i, device in enumerate(devices):
+        original = net.pull_config(device)
+        net.reload(device, config_text=transform(original))
+        net.converge(timeout=converge_timeout)
+        if check(net):
+            report.succeeded.append(device)
+            continue
+        net.reload(device, config_text=original)
+        net.converge(timeout=converge_timeout)
+        report.failed.append(device)
+        stage = "canary" if i == 0 else f"stage {i}"
+        report.detail[device] = f"{stage} check failed; rolled back, " \
+                                f"rollout aborted"
+        break
+    return report

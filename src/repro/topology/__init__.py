@@ -1,0 +1,21 @@
+"""Declarative topology model and Clos datacenter generators."""
+
+from .addressing import AddressPlan, AsnPlan
+from .clos import ClosParams, LDC, MDC, SDC, build_clos, pod_devices
+from .graph import LAYER_ORDER, DeviceSpec, LinkSpec, Topology, TopologyError
+
+__all__ = [
+    "AddressPlan",
+    "AsnPlan",
+    "ClosParams",
+    "DeviceSpec",
+    "LAYER_ORDER",
+    "LDC",
+    "LinkSpec",
+    "MDC",
+    "SDC",
+    "Topology",
+    "TopologyError",
+    "build_clos",
+    "pod_devices",
+]

@@ -1,0 +1,78 @@
+"""Address- and AS-number plans for generated datacenters.
+
+Mirrors the production conventions the paper's networks use:
+
+* RFC-7938-style ASN layout — border switches share a single AS (the property
+  Algorithm 1's safe-boundary heuristic relies on, §5.2), spines share an AS,
+  leaves share one AS **per pod** (Figure 7's L1/L2 in AS200, L3/L4 in
+  AS300), and every ToR gets a unique private AS.
+* /31 point-to-point link subnets, /32 loopbacks, and a /24 server subnet per
+  ToR.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..net.ip import Prefix
+
+__all__ = ["AddressPlan", "AsnPlan"]
+
+
+class AddressPlan:
+    """Carves link, loopback, and server prefixes out of disjoint pools."""
+
+    def __init__(self,
+                 p2p_pool: str = "10.128.0.0/10",
+                 loopback_pool: str = "10.64.0.0/12",
+                 server_pool: str = "10.192.0.0/10"):
+        self._p2p = Prefix(p2p_pool).subnets(31)
+        self._loopbacks = Prefix(loopback_pool).subnets(32)
+        self._servers = Prefix(server_pool).subnets(24)
+        self.p2p_pool = Prefix(p2p_pool)
+        self.loopback_pool = Prefix(loopback_pool)
+        self.server_pool = Prefix(server_pool)
+
+    def next_p2p(self) -> Prefix:
+        try:
+            return next(self._p2p)
+        except StopIteration:
+            raise RuntimeError("point-to-point pool exhausted") from None
+
+    def next_loopback(self) -> Prefix:
+        try:
+            return next(self._loopbacks)
+        except StopIteration:
+            raise RuntimeError("loopback pool exhausted") from None
+
+    def next_server_subnet(self) -> Prefix:
+        try:
+            return next(self._servers)
+        except StopIteration:
+            raise RuntimeError("server pool exhausted") from None
+
+
+class AsnPlan:
+    """RFC-7938-style ASN assignment for a layered Clos datacenter."""
+
+    def __init__(self, base: int = 64512):
+        self.border_asn = base            # single AS for the whole border layer
+        self.spine_asn = base + 1         # single AS for the spine layer
+        self._pod_base = base + 100       # one AS per pod for its leaves
+        self._tor_base = base + 10000     # unique AS per ToR
+        self._wan_base = base + 5000      # distinct AS per WAN/external router
+        self._next_tor = 0
+        self._next_wan = 0
+
+    def leaf_asn(self, pod: int) -> int:
+        return self._pod_base + pod
+
+    def next_tor_asn(self) -> int:
+        asn = self._tor_base + self._next_tor
+        self._next_tor += 1
+        return asn
+
+    def next_wan_asn(self) -> int:
+        asn = self._wan_base + self._next_wan
+        self._next_wan += 1
+        return asn

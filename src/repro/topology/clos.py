@@ -1,0 +1,167 @@
+"""Parametric Clos datacenter generator (the networks of Table 3).
+
+Produces layered BGP datacenters with the structure the paper's evaluation
+uses: ToRs at layer 0 fully meshed to their pod's leaves, leaves striped
+across spine *planes*, every spine attached to every border, and borders
+peering with external WAN routers (the prospective speaker devices).
+
+The presets correspond to S-DC / M-DC / L-DC of Table 3, scaled down by a
+documented linear factor so that pure-Python emulation converges in
+benchmark-friendly time; the *shape* (layer ratios, per-layer ASN plan,
+route-count ordering S < M < L) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..net.ip import Prefix
+from .addressing import AddressPlan, AsnPlan
+from .graph import DeviceSpec, LinkSpec, Topology, TopologyError
+
+__all__ = ["ClosParams", "build_clos", "SDC", "MDC", "LDC", "pod_devices"]
+
+
+@dataclass(frozen=True)
+class ClosParams:
+    """Knobs of one generated Clos datacenter."""
+
+    name: str
+    num_borders: int
+    num_spines: int
+    num_pods: int
+    leaves_per_pod: int
+    tors_per_pod: int
+    num_wan_routers: int = 2
+    prefixes_per_tor: int = 1
+    # vendor per role, as in §8.1: ToRs run CTNR-B, the rest CTNR-A.
+    vendors: Dict[str, str] = field(default_factory=lambda: {
+        "tor": "ctnr-b", "leaf": "ctnr-a", "spine": "ctnr-a",
+        "border": "ctnr-a", "wan": "vm-b",
+    })
+
+    def __post_init__(self):
+        if self.num_spines % self.leaves_per_pod != 0:
+            raise TopologyError(
+                f"{self.name}: spines ({self.num_spines}) must divide evenly "
+                f"into {self.leaves_per_pod} planes")
+        for fld in ("num_borders", "num_spines", "num_pods",
+                    "leaves_per_pod", "tors_per_pod"):
+            if getattr(self, fld) < 1:
+                raise TopologyError(f"{self.name}: {fld} must be >= 1")
+
+    @property
+    def device_count(self) -> int:
+        return (self.num_borders + self.num_spines
+                + self.num_pods * (self.leaves_per_pod + self.tors_per_pod)
+                + self.num_wan_routers)
+
+
+# Table 3 presets at ~1/16 linear scale (see DESIGN.md scale note).
+def SDC() -> ClosParams:
+    """S-DC: O(1) borders / O(1) spines / O(10) leaves / O(100) ToRs."""
+    return ClosParams("S-DC", num_borders=1, num_spines=2,
+                      num_pods=2, leaves_per_pod=2, tors_per_pod=6)
+
+
+def MDC() -> ClosParams:
+    """M-DC: O(10) borders / O(10) spines / O(100) leaves / O(400) ToRs."""
+    return ClosParams("M-DC", num_borders=2, num_spines=4,
+                      num_pods=4, leaves_per_pod=2, tors_per_pod=7,
+                      prefixes_per_tor=2)
+
+
+def LDC() -> ClosParams:
+    """L-DC: O(10) borders / O(100) spines / O(1000) leaves / O(3000) ToRs."""
+    return ClosParams("L-DC", num_borders=4, num_spines=8,
+                      num_pods=8, leaves_per_pod=4, tors_per_pod=12,
+                      prefixes_per_tor=3)
+
+
+def build_clos(params: ClosParams,
+               plan: Optional[AddressPlan] = None,
+               asn_plan: Optional[AsnPlan] = None) -> Topology:
+    """Generate the full topology, addressing, and ASN plan."""
+    plan = plan or AddressPlan()
+    asns = asn_plan or AsnPlan()
+    topo = Topology(params.name)
+
+    # WAN routers originate distinct external prefixes so emulated devices
+    # see Internet routes arriving through the border.
+    wans = []
+    for w in range(params.num_wan_routers):
+        wans.append(topo.add_device(DeviceSpec(
+            name=f"wan-{w}", role="wan", asn=asns.next_wan_asn(), layer=4,
+            vendor=params.vendors.get("wan", "vm-b"),
+            loopback=plan.next_loopback().network_address,
+            originated=[Prefix(f"100.{100 + w}.0.0/16")],
+        )))
+
+    borders = []
+    for b in range(params.num_borders):
+        borders.append(topo.add_device(DeviceSpec(
+            name=f"bdr-{b}", role="border", asn=asns.border_asn, layer=3,
+            vendor=params.vendors.get("border", "ctnr-a"),
+            loopback=plan.next_loopback().network_address,
+        )))
+
+    spines = []
+    for s in range(params.num_spines):
+        spines.append(topo.add_device(DeviceSpec(
+            name=f"spn-{s}", role="spine", asn=asns.spine_asn, layer=2,
+            vendor=params.vendors.get("spine", "ctnr-a"),
+            loopback=plan.next_loopback().network_address,
+        )))
+
+    leaves: list[list[DeviceSpec]] = []
+    tors: list[list[DeviceSpec]] = []
+    for p in range(params.num_pods):
+        pod_leaves = []
+        for l in range(params.leaves_per_pod):
+            pod_leaves.append(topo.add_device(DeviceSpec(
+                name=f"lf-{p}-{l}", role="leaf", asn=asns.leaf_asn(p), layer=1,
+                vendor=params.vendors.get("leaf", "ctnr-a"), pod=p,
+                loopback=plan.next_loopback().network_address,
+            )))
+        leaves.append(pod_leaves)
+        pod_tors = []
+        for t in range(params.tors_per_pod):
+            originated = [plan.next_server_subnet()
+                          for _ in range(params.prefixes_per_tor)]
+            pod_tors.append(topo.add_device(DeviceSpec(
+                name=f"tor-{p}-{t}", role="tor", asn=asns.next_tor_asn(),
+                layer=0, vendor=params.vendors.get("tor", "ctnr-b"), pod=p,
+                loopback=plan.next_loopback().network_address,
+                originated=originated,
+            )))
+        tors.append(pod_tors)
+
+    # Wiring: WAN <-> borders (full mesh).
+    for wan in wans:
+        for border in borders:
+            topo.connect(border.name, wan.name, subnet=plan.next_p2p())
+    # Borders <-> spines (full mesh).
+    for border in borders:
+        for spine in spines:
+            topo.connect(spine.name, border.name, subnet=plan.next_p2p())
+    # Spines are striped into planes; leaf index l peers with plane l.
+    plane_size = params.num_spines // params.leaves_per_pod
+    for p in range(params.num_pods):
+        for l, leaf in enumerate(leaves[p]):
+            plane = spines[l * plane_size:(l + 1) * plane_size]
+            for spine in plane:
+                topo.connect(leaf.name, spine.name, subnet=plan.next_p2p())
+        # ToR <-> every leaf in its pod.
+        for tor in tors[p]:
+            for leaf in leaves[p]:
+                topo.connect(tor.name, leaf.name, subnet=plan.next_p2p())
+
+    topo.validate()
+    return topo
+
+
+def pod_devices(topo: Topology, pod: int) -> list[str]:
+    """All leaf+ToR device names of one pod (the Table 4 'One Pod' case)."""
+    return sorted(d.name for d in topo
+                  if d.pod == pod and d.role in ("leaf", "tor"))

@@ -1,0 +1,140 @@
+"""Small named topologies from the paper's figures.
+
+These are used by tests, benchmarks, and examples to reproduce the exact
+scenarios the paper illustrates (Figure 1's aggregation incident, Figure 7's
+safe/unsafe boundaries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..net.ip import Prefix
+from .graph import DeviceSpec, Topology
+
+__all__ = ["figure7_topology", "FIG7_CASES", "figure1_topology",
+           "regional_backbone_topology"]
+
+
+def figure7_topology() -> Topology:
+    """The 14-device BGP datacenter of Figure 7.
+
+    Layers: T (ToR, layer 0) — L (leaf, layer 1) — S (spine, layer 2).
+    ASes: S1-2 share AS100; L1-2 AS200; L3-4 AS300; L5 AS400; L6 AS500;
+    T1-6 get unique ASes.  Pods: (L1,L2,T1,T2), (L3,L4,T3,T4), (L5,L6,T5,T6).
+    """
+    topo = Topology("figure-7")
+    for i in (1, 2):
+        topo.add_device(DeviceSpec(name=f"S{i}", role="spine", asn=100,
+                                   layer=2))
+    leaf_asns = {1: 200, 2: 200, 3: 300, 4: 300, 5: 400, 6: 500}
+    for i, asn in leaf_asns.items():
+        topo.add_device(DeviceSpec(name=f"L{i}", role="leaf", asn=asn,
+                                   layer=1, pod=(i - 1) // 2))
+    for i in range(1, 7):
+        topo.add_device(DeviceSpec(
+            name=f"T{i}", role="tor", asn=65010 + i, layer=0,
+            pod=(i - 1) // 2,
+            originated=[Prefix(f"10.{i}.0.0/16")]))
+    subnets = Prefix("172.20.0.0/16").subnets(31)
+    # Every leaf connects to both spines.
+    for leaf in range(1, 7):
+        for spine in (1, 2):
+            topo.connect(f"L{leaf}", f"S{spine}", subnet=next(subnets))
+    # ToRs connect to their pod's two leaves.
+    for tor in range(1, 7):
+        pod = (tor - 1) // 2
+        for leaf in (2 * pod + 1, 2 * pod + 2):
+            topo.connect(f"T{tor}", f"L{leaf}", subnet=next(subnets))
+    topo.validate()
+    return topo
+
+
+# The three boundary choices of Figure 7: name -> (emulated devices, safe?).
+FIG7_CASES: Dict[str, Tuple[List[str], bool]] = {
+    "7a-unsafe": (["T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4"], False),
+    "7b-safe": (["T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4", "S1", "S2"],
+                True),
+    "7c-safe": (["L1", "L2", "L3", "L4", "S1", "S2"], True),
+}
+
+
+def regional_backbone_topology() -> Topology:
+    """The §7 Case-1 network: two DCs, a legacy WAN, a new regional backbone.
+
+    Each DC contributes its spine layer (originating the DC's aggregate
+    prefixes) and two border routers.  Inter-DC traffic historically rides
+    the legacy WAN cores; the migration under validation introduces the
+    regional backbone (RBB) routers, whose border peerings start
+    ``shutdown`` (they are configured but not yet enabled — that is what
+    the migration plan turns on).
+    """
+    topo = Topology("regional-backbone")
+    subnets = Prefix("172.22.0.0/15").subnets(31)
+    # Layer plan: spines 2, borders 3, RBB/WAN 4 (all administered).
+    for dc in (1, 2):
+        for s in range(4):
+            topo.add_device(DeviceSpec(
+                name=f"dc{dc}-spn-{s}", role="spine", asn=64800 + dc,
+                layer=2, vendor="ctnr-a", pod=dc,
+                originated=[Prefix(f"10.{dc * 16 + s}.0.0/16")]))
+        for b in range(2):
+            topo.add_device(DeviceSpec(
+                name=f"dc{dc}-bdr-{b}", role="border", asn=64810 + dc,
+                layer=3, vendor="ctnr-a", pod=dc))
+        for s in range(4):
+            for b in range(2):
+                topo.connect(f"dc{dc}-spn-{s}", f"dc{dc}-bdr-{b}",
+                             subnet=next(subnets))
+    for w in range(2):
+        topo.add_device(DeviceSpec(
+            name=f"wan-core-{w}", role="wan-core", asn=64830 + w, layer=4,
+            vendor="vm-b"))
+    for r in range(2):
+        topo.add_device(DeviceSpec(
+            name=f"rbb-{r}", role="rbb", asn=64840 + r, layer=4,
+            vendor="ctnr-a"))
+    for dc in (1, 2):
+        for b in range(2):
+            for w in range(2):
+                topo.connect(f"dc{dc}-bdr-{b}", f"wan-core-{w}",
+                             subnet=next(subnets))
+            for r in range(2):
+                topo.connect(f"dc{dc}-bdr-{b}", f"rbb-{r}",
+                             subnet=next(subnets))
+    topo.validate()
+    return topo
+
+
+def figure1_topology() -> Topology:
+    """The 8-router aggregation example of Figure 1 (as a Topology).
+
+    R1 (AS1) originates P1=10.1.0.0/24 and P2=10.1.1.0/24; R6/R7 aggregate
+    them into P3=10.1.0.0/23 with vendor-divergent AS-path behaviour; R8
+    sits on top.  (The protocol-level reproduction lives in
+    ``repro.firmware.lab``; this Topology form feeds config generation and
+    the Batfish-baseline comparison.)
+    """
+    topo = Topology("figure-1")
+    roles_layers = {
+        "R1": ("tor", 0), "R2": ("leaf", 1), "R3": ("leaf", 1),
+        "R4": ("leaf", 1), "R5": ("leaf", 1), "R6": ("spine", 2),
+        "R7": ("spine", 2), "R8": ("border", 3),
+    }
+    vendors = {"R6": "ctnr-a", "R7": "ctnr-b"}
+    for name, (role, layer) in roles_layers.items():
+        asn = int(name[1:])
+        spec = DeviceSpec(name=name, role=role, asn=asn, layer=layer,
+                          vendor=vendors.get(name, "ctnr-a"))
+        if name == "R1":
+            spec.originated = [Prefix("10.1.0.0/24"), Prefix("10.1.1.0/24")]
+        if name in ("R6", "R7"):
+            spec.attrs["aggregate"] = Prefix("10.1.0.0/23")
+        topo.add_device(spec)
+    subnets = Prefix("172.21.0.0/16").subnets(31)
+    for a, b in [("R1", "R2"), ("R1", "R3"), ("R1", "R4"), ("R1", "R5"),
+                 ("R2", "R6"), ("R3", "R6"), ("R4", "R7"), ("R5", "R7"),
+                 ("R6", "R8"), ("R7", "R8")]:
+        topo.connect(a, b, subnet=next(subnets))
+    topo.validate()
+    return topo

@@ -1,0 +1,225 @@
+"""The declarative topology model.
+
+A :class:`Topology` is the *inventory* CrystalNet's Prepare phase pulls from
+the production network-management services: devices with roles and layers,
+point-to-point links between named interfaces, plus the addressing/ASN
+attributes that configuration generation consumes.  It is pure data — the
+runtime objects (containers, firmware) are created from it by the
+orchestrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..net.ip import IPv4Address, Prefix
+
+__all__ = ["DeviceSpec", "LinkSpec", "Topology", "TopologyError", "LAYER_ORDER"]
+
+# Conventional DC layer names from lowest to highest (Table 3).
+LAYER_ORDER = ("tor", "leaf", "spine", "border", "wan")
+
+
+class TopologyError(Exception):
+    """Inconsistent topology description."""
+
+
+@dataclass
+class DeviceSpec:
+    """One network device in the production inventory."""
+
+    name: str
+    role: str                     # tor | leaf | spine | border | wan | host | lb
+    asn: int
+    layer: int                    # 0 = lowest (ToR); higher = closer to WAN
+    vendor: str = "ctnr-a"
+    pod: Optional[int] = None
+    loopback: Optional[IPv4Address] = None
+    # Prefixes this device originates (ToR server subnets, LB VIPs, ...).
+    originated: List[Prefix] = field(default_factory=list)
+    # Free-form knobs consumed by config generation (ACLs, route-maps, ...).
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.asn <= 0:
+            raise TopologyError(f"{self.name}: invalid ASN {self.asn}")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link between two device interfaces."""
+
+    dev_a: str
+    if_a: str
+    dev_b: str
+    if_b: str
+    # /31 addressing of the link, address 0 -> side a, address 1 -> side b.
+    subnet: Optional[Prefix] = None
+
+    def other_end(self, device: str) -> Tuple[str, str]:
+        if device == self.dev_a:
+            return self.dev_b, self.if_b
+        if device == self.dev_b:
+            return self.dev_a, self.if_a
+        raise TopologyError(f"{device} is not on link {self}")
+
+    def address_of(self, device: str) -> Optional[IPv4Address]:
+        if self.subnet is None:
+            return None
+        if device == self.dev_a:
+            return self.subnet.address_at(0)
+        if device == self.dev_b:
+            return self.subnet.address_at(1)
+        raise TopologyError(f"{device} is not on link {self}")
+
+
+class Topology:
+    """A named collection of devices and links with graph helpers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.devices: Dict[str, DeviceSpec] = {}
+        self.links: List[LinkSpec] = []
+        self._adjacency: Dict[str, List[LinkSpec]] = {}
+        self._if_in_use: Set[Tuple[str, str]] = set()
+
+    # -- construction ----------------------------------------------------
+
+    def add_device(self, spec: DeviceSpec) -> DeviceSpec:
+        if spec.name in self.devices:
+            raise TopologyError(f"duplicate device {spec.name}")
+        self.devices[spec.name] = spec
+        self._adjacency[spec.name] = []
+        return spec
+
+    def add_link(self, link: LinkSpec) -> LinkSpec:
+        for dev, ifname in ((link.dev_a, link.if_a), (link.dev_b, link.if_b)):
+            if dev not in self.devices:
+                raise TopologyError(f"link references unknown device {dev}")
+            if (dev, ifname) in self._if_in_use:
+                raise TopologyError(f"interface {dev}:{ifname} used twice")
+        if link.dev_a == link.dev_b:
+            raise TopologyError(f"self-link on {link.dev_a}")
+        self.links.append(link)
+        self._adjacency[link.dev_a].append(link)
+        self._adjacency[link.dev_b].append(link)
+        self._if_in_use.add((link.dev_a, link.if_a))
+        self._if_in_use.add((link.dev_b, link.if_b))
+        return link
+
+    def connect(self, dev_a: str, dev_b: str,
+                subnet: Optional[Prefix] = None) -> LinkSpec:
+        """Add a link, auto-assigning the next free ``etN`` interface names."""
+        return self.add_link(LinkSpec(
+            dev_a, self.next_ifname(dev_a), dev_b, self.next_ifname(dev_b),
+            subnet=subnet,
+        ))
+
+    def next_ifname(self, device: str) -> str:
+        index = 0
+        while (device, f"et{index}") in self._if_in_use:
+            index += 1
+        return f"et{index}"
+
+    # -- queries ---------------------------------------------------------
+
+    def device(self, name: str) -> DeviceSpec:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise TopologyError(f"unknown device {name!r}") from None
+
+    def links_of(self, device: str) -> List[LinkSpec]:
+        if device not in self.devices:
+            raise TopologyError(f"unknown device {device!r}")
+        return list(self._adjacency[device])
+
+    def neighbors(self, device: str) -> List[str]:
+        return [link.other_end(device)[0] for link in self.links_of(device)]
+
+    def interfaces_of(self, device: str) -> List[str]:
+        names = []
+        for link in self.links_of(device):
+            names.append(link.if_a if link.dev_a == device else link.if_b)
+        return names
+
+    def link_between(self, dev_a: str, dev_b: str) -> Optional[LinkSpec]:
+        for link in self._adjacency.get(dev_a, ()):
+            if link.other_end(dev_a)[0] == dev_b:
+                return link
+        return None
+
+    def by_role(self, role: str) -> List[DeviceSpec]:
+        return [d for d in self.devices.values() if d.role == role]
+
+    def by_layer(self, layer: int) -> List[DeviceSpec]:
+        return [d for d in self.devices.values() if d.layer == layer]
+
+    def max_layer(self) -> int:
+        return max((d.layer for d in self.devices.values()), default=-1)
+
+    def upper_neighbors(self, device: str) -> List[str]:
+        """All connected devices on a strictly higher layer (Algorithm 1)."""
+        mine = self.device(device).layer
+        return [n for n in self.neighbors(device)
+                if self.devices[n].layer > mine]
+
+    def asns(self) -> Dict[int, List[str]]:
+        groups: Dict[int, List[str]] = {}
+        for dev in self.devices.values():
+            groups.setdefault(dev.asn, []).append(dev.name)
+        return groups
+
+    def subgraph(self, names: Iterable[str], name: str = "") -> "Topology":
+        """The induced subtopology on ``names`` (links with both ends kept)."""
+        keep = set(names)
+        missing = keep - set(self.devices)
+        if missing:
+            raise TopologyError(f"unknown devices {sorted(missing)}")
+        sub = Topology(name or f"{self.name}:sub")
+        for dev_name in sorted(keep):
+            spec = self.devices[dev_name]
+            sub.add_device(DeviceSpec(
+                name=spec.name, role=spec.role, asn=spec.asn, layer=spec.layer,
+                vendor=spec.vendor, pod=spec.pod, loopback=spec.loopback,
+                originated=list(spec.originated), attrs=dict(spec.attrs),
+            ))
+        for link in self.links:
+            if link.dev_a in keep and link.dev_b in keep:
+                sub.add_link(link)
+        return sub
+
+    def boundary_cut(self, emulated: Iterable[str]) -> List[LinkSpec]:
+        """Links with exactly one end inside ``emulated`` (the boundary)."""
+        inside = set(emulated)
+        return [l for l in self.links
+                if (l.dev_a in inside) != (l.dev_b in inside)]
+
+    def validate(self) -> None:
+        """Sanity checks: connectivity references, unique loopbacks, subnets."""
+        seen_loopbacks: Dict[int, str] = {}
+        for dev in self.devices.values():
+            if dev.loopback is not None:
+                prev = seen_loopbacks.get(dev.loopback.value)
+                if prev is not None:
+                    raise TopologyError(
+                        f"loopback {dev.loopback} reused by {prev} and {dev.name}")
+                seen_loopbacks[dev.loopback.value] = dev.name
+        seen_subnets: Dict[Tuple[int, int], LinkSpec] = {}
+        for link in self.links:
+            if link.subnet is not None:
+                key = link.subnet.key()
+                if key in seen_subnets:
+                    raise TopologyError(f"link subnet {link.subnet} reused")
+                seen_subnets[key] = link
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[DeviceSpec]:
+        return iter(self.devices.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Topology {self.name}: {len(self.devices)} devices, "
+                f"{len(self.links)} links>")

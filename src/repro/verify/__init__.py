@@ -1,0 +1,45 @@
+"""Verification: idealized control-plane sim, FIB diff, reachability."""
+
+from .batfish import ControlPlaneSimulator, SimRoute
+from .fibdiff import (
+    FibComparator,
+    FibDifference,
+    find_nondeterministic_prefixes,
+    normalize_fib,
+)
+from .properties import (
+    Property,
+    PropertyResult,
+    PropertySuite,
+    ecmp_width,
+    fib_contains,
+    generate_reachability_suite,
+    isolated,
+    no_blackholes,
+    path_through,
+    reachable,
+    sessions_established,
+)
+from .reachability import ReachabilityAnalyzer, WalkResult
+
+__all__ = [
+    "ControlPlaneSimulator",
+    "FibComparator",
+    "FibDifference",
+    "Property",
+    "PropertyResult",
+    "PropertySuite",
+    "ReachabilityAnalyzer",
+    "SimRoute",
+    "WalkResult",
+    "ecmp_width",
+    "fib_contains",
+    "find_nondeterministic_prefixes",
+    "generate_reachability_suite",
+    "isolated",
+    "no_blackholes",
+    "normalize_fib",
+    "path_through",
+    "reachable",
+    "sessions_established",
+]

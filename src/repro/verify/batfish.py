@@ -1,0 +1,266 @@
+"""An idealized control-plane simulator (the Batfish-style baseline).
+
+Network verification tools "ingest topology and configuration files, and
+compute forwarding tables by simulating the routing protocols" assuming
+*ideal, bug-free, single-implementation* behaviour (§1/§2/§10).  This module
+is that tool: a synchronous fixpoint computation of BGP over parsed
+configurations.
+
+It is deliberately **not** bug-compatible: one canonical decision process,
+one canonical (RFC) aggregation behaviour, unlimited FIB space, no firmware
+quirks.  The Table 1 benchmark runs incident scenarios through both this
+simulator and the CrystalNet emulation to reproduce the coverage comparison
+(verification misses firmware bugs and human-workflow errors).
+
+CrystalNet's Prepare phase also uses it to derive the route snapshots that
+static speakers inject (§6.1 "routing states snapshots").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..config.model import DeviceConfig
+from ..firmware.bgp.messages import ORIGIN_IGP, PathAttributes
+from ..firmware.bgp.policy import PolicyContext, apply_route_map
+from ..net.ip import IPv4Address, Prefix
+from ..topology.graph import Topology
+
+__all__ = ["SimRoute", "ControlPlaneSimulator"]
+
+
+@dataclass(frozen=True)
+class SimRoute:
+    """A route in the idealized simulation."""
+
+    prefix: Prefix
+    as_path: Tuple[int, ...]
+    next_hop_device: Optional[str]   # None = locally originated
+    local_pref: int = 100
+    med: int = 0
+
+    def key(self):
+        return (self.prefix.key(), self.as_path, self.next_hop_device)
+
+
+class ControlPlaneSimulator:
+    """Synchronous BGP fixpoint over a topology + configs."""
+
+    MAX_ITERATIONS = 64
+
+    def __init__(self, topology: Topology, configs: Dict[str, DeviceConfig]):
+        self.topology = topology
+        self.configs = configs
+        self._policies = {name: PolicyContext.from_config(cfg)
+                          for name, cfg in configs.items()}
+        # device -> prefix -> list of candidate SimRoutes (per neighbor).
+        self._candidates: Dict[str, Dict[Prefix, Dict[str, SimRoute]]] = {}
+        # device -> prefix -> selected best SimRoute.
+        self.ribs: Dict[str, Dict[Prefix, SimRoute]] = {}
+        # device -> prefix -> set of next-hop devices (ECMP).
+        self.multipath: Dict[str, Dict[Prefix, Tuple[str, ...]]] = {}
+        self.iterations = 0
+        self._computed = False
+
+    # -- public -----------------------------------------------------------
+
+    def compute(self) -> "ControlPlaneSimulator":
+        """Run the fixpoint; idempotent."""
+        if self._computed:
+            return self
+        devices = [n for n in self.topology.devices if n in self.configs
+                   and self.configs[n].bgp is not None]
+        self._candidates = {n: {} for n in devices}
+        self.ribs = {n: {} for n in devices}
+        for name in devices:
+            for network in self.configs[name].bgp.networks:
+                self._insert(name, "__local__", SimRoute(
+                    prefix=network, as_path=(), next_hop_device=None))
+        changed = True
+        while changed:
+            self.iterations += 1
+            if self.iterations > self.MAX_ITERATIONS:
+                raise RuntimeError("control-plane fixpoint did not converge "
+                                   "(policy oscillation?)")
+            self._select_all(devices)
+            changed = self._propagate_once(devices)
+        self._select_all(devices)
+        self._computed = True
+        return self
+
+    def fib_of(self, device: str) -> Dict[str, List[str]]:
+        """Prefix -> sorted next-hop device names (ECMP), like PullStates."""
+        self.compute()
+        out: Dict[str, List[str]] = {}
+        for prefix, _route in self.ribs.get(device, {}).items():
+            hops = self.multipath.get(device, {}).get(prefix, ())
+            out[str(prefix)] = sorted(h for h in hops if h != "__local__")
+        return out
+
+    def best_route(self, device: str, prefix: Prefix) -> Optional[SimRoute]:
+        self.compute()
+        return self.ribs.get(device, {}).get(prefix)
+
+    def announcements_to(self, sender: str,
+                         receiver: str) -> List[Tuple[Prefix, Tuple[int, ...]]]:
+        """What ``sender`` announces to ``receiver`` at the fixpoint —
+        the speaker route snapshot Prepare installs (§6.1)."""
+        self.compute()
+        out = []
+        for prefix in sorted(self.ribs.get(sender, {}), key=lambda p: p.key()):
+            exported = self._export(sender, receiver, prefix)
+            if exported is not None:
+                out.append((prefix, exported.as_path))
+        return out
+
+    def reachability(self, src_device: str, dst_ip: IPv4Address,
+                     max_hops: int = 64) -> List[str]:
+        """Idealized forwarding walk; returns the device path (empty if
+        unreachable/loop)."""
+        self.compute()
+        path = [src_device]
+        current = src_device
+        for _ in range(max_hops):
+            rib = self.ribs.get(current, {})
+            best_prefix: Optional[Prefix] = None
+            for prefix in rib:
+                if dst_ip in prefix and (best_prefix is None
+                                         or prefix.length > best_prefix.length):
+                    best_prefix = prefix
+            if best_prefix is None:
+                return []
+            route = rib[best_prefix]
+            if route.next_hop_device is None:
+                return path  # delivered
+            current = route.next_hop_device
+            if current in path:
+                return []  # forwarding loop
+            path.append(current)
+        return []
+
+    # -- internals ---------------------------------------------------------
+
+    def _asn(self, device: str) -> int:
+        return self.configs[device].bgp.asn
+
+    def _insert(self, device: str, via: str, route: SimRoute) -> None:
+        self._candidates[device].setdefault(route.prefix, {})[via] = route
+
+    def _select_all(self, devices: Iterable[str]) -> None:
+        for device in devices:
+            rib: Dict[Prefix, SimRoute] = {}
+            multi: Dict[Prefix, Tuple[str, ...]] = {}
+            for prefix, candidates in self._candidates[device].items():
+                best = None
+                for via, route in sorted(candidates.items()):
+                    if best is None or self._better(route, best[1]):
+                        best = (via, route)
+                if best is None:
+                    continue
+                rib[prefix] = best[1]
+                equal = tuple(sorted(
+                    via for via, route in candidates.items()
+                    if len(route.as_path) == len(best[1].as_path)
+                    and route.local_pref == best[1].local_pref))
+                multi[prefix] = equal
+            # Canonical aggregation (RFC): empty AS path, ATOMIC_AGGREGATE.
+            for agg in self.configs[device].bgp.aggregates:
+                if any(agg.prefix.contains(p) and p != agg.prefix
+                       for p in rib):
+                    rib[agg.prefix] = SimRoute(prefix=agg.prefix, as_path=(),
+                                               next_hop_device=None)
+                    multi[agg.prefix] = ("__local__",)
+            self.ribs[device] = rib
+            self.multipath[device] = multi
+
+    @staticmethod
+    def _better(a: SimRoute, b: SimRoute) -> bool:
+        if a.local_pref != b.local_pref:
+            return a.local_pref > b.local_pref
+        if (a.next_hop_device is None) != (b.next_hop_device is None):
+            return a.next_hop_device is None
+        if len(a.as_path) != len(b.as_path):
+            return len(a.as_path) < len(b.as_path)
+        return False
+
+    def _suppressed(self, device: str, prefix: Prefix) -> bool:
+        for agg in self.configs[device].bgp.aggregates:
+            if (agg.summary_only and agg.prefix.contains(prefix)
+                    and prefix != agg.prefix
+                    and agg.prefix in self.ribs.get(device, {})):
+                return True
+        return False
+
+    def _export(self, sender: str, receiver: str,
+                prefix: Prefix) -> Optional[SimRoute]:
+        if receiver not in self.configs or self.configs[receiver].bgp is None:
+            return None
+        route = self.ribs[sender].get(prefix)
+        if route is None or self._suppressed(sender, prefix):
+            return None
+        receiver_asn = self._asn(receiver)
+        sender_asn = self._asn(sender)
+        if receiver_asn in route.as_path:
+            return None
+        if receiver_asn == sender_asn:
+            return None  # no iBGP modelling in the idealized baseline
+        # Policies: look up the sender's export map for this neighbor.
+        link = self.topology.link_between(sender, receiver)
+        export_map = None
+        import_map = None
+        if link is not None:
+            sender_cfg = self.configs[sender].bgp
+            receiver_cfg = self.configs[receiver].bgp
+            recv_ip = link.address_of(receiver)
+            send_ip = link.address_of(sender)
+            for n in sender_cfg.neighbors:
+                if recv_ip is not None and n.peer_ip == recv_ip:
+                    export_map = n.export_policy
+            for n in receiver_cfg.neighbors:
+                if send_ip is not None and n.peer_ip == send_ip:
+                    import_map = n.import_policy
+        attrs = PathAttributes(as_path=route.as_path, origin=ORIGIN_IGP,
+                               local_pref=route.local_pref, med=route.med)
+        out = apply_route_map(self._policies[sender], export_map, prefix,
+                              attrs, sender_asn)
+        if out is None:
+            return None
+        out = out.prepend(sender_asn).replace(local_pref=100)
+        inbound = apply_route_map(self._policies[receiver], import_map,
+                                  prefix, out, receiver_asn)
+        if inbound is None:
+            return None
+        return SimRoute(prefix=prefix, as_path=inbound.as_path,
+                        next_hop_device=sender,
+                        local_pref=inbound.local_pref, med=inbound.med)
+
+    def _propagate_once(self, devices: Iterable[str]) -> bool:
+        changed = False
+        for link in self.topology.links:
+            for sender, receiver in ((link.dev_a, link.dev_b),
+                                     (link.dev_b, link.dev_a)):
+                if sender not in self.ribs or receiver not in self._candidates:
+                    continue
+                seen: Set[Prefix] = set()
+                for prefix in list(self.ribs[sender]):
+                    exported = self._export(sender, receiver, prefix)
+                    key = f"{sender}"
+                    current = self._candidates[receiver].get(prefix, {}).get(key)
+                    if exported is None:
+                        if current is not None:
+                            del self._candidates[receiver][prefix][key]
+                            changed = True
+                        continue
+                    seen.add(prefix)
+                    if current is None or current.key() != exported.key():
+                        self._insert(receiver, key, exported)
+                        changed = True
+                # Withdraw anything previously learned from this sender that
+                # it no longer exports.
+                for prefix, candidates in self._candidates[receiver].items():
+                    if (f"{sender}" in candidates and prefix not in seen
+                            and prefix not in self.ribs[sender]):
+                        del candidates[f"{sender}"]
+                        changed = True
+        return changed

@@ -1,0 +1,117 @@
+"""FIB comparison with non-determinism awareness (§9).
+
+Cross-validating emulated against production (or baseline) forwarding
+tables hits a real problem: BGP is mostly agnostic to message timing, but
+**ECMP combined with IP aggregation is not** — Figure 1's R6 picks one of
+several equal contributor paths for the aggregate, so its (and downstream)
+FIB entries legitimately differ between runs.  Exactly matching those
+entries would produce false alarms, so the comparator:
+
+* normalizes FIB snapshots (sorted prefixes, next-hop sets),
+* classifies differences (missing / extra / next-hop mismatch),
+* can *learn* which prefixes are non-deterministic from repeated runs
+  (:func:`find_nondeterministic_prefixes`) and tolerate exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "FibDifference",
+    "FibComparator",
+    "normalize_fib",
+    "find_nondeterministic_prefixes",
+]
+
+# A FIB snapshot as PullStates returns it: [(prefix_str, [hop_str, ...])]
+RawFib = Sequence[Tuple[str, Sequence[str]]]
+NormalFib = Dict[str, FrozenSet[str]]
+
+
+def normalize_fib(fib: RawFib) -> NormalFib:
+    return {prefix: frozenset(hops) for prefix, hops in fib}
+
+
+@dataclass(frozen=True)
+class FibDifference:
+    """One discrepancy between two FIBs."""
+
+    device: str
+    prefix: str
+    kind: str          # missing | extra | next-hops
+    left: FrozenSet[str] = frozenset()
+    right: FrozenSet[str] = frozenset()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"{self.device} {self.prefix} [{self.kind}] "
+                f"{sorted(self.left)} vs {sorted(self.right)}")
+
+
+class FibComparator:
+    """Compares per-device FIB snapshots.
+
+    ``nondeterministic_prefixes``: prefixes whose next-hop set is allowed
+    to differ (aggregation+ECMP timing, §9).  They still must exist on both
+    sides — non-determinism never excuses a missing route.
+    """
+
+    def __init__(self,
+                 nondeterministic_prefixes: Iterable[str] = ()):
+        self.nondeterministic = set(nondeterministic_prefixes)
+
+    def diff_device(self, device: str, left: RawFib,
+                    right: RawFib) -> List[FibDifference]:
+        left_n, right_n = normalize_fib(left), normalize_fib(right)
+        out: List[FibDifference] = []
+        for prefix in sorted(set(left_n) | set(right_n)):
+            in_left, in_right = prefix in left_n, prefix in right_n
+            if in_left and not in_right:
+                out.append(FibDifference(device, prefix, "missing",
+                                         left=left_n[prefix]))
+            elif in_right and not in_left:
+                out.append(FibDifference(device, prefix, "extra",
+                                         right=right_n[prefix]))
+            elif left_n[prefix] != right_n[prefix]:
+                if prefix in self.nondeterministic:
+                    continue
+                out.append(FibDifference(device, prefix, "next-hops",
+                                         left=left_n[prefix],
+                                         right=right_n[prefix]))
+        return out
+
+    def diff(self, left: Dict[str, RawFib],
+             right: Dict[str, RawFib]) -> List[FibDifference]:
+        """Compare complete network snapshots (device -> FIB)."""
+        out: List[FibDifference] = []
+        for device in sorted(set(left) | set(right)):
+            out.extend(self.diff_device(device, left.get(device, ()),
+                                        right.get(device, ())))
+        return out
+
+    def equivalent(self, left: Dict[str, RawFib],
+                   right: Dict[str, RawFib]) -> bool:
+        return not self.diff(left, right)
+
+
+def find_nondeterministic_prefixes(
+        runs: Sequence[Dict[str, RawFib]]) -> Set[str]:
+    """Learn which prefixes have timing-dependent next hops.
+
+    Given FIB snapshots from repeated emulations of the same network, a
+    prefix is non-deterministic if *any* device's next-hop set for it
+    differs across runs (while the prefix is present everywhere).
+    """
+    if len(runs) < 2:
+        return set()
+    flagged: Set[str] = set()
+    baseline = {device: normalize_fib(fib) for device, fib in runs[0].items()}
+    for run in runs[1:]:
+        for device, fib in run.items():
+            current = normalize_fib(fib)
+            base = baseline.get(device, {})
+            for prefix in set(base) & set(current):
+                if base[prefix] != current[prefix]:
+                    flagged.add(prefix)
+    return flagged

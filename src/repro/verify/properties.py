@@ -1,0 +1,245 @@
+"""A small property language for validating emulated networks (§9).
+
+The paper leaves testing methodology to operators but names the next step:
+"the design of a domain-specific language to specify properties of
+interest and automatic generation of test cases to verify those
+properties."  This module is that layer:
+
+* **Properties** are declarative objects — ``reachable``, ``isolated``,
+  ``path_through``, ``ecmp_width``, ``no_blackholes``,
+  ``sessions_established``, ``fib_contains`` — evaluated against a live
+  :class:`~repro.core.CrystalNet` emulation by walking pulled FIBs.
+* A :class:`PropertySuite` evaluates a list of properties and reports
+  pass/fail with evidence; it plugs directly into the Figure-3 workflow as
+  a check function (``suite.as_check()``).
+* :func:`generate_reachability_suite` auto-generates test cases: full
+  server-to-server reachability for a Clos datacenter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from ..net.ip import IPv4Address
+from ..topology.graph import Topology
+from .reachability import ReachabilityAnalyzer
+
+__all__ = [
+    "Property",
+    "PropertyResult",
+    "PropertySuite",
+    "reachable",
+    "isolated",
+    "path_through",
+    "ecmp_width",
+    "no_blackholes",
+    "sessions_established",
+    "fib_contains",
+    "generate_reachability_suite",
+]
+
+
+@dataclass
+class PropertyResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class Property:
+    """A named predicate over an emulation."""
+
+    name: str
+    check: Callable[["_Context"], PropertyResult]
+
+    def evaluate(self, context: "_Context") -> PropertyResult:
+        return self.check(context)
+
+
+class _Context:
+    """Snapshot of the emulation shared by all properties in one run."""
+
+    def __init__(self, net):
+        self.net = net
+        self.states = net.pull_states()
+        self.fibs = {name: state["fib"]
+                     for name, state in self.states.items()
+                     if "fib" in state}
+        self.analyzer = ReachabilityAnalyzer(net.topology, self.fibs)
+
+
+def _ip(value) -> IPv4Address:
+    return value if isinstance(value, IPv4Address) else IPv4Address(value)
+
+
+def reachable(src_device: str, dst) -> Property:
+    dst_ip = _ip(dst)
+
+    def check(ctx: _Context) -> PropertyResult:
+        result = ctx.analyzer.walk(src_device, dst_ip)
+        return PropertyResult(
+            name=f"reachable({src_device} -> {dst_ip})",
+            passed=result.delivered,
+            detail=f"{result.outcome}: {' -> '.join(result.path)}"
+                   + (f" ({result.detail})" if result.detail else ""))
+    return Property(f"reachable({src_device}->{dst_ip})", check)
+
+
+def isolated(src_device: str, dst) -> Property:
+    """Traffic must NOT be deliverable (ACL/policy enforcement)."""
+    dst_ip = _ip(dst)
+
+    def check(ctx: _Context) -> PropertyResult:
+        result = ctx.analyzer.walk(src_device, dst_ip)
+        return PropertyResult(
+            name=f"isolated({src_device} -> {dst_ip})",
+            passed=not result.delivered,
+            detail=f"{result.outcome}: {' -> '.join(result.path)}")
+    return Property(f"isolated({src_device}->{dst_ip})", check)
+
+
+def path_through(src_device: str, dst, via: Optional[Set[str]] = None,
+                 via_roles: Optional[Set[str]] = None) -> Property:
+    """The forwarding walk must traverse one of ``via`` devices (or a
+    device whose role is in ``via_roles``)."""
+    dst_ip = _ip(dst)
+
+    def check(ctx: _Context) -> PropertyResult:
+        result = ctx.analyzer.walk(src_device, dst_ip)
+        if not result.delivered:
+            return PropertyResult(
+                name=f"path_through({src_device}->{dst_ip})",
+                passed=False, detail=f"not delivered: {result.outcome}")
+        hops = set(result.path[1:-1])
+        ok = True
+        if via is not None:
+            ok = bool(hops & via)
+        if ok and via_roles is not None:
+            roles = {ctx.net.topology.device(h).role for h in hops}
+            ok = bool(roles & via_roles)
+        return PropertyResult(
+            name=f"path_through({src_device}->{dst_ip})",
+            passed=ok, detail=f"path: {' -> '.join(result.path)}")
+    return Property(f"path_through({src_device}->{dst_ip})", check)
+
+
+def ecmp_width(device: str, prefix: str, minimum: int) -> Property:
+    """The device's FIB entry for ``prefix`` must have >= ``minimum``
+    next hops (load-balancing intact)."""
+
+    def check(ctx: _Context) -> PropertyResult:
+        fib = dict(ctx.fibs.get(device, []))
+        hops = fib.get(prefix, [])
+        return PropertyResult(
+            name=f"ecmp_width({device}, {prefix} >= {minimum})",
+            passed=len(hops) >= minimum,
+            detail=f"{len(hops)} next hops: {sorted(hops)}")
+    return Property(f"ecmp_width({device},{prefix})", check)
+
+
+def fib_contains(device: str, prefix: str, expect: bool = True) -> Property:
+    def check(ctx: _Context) -> PropertyResult:
+        fib = dict(ctx.fibs.get(device, []))
+        present = prefix in fib
+        return PropertyResult(
+            name=f"fib_{'contains' if expect else 'lacks'}({device}, {prefix})",
+            passed=present is expect,
+            detail=f"present={present}")
+    return Property(f"fib_contains({device},{prefix})", check)
+
+
+def no_blackholes(sources: Sequence[str],
+                  destinations: Sequence) -> Property:
+    dst_ips = [_ip(d) for d in destinations]
+
+    def check(ctx: _Context) -> PropertyResult:
+        failures = ctx.analyzer.find_blackholes(sources, dst_ips)
+        detail = "; ".join(f"{s}->{d}: {r.outcome}"
+                           for s, d, r in failures[:3])
+        return PropertyResult(
+            name=f"no_blackholes({len(sources)}x{len(dst_ips)})",
+            passed=not failures,
+            detail=detail or "all pairs deliver")
+    return Property("no_blackholes", check)
+
+
+def sessions_established(devices: Optional[Iterable[str]] = None) -> Property:
+    """Every (non-shutdown) BGP session on the given devices is up."""
+
+    def check(ctx: _Context) -> PropertyResult:
+        down: List[str] = []
+        targets = devices if devices is not None else list(ctx.states)
+        for name in targets:
+            state = ctx.states.get(name, {})
+            sessions = state.get("bgp", {}).get("sessions", {})
+            for peer, session_state in sessions.items():
+                if session_state != "established":
+                    down.append(f"{name}->{peer}:{session_state}")
+        return PropertyResult(
+            name="sessions_established",
+            passed=not down,
+            detail="; ".join(down[:4]) or "all sessions established")
+    return Property("sessions_established", check)
+
+
+class PropertySuite:
+    """A reusable battery of properties over one emulation."""
+
+    def __init__(self, net, properties: Iterable[Property] = ()):
+        self.net = net
+        self.properties: List[Property] = list(properties)
+        self.last_results: List[PropertyResult] = []
+
+    def add(self, prop: Property) -> "PropertySuite":
+        self.properties.append(prop)
+        return self
+
+    def evaluate(self) -> List[PropertyResult]:
+        context = _Context(self.net)
+        self.last_results = [p.evaluate(context) for p in self.properties]
+        return self.last_results
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.last_results) and all(r.passed
+                                               for r in self.last_results)
+
+    def failures(self) -> List[PropertyResult]:
+        return [r for r in self.last_results if not r.passed]
+
+    def as_check(self) -> Callable:
+        """Adapter for :class:`~repro.core.workflow.ValidationWorkflow`."""
+        def check(_net) -> bool:
+            self.evaluate()
+            return self.passed
+        return check
+
+    def report(self) -> str:
+        lines = []
+        for result in self.last_results:
+            mark = "PASS" if result.passed else "FAIL"
+            lines.append(f"[{mark}] {result.name} — {result.detail}")
+        return "\n".join(lines)
+
+
+def generate_reachability_suite(net, topology: Optional[Topology] = None,
+                                max_pairs: Optional[int] = None
+                                ) -> PropertySuite:
+    """Auto-generate the canonical DC test suite: every ToR can reach every
+    other ToR's server prefixes, and all sessions are up."""
+    topo = topology or net.topology
+    suite = PropertySuite(net)
+    suite.add(sessions_established())
+    tors = [d for d in topo.by_role("tor") if d.name in net.devices]
+    pairs = 0
+    for src in tors:
+        for dst in tors:
+            if src.name == dst.name or not dst.originated:
+                continue
+            if max_pairs is not None and pairs >= max_pairs:
+                return suite
+            suite.add(reachable(src.name, dst.originated[0].address_at(1)))
+            pairs += 1
+    return suite

@@ -1,0 +1,115 @@
+"""Data-plane verification over emulated FIBs (§10 "data plane verification").
+
+CrystalNet's place in the verification ecosystem: it *produces* forwarding
+tables from a high-fidelity emulation, which classic data-plane verifiers
+(HSA/Veriflow-style) then analyze — proactively, before the change ships.
+This module is that analyzer: it walks pulled FIB snapshots to answer
+reachability questions and hunt blackholes and loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net.ip import IPv4Address, Prefix
+from ..net.trie import PrefixTrie
+from ..topology.graph import Topology
+
+__all__ = ["WalkResult", "ReachabilityAnalyzer"]
+
+RawFib = Sequence[Tuple[str, Sequence[str]]]
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one forwarding walk."""
+
+    outcome: str          # delivered | blackhole | loop | exited
+    path: List[str]
+    detail: str = ""
+
+    @property
+    def delivered(self) -> bool:
+        return self.outcome == "delivered"
+
+
+class ReachabilityAnalyzer:
+    """Walks FIB snapshots along topology links."""
+
+    def __init__(self, topology: Topology, fibs: Dict[str, RawFib]):
+        self.topology = topology
+        self._tries: Dict[str, PrefixTrie] = {}
+        for device, fib in fibs.items():
+            trie = PrefixTrie()
+            for prefix_text, hops in fib:
+                trie.insert(Prefix(prefix_text), tuple(hops))
+            self._tries[device] = trie
+        # Map interface addresses -> owning device, for next-hop resolution.
+        self._ip_owner: Dict[int, str] = {}
+        for link in topology.links:
+            if link.subnet is None:
+                continue
+            for dev in (link.dev_a, link.dev_b):
+                self._ip_owner[link.address_of(dev).value] = dev
+
+    def walk(self, src_device: str, dst: IPv4Address,
+             max_hops: int = 64) -> WalkResult:
+        """Follow FIBs hop by hop from ``src_device`` toward ``dst``."""
+        if src_device not in self._tries:
+            return WalkResult("blackhole", [],
+                              f"no FIB snapshot for {src_device}")
+        path = [src_device]
+        current = src_device
+        for _ in range(max_hops):
+            trie = self._tries.get(current)
+            if trie is None:
+                return WalkResult("exited", path,
+                                  f"{current} has no FIB snapshot "
+                                  f"(outside the emulation)")
+            hit = trie.longest_match(dst)
+            if hit is None:
+                return WalkResult("blackhole", path,
+                                  f"{current} has no route to {dst}")
+            hops = hit[1]
+            local = any(h.startswith("dev:") or h == "local" for h in hops)
+            if local:
+                return WalkResult("delivered", path)
+            # Deterministic choice among ECMP hops for the walk: lowest IP.
+            next_ip = sorted(hops)[0]
+            owner = self._ip_owner.get(IPv4Address(next_ip).value)
+            if owner is None:
+                return WalkResult("exited", path,
+                                  f"next hop {next_ip} is outside the "
+                                  f"topology")
+            if owner in path:
+                return WalkResult("loop", path + [owner],
+                                  f"forwarding loop at {owner}")
+            path.append(owner)
+            current = owner
+        return WalkResult("loop", path, "hop limit exceeded")
+
+    def reachable(self, src_device: str, dst: IPv4Address) -> bool:
+        return self.walk(src_device, dst).delivered
+
+    def find_blackholes(self, sources: Sequence[str],
+                        destinations: Sequence[IPv4Address]
+                        ) -> List[Tuple[str, IPv4Address, WalkResult]]:
+        """All (source, destination) pairs that fail to deliver."""
+        failures = []
+        for src in sources:
+            for dst in destinations:
+                result = self.walk(src, dst)
+                if result.outcome in ("blackhole", "loop"):
+                    failures.append((src, dst, result))
+        return failures
+
+    def all_pairs_delivery_rate(self, sources: Sequence[str],
+                                destinations: Sequence[IPv4Address]) -> float:
+        total = ok = 0
+        for src in sources:
+            for dst in destinations:
+                total += 1
+                if self.reachable(src, dst):
+                    ok += 1
+        return ok / total if total else 1.0

@@ -1,0 +1,58 @@
+"""Simulated cloud + virtualization substrate (VMs, containers, overlays)."""
+
+from .cloud import (
+    Cloud,
+    CloudError,
+    STANDARD_D4,
+    STANDARD_D4_NESTED,
+    VirtualMachine,
+    VmSku,
+)
+from .container import (
+    Container,
+    ContainerError,
+    ContainerImage,
+    DockerEngine,
+    PHYNET_IMAGE,
+)
+from .fanout import FanoutSwitch, HardwareDevice
+from .federation import CloudFederation, NatGateway, punch_hole
+from .links import DataLink, Endpoint, LinkError, LinkFabric
+from .mgmt import DnsServer, Jumpbox, LoginSession, ManagementPlane, MgmtError
+from .netns import Bridge, NetworkNamespace, VethPair, VirtualInterface
+from .vxlan import VniAllocator, VxlanEndpoint, VxlanTunnel
+
+__all__ = [
+    "Bridge",
+    "Cloud",
+    "CloudError",
+    "CloudFederation",
+    "Container",
+    "ContainerError",
+    "ContainerImage",
+    "DataLink",
+    "DnsServer",
+    "DockerEngine",
+    "Endpoint",
+    "FanoutSwitch",
+    "HardwareDevice",
+    "Jumpbox",
+    "LinkError",
+    "LinkFabric",
+    "LoginSession",
+    "ManagementPlane",
+    "MgmtError",
+    "NatGateway",
+    "NetworkNamespace",
+    "PHYNET_IMAGE",
+    "STANDARD_D4",
+    "STANDARD_D4_NESTED",
+    "VethPair",
+    "VirtualInterface",
+    "VirtualMachine",
+    "VmSku",
+    "VniAllocator",
+    "VxlanEndpoint",
+    "VxlanTunnel",
+    "punch_hole",
+]

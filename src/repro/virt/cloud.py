@@ -1,0 +1,249 @@
+"""The simulated public cloud: VMs, SKUs, the IP underlay, and billing.
+
+CrystalNet runs "ground-up in public cloud" (§3.1): the orchestrator spawns
+VMs on demand, the emulation overlay runs on any VM cluster, and cost is a
+first-class metric (USD/hour, §1).  This module is the stand-in for Azure:
+
+* :class:`VmSku` — instance types (cores, RAM, hourly price, nested-VM
+  support — needed for VM-based vendor images, §4.1).
+* :class:`VirtualMachine` — a host with a k-core CPU, a VXLAN endpoint, Linux
+  bridges, and a Docker engine; it can crash and reboot.
+* :class:`Cloud` — spawns/deletes VMs, delivers underlay traffic between
+  them, meters spend.
+
+Timing constants are calibrated so the orchestration latencies land in the
+ranges Figure 8 reports (provisioning/underlay constants below; firmware
+timing lives in :mod:`repro.firmware.vendors.profiles`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, TYPE_CHECKING
+
+from ..net.ip import IPv4Address, Prefix
+from ..net.packet import MacAllocator, Ipv4Packet, UdpDatagram, VXLAN_UDP_PORT
+from ..sim import CpuScheduler, Environment, Event
+from .netns import Bridge
+from .vxlan import VniAllocator, VxlanEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .container import DockerEngine
+
+__all__ = ["VmSku", "VirtualMachine", "Cloud", "CloudError", "STANDARD_D4", "STANDARD_D4_NESTED"]
+
+
+class CloudError(Exception):
+    """Raised for invalid cloud operations (unknown VM, capacity, etc.)."""
+
+
+@dataclass(frozen=True)
+class VmSku:
+    """A cloud instance type."""
+
+    name: str
+    cores: int
+    memory_gb: int
+    price_per_hour: float
+    supports_nested_vm: bool = False
+
+
+# The workhorse SKU from §6.1: 4-core, 8GB, USD 0.20/hour.
+STANDARD_D4 = VmSku("Standard_D4", cores=4, memory_gb=8, price_per_hour=0.20)
+# Nested-virtualization SKU for VM-based vendor images (§4.1), 16GB.
+STANDARD_D4_NESTED = VmSku(
+    "Standard_D4_v3", cores=4, memory_gb=16, price_per_hour=0.40,
+    supports_nested_vm=True,
+)
+
+# Cloud underlay one-way latency between VMs in the same region (seconds).
+UNDERLAY_LATENCY = 300e-6
+# VM provisioning time bounds (seconds); uniform draw per VM.
+VM_PROVISION_MIN = 45.0
+VM_PROVISION_MAX = 120.0
+
+
+class VirtualMachine:
+    """One cloud VM hosting a slice of the emulation."""
+
+    def __init__(self, env: Environment, name: str, sku: VmSku,
+                 underlay_ip: IPv4Address, cloud: "Cloud"):
+        self.env = env
+        self.name = name
+        self.sku = sku
+        self.underlay_ip = underlay_ip
+        self.cloud = cloud
+        self.state = "provisioning"  # provisioning|running|failed|deleted
+        self.cpu = CpuScheduler(env, cores=sku.cores, name=f"{name}.cpu")
+        self.vni_allocator = VniAllocator()
+        self.vxlan = VxlanEndpoint(env, underlay_ip, self._underlay_send)
+        self.bridges: Dict[str, Bridge] = {}
+        self.docker: Optional["DockerEngine"] = None
+        self.spawned_at = env.now
+        self.deleted_at: Optional[float] = None
+        self.crash_count = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def mark_running(self) -> None:
+        self.state = "running"
+
+    def crash(self) -> None:
+        """Abrupt VM failure: containers die, bridges and tunnels vanish."""
+        if self.state != "running":
+            return
+        self.state = "failed"
+        self.crash_count += 1
+        if self.docker is not None:
+            self.docker.kill_all()
+        for bridge in self.bridges.values():
+            for port in list(bridge.ports):
+                port.set_down()
+        self.bridges.clear()
+        self.vxlan.tunnels.clear()
+        self.vni_allocator = VniAllocator()
+
+    def reboot(self) -> Event:
+        """Reboot a failed VM; fires when the VM is running (empty) again."""
+        done = self.env.event(name=f"{self.name}.reboot")
+
+        def _finish() -> None:
+            self.state = "running"
+            self.cpu = CpuScheduler(self.env, cores=self.sku.cores,
+                                    name=f"{self.name}.cpu")
+            done.succeed()
+
+        delay = self.cloud.rng.uniform(VM_PROVISION_MIN, VM_PROVISION_MAX) / 2
+        self.env.call_later(delay, _finish)
+        return done
+
+    # -- networking ------------------------------------------------------
+
+    def create_bridge(self, name: str) -> Bridge:
+        if self.state != "running":
+            raise CloudError(f"VM {self.name} is {self.state}")
+        if name in self.bridges:
+            raise CloudError(f"bridge {name} exists on {self.name}")
+        bridge = Bridge(self.env, name)
+        self.bridges[name] = bridge
+        return bridge
+
+    def delete_bridge(self, name: str) -> None:
+        self.bridges.pop(name, None)
+
+    def _underlay_send(self, packet: Ipv4Packet) -> None:
+        if self.state != "running":
+            return
+        self.cloud.deliver(packet)
+
+    def receive_underlay(self, packet: Ipv4Packet) -> None:
+        if self.state != "running":
+            return
+        datagram = packet.payload
+        if isinstance(datagram, UdpDatagram) and datagram.dst_port == VXLAN_UDP_PORT:
+            self.vxlan.handle_datagram(packet)
+
+    # -- accounting ------------------------------------------------------
+
+    def uptime_hours(self) -> float:
+        end = self.deleted_at if self.deleted_at is not None else self.env.now
+        return max(0.0, end - self.spawned_at) / 3600.0
+
+    def cost_usd(self) -> float:
+        return self.uptime_hours() * self.sku.price_per_hour
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VM {self.name} {self.sku.name} {self.state}>"
+
+
+class Cloud:
+    """The cloud provider: VM lifecycle, underlay delivery, billing."""
+
+    def __init__(self, env: Environment, name: str = "azure",
+                 underlay_prefix: str = "100.64.0.0/10",
+                 seed: int = 7, capacity: int = 100000):
+        self.env = env
+        self.name = name
+        self.rng = random.Random(seed)
+        self.capacity = capacity
+        self.vms: Dict[str, VirtualMachine] = {}
+        self._retired: list[VirtualMachine] = []
+        # Set by CloudFederation.join(); enables cross-cloud underlay.
+        self.federation = None
+        self.mac_allocator = MacAllocator()
+        self._underlay_pool = Prefix(underlay_prefix).hosts()
+        self._ip_index: Dict[int, VirtualMachine] = {}
+
+    # -- VM lifecycle ----------------------------------------------------
+
+    def spawn_vm(self, name: str, sku: VmSku = STANDARD_D4) -> Event:
+        """Provision a VM; the returned event fires with the running VM."""
+        if name in self.vms:
+            raise CloudError(f"VM name {name} already exists")
+        if len(self.vms) >= self.capacity:
+            raise CloudError(f"cloud capacity {self.capacity} exhausted")
+        underlay_ip = next(self._underlay_pool)
+        vm = VirtualMachine(self.env, name, sku, underlay_ip, self)
+        self.vms[name] = vm
+        self._ip_index[underlay_ip.value] = vm
+        done = self.env.event(name=f"spawn:{name}")
+        delay = self.rng.uniform(VM_PROVISION_MIN, VM_PROVISION_MAX)
+
+        def _finish() -> None:
+            vm.mark_running()
+            done.succeed(vm)
+
+        self.env.call_later(delay, _finish)
+        return done
+
+    def delete_vm(self, name: str) -> None:
+        vm = self.vms.get(name)
+        if vm is None:
+            raise CloudError(f"unknown VM {name}")
+        vm.crash()
+        vm.state = "deleted"
+        vm.deleted_at = self.env.now
+        self._ip_index.pop(vm.underlay_ip.value, None)
+        self._retired.append(vm)
+        del self.vms[name]
+
+    def fail_vm(self, name: str) -> VirtualMachine:
+        """Inject an abrupt VM failure (for resilience experiments, §8.3)."""
+        vm = self.vms.get(name)
+        if vm is None:
+            raise CloudError(f"unknown VM {name}")
+        vm.crash()
+        return vm
+
+    def vm(self, name: str) -> VirtualMachine:
+        try:
+            return self.vms[name]
+        except KeyError:
+            raise CloudError(f"unknown VM {name}") from None
+
+    def running_vms(self) -> Iterator[VirtualMachine]:
+        return (vm for vm in self.vms.values() if vm.state == "running")
+
+    # -- underlay --------------------------------------------------------
+
+    def deliver(self, packet: Ipv4Packet) -> None:
+        """Deliver an underlay IP packet to the destination VM."""
+        target = self._ip_index.get(packet.dst.value)
+        if target is None:
+            if self.federation is not None:
+                self.federation.route(packet, self)
+            return
+        self.env.call_later(UNDERLAY_LATENCY,
+                            lambda: target.receive_underlay(packet))
+
+    # -- billing ---------------------------------------------------------
+
+    def total_cost_usd(self) -> float:
+        live = sum(vm.cost_usd() for vm in self.vms.values())
+        retired = sum(vm.cost_usd() for vm in self._retired)
+        return live + retired
+
+    def hourly_rate_usd(self) -> float:
+        return sum(vm.sku.price_per_hour for vm in self.vms.values()
+                   if vm.state in ("running", "failed", "provisioning"))

@@ -1,0 +1,210 @@
+"""Containers and the Docker-like engine managing them (§4.1).
+
+CrystalNet's two-layer design is reproduced structurally:
+
+* A **PhyNet container** owns the network namespace and all virtual
+  interfaces for one device slot, plus the common tooling (tcpdump-style
+  capture, packet injection).  It is nearly free to run and survives device
+  software restarts.
+* A **device sandbox** container runs the vendor firmware *inside the PhyNet
+  container's namespace* — so firmware boots with interfaces already present
+  and cannot tell it is not on real hardware.
+* **VM-based vendor images** (VM-A / VM-B analogues) are packed as a KVM
+  hypervisor inside a container; they require a nested-virtualization VM SKU
+  and cost more memory and boot time.
+
+A container's *guest* is any object implementing ``on_start``/``on_stop``
+(the firmware stacks in :mod:`repro.firmware`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from ..sim import Environment, Event
+from .cloud import VirtualMachine
+from .netns import NetworkNamespace
+
+__all__ = [
+    "ContainerImage",
+    "Container",
+    "DockerEngine",
+    "ContainerError",
+    "Guest",
+    "PHYNET_IMAGE",
+]
+
+
+class ContainerError(Exception):
+    """Invalid container operation (double start, missing image, OOM...)."""
+
+
+class Guest(Protocol):
+    """What a container can host (device firmware, a speaker, a jumpbox)."""
+
+    def on_start(self, container: "Container") -> None: ...
+
+    def on_stop(self) -> None: ...
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """A container image as shipped by a vendor (or built in-house).
+
+    ``kind`` distinguishes the runtime shape:
+
+    * ``phynet``       — the unified PhyNet layer (ours, negligible cost)
+    * ``container-os`` — containerized switch OS (CTNR-A / CTNR-B style)
+    * ``vm-os``        — VM image wrapped in KVM-in-container (VM-A / VM-B)
+    * ``speaker``      — lightweight boundary BGP speaker (ExaBGP style)
+    * ``jumpbox``      — management-plane jumpbox
+    """
+
+    name: str
+    kind: str
+    boot_cpu_cost: float
+    memory_gb: float
+    vendor: str = ""
+
+    def __post_init__(self):
+        if self.kind not in ("phynet", "container-os", "vm-os", "speaker", "jumpbox"):
+            raise ValueError(f"unknown image kind {self.kind!r}")
+
+    @property
+    def requires_nested_vm(self) -> bool:
+        return self.kind == "vm-os"
+
+
+PHYNET_IMAGE = ContainerImage(
+    name="crystalnet/phynet", kind="phynet", boot_cpu_cost=0.05, memory_gb=0.05,
+)
+
+
+class Container:
+    """One container instance on a VM."""
+
+    def __init__(self, engine: "DockerEngine", name: str, image: ContainerImage,
+                 netns: NetworkNamespace, guest: Optional[Guest] = None):
+        self.engine = engine
+        self.env: Environment = engine.env
+        self.name = name
+        self.image = image
+        self.netns = netns
+        self.guest = guest
+        self.state = "created"  # created|starting|running|exited
+        self.started_at: Optional[float] = None
+        self.restarts = 0
+        # PhyNet tooling state: captured packets land here (telemetry, §3.3).
+        self.captures: list = []
+
+    @property
+    def vm(self) -> VirtualMachine:
+        return self.engine.vm
+
+    # Warm restarts (image layers cached, namespace intact) cost a fraction
+    # of a cold boot — the fast Reload path of §8.3.
+    WARM_RESTART_FACTOR = 0.1
+
+    def start(self, warm: bool = False) -> Event:
+        """Boot the container; the event fires when the guest is running."""
+        if self.state in ("starting", "running"):
+            raise ContainerError(f"container {self.name} already {self.state}")
+        if self.vm.state != "running":
+            raise ContainerError(f"VM {self.vm.name} is {self.vm.state}")
+        self.state = "starting"
+        done = self.env.event(name=f"start:{self.name}")
+        cost = self.image.boot_cpu_cost * (self.WARM_RESTART_FACTOR if warm
+                                           else 1.0)
+        boot = self.vm.cpu.execute(cost)
+
+        def _finish(_ev) -> None:
+            if self.state != "starting":  # killed while booting
+                return
+            self.state = "running"
+            self.started_at = self.env.now
+            if self.guest is not None:
+                self.guest.on_start(self)
+            done.succeed(self)
+
+        boot.add_callback(_finish)
+        return done
+
+    def stop(self) -> None:
+        """Graceful stop: guest shuts down, namespace/interfaces remain."""
+        if self.state not in ("running", "starting"):
+            return
+        self.state = "exited"
+        if self.guest is not None:
+            self.guest.on_stop()
+
+    def kill(self) -> None:
+        """Abrupt kill (VM crash path)."""
+        self.stop()
+
+    def restart(self) -> Event:
+        """Stop then start; the PhyNet namespace survives (the 3 s Reload
+        path of §8.3 — no interface/link re-creation needed)."""
+        self.stop()
+        self.restarts += 1
+        return self.start(warm=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Container {self.name} [{self.image.name}] {self.state}>"
+
+
+class DockerEngine:
+    """Per-VM container manager."""
+
+    def __init__(self, env: Environment, vm: VirtualMachine):
+        self.env = env
+        self.vm = vm
+        vm.docker = self
+        self.containers: Dict[str, Container] = {}
+        self.images: Dict[str, ContainerImage] = {PHYNET_IMAGE.name: PHYNET_IMAGE}
+
+    def pull_image(self, image: ContainerImage) -> None:
+        self.images[image.name] = image
+
+    def memory_in_use_gb(self) -> float:
+        return sum(c.image.memory_gb for c in self.containers.values()
+                   if c.state in ("starting", "running"))
+
+    def create(self, name: str, image: ContainerImage,
+               netns: Optional[NetworkNamespace] = None,
+               guest: Optional[Guest] = None) -> Container:
+        if name in self.containers:
+            raise ContainerError(f"container name {name} in use on {self.vm.name}")
+        if image.name not in self.images:
+            raise ContainerError(f"image {image.name} not pulled on {self.vm.name}")
+        if image.requires_nested_vm and not self.vm.sku.supports_nested_vm:
+            raise ContainerError(
+                f"image {image.name} needs nested virtualization; "
+                f"SKU {self.vm.sku.name} does not support it"
+            )
+        if self.memory_in_use_gb() + image.memory_gb > self.vm.sku.memory_gb:
+            raise ContainerError(
+                f"VM {self.vm.name} out of memory for {name} "
+                f"({self.memory_in_use_gb():.1f}+{image.memory_gb:.1f}"
+                f">{self.vm.sku.memory_gb}GB)"
+            )
+        container = Container(self, name, image,
+                              netns or NetworkNamespace(f"netns:{name}"), guest)
+        self.containers[name] = container
+        return container
+
+    def get(self, name: str) -> Container:
+        try:
+            return self.containers[name]
+        except KeyError:
+            raise ContainerError(f"unknown container {name}") from None
+
+    def remove(self, name: str) -> None:
+        container = self.containers.pop(name, None)
+        if container is not None:
+            container.stop()
+
+    def kill_all(self) -> None:
+        for container in self.containers.values():
+            container.kill()
+        self.containers.clear()

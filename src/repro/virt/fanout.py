@@ -1,0 +1,73 @@
+"""Real-hardware integration via fanout switches (§4.1).
+
+CrystalNet can splice physical switches into an emulated topology: each
+hardware port is tunnelled through a "fanout" switch to a virtual interface
+on a server, managed by a PhyNet container and bridged into the overlay.
+
+In this reproduction a :class:`HardwareDevice` is an externally-managed
+device object (it may run any firmware stack, including an in-house OS under
+test on "real" hardware — §7 Case 2).  The :class:`FanoutSwitch` maps its
+ports onto namespace interfaces so the rest of the substrate treats it
+identically to container devices, which is the point of the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..sim import Environment
+from .netns import NetworkNamespace
+
+__all__ = ["HardwareDevice", "FanoutSwitch"]
+
+
+@dataclass
+class HardwareDevice:
+    """A physical switch on-premises, described by its ports."""
+
+    name: str
+    ports: List[str]
+    location: str = "lab"
+
+
+class FanoutSwitch:
+    """Tunnels each hardware port to a virtual interface in a PhyNet netns.
+
+    After :meth:`attach`, ``netns_for(device)`` returns a namespace whose
+    interfaces mirror the hardware ports; the orchestrator wires links to it
+    exactly as it does for containers, making hardware participation
+    transparent (the PhyNet layer unifies management, §4.1).
+    """
+
+    def __init__(self, env: Environment, name: str = "fanout0"):
+        self.env = env
+        self.name = name
+        self._namespaces: Dict[str, NetworkNamespace] = {}
+        self._port_map: Dict[str, Dict[str, str]] = {}
+
+    def attach(self, device: HardwareDevice) -> NetworkNamespace:
+        if device.name in self._namespaces:
+            raise ValueError(f"hardware {device.name} already attached")
+        netns = NetworkNamespace(f"hw:{device.name}")
+        self._namespaces[device.name] = netns
+        self._port_map[device.name] = {
+            port: f"tunnel:{self.name}:{device.name}:{port}" for port in device.ports
+        }
+        return netns
+
+    def detach(self, device_name: str) -> None:
+        self._namespaces.pop(device_name, None)
+        self._port_map.pop(device_name, None)
+
+    def netns_for(self, device_name: str) -> NetworkNamespace:
+        try:
+            return self._namespaces[device_name]
+        except KeyError:
+            raise ValueError(f"hardware {device_name} not attached") from None
+
+    def tunnel_of(self, device_name: str, port: str) -> str:
+        return self._port_map[device_name][port]
+
+    def attached(self) -> List[str]:
+        return sorted(self._namespaces)

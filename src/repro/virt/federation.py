@@ -1,0 +1,112 @@
+"""Multi-cloud federation: emulations spanning providers (§3.1, §4.2).
+
+CrystalNet "can even simultaneously use multiple public and private
+clouds"; its VXLAN links cross any IP underlay, "including the wide area
+Internet", traversing NATs with standard UDP hole punching [14].
+
+* :class:`CloudFederation` joins several :class:`~repro.virt.cloud.Cloud`
+  instances; packets between clouds ride a wide-area underlay with higher
+  latency.
+* :class:`NatGateway` models each cloud's border NAT: inbound UDP is only
+  admitted on flows a local VM has already sent outbound on — so a fresh
+  cross-cloud tunnel must be *punched* from both sides, which
+  :func:`punch_hole` (called by the link fabric at tunnel setup) does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..net.ip import IPv4Address
+from ..net.packet import Ipv4Packet, UdpDatagram, VXLAN_UDP_PORT
+from ..sim import Environment
+from .cloud import Cloud, VirtualMachine
+
+__all__ = ["NatGateway", "CloudFederation", "punch_hole"]
+
+# One-way latency between clouds over the public Internet (seconds).
+INTER_CLOUD_LATENCY = 0.030
+
+
+class NatGateway:
+    """A stateful UDP NAT in front of one cloud."""
+
+    def __init__(self, cloud_name: str):
+        self.cloud_name = cloud_name
+        # Flows a local VM opened: (local_ip_value, remote_ip_value).
+        self._outbound: Set[Tuple[int, int]] = set()
+        self.dropped_inbound = 0
+
+    def register_outbound(self, local: IPv4Address,
+                          remote: IPv4Address) -> None:
+        self._outbound.add((local.value, remote.value))
+
+    def admits_inbound(self, local: IPv4Address,
+                       remote: IPv4Address) -> bool:
+        if (local.value, remote.value) in self._outbound:
+            return True
+        self.dropped_inbound += 1
+        return False
+
+
+class CloudFederation:
+    """Routes underlay traffic between member clouds."""
+
+    def __init__(self, env: Environment,
+                 latency: float = INTER_CLOUD_LATENCY):
+        self.env = env
+        self.latency = latency
+        self.clouds: List[Cloud] = []
+        self.nats: Dict[str, NatGateway] = {}
+
+    def join(self, cloud: Cloud, nat: bool = True) -> Cloud:
+        if cloud in self.clouds:
+            return cloud
+        self.clouds.append(cloud)
+        cloud.federation = self
+        if nat:
+            self.nats[cloud.name] = NatGateway(cloud.name)
+        return cloud
+
+    def owner_of(self, address: IPv4Address) -> Optional[Cloud]:
+        for cloud in self.clouds:
+            if address.value in cloud._ip_index:
+                return cloud
+        return None
+
+    def route(self, packet: Ipv4Packet, source_cloud: Cloud) -> None:
+        """Carry an underlay packet from one member cloud to another."""
+        target_cloud = self.owner_of(packet.dst)
+        if target_cloud is None or target_cloud is source_cloud:
+            return
+        source_nat = self.nats.get(source_cloud.name)
+        if source_nat is not None:
+            source_nat.register_outbound(packet.src, packet.dst)
+        target_nat = self.nats.get(target_cloud.name)
+        if target_nat is not None and not target_nat.admits_inbound(
+                packet.dst, packet.src):
+            return  # no hole punched yet: silently dropped at the NAT
+        target_vm = target_cloud._ip_index.get(packet.dst.value)
+        if target_vm is None:
+            return
+        self.env.call_later(self.latency,
+                            lambda: target_vm.receive_underlay(packet))
+
+
+def punch_hole(vm_a: VirtualMachine, vm_b: VirtualMachine) -> bool:
+    """UDP hole punching for a new cross-cloud tunnel [14].
+
+    Both sides emit a probe datagram toward the other; each probe registers
+    the outbound flow at its own NAT, so subsequent VXLAN traffic passes in
+    both directions.  Returns True if a punch was needed (different
+    clouds), False for intra-cloud pairs.
+    """
+    if vm_a.cloud is vm_b.cloud:
+        return False
+    for src, dst in ((vm_a, vm_b), (vm_b, vm_a)):
+        src.cloud.deliver(Ipv4Packet(
+            src=src.underlay_ip, dst=dst.underlay_ip,
+            payload=UdpDatagram(src_port=VXLAN_UDP_PORT,
+                                dst_port=VXLAN_UDP_PORT,
+                                payload=("punch",))))
+    return True

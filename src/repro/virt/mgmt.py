@@ -1,0 +1,186 @@
+"""The management-plane overlay (Figure 6).
+
+Operators' tools reach emulated devices over an out-of-band management
+network: every VM runs a management bridge, each device's ``ma`` interface
+plugs into the local bridge, and all bridges connect to a Linux jumpbox via
+VXLAN tunnels in a *tree* (a full L2 mesh would invite broadcast storms,
+§4.2).  The jumpbox runs a DNS server for device management IPs; extra
+jumpboxes (e.g. Windows) attach over VPN.
+
+Reachability honours the real dependency chain: a device is manageable only
+while its VM is running, its sandbox container is running, and its firmware
+answers on the management channel — so tests can observe management-plane
+loss during VM failures exactly as operators would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..net.ip import IPv4Address, Prefix
+from ..sim import Environment
+from .cloud import VirtualMachine
+from .container import Container
+
+__all__ = ["ManagementPlane", "Jumpbox", "DnsServer", "LoginSession", "MgmtError"]
+
+# CPU cost on the device's VM for serving one management command.
+COMMAND_CPU_COST = 0.002
+
+
+class MgmtError(Exception):
+    """Management-plane failure (unreachable device, bad credentials...)."""
+
+
+class DnsServer:
+    """Name -> management IP, served from the Linux jumpbox."""
+
+    def __init__(self):
+        self._records: Dict[str, IPv4Address] = {}
+
+    def register(self, name: str, address: IPv4Address) -> None:
+        self._records[name] = address
+
+    def unregister(self, name: str) -> None:
+        self._records.pop(name, None)
+
+    def resolve(self, name: str) -> IPv4Address:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise MgmtError(f"DNS: unknown host {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class Jumpbox:
+    """A jumpbox VM operators log into to run their tools."""
+
+    name: str
+    kind: str = "linux"  # linux | windows
+    via_vpn: bool = False
+
+
+class LoginSession:
+    """An SSH/Telnet session to one emulated device's CLI.
+
+    ``execute`` runs a command string through the device's vendor CLI and
+    returns its textual output, charging CPU on the hosting VM — management
+    traffic is work the emulated device really does.
+    """
+
+    def __init__(self, plane: "ManagementPlane", device_name: str):
+        self._plane = plane
+        self.device_name = device_name
+        self.closed = False
+        self.history: List[str] = []
+
+    def execute(self, command: str) -> str:
+        if self.closed:
+            raise MgmtError("session closed")
+        record = self._plane._entries.get(self.device_name)
+        if record is None or not self._plane.reachable(self.device_name):
+            raise MgmtError(f"{self.device_name}: connection lost")
+        record.vm.cpu.execute(COMMAND_CPU_COST)
+        self.history.append(command)
+        return record.cli(command)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+@dataclass
+class _MgmtEntry:
+    name: str
+    address: IPv4Address
+    vm: VirtualMachine
+    container: Container
+    cli: Callable[[str], str]
+
+
+class ManagementPlane:
+    """Builds and operates the management overlay for one emulation."""
+
+    def __init__(self, env: Environment, mgmt_prefix: str = "192.168.0.0/16"):
+        self.env = env
+        self.dns = DnsServer()
+        self.jumpboxes: List[Jumpbox] = [Jumpbox("jumpbox-linux", "linux")]
+        self._pool = Prefix(mgmt_prefix).hosts()
+        self._entries: Dict[str, _MgmtEntry] = {}
+        self._by_ip: Dict[int, str] = {}
+        # VMs whose management bridge + VXLAN tunnel to the jumpbox exists.
+        self.attached_vms: Dict[str, VirtualMachine] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def attach_vm(self, vm: VirtualMachine) -> None:
+        """Create the VM's management bridge and its tunnel to the jumpbox."""
+        if vm.name not in self.attached_vms:
+            self.attached_vms[vm.name] = vm
+
+    def add_jumpbox(self, name: str, kind: str = "windows") -> Jumpbox:
+        """Attach a secondary jumpbox over VPN (Figure 6's Windows box)."""
+        box = Jumpbox(name, kind, via_vpn=True)
+        self.jumpboxes.append(box)
+        return box
+
+    def register_device(self, name: str, vm: VirtualMachine,
+                        container: Container,
+                        cli: Callable[[str], str]) -> IPv4Address:
+        """Give a device a management IP, DNS record, and CLI endpoint."""
+        if name in self._entries:
+            raise MgmtError(f"device {name} already registered")
+        self.attach_vm(vm)
+        address = next(self._pool)
+        self._entries[name] = _MgmtEntry(name, address, vm, container, cli)
+        self._by_ip[address.value] = name
+        self.dns.register(name, address)
+        return address
+
+    def unregister_device(self, name: str) -> None:
+        entry = self._entries.pop(name, None)
+        if entry is not None:
+            self._by_ip.pop(entry.address.value, None)
+            self.dns.unregister(name)
+
+    # -- operation -------------------------------------------------------
+
+    def reachable(self, name: str) -> bool:
+        entry = self._entries.get(name)
+        if entry is None:
+            return False
+        return (
+            entry.vm.state == "running"
+            and entry.container.state == "running"
+            and entry.vm.name in self.attached_vms
+        )
+
+    def login(self, target: str | IPv4Address) -> LoginSession:
+        """Open a session by device name or management IP."""
+        if isinstance(target, IPv4Address):
+            name = self._by_ip.get(target.value)
+            if name is None:
+                raise MgmtError(f"no device at {target}")
+        else:
+            name = target
+            if name not in self._entries:
+                # Maybe it's a dotted IP string.
+                try:
+                    return self.login(IPv4Address(name))
+                except ValueError:
+                    raise MgmtError(f"unknown device {name!r}") from None
+        if not self.reachable(name):
+            raise MgmtError(f"{name}: no route to host (management plane)")
+        return LoginSession(self, name)
+
+    def device_names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def address_of(self, name: str) -> IPv4Address:
+        try:
+            return self._entries[name].address
+        except KeyError:
+            raise MgmtError(f"unknown device {name!r}") from None

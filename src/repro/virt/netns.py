@@ -1,0 +1,229 @@
+"""Network namespaces, virtual interfaces, veth pairs, and Linux bridges.
+
+This is the Linux-networking layer CrystalNet builds its PhyNet containers
+from (§4).  The emulation keeps the same object graph a real deployment has:
+
+* each PhyNet container owns a :class:`NetworkNamespace`;
+* every device interface is one end of a :class:`VethPair`, the other end of
+  which is plugged into a :class:`Bridge` on the host VM;
+* each bridge additionally has a VXLAN member (``repro.virt.vxlan``) when the
+  remote device lives on another VM.
+
+Frames are delivered through scheduled simulation events so link latency and
+ordering behave like a real network, and every hop stamps the frame's
+``hop_trace`` so telemetry can reconstruct paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net.packet import BROADCAST_MAC, EthernetFrame, MacAddress
+from ..sim import Environment
+
+__all__ = ["VirtualInterface", "VethPair", "NetworkNamespace", "Bridge"]
+
+# One-way propagation delay of an intra-VM virtual link, seconds.  Tiny but
+# non-zero so event ordering matches a real kernel path.
+VETH_LATENCY = 20e-6
+
+
+class VirtualInterface:
+    """One endpoint of a virtual link (veth end, bridge port, or VXLAN port).
+
+    An interface can be *attached* to exactly one of:
+
+    * a :class:`NetworkNamespace` (a device's interface), in which case
+      received frames go to the namespace's bound handler, or
+    * a :class:`Bridge` (a host-side port), in which case received frames are
+      forwarded by the bridge.
+    """
+
+    def __init__(self, env: Environment, name: str, mac: MacAddress):
+        self.env = env
+        self.name = name
+        self.mac = mac
+        self.up = True
+        self.peer: Optional["VirtualInterface"] = None
+        self.namespace: Optional["NetworkNamespace"] = None
+        self.bridge: Optional["Bridge"] = None
+        self.latency = VETH_LATENCY
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.tx_dropped = 0
+        # VXLAN ports override delivery; see vxlan.VxlanTunnel.
+        self._tx_override: Optional[Callable[[EthernetFrame], None]] = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_namespace(self, namespace: "NetworkNamespace") -> None:
+        if self.bridge is not None:
+            raise RuntimeError(f"{self.name} already plugged into a bridge")
+        self.namespace = namespace
+        namespace._register(self)
+
+    def detach_namespace(self) -> None:
+        if self.namespace is not None:
+            self.namespace._unregister(self)
+            self.namespace = None
+
+    # -- data path -------------------------------------------------------
+
+    def transmit(self, frame: EthernetFrame) -> None:
+        """Send a frame out of this interface toward its peer."""
+        if not self.up:
+            self.tx_dropped += 1
+            return
+        self.tx_frames += 1
+        frame.trace(f"tx:{self.name}")
+        if self._tx_override is not None:
+            self._tx_override(frame)
+            return
+        peer = self.peer
+        if peer is None:
+            self.tx_dropped += 1
+            return
+        self.env.call_later(self.latency, lambda: peer.receive(frame))
+
+    def receive(self, frame: EthernetFrame) -> None:
+        """Deliver a frame arriving at this interface."""
+        if not self.up:
+            return
+        self.rx_frames += 1
+        frame.trace(f"rx:{self.name}")
+        if self.bridge is not None:
+            self.bridge.forward(self, frame)
+        elif self.namespace is not None:
+            self.namespace.deliver(self, frame)
+        # Unattached interfaces silently drop — like an unconfigured veth end.
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def set_down(self) -> None:
+        self.up = False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<VirtualInterface {self.name} mac={self.mac}>"
+
+
+class VethPair:
+    """A connected pair of virtual interfaces (Linux ``veth``)."""
+
+    def __init__(self, env: Environment, name_a: str, name_b: str,
+                 mac_a: MacAddress, mac_b: MacAddress):
+        self.a = VirtualInterface(env, name_a, mac_a)
+        self.b = VirtualInterface(env, name_b, mac_b)
+        self.a.peer = self.b
+        self.b.peer = self.a
+
+    def set_down(self) -> None:
+        self.a.set_down()
+        self.b.set_down()
+
+    def set_up(self) -> None:
+        self.a.set_up()
+        self.b.set_up()
+
+
+FrameHandler = Callable[[VirtualInterface, EthernetFrame], None]
+
+
+class NetworkNamespace:
+    """An isolated set of interfaces, as held by one PhyNet container.
+
+    The two-layer design (§4.1) lives here: the namespace (and its
+    interfaces) belongs to the PhyNet container and *survives* device
+    software restarts.  Device firmware binds/unbinds a frame handler; while
+    no handler is bound (firmware down/rebooting) frames are dropped, but the
+    interfaces and links remain, exactly like real hardware ports.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.interfaces: Dict[str, VirtualInterface] = {}
+        self._handler: Optional[FrameHandler] = None
+        self.dropped_no_handler = 0
+
+    def _register(self, iface: VirtualInterface) -> None:
+        if iface.name in self.interfaces:
+            raise RuntimeError(f"duplicate interface {iface.name} in netns {self.name}")
+        self.interfaces[iface.name] = iface
+
+    def _unregister(self, iface: VirtualInterface) -> None:
+        self.interfaces.pop(iface.name, None)
+
+    def bind(self, handler: FrameHandler) -> None:
+        """Attach device firmware's frame handler (firmware boot)."""
+        self._handler = handler
+
+    def unbind(self) -> None:
+        """Detach the handler (firmware stopped); interfaces stay up."""
+        self._handler = None
+
+    def deliver(self, iface: VirtualInterface, frame: EthernetFrame) -> None:
+        if self._handler is None:
+            self.dropped_no_handler += 1
+            return
+        self._handler(iface, frame)
+
+    def interface(self, name: str) -> VirtualInterface:
+        return self.interfaces[name]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NetworkNamespace {self.name} ifaces={sorted(self.interfaces)}>"
+
+
+class Bridge:
+    """A learning Linux bridge with STP and iptables disabled (§6.2).
+
+    CrystalNet prefers Linux bridges over OVS because only "dumb" forwarding
+    is needed; we model the same: learn source MACs, forward to the learned
+    port, flood unknowns/broadcast.
+    """
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.ports: list[VirtualInterface] = []
+        self.fdb: Dict[MacAddress, VirtualInterface] = {}
+        self.forwarded = 0
+        self.flooded = 0
+
+    def add_port(self, iface: VirtualInterface) -> None:
+        if iface.namespace is not None:
+            raise RuntimeError(f"{iface.name} is inside a namespace; cannot bridge")
+        if iface.bridge is not None:
+            raise RuntimeError(f"{iface.name} already bridged")
+        iface.bridge = self
+        self.ports.append(iface)
+
+    def remove_port(self, iface: VirtualInterface) -> None:
+        if iface in self.ports:
+            self.ports.remove(iface)
+            iface.bridge = None
+        stale = [mac for mac, port in self.fdb.items() if port is iface]
+        for mac in stale:
+            del self.fdb[mac]
+
+    def forward(self, ingress: VirtualInterface, frame: EthernetFrame) -> None:
+        """Standard learning-bridge forwarding."""
+        frame.trace(f"bridge:{self.name}")
+        if not frame.src.is_broadcast:
+            self.fdb[frame.src] = ingress
+        if not frame.dst.is_broadcast:
+            port = self.fdb.get(frame.dst)
+            if port is not None and port is not ingress:
+                self.forwarded += 1
+                port.transmit(frame)
+                return
+            if port is ingress:
+                return  # hairpin: drop, like a real bridge
+        # Flood (broadcast or unknown unicast).
+        self.flooded += 1
+        for port in self.ports:
+            if port is not ingress:
+                port.transmit(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Bridge {self.name} ports={len(self.ports)}>"

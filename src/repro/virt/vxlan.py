@@ -1,0 +1,134 @@
+"""VXLAN tunnels: the data-plane virtual links between VMs (§4.2).
+
+CrystalNet picked VXLAN over GRE because it emulates an Ethernet link and
+its UDP outer header crosses any IP underlay — clouds, the Internet, NATs.
+We reproduce that structure: a :class:`VxlanEndpoint` per VM terminates
+tunnels; each virtual link gets a unique VNI; the endpoint encapsulates
+bridge traffic into UDP datagrams handed to the cloud underlay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..net.ip import IPv4Address
+from ..net.packet import (
+    VXLAN_UDP_PORT,
+    EthernetFrame,
+    Ipv4Packet,
+    MacAddress,
+    UdpDatagram,
+    VxlanHeader,
+)
+from ..sim import Environment
+from .netns import VirtualInterface
+
+__all__ = ["VxlanEndpoint", "VxlanTunnel", "VniAllocator"]
+
+
+class VniAllocator:
+    """Allocates collision-free VXLAN IDs per VM (the orchestrator ensures
+    no ID collision on the same VM, §4.2)."""
+
+    def __init__(self):
+        self._next = 1
+        self._allocated: set[int] = set()
+
+    def allocate(self) -> int:
+        vni = self._next
+        self._next += 1
+        self._allocated.add(vni)
+        return vni
+
+    def reserve(self, vni: int) -> None:
+        if vni in self._allocated:
+            raise ValueError(f"VNI {vni} already in use on this VM")
+        self._allocated.add(vni)
+
+    def release(self, vni: int) -> None:
+        self._allocated.discard(vni)
+
+
+class VxlanTunnel:
+    """One VXLAN interface: (local endpoint, remote IP, remote port, VNI).
+
+    Appears to its bridge as an ordinary port; transmitting encapsulates the
+    frame and ships it over the underlay.
+    """
+
+    def __init__(self, endpoint: "VxlanEndpoint", vni: int,
+                 remote_ip: IPv4Address, remote_port: int, name: str,
+                 mac: MacAddress):
+        self.endpoint = endpoint
+        self.vni = vni
+        self.remote_ip = remote_ip
+        self.remote_port = remote_port
+        self.iface = VirtualInterface(endpoint.env, name, mac)
+        self.iface._tx_override = self._encapsulate
+        self.tx_encapsulated = 0
+        self.rx_decapsulated = 0
+
+    def _encapsulate(self, frame: EthernetFrame) -> None:
+        frame.trace(f"vxlan-encap:{self.iface.name}(vni={self.vni})")
+        self.tx_encapsulated += 1
+        datagram = UdpDatagram(
+            src_port=self.endpoint.port,
+            dst_port=self.remote_port,
+            payload=(VxlanHeader(self.vni), frame),
+        )
+        packet = Ipv4Packet(src=self.endpoint.ip, dst=self.remote_ip, payload=datagram)
+        self.endpoint.underlay_send(packet)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        frame.trace(f"vxlan-decap:{self.iface.name}(vni={self.vni})")
+        self.rx_decapsulated += 1
+        self.iface.receive(frame)
+
+
+UnderlaySend = Callable[[Ipv4Packet], None]
+
+
+class VxlanEndpoint:
+    """The per-VM VXLAN termination point.
+
+    Demultiplexes incoming UDP/4789 datagrams to tunnels by VNI.  The
+    ``underlay_send`` callable is provided by the cloud (and may model NAT
+    traversal — CrystalNet uses UDP hole punching across NATs, §4.2).
+    """
+
+    def __init__(self, env: Environment, ip: IPv4Address,
+                 underlay_send: UnderlaySend, port: int = VXLAN_UDP_PORT):
+        self.env = env
+        self.ip = ip
+        self.port = port
+        self.underlay_send = underlay_send
+        self.tunnels: Dict[int, VxlanTunnel] = {}
+        self.rx_unknown_vni = 0
+
+    def create_tunnel(self, vni: int, remote_ip: IPv4Address, name: str,
+                      mac: MacAddress,
+                      remote_port: int = VXLAN_UDP_PORT) -> VxlanTunnel:
+        if vni in self.tunnels:
+            raise ValueError(f"VNI {vni} already terminated at {self.ip}")
+        tunnel = VxlanTunnel(self, vni, remote_ip, remote_port, name, mac)
+        self.tunnels[vni] = tunnel
+        return tunnel
+
+    def destroy_tunnel(self, vni: int) -> Optional[VxlanTunnel]:
+        return self.tunnels.pop(vni, None)
+
+    def handle_datagram(self, packet: Ipv4Packet) -> None:
+        """Entry point for underlay UDP traffic addressed to this endpoint."""
+        datagram = packet.payload
+        if (not isinstance(datagram, UdpDatagram)
+                or not isinstance(datagram.payload, tuple)
+                or len(datagram.payload) != 2):
+            return  # e.g. NAT hole-punch probes
+        header, frame = datagram.payload
+        if not isinstance(header, VxlanHeader):
+            return
+        tunnel = self.tunnels.get(header.vni)
+        if tunnel is None:
+            self.rx_unknown_vni += 1
+            return
+        tunnel.deliver(frame)

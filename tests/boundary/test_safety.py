@@ -1,0 +1,112 @@
+"""Tests for boundary safety classification (Propositions 5.2/5.3/5.4)."""
+
+import pytest
+
+from repro.boundary import (
+    check_boundary_safe,
+    check_ospf_boundary,
+    classify_boundary,
+)
+from repro.topology import build_clos, LDC, SDC, pod_devices
+from repro.topology.examples import FIG7_CASES, figure7_topology
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7_topology()
+
+
+class TestFigure7:
+    def test_7a_unsafe(self, fig7):
+        emulated, expected = FIG7_CASES["7a-unsafe"]
+        verdict = classify_boundary(fig7, emulated)
+        assert verdict.safe is expected is False
+        assert verdict.rule == "none"
+        # L1-4 are the boundary, S1-2 the speakers.
+        assert verdict.boundary_devices == ["L1", "L2", "L3", "L4"]
+        assert verdict.speaker_devices == ["S1", "S2"]
+
+    def test_7b_safe_by_prop52(self, fig7):
+        emulated, expected = FIG7_CASES["7b-safe"]
+        verdict = classify_boundary(fig7, emulated)
+        assert verdict.safe is expected is True
+        assert verdict.rule == "prop-5.2"
+        assert verdict.boundary_devices == ["S1", "S2"]
+        assert set(verdict.speaker_devices) == {"L5", "L6"}
+
+    def test_7c_safe_by_prop53(self, fig7):
+        emulated, expected = FIG7_CASES["7c-safe"]
+        verdict = classify_boundary(fig7, emulated)
+        assert verdict.safe is expected is True
+        assert verdict.rule == "prop-5.3"
+        # Three boundary AS groups: S1-2 (100), L1-2 (200), L3-4 (300).
+        asns = {fig7.device(d).asn for d in verdict.boundary_devices}
+        assert asns == {100, 200, 300}
+
+    def test_internal_devices_identified(self, fig7):
+        emulated, _ = FIG7_CASES["7b-safe"]
+        verdict = classify_boundary(fig7, emulated)
+        assert set(verdict.internal_devices) == {"T1", "T2", "T3", "T4",
+                                                 "L1", "L2", "L3", "L4"}
+
+
+class TestGeneralRules:
+    def test_whole_network_is_always_safe(self, fig7):
+        verdict = classify_boundary(fig7, list(fig7.devices))
+        assert verdict.safe
+        assert verdict.boundary_devices == []
+
+    def test_unknown_device_rejected(self, fig7):
+        with pytest.raises(ValueError):
+            classify_boundary(fig7, ["T1", "ghost"])
+
+    def test_single_device_with_multi_as_speakers(self, fig7):
+        # Emulating just T1: boundary = {T1}, speakers L1, L2 in one AS...
+        verdict = classify_boundary(fig7, ["T1"])
+        # L1 and L2 share AS200 -> prop 5.2's speaker condition fails.
+        assert not verdict.safe
+
+    def test_clos_whole_dc_boundary_is_borders(self):
+        topo = build_clos(SDC())
+        administered = [d.name for d in topo if d.role != "wan"]
+        verdict = classify_boundary(topo, administered)
+        assert verdict.safe
+        assert verdict.rule == "prop-5.2"
+        assert all(topo.device(d).role == "border"
+                   for d in verdict.boundary_devices)
+        assert all(topo.device(s).role == "wan"
+                   for s in verdict.speaker_devices)
+
+    def test_clos_single_pod_without_upstream_is_unsafe(self):
+        topo = build_clos(LDC())
+        verdict = classify_boundary(topo, pod_devices(topo, 0))
+        # Spines (the would-be speakers) connect pods to each other.
+        assert not verdict.safe
+
+    def test_check_boundary_safe_wrapper(self, fig7):
+        assert check_boundary_safe(fig7, FIG7_CASES["7b-safe"][0])
+        assert not check_boundary_safe(fig7, FIG7_CASES["7a-unsafe"][0])
+
+
+class TestOspfProp54:
+    def test_safe_when_drs_inside_and_links_untouched(self, fig7):
+        emulated = FIG7_CASES["7b-safe"][0]
+        verdict = check_ospf_boundary(fig7, emulated,
+                                      designated_routers=["S1", "S2"],
+                                      changed_links=[("T1", "L1")])
+        assert verdict.safe and verdict.rule == "prop-5.4"
+
+    def test_unsafe_when_dr_outside(self, fig7):
+        emulated = FIG7_CASES["7b-safe"][0]
+        verdict = check_ospf_boundary(fig7, emulated,
+                                      designated_routers=["L5"])
+        assert not verdict.safe
+        assert "DR/BDR" in verdict.reason
+
+    def test_unsafe_when_change_touches_boundary_link(self, fig7):
+        emulated = FIG7_CASES["7b-safe"][0]
+        verdict = check_ospf_boundary(fig7, emulated,
+                                      designated_routers=["S1"],
+                                      changed_links=[("S1", "L5")])
+        assert not verdict.safe
+        assert "boundary links" in verdict.reason

@@ -1,0 +1,132 @@
+"""Tests for the SDN boundary rule and the static speaker device."""
+
+import pytest
+
+from repro.boundary import check_sdn_boundary, SpeakerOS, SpeakerRoute
+from repro.config.model import BgpConfig, BgpNeighborConfig, DeviceConfig, \
+    InterfaceConfig
+from repro.net import IPv4Address, Prefix
+from repro.topology import DeviceSpec, Topology
+from repro.topology.examples import figure7_topology
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7_topology()
+
+
+class TestSdnBoundary:
+    def test_safe_when_controller_and_inputs_emulated(self, fig7):
+        emulated = ["T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4",
+                    "S1", "S2"]
+        verdict = check_sdn_boundary(fig7, emulated, controller="S1",
+                                     controller_inputs=["L1", "L2", "T1"])
+        assert verdict.safe
+        assert verdict.rule.startswith("sdn+")
+
+    def test_unsafe_when_controller_outside(self, fig7):
+        verdict = check_sdn_boundary(fig7, ["T1", "L1", "L2"],
+                                     controller="S1",
+                                     controller_inputs=["L1"])
+        assert not verdict.safe
+        assert "controller" in verdict.reason
+
+    def test_unsafe_when_decision_input_outside(self, fig7):
+        emulated = ["T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4",
+                    "S1", "S2"]
+        verdict = check_sdn_boundary(fig7, emulated, controller="S1",
+                                     controller_inputs=["L5"])
+        assert not verdict.safe
+        assert "L5" in verdict.reason
+
+    def test_unsafe_when_control_network_boundary_unsafe(self, fig7):
+        # 7a's boundary is unsafe for the control network.
+        emulated = ["T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4"]
+        verdict = check_sdn_boundary(fig7, emulated, controller="L1",
+                                     controller_inputs=["T1"])
+        assert not verdict.safe
+        assert "control network" in verdict.reason
+
+
+def speaker_lab():
+    """A speaker peered with one ordinary BGP router over a veth."""
+    import sys, os
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..",
+                                    "firmware"))
+    from conftest import Wire
+    from repro.firmware.lab import BgpLab
+
+    lab = BgpLab(seed=171)
+    router = lab.router("r1", asn=100, networks=["10.5.0.0/24"])
+    # Hand-build the speaker's side of the cable.
+    from repro.virt.netns import NetworkNamespace, VethPair
+    pair = VethPair(lab.env, "et0", "et0s", lab.macs.allocate(),
+                    lab.macs.allocate())
+    pair.a.attach_namespace(router.stack.netns)
+    router.stack.configure_interface("et0", IPv4Address("172.30.0.0"), 31)
+    router.neighbors.append(BgpNeighborConfig(
+        peer_ip=IPv4Address("172.30.0.1"), remote_asn=65000))
+
+    config = DeviceConfig(hostname="speaker", vendor="ctnr-b")
+    config.interfaces = [InterfaceConfig("et0", IPv4Address("172.30.0.1"), 31)]
+    config.bgp = BgpConfig(asn=65000, router_id=IPv4Address("9.9.9.9"),
+                           neighbors=[BgpNeighborConfig(
+                               peer_ip=IPv4Address("172.30.0.0"),
+                               remote_asn=100)])
+    speaker = SpeakerOS(lab.env, "speaker", config,
+                        [SpeakerRoute(prefix=Prefix("50.0.0.0/8"),
+                                      as_path=(65000, 7018))],
+                        seed=3)
+
+    class FakeContainer:
+        netns = NetworkNamespace("speaker")
+    container = FakeContainer()
+    pair.b.attach_namespace(container.netns)
+    # Rename: speaker's config references et0.
+    iface = container.netns.interfaces.pop("et0s")
+    iface.name = "et0"
+    container.netns.interfaces["et0"] = iface
+    speaker.on_start(container)
+    return lab, router, speaker
+
+
+class TestSpeakerDevice:
+    def test_speaker_establishes_and_announces(self):
+        lab, router, speaker = speaker_lab()
+        lab.start()
+        lab.converge(timeout=600)
+        assert speaker.established_sessions() == 1
+        assert "50.0.0.0/8" in lab.routes("r1")
+        # The injected path is verbatim (production snapshot semantics).
+        candidates = router.daemon.adj_in.candidates(Prefix("50.0.0.0/8"))
+        assert candidates[0].attrs.as_path == (65000, 7018)
+
+    def test_speaker_records_but_never_propagates(self):
+        lab, router, speaker = speaker_lab()
+        lab.start()
+        lab.converge(timeout=600)
+        received = speaker.received_prefixes()
+        assert Prefix("10.5.0.0/24") in received
+        # Static: the router only ever learned the snapshot back — its own
+        # prefix was recorded by the speaker, never reflected.
+        learned = set(router.daemon.adj_in.by_prefix)
+        assert learned == {Prefix("50.0.0.0/8")}
+        # And the speaker sent exactly one UPDATE (the snapshot).
+        assert all(s.updates_sent <= 1 for s in speaker.sessions.values())
+
+    def test_speaker_show_received_cli(self):
+        lab, router, speaker = speaker_lab()
+        lab.start()
+        lab.converge(timeout=600)
+        out = speaker.execute("show received")
+        assert "10.5.0.0/24" in out
+        assert "% speaker" in speaker.execute("show ip route")
+
+    def test_speaker_stop_tears_down(self):
+        lab, router, speaker = speaker_lab()
+        lab.start()
+        lab.converge(timeout=600)
+        speaker.on_stop()
+        assert speaker.status == "stopped"
+        lab.wait(90)  # hold timer on the router side
+        assert router.daemon.established_sessions() == 0

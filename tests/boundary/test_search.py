@@ -1,0 +1,98 @@
+"""Tests for Algorithm 1 (FindSafeDCBoundary)."""
+
+import pytest
+
+from repro.boundary import boundary_plan, find_safe_dc_boundary
+from repro.topology import build_clos, LDC, SDC, pod_devices
+from repro.topology.examples import figure7_topology
+
+
+@pytest.fixture(scope="module")
+def ldc():
+    return build_clos(LDC())
+
+
+def test_single_tor_grows_to_roots(ldc):
+    emulated = find_safe_dc_boundary(ldc, ["tor-0-0"])
+    roles = {ldc.device(d).role for d in emulated}
+    assert roles == {"tor", "leaf", "spine", "border"}
+    # Exactly the one ToR, its pod's leaves, all their spines, all borders.
+    assert [d for d in emulated if ldc.device(d).role == "tor"] == ["tor-0-0"]
+    params = LDC()
+    leaves = [d for d in emulated if ldc.device(d).role == "leaf"]
+    assert len(leaves) == params.leaves_per_pod
+    borders = [d for d in emulated if ldc.device(d).role == "border"]
+    assert len(borders) == params.num_borders
+
+
+def test_one_pod_case_matches_table4_shape(ldc):
+    plan = boundary_plan(ldc, pod_devices(ldc, 0))
+    by_role = plan.emulated_by_role()
+    params = LDC()
+    assert by_role["leaf"] == params.leaves_per_pod
+    assert by_role["tor"] == params.tors_per_pod
+    assert by_role["spine"] == params.num_spines
+    assert by_role["border"] == params.num_borders
+    assert plan.verdict.safe
+    assert "wan" not in by_role  # external devices become speakers
+    assert all(ldc.device(s).role == "wan" or ldc.device(s).pod != 0
+               for s in plan.speaker_devices)
+
+
+def test_all_spines_case(ldc):
+    spines = [d.name for d in ldc.by_role("spine")]
+    plan = boundary_plan(ldc, spines)
+    by_role = plan.emulated_by_role()
+    assert set(by_role) == {"spine", "border"}
+    assert plan.verdict.safe
+    assert plan.proportion_of_network() < 0.15
+
+
+def test_wan_devices_never_emulated(ldc):
+    emulated = find_safe_dc_boundary(ldc, ["bdr-0"])
+    assert all(ldc.device(d).role != "wan" for d in emulated)
+
+
+def test_border_input_is_fixed_point(ldc):
+    borders = [d.name for d in ldc.by_role("border")]
+    assert find_safe_dc_boundary(ldc, borders) == sorted(borders)
+
+
+def test_duplicate_inputs_deduplicated(ldc):
+    once = find_safe_dc_boundary(ldc, ["tor-0-0"])
+    twice = find_safe_dc_boundary(ldc, ["tor-0-0", "tor-0-0"])
+    assert once == twice
+
+
+def test_unknown_device_rejected(ldc):
+    with pytest.raises(Exception):
+        find_safe_dc_boundary(ldc, ["nope"])
+
+
+def test_result_is_always_safe_on_clos(ldc):
+    """Algorithm 1's guarantee: its output classifies as safe."""
+    import itertools
+    cases = [
+        ["tor-3-5"],
+        ["lf-2-1"],
+        pod_devices(ldc, 1),
+        ["tor-0-0", "tor-7-11"],   # two far-apart ToRs
+        [d.name for d in ldc.by_role("spine")][:4],
+    ]
+    for must_have in cases:
+        plan = boundary_plan(ldc, must_have)
+        assert plan.verdict.safe, (must_have, plan.verdict.reason)
+
+
+def test_figure7_with_explicit_highest_layer():
+    fig7 = figure7_topology()
+    emulated = find_safe_dc_boundary(fig7, ["T1"], highest_layer=2)
+    assert set(emulated) == {"T1", "L1", "L2", "S1", "S2"}
+
+
+def test_sdc_full_emulation_plan():
+    topo = build_clos(SDC())
+    administered = [d.name for d in topo if d.role != "wan"]
+    plan = boundary_plan(topo, administered)
+    assert plan.proportion_of_network() == 1.0
+    assert plan.verdict.safe

@@ -1,0 +1,181 @@
+"""Tests for vendor dialect rendering/parsing, incl. the ACL-format quirk."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import (
+    Acl,
+    AclRule,
+    AggregateConfig,
+    BgpConfig,
+    BgpNeighborConfig,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+    parse_config,
+    render_config,
+)
+from repro.config.generator import ConfigGenerator
+from repro.net import IPv4Address, Prefix
+from repro.topology import build_clos, SDC
+
+
+def full_config(vendor="ctnr-a"):
+    cfg = DeviceConfig(hostname="sw-1", vendor=vendor)
+    cfg.interfaces = [
+        InterfaceConfig("lo0", IPv4Address("1.1.1.1"), 32, "loopback"),
+        InterfaceConfig("et0", IPv4Address("10.0.0.0"), 31, "to peer"),
+        InterfaceConfig("et1", IPv4Address("10.0.0.2"), 31, shutdown=True),
+    ]
+    cfg.bgp = BgpConfig(
+        asn=65001, router_id=IPv4Address("1.1.1.1"),
+        neighbors=[
+            BgpNeighborConfig(IPv4Address("10.0.0.1"), 65002, "peer-a",
+                              import_policy="IMP", export_policy="EXP"),
+            BgpNeighborConfig(IPv4Address("10.0.0.3"), 65003, "peer-b",
+                              shutdown=True),
+        ],
+        networks=[Prefix("10.1.0.0/24"), Prefix("10.2.0.0/24")],
+        aggregates=[AggregateConfig(Prefix("10.0.0.0/14"), summary_only=True)],
+    )
+    cfg.prefix_lists["PL"] = PrefixList("PL", [Prefix("10.0.0.0/8")],
+                                        allow_more_specific=True)
+    cfg.route_maps["IMP"] = RouteMap("IMP", [
+        RouteMapClause("permit", match_prefix_list="PL", set_local_pref=200)])
+    cfg.route_maps["EXP"] = RouteMap("EXP", [
+        RouteMapClause("permit", set_med=10, prepend_asn=2),
+        RouteMapClause("deny"),
+    ])
+    cfg.acls["FORWARD"] = Acl("FORWARD", [
+        AclRule("deny", Prefix("10.9.0.0/16"), "dst"),
+        AclRule("permit", Prefix("0.0.0.0/0"), "any"),
+    ])
+    cfg.fib_capacity = 5000
+    return cfg
+
+
+@pytest.mark.parametrize("vendor", ["ctnr-a", "ctnr-b", "vm-a", "vm-b"])
+def test_full_roundtrip(vendor):
+    cfg = full_config(vendor)
+    text = render_config(cfg)
+    back = parse_config(text, vendor)
+    assert back.hostname == cfg.hostname
+    assert [(i.name, str(i.address), i.prefix_length, i.shutdown)
+            for i in back.interfaces] == \
+        [(i.name, str(i.address), i.prefix_length, i.shutdown)
+         for i in cfg.interfaces]
+    assert back.bgp.asn == cfg.bgp.asn
+    assert back.bgp.router_id == cfg.bgp.router_id
+    assert back.bgp.networks == cfg.bgp.networks
+    assert back.bgp.aggregates == cfg.bgp.aggregates
+    assert len(back.bgp.neighbors) == 2
+    n = back.bgp.neighbor(IPv4Address("10.0.0.1"))
+    assert (n.remote_asn, n.import_policy, n.export_policy) == \
+        (65002, "IMP", "EXP")
+    assert back.bgp.neighbor(IPv4Address("10.0.0.3")).shutdown
+    assert back.prefix_lists["PL"].allow_more_specific
+    assert back.route_maps["IMP"].clauses[0].set_local_pref == 200
+    assert back.route_maps["EXP"].clauses[0].prepend_asn == 2
+    assert back.route_maps["EXP"].clauses[1].action == "deny"
+    assert len(back.acls["FORWARD"].rules) == 2
+    assert back.fib_capacity == 5000
+    back.validate()
+
+
+def test_vendor_dialects_differ_in_spelling():
+    cfg_a = full_config("ctnr-a")
+    cfg_b = full_config("vm-b")
+    text_a, text_b = render_config(cfg_a), render_config(cfg_b)
+    assert "ip address" in text_a and "router bgp" in text_a
+    assert "protocols bgp" in text_b
+    # A config written for one vendor family fails on the other.
+    with pytest.raises(ConfigError):
+        parse_config(text_a, "vm-b")
+
+
+def test_unknown_vendor_rejected():
+    with pytest.raises(ConfigError):
+        render_config(DeviceConfig(hostname="x", vendor="cisco??"))
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ConfigError):
+        parse_config("hostname x\nflux capacitor on\n", "ctnr-a")
+    with pytest.raises(ConfigError):
+        parse_config(" orphan indented line\n", "ctnr-a")
+    with pytest.raises(ConfigError, match="hostname"):
+        parse_config("!", "ctnr-a")
+
+
+def test_acl_v2_parser_silently_drops_v1_rules():
+    """The §2 incident: ACL format changed, old files parse 'successfully'
+    but the rules are gone."""
+    cfg = full_config("ctnr-a")
+    v1_text = render_config(cfg, firmware_version=1)
+    # Same file, read by v2 firmware:
+    on_v2 = parse_config(v1_text, "ctnr-a", firmware_version=2)
+    assert on_v2.acls["FORWARD"].rules == []          # silently empty!
+    # Same file on v1 firmware is fine.
+    on_v1 = parse_config(v1_text, "ctnr-a", firmware_version=1)
+    assert len(on_v1.acls["FORWARD"].rules) == 2
+
+
+def test_acl_v2_roundtrip_on_v2():
+    cfg = full_config("ctnr-a")
+    v2_text = render_config(cfg, firmware_version=2)
+    on_v2 = parse_config(v2_text, "ctnr-a", firmware_version=2)
+    assert len(on_v2.acls["FORWARD"].rules) == 2
+    assert on_v2.acls["FORWARD"].rules[0].direction == "dst"
+
+
+def test_generated_clos_configs_roundtrip():
+    topo = build_clos(SDC())
+    configs = ConfigGenerator(topo).generate_all()
+    for name, cfg in configs.items():
+        back = parse_config(render_config(cfg), cfg.vendor)
+        assert back.hostname == name
+        assert back.bgp.asn == cfg.bgp.asn
+        assert len(back.bgp.neighbors) == len(cfg.bgp.neighbors)
+        back.validate()
+
+
+def test_generator_assigns_fib_capacity_by_role():
+    topo = build_clos(SDC())
+    configs = ConfigGenerator(topo, fib_capacity_by_role={"border": 100}
+                              ).generate_all()
+    assert configs["bdr-0"].fib_capacity == 100
+    assert configs["spn-0"].fib_capacity is None
+
+
+def test_generator_interfaces_match_topology():
+    topo = build_clos(SDC())
+    configs = ConfigGenerator(topo).generate_all()
+    for name, cfg in configs.items():
+        expected = set(topo.interfaces_of(name)) | {"lo0"}
+        assert {i.name for i in cfg.interfaces} == expected
+
+
+octet = st.integers(0, 255)
+
+
+@given(
+    hostname=st.text(alphabet="abcdefgh-123", min_size=1, max_size=12),
+    asn=st.integers(1, 4_000_000),
+    networks=st.lists(
+        st.builds(lambda a, b, l: Prefix((a << 24) | (b << 16), l),
+                  octet, octet, st.integers(8, 24)),
+        max_size=5, unique=True),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(hostname, asn, networks):
+    cfg = DeviceConfig(hostname=hostname, vendor="ctnr-a")
+    cfg.bgp = BgpConfig(asn=asn, router_id=IPv4Address("1.2.3.4"),
+                        networks=sorted(set(networks)))
+    back = parse_config(render_config(cfg), "ctnr-a")
+    assert back.hostname == hostname
+    assert back.bgp.asn == asn
+    assert sorted(back.bgp.networks) == sorted(set(networks))

@@ -1,0 +1,125 @@
+"""Tests for the vendor-neutral config model."""
+
+import pytest
+
+from repro.config import (
+    Acl,
+    AclRule,
+    BgpConfig,
+    BgpNeighborConfig,
+    ConfigError,
+    DeviceConfig,
+    InterfaceConfig,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net import IPv4Address, Prefix
+
+
+def ip(t):
+    return IPv4Address(t)
+
+
+class TestAcl:
+    def test_rules_evaluated_in_order(self):
+        acl = Acl("A", [
+            AclRule("deny", Prefix("10.0.0.0/20"), "dst"),
+            AclRule("permit", Prefix("10.0.0.0/8"), "dst"),
+        ])
+        assert acl.evaluate(ip("1.1.1.1"), ip("10.0.0.5")) == "deny"
+        assert acl.evaluate(ip("1.1.1.1"), ip("10.0.16.5")) == "permit"
+
+    def test_default_permit_when_nothing_matches(self):
+        acl = Acl("A", [AclRule("deny", Prefix("10.0.0.0/8"), "src")])
+        assert acl.evaluate(ip("192.168.0.1"), ip("172.16.0.1")) == "permit"
+
+    def test_direction_any_matches_either(self):
+        rule = AclRule("deny", Prefix("10.0.0.0/8"), "any")
+        assert rule.matches(ip("10.0.0.1"), ip("1.1.1.1"))
+        assert rule.matches(ip("1.1.1.1"), ip("10.0.0.1"))
+        assert not rule.matches(ip("1.1.1.1"), ip("2.2.2.2"))
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ConfigError):
+            AclRule("block", Prefix("10.0.0.0/8"))
+
+    def test_mistyped_mask_catches_unintended_traffic(self):
+        """The §2 human error: 'deny 10.0.0.0/2' instead of /20."""
+        intended = AclRule("deny", Prefix("10.0.0.0/20"), "dst")
+        typo = AclRule("deny", Prefix("10.0.0.0/2"), "dst")
+        victim = ip("50.0.0.1")  # inside 10.0.0.0/2, far from /20
+        assert not intended.matches(ip("1.1.1.1"), victim)
+        assert typo.matches(ip("1.1.1.1"), victim)
+
+
+class TestPrefixList:
+    def test_exact_and_more_specific(self):
+        pl = PrefixList("P", [Prefix("10.0.0.0/8")], allow_more_specific=True)
+        assert pl.matches(Prefix("10.0.0.0/8"))
+        assert pl.matches(Prefix("10.1.0.0/16"))
+        assert not pl.matches(Prefix("11.0.0.0/8"))
+
+    def test_exact_only(self):
+        pl = PrefixList("P", [Prefix("10.0.0.0/8")], allow_more_specific=False)
+        assert pl.matches(Prefix("10.0.0.0/8"))
+        assert not pl.matches(Prefix("10.1.0.0/16"))
+
+
+class TestDeviceConfig:
+    def make(self):
+        cfg = DeviceConfig(hostname="r1", vendor="ctnr-a")
+        cfg.interfaces.append(InterfaceConfig("lo0", ip("1.1.1.1"), 32))
+        cfg.bgp = BgpConfig(asn=65001, router_id=ip("1.1.1.1"), neighbors=[
+            BgpNeighborConfig(peer_ip=ip("10.0.0.1"), remote_asn=65002)])
+        return cfg
+
+    def test_validate_ok(self):
+        self.make().validate()
+
+    def test_duplicate_interface_rejected(self):
+        cfg = self.make()
+        cfg.interfaces.append(InterfaceConfig("lo0", ip("2.2.2.2"), 32))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_duplicate_neighbor_rejected(self):
+        cfg = self.make()
+        cfg.bgp.neighbors.append(
+            BgpNeighborConfig(peer_ip=ip("10.0.0.1"), remote_asn=65003))
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_unknown_route_map_reference_rejected(self):
+        cfg = self.make()
+        cfg.bgp.neighbors[0].import_policy = "MISSING"
+        with pytest.raises(ConfigError, match="route-map"):
+            cfg.validate()
+
+    def test_route_map_unknown_prefix_list_rejected(self):
+        cfg = self.make()
+        cfg.route_maps["RM"] = RouteMap("RM", [
+            RouteMapClause(match_prefix_list="NOPE")])
+        with pytest.raises(ConfigError, match="prefix-list"):
+            cfg.validate()
+
+    def test_clone_is_deep(self):
+        cfg = self.make()
+        clone = cfg.clone()
+        clone.bgp.neighbors[0].remote_asn = 99
+        clone.interfaces[0].description = "changed"
+        assert cfg.bgp.neighbors[0].remote_asn == 65002
+        assert cfg.interfaces[0].description == ""
+
+    def test_interface_lookup(self):
+        cfg = self.make()
+        assert cfg.interface("lo0").address == ip("1.1.1.1")
+        with pytest.raises(ConfigError):
+            cfg.interface("et9")
+        assert cfg.loopback().name == "lo0"
+
+    def test_bgp_neighbor_lookup(self):
+        cfg = self.make()
+        assert cfg.bgp.neighbor(ip("10.0.0.1")).remote_asn == 65002
+        with pytest.raises(ConfigError):
+            cfg.bgp.neighbor(ip("9.9.9.9"))

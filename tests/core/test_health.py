@@ -1,0 +1,79 @@
+"""Tests for the health monitor and VM auto-recovery (§6.2, §8.3)."""
+
+import pytest
+
+from repro.core import CrystalNet, HealthMonitor
+from repro.topology import build_clos, SDC
+
+
+@pytest.fixture
+def net():
+    net = CrystalNet(emulation_id="t-health", seed=8)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    return net
+
+
+def test_healthy_network_raises_no_alerts(net):
+    monitor = HealthMonitor(net)
+    assert monitor.check_once() == []
+
+
+def test_vm_failure_detected_and_recovered(net):
+    monitor = HealthMonitor(net, check_interval=10.0)
+    monitor.start()
+    victim = next(plan.name for plan in net.placement.vms
+                  if plan.vendor_group == "ctnr-b")
+    hosted = [r.name for r in net.devices.values() if r.vm.name == victim]
+    net.cloud.fail_vm(victim)
+    net.run(400)
+    kinds = [a.kind for a in monitor.alerts]
+    assert "vm-failed" in kinds
+    assert "recovered" in kinds
+    # Recovery time in the §8.3 band (excludes the VM reboot itself).
+    assert 1.0 <= monitor.recovery_time(victim) <= 60.0
+    # Devices on the failed VM are back.
+    net.converge()
+    for name in hosted:
+        assert net.devices[name].status == "running"
+    monitor.stop()
+
+
+def test_network_reconverges_after_recovery(net):
+    monitor = HealthMonitor(net, check_interval=10.0)
+    monitor.start()
+    victim = net.placement.vms[0].name
+    net.cloud.fail_vm(victim)
+    net.run(400)
+    net.converge(timeout=1800)
+    fib = dict(net.pull_states("tor-1-3")["fib"])
+    assert "100.100.0.0/16" in fib
+    monitor.stop()
+
+
+def test_device_crash_alert(net):
+    monitor = HealthMonitor(net, auto_recover=False)
+    record = net.devices["tor-0-0"]
+    record.guest.status = "crashed"
+    alerts = monitor.check_once()
+    assert any(a.kind == "device-crashed" and a.subject == "tor-0-0"
+               for a in alerts)
+
+
+def test_no_auto_recover_when_disabled(net):
+    monitor = HealthMonitor(net, check_interval=10.0, auto_recover=False)
+    monitor.start()
+    victim = net.placement.vms[0].name
+    net.cloud.fail_vm(victim)
+    net.run(200)
+    assert net.vms[victim].state == "failed"
+    assert monitor.recoveries == 0
+    monitor.stop()
+
+
+def test_monitor_stop_is_idempotent(net):
+    monitor = HealthMonitor(net)
+    monitor.start()
+    monitor.stop()
+    net.run(50)
+    monitor.stop()

@@ -1,0 +1,195 @@
+"""Integration tests for the CrystalNet orchestrator (Table 2 API)."""
+
+import pytest
+
+from repro.core import CrystalNet, OrchestratorError
+from repro.dataplane import reconstruct_paths
+from repro.topology import build_clos, SDC, pod_devices
+from repro.virt.mgmt import MgmtError
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_clos(SDC())
+
+
+@pytest.fixture(scope="module")
+def net(topo):
+    """One fully mocked-up S-DC shared by read-only tests."""
+    net = CrystalNet(emulation_id="t-sdc", seed=5)
+    net.prepare(topo)
+    net.mockup()
+    return net
+
+
+class TestProvision:
+    def test_mockup_metrics_recorded(self, net):
+        m = net.metrics
+        assert m.vm_count >= 3
+        assert m.network_ready_latency > 0
+        assert m.route_ready_latency > m.network_ready_latency
+        assert 0 < m.hourly_cost_usd < 10
+
+    def test_all_devices_running(self, net):
+        statuses = {d["status"] for d in net.list_devices()}
+        assert statuses == {"running"}
+
+    def test_speakers_are_wan_routers(self, net, topo):
+        speakers = [d for d in net.list_devices() if d["kind"] == "speaker"]
+        assert {s["name"] for s in speakers} == \
+            {d.name for d in topo.by_role("wan")}
+
+    def test_vendor_grouping_on_vms(self, net):
+        by_vm = {}
+        for d in net.list_devices():
+            by_vm.setdefault(d["vm"], set()).add(d["vendor"])
+        for vendors in by_vm.values():
+            assert len(vendors) == 1
+
+    def test_mockup_twice_rejected(self, net):
+        with pytest.raises(OrchestratorError):
+            net.mockup()
+
+    def test_speaker_routes_injected(self, net):
+        """External (WAN) prefixes reach every ToR through the border."""
+        states = net.pull_states("tor-0-0")
+        fib_prefixes = {p for p, _ in states["fib"]}
+        assert "100.100.0.0/16" in fib_prefixes
+        assert "100.101.0.0/16" in fib_prefixes
+
+    def test_full_mesh_route_distribution(self, net, topo):
+        """Every ToR knows every other ToR's server prefix (ECMP'd)."""
+        states = net.pull_states("tor-0-0")
+        fib = dict(states["fib"])
+        for tor in topo.by_role("tor"):
+            if tor.name == "tor-0-0":
+                continue
+            for prefix in tor.originated:
+                assert str(prefix) in fib, f"missing {prefix} of {tor.name}"
+
+    def test_boundary_verdict_exposed(self, net):
+        assert net.verdict.safe
+        assert net.verdict.rule == "prop-5.2"
+
+
+class TestMonitor:
+    def test_pull_states_single_and_all(self, net):
+        one = net.pull_states("spn-0")
+        assert one["hostname"] == "spn-0"
+        assert one["bgp"]["asn"] > 0
+        everything = net.pull_states()
+        assert set(everything) == {d["name"] for d in net.list_devices()}
+
+    def test_pull_config_roundtrip(self, net):
+        text = net.pull_config("lf-0-0")
+        assert "hostname lf-0-0" in text
+        assert "router bgp" in text
+
+    def test_pull_config_of_speaker_rejected(self, net):
+        with pytest.raises(OrchestratorError):
+            net.pull_config("wan-0")
+
+    def test_login_and_cli(self, net):
+        session = net.login("spn-0")
+        out = session.execute("show ip bgp summary")
+        assert "local AS" in out
+        routes = session.execute("show ip route")
+        assert "100.100.0.0/16" in routes
+        session.close()
+
+    def test_login_by_management_ip(self, net):
+        address = net.mgmt.address_of("spn-0")
+        session = net.login(str(address))
+        assert "spn-0" in session.execute("show running-config")
+
+    def test_login_unknown_device(self, net):
+        with pytest.raises(MgmtError):
+            net.login("nonexistent")
+
+    def test_dns_has_all_devices(self, net):
+        assert len(net.mgmt.dns) == len(net.devices)
+
+
+class TestControl:
+    def test_inject_and_pull_packets(self, net, topo):
+        dst = topo.device("tor-1-2").originated[0].address_at(9)
+        src = topo.device("tor-0-3").originated[0].address_at(9)
+        net.inject_packets("tor-0-3", src, dst, signature="t-probe", count=1)
+        net.run(5)
+        records = net.pull_packets(signature="t-probe")
+        paths = reconstruct_paths(records)
+        path = paths["t-probe"]
+        assert path.delivered
+        assert path.hops[0] == "tor-0-3"
+        assert path.hops[-1] == "tor-1-2"
+        # pull with clean=True removed them
+        assert net.pull_packets(signature="t-probe") == []
+
+    def test_disconnect_and_reconnect_converges(self, net):
+        net.disconnect("tor-0-0", "lf-0-0")
+        net.run(90)  # hold timer
+        net.converge()
+        fib = dict(net.pull_states("tor-0-0")["fib"])
+        hops = fib["100.100.0.0/16"]
+        assert len(hops) == 1  # lost one ECMP uplink
+        net.connect("tor-0-0", "lf-0-0")
+        net.run(60)
+        net.converge()
+        fib = dict(net.pull_states("tor-0-0")["fib"])
+        assert len(fib["100.100.0.0/16"]) == 2
+
+    def test_disconnect_unknown_link_rejected(self, net):
+        with pytest.raises(OrchestratorError):
+            net.disconnect("tor-0-0", "tor-1-0")
+
+    def test_reload_is_fast_and_preserves_interfaces(self, net):
+        latency = net.reload("tor-0-5")
+        assert latency < 10.0  # the §8.3 two-layer fast path
+        record = net.devices["tor-0-5"]
+        assert record.guest.boot_count == 2
+        net.converge()
+        fib = dict(net.pull_states("tor-0-5")["fib"])
+        assert "100.100.0.0/16" in fib
+
+    def test_reload_with_new_config(self, net, topo):
+        original = net.pull_config("tor-0-4")
+        edited = original.replace("maximum-paths 64", "maximum-paths 1")
+        net.reload("tor-0-4", config_text=edited)
+        net.converge()
+        fib = dict(net.pull_states("tor-0-4")["fib"])
+        assert len(fib["100.100.0.0/16"]) == 1  # multipath disabled
+        net.reload("tor-0-4", config_text=original)
+        net.converge()
+
+
+def test_boundary_emulation_one_pod(topo):
+    """Emulate one pod via Algorithm 1; speakers stand in for the rest."""
+    net = CrystalNet(emulation_id="t-pod", seed=6)
+    net.prepare(topo, must_have=pod_devices(topo, 0))
+    assert net.verdict.safe
+    emulated_roles = {topo.device(d).role for d in net.emulated}
+    assert emulated_roles == {"tor", "leaf", "spine", "border"}
+    # Pod-1 devices and WAN routers become speakers.
+    assert any(topo.device(s).pod == 1 for s in net.speakers)
+    net.mockup()
+    # Prefixes of non-emulated pod-1 ToRs still reach pod-0 (via speakers).
+    fib = dict(net.pull_states("tor-0-0")["fib"])
+    pod1_prefix = topo.device("tor-1-0").originated[0]
+    assert str(pod1_prefix) in fib
+    # And boundary emulation used fewer devices than the full network.
+    assert len(net.emulated) < len([d for d in topo if d.role != "wan"])
+
+
+def test_clear_and_remockup(topo):
+    net = CrystalNet(emulation_id="t-clear", seed=7)
+    net.prepare(topo)
+    net.mockup()
+    vm_names = set(net.vms)
+    net.clear()
+    assert net.metrics.clear_latency < 120  # < 2 min (§8.2)
+    assert net.devices == {}
+    assert set(net.vms) == vm_names  # VMs survive Clear
+    net.mockup()  # can mock up again on the same VMs
+    assert all(d["status"] == "running" for d in net.list_devices())
+    net.destroy()
+    assert net.vms == {}

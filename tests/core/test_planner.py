@@ -1,0 +1,77 @@
+"""Tests for VM planning / placement."""
+
+import pytest
+
+from repro.core import plan_vms
+from repro.core.planner import (
+    CONTAINER_OS_PER_VM,
+    SPEAKERS_PER_VM,
+    VM_OS_PER_VM,
+)
+
+
+def test_vendors_never_share_a_vm():
+    devices = {f"a{i}": "ctnr-a" for i in range(5)}
+    devices.update({f"b{i}": "ctnr-b" for i in range(5)})
+    plan = plan_vms(devices, speakers=[])
+    for vm in plan.vms:
+        vendors = {devices[d] for d in vm.devices}
+        assert len(vendors) == 1
+
+
+def test_density_caps_respected():
+    devices = {f"d{i}": "ctnr-a" for i in range(30)}
+    plan = plan_vms(devices, speakers=[])
+    assert all(vm.device_count <= CONTAINER_OS_PER_VM for vm in plan.vms)
+    assert plan.vm_count == -(-30 // CONTAINER_OS_PER_VM)
+
+
+def test_vm_os_devices_get_nested_sku_and_low_density():
+    devices = {f"d{i}": "vm-b" for i in range(7)}
+    plan = plan_vms(devices, speakers=[])
+    assert all(vm.sku.supports_nested_vm for vm in plan.vms)
+    assert all(vm.device_count <= VM_OS_PER_VM for vm in plan.vms)
+
+
+def test_speakers_pack_densely_on_cheap_vms():
+    plan = plan_vms({}, speakers=[f"s{i}" for i in range(120)])
+    speaker_vms = [vm for vm in plan.vms if vm.vendor_group == "speakers"]
+    assert len(speaker_vms) == -(-120 // SPEAKERS_PER_VM)
+    assert all(not vm.sku.supports_nested_vm for vm in speaker_vms)
+
+
+def test_forced_vm_count_distributes_devices():
+    devices = {f"d{i}": "ctnr-a" for i in range(24)}
+    plan = plan_vms(devices, speakers=[], num_vms=6)
+    device_vms = [vm for vm in plan.vms if vm.vendor_group != "speakers"]
+    assert len(device_vms) == 6
+    assert all(vm.device_count == 4 for vm in device_vms)
+
+
+def test_forced_vm_count_below_vendor_groups_rejected():
+    devices = {"a": "ctnr-a", "b": "ctnr-b"}
+    with pytest.raises(ValueError):
+        plan_vms(devices, speakers=[], num_vms=1)
+
+
+def test_assignment_covers_every_device():
+    devices = {f"a{i}": "ctnr-a" for i in range(10)}
+    speakers = [f"s{i}" for i in range(3)]
+    plan = plan_vms(devices, speakers)
+    for name in list(devices) + speakers:
+        assert plan.vm_of(name) in {vm.name for vm in plan.vms}
+
+
+def test_hourly_cost():
+    devices = {f"d{i}": "ctnr-a" for i in range(12)}
+    plan = plan_vms(devices, speakers=[])
+    assert plan.hourly_cost_usd() == pytest.approx(
+        sum(vm.sku.price_per_hour for vm in plan.vms))
+
+
+def test_deterministic_plan():
+    devices = {f"d{i}": "ctnr-a" for i in range(20)}
+    a = plan_vms(devices, speakers=["s1"], num_vms=4)
+    b = plan_vms(devices, speakers=["s1"], num_vms=4)
+    assert [(vm.name, vm.devices) for vm in a.vms] == \
+        [(vm.name, vm.devices) for vm in b.vms]

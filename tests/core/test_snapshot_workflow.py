@@ -1,0 +1,118 @@
+"""Tests for emulation snapshots and the Figure-3 validation workflow."""
+
+import pytest
+
+from repro.core import CrystalNet, ValidationWorkflow, capture, restore, save, load
+from repro.core.snapshot import topology_from_dict, topology_to_dict
+from repro.topology import build_clos, SDC
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_clos(SDC())
+
+
+class TestTopologySerialization:
+    def test_roundtrip(self, topo):
+        data = topology_to_dict(topo)
+        back = topology_from_dict(data)
+        assert set(back.devices) == set(topo.devices)
+        assert len(back.links) == len(topo.links)
+        for name, spec in topo.devices.items():
+            restored = back.device(name)
+            assert restored.asn == spec.asn
+            assert restored.role == spec.role
+            assert restored.originated == spec.originated
+
+
+class TestSnapshot:
+    def test_capture_and_restore(self, topo, tmp_path):
+        net = CrystalNet(emulation_id="t-snap", seed=9)
+        net.prepare(topo)
+        net.mockup()
+        net.disconnect("tor-0-0", "lf-0-0")
+        path = str(tmp_path / "emu.json")
+        save(net, path)
+        snapshot = load(path)
+        assert snapshot["emulation_id"] == "t-snap"
+        assert snapshot["link_states"]["lf-0-0|tor-0-0"] is False
+
+        restored = restore(snapshot)
+        assert set(restored.emulated) == set(net.emulated)
+        # The disconnected link is restored in its down state.
+        link = restored.links[frozenset(("tor-0-0", "lf-0-0"))]
+        assert not link.up
+        # Control plane reflects the cut after hold timers.
+        restored.run(90)
+        restored.converge()
+        fib = dict(restored.pull_states("tor-0-0")["fib"])
+        assert len(fib["100.100.0.0/16"]) == 1
+
+    def test_capture_before_prepare_rejected(self):
+        net = CrystalNet(emulation_id="t-unprepared")
+        with pytest.raises(ValueError):
+            capture(net)
+
+
+class TestValidationWorkflow:
+    @pytest.fixture
+    def net(self, topo):
+        net = CrystalNet(emulation_id="t-wf", seed=10)
+        net.prepare(topo)
+        net.mockup()
+        return net
+
+    def test_passing_steps_run_in_order(self, net):
+        order = []
+
+        def make_apply(tag):
+            def apply(n):
+                order.append(tag)
+            return apply
+
+        wf = ValidationWorkflow(net)
+        wf.add_step("one", make_apply("one"), lambda n: True)
+        wf.add_step("two", make_apply("two"), lambda n: True)
+        results = wf.run()
+        assert [r.step for r in results] == ["one", "two"]
+        assert wf.passed
+        assert order == ["one", "two"]
+
+    def test_failing_check_rolls_back_config(self, net):
+        original = net.pull_config("tor-0-0")
+
+        def bad_change(n):
+            text = n.pull_config("tor-0-0").replace(
+                "maximum-paths 64", "maximum-paths 1")
+            n.reload("tor-0-0", config_text=text)
+
+        def check(n):
+            fib = dict(n.pull_states("tor-0-0")["fib"])
+            return len(fib["100.100.0.0/16"]) == 2  # expect ECMP intact
+
+        wf = ValidationWorkflow(net, max_attempts=1)
+        wf.add_step("break-ecmp", bad_change, check)
+        results = wf.run()
+        assert not results[0].passed
+        assert net.pull_config("tor-0-0") == original
+        net.converge()
+        fib = dict(net.pull_states("tor-0-0")["fib"])
+        assert len(fib["100.100.0.0/16"]) == 2
+
+    def test_stop_on_failure(self, net):
+        wf = ValidationWorkflow(net, max_attempts=1)
+        wf.add_step("fails", lambda n: None, lambda n: False)
+        wf.add_step("never-runs", lambda n: None, lambda n: True)
+        results = wf.run(stop_on_failure=True)
+        assert len(results) == 1
+        assert not wf.passed
+
+    def test_apply_exception_is_caught_and_reported(self, net):
+        def explode(n):
+            raise RuntimeError("tool bug: shut down the wrong router")
+
+        wf = ValidationWorkflow(net, max_attempts=1)
+        wf.add_step("buggy-tool", explode, lambda n: True)
+        results = wf.run()
+        assert not results[0].passed
+        assert "tool bug" in results[0].detail

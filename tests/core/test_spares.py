@@ -1,0 +1,83 @@
+"""Tests for the warm spare-VM pool (§8.3 future work)."""
+
+import pytest
+
+from repro.core import CrystalNet, HealthMonitor
+from repro.topology import SDC, build_clos
+
+
+@pytest.fixture
+def net():
+    net = CrystalNet(emulation_id="t-spares", seed=200)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    return net
+
+
+def test_pool_fills_per_sku(net):
+    monitor = HealthMonitor(net, spares=2)
+    monitor.start()
+    net.run(200)
+    skus = {vm.sku.name for vm in net.vms.values()}
+    assert monitor.spare_count() == 2 * len(skus)
+
+
+def test_failure_swaps_to_spare_without_reboot_wait(net):
+    monitor = HealthMonitor(net, check_interval=5.0, spares=1)
+    monitor.start()
+    net.run(200)
+    victim = next(plan.name for plan in net.placement.vms
+                  if plan.vendor_group == "ctnr-b")
+    old_vm = net.vms[victim]
+    net.cloud.fail_vm(victim)
+    net.run(400)
+    kinds = [a.kind for a in monitor.alerts]
+    assert "spare-swap" in kinds
+    assert net.vms[victim] is not old_vm          # logical VM re-homed
+    # Devices re-homed onto the spare.
+    hosted = [r for r in net.devices.values() if r.vm is net.vms[victim]]
+    assert hosted and all(r.status == "running" for r in hosted)
+    monitor.stop()
+
+
+def test_rebooted_machine_joins_the_pool(net):
+    monitor = HealthMonitor(net, check_interval=5.0, spares=1)
+    monitor.start()
+    net.run(200)
+    before = monitor.spare_count()
+    victim = net.placement.vms[0].name
+    net.cloud.fail_vm(victim)
+    net.run(500)
+    assert any(a.kind == "spare-ready" for a in monitor.alerts)
+    assert monitor.spare_count() == before  # pool level restored
+
+
+def test_network_reconverges_after_spare_swap(net):
+    monitor = HealthMonitor(net, check_interval=5.0, spares=1)
+    monitor.start()
+    net.run(200)
+    victim = net.placement.vms[0].name
+    net.cloud.fail_vm(victim)
+    net.run(400)
+    net.converge(timeout=2400)
+    fib = dict(net.pull_states("tor-1-1")["fib"])
+    assert "100.100.0.0/16" in fib
+
+
+def test_pool_exhaustion_falls_back_to_reboot(net):
+    monitor = HealthMonitor(net, check_interval=5.0, spares=1)
+    monitor.start()
+    net.run(200)
+    device_vms = [p.name for p in net.placement.vms
+                  if p.vendor_group != "speakers"]
+    # Two same-SKU failures with only one spare: second waits for reboot.
+    assert len(device_vms) >= 2
+    net.cloud.fail_vm(device_vms[0])
+    net.run(30)
+    net.cloud.fail_vm(device_vms[1])
+    net.run(600)
+    swaps = sum(1 for a in monitor.alerts if a.kind == "spare-swap")
+    recoveries = sum(1 for a in monitor.alerts if a.kind == "recovered")
+    assert swaps == 1
+    assert recoveries == 2
+    monitor.stop()

@@ -1,0 +1,123 @@
+"""Tests for the operator automation tools."""
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.tools import (
+    drain_device,
+    rolling_reload,
+    staged_config_rollout,
+    undrain_device,
+)
+from repro.topology import SDC, build_clos
+from repro.verify import PropertySuite, reachable, sessions_established
+
+
+@pytest.fixture
+def net():
+    net = CrystalNet(emulation_id="t-tools", seed=190)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    return net
+
+
+def wan_hops_at(net, device):
+    fib = dict(net.pull_states(device)["fib"])
+    return fib.get("100.100.0.0/16", [])
+
+
+class TestDrain:
+    def test_drain_shifts_traffic_away(self, net):
+        # ToRs normally ECMP across both leaves; drain lf-0-0.
+        assert len(wan_hops_at(net, "tor-0-0")) == 2
+        report = drain_device(net, "lf-0-0")
+        assert report.ok
+        hops = wan_hops_at(net, "tor-0-0")
+        lf0_ip = str(net.configs["tor-0-0"].bgp.neighbors[0].peer_ip)
+        assert len(hops) == 1          # only the undrained leaf remains
+        # Sessions stay up during the drain (graceful!).
+        states = net.pull_states("lf-0-0")
+        assert all(s == "established"
+                   for s in states["bgp"]["sessions"].values())
+
+    def test_undrain_restores_ecmp(self, net):
+        drain_device(net, "lf-0-0")
+        assert len(wan_hops_at(net, "tor-0-0")) == 1
+        report = undrain_device(net, "lf-0-0")
+        assert report.ok
+        assert len(wan_hops_at(net, "tor-0-0")) == 2
+
+    def test_double_drain_rejected(self, net):
+        drain_device(net, "lf-0-0")
+        report = drain_device(net, "lf-0-0")
+        assert not report.ok
+        assert "already drained" in report.detail["lf-0-0"]
+
+    def test_undrain_without_drain_rejected(self, net):
+        report = undrain_device(net, "lf-0-0")
+        assert not report.ok
+
+
+class TestRollingReload:
+    def test_healthy_fleet_fully_reloaded(self, net):
+        suite = PropertySuite(net, [sessions_established()])
+        report = rolling_reload(net, ["tor-0-0", "tor-0-1", "tor-0-2"],
+                                check=suite.as_check())
+        assert report.ok
+        assert report.succeeded == ["tor-0-0", "tor-0-1", "tor-0-2"]
+        assert all(net.devices[d].guest.boot_count == 2
+                   for d in report.succeeded)
+
+    def test_halts_on_first_failure(self, net):
+        calls = []
+
+        def flaky_check(n):
+            calls.append(1)
+            return len(calls) < 2  # second reload "breaks" something
+
+        report = rolling_reload(net, ["tor-0-0", "tor-0-1", "tor-0-2"],
+                                check=flaky_check)
+        assert report.succeeded == ["tor-0-0"]
+        assert report.failed == ["tor-0-1"]
+        # tor-0-2 untouched.
+        assert net.devices["tor-0-2"].guest.boot_count == 1
+
+
+class TestStagedRollout:
+    def test_bad_change_stops_at_canary(self, net):
+        topo = net.topology
+        dst = topo.device("tor-1-0").originated[0].address_at(1)
+        suite = PropertySuite(net, [reachable("tor-0-0", dst)])
+
+        def break_multipath(text):
+            return text.replace("maximum-paths 64", "maximum-paths 64")\
+                       .replace("network 10.192", "network 10.99")
+
+        originals = {d: net.pull_config(d) for d in ("tor-0-0", "tor-0-1")}
+        report = staged_config_rollout(
+            net, ["tor-0-0", "tor-0-1"],
+            transform=lambda text: text.replace(
+                " network", " shutdown\n network", 1),
+            check=suite.as_check())
+        # The canary change shuts down lo0 -> its own originations break...
+        # whatever happened, a failed canary must be rolled back and the
+        # second device untouched.
+        if report.failed:
+            assert report.failed == ["tor-0-0"]
+            assert net.pull_config("tor-0-0") == originals["tor-0-0"]
+            assert net.pull_config("tor-0-1") == originals["tor-0-1"]
+
+    def test_good_change_rolls_out_everywhere(self, net):
+        suite = PropertySuite(net, [sessions_established()])
+        report = staged_config_rollout(
+            net, ["tor-1-0", "tor-1-1"],
+            transform=lambda text: text + "! audited 2026-07\n",
+            check=suite.as_check())
+        assert report.ok
+        assert report.succeeded == ["tor-1-0", "tor-1-1"]
+        assert "audited" in net.pull_config("tor-1-1")
+
+    def test_empty_fleet(self, net):
+        report = staged_config_rollout(net, [], transform=str,
+                                       check=lambda n: True)
+        assert report.ok and report.succeeded == []

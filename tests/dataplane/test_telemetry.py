@@ -1,0 +1,82 @@
+"""Unit tests for telemetry path reconstruction and blackhole detection."""
+
+import pytest
+
+from repro.dataplane import (
+    detect_blackholes,
+    path_counters,
+    reconstruct_paths,
+)
+from repro.firmware.device import PacketRecord
+from repro.net import IPv4Address
+
+
+def record(time, device, event, signature="sig", ifname="et0", ttl=64):
+    return PacketRecord(time=time, device=device, ifname=ifname, event=event,
+                        src=IPv4Address("10.0.0.1"),
+                        dst=IPv4Address("10.9.0.1"), ttl=ttl,
+                        signature=signature)
+
+
+def delivered_trail():
+    return [
+        record(0.0, "torA", "tx"),
+        record(0.1, "leaf", "rx"),
+        record(0.2, "leaf", "tx"),
+        record(0.3, "torB", "rx"),
+    ]
+
+
+class TestReconstructPaths:
+    def test_ordered_hops_and_delivery(self):
+        paths = reconstruct_paths(delivered_trail())
+        path = paths["sig"]
+        assert path.hops == ["torA", "leaf", "torB"]
+        assert path.delivered
+        assert path.rx_count == 2 and path.tx_count == 2
+        assert path.hop_count == 3
+
+    def test_dropped_probe_not_delivered(self):
+        trail = delivered_trail()[:-1]  # torB never saw it
+        path = reconstruct_paths(trail)["sig"]
+        assert path.hops == ["torA", "leaf"]
+        assert not path.delivered
+
+    def test_multiple_signatures_grouped(self):
+        trail = delivered_trail() + [record(1.0, "x", "tx", signature="other")]
+        paths = reconstruct_paths(trail)
+        assert set(paths) == {"sig", "other"}
+        assert not paths["other"].delivered
+
+    def test_same_timestamp_rx_sorts_before_tx(self):
+        trail = [
+            record(0.0, "a", "tx"),
+            record(0.5, "b", "tx"),   # tx recorded with same ts as rx
+            record(0.5, "b", "rx"),
+        ]
+        path = reconstruct_paths(trail)["sig"]
+        assert path.hops == ["a", "b"]
+        assert not path.delivered  # trail ends with a tx at b
+
+    def test_empty_records(self):
+        assert reconstruct_paths([]) == {}
+
+
+class TestCountersAndBlackholes:
+    def test_path_counters(self):
+        counters = path_counters(delivered_trail())
+        assert counters["sig"]["leaf:rx"] == 1
+        assert counters["sig"]["torA:tx"] == 1
+
+    def test_detect_blackholes_flags_dropped(self):
+        ok = reconstruct_paths(delivered_trail())
+        dropped = reconstruct_paths(delivered_trail()[:-1])
+        holes = detect_blackholes({**dropped})
+        assert holes == [("sig", "leaf")]
+        assert detect_blackholes(ok) == []
+
+    def test_wrong_destination_flagged(self):
+        paths = reconstruct_paths(delivered_trail())
+        holes = detect_blackholes(paths, expected_destination="torC")
+        assert holes == [("sig", "torB")]
+        assert detect_blackholes(paths, expected_destination="torB") == []

@@ -1,0 +1,52 @@
+"""Shared harness: wire HostStacks together with raw veth pairs.
+
+These fixtures bypass the cloud/VM layer so protocol logic can be tested in
+isolation; integration tests exercise the full substrate.
+"""
+
+import pytest
+
+from repro.firmware.netstack import HostStack
+from repro.net import IPv4Address, MacAllocator
+from repro.net.packet import EthernetFrame
+from repro.sim import Environment
+from repro.virt.netns import NetworkNamespace, VethPair
+
+
+class Wire:
+    """A little lab bench: stacks + point-to-point cables between them."""
+
+    def __init__(self):
+        self.env = Environment()
+        self.macs = MacAllocator()
+        self.stacks = {}
+        self.pairs = []
+
+    def stack(self, hostname, **kwargs) -> HostStack:
+        stack = HostStack(self.env, hostname, **kwargs)
+        stack.attach(NetworkNamespace(hostname))
+        self.stacks[hostname] = stack
+        return stack
+
+    def cable(self, stack_a: HostStack, ip_a: str,
+              stack_b: HostStack, ip_b: str, prefix_length: int = 31,
+              ifname_a=None, ifname_b=None) -> VethPair:
+        index = len(self.pairs)
+        name_a = ifname_a or f"et{len(stack_a.netns.interfaces)}"
+        name_b = ifname_b or f"et{len(stack_b.netns.interfaces)}"
+        pair = VethPair(self.env, name_a, name_b,
+                        self.macs.allocate(), self.macs.allocate())
+        pair.a.attach_namespace(stack_a.netns)
+        pair.b.attach_namespace(stack_b.netns)
+        stack_a.configure_interface(name_a, IPv4Address(ip_a), prefix_length)
+        stack_b.configure_interface(name_b, IPv4Address(ip_b), prefix_length)
+        self.pairs.append(pair)
+        return pair
+
+    def run(self, until=None):
+        self.env.run(until=until)
+
+
+@pytest.fixture
+def wire():
+    return Wire()

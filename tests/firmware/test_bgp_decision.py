@@ -1,0 +1,130 @@
+"""Tests for the BGP decision process."""
+
+import pytest
+
+from repro.firmware.bgp import PathAttributes, Route, compare, select
+from repro.firmware.bgp.messages import ORIGIN_EGP, ORIGIN_IGP
+from repro.net import IPv4Address, Prefix
+
+P = Prefix("10.0.0.0/24")
+
+
+def route(as_path=(), peer="1.1.1.1", local_pref=100, origin=ORIGIN_IGP,
+          med=0, ebgp=True, next_hop=None, local=False):
+    return Route(
+        prefix=P,
+        attrs=PathAttributes(as_path=tuple(as_path), local_pref=local_pref,
+                             origin=origin, med=med,
+                             next_hop=IPv4Address(next_hop) if next_hop
+                             else IPv4Address(peer)),
+        peer_ip=None if local else IPv4Address(peer),
+        peer_asn=None if local else (as_path[0] if as_path else 65000),
+        is_ebgp=ebgp and not local,
+    )
+
+
+def test_higher_local_pref_wins():
+    a = route(as_path=(1, 2, 3), local_pref=200)
+    b = route(as_path=(1,), local_pref=100, peer="2.2.2.2")
+    assert compare(a, b) is a
+
+
+def test_local_route_beats_learned():
+    learned = route(as_path=(1,))
+    local = route(local=True, peer="9.9.9.9")
+    assert compare(learned, local) is local
+
+
+def test_shorter_as_path_wins():
+    short = route(as_path=(7,))
+    long = route(as_path=(6, 2, 1), peer="2.2.2.2")
+    assert compare(long, short) is short
+
+
+def test_lower_origin_wins():
+    igp = route(as_path=(1,), origin=ORIGIN_IGP)
+    egp = route(as_path=(2,), origin=ORIGIN_EGP, peer="2.2.2.2")
+    assert compare(igp, egp) is igp
+
+
+def test_med_compared_only_same_neighbor_as():
+    low = route(as_path=(5, 9), med=10)
+    high = route(as_path=(5, 8), med=50, peer="2.2.2.2")
+    assert compare(low, high) is low
+    # Different neighbor AS: MED ignored, falls to tie-break (lowest peer).
+    other = route(as_path=(6, 9), med=500, peer="0.0.0.9")
+    assert compare(high, other) is other
+
+
+def test_ebgp_preferred_over_ibgp():
+    ebgp = route(as_path=(5,), ebgp=True)
+    ibgp = route(as_path=(5,), ebgp=False, peer="2.2.2.2")
+    assert compare(ibgp, ebgp) is ebgp
+
+
+def test_tie_break_lowest_peer_address():
+    a = route(as_path=(5,), peer="1.1.1.1")
+    b = route(as_path=(6,), peer="2.2.2.2")
+    assert compare(a, b) is a
+    assert compare(b, a) is a
+
+
+def test_custom_tie_breaker():
+    a = route(as_path=(5,), peer="1.1.1.1")
+    b = route(as_path=(6,), peer="2.2.2.2")
+    highest = lambda x, y: x if x.peer_ip.value >= y.peer_ip.value else y
+    assert compare(a, b, tie_breaker=highest) is b
+
+
+def test_select_empty():
+    assert select([]) == (None, ())
+
+
+def test_select_single():
+    r = route(as_path=(1,))
+    best, multi = select([r])
+    assert best is r and multi == (r,)
+
+
+def test_select_multipath_relax_same_length_different_path():
+    a = route(as_path=(2, 1), peer="1.1.1.1", next_hop="10.0.0.1")
+    b = route(as_path=(3, 1), peer="2.2.2.2", next_hop="10.0.0.3")
+    best, multi = select([a, b], multipath=True)
+    assert best is a
+    assert set(multi) == {a, b}
+
+
+def test_select_multipath_excludes_longer_paths():
+    a = route(as_path=(2, 1), peer="1.1.1.1", next_hop="10.0.0.1")
+    b = route(as_path=(3, 4, 1), peer="2.2.2.2", next_hop="10.0.0.3")
+    best, multi = select([a, b], multipath=True)
+    assert best is a and multi == (a,)
+
+
+def test_select_multipath_dedups_next_hops():
+    a = route(as_path=(2, 1), peer="1.1.1.1", next_hop="10.0.0.1")
+    b = route(as_path=(3, 1), peer="2.2.2.2", next_hop="10.0.0.1")
+    _best, multi = select([a, b], multipath=True)
+    assert len(multi) == 1
+
+
+def test_select_respects_max_paths():
+    routes = [route(as_path=(i + 10,), peer=f"1.1.1.{i}",
+                    next_hop=f"10.0.0.{i}") for i in range(8)]
+    _best, multi = select(routes, multipath=True, max_paths=4)
+    assert len(multi) == 4
+
+
+def test_select_no_multipath_returns_best_only():
+    a = route(as_path=(2, 1), peer="1.1.1.1", next_hop="10.0.0.1")
+    b = route(as_path=(3, 1), peer="2.2.2.2", next_hop="10.0.0.3")
+    best, multi = select([a, b], multipath=False)
+    assert multi == (best,)
+
+
+def test_best_always_in_multipath_set():
+    # Best by tie-break, but another equal candidate sorts first.
+    a = route(as_path=(2, 1), peer="3.3.3.3", next_hop="10.0.0.1")
+    b = route(as_path=(3, 1), peer="1.1.1.1", next_hop="10.0.0.3")
+    best, multi = select([a, b], multipath=True, max_paths=1)
+    assert best in multi

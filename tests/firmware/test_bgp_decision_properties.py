@@ -1,0 +1,94 @@
+"""Property-based tests: invariants of the BGP decision process."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.firmware.bgp import PathAttributes, Route, compare, select
+from repro.net import IPv4Address, Prefix
+
+PREFIX = Prefix("10.0.0.0/24")
+
+
+@st.composite
+def routes(draw, max_count=8):
+    count = draw(st.integers(1, max_count))
+    out = []
+    for i in range(count):
+        as_path = tuple(draw(st.lists(st.integers(1, 9), min_size=0,
+                                      max_size=4)))
+        out.append(Route(
+            prefix=PREFIX,
+            attrs=PathAttributes(
+                as_path=as_path,
+                local_pref=draw(st.sampled_from([100, 100, 100, 200])),
+                med=draw(st.integers(0, 3)),
+                origin=draw(st.integers(0, 2)),
+                next_hop=IPv4Address(0x0A000000 + draw(st.integers(1, 6)))),
+            peer_ip=IPv4Address(0x01010100 + i),
+            peer_asn=as_path[0] if as_path else 65000,
+            is_ebgp=draw(st.booleans())))
+    return out
+
+
+@given(routes())
+@settings(max_examples=120, deadline=None)
+def test_best_is_a_candidate_and_in_multipath(candidates):
+    best, multipath = select(candidates)
+    assert best in candidates
+    assert best in multipath
+    assert set(multipath) <= set(candidates)
+
+
+@given(routes())
+@settings(max_examples=120, deadline=None)
+def test_selection_is_order_independent(candidates):
+    best_fwd, multi_fwd = select(candidates)
+    best_rev, multi_rev = select(list(reversed(candidates)))
+    assert best_fwd == best_rev
+    assert set(multi_fwd) == set(multi_rev)
+
+
+@given(routes())
+@settings(max_examples=120, deadline=None)
+def test_best_dominates_every_candidate(candidates):
+    best, _ = select(candidates)
+    for route in candidates:
+        assert compare(best, route) == best or compare(route, best) == best
+
+
+@given(routes())
+@settings(max_examples=120, deadline=None)
+def test_multipath_members_share_decisive_attributes(candidates):
+    best, multipath = select(candidates)
+    for route in multipath:
+        assert route.attrs.local_pref == best.attrs.local_pref
+        assert route.attrs.path_length() == best.attrs.path_length()
+        assert route.attrs.origin == best.attrs.origin
+        assert route.is_ebgp == best.is_ebgp
+
+
+@given(routes())
+@settings(max_examples=120, deadline=None)
+def test_multipath_next_hops_are_distinct(candidates):
+    _best, multipath = select(candidates)
+    hops = [r.attrs.next_hop.value for r in multipath]
+    assert len(hops) == len(set(hops))
+
+
+@given(routes(), st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_max_paths_respected(candidates, max_paths):
+    _best, multipath = select(candidates, max_paths=max_paths)
+    assert 1 <= len(multipath) <= max_paths
+
+
+@given(routes())
+@settings(max_examples=80, deadline=None)
+def test_compare_is_antisymmetric_on_distinct_peers(candidates):
+    for a in candidates:
+        for b in candidates:
+            if a is b:
+                continue
+            winner_ab = compare(a, b)
+            winner_ba = compare(b, a)
+            assert winner_ab == winner_ba

@@ -1,0 +1,242 @@
+"""Unit tests for BGP internals: messages, RIBs, policy, worker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.model import PrefixList, RouteMap, RouteMapClause
+from repro.firmware.bgp import (
+    AdjRibIn,
+    AdjRibOut,
+    LocRib,
+    PathAttributes,
+    PolicyContext,
+    Route,
+    UpdateMessage,
+    apply_route_map,
+)
+from repro.firmware.worker import SerialWorker
+from repro.net import IPv4Address, Prefix
+from repro.sim import CpuScheduler, Environment
+
+
+def route(prefix="10.0.0.0/24", peer="1.1.1.1", as_path=(5,)):
+    return Route(prefix=Prefix(prefix),
+                 attrs=PathAttributes(as_path=tuple(as_path),
+                                      next_hop=IPv4Address(peer)),
+                 peer_ip=IPv4Address(peer), peer_asn=as_path[0] if as_path
+                 else None)
+
+
+class TestPathAttributes:
+    def test_prepend(self):
+        attrs = PathAttributes(as_path=(2, 1))
+        assert attrs.prepend(6).as_path == (6, 2, 1)
+        assert attrs.prepend(6, count=3).as_path == (6, 6, 6, 2, 1)
+        # Original untouched (immutability).
+        assert attrs.as_path == (2, 1)
+
+    def test_contains_and_length(self):
+        attrs = PathAttributes(as_path=(6, 2, 1))
+        assert attrs.contains_asn(2)
+        assert not attrs.contains_asn(9)
+        assert attrs.path_length() == 3
+
+    def test_replace_preserves_other_fields(self):
+        attrs = PathAttributes(as_path=(1,), med=5,
+                               communities=frozenset({"a"}))
+        updated = attrs.replace(local_pref=300)
+        assert updated.local_pref == 300
+        assert updated.med == 5 and updated.communities == frozenset({"a"})
+
+    def test_shared_hashable(self):
+        a = PathAttributes(as_path=(1, 2))
+        b = PathAttributes(as_path=(1, 2))
+        assert a == b and hash(a) == hash(b)
+
+    def test_update_requires_attrs_with_nlri(self):
+        with pytest.raises(ValueError):
+            UpdateMessage(nlri=(Prefix("10.0.0.0/8"),))
+
+
+class TestAdjRibIn:
+    def test_insert_and_candidates(self):
+        rib = AdjRibIn()
+        rib.insert(route(peer="1.1.1.1"))
+        rib.insert(route(peer="2.2.2.2"))
+        assert len(rib.candidates(Prefix("10.0.0.0/24"))) == 2
+        assert rib.route_count() == 2
+
+    def test_insert_replaces_per_peer(self):
+        rib = AdjRibIn()
+        rib.insert(route(as_path=(5,)))
+        rib.insert(route(as_path=(5, 5)))
+        candidates = rib.candidates(Prefix("10.0.0.0/24"))
+        assert len(candidates) == 1
+        assert candidates[0].attrs.as_path == (5, 5)
+
+    def test_withdraw(self):
+        rib = AdjRibIn()
+        rib.insert(route())
+        assert rib.withdraw(IPv4Address("1.1.1.1"), Prefix("10.0.0.0/24"))
+        assert not rib.withdraw(IPv4Address("1.1.1.1"), Prefix("10.0.0.0/24"))
+        assert rib.candidates(Prefix("10.0.0.0/24")) == []
+
+    def test_drop_peer_returns_affected_prefixes(self):
+        rib = AdjRibIn()
+        rib.insert(route(prefix="10.0.0.0/24"))
+        rib.insert(route(prefix="10.0.1.0/24"))
+        rib.insert(route(prefix="10.0.0.0/24", peer="2.2.2.2"))
+        affected = rib.drop_peer(IPv4Address("1.1.1.1"))
+        assert set(affected) == {Prefix("10.0.0.0/24"), Prefix("10.0.1.0/24")}
+        assert len(rib.candidates(Prefix("10.0.0.0/24"))) == 1
+
+    def test_local_routes_rejected(self):
+        rib = AdjRibIn()
+        local = Route(prefix=Prefix("10.0.0.0/24"),
+                      attrs=PathAttributes(), peer_ip=None, peer_asn=None)
+        with pytest.raises(ValueError):
+            rib.insert(local)
+
+
+class TestLocAndOutRibs:
+    def test_loc_rib_set_get_remove(self):
+        rib = LocRib()
+        best = route()
+        rib.set(best.prefix, best, (best,))
+        assert rib.best(best.prefix) is best
+        assert rib.multipath(best.prefix) == (best,)
+        assert best.prefix in rib and len(rib) == 1
+        assert rib.remove(best.prefix)
+        assert rib.best(best.prefix) is None
+
+    def test_loc_rib_iteration_sorted(self):
+        rib = LocRib()
+        for p in ("10.2.0.0/24", "10.1.0.0/24"):
+            r = route(prefix=p)
+            rib.set(r.prefix, r, (r,))
+        assert [str(p) for p in rib.prefixes()] == ["10.1.0.0/24",
+                                                    "10.2.0.0/24"]
+
+    def test_adj_out_bookkeeping(self):
+        out = AdjRibOut()
+        peer = IPv4Address("9.9.9.9")
+        attrs = PathAttributes(as_path=(1,))
+        out.record(peer, Prefix("10.0.0.0/24"), attrs)
+        assert out.advertised(peer, Prefix("10.0.0.0/24")) == attrs
+        assert out.prefixes_for(peer) == [Prefix("10.0.0.0/24")]
+        assert out.forget(peer, Prefix("10.0.0.0/24"))
+        assert not out.forget(peer, Prefix("10.0.0.0/24"))
+        out.record(peer, Prefix("10.0.0.0/24"), attrs)
+        out.drop_peer(peer)
+        assert out.prefixes_for(peer) == []
+
+
+class TestPolicy:
+    def context(self):
+        return PolicyContext(
+            route_maps={
+                "RM": RouteMap("RM", [
+                    RouteMapClause("deny", match_prefix_list="BLOCK"),
+                    RouteMapClause("permit", set_local_pref=250,
+                                   set_community="65000:100"),
+                ]),
+                "PREPEND": RouteMap("PREPEND", [
+                    RouteMapClause("permit", prepend_asn=2)]),
+                "COMMUNITY": RouteMap("COMMUNITY", [
+                    RouteMapClause("deny", match_community="65000:666"),
+                    RouteMapClause("permit")]),
+            },
+            prefix_lists={"BLOCK": PrefixList("BLOCK",
+                                              [Prefix("10.66.0.0/16")])})
+
+    def test_no_policy_permits_unchanged(self):
+        attrs = PathAttributes(as_path=(1,))
+        assert apply_route_map(self.context(), None, Prefix("10.0.0.0/8"),
+                               attrs, 65000) is attrs
+
+    def test_deny_clause(self):
+        out = apply_route_map(self.context(), "RM", Prefix("10.66.1.0/24"),
+                              PathAttributes(), 65000)
+        assert out is None
+
+    def test_permit_with_sets(self):
+        out = apply_route_map(self.context(), "RM", Prefix("10.1.0.0/24"),
+                              PathAttributes(), 65000)
+        assert out.local_pref == 250
+        assert "65000:100" in out.communities
+
+    def test_prepend(self):
+        out = apply_route_map(self.context(), "PREPEND",
+                              Prefix("10.1.0.0/24"),
+                              PathAttributes(as_path=(9,)), 65000)
+        assert out.as_path == (65000, 65000, 9)
+
+    def test_community_match(self):
+        tagged = PathAttributes(communities=frozenset({"65000:666"}))
+        clean = PathAttributes()
+        ctx = self.context()
+        assert apply_route_map(ctx, "COMMUNITY", Prefix("10.0.0.0/8"),
+                               tagged, 1) is None
+        assert apply_route_map(ctx, "COMMUNITY", Prefix("10.0.0.0/8"),
+                               clean, 1) is not None
+
+    def test_missing_route_map_denies(self):
+        out = apply_route_map(self.context(), "GHOST", Prefix("10.0.0.0/8"),
+                              PathAttributes(), 65000)
+        assert out is None
+
+
+class TestSerialWorker:
+    def test_fifo_order_and_cpu_charging(self):
+        env = Environment()
+        cpu = CpuScheduler(env, cores=1)
+        worker = SerialWorker(env, cpu)
+        order = []
+        worker.submit(1.0, lambda: order.append(("a", env.now)))
+        worker.submit(2.0, lambda: order.append(("b", env.now)))
+        env.run(until=10)
+        assert order == [("a", 1.0), ("b", 3.0)]
+        assert worker.jobs_done == 2
+        assert worker.idle
+
+    def test_stop_discards_pending(self):
+        env = Environment()
+        cpu = CpuScheduler(env, cores=1)
+        worker = SerialWorker(env, cpu)
+        ran = []
+        worker.submit(5.0, lambda: ran.append(1))
+        worker.stop()
+        env.run(until=20)
+        assert ran == []
+        # Submitting after stop is a no-op.
+        worker.submit(1.0, lambda: ran.append(2))
+        env.run(until=30)
+        assert ran == []
+
+    def test_jobs_submitted_while_running_queue_up(self):
+        env = Environment()
+        cpu = CpuScheduler(env, cores=1)
+        worker = SerialWorker(env, cpu)
+        order = []
+
+        def first():
+            order.append("first")
+            worker.submit(1.0, lambda: order.append("nested"))
+
+        worker.submit(1.0, first)
+        env.run(until=10)
+        assert order == ["first", "nested"]
+
+    @given(costs=st.lists(st.floats(min_value=0.0, max_value=2.0),
+                          min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_all_jobs_execute_in_submission_order(self, costs):
+        env = Environment()
+        cpu = CpuScheduler(env, cores=2)
+        worker = SerialWorker(env, cpu)
+        seen = []
+        for i, cost in enumerate(costs):
+            worker.submit(cost, lambda i=i: seen.append(i))
+        env.run()
+        assert seen == list(range(len(costs)))

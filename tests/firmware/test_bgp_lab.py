@@ -1,0 +1,317 @@
+"""End-to-end BGP behaviour on the protocol lab bench."""
+
+import pytest
+
+from repro.firmware import BgpLab
+from repro.firmware.vendors import get_vendor
+from repro.config.model import AggregateConfig, PrefixList, RouteMap, RouteMapClause
+from repro.net import Prefix
+
+
+def test_route_propagates_two_hops():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    lab.start()
+    lab.converge()
+    assert "10.1.0.0/24" in lab.routes("r2")
+    assert "10.1.0.0/24" in lab.routes("r3")
+    # AS path grows along the way.
+    r3_rib = r3.daemon.rib_snapshot()["loc_rib"]["10.1.0.0/24"]
+    assert r3_rib == [[2, 1]]
+
+
+def test_as_loop_prevention():
+    """Updates never travel back into an AS already on the path."""
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    lab.link(r3, r1)  # triangle
+    lab.start()
+    lab.converge()
+    # r1 must not have learned its own prefix back.
+    for peer_routes in r1.daemon.adj_in.by_prefix.get(Prefix("10.1.0.0/24"), {}).values():
+        assert 1 not in peer_routes.attrs.as_path
+
+
+def test_ecmp_multipath_installed():
+    """Clos-style: two equal-length paths -> two FIB next hops."""
+    lab = BgpLab()
+    src = lab.router("src", asn=1, networks=["10.1.0.0/24"])
+    mid1 = lab.router("mid1", asn=2)
+    mid2 = lab.router("mid2", asn=3)
+    dst = lab.router("dst", asn=4)
+    lab.link(src, mid1)
+    lab.link(src, mid2)
+    lab.link(mid1, dst)
+    lab.link(mid2, dst)
+    lab.start()
+    lab.converge()
+    hops = lab.routes("dst")["10.1.0.0/24"]
+    assert len(hops) == 2
+
+
+def test_link_down_triggers_withdrawal_and_failover():
+    lab = BgpLab()
+    src = lab.router("src", asn=1, networks=["10.1.0.0/24"])
+    mid1 = lab.router("mid1", asn=2)
+    mid2 = lab.router("mid2", asn=3)
+    dst = lab.router("dst", asn=4)
+    lab.link(src, mid1)
+    lab.link(src, mid2)
+    lab.link(mid1, dst)
+    lab.link(mid2, dst)
+    lab.start()
+    lab.converge()
+    assert len(lab.routes("dst")["10.1.0.0/24"]) == 2
+    # Cut dst<->mid1: hold timer kills the session, route fails over.
+    lab.cable_between("mid1", "dst").set_down()
+    lab.wait(60)  # hold timer expiry
+    lab.converge(timeout=600)
+    hops = lab.routes("dst")["10.1.0.0/24"]
+    assert len(hops) == 1
+    assert "et1" in hops[0]  # via mid2
+
+
+def test_session_reestablishes_after_link_restored():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    lab.start()
+    lab.converge()
+    pair = lab.cable_between("r1", "r2")
+    pair.set_down()
+    lab.wait(60)  # hold timer expiry
+    lab.converge(timeout=600)
+    assert "10.1.0.0/24" not in lab.routes("r2")
+    pair.set_up()
+    lab.wait(30)  # session retry + re-establish
+    lab.converge(timeout=600)
+    assert "10.1.0.0/24" in lab.routes("r2")
+    assert r2.daemon.established_sessions() == 1
+
+
+def test_import_route_map_denies_prefix():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.2.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.prefix_lists["BLOCK"] = PrefixList("BLOCK", [Prefix("10.1.0.0/24")])
+    r2.route_maps["IMPORT"] = RouteMap("IMPORT", [
+        RouteMapClause(action="deny", match_prefix_list="BLOCK"),
+        RouteMapClause(action="permit"),
+    ])
+    r2.neighbors[0].import_policy = "IMPORT"
+    lab.start()
+    lab.converge()
+    routes = lab.routes("r2")
+    assert "10.1.0.0/24" not in routes
+    assert "10.2.0.0/24" in routes
+
+
+def test_export_route_map_sets_med_and_prepends():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r1.route_maps["EXPORT"] = RouteMap("EXPORT", [
+        RouteMapClause(action="permit", set_med=50, prepend_asn=2),
+    ])
+    r1.neighbors[0].export_policy = "EXPORT"
+    lab.start()
+    lab.converge()
+    candidates = r2.daemon.adj_in.candidates(Prefix("10.1.0.0/24"))
+    assert len(candidates) == 1
+    assert candidates[0].attrs.med == 50
+    # Own AS prepended twice by policy + once by eBGP export.
+    assert candidates[0].attrs.as_path == (1, 1, 1)
+
+
+def test_route_map_matching_nothing_denies():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.prefix_lists["OTHER"] = PrefixList("OTHER", [Prefix("99.0.0.0/8")])
+    r2.route_maps["IMPORT"] = RouteMap("IMPORT", [
+        RouteMapClause(action="permit", match_prefix_list="OTHER"),
+    ])
+    r2.neighbors[0].import_policy = "IMPORT"
+    lab.start()
+    lab.converge()
+    assert "10.1.0.0/24" not in lab.routes("r2")
+
+
+def test_figure1_vendor_aggregation_divergence():
+    """Figure 1: two vendors aggregate P1+P2 into P3 differently, so the
+    upstream router always prefers the vendor with the short AS path."""
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.1.1.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    r4 = lab.router("r4", asn=4)
+    r5 = lab.router("r5", asn=5)
+    r6 = lab.router("r6", asn=6, vendor="ctnr-a")   # inherit-best
+    r7 = lab.router("r7", asn=7, vendor="ctnr-b")   # reset-path
+    r8 = lab.router("r8", asn=8)
+    # R1 fans out: left side R2,R3 -> R6; right side R4,R5 -> R7.
+    lab.link(r1, r2); lab.link(r1, r3); lab.link(r1, r4); lab.link(r1, r5)
+    lab.link(r2, r6); lab.link(r3, r6)
+    lab.link(r4, r7); lab.link(r5, r7)
+    lab.link(r6, r8); lab.link(r7, r8)
+    agg = AggregateConfig(prefix=Prefix("10.1.0.0/23"), summary_only=True)
+    r6.aggregates.append(agg)
+    r7.aggregates.append(agg)
+    lab.start()
+    lab.converge(timeout=900)
+
+    p3 = Prefix("10.1.0.0/23")
+    candidates = {r.peer_asn: r for r in r8.daemon.adj_in.candidates(p3)}
+    assert set(candidates) == {6, 7}
+    # R6 inherited a contributor path: {6, 2, 1} (or {6, 3, 1}).
+    assert len(candidates[6].attrs.as_path) == 3
+    assert candidates[6].attrs.as_path[0] == 6
+    # R7 reset the path: {7} only.
+    assert candidates[7].attrs.as_path == (7,)
+    # R8 therefore always sends P3 traffic toward R7 — the imbalance.
+    best = r8.daemon.loc_rib.best(p3)
+    assert best.peer_asn == 7
+    assert len(lab.routes("r8")[str(p3)]) == 1
+
+
+def test_summary_only_suppresses_specifics():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.1.1.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    r2.aggregates.append(AggregateConfig(prefix=Prefix("10.1.0.0/23"),
+                                         summary_only=True))
+    lab.start()
+    lab.converge()
+    r3_routes = lab.routes("r3")
+    assert "10.1.0.0/23" in r3_routes
+    assert "10.1.0.0/24" not in r3_routes
+    assert "10.1.1.0/24" not in r3_routes
+    # r2 itself still has the specifics.
+    assert "10.1.0.0/24" in lab.routes("r2")
+
+
+def test_aggregate_without_summary_only_announces_both():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    r2.aggregates.append(AggregateConfig(prefix=Prefix("10.1.0.0/23"),
+                                         summary_only=False))
+    lab.start()
+    lab.converge()
+    r3_routes = lab.routes("r3")
+    assert "10.1.0.0/23" in r3_routes
+    assert "10.1.0.0/24" in r3_routes
+
+
+def test_aggregate_withdrawn_when_contributors_vanish():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    r3 = lab.router("r3", asn=3)
+    lab.link(r1, r2)
+    lab.link(r2, r3)
+    r2.aggregates.append(AggregateConfig(prefix=Prefix("10.1.0.0/23"),
+                                         summary_only=True))
+    lab.start()
+    lab.converge()
+    assert "10.1.0.0/23" in lab.routes("r3")
+    lab.cable_between("r1", "r2").set_down()
+    lab.wait(60)  # hold timer expiry
+    lab.converge(timeout=600)
+    assert "10.1.0.0/23" not in lab.routes("r3")
+
+
+def test_fib_overflow_silent_drop_creates_blackhole():
+    """§2: the router short on FIB space silently dropped announcements."""
+    lab = BgpLab()
+    networks = [f"10.{i}.0.0/24" for i in range(1, 21)]
+    r1 = lab.router("r1", asn=1, networks=networks)
+    r2 = lab.router("r2", asn=2, vendor="ctnr-a")  # drop-silent overflow
+    lab.link(r1, r2)
+    r2.fib_capacity = 10
+    lab.start()
+    lab.converge()
+    fib_routes = [p for p in lab.routes("r2") if p.startswith("10.")]
+    assert len(fib_routes) < len(networks)
+    assert r2.stack.fib.overflow_drops > 0
+    # Control plane still holds all routes — the blackhole is data-plane only.
+    assert len([p for p in r2.daemon.loc_rib.prefixes()
+                if str(p).startswith("10.")]) == len(networks)
+
+
+def test_suppress_announcement_quirk():
+    """§7 case 2: buggy firmware build stops announcing certain prefixes."""
+    buggy = get_vendor("ctnr-b").with_quirks(
+        "suppress-announcements",
+        suppress_prefixes=[Prefix("10.1.0.0/24")])
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24", "10.2.0.0/24"],
+                    vendor=buggy)
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    lab.start()
+    lab.converge()
+    routes = lab.routes("r2")
+    assert "10.1.0.0/24" not in routes  # silently missing
+    assert "10.2.0.0/24" in routes
+
+
+def test_crash_on_session_flaps_quirk():
+    buggy = get_vendor("ctnr-b").with_quirks("crash-on-session-flaps",
+                                             crash_after_flaps=2)
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"], vendor=buggy)
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    lab.start()
+    lab.converge()
+    pair = lab.cable_between("r1", "r2")
+    for _ in range(2):
+        pair.set_down()
+        lab.env.run(until=lab.env.now + 120)
+        pair.set_up()
+        lab.env.run(until=lab.env.now + 120)
+    assert r1.daemon.crashed
+    assert "flap" in r1.daemon.crash_reason
+
+
+def test_wrong_remote_asn_never_establishes():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.neighbors[0].remote_asn = 99  # misconfigured peer AS
+    lab.start()
+    lab.env.run(until=120)
+    assert r1.daemon.established_sessions() == 0
+    assert r2.daemon.established_sessions() == 0
+    assert "10.1.0.0/24" not in lab.routes("r2")
+
+
+def test_neighbor_shutdown_prevents_session():
+    lab = BgpLab()
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2)
+    lab.link(r1, r2)
+    r2.neighbors[0].shutdown = True
+    lab.start()
+    lab.env.run(until=120)
+    assert r2.daemon.established_sessions() == 0

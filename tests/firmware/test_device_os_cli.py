@@ -1,0 +1,196 @@
+"""Tests for the DeviceOS guest lifecycle and the vendor CLI."""
+
+import pytest
+
+from repro.config import render_config
+from repro.config.model import (
+    Acl,
+    AclRule,
+    BgpConfig,
+    BgpNeighborConfig,
+    DeviceConfig,
+    InterfaceConfig,
+)
+from repro.firmware.device import DeviceOS
+from repro.firmware.vendors import get_vendor
+from repro.net import IPv4Address, Prefix
+from repro.sim import Environment
+from repro.virt import Cloud, DockerEngine, NetworkNamespace
+
+
+def make_config(hostname="sw1", vendor="ctnr-a"):
+    cfg = DeviceConfig(hostname=hostname, vendor=vendor)
+    cfg.interfaces = [InterfaceConfig("lo0", IPv4Address("1.1.1.1"), 32)]
+    cfg.bgp = BgpConfig(asn=65001, router_id=IPv4Address("1.1.1.1"),
+                        networks=[Prefix("10.1.0.0/24")])
+    cfg.acls["FORWARD"] = Acl("FORWARD", [
+        AclRule("deny", Prefix("10.66.0.0/16"), "dst")])
+    return cfg
+
+
+@pytest.fixture
+def harness():
+    env = Environment()
+    cloud = Cloud(env, seed=6)
+    ev = cloud.spawn_vm("vm1")
+    env.run(until=ev)
+    vm = ev.value
+    engine = DockerEngine(env, vm)
+    vendor = get_vendor("ctnr-a")
+    engine.pull_image(vendor.image)
+    return env, vm, engine, vendor
+
+
+def boot_device(env, engine, vendor, config=None, wait=True):
+    config = config or make_config()
+    os = DeviceOS(env, config.hostname, vendor, render_config(config),
+                  seed=9)
+    container = engine.create(f"os-{config.hostname}", vendor.image,
+                              netns=NetworkNamespace(config.hostname),
+                              guest=os)
+    env.run(until=container.start())
+    if wait:
+        env.run(until=env.now + max(vendor.boot_delay_range) + 5)
+    return os, container
+
+
+class TestDeviceOsLifecycle:
+    def test_boot_sequence(self, harness):
+        env, vm, engine, vendor = harness
+        os, container = boot_device(env, engine, vendor, wait=False)
+        assert os.status == "booting"
+        env.run(until=env.now + max(vendor.boot_delay_range) + 5)
+        assert os.status == "running"
+        assert os.bgp is not None and os.bgp.running
+        assert os.booted_at > container.started_at
+
+    def test_stop_cleans_up(self, harness):
+        env, vm, engine, vendor = harness
+        os, container = boot_device(env, engine, vendor)
+        container.stop()
+        assert os.status == "stopped"
+        assert os.bgp is None and os.stack is None
+
+    def test_reboot_supersedes_pending_protocol_start(self, harness):
+        env, vm, engine, vendor = harness
+        os, container = boot_device(env, engine, vendor, wait=False)
+        env.run(until=container.restart())  # restart during boot delay
+        env.run(until=env.now + max(vendor.boot_delay_range) + 5)
+        assert os.status == "running"
+        assert os.boot_count == 2
+        # Exactly one daemon is live after the superseded boot.
+        assert os.bgp is not None
+
+    def test_unparseable_config_crashes_cleanly(self, harness):
+        env, vm, engine, vendor = harness
+        os = DeviceOS(env, "bad", vendor, "hostname bad\nmystery knob\n")
+        container = engine.create("os-bad", vendor.image,
+                                  netns=NetworkNamespace("bad"), guest=os)
+        env.run(until=container.start())
+        assert os.status == "crashed"
+        assert any("parse failed" in e for e in os.config_errors)
+
+    def test_missing_interface_logged_not_fatal(self, harness):
+        env, vm, engine, vendor = harness
+        config = make_config()
+        config.interfaces.append(
+            InterfaceConfig("et7", IPv4Address("10.0.0.0"), 31))
+        os, _ = boot_device(env, engine, vendor, config)
+        assert os.status == "running"
+        assert any("et7" in e for e in os.config_errors)
+
+    def test_transit_acl_wired_into_stack(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        assert os.stack.packet_filter is not None
+        assert not os.stack.packet_filter(IPv4Address("1.2.3.4"),
+                                          IPv4Address("10.66.1.1"))
+        assert os.stack.packet_filter(IPv4Address("1.2.3.4"),
+                                      IPv4Address("10.67.1.1"))
+
+    def test_pull_states_shape(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        states = os.pull_states()
+        assert states["hostname"] == "sw1"
+        assert states["vendor"] == "ctnr-a"
+        assert any(p == "10.1.0.0/24" for p, _ in states["fib"])
+        assert states["bgp"]["asn"] == 65001
+
+    def test_inject_requires_running_stack(self, harness):
+        env, vm, engine, vendor = harness
+        os, container = boot_device(env, engine, vendor)
+        container.stop()
+        with pytest.raises(RuntimeError):
+            os.inject_packet(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"),
+                             "sig")
+
+
+class TestVendorCli:
+    def test_show_commands(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        assert "routing table" in os.execute("show ip route")
+        assert "local AS 65001" in os.execute("show ip bgp summary")
+        assert "ctnr-a" in os.execute("show version")
+        assert "hostname sw1" in os.execute("show running-config")
+
+    def test_invalid_command(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        assert os.execute("make coffee").startswith("% Invalid input")
+
+    def test_config_mode_commit(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        assert "(config)#" in os.execute("configure")
+        os.execute("access-list FORWARD deny dst 10.77.0.0/16")
+        assert "committed" in os.execute("end")
+        assert not os.stack.packet_filter(IPv4Address("1.1.1.1"),
+                                          IPv4Address("10.77.0.1"))
+
+    def test_config_mode_abort_discards(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        before = os.config_text
+        os.execute("configure")
+        os.execute("access-list FORWARD deny dst 10.88.0.0/16")
+        assert "discarded" in os.execute("abort")
+        assert os.config_text == before
+
+    def test_bad_commit_rejected(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        os.execute("configure")
+        os.execute("warp drive enable")
+        assert "commit failed" in os.execute("end")
+
+    def test_empty_commit(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        os.execute("configure")
+        assert "no changes" in os.execute("end")
+
+    def test_ping_semantics(self, harness):
+        env, vm, engine, vendor = harness
+        os, _ = boot_device(env, engine, vendor)
+        assert "local address" in os.execute("ping 1.1.1.1")
+        assert "unreachable" in os.execute("ping 99.0.0.1")
+        assert "bad address" in os.execute("ping banana")
+        # Originated network resolves via the FIB.
+        assert "via" in os.execute("ping 10.1.0.5")
+
+    def test_vm_vendor_spellings(self, harness):
+        env, vm, engine, _ = harness
+        vendor = get_vendor("vm-b")
+        # vm-b needs a nested SKU; use a fresh one.
+        cloud = Cloud(env, seed=7)
+        from repro.virt import STANDARD_D4_NESTED
+        ev = cloud.spawn_vm("vmn", STANDARD_D4_NESTED)
+        env.run(until=ev)
+        engine2 = DockerEngine(env, ev.value)
+        engine2.pull_image(vendor.image)
+        os, _ = boot_device(env, engine2, vendor,
+                            config=make_config(vendor="vm-b"))
+        assert "routing table" in os.execute("show route")
+        assert os.execute("show ip route").startswith("% Invalid")

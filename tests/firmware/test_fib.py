@@ -1,0 +1,100 @@
+"""Tests for the capacity-limited FIB."""
+
+import pytest
+
+from repro.firmware.fib import (
+    Fib,
+    FibEntry,
+    FibFullError,
+    FirmwareCrash,
+    NextHop,
+)
+from repro.net import IPv4Address, Prefix
+
+
+def entry(pfx, iface="et0", via=None, source="bgp"):
+    return FibEntry(prefix=Prefix(pfx),
+                    next_hops=(NextHop(ip=via, interface=iface),),
+                    source=source)
+
+
+def test_install_and_lookup():
+    fib = Fib()
+    fib.install(entry("10.0.0.0/8"))
+    hit = fib.lookup(IPv4Address("10.1.2.3"))
+    assert hit.prefix == Prefix("10.0.0.0/8")
+    assert fib.lookup(IPv4Address("11.0.0.1")) is None
+
+
+def test_lpm_prefers_specific():
+    fib = Fib()
+    fib.install(entry("10.0.0.0/8", iface="coarse"))
+    fib.install(entry("10.1.0.0/16", iface="fine"))
+    assert fib.lookup(IPv4Address("10.1.0.1")).next_hops[0].interface == "fine"
+
+
+def test_entry_requires_next_hop():
+    with pytest.raises(ValueError):
+        FibEntry(prefix=Prefix("10.0.0.0/8"), next_hops=())
+
+
+def test_replace_does_not_consume_capacity():
+    fib = Fib(capacity=1)
+    fib.install(entry("10.0.0.0/8", iface="a"))
+    fib.install(entry("10.0.0.0/8", iface="b"))  # replace is fine
+    assert fib.lookup(IPv4Address("10.0.0.1")).next_hops[0].interface == "b"
+
+
+def test_overflow_reject_raises():
+    fib = Fib(capacity=1, overflow_policy="reject")
+    fib.install(entry("10.0.0.0/8"))
+    with pytest.raises(FibFullError):
+        fib.install(entry("11.0.0.0/8"))
+    assert fib.overflow_drops == 1
+
+
+def test_overflow_silent_drop_blackholes():
+    """The §2 load-balancer incident: routes vanish without an error."""
+    fib = Fib(capacity=1, overflow_policy="drop-silent")
+    fib.install(entry("10.0.0.0/8"))
+    assert fib.install(entry("11.0.0.0/8")) is False
+    assert fib.lookup(IPv4Address("11.0.0.1")) is None
+    assert fib.overflow_drops == 1
+
+
+def test_overflow_crash_policy():
+    fib = Fib(capacity=1, overflow_policy="crash")
+    fib.install(entry("10.0.0.0/8"))
+    with pytest.raises(FirmwareCrash):
+        fib.install(entry("11.0.0.0/8"))
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Fib(overflow_policy="explode")
+
+
+def test_remove_frees_capacity():
+    fib = Fib(capacity=1, overflow_policy="reject")
+    fib.install(entry("10.0.0.0/8"))
+    assert fib.remove(Prefix("10.0.0.0/8"))
+    fib.install(entry("11.0.0.0/8"))
+    assert len(fib) == 1
+
+
+def test_clear_protocol_only_removes_that_source():
+    fib = Fib()
+    fib.install(entry("10.0.0.0/8", source="bgp"))
+    fib.install(entry("11.0.0.0/8", source="bgp"))
+    fib.install(entry("192.168.0.0/31", source="connected"))
+    assert fib.clear_protocol("bgp") == 2
+    assert len(fib) == 1
+    assert fib.lookup(IPv4Address("192.168.0.1")) is not None
+
+
+def test_routes_snapshot_is_sorted():
+    fib = Fib()
+    fib.install(entry("11.0.0.0/8"))
+    fib.install(entry("10.0.0.0/8"))
+    routes = fib.routes()
+    assert [str(p) for p, _ in routes] == ["10.0.0.0/8", "11.0.0.0/8"]

@@ -1,0 +1,207 @@
+"""Tests for the host IP stack: ARP, local delivery, forwarding, ECMP."""
+
+import pytest
+
+from repro.firmware.fib import FibEntry, NextHop
+from repro.firmware.netstack import HostStack, StackError
+from repro.net import IPv4Address, Ipv4Packet, Prefix
+from repro.sim import Environment
+from repro.virt.netns import NetworkNamespace
+
+
+def ip(text):
+    return IPv4Address(text)
+
+
+def test_configure_requires_existing_interface(wire):
+    stack = wire.stack("r1")
+    with pytest.raises(StackError):
+        stack.configure_interface("et0", ip("10.0.0.0"), 31)
+
+
+def test_loopback_configuration_needs_no_port(wire):
+    stack = wire.stack("r1")
+    stack.configure_interface("lo0", ip("1.1.1.1"), 32)
+    assert stack.is_local_address(ip("1.1.1.1"))
+
+
+def test_connected_route_installed(wire):
+    a = wire.stack("a")
+    b = wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    entry = a.fib.lookup(ip("10.0.0.1"))
+    assert entry is not None and entry.source == "connected"
+
+
+def test_ping_neighbor_resolves_arp_and_delivers(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    got = []
+    b.register_protocol("test", lambda pkt, ingress: got.append((pkt, ingress)))
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.0.1"),
+                         protocol="test", payload="hello"))
+    wire.run()
+    assert len(got) == 1
+    assert got[0][0].payload == "hello"
+    # ARP table now knows the peer; second packet needs no new request.
+    requests_before = a.counters["arp_requests"]
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.0.1"),
+                         protocol="test"))
+    wire.run()
+    assert a.counters["arp_requests"] == requests_before
+    assert b.counters["delivered"] == 2
+
+
+def test_packet_to_local_address_loops_back(wire):
+    a = wire.stack("a")
+    a.configure_interface("lo0", ip("1.1.1.1"), 32)
+    got = []
+    a.register_protocol("test", lambda pkt, ingress: got.append(ingress))
+    a.send_ip(Ipv4Packet(src=ip("1.1.1.1"), dst=ip("1.1.1.1"), protocol="test"))
+    wire.run()
+    assert got == ["lo0"]
+
+
+def test_forwarding_through_middle_router(wire):
+    a, r, b = wire.stack("a"), wire.stack("r"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", r, "10.0.0.1")
+    wire.cable(r, "10.0.1.0", b, "10.0.1.1")
+    # a needs a route to b's subnet via r.
+    a.fib.install(FibEntry(prefix=Prefix("10.0.1.0/31"),
+                           next_hops=(NextHop(ip("10.0.0.1"), "et0"),)))
+    got = []
+    b.register_protocol("test", lambda pkt, i: got.append(pkt))
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.1.1"),
+                         protocol="test", ttl=64))
+    wire.run()
+    assert len(got) == 1
+    assert got[0].ttl == 63
+    assert r.counters["forwarded"] == 1
+
+
+def test_ttl_expiry_drops(wire):
+    a, r, b = wire.stack("a"), wire.stack("r"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", r, "10.0.0.1")
+    wire.cable(r, "10.0.1.0", b, "10.0.1.1")
+    a.fib.install(FibEntry(prefix=Prefix("10.0.1.0/31"),
+                           next_hops=(NextHop(ip("10.0.0.1"), "et0"),)))
+    got = []
+    b.register_protocol("test", lambda pkt, i: got.append(pkt))
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.1.1"),
+                         protocol="test", ttl=1))
+    wire.run()
+    assert got == []
+    assert r.counters["dropped_ttl"] == 1
+
+
+def test_no_route_drops(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("99.0.0.1"),
+                         protocol="test"))
+    wire.run()
+    assert a.counters["dropped_no_route"] == 1
+
+
+def test_acl_filter_blocks_transit_not_local(wire):
+    a, r, b = wire.stack("a"), wire.stack("r"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", r, "10.0.0.1")
+    wire.cable(r, "10.0.1.0", b, "10.0.1.1")
+    a.fib.install(FibEntry(prefix=Prefix("10.0.1.0/31"),
+                           next_hops=(NextHop(ip("10.0.0.1"), "et0"),)))
+    r.packet_filter = lambda src, dst: False
+    got = []
+    b.register_protocol("test", lambda pkt, i: got.append(pkt))
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.1.1"),
+                         protocol="test"))
+    wire.run()
+    assert got == []
+    assert r.counters["dropped_acl"] == 1
+
+
+def test_arp_gives_up_after_retries(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    pair = wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    pair.b.set_down()  # peer unreachable: ARP can never resolve
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.0.1"),
+                         protocol="test"))
+    wire.run()
+    assert a.counters["dropped_arp"] == 1
+    assert a.counters["arp_requests"] >= 3
+
+
+def test_arp_refresh_disabled_keeps_stale_entry(wire):
+    """Vendor quirk hook from the §2 ARP-refresh incident."""
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    a.arp_refresh_enabled = False
+    a.arp_table[ip("10.0.0.1").value] = b.netns.interface("et0").mac
+    stale = a.arp_table[ip("10.0.0.1").value]
+    # b re-announces with a different MAC (e.g. hardware swap).
+    from repro.net.packet import ArpMessage, EthernetFrame, ETHERTYPE_ARP, MacAddress
+    new_mac = MacAddress(0x020000009999)
+    a_if = a.netns.interface("et0")
+    a_if.receive(EthernetFrame(
+        src=new_mac, dst=a_if.mac, ethertype=ETHERTYPE_ARP,
+        payload=ArpMessage(op="request", sender_mac=new_mac,
+                           sender_ip=ip("10.0.0.1"), target_ip=ip("10.0.0.0"))))
+    wire.run()
+    assert a.arp_table[ip("10.0.0.1").value] == stale  # bug preserved
+
+
+def test_ecmp_spreads_flows_and_is_deterministic(wire):
+    a = wire.stack("a")
+    nexts = []
+    for i in range(2):
+        peer = wire.stack(f"p{i}")
+        wire.cable(a, f"10.0.{i}.0", peer, f"10.0.{i}.1")
+        nexts.append(NextHop(ip(f"10.0.{i}.1"), f"et{i}"))
+    a.fib.install(FibEntry(prefix=Prefix("20.0.0.0/8"),
+                           next_hops=tuple(nexts)))
+    chosen = set()
+    entry = a.fib.lookup(ip("20.0.0.1"))
+    for flow in range(64):
+        pkt = Ipv4Packet(src=ip(f"30.0.0.{flow}"), dst=ip("20.0.0.1"))
+        hop = a._pick_next_hop(entry, pkt)
+        assert hop == a._pick_next_hop(entry, pkt)  # deterministic per flow
+        chosen.add(hop.interface)
+    assert chosen == {"et0", "et1"}  # both paths used across flows
+
+
+def test_capture_hook_sees_rx_and_tx(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    events = []
+    a.capture_hook = lambda ifname, ev, pkt: events.append(("a", ev))
+    b.capture_hook = lambda ifname, ev, pkt: events.append(("b", ev))
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.0.1"),
+                         protocol="test"))
+    wire.run()
+    assert ("a", "tx") in events and ("b", "rx") in events
+
+
+def test_detach_stops_reception(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    got = []
+    b.register_protocol("test", lambda pkt, i: got.append(pkt))
+    # Prime ARP so the packet would otherwise be delivered.
+    a.arp_table[ip("10.0.0.1").value] = b.netns.interface("et0").mac
+    b.detach()
+    a.send_ip(Ipv4Packet(src=ip("10.0.0.0"), dst=ip("10.0.0.1"),
+                         protocol="test"))
+    wire.run()
+    assert got == []
+
+
+def test_source_address_selection(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    a.configure_interface("lo0", ip("1.1.1.1"), 32)
+    assert a.source_address_for(ip("10.0.0.1")) == ip("10.0.0.0")
+
+
+def test_source_address_without_interfaces_raises(wire):
+    a = wire.stack("a")
+    with pytest.raises(StackError):
+        a.source_address_for(ip("10.0.0.1"))

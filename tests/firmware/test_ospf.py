@@ -1,0 +1,172 @@
+"""Tests for the OSPF daemon: hellos, DR election, flooding, SPF."""
+
+import pytest
+
+from repro.firmware.ospf import OspfDaemon, OspfInterfaceConfig
+from repro.net import IPv4Address, Prefix
+from repro.net.packet import MacAllocator
+from repro.sim import Environment
+from repro.virt.netns import Bridge, NetworkNamespace, VethPair
+
+from conftest import Wire
+
+
+def make_daemon(wire, stack, rid, ifnames, stubs=(), priority=1,
+                network_type="p2p"):
+    daemon = OspfDaemon(
+        wire.env, stack, IPv4Address(rid),
+        [OspfInterfaceConfig(n, priority=priority, network_type=network_type)
+         for n in ifnames],
+        stub_networks=[Prefix(s) for s in stubs])
+    daemon.start()
+    return daemon
+
+
+def test_two_routers_form_adjacency(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    da = make_daemon(wire, a, "1.1.1.1", ["et0"])
+    db = make_daemon(wire, b, "2.2.2.2", ["et0"])
+    wire.run(until=60)
+    assert da.full_neighbors() == 1
+    assert db.full_neighbors() == 1
+
+
+def test_stub_network_propagates_two_hops(wire):
+    a, b, c = wire.stack("a"), wire.stack("b"), wire.stack("c")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    wire.cable(b, "10.0.1.0", c, "10.0.1.1")
+    make_daemon(wire, a, "1.1.1.1", ["et0"], stubs=["10.9.0.0/24"])
+    make_daemon(wire, b, "2.2.2.2", ["et0", "et1"])
+    make_daemon(wire, c, "3.3.3.3", ["et0"])
+    wire.run(until=120)
+    entry = c.fib.lookup(IPv4Address("10.9.0.5"))
+    assert entry is not None and entry.source == "ospf"
+    assert entry.next_hops[0].ip == IPv4Address("10.0.1.0")  # via b
+
+
+def test_spf_prefers_lower_cost_path(wire):
+    # a -> b -> d (cost 10+10) vs a -> c -> d (cost 10+100).
+    a, b, c, d = (wire.stack(n) for n in "abcd")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    wire.cable(a, "10.0.1.0", c, "10.0.1.1")
+    wire.cable(b, "10.0.2.0", d, "10.0.2.1")
+    wire.cable(c, "10.0.3.0", d, "10.0.3.1")
+    make_daemon(wire, a, "1.1.1.1", ["et0", "et1"])
+    make_daemon(wire, b, "2.2.2.2", ["et0", "et1"])
+    daemon_c = OspfDaemon(wire.env, c, IPv4Address("3.3.3.3"), [
+        OspfInterfaceConfig("et0", cost=100),
+        OspfInterfaceConfig("et1", cost=100)])
+    daemon_c.start()
+    make_daemon(wire, d, "4.4.4.4", ["et0", "et1"], stubs=["10.9.0.0/24"])
+    wire.run(until=120)
+    entry = a.fib.lookup(IPv4Address("10.9.0.1"))
+    assert entry.next_hops[0].ip == IPv4Address("10.0.0.1")  # via b
+
+
+def test_dead_interval_removes_neighbor_and_reconverges(wire):
+    a, b, c = wire.stack("a"), wire.stack("b"), wire.stack("c")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    wire.cable(b, "10.0.1.0", c, "10.0.1.1")
+    wire.cable(a, "10.0.2.0", c, "10.0.2.1")  # backup path a--c
+    make_daemon(wire, a, "1.1.1.1", ["et0", "et1"], stubs=["10.9.0.0/24"])
+    db = make_daemon(wire, b, "2.2.2.2", ["et0", "et1"])
+    make_daemon(wire, c, "3.3.3.3", ["et0", "et1"])
+    wire.run(until=120)
+    entry = c.fib.lookup(IPv4Address("10.9.0.1"))
+    assert entry is not None
+    # Cut a--c; c must fail over via b after the dead interval.
+    wire.pairs[2].set_down()
+    wire.run(until=wire.env.now + 120)
+    entry = c.fib.lookup(IPv4Address("10.9.0.1"))
+    assert entry is not None
+    assert entry.next_hops[0].ip == IPv4Address("10.0.1.0")  # via b now
+    assert db.full_neighbors() == 2
+
+
+def test_dr_election_on_lan_segment():
+    """Highest (priority, router-id) wins DR; runner-up is BDR."""
+    env = Environment()
+    macs = MacAllocator()
+    bridge = Bridge(env, "lan0")
+    stacks, daemons = [], []
+    for i, (rid, priority) in enumerate(
+            [("1.1.1.1", 1), ("2.2.2.2", 5), ("3.3.3.3", 1)]):
+        from repro.firmware.netstack import HostStack
+        stack = HostStack(env, f"r{i}")
+        ns = NetworkNamespace(f"r{i}")
+        stack.attach(ns)
+        pair = VethPair(env, "et0", f"h{i}", macs.allocate(), macs.allocate())
+        pair.a.attach_namespace(ns)
+        bridge.add_port(pair.b)
+        stack.configure_interface("et0", IPv4Address(f"10.0.0.{i + 1}"), 24)
+        daemon = OspfDaemon(env, stack, IPv4Address(rid), [
+            OspfInterfaceConfig("et0", priority=priority,
+                                network_type="broadcast")])
+        daemon.start()
+        stacks.append(stack)
+        daemons.append(daemon)
+    env.run(until=120)
+    # r1 (priority 5) is DR everywhere.
+    for daemon in daemons:
+        assert daemon.dr["et0"] == IPv4Address("2.2.2.2")
+    assert daemons[1].is_dr("et0")
+    # BDR is the highest router-id among the rest.
+    assert daemons[0].bdr["et0"] == IPv4Address("3.3.3.3")
+
+
+def test_lan_members_reach_each_others_stubs():
+    env = Environment()
+    macs = MacAllocator()
+    bridge = Bridge(env, "lan0")
+    from repro.firmware.netstack import HostStack
+    stacks, daemons = [], []
+    for i in range(3):
+        stack = HostStack(env, f"r{i}")
+        ns = NetworkNamespace(f"r{i}")
+        stack.attach(ns)
+        pair = VethPair(env, "et0", f"h{i}", macs.allocate(), macs.allocate())
+        pair.a.attach_namespace(ns)
+        bridge.add_port(pair.b)
+        stack.configure_interface("et0", IPv4Address(f"10.0.0.{i + 1}"), 24)
+        daemon = OspfDaemon(env, stack, IPv4Address(f"{i+1}.{i+1}.{i+1}.{i+1}"),
+                            [OspfInterfaceConfig("et0",
+                                                 network_type="broadcast")],
+                            stub_networks=[Prefix(f"10.{i + 1}.0.0/24")])
+        daemon.start()
+        stacks.append(stack)
+        daemons.append(daemon)
+    env.run(until=180)
+    entry = stacks[0].fib.lookup(IPv4Address("10.3.0.1"))
+    assert entry is not None and entry.source == "ospf"
+    assert entry.next_hops[0].ip == IPv4Address("10.0.0.3")
+
+
+def test_lsa_sequence_numbers_replace_older(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    da = make_daemon(wire, a, "1.1.1.1", ["et0"])
+    db = make_daemon(wire, b, "2.2.2.2", ["et0"])
+    wire.run(until=60)
+    seq_before = db.lsdb[IPv4Address("1.1.1.1").value].seq
+    da.stub_networks.append(Prefix("10.50.0.0/24"))
+    da._originate()
+    wire.run(until=wire.env.now + 30)
+    after = db.lsdb[IPv4Address("1.1.1.1").value]
+    assert after.seq > seq_before
+    assert any(l[0] == "stub" and str(l[1]) == "10.50.0.0/24"
+               for l in after.links)
+    assert b.fib.lookup(IPv4Address("10.50.0.1")) is not None
+
+
+def test_spf_counts_and_stop(wire):
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    da = make_daemon(wire, a, "1.1.1.1", ["et0"])
+    make_daemon(wire, b, "2.2.2.2", ["et0"])
+    wire.run(until=60)
+    assert da.spf_runs > 0
+    runs = da.spf_runs
+    da.stop()
+    wire.run(until=wire.env.now + 60)
+    assert da.spf_runs == runs  # no further work after stop

@@ -1,0 +1,161 @@
+"""Integration tests for the §7 case studies (condensed example flows)."""
+
+import pytest
+
+from repro.core import CrystalNet, ValidationWorkflow
+from repro.dataplane import reconstruct_paths
+from repro.firmware.vendors import get_vendor
+from repro.net import Prefix
+from repro.topology import SDC, build_clos
+from repro.topology.examples import regional_backbone_topology
+from repro.verify import FibComparator
+
+
+class TestCase1Migration:
+    """Regional-backbone migration (§7 case 1)."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        topo = regional_backbone_topology()
+        net = CrystalNet(emulation_id="it-rbb", seed=160)
+        net.prepare(topo)
+        # RBB peerings start administratively down.
+        for border in [f"dc{dc}-bdr-{b}" for dc in (1, 2) for b in (0, 1)]:
+            config = net.configs[border]
+            lines = [f" neighbor {n.peer_ip} shutdown"
+                     for n in config.bgp.neighbors
+                     if n.description.startswith("rbb-")]
+            text = net.config_texts[border]
+            idx = text.index("!\n", text.index("router bgp"))
+            net.config_texts[border] = (text[:idx] + "\n".join(lines)
+                                        + "\n" + text[idx:])
+        net.mockup()
+        return net
+
+    def test_boundary_trivially_safe(self, net):
+        assert net.verdict.safe
+        assert net.verdict.boundary_devices == []
+
+    def test_interdc_traffic_initially_rides_wan(self, net):
+        fib = dict(net.pull_states("dc1-bdr-0")["fib"])
+        hops = fib["10.32.0.0/16"]
+        wan_ips = {str(n.peer_ip) for n in net.configs["dc1-bdr-0"]
+                   .bgp.neighbors if n.description.startswith("wan-core")}
+        assert set(hops) <= wan_ips
+
+    def test_enabling_rbb_adds_paths_without_disruption(self, net):
+        for border in [f"dc{dc}-bdr-{b}" for dc in (1, 2) for b in (0, 1)]:
+            text = net.pull_config(border)
+            cleaned = "\n".join(
+                line for line in text.splitlines()
+                if "shutdown" not in line or "neighbor" not in line)
+            net.reload(border, config_text=cleaned)
+        net.converge()
+        fib = dict(net.pull_states("dc1-bdr-0")["fib"])
+        # ECMP across WAN and RBB (equal AS-path lengths).
+        assert len(fib["10.32.0.0/16"]) == 4
+
+
+class TestCase2SwitchOs:
+    """Switch-OS validation pipeline (§7 case 2)."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = CrystalNet(emulation_id="it-os", seed=161)
+        net.prepare(build_clos(SDC()))
+        net.mockup()
+        return net
+
+    def test_buggy_build_diverges_from_golden_fib(self, net):
+        golden = net.pull_states("tor-0-2")["fib"]
+        buggy = get_vendor("ctnr-b").with_quirks(
+            "suppress-announcements",
+            suppress_prefixes=[Prefix("10.192.2.0/24")])
+        net.reload("tor-0-2", vendor=buggy)
+        net.converge()
+        # The canary's own FIB is fine...
+        assert FibComparator().diff_device(
+            "tor-0-2", golden, net.pull_states("tor-0-2")["fib"]) == []
+        # ...but its leaf lost the suppressed prefix.
+        leaf_fib = dict(net.pull_states("lf-0-0")["fib"])
+        assert "10.192.2.0/24" not in leaf_fib
+        # Rolling back to the shipping OS heals the network.
+        net.reload("tor-0-2", vendor=get_vendor("ctnr-b"))
+        net.converge()
+        assert "10.192.2.0/24" in dict(net.pull_states("lf-0-0")["fib"])
+
+
+class TestHardwareInTheLoop:
+    """§4.1: splice one 'real hardware' switch into the emulation."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = CrystalNet(emulation_id="it-hw", seed=162)
+        net.prepare(build_clos(SDC()), hardware=["tor-1-3"])
+        net.mockup()
+        return net
+
+    def test_hardware_lives_on_lab_server(self, net):
+        record = net.devices["tor-1-3"]
+        assert record.kind == "hardware"
+        assert record.vm is net.lab_server
+        assert record.vm.sku.price_per_hour == 0.0
+        assert net.fanout.attached() == ["tor-1-3"]
+
+    def test_hardware_participates_in_routing(self, net):
+        fib = dict(net.pull_states("tor-1-3")["fib"])
+        assert "100.100.0.0/16" in fib
+        # Peers learned the hardware device's prefix over the fanout links.
+        spine_fib = dict(net.pull_states("spn-0")["fib"])
+        hw_prefix = net.topology.device("tor-1-3").originated[0]
+        assert str(hw_prefix) in spine_fib
+
+    def test_probes_traverse_the_hardware(self, net):
+        topo = net.topology
+        src = topo.device("tor-1-3").originated[0].address_at(8)
+        dst = topo.device("tor-0-1").originated[0].address_at(8)
+        net.inject_packets("tor-1-3", src, dst, signature="it-hw-probe")
+        net.run(5)
+        paths = reconstruct_paths(net.pull_packets(signature="it-hw-probe"))
+        assert paths["it-hw-probe"].delivered
+        assert paths["it-hw-probe"].hops[0] == "tor-1-3"
+
+    def test_management_plane_reaches_hardware(self, net):
+        session = net.login("tor-1-3")
+        assert "local AS" in session.execute("show ip bgp summary")
+
+
+class TestMultiCloud:
+    """§3.1: one emulation spanning two federated clouds."""
+
+    @pytest.fixture(scope="class")
+    def net(self):
+        from repro.sim import Environment
+        from repro.virt import Cloud
+
+        env = Environment()
+        azure = Cloud(env, name="azure", seed=1,
+                      underlay_prefix="100.64.0.0/16")
+        onprem = Cloud(env, name="onprem", seed=2,
+                       underlay_prefix="100.65.0.0/16")
+        net = CrystalNet(env=env, clouds=[azure, onprem],
+                         emulation_id="it-mc", seed=163)
+        net.prepare(build_clos(SDC()))
+        net.mockup()
+        return net
+
+    def test_vms_spread_across_clouds(self, net):
+        homes = {vm.cloud.name for vm in net.vms.values()}
+        assert homes == {"azure", "onprem"}
+
+    def test_cross_cloud_routing_converges(self, net):
+        assert all(d["status"] == "running" for d in net.list_devices())
+        fib = dict(net.pull_states("tor-0-0")["fib"])
+        assert "100.100.0.0/16" in fib
+
+    def test_nat_holes_were_punched(self, net):
+        federation = net.cloud.federation
+        assert federation is not None
+        # Some outbound flows were registered at both NATs.
+        assert federation.nats["azure"]._outbound
+        assert federation.nats["onprem"]._outbound

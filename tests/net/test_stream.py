@@ -1,0 +1,149 @@
+"""Tests for the TCP-lite stream transport."""
+
+import pytest
+
+from repro.net import IPv4Address
+from repro.net.stream import StreamError, StreamManager
+
+import sys
+import os
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "firmware"))
+from conftest import Wire  # noqa: E402  (reuse the lab-bench harness)
+
+
+def ip(text):
+    return IPv4Address(text)
+
+
+@pytest.fixture
+def lab():
+    wire = Wire()
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    sm_a = StreamManager(wire.env, a)
+    sm_b = StreamManager(wire.env, b)
+    return wire, sm_a, sm_b
+
+
+def test_connect_establishes_both_sides(lab):
+    wire, sm_a, sm_b = lab
+    accepted = []
+    sm_b.listen(179, accepted.append)
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    assert conn.state == "established"
+    assert len(accepted) == 1
+    assert accepted[0].remote_ip == ip("10.0.0.0")
+
+
+def test_connect_to_closed_port_fails(lab):
+    wire, sm_a, _sm_b = lab
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    assert conn.state == "closed"
+    assert conn.established.ok is False
+
+
+def test_messages_delivered_in_order(lab):
+    wire, sm_a, sm_b = lab
+    server_got, client_got = [], []
+    sm_b.listen(179, lambda c: setattr(c, "on_message", server_got.append))
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    conn.on_message = client_got.append
+    wire.run()
+    for i in range(10):
+        conn.send(f"msg{i}")
+    wire.run()
+    assert server_got == [f"msg{i}" for i in range(10)]
+    assert conn.sent_messages == 10
+
+
+def test_bidirectional_messaging(lab):
+    wire, sm_a, sm_b = lab
+    server_conns = []
+    sm_b.listen(179, server_conns.append)
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    got = []
+    conn.on_message = got.append
+    wire.run()
+    server_conns[0].send("from-server")
+    wire.run()
+    assert got == ["from-server"]
+
+
+def test_send_before_established_raises(lab):
+    _wire, sm_a, _sm_b = lab
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    with pytest.raises(StreamError):
+        conn.send("too early")
+
+
+def test_close_notifies_peer(lab):
+    wire, sm_a, sm_b = lab
+    server_conns, closes = [], []
+    sm_b.listen(179, server_conns.append)
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    server_conns[0].on_close = closes.append
+    conn.close()
+    wire.run()
+    assert closes == ["closed-by-peer"]
+    assert sm_a.connection_count() == 0
+    assert sm_b.connection_count() == 0
+
+
+def test_data_to_forgotten_connection_gets_rst(lab):
+    wire, sm_a, sm_b = lab
+    server_conns = []
+    sm_b.listen(179, server_conns.append)
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    # Server reboots: loses all connection state but keeps listening.
+    server_conns[0].abort("crash")
+    closes = []
+    conn.on_close = closes.append
+    conn.send("are you there?")
+    wire.run()
+    assert conn.state == "closed"
+    assert closes == ["reset-by-peer"]
+
+
+def test_shutdown_aborts_everything(lab):
+    wire, sm_a, sm_b = lab
+    sm_b.listen(179, lambda c: None)
+    conn1 = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    sm_a.shutdown()
+    assert conn1.state == "closed"
+    assert sm_a.connection_count() == 0
+
+
+def test_link_down_silently_drops_failure_detection_is_application_level(lab):
+    wire, sm_a, sm_b = lab
+    sm_b.listen(179, lambda c: None)
+    conn = sm_a.connect(ip("10.0.0.1"), 179)
+    wire.run()
+    wire.pairs[0].set_down()
+    conn.send("into the void")
+    wire.run()
+    # The stream does not detect loss; state is still established.
+    assert conn.state == "established"
+
+
+def test_duplicate_listen_rejected(lab):
+    _wire, _sm_a, sm_b = lab
+    sm_b.listen(179, lambda c: None)
+    with pytest.raises(StreamError):
+        sm_b.listen(179, lambda c: None)
+
+
+def test_many_concurrent_connections(lab):
+    wire, sm_a, sm_b = lab
+    accepted = []
+    sm_b.listen(179, accepted.append)
+    conns = [sm_a.connect(ip("10.0.0.1"), 179) for _ in range(20)]
+    wire.run()
+    assert len(accepted) == 20
+    assert all(c.state == "established" for c in conns)
+    # Distinct ephemeral ports.
+    assert len({c.local_port for c in conns}) == 20

@@ -1,0 +1,60 @@
+"""Tests for the incident scenario library (Table 1 coverage)."""
+
+import pytest
+
+from repro.scenarios import SCENARIOS, TABLE1_PROPORTIONS
+
+
+@pytest.fixture(scope="module")
+def results():
+    from repro.scenarios import run_all
+    return run_all()
+
+
+def test_proportions_sum_to_one():
+    assert sum(TABLE1_PROPORTIONS.values()) == pytest.approx(1.0)
+
+
+def test_every_category_represented():
+    categories = {s.category for s in SCENARIOS}
+    assert categories == set(TABLE1_PROPORTIONS)
+
+
+def test_emulation_catches_all_software_bugs(results):
+    for scenario in SCENARIOS:
+        if scenario.category == "software-bug":
+            assert results[scenario.id]["emulation"].detected, scenario.id
+
+
+def test_verification_misses_all_software_bugs(results):
+    for scenario in SCENARIOS:
+        if scenario.category == "software-bug":
+            assert not results[scenario.id]["verification"].detected, \
+                scenario.id
+
+
+def test_both_catch_config_bugs(results):
+    for scenario in SCENARIOS:
+        if scenario.category == "config-bug":
+            assert results[scenario.id]["emulation"].detected
+            assert results[scenario.id]["verification"].detected
+
+
+def test_only_emulation_catches_human_errors(results):
+    for scenario in SCENARIOS:
+        if scenario.category == "human-error":
+            assert results[scenario.id]["emulation"].detected
+            assert not results[scenario.id]["verification"].detected
+
+
+def test_neither_catches_hardware_or_unidentified(results):
+    for scenario in SCENARIOS:
+        if scenario.category in ("hardware-failure", "unidentified"):
+            assert not results[scenario.id]["emulation"].detected
+            assert not results[scenario.id]["verification"].detected
+
+
+def test_outcomes_carry_evidence(results):
+    for per_strategy in results.values():
+        for outcome in per_strategy.values():
+            assert outcome.evidence

@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    fired = []
+    env.timeout(5.0).add_callback(lambda ev: fired.append(env.now))
+    env.run()
+    assert fired == [5.0]
+    assert env.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    env.timeout(3.0).add_callback(lambda ev: order.append("c"))
+    env.timeout(1.0).add_callback(lambda ev: order.append("a"))
+    env.timeout(2.0).add_callback(lambda ev: order.append("b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+    for tag in range(5):
+        env.timeout(1.0, tag).add_callback(lambda ev: order.append(ev.value))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_deadline_stops_clock_exactly():
+    env = Environment()
+    seen = []
+    env.timeout(10.0).add_callback(lambda ev: seen.append("late"))
+    env.run(until=4.0)
+    assert env.now == 4.0
+    assert seen == []
+    env.run()
+    assert seen == ["late"]
+
+
+def test_event_cannot_fire_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_process_returns_value():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(2.0)
+        yield env.timeout(3.0)
+        return "done"
+
+    proc = env.process(worker())
+    result = env.run(until=proc)
+    assert result == "done"
+    assert env.now == 5.0
+
+
+def test_process_receives_event_values():
+    env = Environment()
+
+    def worker():
+        value = yield env.timeout(1.0, "payload")
+        return value
+
+    proc = env.process(worker())
+    assert env.run(until=proc) == "payload"
+
+
+def test_process_waits_on_other_process():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(4.0)
+        log.append(("child", env.now))
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        log.append(("parent", env.now))
+        return result
+
+    proc = env.process(parent())
+    assert env.run(until=proc) == 42
+    assert log == [("child", 4.0), ("parent", 4.0)]
+
+
+def test_failed_event_raises_inside_process():
+    env = Environment()
+    failing = env.event()
+    caught = []
+
+    def worker():
+        try:
+            yield failing
+        except ValueError as exc:
+            caught.append(str(exc))
+        return "recovered"
+
+    proc = env.process(worker())
+    failing.fail(ValueError("boom"), delay=1.0)
+    assert env.run(until=proc) == "recovered"
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_exception_fails_process_event():
+    env = Environment()
+
+    def worker():
+        yield env.timeout(1.0)
+        raise RuntimeError("kaput")
+
+    proc = env.process(worker())
+    with pytest.raises(RuntimeError, match="kaput"):
+        env.run(until=proc)
+
+
+def test_interrupt_wakes_sleeping_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+        return "interrupted"
+
+    proc = env.process(sleeper())
+    env.call_later(2.0, lambda: proc.interrupt("wake up"))
+    assert env.run(until=proc) == "interrupted"
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    proc = env.process(quick())
+    env.run(until=proc)
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    t1, t2 = env.timeout(1.0, "a"), env.timeout(5.0, "b")
+
+    def worker():
+        results = yield env.all_of([t1, t2])
+        return sorted(results.values())
+
+    proc = env.process(worker())
+    assert env.run(until=proc) == ["a", "b"]
+    assert env.now == 5.0
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    t1, t2 = env.timeout(1.0, "fast"), env.timeout(5.0, "slow")
+
+    def worker():
+        results = yield env.any_of([t1, t2])
+        return list(results.values())
+
+    proc = env.process(worker())
+    assert env.run(until=proc) == ["fast"]
+    assert env.now == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    ev = env.all_of([])
+    assert ev.triggered
+
+
+def test_call_at_runs_at_absolute_time():
+    env = Environment()
+    seen = []
+    env.call_at(7.5, lambda: seen.append(env.now))
+    env.run()
+    assert seen == [7.5]
+
+
+def test_call_at_in_past_rejected():
+    env = Environment()
+    env.timeout(5.0)
+    env.run()
+    with pytest.raises(SimulationError):
+        env.call_at(1.0, lambda: None)
+
+
+def test_run_until_event_that_starves_raises():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="starved"):
+        env.run(until=never)
+
+
+def test_late_callback_on_processed_event_runs_immediately():
+    env = Environment()
+    ev = env.timeout(1.0, "v")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["v"]
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError, match="must yield events"):
+        env.process(bad())
+        env.run()

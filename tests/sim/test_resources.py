@@ -1,0 +1,101 @@
+"""Tests for the k-core CPU scheduler and utilization traces."""
+
+import pytest
+
+from repro.sim import CpuScheduler, Environment, UtilizationTrace
+
+
+def _completion_times(env, cpu, costs):
+    times = []
+    for cost in costs:
+        cpu.execute(cost).add_callback(lambda ev, t=env: times.append(t.now))
+    env.run()
+    return times
+
+
+def test_single_core_serializes_work():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    times = _completion_times(env, cpu, [2.0, 3.0, 1.0])
+    assert times == [2.0, 5.0, 6.0]
+
+
+def test_multi_core_runs_in_parallel():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=2)
+    times = _completion_times(env, cpu, [2.0, 2.0, 2.0])
+    # Two run immediately, third queues behind the first free core.
+    assert sorted(times) == [2.0, 2.0, 4.0]
+
+
+def test_work_submitted_later_starts_at_submission():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    done_at = []
+    env.call_later(10.0, lambda: cpu.execute(1.0).add_callback(
+        lambda ev: done_at.append(env.now)))
+    env.run()
+    assert done_at == [11.0]
+
+
+def test_backlog_reflects_queued_work():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    cpu.execute(5.0)
+    cpu.execute(5.0)
+    assert cpu.backlog() == pytest.approx(10.0)
+    assert cpu.busy_until() == pytest.approx(10.0)
+
+
+def test_zero_cost_task_completes_immediately():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    times = _completion_times(env, cpu, [0.0])
+    assert times == [0.0]
+
+
+def test_negative_cost_rejected():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.execute(-1.0)
+
+
+def test_zero_cores_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CpuScheduler(env, cores=0)
+
+
+def test_utilization_trace_records_across_buckets():
+    trace = UtilizationTrace(bucket_width=10.0, cores=1)
+    trace.record(5.0, 25.0)
+    # Buckets [0,10): 5s busy, [10,20): 10s, [20,30): 5s.
+    assert trace.busy == pytest.approx([5.0, 10.0, 5.0])
+    assert trace.utilization() == pytest.approx([0.5, 1.0, 0.5])
+
+
+def test_utilization_caps_at_one_per_core():
+    trace = UtilizationTrace(bucket_width=10.0, cores=2)
+    trace.record(0.0, 10.0)
+    trace.record(0.0, 10.0)
+    trace.record(0.0, 10.0)  # oversubscribed bucket still reports 1.0
+    assert trace.utilization() == [1.0]
+
+
+def test_utilization_at_outside_trace_is_zero():
+    trace = UtilizationTrace(bucket_width=10.0, cores=1)
+    trace.record(0.0, 5.0)
+    assert trace.utilization_at(500.0) == 0.0
+
+
+def test_scheduler_populates_trace():
+    env = Environment()
+    cpu = CpuScheduler(env, cores=4, bucket_width=1.0)
+    for _ in range(8):
+        cpu.execute(1.0)
+    env.run()
+    # 8 cpu-seconds across 4 cores = 2 wall seconds fully busy.
+    assert cpu.trace.utilization()[:2] == pytest.approx([1.0, 1.0])
+    assert cpu.total_busy == pytest.approx(8.0)
+    assert cpu.tasks_executed == 8

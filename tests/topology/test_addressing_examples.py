@@ -1,0 +1,87 @@
+"""Tests for address/ASN plans and the named example topologies."""
+
+import pytest
+
+from repro.net import Prefix
+from repro.topology.addressing import AddressPlan, AsnPlan
+from repro.topology.examples import (
+    figure1_topology,
+    figure7_topology,
+    regional_backbone_topology,
+)
+
+
+class TestAddressPlan:
+    def test_pools_are_disjoint(self):
+        plan = AddressPlan()
+        assert not plan.p2p_pool.overlaps(plan.loopback_pool)
+        assert not plan.p2p_pool.overlaps(plan.server_pool)
+        assert not plan.loopback_pool.overlaps(plan.server_pool)
+
+    def test_allocations_unique_and_sized(self):
+        plan = AddressPlan()
+        p2ps = [plan.next_p2p() for _ in range(100)]
+        loops = [plan.next_loopback() for _ in range(100)]
+        servers = [plan.next_server_subnet() for _ in range(100)]
+        assert len(set(p2ps)) == 100
+        assert all(p.length == 31 for p in p2ps)
+        assert all(l.length == 32 for l in loops)
+        assert all(s.length == 24 for s in servers)
+        assert all(p in plan.p2p_pool for p in p2ps)
+
+    def test_pool_exhaustion_raises(self):
+        plan = AddressPlan(loopback_pool="10.0.0.0/31")
+        plan.next_loopback()
+        plan.next_loopback()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            plan.next_loopback()
+
+
+class TestAsnPlan:
+    def test_layer_assignments(self):
+        plan = AsnPlan(base=64512)
+        assert plan.border_asn == 64512
+        assert plan.spine_asn == 64513
+        assert plan.leaf_asn(0) != plan.leaf_asn(1)
+        tors = [plan.next_tor_asn() for _ in range(10)]
+        assert len(set(tors)) == 10
+        wans = [plan.next_wan_asn() for _ in range(3)]
+        assert len(set(wans)) == 3
+        # No collisions across categories.
+        everything = ({plan.border_asn, plan.spine_asn, plan.leaf_asn(0),
+                       plan.leaf_asn(1)} | set(tors) | set(wans))
+        assert len(everything) == 4 + 10 + 3
+
+
+class TestExampleTopologies:
+    def test_figure7_structure(self):
+        topo = figure7_topology()
+        assert len(topo) == 14
+        topo.validate()
+        # Spines share AS100; leaves paired per pod except L5/L6.
+        assert {d.asn for d in topo.by_role("spine")} == {100}
+        assert topo.device("L5").asn != topo.device("L6").asn
+        assert len({d.asn for d in topo.by_role("tor")}) == 6
+
+    def test_figure1_structure(self):
+        topo = figure1_topology()
+        assert len(topo) == 8
+        topo.validate()
+        assert topo.device("R6").vendor == "ctnr-a"
+        assert topo.device("R7").vendor == "ctnr-b"
+        assert topo.device("R1").originated == [Prefix("10.1.0.0/24"),
+                                                Prefix("10.1.1.0/24")]
+        assert set(topo.neighbors("R8")) == {"R6", "R7"}
+
+    def test_regional_backbone_structure(self):
+        topo = regional_backbone_topology()
+        topo.validate()
+        borders = topo.by_role("border")
+        assert len(borders) == 4
+        for border in borders:
+            roles = {topo.device(n).role for n in topo.neighbors(border.name)}
+            assert roles == {"spine", "wan-core", "rbb"}
+        # DC border layers share an AS per DC.
+        dc1 = {d.asn for d in borders if d.name.startswith("dc1")}
+        dc2 = {d.asn for d in borders if d.name.startswith("dc2")}
+        assert len(dc1) == 1 and len(dc2) == 1 and dc1 != dc2

@@ -1,0 +1,181 @@
+"""Tests for the Clos generator and its presets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    ClosParams,
+    LDC,
+    MDC,
+    SDC,
+    Topology,
+    TopologyError,
+    build_clos,
+    pod_devices,
+)
+
+
+@pytest.fixture(scope="module")
+def sdc():
+    return build_clos(SDC())
+
+
+def counts(topo: Topology):
+    by = {}
+    for d in topo:
+        by[d.role] = by.get(d.role, 0) + 1
+    return by
+
+
+def test_preset_layer_ordering():
+    """Device counts grow S-DC < M-DC < L-DC, like Table 3."""
+    sizes = [len(build_clos(p())) for p in (SDC, MDC, LDC)]
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_sdc_shape(sdc):
+    by = counts(sdc)
+    params = SDC()
+    assert by["border"] == params.num_borders
+    assert by["spine"] == params.num_spines
+    assert by["leaf"] == params.num_pods * params.leaves_per_pod
+    assert by["tor"] == params.num_pods * params.tors_per_pod
+    assert by["wan"] == params.num_wan_routers
+
+
+def test_layer_assignment(sdc):
+    for d in sdc:
+        expected = {"tor": 0, "leaf": 1, "spine": 2, "border": 3, "wan": 4}[d.role]
+        assert d.layer == expected
+
+
+def test_borders_share_single_asn(sdc):
+    asns = {d.asn for d in sdc.by_role("border")}
+    assert len(asns) == 1
+
+
+def test_spines_share_single_asn(sdc):
+    assert len({d.asn for d in sdc.by_role("spine")}) == 1
+
+
+def test_leaves_share_asn_per_pod(sdc):
+    pods = {}
+    for leaf in sdc.by_role("leaf"):
+        pods.setdefault(leaf.pod, set()).add(leaf.asn)
+    for pod, asns in pods.items():
+        assert len(asns) == 1
+    all_pod_asns = [next(iter(v)) for v in pods.values()]
+    assert len(set(all_pod_asns)) == len(pods)
+
+
+def test_tors_have_unique_asns(sdc):
+    tors = sdc.by_role("tor")
+    assert len({d.asn for d in tors}) == len(tors)
+
+
+def test_wans_have_distinct_asns(sdc):
+    wans = sdc.by_role("wan")
+    assert len({d.asn for d in wans}) == len(wans)
+
+
+def test_tor_connects_to_all_pod_leaves(sdc):
+    params = SDC()
+    for tor in sdc.by_role("tor"):
+        leaf_neighbors = [n for n in sdc.neighbors(tor.name)
+                          if sdc.device(n).role == "leaf"]
+        assert len(leaf_neighbors) == params.leaves_per_pod
+        assert all(sdc.device(n).pod == tor.pod for n in leaf_neighbors)
+
+
+def test_leaf_connects_to_one_spine_plane(sdc):
+    params = SDC()
+    plane_size = params.num_spines // params.leaves_per_pod
+    for leaf in sdc.by_role("leaf"):
+        spine_neighbors = [n for n in sdc.neighbors(leaf.name)
+                           if sdc.device(n).role == "spine"]
+        assert len(spine_neighbors) == plane_size
+
+
+def test_spine_connects_to_all_borders(sdc):
+    params = SDC()
+    for spine in sdc.by_role("spine"):
+        border_neighbors = [n for n in sdc.neighbors(spine.name)
+                            if sdc.device(n).role == "border"]
+        assert len(border_neighbors) == params.num_borders
+
+
+def test_every_border_peers_every_wan(sdc):
+    params = SDC()
+    for border in sdc.by_role("border"):
+        wan_neighbors = [n for n in sdc.neighbors(border.name)
+                         if sdc.device(n).role == "wan"]
+        assert len(wan_neighbors) == params.num_wan_routers
+
+
+def test_tors_originate_server_prefixes(sdc):
+    for tor in sdc.by_role("tor"):
+        assert len(tor.originated) == SDC().prefixes_per_tor
+        for pfx in tor.originated:
+            assert pfx.length == 24
+
+
+def test_all_links_have_disjoint_subnets(sdc):
+    sdc.validate()  # would raise on duplicates
+    subnets = [l.subnet for l in sdc.links]
+    assert all(s is not None and s.length == 31 for s in subnets)
+
+
+def test_vendor_assignment(sdc):
+    assert all(d.vendor == "ctnr-b" for d in sdc.by_role("tor"))
+    assert all(d.vendor == "ctnr-a" for d in sdc.by_role("spine"))
+
+
+def test_pod_devices_helper(sdc):
+    names = pod_devices(sdc, 0)
+    params = SDC()
+    assert len(names) == params.leaves_per_pod + params.tors_per_pod
+    assert all(sdc.device(n).pod == 0 for n in names)
+
+
+def test_uneven_spine_planes_rejected():
+    with pytest.raises(TopologyError):
+        ClosParams("bad", num_borders=1, num_spines=3, num_pods=1,
+                   leaves_per_pod=2, tors_per_pod=1)
+
+
+def test_nonpositive_dimension_rejected():
+    with pytest.raises(TopologyError):
+        ClosParams("bad", num_borders=0, num_spines=2, num_pods=1,
+                   leaves_per_pod=2, tors_per_pod=1)
+
+
+@given(
+    borders=st.integers(1, 3),
+    planes=st.integers(1, 3),
+    spine_mult=st.integers(1, 3),
+    pods=st.integers(1, 3),
+    tors=st.integers(1, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_generated_clos_is_always_consistent(borders, planes, spine_mult,
+                                             pods, tors):
+    params = ClosParams(
+        "prop", num_borders=borders, num_spines=planes * spine_mult,
+        num_pods=pods, leaves_per_pod=planes, tors_per_pod=tors,
+    )
+    topo = build_clos(params)
+    topo.validate()
+    assert len(topo) == params.device_count
+    # Every ToR can reach the WAN going strictly upward through layers.
+    wan_names = {d.name for d in topo.by_role("wan")}
+    for tor in topo.by_role("tor"):
+        frontier = {tor.name}
+        for _ in range(5):
+            nxt = set()
+            for dev_name in frontier:
+                nxt.update(topo.upper_neighbors(dev_name))
+            frontier = nxt
+            if frontier & wan_names:
+                break
+        assert frontier & wan_names

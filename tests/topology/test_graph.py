@@ -1,0 +1,121 @@
+"""Tests for the topology graph model."""
+
+import pytest
+
+from repro.net import IPv4Address, Prefix
+from repro.topology import DeviceSpec, LinkSpec, Topology, TopologyError
+
+
+def dev(name, role="leaf", asn=65001, layer=1, **kw):
+    return DeviceSpec(name=name, role=role, asn=asn, layer=layer, **kw)
+
+
+@pytest.fixture
+def topo():
+    t = Topology("t")
+    t.add_device(dev("r1", role="tor", layer=0, asn=65101))
+    t.add_device(dev("r2", asn=65001))
+    t.add_device(dev("r3", asn=65001))
+    t.connect("r1", "r2", subnet=Prefix("10.0.0.0/31"))
+    t.connect("r1", "r3", subnet=Prefix("10.0.0.2/31"))
+    return t
+
+
+def test_duplicate_device_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.add_device(dev("r1"))
+
+
+def test_invalid_asn_rejected():
+    with pytest.raises(TopologyError):
+        dev("x", asn=0)
+
+
+def test_connect_assigns_sequential_interfaces(topo):
+    assert topo.interfaces_of("r1") == ["et0", "et1"]
+    assert topo.interfaces_of("r2") == ["et0"]
+
+
+def test_link_endpoints_and_addresses(topo):
+    link = topo.link_between("r1", "r2")
+    assert link.other_end("r1") == ("r2", "et0")
+    assert link.other_end("r2") == ("r1", "et0")
+    assert link.address_of("r1") == IPv4Address("10.0.0.0")
+    assert link.address_of("r2") == IPv4Address("10.0.0.1")
+    with pytest.raises(TopologyError):
+        link.other_end("r9")
+
+
+def test_interface_reuse_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.add_link(LinkSpec("r1", "et0", "r3", "et9"))
+
+
+def test_self_link_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.add_link(LinkSpec("r1", "et7", "r1", "et8"))
+
+
+def test_link_to_unknown_device_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.connect("r1", "nope")
+
+
+def test_neighbors(topo):
+    assert sorted(topo.neighbors("r1")) == ["r2", "r3"]
+    assert topo.neighbors("r2") == ["r1"]
+
+
+def test_by_role_and_layer(topo):
+    assert [d.name for d in topo.by_role("tor")] == ["r1"]
+    assert sorted(d.name for d in topo.by_layer(1)) == ["r2", "r3"]
+    assert topo.max_layer() == 1
+
+
+def test_upper_neighbors(topo):
+    assert sorted(topo.upper_neighbors("r1")) == ["r2", "r3"]
+    assert topo.upper_neighbors("r2") == []
+
+
+def test_asns_grouping(topo):
+    groups = topo.asns()
+    assert sorted(groups[65001]) == ["r2", "r3"]
+    assert groups[65101] == ["r1"]
+
+
+def test_subgraph_keeps_internal_links(topo):
+    sub = topo.subgraph(["r1", "r2"])
+    assert set(sub.devices) == {"r1", "r2"}
+    assert len(sub.links) == 1
+    # Deep copy: mutating the subgraph spec leaves the original untouched.
+    sub.device("r1").attrs["x"] = 1
+    assert "x" not in topo.device("r1").attrs
+
+
+def test_subgraph_unknown_device_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.subgraph(["r1", "ghost"])
+
+
+def test_boundary_cut(topo):
+    cut = topo.boundary_cut(["r1"])
+    assert len(cut) == 2
+    assert topo.boundary_cut(["r1", "r2", "r3"]) == []
+
+
+def test_validate_rejects_duplicate_loopbacks():
+    t = Topology("t")
+    t.add_device(dev("a", loopback=IPv4Address("1.1.1.1")))
+    t.add_device(dev("b", loopback=IPv4Address("1.1.1.1")))
+    with pytest.raises(TopologyError, match="loopback"):
+        t.validate()
+
+
+def test_validate_rejects_duplicate_subnets():
+    t = Topology("t")
+    for n in ("a", "b", "c"):
+        t.add_device(dev(n))
+    t.connect("a", "b", subnet=Prefix("10.0.0.0/31"))
+    t.connect("a", "c", subnet=Prefix("10.0.0.0/31"))
+    with pytest.raises(TopologyError, match="subnet"):
+        t.validate()

@@ -1,0 +1,114 @@
+"""Tests for the idealized control-plane simulator."""
+
+import pytest
+
+from repro.config import ConfigGenerator
+from repro.config.model import (
+    AggregateConfig,
+    PrefixList,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.net import IPv4Address, Prefix
+from repro.topology import build_clos, SDC
+from repro.verify import ControlPlaneSimulator
+
+
+@pytest.fixture(scope="module")
+def sdc():
+    topo = build_clos(SDC())
+    configs = ConfigGenerator(topo).generate_all()
+    return topo, configs, ControlPlaneSimulator(topo, configs).compute()
+
+
+def test_fixpoint_converges_quickly(sdc):
+    _t, _c, sim = sdc
+    assert sim.iterations <= 10
+
+
+def test_every_tor_learns_every_server_prefix(sdc):
+    topo, _c, sim = sdc
+    tor_prefixes = {str(p) for t in topo.by_role("tor") for p in t.originated}
+    for tor in topo.by_role("tor"):
+        fib = sim.fib_of(tor.name)
+        for prefix in tor_prefixes:
+            assert prefix in fib
+
+
+def test_ecmp_next_hops_in_clos(sdc):
+    topo, _c, sim = sdc
+    fib = sim.fib_of("tor-0-0")
+    remote = str(topo.device("tor-1-0").originated[0])
+    assert fib[remote] == ["lf-0-0", "lf-0-1"]
+
+
+def test_reachability_walk(sdc):
+    topo, _c, sim = sdc
+    dst = topo.device("tor-1-0").originated[0].address_at(1)
+    path = sim.reachability("tor-0-0", dst)
+    assert path[0] == "tor-0-0"
+    assert path[-1] == "tor-1-0"
+    roles = [topo.device(d).role for d in path]
+    assert roles == ["tor", "leaf", "spine", "leaf", "tor"]
+
+
+def test_unreachable_destination(sdc):
+    _t, _c, sim = sdc
+    assert sim.reachability("tor-0-0", IPv4Address("203.0.113.1")) == []
+
+
+def test_announcements_respect_loop_prevention(sdc):
+    topo, _c, sim = sdc
+    # What the WAN router announces to the border must not contain the
+    # border's AS (no re-export of DC routes back into the DC).
+    border_asn = topo.device("bdr-0").asn
+    for _prefix, as_path in sim.announcements_to("wan-0", "bdr-0"):
+        assert border_asn not in as_path
+
+
+def test_aggregation_is_canonical_reset_path(sdc):
+    """The baseline's aggregates always use the RFC (reset) behaviour —
+    it cannot model Figure 1's vendor divergence by construction."""
+    topo, configs, _sim = sdc
+    configs = {k: v.clone() for k, v in configs.items()}
+    lf = configs["lf-0-0"]
+    lf.bgp.aggregates.append(AggregateConfig(Prefix("10.192.0.0/18"),
+                                             summary_only=False))
+    sim = ControlPlaneSimulator(topo, configs).compute()
+    agg = sim.best_route("spn-0", Prefix("10.192.0.0/18"))
+    assert agg is not None
+    # Path length 1: just the announcing leaf's AS — never a contributor's.
+    assert len(agg.as_path) == 1
+
+
+def test_route_maps_applied(sdc):
+    topo, configs, _sim = sdc
+    configs = {k: v.clone() for k, v in configs.items()}
+    spine = configs["spn-0"]
+    spine.prefix_lists["BLOCK"] = PrefixList(
+        "BLOCK", [Prefix("10.192.0.0/24")])
+    spine.route_maps["IMP"] = RouteMap("IMP", [
+        RouteMapClause("deny", match_prefix_list="BLOCK"),
+        RouteMapClause("permit"),
+    ])
+    for neighbor in spine.bgp.neighbors:
+        neighbor.import_policy = "IMP"
+    sim = ControlPlaneSimulator(topo, configs).compute()
+    assert "10.192.0.0/24" not in sim.fib_of("spn-0")
+    # Other prefixes unaffected.
+    assert "10.192.1.0/24" in sim.fib_of("spn-0")
+
+
+def test_withdrawal_on_export_change(sdc):
+    """Fixpoint handles routes disappearing, not only appearing."""
+    topo, configs, _sim = sdc
+    configs = {k: v.clone() for k, v in configs.items()}
+    # First run: everything present.
+    assert "10.192.0.0/24" in ControlPlaneSimulator(
+        topo, configs).compute().fib_of("bdr-0")
+    # Remove the originating network; no one should retain it.
+    tor = configs["tor-0-0"]
+    tor.bgp.networks = [n for n in tor.bgp.networks
+                        if str(n) != "10.192.0.0/24"]
+    sim = ControlPlaneSimulator(topo, configs).compute()
+    assert "10.192.0.0/24" not in sim.fib_of("bdr-0")

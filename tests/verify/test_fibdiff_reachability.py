@@ -1,0 +1,129 @@
+"""Tests for the FIB comparator and the data-plane reachability analyzer."""
+
+import pytest
+
+from repro.net import IPv4Address, Prefix
+from repro.topology import DeviceSpec, Topology
+from repro.verify import (
+    FibComparator,
+    ReachabilityAnalyzer,
+    find_nondeterministic_prefixes,
+    normalize_fib,
+)
+
+
+class TestFibComparator:
+    def test_identical_fibs_equal(self):
+        fib = [("10.0.0.0/24", ["1.1.1.1"]), ("0.0.0.0/0", ["2.2.2.2"])]
+        comparator = FibComparator()
+        assert comparator.diff_device("r1", fib, list(fib)) == []
+
+    def test_missing_and_extra(self):
+        comparator = FibComparator()
+        left = [("10.0.0.0/24", ["1.1.1.1"])]
+        right = [("10.0.1.0/24", ["1.1.1.1"])]
+        diffs = comparator.diff_device("r1", left, right)
+        kinds = {(d.prefix, d.kind) for d in diffs}
+        assert kinds == {("10.0.0.0/24", "missing"), ("10.0.1.0/24", "extra")}
+
+    def test_next_hop_mismatch(self):
+        comparator = FibComparator()
+        diffs = comparator.diff_device(
+            "r1", [("10.0.0.0/24", ["1.1.1.1"])],
+            [("10.0.0.0/24", ["2.2.2.2"])])
+        assert len(diffs) == 1 and diffs[0].kind == "next-hops"
+
+    def test_hop_order_is_irrelevant(self):
+        comparator = FibComparator()
+        assert comparator.diff_device(
+            "r1", [("10.0.0.0/24", ["a", "b"])],
+            [("10.0.0.0/24", ["b", "a"])]) == []
+
+    def test_nondeterministic_prefix_tolerated_for_hops_only(self):
+        comparator = FibComparator(nondeterministic_prefixes={"10.0.0.0/23"})
+        # hop mismatch tolerated
+        assert comparator.diff_device(
+            "r1", [("10.0.0.0/23", ["a"])], [("10.0.0.0/23", ["b"])]) == []
+        # missing prefix is NOT tolerated
+        diffs = comparator.diff_device("r1", [("10.0.0.0/23", ["a"])], [])
+        assert len(diffs) == 1 and diffs[0].kind == "missing"
+
+    def test_network_wide_diff(self):
+        comparator = FibComparator()
+        left = {"r1": [("10.0.0.0/24", ["a"])], "r2": []}
+        right = {"r1": [("10.0.0.0/24", ["a"])],
+                 "r2": [("10.0.0.0/24", ["a"])]}
+        diffs = comparator.diff(left, right)
+        assert len(diffs) == 1 and diffs[0].device == "r2"
+        assert not comparator.equivalent(left, right)
+
+    def test_find_nondeterministic_prefixes(self):
+        run1 = {"r1": [("10.0.0.0/23", ["a"]), ("10.1.0.0/24", ["x"])]}
+        run2 = {"r1": [("10.0.0.0/23", ["b"]), ("10.1.0.0/24", ["x"])]}
+        assert find_nondeterministic_prefixes([run1, run2]) == {"10.0.0.0/23"}
+        assert find_nondeterministic_prefixes([run1]) == set()
+
+    def test_normalize(self):
+        assert normalize_fib([("p", ["a", "b", "a"])]) == {
+            "p": frozenset({"a", "b"})}
+
+
+@pytest.fixture
+def chain():
+    """r1 -- r2 -- r3 with 10.9.0.0/24 attached at r3."""
+    topo = Topology("chain")
+    for i, name in enumerate(("r1", "r2", "r3")):
+        topo.add_device(DeviceSpec(name=name, role="leaf", asn=100 + i,
+                                   layer=0))
+    topo.connect("r1", "r2", subnet=Prefix("10.0.0.0/31"))
+    topo.connect("r2", "r3", subnet=Prefix("10.0.0.2/31"))
+    fibs = {
+        "r1": [("10.9.0.0/24", ["10.0.0.1"])],
+        "r2": [("10.9.0.0/24", ["10.0.0.3"])],
+        "r3": [("10.9.0.0/24", ["dev:local"])],
+    }
+    return topo, fibs
+
+
+class TestReachability:
+    def test_delivered(self, chain):
+        topo, fibs = chain
+        analyzer = ReachabilityAnalyzer(topo, fibs)
+        result = analyzer.walk("r1", IPv4Address("10.9.0.7"))
+        assert result.delivered
+        assert result.path == ["r1", "r2", "r3"]
+
+    def test_blackhole_when_route_missing(self, chain):
+        topo, fibs = chain
+        fibs = dict(fibs)
+        fibs["r2"] = []  # r2 lost the route
+        analyzer = ReachabilityAnalyzer(topo, fibs)
+        result = analyzer.walk("r1", IPv4Address("10.9.0.7"))
+        assert result.outcome == "blackhole"
+        assert result.path == ["r1", "r2"]
+
+    def test_loop_detected(self, chain):
+        topo, fibs = chain
+        fibs = dict(fibs)
+        fibs["r2"] = [("10.9.0.0/24", ["10.0.0.0"])]  # points back at r1
+        analyzer = ReachabilityAnalyzer(topo, fibs)
+        result = analyzer.walk("r1", IPv4Address("10.9.0.7"))
+        assert result.outcome == "loop"
+
+    def test_exit_when_next_hop_outside(self, chain):
+        topo, fibs = chain
+        fibs = dict(fibs)
+        fibs["r2"] = [("10.9.0.0/24", ["192.0.2.1"])]  # unknown address
+        analyzer = ReachabilityAnalyzer(topo, fibs)
+        assert analyzer.walk("r1", IPv4Address("10.9.0.7")).outcome == "exited"
+
+    def test_find_blackholes_and_rate(self, chain):
+        topo, fibs = chain
+        fibs = dict(fibs)
+        fibs["r2"] = []
+        analyzer = ReachabilityAnalyzer(topo, fibs)
+        dsts = [IPv4Address("10.9.0.1")]
+        failures = analyzer.find_blackholes(["r1", "r3"], dsts)
+        assert len(failures) == 1
+        assert failures[0][0] == "r1"
+        assert analyzer.all_pairs_delivery_rate(["r1", "r3"], dsts) == 0.5

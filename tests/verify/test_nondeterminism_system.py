@@ -1,0 +1,112 @@
+"""System-level reproduction of the §9 non-determinism discussion.
+
+ECMP + IP aggregation with a timing-dependent vendor ("inherit-first": the
+aggregate keeps whichever contributor path converged first) makes FIBs
+legitimately differ between runs of the *same* network.  The FIB comparator
+must learn those prefixes from repeated runs and stop flagging them — while
+still flagging genuinely missing routes.
+"""
+
+import pytest
+
+from repro.config.model import AggregateConfig
+from repro.firmware.lab import BgpLab
+from repro.firmware.vendors import get_vendor
+from repro.net import Prefix
+
+AGG = Prefix("10.1.0.0/23")
+
+
+def build(seed: int) -> BgpLab:
+    """An aggregator with two contributors of *different* path lengths.
+
+    r1 originates P1 directly to the aggregator; it also originates P2,
+    which reaches the aggregator only through a longer detour — so the
+    sticky 'inherit-first' aggregate path length depends on which
+    contributor converged first, and the upstream chooser (r8, which also
+    hears a fixed-length alternative from r7) flips its decision.
+    """
+    from repro.config.model import RouteMap, RouteMapClause
+
+    lab = BgpLab(seed=seed)
+    sticky = get_vendor("vm-a")  # inherit-first aggregation
+    r1 = lab.router("r1", asn=1, networks=["10.1.0.0/24"])
+    r2 = lab.router("r2", asn=2, networks=["10.1.1.0/24"])
+    agg = lab.router("agg", asn=6, vendor=sticky)
+    alt = lab.router("alt", asn=7, vendor="ctnr-b")
+    r8 = lab.router("r8", asn=8)
+    # Both contributors are one (jittered) hop from agg, but r2 prepends,
+    # so the sticky aggregate's path length is 1 or 3 depending on which
+    # session establishes first.
+    lab.link(r1, agg)
+    lab.link(r2, agg)
+    r2.route_maps["PAD"] = RouteMap("PAD", [
+        RouteMapClause("permit", prepend_asn=2)])
+    r2.neighbors[0].export_policy = "PAD"
+    # The alternative announcer pads its own announcement to length 3, so
+    # r8 prefers agg's aggregate iff agg inherited the short contributor.
+    lab.link(r1, alt)
+    lab.link(r2, alt)
+    lab.link(agg, r8)
+    lab.link(alt, r8)
+    alt.route_maps["PAD8"] = RouteMap("PAD8", [
+        RouteMapClause("permit", prepend_asn=2)])
+    agg.aggregates.append(AggregateConfig(prefix=AGG, summary_only=True))
+    alt.aggregates.append(AggregateConfig(prefix=AGG, summary_only=True))
+    # alt's export toward r8 carries the padding.
+    for neighbor in alt.neighbors:
+        if neighbor.description == "r8":
+            neighbor.export_policy = "PAD8"
+    lab.start()
+    lab.converge(timeout=1200)
+    return lab
+
+
+def fib_snapshot(lab: BgpLab) -> dict:
+    out = {}
+    for name, router in lab.routers.items():
+        out[name] = [(p, sorted(f"{h.ip or 'local'}" for h in hops))
+                     for p, hops in router.stack.fib.routes()]
+        out[name] = [(str(p), hops) for p, hops in out[name]]
+    return out
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [fib_snapshot(build(seed)) for seed in (1, 2, 3, 4, 5, 6)]
+
+
+def test_sticky_aggregation_is_timing_dependent(runs):
+    """At least two runs disagree on r8's choice for the aggregate."""
+    choices = set()
+    for run in runs:
+        fib = dict(run["r8"])
+        choices.add(tuple(fib.get(str(AGG), ())))
+    assert len(choices) > 1, (
+        "expected r8's aggregate next hop to vary across runs")
+
+
+def test_comparator_learns_and_tolerates(runs):
+    from repro.verify import FibComparator, find_nondeterministic_prefixes
+
+    flagged = find_nondeterministic_prefixes(runs)
+    assert str(AGG) in flagged
+
+    naive = FibComparator()
+    tolerant = FibComparator(nondeterministic_prefixes=flagged)
+    # Naive comparison raises false alarms between some pair of runs...
+    assert any(naive.diff(runs[0], run) for run in runs[1:])
+    # ...the tolerant one is clean across all runs.
+    for run in runs[1:]:
+        assert tolerant.diff(runs[0], run) == [], "false positives remain"
+
+
+def test_tolerance_never_excuses_missing_routes(runs):
+    from repro.verify import FibComparator, find_nondeterministic_prefixes
+
+    flagged = find_nondeterministic_prefixes(runs)
+    tolerant = FibComparator(nondeterministic_prefixes=flagged)
+    broken = {name: [e for e in fib if e[0] != str(AGG)]
+              for name, fib in runs[0].items()}
+    diffs = tolerant.diff(broken, runs[1])
+    assert any(d.prefix == str(AGG) and d.kind == "extra" for d in diffs)

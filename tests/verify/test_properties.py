@@ -1,0 +1,125 @@
+"""Tests for the validation property DSL."""
+
+import pytest
+
+from repro.core import CrystalNet, ValidationWorkflow
+from repro.topology import SDC, build_clos
+from repro.verify import (
+    PropertySuite,
+    ecmp_width,
+    fib_contains,
+    generate_reachability_suite,
+    isolated,
+    no_blackholes,
+    path_through,
+    reachable,
+    sessions_established,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    net = CrystalNet(emulation_id="t-props", seed=180)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    return net
+
+
+@pytest.fixture(scope="module")
+def topo(net):
+    return net.topology
+
+
+def dst_of(topo, tor, offset=1):
+    return topo.device(tor).originated[0].address_at(offset)
+
+
+class TestIndividualProperties:
+    def test_reachable_passes_and_reports_path(self, net, topo):
+        suite = PropertySuite(net, [reachable("tor-0-0",
+                                              dst_of(topo, "tor-1-0"))])
+        result = suite.evaluate()[0]
+        assert result.passed
+        assert "tor-0-0" in result.detail and "tor-1-0" in result.detail
+
+    def test_isolated_fails_for_reachable_destination(self, net, topo):
+        suite = PropertySuite(net, [isolated("tor-0-0",
+                                             dst_of(topo, "tor-1-0"))])
+        assert not suite.evaluate()[0].passed
+
+    def test_isolated_passes_for_unknown_destination(self, net):
+        suite = PropertySuite(net, [isolated("tor-0-0", "203.0.113.9")])
+        assert suite.evaluate()[0].passed
+
+    def test_path_through_roles(self, net, topo):
+        good = path_through("tor-0-0", dst_of(topo, "tor-1-0"),
+                            via_roles={"spine"})
+        bad = path_through("tor-0-0", dst_of(topo, "tor-0-1"),
+                           via_roles={"spine"})  # intra-pod: no spine
+        suite = PropertySuite(net, [good, bad])
+        results = suite.evaluate()
+        assert results[0].passed
+        assert not results[1].passed
+
+    def test_path_through_named_devices(self, net, topo):
+        prop = path_through("tor-0-0", dst_of(topo, "tor-0-1"),
+                            via={"lf-0-0", "lf-0-1"})
+        assert PropertySuite(net, [prop]).evaluate()[0].passed
+
+    def test_ecmp_width(self, net):
+        wide = ecmp_width("tor-0-0", "100.100.0.0/16", minimum=2)
+        too_wide = ecmp_width("tor-0-0", "100.100.0.0/16", minimum=3)
+        results = PropertySuite(net, [wide, too_wide]).evaluate()
+        assert results[0].passed and not results[1].passed
+
+    def test_fib_contains(self, net):
+        suite = PropertySuite(net, [
+            fib_contains("spn-0", "100.100.0.0/16"),
+            fib_contains("spn-0", "203.0.113.0/24", expect=False),
+        ])
+        assert all(r.passed for r in suite.evaluate())
+
+    def test_no_blackholes(self, net, topo):
+        prop = no_blackholes(
+            sources=["tor-0-0", "tor-1-0"],
+            destinations=[dst_of(topo, "tor-0-5"), dst_of(topo, "tor-1-5")])
+        assert PropertySuite(net, [prop]).evaluate()[0].passed
+
+    def test_sessions_established(self, net):
+        assert PropertySuite(net, [sessions_established()]
+                             ).evaluate()[0].passed
+
+
+class TestSuiteMechanics:
+    def test_generated_suite_scales_with_pairs(self, net):
+        full = generate_reachability_suite(net)
+        limited = generate_reachability_suite(net, max_pairs=5)
+        assert len(limited.properties) == 6  # 5 pairs + sessions
+        assert len(full.properties) > len(limited.properties)
+        limited.evaluate()
+        assert limited.passed
+
+    def test_report_format(self, net, topo):
+        suite = PropertySuite(net, [reachable("tor-0-0",
+                                              dst_of(topo, "tor-1-0"))])
+        suite.evaluate()
+        assert "[PASS]" in suite.report()
+
+    def test_failures_listed(self, net):
+        suite = PropertySuite(net, [fib_contains("spn-0", "1.2.3.0/24")])
+        suite.evaluate()
+        assert len(suite.failures()) == 1
+        assert not suite.passed
+
+    def test_as_check_plugs_into_workflow(self, net, topo):
+        suite = PropertySuite(net, [reachable("tor-0-0",
+                                              dst_of(topo, "tor-1-0"))])
+        workflow = ValidationWorkflow(net, max_attempts=1)
+        workflow.add_step("noop", lambda n: None, suite.as_check())
+        results = workflow.run()
+        assert results[0].passed
+
+    def test_empty_suite_never_passes(self, net):
+        suite = PropertySuite(net)
+        suite.evaluate()
+        assert not suite.passed

@@ -1,0 +1,130 @@
+"""Tests for the simulated cloud: VM lifecycle, underlay, billing."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.virt import (
+    Cloud,
+    CloudError,
+    STANDARD_D4,
+    STANDARD_D4_NESTED,
+)
+from repro.virt.cloud import VM_PROVISION_MAX, VM_PROVISION_MIN
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cloud(env):
+    return Cloud(env, seed=1)
+
+
+def spawn(env, cloud, name, sku=STANDARD_D4):
+    ev = cloud.spawn_vm(name, sku)
+    env.run(until=ev)
+    return ev.value
+
+
+def test_spawn_takes_provisioning_time(env, cloud):
+    ev = cloud.spawn_vm("vm1")
+    assert cloud.vm("vm1").state == "provisioning"
+    env.run(until=ev)
+    assert VM_PROVISION_MIN <= env.now <= VM_PROVISION_MAX
+    assert cloud.vm("vm1").state == "running"
+
+
+def test_duplicate_vm_name_rejected(env, cloud):
+    cloud.spawn_vm("vm1")
+    with pytest.raises(CloudError):
+        cloud.spawn_vm("vm1")
+
+
+def test_capacity_limit(env):
+    cloud = Cloud(env, capacity=1)
+    cloud.spawn_vm("vm1")
+    with pytest.raises(CloudError):
+        cloud.spawn_vm("vm2")
+
+
+def test_unique_underlay_ips(env, cloud):
+    vms = [spawn(env, cloud, f"vm{i}") for i in range(5)]
+    assert len({vm.underlay_ip.value for vm in vms}) == 5
+
+
+def test_delete_vm(env, cloud):
+    spawn(env, cloud, "vm1")
+    cloud.delete_vm("vm1")
+    with pytest.raises(CloudError):
+        cloud.vm("vm1")
+
+
+def test_fail_vm_kills_containers_and_bridges(env, cloud):
+    from repro.virt import DockerEngine, PHYNET_IMAGE
+
+    vm = spawn(env, cloud, "vm1")
+    engine = DockerEngine(env, vm)
+    container = engine.create("phynet-1", PHYNET_IMAGE)
+    env.run(until=container.start())
+    vm.create_bridge("br0")
+    cloud.fail_vm("vm1")
+    assert vm.state == "failed"
+    assert container.state == "exited"
+    assert vm.bridges == {}
+    assert vm.crash_count == 1
+
+
+def test_reboot_failed_vm(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    cloud.fail_vm("vm1")
+    env.run(until=vm.reboot())
+    assert vm.state == "running"
+    vm.create_bridge("br0")  # usable again
+
+
+def test_bridge_on_non_running_vm_rejected(env, cloud):
+    cloud.spawn_vm("vm1")
+    with pytest.raises(CloudError):
+        cloud.vm("vm1").create_bridge("br0")
+
+
+def test_billing_accumulates_per_hour(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    start = env.now
+    env.timeout(3600.0)
+    env.run()
+    assert env.now == start + 3600.0
+    expected = vm.uptime_hours() * STANDARD_D4.price_per_hour
+    assert cloud.total_cost_usd() == pytest.approx(expected)
+    assert cloud.hourly_rate_usd() == pytest.approx(0.20)
+
+
+def test_billing_stops_at_delete(env, cloud):
+    spawn(env, cloud, "vm1")
+    env.timeout(3600.0)
+    env.run()
+    vm = cloud.vm("vm1")
+    cloud.delete_vm("vm1")
+    frozen = vm.cost_usd()
+    env.timeout(3600.0)
+    env.run()
+    assert vm.cost_usd() == pytest.approx(frozen)
+
+
+def test_nested_sku_flag(env, cloud):
+    vm = spawn(env, cloud, "vmn", STANDARD_D4_NESTED)
+    assert vm.sku.supports_nested_vm
+    assert vm.sku.memory_gb == 16
+
+
+def test_deterministic_with_same_seed():
+    times = []
+    for _ in range(2):
+        env = Environment()
+        cloud = Cloud(env, seed=42)
+        ev = cloud.spawn_vm("vm1")
+        env.run(until=ev)
+        times.append(env.now)
+    assert times[0] == times[1]

@@ -1,0 +1,159 @@
+"""Tests for the Docker-like engine and the two-layer container design."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.virt import (
+    Cloud,
+    ContainerError,
+    ContainerImage,
+    DockerEngine,
+    PHYNET_IMAGE,
+    STANDARD_D4,
+    STANDARD_D4_NESTED,
+)
+
+CTNR_OS = ContainerImage("vendor/ctnr-a", "container-os", boot_cpu_cost=8.0,
+                         memory_gb=0.5, vendor="vendor-a")
+VM_OS = ContainerImage("vendor/vm-b", "vm-os", boot_cpu_cost=40.0,
+                       memory_gb=4.0, vendor="vendor-b")
+
+
+class RecordingGuest:
+    def __init__(self):
+        self.started = 0
+        self.stopped = 0
+        self.container = None
+
+    def on_start(self, container):
+        self.started += 1
+        self.container = container
+
+    def on_stop(self):
+        self.stopped += 1
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def vm(env):
+    cloud = Cloud(env, seed=3)
+    ev = cloud.spawn_vm("vm1", STANDARD_D4_NESTED)
+    env.run(until=ev)
+    return ev.value
+
+
+@pytest.fixture
+def engine(env, vm):
+    engine = DockerEngine(env, vm)
+    engine.pull_image(CTNR_OS)
+    engine.pull_image(VM_OS)
+    return engine
+
+
+def test_image_kind_validated():
+    with pytest.raises(ValueError):
+        ContainerImage("x", "banana", 1.0, 1.0)
+
+
+def test_start_charges_boot_cpu(env, engine):
+    c = engine.create("sw1", CTNR_OS)
+    start_time = env.now
+    env.run(until=c.start())
+    assert c.state == "running"
+    # 8 cpu-seconds on an otherwise idle VM -> 8 wall seconds.
+    assert env.now - start_time == pytest.approx(CTNR_OS.boot_cpu_cost)
+
+
+def test_guest_callbacks(env, engine):
+    guest = RecordingGuest()
+    c = engine.create("sw1", CTNR_OS, guest=guest)
+    env.run(until=c.start())
+    assert guest.started == 1 and guest.container is c
+    c.stop()
+    assert guest.stopped == 1
+
+
+def test_double_start_rejected(env, engine):
+    c = engine.create("sw1", CTNR_OS)
+    c.start()
+    with pytest.raises(ContainerError):
+        c.start()
+
+
+def test_restart_preserves_namespace(env, engine):
+    """The §8.3 Reload path: netns (interfaces/links) survives restart."""
+    guest = RecordingGuest()
+    c = engine.create("sw1", CTNR_OS, guest=guest)
+    env.run(until=c.start())
+    netns = c.netns
+    env.run(until=c.restart())
+    assert c.netns is netns
+    assert c.restarts == 1
+    assert guest.started == 2 and guest.stopped == 1
+
+
+def test_unpulled_image_rejected(env, engine):
+    other = ContainerImage("vendor/unknown", "container-os", 1.0, 0.1)
+    with pytest.raises(ContainerError, match="not pulled"):
+        engine.create("x", other)
+
+
+def test_duplicate_name_rejected(env, engine):
+    engine.create("sw1", CTNR_OS)
+    with pytest.raises(ContainerError):
+        engine.create("sw1", CTNR_OS)
+
+
+def test_memory_limit_enforced(env, engine):
+    # VM has 16GB; each VM-OS device takes 4GB.
+    for i in range(4):
+        c = engine.create(f"big{i}", VM_OS)
+        env.run(until=c.start())
+    with pytest.raises(ContainerError, match="out of memory"):
+        engine.create("big4", VM_OS)
+
+
+def test_nested_vm_requires_capable_sku(env):
+    cloud = Cloud(env, seed=4)
+    ev = cloud.spawn_vm("plain", STANDARD_D4)
+    env.run(until=ev)
+    engine = DockerEngine(env, ev.value)
+    engine.pull_image(VM_OS)
+    with pytest.raises(ContainerError, match="nested"):
+        engine.create("sw1", VM_OS)
+
+
+def test_kill_all(env, engine):
+    guests = [RecordingGuest() for _ in range(3)]
+    for i, g in enumerate(guests):
+        c = engine.create(f"sw{i}", CTNR_OS, guest=g)
+        env.run(until=c.start())
+    engine.kill_all()
+    assert all(g.stopped == 1 for g in guests)
+    assert engine.containers == {}
+
+
+def test_start_on_failed_vm_rejected(env, engine, vm):
+    c = engine.create("sw1", CTNR_OS)
+    vm.state = "failed"
+    with pytest.raises(ContainerError):
+        c.start()
+
+
+def test_kill_during_boot_cancels_guest_start(env, engine):
+    guest = RecordingGuest()
+    c = engine.create("sw1", CTNR_OS, guest=guest)
+    c.start()
+    c.kill()  # before boot completes
+    env.run()
+    assert guest.started == 0
+    assert c.state == "exited"
+
+
+def test_phynet_image_is_cheap():
+    assert PHYNET_IMAGE.boot_cpu_cost < 0.1
+    assert PHYNET_IMAGE.memory_gb < 0.1

@@ -1,0 +1,137 @@
+"""Tests for multi-cloud federation, NAT traversal, and cross-cloud links."""
+
+import pytest
+
+from repro.net import IPv4Address, Ipv4Packet
+from repro.net.packet import EthernetFrame, UdpDatagram, VXLAN_UDP_PORT
+from repro.sim import Environment
+from repro.virt import Cloud, Endpoint, LinkFabric, NetworkNamespace
+from repro.virt.federation import CloudFederation, NatGateway, punch_hole
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def federation(env):
+    fed = CloudFederation(env)
+    azure = fed.join(Cloud(env, name="azure", seed=1,
+                           underlay_prefix="100.64.0.0/16"))
+    gcp = fed.join(Cloud(env, name="gcp", seed=2,
+                         underlay_prefix="100.65.0.0/16"))
+    return fed, azure, gcp
+
+
+def spawn(env, cloud, name):
+    ev = cloud.spawn_vm(name)
+    env.run(until=ev)
+    return ev.value
+
+
+class TestNatGateway:
+    def test_inbound_blocked_without_outbound_flow(self):
+        nat = NatGateway("azure")
+        local, remote = IPv4Address("10.0.0.1"), IPv4Address("10.1.0.1")
+        assert not nat.admits_inbound(local, remote)
+        assert nat.dropped_inbound == 1
+
+    def test_outbound_opens_the_flow(self):
+        nat = NatGateway("azure")
+        local, remote = IPv4Address("10.0.0.1"), IPv4Address("10.1.0.1")
+        nat.register_outbound(local, remote)
+        assert nat.admits_inbound(local, remote)
+
+    def test_flows_are_per_pair(self):
+        nat = NatGateway("azure")
+        nat.register_outbound(IPv4Address("10.0.0.1"), IPv4Address("10.1.0.1"))
+        assert not nat.admits_inbound(IPv4Address("10.0.0.1"),
+                                      IPv4Address("10.1.0.2"))
+
+
+class TestFederationRouting:
+    def test_cross_cloud_delivery_after_punch(self, env, federation):
+        fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        assert punch_hole(vm_a, vm_b)
+        env.run()
+        # After punching, an inbound datagram from b reaches a's endpoint.
+        got = []
+        vm_a.receive_underlay = lambda pkt: got.append(pkt)
+        gcp.deliver(Ipv4Packet(
+            src=vm_b.underlay_ip, dst=vm_a.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload=("x", "y"))))
+        env.run()
+        assert len(got) == 1
+
+    def test_cross_cloud_blocked_without_punch(self, env, federation):
+        fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        got = []
+        vm_a.receive_underlay = lambda pkt: got.append(pkt)
+        gcp.deliver(Ipv4Packet(
+            src=vm_b.underlay_ip, dst=vm_a.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload=("x", "y"))))
+        env.run()
+        assert got == []
+        assert fed.nats["azure"].dropped_inbound == 1
+
+    def test_intra_cloud_punch_is_noop(self, env, federation):
+        _fed, azure, _gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, azure, "a2")
+        assert not punch_hole(vm_a, vm_b)
+
+    def test_unknown_destination_dropped(self, env, federation):
+        fed, azure, _gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        azure.deliver(Ipv4Packet(src=vm_a.underlay_ip,
+                                 dst=IPv4Address("9.9.9.9"),
+                                 payload=None))
+        env.run()  # no exception, silently dropped
+
+    def test_inter_cloud_latency_applied(self, env, federation):
+        fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        punch_hole(vm_a, vm_b)
+        env.run()
+        arrived = []
+        vm_b.receive_underlay = lambda pkt: arrived.append(env.now)
+        sent_at = env.now
+        azure.deliver(Ipv4Packet(
+            src=vm_a.underlay_ip, dst=vm_b.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload=("x", "y"))))
+        env.run()
+        assert arrived and arrived[0] - sent_at >= fed.latency
+
+
+class TestCrossCloudLinks:
+    def test_device_link_spans_clouds(self, env, federation):
+        """A full Figure-5 virtual link with endpoints on different clouds:
+        frames flow both ways through both NATs."""
+        _fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        fabric = LinkFabric(env, azure)
+        ns_a, ns_b = NetworkNamespace("dev-a"), NetworkNamespace("dev-b")
+        link = fabric.connect(Endpoint(vm_a, ns_a, "et0"),
+                              Endpoint(vm_b, ns_b, "et0"))
+        env.run()
+        got_b, got_a = [], []
+        ns_a.bind(lambda i, f: got_a.append(f))
+        ns_b.bind(lambda i, f: got_b.append(f))
+        if_a, if_b = ns_a.interface("et0"), ns_b.interface("et0")
+        if_a.transmit(EthernetFrame(src=if_a.mac, dst=if_b.mac))
+        env.run()
+        if_b.transmit(EthernetFrame(src=if_b.mac, dst=if_a.mac))
+        env.run()
+        assert len(got_b) == 1 and len(got_a) == 1
+        trace = " ".join(got_b[0].hop_trace)
+        assert "vxlan-encap" in trace and "vxlan-decap" in trace

@@ -1,0 +1,150 @@
+"""Tests for the Figure-5 link fabric (local and cross-VM VXLAN links)."""
+
+import pytest
+
+from repro.net.packet import EthernetFrame
+from repro.sim import Environment
+from repro.virt import Cloud, Endpoint, LinkError, LinkFabric, NetworkNamespace
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cloud(env):
+    return Cloud(env, seed=9)
+
+
+def spawn(env, cloud, name):
+    ev = cloud.spawn_vm(name)
+    env.run(until=ev)
+    return ev.value
+
+
+def wire(env, cloud, fabric, vm_a, vm_b):
+    ns_a, ns_b = NetworkNamespace("dev-a"), NetworkNamespace("dev-b")
+    link = fabric.connect(Endpoint(vm_a, ns_a, "et0"), Endpoint(vm_b, ns_b, "et0"))
+    return ns_a, ns_b, link
+
+
+def send(env, ns_src, ns_dst, count=1):
+    got = []
+    ns_dst.bind(lambda iface, frame: got.append(frame))
+    src_if = ns_src.interface("et0")
+    dst_if = ns_dst.interface("et0")
+    for _ in range(count):
+        src_if.transmit(EthernetFrame(src=src_if.mac, dst=dst_if.mac))
+    env.run()
+    return got
+
+
+def test_local_link_delivers_frames(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, link = wire(env, cloud, fabric, vm, vm)
+    assert not link.cross_vm
+    assert len(send(env, ns_a, ns_b, 3)) == 3
+
+
+def test_cross_vm_link_goes_through_vxlan(env, cloud):
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, link = wire(env, cloud, fabric, vm1, vm2)
+    assert link.cross_vm and link.vni is not None
+    frames = send(env, ns_a, ns_b)
+    assert len(frames) == 1
+    trace = " ".join(frames[0].hop_trace)
+    assert "vxlan-encap" in trace and "vxlan-decap" in trace
+    assert link.tunnels[0].tx_encapsulated + link.tunnels[1].tx_encapsulated >= 1
+
+
+def test_cross_vm_link_is_bidirectional(env, cloud):
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, _link = wire(env, cloud, fabric, vm1, vm2)
+    assert len(send(env, ns_b, ns_a)) == 1
+
+
+def test_each_link_gets_unique_vni(env, cloud):
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    vnis = set()
+    for i in range(5):
+        ns_a, ns_b = NetworkNamespace(f"a{i}"), NetworkNamespace(f"b{i}")
+        link = fabric.connect(Endpoint(vm1, ns_a, "et0"),
+                              Endpoint(vm2, ns_b, "et0"))
+        vnis.add(link.vni)
+    assert len(vnis) == 5
+
+
+def test_links_are_isolated(env, cloud):
+    """Traffic on one virtual link never leaks onto another (§4.2)."""
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    ns_a1, ns_b1, _ = wire(env, cloud, fabric, vm1, vm2)
+    ns_a2 = NetworkNamespace("other-a")
+    ns_b2 = NetworkNamespace("other-b")
+    fabric.connect(Endpoint(vm1, ns_a2, "et0"), Endpoint(vm2, ns_b2, "et0"))
+    leaked = []
+    ns_b2.bind(lambda i, f: leaked.append(f))
+    assert len(send(env, ns_a1, ns_b1)) == 1
+    assert leaked == []
+
+
+def test_disconnect_and_reconnect(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, link = wire(env, cloud, fabric, vm, vm)
+    fabric.disconnect(link)
+    assert send(env, ns_a, ns_b) == []
+    fabric.reconnect(link)
+    assert len(send(env, ns_a, ns_b)) == 1
+
+
+def test_destroy_removes_bridges_and_tunnels(env, cloud):
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, link = wire(env, cloud, fabric, vm1, vm2)
+    fabric.destroy(link)
+    assert link.link_id not in fabric.links
+    assert vm1.bridges == {} and vm2.bridges == {}
+    assert vm1.vxlan.tunnels == {} and vm2.vxlan.tunnels == {}
+
+
+def test_self_connection_rejected(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    fabric = LinkFabric(env, cloud)
+    ns = NetworkNamespace("dev")
+    with pytest.raises(LinkError):
+        fabric.connect(Endpoint(vm, ns, "et0"), Endpoint(vm, ns, "et0"))
+
+
+def test_duplicate_interface_slot_rejected(env, cloud):
+    vm = spawn(env, cloud, "vm1")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b = NetworkNamespace("a"), NetworkNamespace("b")
+    fabric.connect(Endpoint(vm, ns_a, "et0"), Endpoint(vm, ns_b, "et0"))
+    ns_c = NetworkNamespace("c")
+    with pytest.raises(LinkError, match="already exists"):
+        fabric.connect(Endpoint(vm, ns_a, "et0"), Endpoint(vm, ns_c, "et0"))
+
+
+def test_ovs_mode_costs_more_setup(env, cloud):
+    vm1 = spawn(env, cloud, "vm1")
+    bridge_fabric = LinkFabric(env, cloud, use_ovs=False)
+    ovs_fabric = LinkFabric(env, cloud, use_ovs=True)
+    ns = [NetworkNamespace(f"n{i}") for i in range(4)]
+    bridge_fabric.connect(Endpoint(vm1, ns[0], "et0"), Endpoint(vm1, ns[1], "et0"))
+    ovs_fabric.connect(Endpoint(vm1, ns[2], "et0"), Endpoint(vm1, ns[3], "et0"))
+    assert ovs_fabric.setup_cpu_spent > bridge_fabric.setup_cpu_spent
+
+
+def test_vm_crash_takes_links_down(env, cloud):
+    vm1, vm2 = spawn(env, cloud, "vm1"), spawn(env, cloud, "vm2")
+    fabric = LinkFabric(env, cloud)
+    ns_a, ns_b, _link = wire(env, cloud, fabric, vm1, vm2)
+    cloud.fail_vm("vm1")
+    # VXLAN endpoint on vm1 is gone; frames no longer arrive.
+    assert send(env, ns_b, ns_a) == []

@@ -1,0 +1,163 @@
+"""Unit tests for the management plane, VXLAN endpoints, and fanout switch."""
+
+import pytest
+
+from repro.net import IPv4Address, Ipv4Packet
+from repro.net.packet import MacAddress, UdpDatagram, VXLAN_UDP_PORT, VxlanHeader
+from repro.sim import Environment
+from repro.virt import (
+    Cloud,
+    DockerEngine,
+    FanoutSwitch,
+    HardwareDevice,
+    ManagementPlane,
+    MgmtError,
+    PHYNET_IMAGE,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def running_vm(env):
+    cloud = Cloud(env, seed=5)
+    ev = cloud.spawn_vm("vm1")
+    env.run(until=ev)
+    vm = ev.value
+    DockerEngine(env, vm)
+    return vm
+
+
+def make_device(env, vm, name):
+    container = vm.docker.create(f"c-{name}", PHYNET_IMAGE)
+    env.run(until=container.start())
+    return container
+
+
+class TestManagementPlane:
+    def test_register_assigns_ip_and_dns(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        address = plane.register_device("sw1", running_vm, container,
+                                        cli=lambda c: f"ran {c}")
+        assert plane.dns.resolve("sw1") == address
+        assert plane.address_of("sw1") == address
+        assert plane.device_names() == ["sw1"]
+
+    def test_duplicate_registration_rejected(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        plane.register_device("sw1", running_vm, container, cli=str)
+        with pytest.raises(MgmtError):
+            plane.register_device("sw1", running_vm, container, cli=str)
+
+    def test_login_and_execute_charges_cpu(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        plane.register_device("sw1", running_vm, container,
+                              cli=lambda c: f"echo:{c}")
+        session = plane.login("sw1")
+        busy_before = running_vm.cpu.total_busy
+        assert session.execute("show version") == "echo:show version"
+        assert running_vm.cpu.total_busy > busy_before
+        assert session.history == ["show version"]
+
+    def test_login_by_ip_string(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        address = plane.register_device("sw1", running_vm, container, cli=str)
+        session = plane.login(str(address))
+        assert session.device_name == "sw1"
+
+    def test_unreachable_when_container_stops(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        plane.register_device("sw1", running_vm, container, cli=str)
+        session = plane.login("sw1")
+        container.stop()
+        assert not plane.reachable("sw1")
+        with pytest.raises(MgmtError):
+            session.execute("show version")
+        with pytest.raises(MgmtError):
+            plane.login("sw1")
+
+    def test_closed_session_rejects_commands(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        plane.register_device("sw1", running_vm, container, cli=str)
+        session = plane.login("sw1")
+        session.close()
+        with pytest.raises(MgmtError):
+            session.execute("x")
+
+    def test_unregister_removes_dns(self, env, running_vm):
+        plane = ManagementPlane(env)
+        container = make_device(env, running_vm, "sw1")
+        plane.register_device("sw1", running_vm, container, cli=str)
+        plane.unregister_device("sw1")
+        with pytest.raises(MgmtError):
+            plane.login("sw1")
+        assert len(plane.dns) == 0
+
+    def test_secondary_jumpbox_over_vpn(self, env):
+        plane = ManagementPlane(env)
+        box = plane.add_jumpbox("jumpbox-win", kind="windows")
+        assert box.via_vpn
+        assert len(plane.jumpboxes) == 2
+        assert plane.jumpboxes[0].kind == "linux"
+
+
+class TestVxlanEndpoint:
+    def test_unknown_vni_counted(self, env, running_vm):
+        packet = Ipv4Packet(
+            src=IPv4Address("1.1.1.1"), dst=running_vm.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload=(VxlanHeader(999), object())))
+        running_vm.vxlan.handle_datagram(packet)
+        assert running_vm.vxlan.rx_unknown_vni == 1
+
+    def test_duplicate_vni_rejected(self, env, running_vm):
+        running_vm.vxlan.create_tunnel(5, IPv4Address("1.2.3.4"), "t5",
+                                       MacAddress(0x020000000001))
+        with pytest.raises(ValueError):
+            running_vm.vxlan.create_tunnel(5, IPv4Address("1.2.3.5"), "t5b",
+                                           MacAddress(0x020000000002))
+
+    def test_malformed_payload_ignored(self, env, running_vm):
+        packet = Ipv4Packet(
+            src=IPv4Address("1.1.1.1"), dst=running_vm.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload="garbage"))
+        running_vm.vxlan.handle_datagram(packet)  # no exception
+
+    def test_vni_header_validation(self):
+        with pytest.raises(ValueError):
+            VxlanHeader(1 << 24)
+
+
+class TestFanoutSwitch:
+    def test_attach_creates_namespace_and_port_map(self, env):
+        fanout = FanoutSwitch(env)
+        hw = HardwareDevice(name="sw-hw", ports=["et0", "et1"])
+        netns = fanout.attach(hw)
+        assert netns.name == "hw:sw-hw"
+        assert fanout.netns_for("sw-hw") is netns
+        assert "tunnel:fanout0:sw-hw:et0" == fanout.tunnel_of("sw-hw", "et0")
+
+    def test_double_attach_rejected(self, env):
+        fanout = FanoutSwitch(env)
+        hw = HardwareDevice(name="sw-hw", ports=["et0"])
+        fanout.attach(hw)
+        with pytest.raises(ValueError):
+            fanout.attach(hw)
+
+    def test_detach(self, env):
+        fanout = FanoutSwitch(env)
+        fanout.attach(HardwareDevice(name="sw-hw", ports=["et0"]))
+        fanout.detach("sw-hw")
+        assert fanout.attached() == []
+        with pytest.raises(ValueError):
+            fanout.netns_for("sw-hw")

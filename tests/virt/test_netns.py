@@ -1,0 +1,174 @@
+"""Tests for namespaces, veth pairs, and learning bridges."""
+
+import pytest
+
+from repro.net.packet import BROADCAST_MAC, EthernetFrame, MacAllocator
+from repro.sim import Environment
+from repro.virt import Bridge, NetworkNamespace, VethPair
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def macs():
+    return MacAllocator()
+
+
+def make_pair(env, macs, a="a", b="b"):
+    return VethPair(env, a, b, macs.allocate(), macs.allocate())
+
+
+def test_veth_delivers_to_peer(env, macs):
+    pair = make_pair(env, macs)
+    ns = NetworkNamespace("ns")
+    pair.b.attach_namespace(ns)
+    got = []
+    ns.bind(lambda iface, frame: got.append((iface.name, frame)))
+    frame = EthernetFrame(src=pair.a.mac, dst=pair.b.mac)
+    pair.a.transmit(frame)
+    env.run()
+    assert len(got) == 1
+    assert got[0][0] == "b"
+    assert pair.a.tx_frames == 1
+    assert pair.b.rx_frames == 1
+
+
+def test_down_interface_drops_tx(env, macs):
+    pair = make_pair(env, macs)
+    ns = NetworkNamespace("ns")
+    pair.b.attach_namespace(ns)
+    got = []
+    ns.bind(lambda i, f: got.append(f))
+    pair.a.set_down()
+    pair.a.transmit(EthernetFrame(src=pair.a.mac, dst=pair.b.mac))
+    env.run()
+    assert got == []
+    assert pair.a.tx_dropped == 1
+
+
+def test_down_receiver_drops_rx(env, macs):
+    pair = make_pair(env, macs)
+    ns = NetworkNamespace("ns")
+    pair.b.attach_namespace(ns)
+    got = []
+    ns.bind(lambda i, f: got.append(f))
+    pair.b.set_down()
+    pair.a.transmit(EthernetFrame(src=pair.a.mac, dst=pair.b.mac))
+    env.run()
+    assert got == []
+
+
+def test_namespace_without_handler_counts_drops(env, macs):
+    """Firmware-down behaviour: interfaces stay, frames vanish (§4.1)."""
+    pair = make_pair(env, macs)
+    ns = NetworkNamespace("ns")
+    pair.b.attach_namespace(ns)
+    pair.a.transmit(EthernetFrame(src=pair.a.mac, dst=pair.b.mac))
+    env.run()
+    assert ns.dropped_no_handler == 1
+    # Binding later restores delivery over the same interfaces.
+    got = []
+    ns.bind(lambda i, f: got.append(f))
+    pair.a.transmit(EthernetFrame(src=pair.a.mac, dst=pair.b.mac))
+    env.run()
+    assert len(got) == 1
+
+
+def test_duplicate_interface_name_in_namespace_rejected(env, macs):
+    ns = NetworkNamespace("ns")
+    make_pair(env, macs, "et0", "h0").a.attach_namespace(ns)
+    with pytest.raises(RuntimeError, match="duplicate"):
+        make_pair(env, macs, "et0", "h1").a.attach_namespace(ns)
+
+
+def test_bridge_floods_unknown_then_forwards_learned(env, macs):
+    bridge = Bridge(env, "br0")
+    ns_x, ns_y, ns_z = (NetworkNamespace(n) for n in "xyz")
+    pairs = {}
+    for name, ns in (("x", ns_x), ("y", ns_y), ("z", ns_z)):
+        pair = make_pair(env, macs, f"dev{name}", f"host{name}")
+        pair.a.attach_namespace(ns)
+        bridge.add_port(pair.b)
+        pairs[name] = pair
+    got = {n: [] for n in "xyz"}
+    for name, ns in (("x", ns_x), ("y", ns_y), ("z", ns_z)):
+        ns.bind(lambda i, f, n=name: got[n].append(f))
+
+    # x -> y while nothing is learned: flood reaches y and z.
+    pairs["x"].a.transmit(EthernetFrame(src=pairs["x"].a.mac,
+                                        dst=pairs["y"].a.mac))
+    env.run()
+    assert len(got["y"]) == 1 and len(got["z"]) == 1
+    assert bridge.flooded == 1
+
+    # y -> x: bridge learned x's port from the flood, unicast only.
+    pairs["y"].a.transmit(EthernetFrame(src=pairs["y"].a.mac,
+                                        dst=pairs["x"].a.mac))
+    env.run()
+    assert len(got["x"]) == 1
+    assert len(got["z"]) == 1  # unchanged
+    assert bridge.forwarded == 1
+
+
+def test_bridge_broadcast_floods_all_but_ingress(env, macs):
+    bridge = Bridge(env, "br0")
+    namespaces, received = [], []
+    pairs = []
+    for i in range(3):
+        ns = NetworkNamespace(f"ns{i}")
+        pair = make_pair(env, macs, f"d{i}", f"h{i}")
+        pair.a.attach_namespace(ns)
+        ns.bind(lambda iface, f, n=i: received.append(n))
+        bridge.add_port(pair.b)
+        pairs.append(pair)
+    pairs[0].a.transmit(EthernetFrame(src=pairs[0].a.mac, dst=BROADCAST_MAC))
+    env.run()
+    assert sorted(received) == [1, 2]
+
+
+def test_bridge_remove_port_purges_fdb(env, macs):
+    bridge = Bridge(env, "br0")
+    pair = make_pair(env, macs)
+    bridge.add_port(pair.b)
+    bridge.fdb[pair.a.mac] = pair.b
+    bridge.remove_port(pair.b)
+    assert pair.a.mac not in bridge.fdb
+    assert pair.b.bridge is None
+
+
+def test_interface_cannot_be_bridged_twice(env, macs):
+    b1, b2 = Bridge(env, "b1"), Bridge(env, "b2")
+    pair = make_pair(env, macs)
+    b1.add_port(pair.b)
+    with pytest.raises(RuntimeError):
+        b2.add_port(pair.b)
+
+
+def test_namespaced_interface_cannot_be_bridged(env, macs):
+    bridge = Bridge(env, "br")
+    pair = make_pair(env, macs)
+    pair.a.attach_namespace(NetworkNamespace("ns"))
+    with pytest.raises(RuntimeError):
+        bridge.add_port(pair.a)
+
+
+def test_hop_trace_records_path(env, macs):
+    bridge = Bridge(env, "br0")
+    src = make_pair(env, macs, "d0", "h0")
+    dst = make_pair(env, macs, "d1", "h1")
+    ns0, ns1 = NetworkNamespace("n0"), NetworkNamespace("n1")
+    src.a.attach_namespace(ns0)
+    dst.a.attach_namespace(ns1)
+    frames = []
+    ns1.bind(lambda i, f: frames.append(f))
+    bridge.add_port(src.b)
+    bridge.add_port(dst.b)
+    src.a.transmit(EthernetFrame(src=src.a.mac, dst=dst.a.mac))
+    env.run()
+    trace = frames[0].hop_trace
+    assert trace[0] == "tx:d0"
+    assert "bridge:br0" in trace
+    assert trace[-1] == "rx:d1"
