@@ -1,0 +1,27 @@
+"""Deterministic chaos engineering for the emulation recovery paths.
+
+Seed-driven fault injection (:class:`ChaosEngine`) + machine-checked
+emulation invariants (:class:`InvariantChecker`) + a replayable JSON
+artifact (:class:`ChaosReport`).  Any bug found under churn becomes a
+pinned seed in ``tests/chaos/``.
+"""
+
+from .engine import CORRUPTED_CONFIG, ChaosEngine, ChaosError
+from .invariants import InvariantChecker, InvariantVerdict, InvariantViolation
+from .report import ChaosReport, FaultRecord
+from .spec import FAULT_KINDS, ChaosSpec, Fault, FaultSchedule
+
+__all__ = [
+    "CORRUPTED_CONFIG",
+    "ChaosEngine",
+    "ChaosError",
+    "ChaosReport",
+    "ChaosSpec",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultRecord",
+    "FaultSchedule",
+    "InvariantChecker",
+    "InvariantVerdict",
+    "InvariantViolation",
+]

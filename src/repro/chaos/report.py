@@ -1,0 +1,145 @@
+"""The replayable chaos-run artifact.
+
+A :class:`ChaosReport` records everything needed to reproduce a run —
+seed, spec, the resolved fault timeline — plus what happened: per-fault
+recovery latency and invariant verdicts.  All timestamps come from the
+simulation clock, never wall clock, so ``to_json()`` is byte-identical
+across runs of the same seeded scenario; a regression is pinned simply by
+committing its seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .invariants import InvariantVerdict
+from .spec import ChaosSpec, Fault, FaultSchedule
+
+__all__ = ["FaultRecord", "ChaosReport"]
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault and its aftermath."""
+
+    time: float
+    kind: str
+    target: str
+    detail: str = ""
+    recovery_latency: Optional[float] = None   # None = never recovered
+    invariants: List[InvariantVerdict] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_latency is not None
+
+    @property
+    def invariants_green(self) -> bool:
+        return bool(self.invariants) and all(v.passed for v in self.invariants)
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "detail": self.detail,
+            "recovery_latency": self.recovery_latency,
+            "invariants": [v.to_dict() for v in self.invariants],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        return cls(
+            time=data["time"], kind=data["kind"], target=data["target"],
+            detail=data.get("detail", ""),
+            recovery_latency=data.get("recovery_latency"),
+            invariants=[InvariantVerdict(**v)
+                        for v in data.get("invariants", [])])
+
+
+@dataclass
+class ChaosReport:
+    """The full artifact of one chaos run."""
+
+    seed: int
+    spec: ChaosSpec
+    faults: List[FaultRecord] = field(default_factory=list)
+    version: int = REPORT_VERSION
+
+    # -- outcome summaries ------------------------------------------------
+
+    @property
+    def all_recovered(self) -> bool:
+        return all(f.recovered for f in self.faults)
+
+    @property
+    def all_invariants_green(self) -> bool:
+        return all(f.invariants_green for f in self.faults)
+
+    def recovery_latencies(self) -> List[float]:
+        return [f.recovery_latency for f in self.faults
+                if f.recovery_latency is not None]
+
+    def failures(self) -> List[FaultRecord]:
+        return [f for f in self.faults
+                if not f.recovered or not f.invariants_green]
+
+    def summary(self) -> dict:
+        latencies = self.recovery_latencies()
+        return {
+            "faults": len(self.faults),
+            "recovered": sum(1 for f in self.faults if f.recovered),
+            "invariant_failures": sum(
+                1 for f in self.faults if not f.invariants_green),
+            "max_recovery_latency": max(latencies) if latencies else None,
+        }
+
+    # -- replay -----------------------------------------------------------
+
+    def schedule(self) -> FaultSchedule:
+        """The recorded timeline with targets pinned — feed this back to
+        ``ChaosEngine.run(schedule=...)`` (or use ``engine.replay``)."""
+        return FaultSchedule(
+            [Fault(kind=f.kind, time=f.time, target=f.target)
+             for f in self.faults],
+            seed=self.seed)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "spec": self.spec.to_dict(),
+            "faults": [f.to_dict() for f in self.faults],
+            "summary": self.summary(),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON: sorted keys, fixed separators, trailing \\n."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosReport":
+        return cls(
+            seed=data["seed"],
+            spec=ChaosSpec.from_dict(data["spec"]),
+            faults=[FaultRecord.from_dict(f) for f in data["faults"]],
+            version=data.get("version", REPORT_VERSION))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosReport":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosReport":
+        with open(path) as fh:
+            return cls.from_json(fh.read())

@@ -1,0 +1,143 @@
+"""Fault-mix specifications and deterministic fault schedules.
+
+A chaos run is fully described by ``(seed, ChaosSpec, n_faults)``: the
+schedule — fault times, kinds, and target draws — is derived from a
+dedicated :class:`random.Random` stream, never from wall clock or system
+entropy, so any run (and any failure it uncovers) is replayable from the
+seed recorded in its :class:`~repro.chaos.report.ChaosReport`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FAULT_KINDS", "ChaosSpec", "Fault", "FaultSchedule"]
+
+# Every fault kind the engine knows how to inject.
+FAULT_KINDS = (
+    "vm-crash",         # abrupt VM failure (containers die, tunnels vanish)
+    "container-oom",    # kernel OOM-kills one device sandbox
+    "link-down",        # fiber cut, repaired after ChaosSpec.link_outage
+    "link-flap",        # rapid down/up cycles on one link
+    "bgp-reset",        # hard reset of one established BGP session
+    "reload-failure",   # a Reload ships a corrupted config; firmware crashes
+    "probe-skew",       # health-monitor probe clock skew (delayed sweep)
+)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parameters of a chaos run: the fault mix and timing knobs.
+
+    ``mix`` maps fault kind -> relative weight (0 disables a kind).  All
+    durations are sim-seconds.
+    """
+
+    mix: Dict[str, float] = field(default_factory=lambda: {
+        "vm-crash": 1.0,
+        "container-oom": 1.0,
+        "link-down": 1.0,
+        "link-flap": 1.0,
+        "bgp-reset": 1.0,
+        "reload-failure": 1.0,
+        "probe-skew": 0.5,
+    })
+    mean_gap: float = 120.0        # mean sim-time between fault injections
+    start: float = 0.0             # schedule offset from the first run() call
+    link_outage: float = 30.0      # repair-crew delay for link-down
+    flap_count: int = 3            # down/up cycles per link-flap
+    flap_interval: float = 2.0     # seconds between flap transitions
+    probe_skew: float = 45.0       # delay injected into health probes
+    recovery_timeout: float = 1800.0   # give-up bound while awaiting recovery
+    settle: float = 10.0           # extra quiet time before invariant checks
+
+    def __post_init__(self):
+        unknown = set(self.mix) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds in mix: {sorted(unknown)}")
+        if not any(w > 0 for w in self.mix.values()):
+            raise ValueError("fault mix has no positive weights")
+
+    def to_dict(self) -> dict:
+        return {
+            "mix": {k: self.mix[k] for k in sorted(self.mix)},
+            "mean_gap": self.mean_gap,
+            "start": self.start,
+            "link_outage": self.link_outage,
+            "flap_count": self.flap_count,
+            "flap_interval": self.flap_interval,
+            "probe_skew": self.probe_skew,
+            "recovery_timeout": self.recovery_timeout,
+            "settle": self.settle,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSpec":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``target`` pins the victim explicitly (scenario tests, replays); when
+    ``None`` the engine resolves it at injection time from ``pick`` — a
+    [0, 1) draw mapped onto the sorted candidate list, so resolution is
+    deterministic given identical system evolution.
+    """
+
+    kind: str
+    time: Optional[float] = None   # absolute sim-time; None = inject now
+    target: Optional[str] = None
+    pick: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """An ordered, deterministic list of faults."""
+
+    def __init__(self, faults: Sequence[Fault], seed: int = 0):
+        self.faults: List[Fault] = sorted(
+            faults, key=lambda f: (f.time if f.time is not None else -1.0))
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultSchedule)
+                and self.faults == other.faults)
+
+    @classmethod
+    def generate(cls, seed: int, spec: ChaosSpec,
+                 n_faults: int) -> "FaultSchedule":
+        """Derive a schedule from a seed and a spec — pure and repeatable.
+
+        Times are exponential arrivals (mean ``spec.mean_gap``) starting at
+        ``spec.start``; kinds are weighted draws from ``spec.mix``.  The
+        same ``(seed, spec, n_faults)`` always yields the identical
+        schedule, byte for byte.
+        """
+        rng = random.Random(seed)
+        kinds = sorted(k for k, w in spec.mix.items() if w > 0)
+        weights = [spec.mix[k] for k in kinds]
+        t = spec.start
+        faults: List[Fault] = []
+        for _ in range(n_faults):
+            t += rng.expovariate(1.0 / spec.mean_gap)
+            kind = rng.choices(kinds, weights=weights)[0]
+            faults.append(Fault(kind=kind, time=round(t, 3),
+                                pick=rng.random()))
+        return cls(faults, seed=seed)
+
+    def timeline(self) -> List[tuple]:
+        """The (time, kind) skeleton — what determinism tests compare."""
+        return [(f.time, f.kind, f.pick) for f in self.faults]

@@ -48,6 +48,8 @@ class HealthMonitor:
         self.alerts: List[HealthAlert] = []
         self.recoveries = 0
         self._recovering: set = set()
+        self._restarting: set = set()
+        self._probe_skew = 0.0
         self._process = None
 
     # -- daemon lifecycle -------------------------------------------------
@@ -91,10 +93,23 @@ class HealthMonitor:
     def _run(self):
         try:
             while True:
-                yield self.env.timeout(self.check_interval)
+                delay = self.check_interval + self._probe_skew
+                self._probe_skew = 0.0
+                yield self.env.timeout(delay)
                 self.check_once()
         except Interrupt:
             return
+
+    def skew_probe(self, delta: float) -> None:
+        """Clock-skew injection: delay the next health sweep by ``delta``
+        seconds (applied once, to the sweep scheduled after the current
+        one).  Models NTP drift on the monitoring host — failures are
+        still detected, just later."""
+        self._probe_skew += delta
+
+    def busy(self) -> bool:
+        """True while any recovery (VM or device sandbox) is in flight."""
+        return bool(self._recovering or self._restarting)
 
     # -- checking -----------------------------------------------------------
 
@@ -107,14 +122,26 @@ class HealthMonitor:
                                     f"VM {name} is down")
                 found.append(alert)
                 if self.auto_recover:
-                    self._recovering.add(name)
-                    self.env.process(self._recover_vm(name),
-                                     name=f"recover:{name}")
+                    self.recover(name)
         for record in self.net.devices.values():
             if record.status == "crashed":
                 found.append(self._alert(
                     "device-crashed", record.name,
                     f"device {record.name} firmware crashed"))
+                # A sandbox killed out from under healthy firmware (OOM,
+                # runtime fault) gets a warm restart: the PhyNet namespace
+                # survives, so this is the seconds-scale Reload path.  A
+                # guest that crashed *inside* a running container (bad
+                # config, firmware bug) is left for the operator — an
+                # automatic restart would just crash-loop.
+                if (self.auto_recover
+                        and record.sandbox is not None
+                        and record.sandbox.state not in ("running", "starting")
+                        and record.vm.state == "running"
+                        and record.name not in self._restarting):
+                    self._restarting.add(record.name)
+                    self.env.process(self._restart_device(record.name),
+                                     name=f"restart:{record.name}")
         for pair, link in self.net.links.items():
             if not link.up:
                 continue
@@ -132,6 +159,29 @@ class HealthMonitor:
 
     # -- recovery --------------------------------------------------------------
 
+    def recover(self, vm_name: str):
+        """Start (or join) the recovery of one failed VM.
+
+        Idempotent: a VM whose recovery is already in flight is not
+        recovered twice, no matter how many times it is reported failed —
+        a double recovery would take two spares from the pool for one
+        logical VM and leak the second.
+        """
+        return self.env.process(self._recover_vm(vm_name),
+                                name=f"recover:{vm_name}")
+
+    def _restart_device(self, name: str):
+        """Warm-restart one dead device sandbox (namespace survives)."""
+        try:
+            record = self.net.devices.get(name)
+            if record is None or record.sandbox is None:
+                return
+            yield record.sandbox.restart()
+            self._alert("device-restarted", name,
+                        "sandbox restarted after crash")
+        finally:
+            self._restarting.discard(name)
+
     def _recover_vm(self, vm_name: str):
         """Re-provision everything a failed VM hosted.
 
@@ -139,6 +189,15 @@ class HealthMonitor:
         immediately and the failed VM reboots into the pool in the
         background; otherwise we wait out the reboot (§8.3).
         """
+        if vm_name in self._recovering:
+            return  # recovery already in flight; joining would double-take
+        self._recovering.add(vm_name)
+        try:
+            yield from self._do_recover_vm(vm_name)
+        finally:
+            self._recovering.discard(vm_name)
+
+    def _do_recover_vm(self, vm_name: str):
         net = self.net
         failed = net.vms[vm_name]
         spare = self._take_spare(failed.sku.name) if self.spares else None
@@ -205,7 +264,6 @@ class HealthMonitor:
         # Remote ends of recreated cross-VM links saw an interface flap;
         # their BGP FSMs re-establish on their own retry timers.
         self.recoveries += 1
-        self._recovering.discard(vm_name)
         self._alert("recovered", vm_name,
                     f"VM {vm_name} restored in {self.env.now - start:.1f}s "
                     f"({len(affected)} devices, {len(dead_links)} links)")

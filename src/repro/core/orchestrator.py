@@ -568,6 +568,15 @@ class CrystalNet:
         PhyNet namespace (interfaces, links) survives, so this is seconds,
         not minutes (§8.3).
         """
+        done = self.env.process(
+            self.reload_async(device, config_text=config_text, vendor=vendor),
+            name=f"reload:{device}")
+        return self.env.run(until=done)
+
+    def reload_async(self, device: str, config_text: Optional[str] = None,
+                     vendor: Optional[VendorProfile] = None):
+        """Reload as a simulation process (usable from other processes —
+        health recovery, chaos injection).  Returns the reload latency."""
         record = self._device_record(device)
         if record.kind == "speaker":
             raise OrchestratorError(f"{device} is a speaker; reconfigure "
@@ -592,9 +601,9 @@ class CrystalNet:
             self.mgmt.unregister_device(device)
             self.mgmt.register_device(device, record.vm, sandbox,
                                       new_guest.execute)
-            self.env.run(until=sandbox.start())
+            yield sandbox.start()
         else:
-            self.env.run(until=record.sandbox.restart())
+            yield record.sandbox.restart()
         return self.env.now - start
 
     def connect(self, dev_a: str, dev_b: str) -> None:

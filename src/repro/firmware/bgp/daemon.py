@@ -489,6 +489,20 @@ class BgpDaemon:
         return sum(1 for s in self.sessions.values()
                    if s.state == "established")
 
+    def reset_session(self, peer_ip: IPv4Address,
+                      reason: str = "admin-reset") -> bool:
+        """Hard-reset one session (``clear ip bgp <peer>`` / chaos hook).
+
+        Returns False if no session toward ``peer_ip`` exists.  Routes
+        learned from the peer are withdrawn via the normal session-down
+        path and re-learned when the FSM re-establishes.
+        """
+        session = self.sessions.get(peer_ip.value)
+        if session is None:
+            return False
+        session.reset(reason)
+        return True
+
     def rib_snapshot(self) -> Dict[str, object]:
         return {
             "asn": self.asn,

@@ -265,6 +265,16 @@ class BgpSession:
         if not self._stopped and self.initiator:
             self._schedule_connect()
 
+    def reset(self, reason: str = "admin-reset") -> None:
+        """Hard reset: drop the connection without stopping the FSM.
+
+        The local side re-enters ``connect`` and both FSMs re-establish on
+        their own retry timers — the fault model for ``clear ip bgp`` and
+        for chaos-injected session resets.
+        """
+        if self.conn is not None or self.state == "established":
+            self._go_down(reason)
+
     # -- data ------------------------------------------------------------------
 
     def send_update(self, update: UpdateMessage) -> None:

@@ -117,9 +117,18 @@ class Connection:
                 self.established.succeed(self)
             return
         if segment.kind == "data" and self.state == "established":
-            assert segment.seq == self._recv_seq + 1, (
-                f"out-of-order segment {segment.seq} (expected "
-                f"{self._recv_seq + 1}) on {self.key}")
+            if segment.seq != self._recv_seq + 1:
+                # A sequence gap means segments were lost while the
+                # connection stayed up — a link outage shorter than the
+                # hold time.  There is no retransmission in this
+                # transport, so the stream is unrecoverable: reset both
+                # ends and let the application re-establish (the
+                # documented failure-on-partition semantics).
+                self._manager._transmit(self, Segment(
+                    kind="rst", src_port=self.local_port,
+                    dst_port=self.remote_port))
+                self._teardown("seq-gap")
+                return
             self._recv_seq = segment.seq
             self.received_messages += 1
             if self.on_message is not None:

@@ -95,6 +95,7 @@ class Container:
         self.state = "created"  # created|starting|running|exited
         self.started_at: Optional[float] = None
         self.restarts = 0
+        self.oom_kills = 0
         # PhyNet tooling state: captured packets land here (telemetry, §3.3).
         self.captures: list = []
 
@@ -141,6 +142,22 @@ class Container:
     def kill(self) -> None:
         """Abrupt kill (VM crash path)."""
         self.stop()
+
+    def oom_kill(self) -> None:
+        """Kernel OOM killer takes the container down mid-flight.
+
+        Unlike :meth:`stop`, the guest is left marked ``crashed`` — the
+        health monitor (or an operator Reload) must bring it back.  The
+        PhyNet namespace survives, so recovery is a warm restart.
+        """
+        if self.state not in ("running", "starting"):
+            return
+        self.state = "exited"
+        self.oom_kills += 1
+        if self.guest is not None:
+            self.guest.on_stop()
+            if hasattr(self.guest, "status"):
+                self.guest.status = "crashed"
 
     def restart(self) -> Event:
         """Stop then start; the PhyNet namespace survives (the 3 s Reload

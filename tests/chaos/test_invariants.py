@@ -1,0 +1,107 @@
+"""The invariant checker must *catch* broken recovery paths.
+
+A chaos suite that only ever goes green proves nothing; these tests
+deliberately break a recovery path with a monkeypatch and assert the
+matching invariant turns red.  Each breakage models a real bug class:
+a spare pool that hands out VMs without accounting, a device-restart
+path that silently does nothing, a repair crew that never shows up.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    ChaosSpec,
+    Fault,
+    InvariantViolation,
+)
+from repro.core import HealthMonitor
+from tests.chaos.conftest import build_emulation
+
+pytestmark = pytest.mark.chaos
+
+# settle must exceed the BGP hold time (90s): an unrepaired link cut is
+# only *observable* once hold timers expire, so a shorter settle window
+# would read stale-healthy sessions and wrongly report green.
+FAST_SPEC = ChaosSpec(recovery_timeout=300.0, settle=120.0)
+
+
+def verdicts_of(record):
+    return {v.name: v for v in record.invariants}
+
+
+def test_leaky_spare_pool_is_caught(monkeypatch):
+    """A _take_spare that forgets to pop leaves the handed-out VM both
+    pooled and active — the classic double-booking leak."""
+    net, monitor = build_emulation("cx-leak", 350, spares=1, settle=400.0)
+
+    def leaky_take(self, sku_name):
+        for vm in self._spare_pool.get(sku_name, []):
+            if vm is not None:
+                return vm  # BUG: the spare stays in the pool
+        return None
+
+    monkeypatch.setattr(HealthMonitor, "_take_spare", leaky_take)
+    engine = ChaosEngine(net, monitor, seed=350,
+                         spec=ChaosSpec(recovery_timeout=2400.0))
+    record = engine.inject(Fault(kind="vm-crash",
+                                 target=f"{net.emulation_id}-vm0"))
+    engine.settle(record)
+    pool = verdicts_of(record)["spare-pool"]
+    assert not pool.passed
+    assert "pooled and active" in pool.detail or "over level" in pool.detail
+    with pytest.raises(InvariantViolation):
+        engine.checker.assert_all()
+
+
+def test_noop_device_restart_is_caught(monkeypatch):
+    """A restart path that returns without restarting leaves the device
+    crashed: route-ready red, recovery latency unbounded (None)."""
+    net, monitor = build_emulation("cx-noheal", 351)
+
+    def broken_restart(self, name):
+        self._restarting.discard(name)
+        return
+        yield  # pragma: no cover — make it a generator, like the real one
+
+    monkeypatch.setattr(HealthMonitor, "_restart_device", broken_restart)
+    engine = ChaosEngine(net, monitor, seed=351, spec=FAST_SPEC)
+    record = engine.inject(Fault(kind="container-oom", pick=0.3))
+    engine.settle(record)
+    assert record.recovery_latency is None
+    assert not verdicts_of(record)["route-ready"].passed
+    assert not record.invariants_green
+    assert net.devices[record.target].status == "crashed"
+
+
+def test_absent_repair_crew_is_caught(monkeypatch):
+    """If the link repair never happens the fabric converges onto a
+    degraded topology: FIBs diverge from golden and stay diverged."""
+    net, monitor = build_emulation("cx-cut", 352)
+    engine = ChaosEngine(net, monitor, seed=352, spec=FAST_SPEC)
+    monkeypatch.setattr(ChaosEngine, "_repair",
+                        lambda self, record: None)
+    record = engine.inject(Fault(kind="link-down", pick=0.5))
+    engine.settle(record)
+    v = verdicts_of(record)
+    # Route-ready stays green: sessions on an administratively-down link
+    # are not expected, and the fabric happily converges onto the
+    # degraded topology.  The golden-FIB diff is what exposes the loss.
+    assert v["route-ready"].passed
+    assert not v["fib-golden"].passed
+    assert "FIB divergences" in v["fib-golden"].detail
+    assert not record.invariants_green
+    with pytest.raises(InvariantViolation):
+        engine.checker.assert_all()
+
+
+def test_healthy_recovery_is_green_control():
+    """Control case: the same fault with the real recovery paths goes
+    green — proving the red verdicts above measure the breakage."""
+    net, monitor = build_emulation("cx-ctrl", 352)
+    engine = ChaosEngine(net, monitor, seed=352,
+                         spec=ChaosSpec(recovery_timeout=2400.0))
+    record = engine.inject(Fault(kind="link-down", pick=0.5))
+    engine.settle(record)
+    assert record.recovered and record.invariants_green
+    engine.checker.assert_all()

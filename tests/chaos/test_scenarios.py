@@ -1,0 +1,159 @@
+"""Pinned-seed chaos scenarios over the emulation recovery paths.
+
+Each scenario injects a named fault pattern through :class:`ChaosEngine`
+against a live clos emulation and demands (a) every invariant green after
+recovery and (b) recovery latency inside an explicit bound.  Seeds and
+targets are pinned, so a failure here replays exactly under the same
+seed — paste the scenario's seed into ``ChaosEngine(seed=...)`` and rerun.
+"""
+
+import pytest
+
+from repro.chaos import (
+    ChaosEngine,
+    ChaosSpec,
+    Fault,
+    FaultSchedule,
+    InvariantChecker,
+)
+from repro.core import CrystalNet, HealthMonitor
+from repro.topology import SDC, build_clos
+from tests.chaos.conftest import build_emulation
+
+pytestmark = pytest.mark.chaos
+
+SPEC = ChaosSpec(recovery_timeout=2400.0)
+
+
+def assert_green(record, bound):
+    failed = [v for v in record.invariants if not v.passed]
+    assert not failed, f"{record.kind}@{record.target}: {failed}"
+    assert record.recovery_latency is not None, f"{record.kind} never recovered"
+    assert record.recovery_latency <= bound, (
+        f"{record.kind} recovery took {record.recovery_latency}s > {bound}s")
+
+
+def test_vm_crash_during_mockup():
+    """A VM dies while Mockup is still converging; the monitor swaps it
+    out and Mockup completes with FIBs identical to a fault-free twin."""
+    twin = CrystalNet(emulation_id="cx-mock", seed=340)
+    twin.prepare(build_clos(SDC()))
+    twin.mockup()
+    golden = InvariantChecker(twin)
+    golden.snapshot_golden()
+
+    net = CrystalNet(emulation_id="cx-mock", seed=340)
+    net.prepare(build_clos(SDC()))
+    monitor = HealthMonitor(net, check_interval=5.0, spares=0)
+    monitor.start()
+    checker = InvariantChecker(net, monitor)
+    checker.golden = golden.golden
+    checker._speaker_static = golden._speaker_static
+    engine = ChaosEngine(net, monitor, seed=340, spec=SPEC, checker=checker)
+
+    boot = net.env.process(net.mockup_async(), name="mockup")
+    # Fault window: all devices booted, route-ready convergence still
+    # running.  (Crashing earlier wedges phase-2 boot events forever —
+    # containers killed while "starting" never fire — so this is the
+    # earliest point Mockup can survive a VM loss.)
+    expected = len(twin.devices)
+    while not (len(net.devices) == expected
+               and all(r.sandbox is not None and r.status == "running"
+                       for r in net.devices.values())):
+        net.run(2.0)
+    assert not boot.triggered, "mockup finished before the fault window"
+    record = engine.inject(Fault(kind="vm-crash",
+                                 target=f"{net.emulation_id}-vm0"))
+    engine.settle(record)
+    net.env.run(until=boot)
+    assert_green(record, bound=1200.0)
+
+
+def test_link_flap_during_convergence():
+    """A link flaps while the fabric is still re-converging from a BGP
+    session reset — overlapping control-plane churn must still settle."""
+    net, monitor = build_emulation("cx-flap", 341)
+    engine = ChaosEngine(net, monitor, seed=341, spec=SPEC)
+    reset = engine.inject(Fault(kind="bgp-reset", pick=0.4))
+    net.run(1.0)  # convergence from the reset is now in flight
+    flap = engine.inject(Fault(kind="link-flap", pick=0.2))
+    engine.settle(flap)
+    assert_green(flap, bound=600.0)
+    assert reset.target != flap.target
+
+
+def test_spare_pool_exhaustion():
+    """Two VM crashes against one spare: the first swap drains the pool,
+    the second recovery must fall back to reboot-in-place without
+    double-booking any VM."""
+    net, monitor = build_emulation("cx-spare", 342, spares=1, settle=400.0)
+    engine = ChaosEngine(net, monitor, seed=342, spec=SPEC)
+    first = engine.inject(Fault(kind="vm-crash",
+                                target=f"{net.emulation_id}-vm0"))
+    net.run(30.0)  # monitor sweep claims the only warm spare
+    assert monitor.spare_count() == 0
+    second = engine.inject(Fault(kind="vm-crash",
+                                 target=f"{net.emulation_id}-vm1"))
+    engine.settle(second)
+    assert_green(second, bound=2400.0)
+    engine.checker.assert_all()
+    swaps = [a for a in monitor.alerts if a.kind == "spare-swap"]
+    assert len(swaps) == 1  # only the first crash found a warm spare
+    assert monitor.recoveries == 2
+
+
+def test_double_vm_and_link_failure():
+    """Simultaneous VM crash and an unrelated fiber cut — two recovery
+    paths (monitor swap + repair-crew reconnect) running concurrently."""
+    net, monitor = build_emulation("cx-double", 343)
+    engine = ChaosEngine(net, monitor, seed=343, spec=SPEC)
+    crashed_vm = f"{net.emulation_id}-vm1"
+    hosted = {n for n, r in net.devices.items() if r.vm.name == crashed_vm}
+    link = min(
+        "|".join(sorted(pair)) for pair, lk in net.links.items()
+        if lk.up and not (set(pair) & hosted))
+    crash = engine.inject(Fault(kind="vm-crash", target=crashed_vm))
+    cut = engine.inject(Fault(kind="link-down", target=link))
+    engine.settle(cut)  # repairs the link, then awaits *both* recoveries
+    assert_green(cut, bound=2400.0)
+    engine.checker.assert_all()
+    assert crash.target == crashed_vm and cut.target == link
+
+
+def test_reload_failure_mid_reload():
+    """A Reload ships a corrupted config; the firmware crashes on boot and
+    the operator's re-shipped good config must restore the golden FIBs."""
+    net, monitor = build_emulation("cx-reload", 344)
+    engine = ChaosEngine(net, monitor, seed=344, spec=SPEC)
+    record = engine.inject(Fault(kind="reload-failure", pick=0.55))
+    assert net.devices[record.target].status == "crashed"
+    engine.settle(record)
+    assert_green(record, bound=600.0)
+    assert net.devices[record.target].status == "running"
+
+
+def test_speaker_host_crash():
+    """The VM hosting the boundary speakers dies; after recovery no
+    speaker may advertise a route outside its static set."""
+    net, monitor = build_emulation("cx-speaker", 345)
+    speakers_vm = next(p.name for p in net.placement.vms
+                       if p.vendor_group == "speakers")
+    engine = ChaosEngine(net, monitor, seed=345, spec=SPEC)
+    record = engine.inject(Fault(kind="vm-crash", target=speakers_vm))
+    engine.settle(record)
+    assert_green(record, bound=1200.0)
+    static = next(v for v in record.invariants if v.name == "speaker-static")
+    assert static.passed
+
+
+def test_generated_storm_all_green():
+    """A seed-generated mixed storm (no pinned targets) must leave the
+    emulation green — the catch-all regression the other scenarios anchor."""
+    net, monitor = build_emulation("cx-storm", 346)
+    engine = ChaosEngine(net, monitor, seed=346,
+                         spec=ChaosSpec(mean_gap=90.0,
+                                        recovery_timeout=2400.0))
+    report = engine.run(n_faults=4)
+    assert report.all_recovered, report.summary()
+    assert report.all_invariants_green, report.summary()
+    assert max(report.recovery_latencies(), default=0.0) <= 2400.0

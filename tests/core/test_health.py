@@ -77,3 +77,53 @@ def test_monitor_stop_is_idempotent(net):
     monitor.stop()
     net.run(50)
     monitor.stop()
+
+
+def test_double_failure_report_recovers_once(net):
+    """The same VM reported failed twice before recovery completes must be
+    recovered exactly once — a second recovery would take a second spare
+    from the pool for one logical VM and leak it."""
+    monitor = HealthMonitor(net, check_interval=10.0, spares=2)
+    monitor.start()
+    net.run(400)  # let the spare pool fill
+    assert monitor.spare_count() >= 2
+    victim = next(plan.name for plan in net.placement.vms
+                  if plan.vendor_group == "ctnr-b")
+    net.cloud.fail_vm(victim)
+    # Two concurrent reports: the periodic sweep and an operator page.
+    monitor.recover(victim)
+    monitor.recover(victim)
+    net.run(600)
+    swaps = [a for a in monitor.alerts if a.kind == "spare-swap"]
+    recovered = [a for a in monitor.alerts if a.kind == "recovered"]
+    assert len(swaps) == 1
+    assert len(recovered) == 1
+    assert monitor.recoveries == 1
+    assert net.vms[victim].state == "running"
+    # The failed machine rebooted back into the pool: nothing leaked.
+    assert monitor.spare_count() >= 2
+    monitor.stop()
+
+
+def test_probe_skew_delays_detection(net):
+    monitor = HealthMonitor(net, check_interval=10.0, auto_recover=False)
+    monitor.start()
+    monitor.skew_probe(60.0)
+    net.cloud.fail_vm(net.placement.vms[0].name)
+    net.run(30)
+    assert not any(a.kind == "vm-failed" for a in monitor.alerts)
+    net.run(60)
+    assert any(a.kind == "vm-failed" for a in monitor.alerts)
+    monitor.stop()
+
+
+def test_busy_tracks_inflight_recovery(net):
+    monitor = HealthMonitor(net, check_interval=10.0)
+    monitor.start()
+    assert not monitor.busy()
+    net.cloud.fail_vm(net.placement.vms[0].name)
+    net.run(15)  # sweep fired; reboot-in-place recovery is in flight
+    assert monitor.busy()
+    net.run(600)
+    assert not monitor.busy()
+    monitor.stop()
