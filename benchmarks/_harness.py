@@ -1,0 +1,51 @@
+"""Benchmark artifact harness: every benchmark leaves a JSON trail.
+
+A benchmark's printed table scrolls away; the harness makes each run
+also write ``BENCH_<name>.json`` next to this file (override the
+directory with ``BENCH_OUTPUT_DIR``).  The file carries three things:
+
+* ``data``      — the benchmark's headline numbers (its table, as JSON)
+* ``metrics``   — a full :class:`repro.obs.MetricsRegistry` snapshot
+                  from the run, so any number in ``data`` can be traced
+                  back to the counters/gauges/histograms it came from
+* both clocks   — ``sim_time_seconds`` (emulation clock) and
+                  ``wall_time_seconds`` (how long the benchmark took)
+
+EXPERIMENTS.md documents how to regenerate these files.
+"""
+
+import json
+import os
+import time
+
+
+class Stopwatch:
+    """Context manager measuring wall time for one experiment."""
+
+    def __enter__(self) -> "Stopwatch":
+        self.elapsed = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def emit(name, *, data=None, registry=None, sim_time=None, wall_time=None):
+    """Write ``BENCH_<name>.json`` and return its path."""
+    payload = {
+        "benchmark": name,
+        "sim_time_seconds": (None if sim_time is None
+                             else round(float(sim_time), 3)),
+        "wall_time_seconds": (None if wall_time is None
+                              else round(float(wall_time), 3)),
+        "metrics": registry.to_dict() if registry is not None else {},
+        "data": data if data is not None else {},
+    }
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR",
+                             os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

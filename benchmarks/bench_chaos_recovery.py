@@ -9,6 +9,7 @@ the control-plane-only band (BGP resets re-establish in seconds to
 by the §8.3 recovery path + reconvergence).
 """
 
+from _harness import Stopwatch, emit
 from conftest import banner, percentile, run_once
 
 from repro.chaos import ChaosEngine, ChaosSpec
@@ -44,12 +45,14 @@ def chaos_experiment():
     net.run(300)  # spare pool warm, keepalives steady
     engine = ChaosEngine(net, monitor, seed=SEED, spec=SPEC)
     report = engine.run(n_faults=N_FAULTS)
+    sim_time = net.env.now
     net.destroy()
-    return report
+    return report, net.obs.metrics, sim_time
 
 
 def test_chaos_recovery_latency(benchmark):
-    report = run_once(benchmark, chaos_experiment)
+    with Stopwatch() as watch:
+        report, registry, sim_time = run_once(benchmark, chaos_experiment)
 
     banner("Chaos storm: recovery latency distribution", "§6.2 / §8.3")
     print(f"seed={report.seed}  faults={len(report.faults)}")
@@ -65,9 +68,36 @@ def test_chaos_recovery_latency(benchmark):
     print(f"\nrecovery latency: p50={p50:.1f}s  p95={p95:.1f}s  "
           f"max={max(latencies):.1f}s")
 
+    # Cross-check against the chaos engine's own instrumentation: the
+    # recovery-latency histogram saw every recovered fault, and no fault
+    # hit the unrecovered counter.
+    hist = registry.get("repro_chaos_recovery_latency_seconds")
+    recovered = sum(child.count for _key, child in hist.samples())
+    assert recovered == len(latencies), (recovered, len(latencies))
+    observed_sum = sum(child.sum for _key, child in hist.samples())
+    assert abs(observed_sum - sum(latencies)) < 1e-6
+    unrecovered = registry.get("repro_chaos_unrecovered_total")
+    assert unrecovered is None or not unrecovered.samples()
+
     # Shape: everything recovers, invariants hold, and the distribution
     # stays inside the recovery-path bands.
     assert report.all_recovered, report.summary()
     assert report.all_invariants_green, report.summary()
     assert p50 <= 600.0, p50     # typical fault: control-plane timescale
     assert p95 <= 1500.0, p95    # worst faults: bounded re-provisioning
+
+    path = emit(
+        "chaos_recovery",
+        data={
+            "seed": report.seed,
+            "faults": len(report.faults),
+            "p50": p50, "p95": p95, "max": max(latencies),
+            "per_fault": [
+                {"time": f.time, "kind": f.kind, "target": f.target,
+                 "recovery_latency": f.recovery_latency}
+                for f in report.faults],
+        },
+        registry=registry,
+        sim_time=sim_time,
+        wall_time=watch.elapsed)
+    print(f"\nwrote {path}")

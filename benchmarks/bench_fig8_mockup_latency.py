@@ -14,6 +14,7 @@ Shape assertions:
   * more VMs never slow an emulation down (within noise).
 """
 
+from _harness import Stopwatch, emit
 from conftest import banner, percentile, run_once
 
 from repro.core import CrystalNet
@@ -33,31 +34,40 @@ def one_run(preset, num_vms, seed):
                      seed=seed)
     net.prepare(topo, num_vms=num_vms)
     net.mockup()
-    metrics = net.metrics
     net.clear()
+    # Latencies come off the orchestrator's phase gauge — the same export
+    # a live metrics endpoint would serve — not the EmulationMetrics
+    # object (tests/obs asserts the two agree).
+    phase = net.obs.metrics.get("repro_phase_latency_seconds")
     result = {
-        "network_ready": metrics.network_ready_latency,
-        "route_ready": metrics.route_ready_latency,
-        "mockup": metrics.mockup_latency,
-        "clear": metrics.clear_latency,
+        "network_ready": phase.value(phase="network-ready"),
+        "route_ready": phase.value(phase="route-ready"),
+        "mockup": phase.value(phase="mockup"),
+        "clear": phase.value(phase="clear"),
+        "sim_time": net.env.now,
     }
     net.destroy()
-    return result
+    return result, net.obs.metrics
 
 
 def run():
     table = {}
+    last_registry = None
     for preset, vm_counts, repeats in SWEEP:
         name = preset().name
         for num_vms in vm_counts:
-            runs = [one_run(preset, num_vms, seed=100 + r)
-                    for r in range(repeats)]
+            runs = []
+            for r in range(repeats):
+                result, last_registry = one_run(preset, num_vms,
+                                                seed=100 + r)
+                runs.append(result)
             table[f"{name}/{num_vms}"] = runs
-    return table
+    return table, last_registry
 
 
 def test_fig8_mockup_and_clear_latencies(benchmark):
-    table = run_once(benchmark, run)
+    with Stopwatch() as watch:
+        table, registry = run_once(benchmark, run)
 
     banner("Figure 8: start/stop latencies (simulated minutes, p10/p50/p90)",
            "Figure 8 / §8.2")
@@ -91,3 +101,15 @@ def test_fig8_mockup_and_clear_latencies(benchmark):
     # More VMs helps (or is neutral): compare medians per DC.
     assert medians["L-DC/24"] <= medians["L-DC/12"] * 1.05
     assert medians["M-DC/8"] <= medians["M-DC/4"] * 1.05
+
+    path = emit(
+        "fig8_mockup_latency",
+        data={label: {
+            key: {f"p{q}": percentile([r[key] for r in runs], q)
+                  for q in (10, 50, 90)}
+            for key in ("mockup", "network_ready", "route_ready", "clear")}
+            for label, runs in table.items()},
+        registry=registry,   # the last (L-DC) run's full snapshot
+        sim_time=sum(r["sim_time"] for runs in table.values() for r in runs),
+        wall_time=watch.elapsed)
+    print(f"\nwrote {path}")

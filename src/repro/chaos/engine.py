@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, TYPE_CHECKING
 
 from ..net.ip import IPv4Address
+from ..obs import NULL_OBS
 from .invariants import InvariantChecker
 from .report import ChaosReport, FaultRecord
 from .spec import ChaosSpec, Fault, FaultSchedule
@@ -37,6 +38,11 @@ CORRUPTED_CONFIG = "@@ chaos: config corrupted in transfer @@\n"
 
 # Granularity of the recovery-wait polling loop (sim-seconds).
 RECOVERY_POLL = 5.0
+
+# Recovery latencies run seconds-to-minutes (§8.3); buckets cover both the
+# warm-spare fast path and the reboot-bounded slow path.
+RECOVERY_BUCKETS = (5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1200.0,
+                    2400.0)
 
 
 class ChaosError(Exception):
@@ -58,6 +64,17 @@ class ChaosEngine:
         self.checker = checker or InvariantChecker(net, monitor)
         self.records: List[FaultRecord] = []
         self._t0: Optional[float] = None
+        self.obs = getattr(net, "obs", NULL_OBS)
+        self._m_faults = self.obs.metrics.counter(
+            "repro_chaos_faults_total", "Faults injected, by kind")
+        self._m_recovery = self.obs.metrics.histogram(
+            "repro_chaos_recovery_latency_seconds",
+            "Fault-to-recovered latency per fault, by kind",
+            buckets=RECOVERY_BUCKETS)
+        self._m_unrecovered = self.obs.metrics.counter(
+            "repro_chaos_unrecovered_total",
+            "Faults that never recovered within the timeout, by kind")
+        self._spans: dict = {}    # id(record) -> open fault span
 
     # ------------------------------------------------------------------
     # Top-level drivers
@@ -113,6 +130,11 @@ class ChaosEngine:
                              kind=fault.kind, target="", detail="")
         apply(fault, record)
         self.records.append(record)
+        self._m_faults.inc(kind=fault.kind)
+        self._spans[id(record)] = self.obs.tracer.begin(
+            f"fault:{fault.kind}", track="chaos", target=record.target)
+        self.obs.events.emit("chaos", subject=record.target,
+                             message=record.detail, fault=fault.kind)
         return record
 
     def _resolve(self, fault: Fault, candidates: List[str]) -> Optional[str]:
@@ -240,6 +262,18 @@ class ChaosEngine:
             ready_at = self._await_ready(deadline)
         if ready_at is not None:
             record.recovery_latency = round(ready_at - injected_at, 3)
+            self._m_recovery.observe(record.recovery_latency,
+                                     kind=record.kind)
+        else:
+            self._m_unrecovered.inc(kind=record.kind)
+        span = self._spans.pop(id(record), None)
+        if span is not None:
+            if record.recovery_latency is not None:
+                span.annotate(recovery_latency=record.recovery_latency)
+                span.finish(end=injected_at + record.recovery_latency)
+            else:
+                span.annotate(recovered=False)
+                span.finish()
         record.invariants = self.checker.check()
         return record
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
+from ..obs import NULL_OBS
 from ..sim import Environment, Interrupt
 from ..virt.links import Endpoint
 
@@ -40,6 +41,13 @@ class HealthMonitor:
         failed VMs instead of waiting for failed VMs to reboot")."""
         self.net = net
         self.env: Environment = net.env
+        self.obs = getattr(net, "obs", NULL_OBS)
+        self._m_sweeps = self.obs.metrics.counter(
+            "repro_health_sweeps_total", "Health-probe sweeps executed")
+        self._m_alerts = self.obs.metrics.counter(
+            "repro_health_alerts_total", "Health alerts raised, by kind")
+        self._m_recoveries = self.obs.metrics.counter(
+            "repro_health_recoveries_total", "VM recoveries completed")
         self.check_interval = check_interval
         self.auto_recover = auto_recover
         self.spares = spares
@@ -115,6 +123,7 @@ class HealthMonitor:
 
     def check_once(self) -> List[HealthAlert]:
         """One sweep: VM liveness, device uptime, link status."""
+        self._m_sweeps.inc()
         found: List[HealthAlert] = []
         for name, vm in self.net.vms.items():
             if vm.state == "failed" and name not in self._recovering:
@@ -172,6 +181,8 @@ class HealthMonitor:
 
     def _restart_device(self, name: str):
         """Warm-restart one dead device sandbox (namespace survives)."""
+        span = self.obs.tracer.begin("restart-device", track="health",
+                                     device=name)
         try:
             record = self.net.devices.get(name)
             if record is None or record.sandbox is None:
@@ -180,6 +191,7 @@ class HealthMonitor:
             self._alert("device-restarted", name,
                         "sandbox restarted after crash")
         finally:
+            span.finish()
             self._restarting.discard(name)
 
     def _recover_vm(self, vm_name: str):
@@ -192,9 +204,12 @@ class HealthMonitor:
         if vm_name in self._recovering:
             return  # recovery already in flight; joining would double-take
         self._recovering.add(vm_name)
+        span = self.obs.tracer.begin("recover-vm", track="health",
+                                     vm=vm_name)
         try:
             yield from self._do_recover_vm(vm_name)
         finally:
+            span.finish()
             self._recovering.discard(vm_name)
 
     def _do_recover_vm(self, vm_name: str):
@@ -264,6 +279,7 @@ class HealthMonitor:
         # Remote ends of recreated cross-VM links saw an interface flap;
         # their BGP FSMs re-establish on their own retry timers.
         self.recoveries += 1
+        self._m_recoveries.inc()
         self._alert("recovered", vm_name,
                     f"VM {vm_name} restored in {self.env.now - start:.1f}s "
                     f"({len(affected)} devices, {len(dead_links)} links)")
@@ -282,6 +298,9 @@ class HealthMonitor:
         alert = HealthAlert(time=self.env.now, kind=kind, subject=subject,
                             detail=detail)
         self.alerts.append(alert)
+        self._m_alerts.inc(kind=kind)
+        self.obs.events.emit("health", subject=subject, message=detail,
+                             alert=kind)
         return alert
 
     def recovery_time(self, vm_name: str) -> Optional[float]:

@@ -30,6 +30,7 @@ from ..config.model import DeviceConfig
 from ..firmware.device import DeviceOS, PacketRecord
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..net.ip import IPv4Address
+from ..obs import Observability
 from ..sim import Environment, Event
 from ..topology.graph import Topology
 from ..verify.batfish import ControlPlaneSimulator
@@ -122,11 +123,25 @@ class CrystalNet:
     def __init__(self, env: Optional[Environment] = None,
                  cloud: Optional[Cloud] = None, seed: int = 17,
                  emulation_id: str = "emu", use_ovs: bool = False,
-                 clouds: Optional[List[Cloud]] = None):
+                 clouds: Optional[List[Cloud]] = None,
+                 obs: Optional[Observability] = None):
         """``clouds``: run the emulation across several (federated) clouds
         (§3.1); VMs are spread round-robin and cross-cloud links punch the
-        NATs automatically.  Defaults to a single cloud."""
+        NATs automatically.  Defaults to a single cloud.
+
+        ``obs``: the observability hub (metrics registry, tracer, event
+        log) threaded through every subsystem.  Defaults to a fresh hub on
+        this emulation's sim clock; pass :data:`repro.obs.NULL_OBS` to run
+        fully uninstrumented."""
         self.env = env or Environment()
+        self.obs = (obs if obs is not None
+                    else Observability(self.env)).bind(self.env)
+        self._phase_gauge = self.obs.metrics.gauge(
+            "repro_phase_latency_seconds",
+            "Latency of the most recent run of each orchestrator phase")
+        self._m_ops = self.obs.metrics.counter(
+            "repro_orchestrator_ops_total",
+            "Table 2 control/monitor API invocations by operation")
         if clouds:
             from ..virt.federation import CloudFederation
             federation = CloudFederation(self.env)
@@ -162,7 +177,12 @@ class CrystalNet:
         self.lab_server: Optional[VirtualMachine] = None
         self.prepared = False
         self.mocked_up = False
-        self.events: List[str] = []
+
+    @property
+    def events(self) -> List[str]:
+        """Legacy string view of the structured event log (bounded; see
+        ``self.obs.events`` for the typed records)."""
+        return self.obs.events.formatted()
 
     # ------------------------------------------------------------------
     # Prepare
@@ -204,6 +224,7 @@ class CrystalNet:
         ``must_have``, else every administered device (role != "wan").
         """
         start = self.env.now
+        span = self.obs.tracer.begin("prepare", track="orchestrator")
         self.topology = topology
         self.vendor_overrides = dict(vendor_overrides or {})
 
@@ -303,6 +324,9 @@ class CrystalNet:
         self.metrics.device_count = len(self.emulated)
         self.metrics.speaker_count = len(self.speakers)
         self.prepared = True
+        span.annotate(vms=len(self.vms), devices=len(self.emulated),
+                      speakers=len(self.speakers)).finish()
+        self._phase_gauge.set(self.metrics.prepare_latency, phase="prepare")
         self._log(f"prepare done: {len(self.vms)} VMs "
                   f"(${self.metrics.hourly_cost_usd:.2f}/h)")
         return self
@@ -324,6 +348,10 @@ class CrystalNet:
         if self.mocked_up:
             raise OrchestratorError("already mocked up; Clear first")
         start = self.env.now
+        tracer = self.obs.tracer
+        mockup_span = tracer.begin("mockup", track="orchestrator")
+        net_ready_span = tracer.begin("network-ready", track="orchestrator",
+                                      parent=mockup_span)
 
         # Per-VM overlay initialization (kernel modules, docker networking).
         yield self.env.all_of([vm.cpu.execute(VM_OVERLAY_INIT_COST)
@@ -371,21 +399,32 @@ class CrystalNet:
                                for vm in self.vms.values()])
         self.metrics.link_count = len(self.links)
         self.metrics.network_ready_latency = self.env.now - start
+        net_ready_span.annotate(links=len(self.links)).finish()
+        self._phase_gauge.set(self.metrics.network_ready_latency,
+                              phase="network-ready")
         self._log(f"network-ready in {self.metrics.network_ready_latency:.1f}s "
                   f"({len(self.links)} links)")
+        # Route-ready covers everything from network-ready to control-plane
+        # quiescence (§8.1), including the device boots below.
+        route_ready_span = tracer.begin("route-ready", track="orchestrator",
+                                        parent=mockup_span)
 
         # Phase 2: boot device software + speakers, wire management plane.
         boot_events: List[Event] = []
         for name, record in self.devices.items():
-            boot_events.append(self._boot_guest(record))
+            boot_events.append(self._boot_guest(record, parent=mockup_span))
         yield self.env.all_of(boot_events)
 
         # Route-ready: wait for control-plane quiescence (§8.1).
-        yield from self._wait_route_ready(start, route_ready_timeout)
+        yield from self._wait_route_ready(start, route_ready_timeout,
+                                          route_ready_span)
         self.mocked_up = True
+        mockup_span.annotate(devices=len(self.devices)).finish()
+        self._phase_gauge.set(self.metrics.mockup_latency, phase="mockup")
         return self
 
-    def _boot_guest(self, record: EmulatedDevice) -> Event:
+    def _boot_guest(self, record: EmulatedDevice,
+                    parent: Optional[object] = None) -> Event:
         name = record.name
         if record.kind == "speaker":
             guest = SpeakerOS(self.env, name,
@@ -400,16 +439,23 @@ class CrystalNet:
             guest = DeviceOS(self.env, name, vendor,
                              self.config_texts[name],
                              seed=self.rng.getrandbits(32),
+                             obs=self.obs,
                              on_crash=lambda reason, n=name:
-                                 self._log(f"{n} CRASHED: {reason}"))
+                                 self._log(f"{n} CRASHED: {reason}",
+                                           kind="firmware-crash", subject=n))
             sandbox = record.vm.docker.create(f"os-{name}", vendor.image,
                                               netns=record.netns, guest=guest)
         record.sandbox = sandbox
         record.guest = guest
         self.mgmt.register_device(name, record.vm, sandbox, guest.execute)
-        return sandbox.start()
+        span = self.obs.tracer.begin("boot", track="boot", parent=parent,
+                                     device=name, kind=record.kind)
+        started = sandbox.start()
+        started.add_callback(lambda _e: span.finish())
+        return started
 
-    def _wait_route_ready(self, mockup_start: float, timeout: float):
+    def _wait_route_ready(self, mockup_start: float, timeout: float,
+                          span: Optional[object] = None):
         network_ready_at = mockup_start + self.metrics.network_ready_latency
         deadline = self.env.now + timeout
         quiet_since: Optional[float] = None
@@ -420,12 +466,20 @@ class CrystalNet:
                 elif self.env.now - quiet_since >= ROUTE_READY_SETTLE:
                     self.metrics.route_ready_latency = (
                         quiet_since - network_ready_at)
+                    if span is not None:
+                        # The span ends at quiescence *onset*, not at
+                        # detection, so its duration equals the §8.1 metric.
+                        span.finish(end=quiet_since)
+                    self._phase_gauge.set(self.metrics.route_ready_latency,
+                                          phase="route-ready")
                     self._log(f"route-ready in "
                               f"{self.metrics.route_ready_latency:.1f}s")
                     return
             else:
                 quiet_since = None
             yield self.env.timeout(ROUTE_READY_POLL)
+        if span is not None:
+            span.annotate(timed_out=True).finish()
         raise OrchestratorError(
             f"routes did not stabilize within {timeout}s; "
             f"statuses={ {n: r.status for n, r in self.devices.items()} }")
@@ -519,6 +573,7 @@ class CrystalNet:
     def clear_async(self):
         """Reset VMs to a clean state; keep them for the next Mockup."""
         start = self.env.now
+        span = self.obs.tracer.begin("clear", track="orchestrator")
         containers_per_vm: Dict[str, int] = {}
         for record in self.devices.values():
             if record.sandbox is not None:
@@ -543,6 +598,8 @@ class CrystalNet:
             yield self.env.all_of(teardown)
         self.metrics.clear_latency = self.env.now - start
         self.mocked_up = False
+        span.finish()
+        self._phase_gauge.set(self.metrics.clear_latency, phase="clear")
         self._log(f"clear in {self.metrics.clear_latency:.1f}s")
         return self
 
@@ -581,6 +638,9 @@ class CrystalNet:
         if record.kind == "speaker":
             raise OrchestratorError(f"{device} is a speaker; reconfigure "
                                     f"the boundary instead")
+        self._m_ops.inc(op="reload")
+        self._log(f"reload {device}", kind="control", subject=device,
+                  op="reload")
         start = self.env.now
         guest: DeviceOS = record.guest
         if config_text is not None:
@@ -591,7 +651,8 @@ class CrystalNet:
             record.vm.docker.remove(record.sandbox.name)
             new_guest = DeviceOS(self.env, device, vendor,
                                  self.config_texts[device],
-                                 seed=self.rng.getrandbits(32))
+                                 seed=self.rng.getrandbits(32),
+                                 obs=self.obs)
             sandbox = record.vm.docker.create(f"os-{device}", vendor.image,
                                               netns=record.netns,
                                               guest=new_guest)
@@ -611,6 +672,9 @@ class CrystalNet:
         link = self.links.get(frozenset((dev_a, dev_b)))
         if link is None:
             raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
+        self._m_ops.inc(op="connect")
+        self._log(f"connect {dev_a}<->{dev_b}", kind="control",
+                  subject=f"{dev_a}|{dev_b}", op="connect")
         self.fabric.reconnect(link)
 
     def disconnect(self, dev_a: str, dev_b: str) -> None:
@@ -618,6 +682,9 @@ class CrystalNet:
         link = self.links.get(frozenset((dev_a, dev_b)))
         if link is None:
             raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
+        self._m_ops.inc(op="disconnect")
+        self._log(f"disconnect {dev_a}<->{dev_b}", kind="control",
+                  subject=f"{dev_a}|{dev_b}", op="disconnect")
         self.fabric.disconnect(link)
 
     def inject_packets(self, device: str, src: str | IPv4Address,
@@ -629,6 +696,7 @@ class CrystalNet:
             raise OrchestratorError("packets are injected at emulated "
                                     "devices, not speakers")
         guest: DeviceOS = record.guest
+        self._m_ops.inc(float(count), op="inject-packets")
         src_ip = IPv4Address(src) if isinstance(src, str) else src
         dst_ip = IPv4Address(dst) if isinstance(dst, str) else dst
         for i in range(count):
@@ -721,5 +789,7 @@ class CrystalNet:
             raise OrchestratorError(f"unknown device {name!r} (not emulated)")
         return record
 
-    def _log(self, message: str) -> None:
-        self.events.append(f"[{self.env.now:10.1f}] {message}")
+    def _log(self, message: str, kind: str = "orchestrator",
+             subject: str = "", **fields) -> None:
+        self.obs.events.emit(kind, subject=subject, message=message,
+                             **fields)

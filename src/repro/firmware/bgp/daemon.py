@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ...config.model import DeviceConfig
 from ...net.ip import IPv4Address, Prefix
 from ...net.stream import Connection, StreamManager
+from ...obs import NULL_OBS
 from ...sim import Environment
 from ..fib import Fib, FibEntry, FibFullError, FirmwareCrash, NextHop
 from ..netstack import HostStack
@@ -48,7 +49,8 @@ class BgpDaemon:
                  streams: StreamManager, config: DeviceConfig,
                  vendor: VendorProfile, worker: SerialWorker,
                  rng: Optional[random.Random] = None,
-                 on_crash: Optional[Callable[[str], None]] = None):
+                 on_crash: Optional[Callable[[str], None]] = None,
+                 obs=NULL_OBS):
         if config.bgp is None:
             raise ValueError(f"{config.hostname}: no BGP configuration")
         self.env = env
@@ -60,6 +62,41 @@ class BgpDaemon:
         self.worker = worker
         self.rng = rng or random.Random(hash(config.hostname) & 0xFFFF)
         self.on_crash = on_crash
+        self.obs = obs
+        # Hot-path handles resolved once; with a detached hub these are the
+        # shared no-op children, so every call below is a plain no-op —
+        # no dict lookups, no string formatting (see repro.obs.metrics).
+        device = config.hostname
+        metrics = obs.metrics
+        self._m_updates_rx = metrics.counter(
+            "repro_bgp_updates_rx_total",
+            "BGP UPDATE messages processed").labels(device=device)
+        self._m_updates_tx = metrics.counter(
+            "repro_bgp_updates_tx_total",
+            "BGP UPDATE messages sent").labels(device=device)
+        self._m_decision_runs = metrics.counter(
+            "repro_bgp_decision_runs_total",
+            "Decision-process executions").labels(device=device)
+        self._m_decision_dirty = metrics.histogram(
+            "repro_bgp_decision_dirty_prefixes",
+            "Dirty prefixes consumed per decision run",
+            buckets=(1, 10, 100, 1000, 10000)).labels(device=device)
+        self._m_loc_rib = metrics.gauge(
+            "repro_bgp_loc_rib_routes",
+            "Selected Loc-RIB prefixes").labels(device=device)
+        self._m_fib = metrics.gauge(
+            "repro_bgp_fib_routes",
+            "Installed FIB entries (all sources)").labels(device=device)
+        self._m_flaps = metrics.counter(
+            "repro_bgp_session_flaps_total",
+            "Established sessions lost").labels(device=device)
+        # Transition counting goes through the FSM hook only when a real
+        # hub is attached; a None hook keeps the FSM allocation-free.
+        self._m_transitions = metrics.counter(
+            "repro_bgp_session_transitions_total",
+            "Session FSM transitions by target state")
+        self._on_transition = (self._session_transition if obs.enabled
+                               else None)
 
         self.asn = self.bgp_config.asn
         self.router_id = self.bgp_config.router_id
@@ -113,6 +150,7 @@ class BgpDaemon:
                 on_established=self._on_session_established,
                 on_down=self._on_session_down,
                 on_update=self._on_session_update,
+                on_transition=self._on_transition,
             )
             self.sessions[neighbor.peer_ip.value] = session
             session.start(initiator=self._initiates_to(neighbor.peer_ip))
@@ -134,6 +172,8 @@ class BgpDaemon:
         self.crashed = True
         self.crash_reason = reason
         self.errors.append(f"CRASH: {reason}")
+        self.obs.events.emit("firmware-crash", subject=self.config.hostname,
+                             message=reason)
         self.stop()
         if self.on_crash is not None:
             self.on_crash(reason)
@@ -154,6 +194,13 @@ class BgpDaemon:
 
     # -- session events ------------------------------------------------------
 
+    def _session_transition(self, session: BgpSession, old_state: str,
+                            new_state: str) -> None:
+        self._m_transitions.inc(device=self.config.hostname, to=new_state)
+        self.obs.events.emit(
+            "bgp-session", subject=f"{self.config.hostname}@{session.peer_ip}",
+            old=old_state, new=new_state)
+
     def _on_session_established(self, session: BgpSession) -> None:
         peer_key = session.peer_ip.value
         self.worker.submit(self.vendor.session_setup_cost,
@@ -167,6 +214,7 @@ class BgpDaemon:
 
     def _on_session_down(self, session: BgpSession, reason: str) -> None:
         self.total_flaps += 1
+        self._m_flaps.inc()
         peer_ip = session.peer_ip
         self.adj_out.drop_peer(peer_ip)
         self._pending_adv.pop(peer_ip.value, None)
@@ -194,6 +242,7 @@ class BgpDaemon:
                         update: UpdateMessage) -> None:
         if self.crashed:
             return
+        self._m_updates_rx.inc()
         peer_ip = session.peer_ip
         neighbor = session.neighbor
         for prefix in update.withdrawn:
@@ -240,11 +289,15 @@ class BgpDaemon:
         if self.crashed:
             return
         dirty, self._dirty = self._dirty, set()
+        self._m_decision_runs.inc()
+        self._m_decision_dirty.observe(len(dirty))
         changed: Set[Prefix] = set()
         for prefix in dirty:
             if self._recompute(prefix):
                 changed.add(prefix)
         changed |= self._recompute_aggregates()
+        self._m_loc_rib.set(len(self.loc_rib))
+        self._m_fib.set(len(self.stack.fib))
         if changed:
             for session in self.sessions.values():
                 if session.state == "established":
@@ -436,11 +489,13 @@ class BgpDaemon:
             self.adj_out.record(peer_ip, prefix, attrs)
         if withdrawals:
             session.send_update(UpdateMessage(withdrawn=tuple(withdrawals)))
+            self._m_updates_tx.inc()
         for attrs, nlri in groups.items():
             for start in range(0, len(nlri), MAX_NLRI_PER_UPDATE):
                 session.send_update(UpdateMessage(
                     nlri=tuple(nlri[start:start + MAX_NLRI_PER_UPDATE]),
                     attrs=attrs))
+                self._m_updates_tx.inc()
 
     def _export(self, session: BgpSession,
                 prefix: Prefix) -> Optional[PathAttributes]:

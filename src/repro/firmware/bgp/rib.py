@@ -106,6 +106,9 @@ class LocRib:
         selected = self._selected.get(prefix)
         return selected[1] if selected else ()
 
+    def __len__(self) -> int:
+        return len(self._selected)
+
     def prefixes(self) -> List[Prefix]:
         return sorted(self._selected, key=lambda p: p.key())
 

@@ -45,7 +45,9 @@ class BgpSession:
                  connect_retry: float, rng: random.Random,
                  on_established: Callable[["BgpSession"], None],
                  on_down: Callable[["BgpSession", str], None],
-                 on_update: Callable[["BgpSession", UpdateMessage], None]):
+                 on_update: Callable[["BgpSession", UpdateMessage], None],
+                 on_transition: Optional[
+                     Callable[["BgpSession", str, str], None]] = None):
         self.env = env
         self.streams = streams
         self.neighbor = neighbor
@@ -59,6 +61,9 @@ class BgpSession:
         self.on_established = on_established
         self.on_down = on_down
         self.on_update = on_update
+        # Observability hook: called with (session, old_state, new_state)
+        # on every FSM transition.  None keeps transitions allocation-free.
+        self.on_transition = on_transition
 
         self.state = "idle"
         self.conn: Optional[Connection] = None
@@ -72,21 +77,29 @@ class BgpSession:
         self.updates_received = 0
         self.last_error = ""
 
+    def _set_state(self, new_state: str) -> None:
+        old_state = self.state
+        if new_state == old_state:
+            return
+        self.state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self, old_state, new_state)
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self, initiator: bool) -> None:
         if self.neighbor.shutdown:
-            self.state = "idle"
+            self._set_state("idle")
             return
         self.initiator = initiator
         if initiator:
             self._schedule_connect(first=True)
         else:
-            self.state = "connect"  # passively waiting for the peer
+            self._set_state("connect")  # passively waiting for the peer
 
     def stop(self) -> None:
         self._stopped = True
-        self.state = "idle"
+        self._set_state("idle")
         if self.conn is not None:
             conn, self.conn = self.conn, None
             conn.on_close = None   # no down-notification for a local stop
@@ -104,7 +117,7 @@ class BgpSession:
     def _attempt_connect(self) -> None:
         if self._stopped or self.state == "established" or self.conn is not None:
             return
-        self.state = "connect"
+        self._set_state("connect")
         try:
             conn = self.streams.connect(self.peer_ip, BGP_PORT)
         except Exception as exc:  # no route/source yet: retry later
@@ -157,7 +170,7 @@ class BgpSession:
         self._last_recv = self.env.now
         conn.on_message = self._on_message
         conn.on_close = self._on_conn_closed
-        self.state = "open-sent"
+        self._set_state("open-sent")
 
     def _send_open(self) -> None:
         if self.conn is not None:
@@ -189,7 +202,7 @@ class BgpSession:
                                                    detail=self.last_error))
                 self.conn.close()
                 self.conn = None
-            self.state = "connect"
+            self._set_state("connect")
             if self.initiator:
                 self._schedule_connect()
             return
@@ -203,7 +216,7 @@ class BgpSession:
     def _establish(self) -> None:
         if self.state == "established":
             return
-        self.state = "established"
+        self._set_state("established")
         if self.conn is not None:
             self.conn.send(KeepaliveMessage())
         self._schedule_keepalive()
@@ -253,7 +266,7 @@ class BgpSession:
 
     def _go_down(self, reason: str) -> None:
         was_established = self.state == "established"
-        self.state = "connect"
+        self._set_state("connect")
         self.last_error = reason
         if self.conn is not None:
             conn, self.conn = self.conn, None

@@ -23,6 +23,7 @@ from ..config.model import DeviceConfig
 from ..net.ip import IPv4Address
 from ..net.packet import Ipv4Packet
 from ..net.stream import StreamManager
+from ..obs import NULL_OBS
 from ..sim import Environment
 from ..virt.container import Container
 from .bgp.daemon import BgpDaemon
@@ -57,13 +58,15 @@ class DeviceOS:
 
     def __init__(self, env: Environment, hostname: str, vendor: VendorProfile,
                  config_text: str, seed: int = 0,
-                 on_crash: Optional[Callable[[str], None]] = None):
+                 on_crash: Optional[Callable[[str], None]] = None,
+                 obs=NULL_OBS):
         self.env = env
         self.hostname = hostname
         self.vendor = vendor
         self.config_text = config_text
         self.rng = random.Random(seed or (hash(hostname) & 0xFFFFFF))
         self.on_crash = on_crash
+        self.obs = obs
 
         self.status = "stopped"  # stopped|booting|running|crashed
         self.container: Optional[Container] = None
@@ -159,7 +162,7 @@ class DeviceOS:
             self.bgp = BgpDaemon(
                 self.env, self.stack, self.streams, self.config, self.vendor,
                 self.worker, rng=random.Random(self.rng.getrandbits(32)),
-                on_crash=self._crashed)
+                on_crash=self._crashed, obs=self.obs)
             self.bgp.start()
         self.status = "running"
         self.booted_at = self.env.now

@@ -1,0 +1,167 @@
+"""``repro.obs`` — sim-clock-native observability for the emulation stack.
+
+Three primitives, one hub:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket histograms
+  with labels, Prometheus text exposition, deterministic JSON snapshots.
+* :class:`Tracer` — nested spans stamped with sim time, exportable as
+  JSONL or Chrome ``trace_event`` JSON (opens directly in Perfetto).
+* :class:`EventLog` — typed records in a bounded ring buffer (the
+  replacement for ad-hoc string logs).
+
+:class:`Observability` bundles the three behind one handle that
+subsystems thread through; :data:`NULL_OBS` is the module-level no-op
+twin — every method exists and does nothing, so instrumentation hooks
+cost one call on the disabled path and never format a string.
+
+All timestamps come from the simulation clock.  With ``wall_clock`` left
+off (the default), every export is byte-deterministic for a pinned seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .events import EventLog, EventRecord, NULL_EVENT_LOG, NullEventLog
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .profile import ConvergenceProfiler
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "ConvergenceProfiler",
+    "Counter",
+    "EventLog",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_EVENT_LOG",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullEventLog",
+    "NullObservability",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "Tracer",
+    "instrument_environment",
+]
+
+
+class Observability:
+    """One run's registry + tracer + event log, sharing a sim clock."""
+
+    enabled = True
+
+    def __init__(self, env=None,
+                 wall_clock: Optional[Callable[[], float]] = None,
+                 event_capacity: int = 4096,
+                 trace_capacity: Optional[int] = None):
+        self.env = None
+        clock = None
+        if env is not None:
+            clock = self._clock_of(env)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, wall_clock=wall_clock,
+                             capacity=trace_capacity)
+        self.events = EventLog(clock=clock, capacity=event_capacity)
+        if env is not None:
+            self.env = env
+
+    @staticmethod
+    def _clock_of(env) -> Callable[[], float]:
+        return lambda: env.now
+
+    def bind(self, env) -> "Observability":
+        """Attach the sim clock of ``env`` (idempotent; the orchestrator
+        calls this so a pre-built hub can be handed in before the
+        Environment exists)."""
+        if self.env is env:
+            return self
+        clock = self._clock_of(env)
+        self.env = env
+        self.tracer.clock = clock
+        self.events.clock = clock
+        return self
+
+    def instrument_environment(self, env=None) -> None:
+        """Opt-in engine-level accounting: count every fired simulation
+        event per subsystem (derived from the event's name prefix) into
+        ``repro_sim_events_total``.  Off by default — the hook costs one
+        callback per event once installed."""
+        target = env if env is not None else self.env
+        if target is None:
+            raise ValueError("no environment to instrument; pass one or "
+                             "bind() first")
+        instrument_environment(target, self.metrics)
+
+    # -- convenience exports ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything exportable, as one deterministic dict."""
+        return {
+            "metrics": self.metrics.to_dict(),
+            "spans": [s.to_dict() for s in self.tracer.spans],
+            "events": [r.to_dict() for r in self.events],
+        }
+
+    def profiler(self) -> ConvergenceProfiler:
+        return ConvergenceProfiler.from_tracer(self.tracer)
+
+
+class NullObservability:
+    """The detached hub: all three primitives are shared no-ops."""
+
+    enabled = False
+    env = None
+    metrics = NULL_REGISTRY
+    tracer = NULL_TRACER
+    events = NULL_EVENT_LOG
+
+    def bind(self, env) -> "NullObservability":
+        return self
+
+    def instrument_environment(self, env=None) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"metrics": {}, "spans": [], "events": []}
+
+    def profiler(self) -> ConvergenceProfiler:
+        return ConvergenceProfiler([])
+
+
+NULL_OBS = NullObservability()
+
+
+def _subsystem_of(name: str) -> str:
+    """Map an engine event name to its owning subsystem bucket.
+
+    ``"recover:vm3"`` -> ``"recover"``, ``"timeout(5)"`` -> ``"timeout"``,
+    ``""`` -> ``"anonymous"``.
+    """
+    if not name:
+        return "anonymous"
+    head = name.split(":", 1)[0]
+    return head.split("(", 1)[0] or "anonymous"
+
+
+def instrument_environment(env, registry: MetricsRegistry) -> None:
+    """Install the opt-in per-subsystem event counter on ``env``."""
+    counter = registry.counter(
+        "repro_sim_events_total",
+        "Simulation events fired, by owning subsystem (event-name prefix)")
+
+    def hook(event) -> None:
+        counter.inc(subsystem=_subsystem_of(event.name))
+
+    env.event_hook = hook

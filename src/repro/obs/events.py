@@ -1,0 +1,130 @@
+"""The structured event log: typed records in a bounded ring buffer.
+
+Replaces ad-hoc string lists (the old ``CrystalNet._log``) with records a
+program can filter — kind, subject, free-form message, structured fields —
+while staying bounded: a multi-day chaos soak keeps the newest ``capacity``
+records and counts what it dropped instead of growing without limit.
+
+``formatted()`` reproduces the legacy ``[   123.4] message`` strings so
+existing consumers of ``CrystalNet.events`` keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+__all__ = ["EventRecord", "EventLog", "NULL_EVENT_LOG", "NullEventLog"]
+
+DEFAULT_CAPACITY = 4096
+
+
+class EventRecord:
+    """One structured log record at one sim time."""
+
+    __slots__ = ("time", "kind", "subject", "message", "fields")
+
+    def __init__(self, time: float, kind: str, subject: str = "",
+                 message: str = "", fields: Optional[Dict[str, Any]] = None):
+        self.time = time
+        self.kind = kind
+        self.subject = subject
+        self.message = message
+        self.fields = fields or {}
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind,
+                "subject": self.subject, "message": self.message,
+                "fields": self.fields}
+
+    def formatted(self) -> str:
+        return f"[{self.time:10.1f}] {self.message or self.subject}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EventRecord {self.kind} {self.subject!r} "
+                f"@{self.time:.1f}>")
+
+
+class EventLog:
+    """Bounded, clock-stamped record buffer."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.clock = clock or (lambda: 0.0)
+        self.capacity = capacity
+        self._records: Deque[EventRecord] = deque(maxlen=capacity)
+        self.total = 0
+
+    def emit(self, kind: str, subject: str = "", message: str = "",
+             **fields: Any) -> EventRecord:
+        record = EventRecord(self.clock(), kind, subject, message,
+                             fields if fields else None)
+        self._records.append(record)
+        self.total += 1
+        return record
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def records(self, kind: Optional[str] = None,
+                subject: Optional[str] = None) -> List[EventRecord]:
+        return [r for r in self._records
+                if (kind is None or r.kind == kind)
+                and (subject is None or r.subject == subject)]
+
+    def formatted(self) -> List[str]:
+        """Legacy string view (the old ``CrystalNet.events`` format)."""
+        return [r.formatted() for r in self._records]
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(r.to_dict(), sort_keys=True)
+                 for r in self._records]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+class NullEventLog:
+    """Detached log: emits vanish, queries come back empty."""
+
+    enabled = False
+    capacity = 0
+    total = 0
+    dropped = 0
+
+    def emit(self, kind: str, subject: str = "", message: str = "",
+             **fields: Any) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(())
+
+    def records(self, kind: Optional[str] = None,
+                subject: Optional[str] = None) -> List[EventRecord]:
+        return []
+
+    def formatted(self) -> List[str]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+NULL_EVENT_LOG = NullEventLog()

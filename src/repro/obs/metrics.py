@@ -1,0 +1,410 @@
+"""The metrics substrate: counters, gauges, fixed-bucket histograms.
+
+Dependency-free, sim-clock-agnostic, and deterministic: a registry holds
+named metric families; each family holds children keyed by a sorted label
+tuple; rendering (Prometheus text exposition or JSON) iterates everything
+in sorted order, so two identically-driven runs export byte-identical
+snapshots.
+
+Hot-path discipline: instrumented code resolves a child **once** with
+:meth:`Metric.labels` and keeps the handle; the per-event call is then a
+single attribute add with no dict lookups and no string formatting.  When
+no registry is attached, the module-level :data:`NULL_REGISTRY` hands out
+shared no-op children whose methods are empty — the disabled path costs
+one method call and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+# Default histogram upper bounds (seconds-flavoured, +Inf implicit).
+DEFAULT_BUCKETS = (0.005, 0.05, 0.5, 5.0, 30.0, 60.0, 300.0, 600.0,
+                   1800.0, 3600.0)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: str = "") -> str:
+    parts = [f'{name}="{value}"' for name, value in key]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _fmt(value: float) -> str:
+    """Canonical number formatting: integers lose the trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "buckets", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)   # last bucket = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Metric:
+    """One metric family: a name, help text, and labelled children."""
+
+    kind = "untyped"
+    _child_factory = _CounterChild
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self._children: Dict[LabelKey, object] = {}
+
+    def _new_child(self):
+        return self._child_factory()
+
+    def labels(self, **labels: str):
+        """Resolve (and cache) the child for one label set."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    # -- introspection -----------------------------------------------------
+
+    def samples(self) -> List[Tuple[LabelKey, object]]:
+        return sorted(self._children.items())
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": [{"labels": dict(key), "value": child.value}
+                        for key, child in self.samples()],
+        }
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key, child in self.samples():
+            lines.append(f"{self.name}{_render_labels(key)} "
+                         f"{_fmt(child.value)}")
+        return lines
+
+
+class Counter(Metric):
+    kind = "counter"
+    _child_factory = _CounterChild
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.value if child is not None else 0.0
+
+
+class Gauge(Metric):
+    kind = "gauge"
+    _child_factory = _GaugeChild
+
+    def set(self, value: float, **labels: str) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.labels(**labels).dec(amount)
+
+    def value(self, **labels: str) -> float:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.value if child is not None else 0.0
+
+
+class Histogram(Metric):
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"duplicate histogram bounds: {buckets}")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.bounds)
+
+    def observe(self, value: float, **labels: str) -> None:
+        self.labels(**labels).observe(value)
+
+    def count(self, **labels: str) -> int:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.count if child is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        return child.sum if child is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "samples": [
+                {"labels": dict(key), "buckets": list(child.buckets),
+                 "sum": child.sum, "count": child.count}
+                for key, child in self.samples()],
+        }
+
+    def render(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for key, child in self.samples():
+            cumulative = 0
+            for bound, n in zip(self.bounds, child.buckets):
+                cumulative += n
+                le = 'le="' + _fmt(bound) + '"'
+                lines.append(f"{self.name}_bucket{_render_labels(key, le)} "
+                             f"{cumulative}")
+            inf = 'le="+Inf"'
+            lines.append(f"{self.name}_bucket{_render_labels(key, inf)} "
+                         f"{child.count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} "
+                         f"{_fmt(child.sum)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} "
+                         f"{child.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric families, created on first use, rendered sorted."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls, help_text: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get(name, Counter, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get(name, Gauge, help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        if buckets is None:
+            return self._get(name, Histogram, help_text)
+        return self._get(name, Histogram, help_text, buckets=tuple(buckets))
+
+    # -- introspection -----------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str, **labels: str) -> float:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        return metric.value(**labels)
+
+    # -- export ------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    def to_json(self) -> str:
+        """Deterministic JSON snapshot (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Disabled path: shared no-op singletons.
+# ---------------------------------------------------------------------------
+
+class _NullChild:
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_CHILD = _NullChild()
+
+
+class _NullMetric:
+    __slots__ = ()
+
+    def labels(self, **labels: str) -> _NullChild:
+        return _NULL_CHILD
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        pass
+
+    def set(self, value: float, **labels: str) -> None:
+        pass
+
+    def observe(self, value: float, **labels: str) -> None:
+        pass
+
+    def value(self, **labels: str) -> float:
+        return 0.0
+
+    def count(self, **labels: str) -> int:
+        return 0
+
+    def sum(self, **labels: str) -> float:
+        return 0.0
+
+
+class NullCounter(_NullMetric):
+    __slots__ = ()
+
+
+class NullGauge(_NullMetric):
+    __slots__ = ()
+
+
+class NullHistogram(_NullMetric):
+    __slots__ = ()
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """The detached registry: every factory returns a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, help_text: str = "") -> NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, help_text: str = "") -> NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Iterable[float]] = None) -> NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def value(self, name: str, **labels: str) -> float:
+        return 0.0
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def to_json(self) -> str:
+        return "{}\n"
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,197 @@
+"""Convergence profiling: aggregate spans into "where did the time go".
+
+The profiler consumes spans — live from a :class:`~repro.obs.trace.Tracer`
+or parsed back from a JSONL / Chrome-trace export — and answers the
+questions CrystalNet's §8 evaluation asks: how long each orchestrator
+phase took, which devices' boots dominated, where a chaos fault's
+recovery time went.  The per-phase totals are *derived from the same
+spans the trace shows*, so a number in the report always has a visual
+counterpart on the Perfetto timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["ConvergenceProfiler"]
+
+# Track names the instrumented subsystems use (shared vocabulary between
+# emitters and this consumer).
+TRACK_ORCHESTRATOR = "orchestrator"
+TRACK_BOOT = "boot"
+TRACK_CHAOS = "chaos"
+TRACK_HEALTH = "health"
+
+# Orchestrator phases in lifecycle order (for rendering).
+PHASE_ORDER = ("prepare", "mockup", "network-ready", "route-ready", "clear")
+
+
+def _normalize(span: Any) -> dict:
+    if isinstance(span, dict):
+        return span
+    return span.to_dict()   # a live Span object
+
+
+class ConvergenceProfiler:
+    """Per-phase / per-device breakdown of one emulation run's spans."""
+
+    def __init__(self, spans: Iterable[Any]):
+        self.spans: List[dict] = [_normalize(s) for s in spans]
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "ConvergenceProfiler":
+        return cls(tracer.spans)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ConvergenceProfiler":
+        return cls(json.loads(line) for line in text.splitlines() if line)
+
+    @classmethod
+    def from_chrome_trace(cls, text: str) -> "ConvergenceProfiler":
+        doc = json.loads(text)
+        spans = []
+        for event in doc.get("traceEvents", []):
+            if event.get("ph") not in ("X", "B"):
+                continue
+            start = event["ts"] / 1e6
+            end = (start + event["dur"] / 1e6
+                   if event.get("ph") == "X" else None)
+            spans.append({"name": event["name"],
+                          "track": event.get("cat", "main"),
+                          "start": start, "end": end,
+                          "attrs": event.get("args", {})})
+        return cls(spans)
+
+    @classmethod
+    def load(cls, path: str) -> "ConvergenceProfiler":
+        """Auto-detect a JSONL or Chrome-trace file."""
+        with open(path) as fh:
+            text = fh.read()
+        stripped = text.lstrip()
+        if stripped.startswith("{") and '"traceEvents"' in stripped[:2000]:
+            return cls.from_chrome_trace(text)
+        return cls.from_jsonl(text)
+
+    # -- aggregation -------------------------------------------------------
+
+    def _durations(self, track: str) -> Dict[str, List[float]]:
+        out: Dict[str, List[float]] = {}
+        for span in self.spans:
+            if span.get("track") != track or span.get("end") is None:
+                continue
+            out.setdefault(span["name"], []).append(
+                span["end"] - span["start"])
+        return out
+
+    def phase_breakdown(self) -> Dict[str, dict]:
+        """Orchestrator phases: total seconds + run count per phase."""
+        byname = self._durations(TRACK_ORCHESTRATOR)
+        return {name: {"total": sum(durs), "count": len(durs)}
+                for name, durs in sorted(byname.items())}
+
+    def phase_total(self, phase: str) -> float:
+        return self.phase_breakdown().get(phase, {}).get("total", 0.0)
+
+    def device_breakdown(self) -> List[dict]:
+        """Per-device boot spans, slowest first."""
+        boots: List[dict] = []
+        for span in self.spans:
+            if span.get("track") != TRACK_BOOT or span.get("end") is None:
+                continue
+            attrs = span.get("attrs", {})
+            boots.append({
+                "device": attrs.get("device", span["name"]),
+                "kind": attrs.get("kind", "device"),
+                "start": span["start"],
+                "duration": span["end"] - span["start"],
+            })
+        boots.sort(key=lambda b: (-b["duration"], b["device"]))
+        return boots
+
+    def chaos_breakdown(self) -> List[dict]:
+        """Fault spans in injection order with their settle windows."""
+        faults: List[dict] = []
+        for span in self.spans:
+            if span.get("track") != TRACK_CHAOS:
+                continue
+            attrs = span.get("attrs", {})
+            faults.append({
+                "kind": span["name"].split(":", 1)[-1],
+                "target": attrs.get("target", ""),
+                "start": span["start"],
+                "settle": (None if span.get("end") is None
+                           else span["end"] - span["start"]),
+                "recovery_latency": attrs.get("recovery_latency"),
+            })
+        faults.sort(key=lambda f: f["start"])
+        return faults
+
+    def report(self) -> dict:
+        """The full machine-readable breakdown."""
+        phases = self.phase_breakdown()
+        mockup = phases.get("mockup", {}).get("total", 0.0)
+        network_ready = phases.get("network-ready", {}).get("total", 0.0)
+        route_ready = phases.get("route-ready", {}).get("total", 0.0)
+        return {
+            "phases": phases,
+            "mockup_decomposition": {
+                "network_ready": network_ready,
+                "route_ready": route_ready,
+                # Quiescence must *hold* for the settle window before the
+                # orchestrator declares route-ready; this is that detection
+                # overhead — sim time inside mockup not attributed to the
+                # two sub-phases.
+                "settle_detect": max(0.0, mockup - network_ready
+                                     - route_ready),
+            },
+            "devices": self.device_breakdown(),
+            "chaos": self.chaos_breakdown(),
+        }
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, top_devices: int = 10) -> str:
+        """Human-readable breakdown (the ``obsdump`` payload)."""
+        report = self.report()
+        lines: List[str] = []
+        lines.append("== Convergence profile " + "=" * 40)
+        phases = report["phases"]
+        ordered = [p for p in PHASE_ORDER if p in phases]
+        ordered += [p for p in sorted(phases) if p not in PHASE_ORDER]
+        lines.append(f"{'phase':<16} {'total':>12} {'runs':>6}")
+        for phase in ordered:
+            entry = phases[phase]
+            lines.append(f"{phase:<16} {entry['total']:>11.1f}s "
+                         f"{entry['count']:>6}")
+        decomp = report["mockup_decomposition"]
+        if phases.get("mockup"):
+            lines.append("")
+            lines.append("mockup latency decomposition:")
+            for key in ("network_ready", "route_ready", "settle_detect"):
+                lines.append(f"  {key.replace('_', '-'):<16} "
+                             f"{decomp[key]:>11.1f}s")
+        devices = report["devices"]
+        if devices:
+            lines.append("")
+            lines.append(f"slowest device boots (top {top_devices} of "
+                         f"{len(devices)}):")
+            lines.append(f"  {'device':<20} {'kind':<10} {'boot':>9}")
+            for boot in devices[:top_devices]:
+                lines.append(f"  {boot['device']:<20} {boot['kind']:<10} "
+                             f"{boot['duration']:>8.1f}s")
+        chaos = report["chaos"]
+        if chaos:
+            lines.append("")
+            lines.append("chaos faults:")
+            lines.append(f"  {'t':>9} {'kind':<16} {'target':<24} "
+                         f"{'recovery':>9}")
+            for fault in chaos:
+                latency = fault["recovery_latency"]
+                shown = "-" if latency is None else f"{latency:.1f}s"
+                lines.append(f"  {fault['start']:>9.1f} "
+                             f"{fault['kind']:<16} "
+                             f"{fault['target']:<24} {shown:>9}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,269 @@
+"""Sim-clock-native tracing: nested spans over the emulation timeline.
+
+A :class:`Span` covers one interval of *simulated* time — a Prepare, one
+device boot, one chaos fault's inject-to-recovery window.  Spans form
+trees via explicit parents (simulation processes interleave, so there is
+no ambient call stack to infer nesting from); the synchronous
+:meth:`Tracer.span` context manager keeps a stack for plain code.
+
+Exports:
+
+* :meth:`Tracer.to_jsonl` — one JSON object per span, sorted-key, stable.
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` JSON; open the
+  file directly in Perfetto / ``chrome://tracing``.  Sim-seconds map to
+  trace microseconds so a 40-minute route-ready reads as 40 "minutes" on
+  the timeline.
+
+Determinism: span ids are a monotonic counter, timestamps come from the
+injected ``clock`` (the sim clock), and wall-clock annotations are opt-in
+(``wall_clock=None`` by default) — with them off, two identically seeded
+runs export byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_TRACER", "NullTracer"]
+
+
+class Span:
+    """One traced interval; ``end is None`` while still open."""
+
+    __slots__ = ("id", "name", "track", "start", "end", "parent_id",
+                 "attrs", "wall_start", "wall_end", "_tracer")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str,
+                 track: str, start: float, parent_id: Optional[int],
+                 attrs: Dict[str, Any], wall_start: Optional[float]):
+        self.id = span_id
+        self.name = name
+        self.track = track
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.wall_start = wall_start
+        self.wall_end: Optional[float] = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, end: Optional[float] = None) -> "Span":
+        """Close the span (idempotent).  ``end`` overrides the clock — used
+        when the logical end (e.g. quiescence onset) predates detection."""
+        if self.end is None:
+            tracer = self._tracer
+            self.end = tracer.clock() if end is None else end
+            if tracer.wall_clock is not None:
+                self.wall_end = tracer.wall_clock()
+        return self
+
+    def to_dict(self) -> dict:
+        out = {
+            "id": self.id,
+            "name": self.name,
+            "track": self.track,
+            "start": self.start,
+            "end": self.end,
+            "parent": self.parent_id,
+            "attrs": self.attrs,
+        }
+        if self.wall_start is not None:
+            out["wall_start"] = self.wall_start
+            out["wall_end"] = self.wall_end
+        return out
+
+
+class _SpanContext:
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._stack.pop()
+        self._span.finish()
+
+
+class Tracer:
+    """Span factory + buffer for one emulation run."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 wall_clock: Optional[Callable[[], float]] = None,
+                 capacity: Optional[int] = None):
+        """``clock`` returns sim time (bound to an Environment by the
+        :class:`~repro.obs.Observability` hub); ``wall_clock`` (e.g.
+        ``time.perf_counter``) additionally stamps real time, at the cost
+        of byte-determinism; ``capacity`` bounds the buffer (oldest spans
+        are dropped, counted in :attr:`dropped`)."""
+        self.clock = clock or (lambda: 0.0)
+        self.wall_clock = wall_clock
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._next_id = 1
+        self._stack: List[Span] = []
+
+    # -- span creation -----------------------------------------------------
+
+    def begin(self, name: str, track: str = "main",
+              parent: Optional[Span] = None,
+              start: Optional[float] = None, **attrs: Any) -> Span:
+        """Open a span at the current sim time (or explicit ``start``)."""
+        span_id = self._next_id
+        self._next_id += 1
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        span = Span(
+            self, span_id, name, track,
+            self.clock() if start is None else start,
+            parent.id if parent is not None else None,
+            attrs,
+            self.wall_clock() if self.wall_clock is not None else None)
+        self.spans.append(span)
+        if self.capacity is not None and len(self.spans) > self.capacity:
+            overflow = len(self.spans) - self.capacity
+            del self.spans[:overflow]
+            self.dropped += overflow
+        return span
+
+    def span(self, name: str, track: str = "main",
+             **attrs: Any) -> _SpanContext:
+        """Context manager: nests under the innermost open ``span()``."""
+        return _SpanContext(self, self.begin(name, track=track, **attrs))
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, name: str, track: Optional[str] = None) -> List[Span]:
+        return [s for s in self.spans
+                if s.name == name and (track is None or s.track == track)]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.id]
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(span.to_dict(), sort_keys=True)
+                 for span in self.spans]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON (complete "X" events; still-open
+        spans export as begin-only "B" events).  Tracks map to tids in
+        first-seen order so the layout is stable run to run."""
+        tids: Dict[str, int] = {}
+        events: List[dict] = []
+        for span in self.spans:
+            tid = tids.setdefault(span.track, len(tids) + 1)
+            event = {
+                "name": span.name,
+                "cat": span.track,
+                "ph": "X" if span.end is not None else "B",
+                "ts": round(span.start * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": span.attrs,
+            }
+            if span.end is not None:
+                event["dur"] = round((span.end - span.start) * 1e6, 3)
+            events.append(event)
+        metadata = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in sorted(tids.items(), key=lambda kv: kv[1])]
+        doc = {"traceEvents": metadata + events,
+               "displayTimeUnit": "ms",
+               "otherData": {"clock": "sim-seconds-as-microseconds"}}
+        return json.dumps(doc, sort_keys=True, indent=1) + "\n"
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_chrome_trace())
+
+    def save_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+
+# ---------------------------------------------------------------------------
+# Disabled path.
+# ---------------------------------------------------------------------------
+
+class _NullSpan:
+    __slots__ = ()
+    id = 0
+    name = ""
+    track = ""
+    start = 0.0
+    end: Optional[float] = 0.0
+    parent_id = None
+    duration = 0.0
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def finish(self, end: Optional[float] = None) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Detached tracer: records nothing, allocates nothing per call."""
+
+    enabled = False
+    spans: List[Span] = []
+    dropped = 0
+
+    def begin(self, name: str, track: str = "main",
+              parent: Optional[Span] = None,
+              start: Optional[float] = None, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def span(self, name: str, track: str = "main",
+             **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def find(self, name: str, track: Optional[str] = None) -> List[Span]:
+        return []
+
+    def children_of(self, span) -> List[Span]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def to_chrome_trace(self) -> str:
+        return '{"traceEvents": []}\n'
+
+
+NULL_TRACER = NullTracer()

@@ -284,6 +284,10 @@ class Environment:
         self.strict = strict
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        # Opt-in observability hook (see repro.obs.instrument_environment):
+        # called with each event as it fires.  None (the default) keeps the
+        # dispatch loop at a single identity check per event.
+        self.event_hook: Optional[Callable[[Event], None]] = None
 
     # -- factories -------------------------------------------------------
 
@@ -334,6 +338,8 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
+        if self.event_hook is not None:
+            self.event_hook(event)
         event._run_callbacks()
 
     def run(self, until: Optional[float | Event] = None) -> Any:

@@ -1,4 +1,9 @@
-"""Operator automation tools running against the Table 2 API (§7)."""
+"""Operator automation tools running against the Table 2 API (§7).
+
+The ``obsdump`` CLI lives in :mod:`repro.tools.obsdump` (run it with
+``python -m repro.tools.obsdump``); it is not imported here so the
+module can be executed with ``-m`` without a double-import warning.
+"""
 
 from .operations import (
     OperationReport,

@@ -1,0 +1,120 @@
+"""``obsdump`` — render observability exports from an emulation run.
+
+Reads the artifacts the :mod:`repro.obs` stack writes (Chrome-trace /
+JSONL span exports, metrics snapshots, event-log JSONL) and renders them
+for a terminal.  The flagship view is the convergence profile: the
+per-phase breakdown of Prepare/Mockup latency that §8.1 of the paper
+reports, derived from the same spans a Perfetto timeline would show.
+
+Usage::
+
+    python -m repro.tools.obsdump profile trace.json
+    python -m repro.tools.obsdump profile trace.jsonl --json
+    python -m repro.tools.obsdump metrics metrics.json [--name PREFIX]
+    python -m repro.tools.obsdump events events.jsonl [--kind KIND]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..obs.profile import ConvergenceProfiler
+
+__all__ = ["main"]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profiler = ConvergenceProfiler.load(args.path)
+    if args.json:
+        print(json.dumps(profiler.report(), indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(profiler.render(top_devices=args.top))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render a ``MetricsRegistry.to_json()`` snapshot as a table."""
+    with open(args.path) as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics", doc)
+    shown = 0
+    for name in sorted(metrics):
+        if args.name and not name.startswith(args.name):
+            continue
+        family = metrics[name]
+        kind = family.get("type", "?")
+        for child in family.get("samples", []):
+            labels = child.get("labels", {})
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            where = f"{name}{{{label_text}}}" if label_text else name
+            if kind == "histogram":
+                value = (f"count={child['count']} sum={child['sum']:g}")
+            else:
+                value = f"{child['value']:g}"
+            print(f"{where:<64} {kind:<10} {value}")
+            shown += 1
+    if shown == 0:
+        print("(no matching metrics)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    """Render an ``EventLog.to_jsonl()`` export chronologically."""
+    with open(args.path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    for record in lines:
+        if args.kind and record.get("kind") != args.kind:
+            continue
+        subject = record.get("subject", "")
+        message = record.get("message") or subject
+        print(f"[{record['time']:10.1f}] {record.get('kind', '?'):<16} "
+              f"{message}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="obsdump",
+        description="Render repro.obs exports (traces, metrics, events).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_profile = sub.add_parser(
+        "profile", help="convergence profile from a span export")
+    p_profile.add_argument("path", help="Chrome-trace JSON or span JSONL")
+    p_profile.add_argument("--json", action="store_true",
+                           help="machine-readable report instead of a table")
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="device boots to show (default 10)")
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="table view of a metrics snapshot JSON")
+    p_metrics.add_argument("path", help="MetricsRegistry.to_json() file")
+    p_metrics.add_argument("--name", default="",
+                           help="only metrics whose name has this prefix")
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_events = sub.add_parser(
+        "events", help="chronological view of an event-log JSONL export")
+    p_events.add_argument("path", help="EventLog.to_jsonl() file")
+    p_events.add_argument("--kind", default="",
+                          help="only events of this kind")
+    p_events.set_defaults(func=_cmd_events)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:     # output piped into head/less and closed
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""Structured event log: bounded ring, filters, legacy string view."""
+
+import json
+
+import pytest
+
+from repro.obs.events import NULL_EVENT_LOG, EventLog
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def log(env):
+    return EventLog(clock=lambda: env.now, capacity=8)
+
+
+class TestEmit:
+    def test_records_are_clock_stamped(self, env, log):
+        env.run(until=42.0)
+        record = log.emit("orchestrator", message="prepared")
+        assert record.time == 42.0
+        assert record.kind == "orchestrator"
+
+    def test_structured_fields(self, log):
+        record = log.emit("control", subject="tor-0", op="reload", tries=2)
+        assert record.fields == {"op": "reload", "tries": 2}
+
+    def test_filter_by_kind_and_subject(self, log):
+        log.emit("health", subject="vm-1")
+        log.emit("health", subject="vm-2")
+        log.emit("chaos", subject="vm-1")
+        assert len(log.records(kind="health")) == 2
+        assert len(log.records(subject="vm-1")) == 2
+        assert len(log.records(kind="chaos", subject="vm-1")) == 1
+
+
+class TestBounded:
+    def test_capacity_keeps_newest(self, log):
+        for i in range(12):
+            log.emit("k", message=f"m{i}")
+        assert len(log) == 8
+        assert log.total == 12
+        assert log.dropped == 4
+        assert [r.message for r in log][0] == "m4"
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestLegacyView:
+    def test_formatted_matches_old_log_format(self, env, log):
+        env.run(until=117.0)
+        log.emit("orchestrator", message="prepare done: 2 VMs")
+        assert log.formatted() == ["[     117.0] prepare done: 2 VMs"]
+
+    def test_formatted_falls_back_to_subject(self, log):
+        log.emit("health", subject="vm-3")
+        assert log.formatted() == ["[       0.0] vm-3"]
+
+
+class TestExport:
+    def test_jsonl_is_sorted_and_complete(self, env, log):
+        log.emit("a", subject="s", message="m", x=1)
+        lines = log.to_jsonl().splitlines()
+        doc = json.loads(lines[0])
+        assert doc == {"time": 0.0, "kind": "a", "subject": "s",
+                       "message": "m", "fields": {"x": 1}}
+        assert list(doc) == sorted(doc)
+
+
+class TestNullEventLog:
+    def test_disabled_flag(self):
+        assert EventLog.enabled is True
+        assert NULL_EVENT_LOG.enabled is False
+
+    def test_emit_vanishes(self):
+        assert NULL_EVENT_LOG.emit("k", subject="s", message="m", x=1) is None
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.records() == []
+        assert NULL_EVENT_LOG.formatted() == []
+        assert NULL_EVENT_LOG.to_jsonl() == ""

@@ -1,0 +1,146 @@
+"""The instrumented stack end to end: spans and metrics agree with the
+§8.1 EmulationMetrics, BGP/health hooks fire, the events shim holds."""
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.obs import NULL_OBS, Observability
+from repro.topology import SDC, build_clos
+
+
+@pytest.fixture(scope="module")
+def net():
+    net = CrystalNet(emulation_id="obs-int", seed=11)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    yield net
+    net.destroy()
+
+
+class TestPhaseSpans:
+    def test_orchestrator_spans_cover_the_lifecycle(self, net):
+        tracer = net.obs.tracer
+        for name in ("prepare", "mockup", "network-ready", "route-ready"):
+            spans = tracer.find(name, track="orchestrator")
+            assert len(spans) == 1, name
+            assert spans[0].end is not None, name
+
+    def test_sub_phases_nest_under_mockup(self, net):
+        tracer = net.obs.tracer
+        mockup = tracer.find("mockup", track="orchestrator")[0]
+        children = {s.name for s in tracer.children_of(mockup)}
+        assert {"network-ready", "route-ready"} <= children
+
+    def test_prepare_span_matches_emulation_metrics(self, net):
+        span = net.obs.tracer.find("prepare", track="orchestrator")[0]
+        assert span.duration == pytest.approx(net.metrics.prepare_latency)
+
+    def test_route_ready_span_matches_emulation_metrics(self, net):
+        span = net.obs.tracer.find("route-ready", track="orchestrator")[0]
+        assert span.duration == pytest.approx(
+            net.metrics.route_ready_latency)
+
+    def test_profiler_totals_match_emulation_metrics(self, net):
+        profiler = net.obs.profiler()
+        assert profiler.phase_total("route-ready") == pytest.approx(
+            net.metrics.route_ready_latency)
+        assert profiler.phase_total("prepare") == pytest.approx(
+            net.metrics.prepare_latency)
+
+    def test_phase_gauge_matches_emulation_metrics(self, net):
+        value = net.obs.metrics.value
+        assert value("repro_phase_latency_seconds",
+                     phase="prepare") == net.metrics.prepare_latency
+        assert value("repro_phase_latency_seconds",
+                     phase="route-ready") == net.metrics.route_ready_latency
+        assert value("repro_phase_latency_seconds",
+                     phase="mockup") == net.metrics.mockup_latency
+
+    def test_every_guest_boot_is_spanned(self, net):
+        boots = net.obs.tracer.find("boot", track="boot")
+        assert len(boots) == len(net.devices)
+        devices = {s.attrs["device"] for s in boots}
+        assert devices == set(net.devices)
+        assert all(s.end is not None for s in boots)
+
+
+class TestBgpInstrumentation:
+    def test_session_transitions_counted(self, net):
+        counter = net.obs.metrics.get("repro_bgp_session_transitions_total")
+        assert counter is not None
+        established = sum(
+            child.value for key, child in counter.samples()
+            if dict(key).get("to") == "established")
+        assert established > 0
+
+    def test_rib_gauges_track_live_sizes(self, net):
+        some_device = next(
+            name for name in sorted(net.devices)
+            if net.devices[name].kind == "device"
+            and getattr(net.devices[name].guest, "bgp", None) is not None)
+        bgp = net.devices[some_device].guest.bgp
+        value = net.obs.metrics.value
+        assert value("repro_bgp_loc_rib_routes",
+                     device=some_device) == len(bgp.loc_rib)
+        assert value("repro_bgp_fib_routes",
+                     device=some_device) == len(bgp.stack.fib)
+
+    def test_updates_counted_both_directions(self, net):
+        rx = net.obs.metrics.get("repro_bgp_updates_rx_total")
+        tx = net.obs.metrics.get("repro_bgp_updates_tx_total")
+        assert sum(c.value for _k, c in rx.samples()) > 0
+        assert sum(c.value for _k, c in tx.samples()) > 0
+
+
+class TestEventsShim:
+    def test_events_property_returns_legacy_strings(self, net):
+        events = net.events
+        assert isinstance(events, list)
+        assert events, "lifecycle should have logged"
+        assert all(isinstance(line, str) and line.startswith("[")
+                   for line in events)
+
+    def test_structured_records_behind_the_shim(self, net):
+        records = net.obs.events.records(kind="orchestrator")
+        assert records
+        assert records[0].time >= 0.0
+
+    def test_log_is_bounded(self, net):
+        assert len(net.obs.events) <= net.obs.events.capacity
+
+
+class TestOptInEnvironmentHook:
+    def test_event_hook_counts_per_subsystem(self):
+        net = CrystalNet(emulation_id="obs-hook", seed=3)
+        net.obs.instrument_environment()
+        net.prepare(build_clos(SDC()))
+        counter = net.obs.metrics.get("repro_sim_events_total")
+        total = sum(c.value for _k, c in counter.samples())
+        assert total > 0
+        subsystems = {dict(k).get("subsystem")
+                      for k, _c in counter.samples()}
+        assert len(subsystems) > 1
+        net.destroy()
+
+    def test_hook_is_off_by_default(self):
+        net = CrystalNet(emulation_id="obs-nohook", seed=3)
+        assert net.env.event_hook is None
+        net.destroy()
+
+
+class TestDisabledPath:
+    def test_null_obs_threads_through_device_stack(self):
+        # A DeviceOS built without an orchestrator runs on NULL_OBS:
+        # hooks fire into no-ops, nothing is recorded.
+        from repro.firmware.device import DeviceOS
+        assert DeviceOS.__init__.__defaults__ is not None
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.metrics.names() == []
+        assert NULL_OBS.tracer.spans == []
+
+    def test_custom_hub_can_be_injected(self):
+        obs = Observability()
+        net = CrystalNet(emulation_id="obs-inject", seed=5, obs=obs)
+        assert net.obs is obs
+        assert obs.env is net.env
+        net.destroy()

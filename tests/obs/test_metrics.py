@@ -1,0 +1,149 @@
+"""Registry semantics: families, labels, rendering, the disabled path."""
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    _NULL_CHILD,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("ops_total", "ops")
+        c.inc()
+        c.inc(2.5)
+        assert registry.value("ops_total") == 3.5
+
+    def test_labels_are_independent(self, registry):
+        c = registry.counter("ops_total")
+        c.inc(op="a")
+        c.inc(3, op="b")
+        assert c.value(op="a") == 1
+        assert c.value(op="b") == 3
+        assert c.value(op="missing") == 0
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("ops_total")
+        c.labels(x="1", y="2").inc()
+        c.labels(y="2", x="1").inc()
+        assert c.value(x="1", y="2") == 2
+
+    def test_prebound_child_is_cached(self, registry):
+        c = registry.counter("ops_total")
+        assert c.labels(op="a") is c.labels(op="a")
+
+    def test_negative_inc_rejected(self, registry):
+        c = registry.counter("ops_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_rerequesting_family_returns_same_object(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert registry.value("depth") == 13
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.9, 5.0, 50.0):
+            h.observe(v)
+        child = h.labels()
+        assert child.buckets == [2, 1, 1]   # <=1, <=10, +Inf
+        assert child.count == 4
+        assert child.sum == pytest.approx(56.4)
+
+    def test_boundary_value_counts_in_its_bucket(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.labels().buckets == [1, 0, 0]
+
+    def test_cumulative_prometheus_rendering(self, registry):
+        h = registry.histogram("lat", "help", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = registry.render_prometheus()
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="10"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 55.5" in text
+        assert "lat_count 3" in text
+
+    def test_duplicate_bounds_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("lat", buckets=(1.0, 1.0))
+
+
+class TestExport:
+    def _drive(self, registry):
+        registry.counter("b_total", "b").inc(dev="z")
+        registry.counter("b_total").inc(dev="a")
+        registry.gauge("a_gauge", "a").set(4.5)
+        registry.histogram("h", buckets=(1.0,)).observe(2.0)
+
+    def test_rendering_is_deterministic(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        self._drive(r1)
+        self._drive(r2)
+        assert r1.render_prometheus() == r2.render_prometheus()
+        assert r1.to_json() == r2.to_json()
+
+    def test_families_render_sorted_by_name(self, registry):
+        self._drive(registry)
+        text = registry.render_prometheus()
+        assert text.index("a_gauge") < text.index("b_total")
+
+    def test_children_render_sorted_by_labels(self, registry):
+        self._drive(registry)
+        text = registry.render_prometheus()
+        assert text.index('dev="a"') < text.index('dev="z"')
+
+    def test_integer_values_render_without_decimal(self, registry):
+        registry.counter("c_total").inc(2)
+        assert "c_total 2\n" in registry.render_prometheus()
+
+    def test_help_and_type_lines(self, registry):
+        registry.counter("c_total", "the help")
+        text = registry.render_prometheus()
+        assert "# HELP c_total the help" in text
+        assert "# TYPE c_total counter" in text
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert MetricsRegistry.enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+    def test_all_factories_return_shared_noop_children(self):
+        assert NULL_REGISTRY.counter("x").labels(a="b") is _NULL_CHILD
+        assert NULL_REGISTRY.gauge("x").labels() is _NULL_CHILD
+        assert NULL_REGISTRY.histogram("x").labels() is _NULL_CHILD
+
+    def test_noop_operations_record_nothing(self):
+        c = NULL_REGISTRY.counter("x_total")
+        c.inc(5, op="a")
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        assert NULL_REGISTRY.value("x_total", op="a") == 0.0
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.render_prometheus() == ""
+        assert NULL_REGISTRY.to_dict() == {}

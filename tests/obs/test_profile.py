@@ -1,0 +1,120 @@
+"""ConvergenceProfiler: aggregation, decomposition, format round-trips."""
+
+import pytest
+
+from repro.obs.profile import ConvergenceProfiler
+from repro.obs.trace import Tracer
+
+
+def make_tracer():
+    """A synthetic but shape-faithful run: phases, boots, one fault."""
+    clock = {"now": 0.0}
+    tracer = Tracer(clock=lambda: clock["now"])
+
+    prepare = tracer.begin("prepare", track="orchestrator")
+    clock["now"] = 100.0
+    prepare.finish()
+
+    mockup = tracer.begin("mockup", track="orchestrator")
+    nr = tracer.begin("network-ready", track="orchestrator", parent=mockup)
+    clock["now"] = 120.0
+    nr.finish()
+    rr = tracer.begin("route-ready", track="orchestrator", parent=mockup)
+    for i, boot_time in enumerate((30.0, 60.0, 45.0)):
+        boot = tracer.begin("boot", track="boot", parent=mockup,
+                            start=120.0, device=f"dev-{i}", kind="device")
+        boot.finish(end=120.0 + boot_time)
+    clock["now"] = 520.0
+    rr.finish(end=500.0)       # quiescence onset predates detection
+    clock["now"] = 530.0
+    mockup.finish()
+
+    fault = tracer.begin("fault:bgp-reset", track="chaos",
+                         target="dev-1@10.0.0.1")
+    clock["now"] = 575.0
+    fault.annotate(recovery_latency=45.0)
+    fault.finish()
+    return tracer
+
+
+@pytest.fixture
+def profiler():
+    return ConvergenceProfiler.from_tracer(make_tracer())
+
+
+class TestAggregation:
+    def test_phase_breakdown(self, profiler):
+        phases = profiler.phase_breakdown()
+        assert phases["prepare"] == {"total": 100.0, "count": 1}
+        assert phases["mockup"]["total"] == 430.0
+        assert phases["network-ready"]["total"] == 20.0
+        assert phases["route-ready"]["total"] == 380.0
+
+    def test_phase_total_of_missing_phase_is_zero(self, profiler):
+        assert profiler.phase_total("clear") == 0.0
+
+    def test_device_breakdown_slowest_first(self, profiler):
+        boots = profiler.device_breakdown()
+        assert [b["device"] for b in boots] == ["dev-1", "dev-2", "dev-0"]
+        assert boots[0]["duration"] == 60.0
+
+    def test_chaos_breakdown(self, profiler):
+        faults = profiler.chaos_breakdown()
+        assert faults == [{
+            "kind": "bgp-reset", "target": "dev-1@10.0.0.1",
+            "start": 530.0, "settle": 45.0, "recovery_latency": 45.0,
+        }]
+
+    def test_mockup_decomposition_accounts_settle_detect(self, profiler):
+        decomp = profiler.report()["mockup_decomposition"]
+        assert decomp["network_ready"] == 20.0
+        assert decomp["route_ready"] == 380.0
+        assert decomp["settle_detect"] == pytest.approx(30.0)
+
+    def test_unfinished_spans_are_excluded(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.begin("prepare", track="orchestrator")   # never finished
+        profiler = ConvergenceProfiler.from_tracer(tracer)
+        assert profiler.phase_breakdown() == {}
+
+
+class TestRoundTrips:
+    def test_jsonl_round_trip_preserves_report(self, profiler):
+        text = make_tracer().to_jsonl()
+        assert ConvergenceProfiler.from_jsonl(text).report() == \
+            profiler.report()
+
+    def test_chrome_trace_round_trip_preserves_totals(self, profiler):
+        text = make_tracer().to_chrome_trace()
+        via_chrome = ConvergenceProfiler.from_chrome_trace(text)
+        assert via_chrome.phase_breakdown() == profiler.phase_breakdown()
+        assert via_chrome.device_breakdown() == profiler.device_breakdown()
+
+    def test_load_autodetects_format(self, profiler, tmp_path):
+        chrome = tmp_path / "trace.json"
+        chrome.write_text(make_tracer().to_chrome_trace())
+        jsonl = tmp_path / "trace.jsonl"
+        jsonl.write_text(make_tracer().to_jsonl())
+        for path in (chrome, jsonl):
+            loaded = ConvergenceProfiler.load(str(path))
+            assert loaded.phase_breakdown() == profiler.phase_breakdown()
+
+
+class TestRender:
+    def test_render_contains_every_section(self, profiler):
+        text = profiler.render()
+        assert "prepare" in text
+        assert "mockup latency decomposition:" in text
+        assert "settle-detect" in text
+        assert "dev-1" in text
+        assert "bgp-reset" in text
+
+    def test_render_orders_phases_by_lifecycle(self, profiler):
+        text = profiler.render()
+        assert text.index("prepare") < text.index("mockup")
+        assert text.index("network-ready") < text.index("route-ready")
+
+    def test_top_devices_limits_table(self, profiler):
+        text = profiler.render(top_devices=1)
+        assert "dev-1" in text
+        assert "dev-0" not in text

@@ -1,0 +1,185 @@
+"""Span lifecycle, nesting, ordering, and the two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer(env):
+    return Tracer(clock=lambda: env.now)
+
+
+class TestSpanLifecycle:
+    def test_begin_stamps_sim_time(self, env, tracer):
+        env.run(until=7.5)
+        span = tracer.begin("work")
+        assert span.start == 7.5
+        assert span.end is None
+        assert span.duration is None
+
+    def test_finish_stamps_sim_time(self, env, tracer):
+        span = tracer.begin("work")
+        env.run(until=3.0)
+        span.finish()
+        assert span.end == 3.0
+        assert span.duration == 3.0
+
+    def test_finish_is_idempotent(self, env, tracer):
+        span = tracer.begin("work")
+        env.run(until=3.0)
+        span.finish()
+        env.run(until=9.0)
+        span.finish()
+        assert span.end == 3.0
+
+    def test_explicit_end_overrides_clock(self, env, tracer):
+        span = tracer.begin("work")
+        env.run(until=10.0)
+        span.finish(end=4.0)   # logical end predates detection
+        assert span.end == 4.0
+
+    def test_annotate_merges_attrs(self, tracer):
+        span = tracer.begin("work", devices=3)
+        span.annotate(links=2)
+        assert span.attrs == {"devices": 3, "links": 2}
+
+    def test_ids_are_monotonic(self, tracer):
+        ids = [tracer.begin(f"s{i}").id for i in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+
+class TestNesting:
+    def test_context_manager_nests(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.id
+        assert outer.parent_id is None
+        assert tracer.children_of(outer) == [inner]
+
+    def test_explicit_parent_beats_stack(self, tracer):
+        root = tracer.begin("root")
+        with tracer.span("ambient"):
+            child = tracer.begin("child", parent=root)
+        assert child.parent_id == root.id
+
+    def test_interleaved_spans_keep_own_parents(self, env, tracer):
+        # Two "processes" open spans against the same tracer; explicit
+        # parents keep the trees separate (no ambient stack misuse).
+        a = tracer.begin("proc-a")
+        b = tracer.begin("proc-b")
+        a1 = tracer.begin("a1", parent=a)
+        b1 = tracer.begin("b1", parent=b)
+        assert a1.parent_id == a.id
+        assert b1.parent_id == b.id
+
+    def test_find_by_name_and_track(self, tracer):
+        tracer.begin("boot", track="boot")
+        tracer.begin("boot", track="other")
+        assert len(tracer.find("boot")) == 2
+        assert len(tracer.find("boot", track="boot")) == 1
+
+
+class TestCapacity:
+    def test_bounded_buffer_drops_oldest(self, tracer):
+        tracer.capacity = 3
+        spans = [tracer.begin(f"s{i}") for i in range(5)]
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+        assert spans[0] not in tracer.spans
+
+
+class TestChromeTrace:
+    def test_complete_event_shape(self, env, tracer):
+        span = tracer.begin("prepare", track="orchestrator", vms=2)
+        env.run(until=117.0)
+        span.finish()
+        doc = json.loads(tracer.to_chrome_trace())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events == [{
+            "name": "prepare", "cat": "orchestrator", "ph": "X",
+            "ts": 0, "dur": 117000000.0, "pid": 1, "tid": 1,
+            "args": {"vms": 2},
+        }]
+
+    def test_open_span_exports_as_begin_event(self, tracer):
+        tracer.begin("unfinished")
+        doc = json.loads(tracer.to_chrome_trace())
+        phases = [e["ph"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert phases == ["B"]
+
+    def test_tracks_get_stable_tids_and_names(self, env, tracer):
+        tracer.begin("a", track="orchestrator").finish()
+        tracer.begin("b", track="boot").finish()
+        tracer.begin("c", track="orchestrator").finish()
+        doc = json.loads(tracer.to_chrome_trace())
+        meta = {e["tid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert meta == {1: "orchestrator", 2: "boot"}
+
+    def test_sim_seconds_map_to_microseconds(self, env, tracer):
+        env.run(until=1.5)
+        span = tracer.begin("x")
+        env.run(until=2.0)
+        span.finish()
+        doc = json.loads(tracer.to_chrome_trace())
+        event = [e for e in doc["traceEvents"] if e["ph"] == "X"][0]
+        assert event["ts"] == 1.5e6
+        assert event["dur"] == 0.5e6
+
+
+class TestJsonl:
+    def test_one_sorted_object_per_span(self, env, tracer):
+        tracer.begin("a").finish()
+        tracer.begin("b")
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["name"] == "a"
+        assert list(first) == sorted(first)
+
+    def test_wall_clock_is_opt_in(self, env):
+        plain = Tracer(clock=lambda: env.now)
+        plain.begin("x").finish()
+        assert "wall_start" not in plain.to_jsonl()
+
+        ticks = iter((100.0, 101.0))
+        walled = Tracer(clock=lambda: env.now,
+                        wall_clock=lambda: next(ticks))
+        span = walled.begin("x")
+        span.finish()
+        assert span.wall_start == 100.0
+        assert span.wall_end == 101.0
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert Tracer.enabled is True
+        assert NULL_TRACER.enabled is False
+
+    def test_begin_returns_shared_noop_span(self):
+        a = NULL_TRACER.begin("x", track="t", attr=1)
+        b = NULL_TRACER.begin("y")
+        assert a is b
+        a.annotate(z=2).finish(end=5.0)
+        assert a.attrs == {}
+
+    def test_span_context_manager_works(self):
+        with NULL_TRACER.span("x") as span:
+            span.annotate(a=1)
+        assert NULL_TRACER.spans == []
+
+    def test_exports_are_empty(self):
+        assert NULL_TRACER.to_jsonl() == ""
+        assert json.loads(NULL_TRACER.to_chrome_trace()) == {
+            "traceEvents": []}

@@ -1,0 +1,54 @@
+"""Library code must not print or use stdlib logging.
+
+Everything under ``src/repro/`` reports through the repro.obs primitives
+(events, metrics, spans) or returns values; writing to stdout belongs to
+CLIs and examples.  ``src/repro/tools/`` is the CLI layer and is
+allowlisted.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Directories (relative to src/repro) whose files may print: CLI layer.
+ALLOWED_DIRS = ("tools",)
+
+
+def library_files():
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        if rel.parts and rel.parts[0] in ALLOWED_DIRS:
+            continue
+        yield path
+
+
+def test_allowlist_dirs_exist():
+    for name in ALLOWED_DIRS:
+        assert (SRC / name).is_dir(), name
+
+
+@pytest.mark.parametrize("path", library_files(),
+                         ids=lambda p: str(p.relative_to(SRC)))
+def test_no_print_or_logging(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            violations.append(f"print() at line {node.lineno}")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "logging":
+                    violations.append(
+                        f"import logging at line {node.lineno}")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "logging":
+                violations.append(
+                    f"from logging import at line {node.lineno}")
+    assert not violations, (
+        f"{path.relative_to(SRC)} writes to stdout/stderr directly; "
+        f"emit through repro.obs instead: {violations}")
