@@ -27,6 +27,7 @@ from ..firmware.bgp.messages import (
 )
 from ..firmware.bgp.session import BgpSession
 from ..firmware.netstack import HostStack
+from ..provenance.chain import NULL_PROVENANCE
 from ..sim import Environment
 from ..virt.container import Container
 
@@ -58,12 +59,13 @@ class SpeakerOS:
 
     def __init__(self, env: Environment, hostname: str, config: DeviceConfig,
                  announcements: "List[SpeakerRoute] | Dict[int, List[SpeakerRoute]]",
-                 seed: int = 0):
+                 seed: int = 0, prov=NULL_PROVENANCE):
         if config.bgp is None:
             raise ValueError(f"speaker {hostname} needs a BGP config")
         self.env = env
         self.hostname = hostname
         self.config = config
+        self.prov = prov
         # Either one list for all peers, or a dict keyed by peer IP value
         # (Prepare computes per-boundary-device snapshots, §6.1).
         self.announcements = announcements
@@ -146,10 +148,21 @@ class SpeakerOS:
         groups: Dict[Tuple[int, ...], List[Prefix]] = {}
         for route in routes:
             groups.setdefault(route.as_path, []).append(route.prefix)
+        prov = self.prov
         for as_path, prefixes in groups.items():
+            chains: Tuple[tuple, ...] = ()
+            if prov.enabled:
+                # The speaker is the origin from the emulation's point of
+                # view: every chain entering through the boundary roots
+                # at a causal id minted here (§5.1 static snapshot).
+                chains = tuple(
+                    prov.originate(self.hostname, prefix, self.env.now,
+                                   detail="speaker-snapshot")
+                    for prefix in prefixes)
             session.send_update(UpdateMessage(
                 nlri=tuple(prefixes),
-                attrs=PathAttributes(as_path=as_path, next_hop=local_ip)))
+                attrs=PathAttributes(as_path=as_path, next_hop=local_ip),
+                provenance=chains))
 
     def _on_down(self, _session: BgpSession, _reason: str) -> None:
         pass  # static: reconnection is handled by the FSM itself

@@ -18,6 +18,7 @@ becomes a pinned-seed regression test.
 
 from __future__ import annotations
 
+import json
 from typing import List, Optional, TYPE_CHECKING
 
 from ..net.ip import IPv4Address
@@ -29,6 +30,7 @@ from .spec import ChaosSpec, Fault, FaultSchedule
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.health import HealthMonitor
     from ..core.orchestrator import CrystalNet
+    from ..provenance import BlastRadius
 
 __all__ = ["ChaosEngine", "ChaosError", "CORRUPTED_CONFIG"]
 
@@ -75,6 +77,11 @@ class ChaosEngine:
             "repro_chaos_unrecovered_total",
             "Faults that never recovered within the timeout, by kind")
         self._spans: dict = {}    # id(record) -> open fault span
+        # Blast-radius attribution (requires net.enable_timeline()): one
+        # BlastRadius per settled fault, keyed by the fault's provenance
+        # id.  Kept off FaultRecord so ChaosReport JSON stays byte-stable.
+        self.blast: List["BlastRadius"] = []
+        self._fault_refs: dict = {}   # id(record) -> provenance id
 
     # ------------------------------------------------------------------
     # Top-level drivers
@@ -128,13 +135,18 @@ class ChaosEngine:
         apply = getattr(self, "_inject_" + fault.kind.replace("-", "_"))
         record = FaultRecord(time=round(self.env.now - self._t0, 3),
                              kind=fault.kind, target="", detail="")
+        self._sample("pre-fault")   # blast-radius baseline
         apply(fault, record)
         self.records.append(record)
+        fault_ref = f"fault:{fault.kind}:{record.target}@{record.time:g}"
+        self._fault_refs[id(record)] = fault_ref
         self._m_faults.inc(kind=fault.kind)
         self._spans[id(record)] = self.obs.tracer.begin(
-            f"fault:{fault.kind}", track="chaos", target=record.target)
+            f"fault:{fault.kind}", track="chaos", target=record.target,
+            provenance=fault_ref)
         self.obs.events.emit("chaos", subject=record.target,
-                             message=record.detail, fault=fault.kind)
+                             message=record.detail, fault=fault.kind,
+                             provenance=fault_ref)
         return record
 
     def _resolve(self, fault: Fault, candidates: List[str]) -> Optional[str]:
@@ -247,6 +259,7 @@ class ChaosEngine:
         """Repair what the fault model repairs, wait for the system to
         recover, then evaluate every invariant into the record."""
         injected_at = self.env.now
+        fault_ref = self._fault_refs.pop(id(record), "")
         self._repair(record)
         deadline = injected_at + self.spec.recovery_timeout
         ready_at = self._await_ready(deadline)
@@ -266,8 +279,12 @@ class ChaosEngine:
                                      kind=record.kind)
         else:
             self._m_unrecovered.inc(kind=record.kind)
+        blast = self._blame(record, fault_ref, injected_at)
         span = self._spans.pop(id(record), None)
         if span is not None:
+            if blast is not None:
+                span.annotate(churned_prefixes=blast.churned_prefix_count,
+                              churned_devices=len(blast.churned))
             if record.recovery_latency is not None:
                 span.annotate(recovery_latency=record.recovery_latency)
                 span.finish(end=injected_at + record.recovery_latency)
@@ -276,6 +293,35 @@ class ChaosEngine:
                 span.finish()
         record.invariants = self.checker.check()
         return record
+
+    def _sample(self, label: str) -> None:
+        """Commit one timeline snapshot (no-op without enable_timeline)."""
+        timeline = getattr(self.net, "timeline", None)
+        if timeline is not None and self.net.devices:
+            timeline.record(label, self.net.pull_states())
+
+    def _blame(self, record: FaultRecord, fault_ref: str,
+               injected_at: float) -> Optional["BlastRadius"]:
+        """Attribute the settle window's FIB churn to this fault."""
+        timeline = getattr(self.net, "timeline", None)
+        if timeline is None or not fault_ref:
+            return None
+        self._sample(f"settled:{fault_ref}")
+        blast = timeline.blame(fault_ref, injected_at, self.env.now)
+        self.blast.append(blast)
+        self.obs.events.emit(
+            "chaos", subject=record.target,
+            message=(f"blast radius: {blast.churned_prefix_count} prefixes "
+                     f"on {len(blast.churned)} devices"),
+            fault=record.kind, provenance=fault_ref)
+        return blast
+
+    def blast_report(self) -> str:
+        """Deterministic JSON of every fault's blast radius (for
+        ``netscope blame``)."""
+        payload = {"version": 1,
+                   "blast": [b.to_dict() for b in self.blast]}
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     def _repair(self, record: FaultRecord) -> None:
         """The 'repair crew' half of fault models that need one."""
@@ -300,6 +346,7 @@ class ChaosEngine:
 
     def _await_ready(self, deadline: float) -> Optional[float]:
         while True:
+            self._sample("chaos-poll")
             if self.checker.system_ready():
                 return self.env.now
             if self.env.now >= deadline:

@@ -231,7 +231,7 @@ class HealthMonitor:
         start = self.env.now
 
         from ..virt.container import DockerEngine, PHYNET_IMAGE
-        engine = DockerEngine(self.env, vm)
+        engine = DockerEngine(self.env, vm, obs=self.obs)
         engine.pull_image(PHYNET_IMAGE)
         for plan in net.placement.vms:
             if plan.name == vm_name and plan.vendor_group != "speakers":

@@ -31,6 +31,12 @@ from ..firmware.device import DeviceOS, PacketRecord
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..net.ip import IPv4Address
 from ..obs import Observability
+from ..provenance import (
+    NULL_PROVENANCE,
+    ProvenanceTracker,
+    StateTimeline,
+    explain_prefix,
+)
 from ..sim import Environment, Event
 from ..topology.graph import Topology
 from ..verify.batfish import ControlPlaneSimulator
@@ -124,7 +130,8 @@ class CrystalNet:
                  cloud: Optional[Cloud] = None, seed: int = 17,
                  emulation_id: str = "emu", use_ovs: bool = False,
                  clouds: Optional[List[Cloud]] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 provenance: bool = True):
         """``clouds``: run the emulation across several (federated) clouds
         (§3.1); VMs are spread round-robin and cross-cloud links punch the
         NATs automatically.  Defaults to a single cloud.
@@ -132,10 +139,20 @@ class CrystalNet:
         ``obs``: the observability hub (metrics registry, tracer, event
         log) threaded through every subsystem.  Defaults to a fresh hub on
         this emulation's sim clock; pass :data:`repro.obs.NULL_OBS` to run
-        fully uninstrumented."""
+        fully uninstrumented.
+
+        ``provenance``: route-provenance tracing (repro.provenance) —
+        causal hop chains on every RIB/FIB entry, queryable via
+        :meth:`explain` and the ``netscope`` CLI.  Chains are excluded
+        from route equality, so tracing never alters protocol behaviour;
+        pass False to skip chain bookkeeping entirely."""
         self.env = env or Environment()
         self.obs = (obs if obs is not None
                     else Observability(self.env)).bind(self.env)
+        self.prov = (ProvenanceTracker(obs=self.obs) if provenance
+                     else NULL_PROVENANCE)
+        # Optional RIB/FIB history; armed by enable_timeline().
+        self.timeline: Optional[StateTimeline] = None
         self._phase_gauge = self.obs.metrics.gauge(
             "repro_phase_latency_seconds",
             "Latency of the most recent run of each orchestrator phase")
@@ -152,6 +169,12 @@ class CrystalNet:
         else:
             self.cloud = cloud or Cloud(self.env, seed=seed)
             self.clouds = [self.cloud]
+        for member in self.clouds:
+            # Clouds created before this emulation default to the null
+            # hub; adopt ours so virt-layer metrics (VXLAN tunnels,
+            # container lifecycle) land in the same registry.
+            if not getattr(member.obs, "enabled", False):
+                member.obs = self.obs
         self.rng = random.Random(seed)
         self.emulation_id = emulation_id
         self.fabric = LinkFabric(self.env, self.cloud, use_ovs=use_ovs,
@@ -303,7 +326,7 @@ class CrystalNet:
         for plan in self.placement.vms:
             vm = homes[plan.name].vm(plan.name)
             self.vms[plan.name] = vm
-            engine = DockerEngine(self.env, vm)
+            engine = DockerEngine(self.env, vm, obs=self.obs)
             engine.pull_image(PHYNET_IMAGE)
             if plan.vendor_group == "mixed":
                 for device in plan.devices:
@@ -314,7 +337,7 @@ class CrystalNet:
             lab_name = f"{self.emulation_id}-lab0"
             self.lab_server = self.cloud.vm(lab_name)
             self.vms[lab_name] = self.lab_server
-            engine = DockerEngine(self.env, self.lab_server)
+            engine = DockerEngine(self.env, self.lab_server, obs=self.obs)
             engine.pull_image(PHYNET_IMAGE)
             for name in self.hardware:
                 engine.pull_image(self._vendor_of(name).image)
@@ -419,6 +442,7 @@ class CrystalNet:
         yield from self._wait_route_ready(start, route_ready_timeout,
                                           route_ready_span)
         self.mocked_up = True
+        self.record_timeline("route-ready")
         mockup_span.annotate(devices=len(self.devices)).finish()
         self._phase_gauge.set(self.metrics.mockup_latency, phase="mockup")
         return self
@@ -430,7 +454,8 @@ class CrystalNet:
             guest = SpeakerOS(self.env, name,
                               self._speaker_config(name),
                               self.speaker_routes.get(name, {}),
-                              seed=self.rng.getrandbits(32))
+                              seed=self.rng.getrandbits(32),
+                              prov=self.prov)
             image = PHYNET_IMAGE  # ExaBGP-style: negligible footprint
             sandbox = record.vm.docker.create(f"speaker-{name}", image,
                                               netns=record.netns, guest=guest)
@@ -439,7 +464,7 @@ class CrystalNet:
             guest = DeviceOS(self.env, name, vendor,
                              self.config_texts[name],
                              seed=self.rng.getrandbits(32),
-                             obs=self.obs,
+                             obs=self.obs, prov=self.prov,
                              on_crash=lambda reason, n=name:
                                  self._log(f"{n} CRASHED: {reason}",
                                            kind="firmware-crash", subject=n))
@@ -652,7 +677,7 @@ class CrystalNet:
             new_guest = DeviceOS(self.env, device, vendor,
                                  self.config_texts[device],
                                  seed=self.rng.getrandbits(32),
-                                 obs=self.obs)
+                                 obs=self.obs, prov=self.prov)
             sandbox = record.vm.docker.create(f"os-{device}", vendor.image,
                                               netns=record.netns,
                                               guest=new_guest)
@@ -714,6 +739,29 @@ class CrystalNet:
                  "vm": r.vm.name, "status": r.status}
                 for r in self.devices.values()]
 
+    def enable_timeline(self) -> StateTimeline:
+        """Arm the RIB/FIB timeline recorder (repro.provenance).
+
+        Once enabled, the orchestrator records a network-wide snapshot at
+        route-ready and after every convergence, and the chaos engine
+        samples it through each fault's settle window — the data
+        ``netscope diff``/``blame`` render."""
+        if self.timeline is None:
+            self.timeline = StateTimeline(clock=lambda: self.env.now,
+                                          obs=self.obs)
+        return self.timeline
+
+    def record_timeline(self, label: str) -> None:
+        """Commit one timeline snapshot (no-op unless enabled)."""
+        if self.timeline is not None and self.devices:
+            self.timeline.record(label, self.pull_states())
+
+    def explain(self, device: str, prefix) -> dict:
+        """The causal chain behind one device's view of one prefix
+        (origin announcement → policy/decision verdicts → FIB install);
+        see :mod:`repro.provenance` and the ``netscope`` CLI."""
+        return explain_prefix(self, device, prefix)
+
     def pull_states(self, device: Optional[str] = None) -> dict:
         if device is not None:
             return self._device_record(device).guest.pull_states()
@@ -763,6 +811,7 @@ class CrystalNet:
                 if quiet_since is None:
                     quiet_since = self.env.now
                 elif self.env.now - quiet_since >= settle:
+                    self.record_timeline("converged")
                     return quiet_since - start
             else:
                 quiet_since = None

@@ -20,19 +20,24 @@ from ...config.model import DeviceConfig
 from ...net.ip import IPv4Address, Prefix
 from ...net.stream import Connection, StreamManager
 from ...obs import NULL_OBS
+from ...provenance.chain import (
+    NULL_PROVENANCE,
+    chain_to_dicts,
+    origin_ref,
+)
 from ...sim import Environment
 from ..fib import Fib, FibEntry, FibFullError, FirmwareCrash, NextHop
 from ..netstack import HostStack
 from ..vendors.profiles import VendorProfile
 from ..worker import SerialWorker
-from .decision import default_tie_breaker, select
+from .decision import default_tie_breaker, explain_candidates, select
 from .messages import (
     BGP_PORT,
     ORIGIN_IGP,
     PathAttributes,
     UpdateMessage,
 )
-from .policy import PolicyContext, apply_route_map
+from .policy import PolicyContext, apply_route_map, evaluate_route_map
 from .rib import AdjRibIn, AdjRibOut, LocRib, Route
 from .session import BgpSession
 
@@ -50,7 +55,7 @@ class BgpDaemon:
                  vendor: VendorProfile, worker: SerialWorker,
                  rng: Optional[random.Random] = None,
                  on_crash: Optional[Callable[[str], None]] = None,
-                 obs=NULL_OBS):
+                 obs=NULL_OBS, prov=NULL_PROVENANCE):
         if config.bgp is None:
             raise ValueError(f"{config.hostname}: no BGP configuration")
         self.env = env
@@ -101,6 +106,15 @@ class BgpDaemon:
         self.asn = self.bgp_config.asn
         self.router_id = self.bgp_config.router_id
         self.policy = PolicyContext.from_config(config)
+        # Route provenance (repro.provenance): causal chains per RIB/FIB
+        # entry.  With the null tracker every mint returns () and the
+        # two side tables stay empty.
+        self.prov = prov
+        self.fib_prov: Dict[Prefix, tuple] = {}
+        self.reject_prov: Dict[Prefix, tuple] = {}
+        # Chain-with-select-hop per Loc-RIB best; kept out of the Route
+        # itself so selection never pays a dataclasses.replace.
+        self.select_prov: Dict[Prefix, tuple] = {}
 
         self.adj_in = AdjRibIn()
         self.loc_rib = LocRib()
@@ -133,11 +147,14 @@ class BgpDaemon:
         """Originate local networks, open the BGP port, start sessions."""
         self.running = True
         self.streams.listen(BGP_PORT, self._on_accept)
+        hostname = self.config.hostname
         for network in self.bgp_config.networks:
             self.local_routes[network] = Route(
                 prefix=network,
                 attrs=PathAttributes(as_path=(), origin=ORIGIN_IGP),
-                peer_ip=None, peer_asn=None, is_ebgp=False)
+                peer_ip=None, peer_asn=None, is_ebgp=False,
+                provenance=self.prov.originate(hostname, network,
+                                               self.env.now))
             self._dirty.add(network)
         for neighbor in self.bgp_config.neighbors:
             session = BgpSession(
@@ -164,6 +181,8 @@ class BgpDaemon:
         self.sessions.clear()
         self.streams.unlisten(BGP_PORT)
         self.stack.fib.clear_protocol("bgp")
+        self.fib_prov.clear()
+        self.select_prov.clear()
         self.worker.stop()
 
     def _crash(self, reason: str) -> None:
@@ -243,33 +262,75 @@ class BgpDaemon:
         if self.crashed:
             return
         self._m_updates_rx.inc()
+        prov = self.prov
+        hostname = self.config.hostname
         peer_ip = session.peer_ip
         neighbor = session.neighbor
+        peer_str = str(peer_ip) if prov.enabled else ""
+        now = self.env.now
+        if prov.enabled and update.withdrawn:
+            withdraw_hop = prov.hop("withdraw", hostname, now, peer=peer_str)
         for prefix in update.withdrawn:
             if self.adj_in.withdraw(peer_ip, prefix):
                 self._dirty.add(prefix)
+                if prov.enabled:
+                    self.reject_prov[prefix] = prov.append((), withdraw_hop)
         if update.nlri:
             attrs = update.attrs
+            rx_chains = update.provenance
             if (attrs.contains_asn(self.asn)
                     and not self.vendor.has_quirk("allow-own-asn")):
-                pass  # loop: discard all NLRI of this update
+                # Loop: discard all NLRI of this update (but leave an
+                # explainable trace of the rejection).
+                if prov.enabled:
+                    discard_hop = prov.hop(
+                        "loop-discard", hostname, now,
+                        peer=peer_str, detail=f"own-asn={self.asn}")
+                    for i, prefix in enumerate(update.nlri):
+                        base = rx_chains[i] if i < len(rx_chains) else ()
+                        self.reject_prov[prefix] = prov.append(
+                            base, discard_hop)
             else:
                 is_ebgp = neighbor.remote_asn != self.asn
                 if is_ebgp:
                     # LOCAL_PREF is not transitive across eBGP.
                     attrs = attrs.replace(local_pref=100)
-                for prefix in update.nlri:
-                    imported = apply_route_map(
+                if prov.enabled:
+                    rx_hop = prov.hop(
+                        "receive", hostname, now, peer=peer_str,
+                        detail=(f"asn={neighbor.remote_asn} "
+                                f"epoch={session.epoch}"))
+                    # Import verdicts repeat heavily across an UPDATE's
+                    # NLRI; share one hop per distinct verdict string.
+                    import_hops: Dict[str, object] = {}
+                for i, prefix in enumerate(update.nlri):
+                    imported, verdict = evaluate_route_map(
                         self.policy, neighbor.import_policy, prefix, attrs,
                         self.asn)
+                    if prov.enabled:
+                        base = rx_chains[i] if i < len(rx_chains) else ()
+                        chain = prov.append(base, rx_hop)
+                    else:
+                        chain = ()
                     if imported is None:
                         # Policy rejection still clears any previous route.
+                        if prov.enabled:
+                            self.reject_prov[prefix] = prov.extend(
+                                chain, "import-deny", hostname, now,
+                                detail=verdict)
                         if self.adj_in.withdraw(peer_ip, prefix):
                             self._dirty.add(prefix)
                         continue
+                    if prov.enabled:
+                        hop = import_hops.get(verdict)
+                        if hop is None:
+                            hop = import_hops[verdict] = prov.hop(
+                                "import", hostname, now, detail=verdict)
+                        chain = prov.append(chain, hop)
                     self.adj_in.insert(Route(
                         prefix=prefix, attrs=imported, peer_ip=peer_ip,
-                        peer_asn=neighbor.remote_asn, is_ebgp=is_ebgp))
+                        peer_asn=neighbor.remote_asn, is_ebgp=is_ebgp,
+                        provenance=chain))
                     self._dirty.add(prefix)
         if self._dirty:
             self._schedule_decision()
@@ -320,14 +381,16 @@ class BgpDaemon:
 
     def _recompute(self, prefix: Prefix) -> bool:
         """Re-select for one prefix; returns True if Loc-RIB/FIB changed."""
+        candidates = self._candidates(prefix)
         best, multipath = select(
-            self._candidates(prefix),
+            candidates,
             multipath=self.bgp_config.multipath and self.vendor.multipath,
             max_paths=self.bgp_config.max_paths,
             tie_breaker=self._tie_breaker)
         if best is None:
             removed = self.loc_rib.remove(prefix)
             if removed:
+                self.select_prov.pop(prefix, None)
                 self._fib_remove(prefix)
             return removed
         old_best = self.loc_rib.best(prefix)
@@ -336,8 +399,16 @@ class BgpDaemon:
                 and old_best.peer_ip == best.peer_ip
                 and old_multi == multipath):
             return False
+        chain: tuple = ()
+        if self.prov.enabled:
+            chain = self.prov.extend(
+                best.provenance, "select", self.config.hostname,
+                self.env.now,
+                detail=(f"candidates={len(candidates)} "
+                        f"multipath={len(multipath)}"))
+            self.select_prov[prefix] = chain
         self.loc_rib.set(prefix, best, multipath)
-        self._fib_install(prefix, multipath)
+        self._fib_install(prefix, multipath, chain)
         return True
 
     # -- aggregation ------------------------------------------------------------
@@ -360,18 +431,31 @@ class BgpDaemon:
                 # Sticky/timing-dependent: the first-selected contributor's
                 # path is kept for as long as any contributor exists (§9).
                 continue
-            attrs = self._aggregate_attrs([r for _p, r in contributors])
+            attrs, inherited = self._aggregate_attrs(
+                [r for _p, r in contributors])
             if current is None or current.attrs != attrs:
+                chain = ()
+                if self.prov.enabled:
+                    mode = self.vendor.aggregation_mode
+                    base = inherited.provenance if inherited is not None else ()
+                    refs = sorted(filter(None, (
+                        origin_ref(r.provenance) for _p, r in contributors)))
+                    chain = self.prov.aggregate(
+                        self.config.hostname, agg.prefix, self.env.now,
+                        base, detail=(f"mode={mode} "
+                                      f"contributors={len(contributors)} "
+                                      f"from={','.join(refs)}"))
                 self.aggregate_routes[agg.prefix] = Route(
                     prefix=agg.prefix, attrs=attrs, peer_ip=None,
-                    peer_asn=None, is_ebgp=False)
+                    peer_asn=None, is_ebgp=False, provenance=chain)
                 self._dirty.add(agg.prefix)
                 if agg.summary_only:
                     # (De)activation changes contributor suppression.
                     changed |= {p for p, _ in contributors}
         return changed
 
-    def _aggregate_attrs(self, contributors: List[Route]) -> PathAttributes:
+    def _aggregate_attrs(self, contributors: List[Route]
+                         ) -> Tuple[PathAttributes, Optional[Route]]:
         """Vendor-divergent aggregation (the Figure 1 incident).
 
         * ``inherit-best``: pick one contributing path and keep its AS path
@@ -380,6 +464,10 @@ class BgpDaemon:
           contributor converged first (timing-dependent, §9).
         * ``reset-path``: empty AS path + ATOMIC_AGGREGATE (Figure 1's R7:
           P3 announced with just {7}).
+
+        Returns (attrs, inherited-contributor); the contributor is None
+        for reset-path, where no contributor's history survives — the
+        exact asymmetry a provenance chain makes visible.
         """
         if self.vendor.aggregation_mode in ("inherit-best", "inherit-first"):
             best = contributors[0]
@@ -388,9 +476,10 @@ class BgpDaemon:
                 best = compare(best, route, self._tie_breaker)
             return PathAttributes(
                 as_path=best.attrs.as_path, origin=best.attrs.origin,
-                aggregator_asn=self.asn)
+                aggregator_asn=self.asn), best
         return PathAttributes(as_path=(), origin=ORIGIN_IGP,
-                              atomic_aggregate=True, aggregator_asn=self.asn)
+                              atomic_aggregate=True,
+                              aggregator_asn=self.asn), None
 
     def _suppressed(self, prefix: Prefix) -> bool:
         for agg in self.bgp_config.aggregates:
@@ -402,11 +491,17 @@ class BgpDaemon:
 
     # -- FIB programming -----------------------------------------------------------
 
-    def _fib_install(self, prefix: Prefix, multipath: Tuple[Route, ...]) -> None:
+    def _fib_install(self, prefix: Prefix, multipath: Tuple[Route, ...],
+                     chain: tuple = ()) -> None:
+        prov = self.prov
         if (self.vendor.has_quirk("default-route-stuck")
                 and prefix == Prefix(0, 0)
                 and self.stack.fib.get(prefix) is not None):
             self.errors.append("quirk: default route left stale")
+            if prov.enabled:
+                self.reject_prov[prefix] = prov.extend(
+                    chain, "fib-stale", self.config.hostname, self.env.now,
+                    detail="quirk:default-route-stuck")
             return
         hops: List[NextHop] = []
         for route in multipath:
@@ -415,19 +510,39 @@ class BgpDaemon:
                 hops.append(hop)
         if not hops:
             self._fib_remove(prefix)
+            if prov.enabled:
+                self.reject_prov[prefix] = prov.extend(
+                    chain, "next-hop-unresolved", self.config.hostname,
+                    self.env.now)
             return
         try:
-            self.stack.fib.install(FibEntry(
+            installed = self.stack.fib.install(FibEntry(
                 prefix=prefix, next_hops=tuple(hops), source="bgp"))
         except FibFullError as exc:
             self.errors.append(str(exc))
+            if prov.enabled:
+                self.reject_prov[prefix] = prov.extend(
+                    chain, "fib-overflow", self.config.hostname,
+                    self.env.now, detail="reject")
+            return
         except FirmwareCrash as exc:
             self._crash(str(exc))
+            return
+        if prov.enabled:
+            if installed:
+                self.fib_prov[prefix] = prov.extend(
+                    chain, "fib-install", self.config.hostname, self.env.now,
+                    detail=f"next-hops={len(hops)}")
+            else:
+                self.reject_prov[prefix] = prov.extend(
+                    chain, "fib-overflow", self.config.hostname,
+                    self.env.now, detail="drop-silent")
 
     def _fib_remove(self, prefix: Prefix) -> None:
         entry = self.stack.fib.get(prefix)
         if entry is not None and entry.source == "bgp":
             self.stack.fib.remove(prefix)
+            self.fib_prov.pop(prefix, None)
 
     def _resolve_next_hop(self, route: Route) -> Optional[NextHop]:
         if route.is_local:
@@ -472,9 +587,16 @@ class BgpDaemon:
             self._schedule_flush()
 
     def _advertise(self, session: BgpSession, prefixes: List[Prefix]) -> None:
+        prov = self.prov
         peer_ip = session.peer_ip
         groups: Dict[PathAttributes, List[Prefix]] = {}
+        chains: Dict[PathAttributes, List[tuple]] = {}
         withdrawals: List[Prefix] = []
+        if prov.enabled:
+            adv_hop = prov.hop(
+                "advertise", self.config.hostname, self.env.now,
+                peer=str(peer_ip),
+                detail=f"to-asn={session.neighbor.remote_asn}")
         for prefix in prefixes:
             attrs = self._export(session, prefix)
             previous = self.adj_out.advertised(peer_ip, prefix)
@@ -486,15 +608,25 @@ class BgpDaemon:
             if previous == attrs:
                 continue
             groups.setdefault(attrs, []).append(prefix)
+            if prov.enabled:
+                base = self.select_prov.get(prefix)
+                if base is None:
+                    best = self.loc_rib.best(prefix)
+                    base = best.provenance if best is not None else ()
+                chains.setdefault(attrs, []).append(
+                    prov.append(base, adv_hop))
             self.adj_out.record(peer_ip, prefix, attrs)
         if withdrawals:
             session.send_update(UpdateMessage(withdrawn=tuple(withdrawals)))
             self._m_updates_tx.inc()
         for attrs, nlri in groups.items():
+            nlri_chains = chains.get(attrs, ())
             for start in range(0, len(nlri), MAX_NLRI_PER_UPDATE):
                 session.send_update(UpdateMessage(
                     nlri=tuple(nlri[start:start + MAX_NLRI_PER_UPDATE]),
-                    attrs=attrs))
+                    attrs=attrs,
+                    provenance=tuple(
+                        nlri_chains[start:start + MAX_NLRI_PER_UPDATE])))
                 self._m_updates_tx.inc()
 
     def _export(self, session: BgpSession,
@@ -557,6 +689,47 @@ class BgpDaemon:
             return False
         session.reset(reason)
         return True
+
+    def explain(self, prefix: Prefix) -> Dict[str, object]:
+        """The complete causal story of one prefix on this device.
+
+        Combines the stored provenance chain (origin announcement →
+        per-hop policy verdicts → FIB install) with a lazily
+        reconstructed decision contest over the current Adj-RIB-In
+        candidates.  Deterministic: two pinned-seed runs produce
+        identical explanations.
+        """
+        candidates = self._candidates(prefix)
+        best = self.loc_rib.best(prefix)
+        multi = self.loc_rib.multipath(prefix)
+        fib_entry = self.stack.fib.get(prefix)
+        fib_chain = self.fib_prov.get(prefix)
+        if (fib_chain and fib_entry is not None
+                and fib_entry.source == "bgp"):
+            chain, state = fib_chain, "installed"
+        elif best is not None:
+            chain = self.select_prov.get(prefix, best.provenance)
+            state = "selected"
+        else:
+            chain = self.reject_prov.get(prefix, ())
+            state = "rejected" if chain else "unknown"
+        out: Dict[str, object] = {
+            "device": self.config.hostname,
+            "prefix": str(prefix),
+            "state": state,
+            "origin": origin_ref(chain),
+            "chain": chain_to_dicts(chain),
+            "candidates": explain_candidates(candidates, best, multi,
+                                             self._tie_breaker),
+            "suppressed": self._suppressed(prefix),
+        }
+        if fib_entry is not None:
+            out["fib"] = {
+                "source": fib_entry.source,
+                "next_hops": sorted(
+                    str(h.ip) if h.ip else f"dev:{h.interface}"
+                    for h in fib_entry.next_hops)}
+        return out
 
     def rib_snapshot(self) -> Dict[str, object]:
         return {

@@ -23,7 +23,8 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .rib import Route
 
-__all__ = ["select", "compare", "TieBreaker"]
+__all__ = ["select", "compare", "compare_explain", "explain_candidates",
+           "TieBreaker"]
 
 # Returns the preferred of two routes that tie through step 6.
 TieBreaker = Callable[[Route, Route], Route]
@@ -57,6 +58,66 @@ def compare(a: Route, b: Route,
     return tie_breaker(a, b)
 
 
+def compare_explain(a: Route, b: Route,
+                    tie_breaker: TieBreaker = default_tie_breaker
+                    ) -> Tuple[Route, str]:
+    """Like :func:`compare`, also naming the deciding step.
+
+    Kept off the hot path (``compare`` stays allocation-free); used by
+    provenance ``explain`` to reconstruct a decision contest lazily.
+    """
+    if a.attrs.local_pref != b.attrs.local_pref:
+        return (a if a.attrs.local_pref > b.attrs.local_pref else b,
+                "local-pref")
+    if a.is_local != b.is_local:
+        return (a if a.is_local else b), "local-origin"
+    if a.attrs.path_length() != b.attrs.path_length():
+        return (a if a.attrs.path_length() < b.attrs.path_length() else b,
+                "as-path-length")
+    if a.attrs.origin != b.attrs.origin:
+        return (a if a.attrs.origin < b.attrs.origin else b), "origin"
+    same_neighbor_as = (a.attrs.as_path[:1] == b.attrs.as_path[:1]
+                        and a.attrs.as_path[:1] != ())
+    if same_neighbor_as and a.attrs.med != b.attrs.med:
+        return (a if a.attrs.med < b.attrs.med else b), "med"
+    if a.is_ebgp != b.is_ebgp:
+        return (a if a.is_ebgp else b), "ebgp-over-ibgp"
+    return tie_breaker(a, b), "tie-break"
+
+
+def explain_candidates(candidates: Sequence[Route],
+                       best: Optional[Route],
+                       multipath: Tuple[Route, ...],
+                       tie_breaker: TieBreaker = default_tie_breaker
+                       ) -> List[dict]:
+    """Per-candidate decision verdicts for one prefix's contest.
+
+    Returns, sorted by peer, each candidate's outcome: ``selected``,
+    ``multipath``, or ``lost:<step>`` naming the decision-process step
+    the best path won on.
+    """
+    out: List[dict] = []
+    multi = set(multipath)
+    for route in sorted(candidates, key=_peer_key):
+        if best is not None and route == best:
+            verdict = "selected"
+        elif route in multi:
+            verdict = "multipath"
+        elif best is None:
+            verdict = "lost"
+        else:
+            _winner, step = compare_explain(best, route, tie_breaker)
+            verdict = f"lost:{step}"
+        out.append({
+            "peer": str(route.peer_ip) if route.peer_ip else "local",
+            "peer_asn": route.peer_asn,
+            "as_path": list(route.attrs.as_path),
+            "local_pref": route.attrs.local_pref,
+            "verdict": verdict,
+        })
+    return out
+
+
 def _multipath_equivalent(a: Route, b: Route) -> bool:
     """Equal through step 4 (multipath-relax: AS-path *length*, not content)."""
     return (a.attrs.local_pref == b.attrs.local_pref
@@ -78,10 +139,16 @@ def select(candidates: Sequence[Route], multipath: bool = True,
         best = compare(best, route, tie_breaker)
     if not multipath:
         return best, (best,)
-    group: List[Route] = []
-    seen_next_hops = set()
+    # The best route anchors the group: seeding it (and its next hop)
+    # first guarantees it is a member and keeps next hops distinct even
+    # when a lower-addressed peer shares the best path's next hop.
+    best_hop = best.attrs.next_hop
+    group: List[Route] = [best]
+    seen_next_hops = {best_hop.value if best_hop is not None else -1}
     for route in sorted(candidates, key=_peer_key):
-        if not _multipath_equivalent(route, best):
+        if len(group) >= max_paths:
+            break
+        if route == best or not _multipath_equivalent(route, best):
             continue
         hop = route.attrs.next_hop
         hop_key = hop.value if hop is not None else -1
@@ -89,9 +156,4 @@ def select(candidates: Sequence[Route], multipath: bool = True,
             continue
         seen_next_hops.add(hop_key)
         group.append(route)
-        if len(group) >= max_paths:
-            break
-    # The best route is always part of its own multipath set.
-    if best not in group:
-        group = [best] + group[: max_paths - 1]
     return best, tuple(group)

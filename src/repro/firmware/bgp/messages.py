@@ -105,11 +105,19 @@ class OpenMessage:
 
 @dataclass(frozen=True)
 class UpdateMessage:
-    """Announce ``nlri`` with shared ``attrs``; withdraw ``withdrawn``."""
+    """Announce ``nlri`` with shared ``attrs``; withdraw ``withdrawn``.
+
+    ``provenance`` (when route provenance is enabled) carries one causal
+    hop chain per NLRI, index-aligned with ``nlri``; empty when tracing
+    is off.  It is metadata, not protocol state: excluded from equality
+    and repr so message semantics are untouched.
+    """
 
     nlri: Tuple[Prefix, ...] = ()
     attrs: Optional[PathAttributes] = None
     withdrawn: Tuple[Prefix, ...] = ()
+    provenance: Tuple[tuple, ...] = field(default=(), compare=False,
+                                          repr=False)
 
     def __post_init__(self):
         if self.nlri and self.attrs is None:

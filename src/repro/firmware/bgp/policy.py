@@ -8,13 +8,13 @@ operator (and which our human-error scenarios exploit).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ...config.model import DeviceConfig, PrefixList, RouteMap
 from ...net.ip import Prefix
 from .messages import PathAttributes
 
-__all__ = ["apply_route_map", "PolicyContext"]
+__all__ = ["apply_route_map", "evaluate_route_map", "PolicyContext"]
 
 
 class PolicyContext:
@@ -30,21 +30,25 @@ class PolicyContext:
         return cls(config.route_maps, config.prefix_lists)
 
 
-def apply_route_map(context: PolicyContext, map_name: Optional[str],
-                    prefix: Prefix, attrs: PathAttributes,
-                    own_asn: int) -> Optional[PathAttributes]:
-    """Evaluate a route-map; returns transformed attrs or None (denied).
+def evaluate_route_map(context: PolicyContext, map_name: Optional[str],
+                       prefix: Prefix, attrs: PathAttributes, own_asn: int
+                       ) -> Tuple[Optional[PathAttributes], str]:
+    """Evaluate a route-map; returns (attrs-or-None, verdict).
 
-    ``map_name`` None means "no policy": permit unchanged.
+    The verdict is a short code a provenance hop can carry: which clause
+    decided (``permit:<map>#<n>`` / ``deny:<map>#<n>``), or why the
+    route fell through (``no-policy``, ``missing-map:<name>``,
+    ``implicit-deny:<name>``).  ``map_name`` None means "no policy":
+    permit unchanged.
     """
     if map_name is None:
-        return attrs
+        return attrs, "no-policy"
     route_map = context.route_maps.get(map_name)
     if route_map is None:
         # Referencing a nonexistent map denies everything — the production
         # failure mode of a half-applied config change.
-        return None
-    for clause in route_map.clauses:
+        return None, f"missing-map:{map_name}"
+    for index, clause in enumerate(route_map.clauses):
         if clause.match_prefix_list is not None:
             plist = context.prefix_lists.get(clause.match_prefix_list)
             if plist is None or not plist.matches(prefix):
@@ -53,7 +57,7 @@ def apply_route_map(context: PolicyContext, map_name: Optional[str],
             if clause.match_community not in attrs.communities:
                 continue
         if clause.action == "deny":
-            return None
+            return None, f"deny:{map_name}#{index}"
         changes = {}
         if clause.set_local_pref is not None:
             changes["local_pref"] = clause.set_local_pref
@@ -64,5 +68,12 @@ def apply_route_map(context: PolicyContext, map_name: Optional[str],
         result = attrs.replace(**changes) if changes else attrs
         if clause.prepend_asn:
             result = result.prepend(own_asn, clause.prepend_asn)
-        return result
-    return None
+        return result, f"permit:{map_name}#{index}"
+    return None, f"implicit-deny:{map_name}"
+
+
+def apply_route_map(context: PolicyContext, map_name: Optional[str],
+                    prefix: Prefix, attrs: PathAttributes,
+                    own_asn: int) -> Optional[PathAttributes]:
+    """Evaluate a route-map; returns transformed attrs or None (denied)."""
+    return evaluate_route_map(context, map_name, prefix, attrs, own_asn)[0]

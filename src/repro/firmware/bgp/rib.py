@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ...net.ip import IPv4Address, Prefix
@@ -17,6 +17,11 @@ class Route:
 
     ``peer_ip`` is None for locally-originated routes (network statements,
     aggregates).
+
+    ``provenance`` is the causal hop chain that produced this entry
+    (see :mod:`repro.provenance.chain`); empty when tracing is off.  It
+    is excluded from equality so provenance-enabled and -disabled runs
+    make byte-identical routing decisions.
     """
 
     prefix: Prefix
@@ -24,6 +29,7 @@ class Route:
     peer_ip: Optional[IPv4Address]
     peer_asn: Optional[int]
     is_ebgp: bool = True
+    provenance: tuple = field(default=(), compare=False, repr=False)
 
     @property
     def is_local(self) -> bool:

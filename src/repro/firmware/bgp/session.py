@@ -73,6 +73,9 @@ class BgpSession:
         self._last_recv = 0.0
         self._hold_check_scheduled = False
         self.flaps = 0
+        # Incremented on every (re-)establishment; provenance receive
+        # hops carry it so an explain can tell pre- from post-flap state.
+        self.epoch = 0
         self.updates_sent = 0
         self.updates_received = 0
         self.last_error = ""
@@ -216,6 +219,7 @@ class BgpSession:
     def _establish(self) -> None:
         if self.state == "established":
             return
+        self.epoch += 1
         self._set_state("established")
         if self.conn is not None:
             self.conn.send(KeepaliveMessage())

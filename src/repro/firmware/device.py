@@ -24,6 +24,7 @@ from ..net.ip import IPv4Address
 from ..net.packet import Ipv4Packet
 from ..net.stream import StreamManager
 from ..obs import NULL_OBS
+from ..provenance.chain import NULL_PROVENANCE
 from ..sim import Environment
 from ..virt.container import Container
 from .bgp.daemon import BgpDaemon
@@ -59,7 +60,7 @@ class DeviceOS:
     def __init__(self, env: Environment, hostname: str, vendor: VendorProfile,
                  config_text: str, seed: int = 0,
                  on_crash: Optional[Callable[[str], None]] = None,
-                 obs=NULL_OBS):
+                 obs=NULL_OBS, prov=NULL_PROVENANCE):
         self.env = env
         self.hostname = hostname
         self.vendor = vendor
@@ -67,6 +68,7 @@ class DeviceOS:
         self.rng = random.Random(seed or (hash(hostname) & 0xFFFFFF))
         self.on_crash = on_crash
         self.obs = obs
+        self.prov = prov
 
         self.status = "stopped"  # stopped|booting|running|crashed
         self.container: Optional[Container] = None
@@ -162,7 +164,7 @@ class DeviceOS:
             self.bgp = BgpDaemon(
                 self.env, self.stack, self.streams, self.config, self.vendor,
                 self.worker, rng=random.Random(self.rng.getrandbits(32)),
-                on_crash=self._crashed, obs=self.obs)
+                on_crash=self._crashed, obs=self.obs, prov=self.prov)
             self.bgp.start()
         self.status = "running"
         self.booted_at = self.env.now

@@ -24,6 +24,7 @@ from ..config.model import (
 from ..net.ip import IPv4Address, Prefix
 from ..net.packet import MacAllocator
 from ..net.stream import StreamManager
+from ..provenance.chain import NULL_PROVENANCE, ProvenanceTracker
 from ..sim import CpuScheduler, Environment
 from ..virt.netns import NetworkNamespace, VethPair
 from .bgp.daemon import BgpDaemon
@@ -100,7 +101,8 @@ class LabRouter:
         self.daemon = BgpDaemon(
             self.lab.env, self.stack, self.streams, self.config(),
             self.vendor, self.worker,
-            rng=random.Random(self.lab.rng.getrandbits(32)))
+            rng=random.Random(self.lab.rng.getrandbits(32)),
+            prov=self.lab.prov)
         self.daemon.start()
         return self.daemon
 
@@ -108,13 +110,17 @@ class LabRouter:
 class BgpLab:
     """Declarative bench for BGP topologies."""
 
-    def __init__(self, seed: int = 11):
+    def __init__(self, seed: int = 11, provenance: bool = True):
         self.env = Environment()
         self.rng = random.Random(seed)
         self.macs = MacAllocator()
         self.routers: Dict[str, LabRouter] = {}
         self.cables: List[Tuple[str, str, VethPair]] = []
         self._subnets = Prefix("172.16.0.0/12").subnets(31)
+        # Route provenance is on by default: chains are excluded from
+        # route equality, so tracing never changes protocol behaviour.
+        self.prov = (ProvenanceTracker() if provenance
+                     else NULL_PROVENANCE)
 
     def router(self, name: str, asn: int, networks: List[str] = (),
                vendor: str | VendorProfile = "ctnr-a",

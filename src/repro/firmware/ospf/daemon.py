@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ...net.ip import IPv4Address, Prefix
 from ...net.packet import Ipv4Packet
+from ...obs import NULL_OBS
 from ...sim import Environment
 from ..fib import FibEntry, NextHop
 from ..netstack import HostStack
@@ -59,7 +60,8 @@ class OspfDaemon:
                  interfaces: List[OspfInterfaceConfig],
                  stub_networks: Optional[List[Prefix]] = None,
                  worker: Optional[SerialWorker] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 obs=NULL_OBS):
         self.env = env
         self.stack = stack
         self.router_id = router_id
@@ -68,6 +70,24 @@ class OspfDaemon:
         self.worker = worker
         self.rng = rng or random.Random(router_id.value)
         self.running = False
+        self.obs = obs
+        # Hot-path handles resolved once (same discipline as the BGP
+        # daemon); with a detached hub these are shared no-op children.
+        device = getattr(stack, "hostname", "") or str(router_id)
+        self._device = device
+        metrics = obs.metrics
+        self._m_lsa_rx = metrics.counter(
+            "repro_ospf_lsa_rx_total",
+            "LSAs received in LS Updates").labels(device=device)
+        self._m_lsa_tx = metrics.counter(
+            "repro_ospf_lsa_tx_total",
+            "LSA copies flooded out (per interface)").labels(device=device)
+        self._m_spf = metrics.counter(
+            "repro_ospf_spf_runs_total",
+            "SPF (Dijkstra) executions").labels(device=device)
+        self._g_lsdb = metrics.gauge(
+            "repro_ospf_lsdb_size",
+            "Router LSAs held in the LSDB").labels(device=device)
 
         # Per-interface neighbor tables and DR/BDR views.
         self.neighbors: Dict[str, Dict[int, _Neighbor]] = {
@@ -227,7 +247,8 @@ class OspfDaemon:
             links.append(("stub", network, 1))
         self._my_seq += 1
         lsa = Lsa(adv_router=self.router_id, seq=self._my_seq,
-                  links=tuple(links))
+                  links=tuple(links),
+                  provenance=f"{self._device}/lsa#{self._my_seq}")
         self.lsas_originated += 1
         self._install_lsa(lsa, from_if=None)
 
@@ -236,6 +257,7 @@ class OspfDaemon:
         if current is not None and not lsa.newer_than(current):
             return
         self.lsdb[lsa.key] = lsa
+        self._g_lsdb.set(len(self.lsdb))
         self._flood(lsa, exclude_if=from_if)
         self._schedule_spf()
 
@@ -249,6 +271,7 @@ class OspfDaemon:
             local = self.stack.addresses.get(ifname)
             if local is None:
                 continue
+            self._m_lsa_tx.inc()
             self._multicast(ifname, Ipv4Packet(
                 src=local.address, dst=ALL_OSPF_ROUTERS, protocol=OSPF_PROTO,
                 ttl=1, payload=("lsu", LsUpdate(lsas=(lsa,)))))
@@ -258,11 +281,14 @@ class OspfDaemon:
         local = self.stack.addresses.get(ifname)
         if local is None or not self.lsdb:
             return
+        self._m_lsa_tx.inc(len(self.lsdb))
         self._multicast(ifname, Ipv4Packet(
             src=local.address, dst=ALL_OSPF_ROUTERS, protocol=OSPF_PROTO,
             ttl=1, payload=("lsu", LsUpdate(lsas=tuple(self.lsdb.values())))))
 
     def _on_ls_update(self, ingress: str, update: LsUpdate) -> None:
+        self._m_lsa_rx.inc(len(update.lsas))
+
         def process():
             for lsa in update.lsas:
                 if lsa.adv_router == self.router_id:
@@ -286,6 +312,15 @@ class OspfDaemon:
         if not self.running:
             return
         self.spf_runs += 1
+        self._m_spf.inc()
+        span = self.obs.tracer.begin("spf-run", track=f"ospf:{self._device}",
+                                     lsdb_size=len(self.lsdb))
+        try:
+            self._spf_impl()
+        finally:
+            span.finish()
+
+    def _spf_impl(self) -> None:
         graph: Dict[int, List[Tuple[int, int]]] = {}
         stubs: Dict[int, List[Tuple[Prefix, int]]] = {}
         lan_members: Dict[int, List[int]] = {}

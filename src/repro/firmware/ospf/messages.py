@@ -38,6 +38,9 @@ class Lsa:
     adv_router: IPv4Address
     seq: int
     links: Tuple[tuple, ...]
+    # Causal id stamped at origination (repro.provenance); metadata only —
+    # excluded from equality so provenance never changes flooding behavior.
+    provenance: str = field(default="", compare=False, repr=False)
 
     @property
     def key(self) -> int:

@@ -1,0 +1,87 @@
+"""Deterministic provenance exports: what ``netscope`` reads.
+
+Collects per-device causal explanations from a live emulation — either a
+:class:`~repro.core.orchestrator.CrystalNet` (``.devices`` records with a
+``guest.bgp`` daemon) or a :class:`~repro.firmware.lab.BgpLab`
+(``.routers`` with a ``.daemon``) — into one JSON-stable document.  The
+module is deliberately duck-typed so it imports neither layer.
+
+Export discipline matches the rest of the tree: sim-clock times, sorted
+keys, no wall-clock or id() leakage — two pinned-seed runs produce
+byte-identical dumps (a tested property).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+__all__ = ["bgp_daemons", "dump_json", "explain_prefix", "network_dump"]
+
+
+def bgp_daemons(source) -> Dict[str, object]:
+    """Name -> BGP daemon for a CrystalNet, BgpLab, or plain mapping."""
+    devices = getattr(source, "devices", None)
+    if isinstance(devices, dict):                      # CrystalNet
+        out = {}
+        for name, record in devices.items():
+            daemon = getattr(getattr(record, "guest", None), "bgp", None)
+            if daemon is not None:
+                out[name] = daemon
+        return out
+    routers = getattr(source, "routers", None)
+    if isinstance(routers, dict):                      # BgpLab
+        return {name: router.daemon for name, router in routers.items()
+                if router.daemon is not None}
+    if isinstance(source, dict):                       # {name: daemon}
+        return dict(source)
+    raise TypeError(f"cannot extract BGP daemons from {type(source)!r}")
+
+
+def explain_prefix(source, device: str, prefix) -> dict:
+    """One device's causal explanation for one prefix.
+
+    ``prefix`` may be a string or a :class:`~repro.net.ip.Prefix`; the
+    result is :meth:`BgpDaemon.explain` output (origin → policy/decision
+    verdicts → FIB install).
+    """
+    daemons = bgp_daemons(source)
+    daemon = daemons.get(device)
+    if daemon is None:
+        raise KeyError(f"no BGP daemon on device {device!r} "
+                       f"(have: {', '.join(sorted(daemons))})")
+    if isinstance(prefix, str):
+        from ..net.ip import Prefix
+        prefix = Prefix(prefix)
+    return daemon.explain(prefix)
+
+
+def network_dump(source, prefixes=None) -> dict:
+    """The full provenance document ``netscope explain`` renders.
+
+    Explains every Loc-RIB prefix (and recorded rejection) on every
+    device, or only ``prefixes`` (strings) when given.  Deterministic:
+    devices and prefixes are emitted in sorted order.
+    """
+    wanted: Optional[set] = None
+    if prefixes is not None:
+        wanted = {str(p) for p in prefixes}
+    doc: dict = {"version": 1, "devices": {}}
+    daemons = bgp_daemons(source)
+    for name in sorted(daemons):
+        daemon = daemons[name]
+        known = set(daemon.loc_rib.prefixes())
+        known.update(daemon.reject_prov)
+        entries = {}
+        for prefix in sorted(known, key=lambda p: p.key()):
+            text = str(prefix)
+            if wanted is not None and text not in wanted:
+                continue
+            entries[text] = daemon.explain(prefix)
+        doc["devices"][name] = {"prefixes": entries}
+    return doc
+
+
+def dump_json(source, prefixes=None) -> str:
+    return json.dumps(network_dump(source, prefixes),
+                      sort_keys=True, indent=2) + "\n"

@@ -1,8 +1,10 @@
 """Operator automation tools running against the Table 2 API (§7).
 
-The ``obsdump`` CLI lives in :mod:`repro.tools.obsdump` (run it with
-``python -m repro.tools.obsdump``); it is not imported here so the
-module can be executed with ``-m`` without a double-import warning.
+The ``obsdump`` CLI lives in :mod:`repro.tools.obsdump` and the
+``netscope`` route-provenance CLI in :mod:`repro.tools.netscope` (run
+them with ``python -m repro.tools.<name>``); they are not imported here
+so the modules can be executed with ``-m`` without a double-import
+warning.
 """
 
 from .operations import (

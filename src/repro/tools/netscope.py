@@ -1,0 +1,226 @@
+"""``netscope`` — route-provenance introspection for emulation artifacts.
+
+Operates offline on the deterministic JSON exports the provenance stack
+writes (:func:`repro.provenance.dump_json` network dumps,
+:meth:`~repro.provenance.StateTimeline.to_json` timelines, and
+:meth:`~repro.chaos.engine.ChaosEngine.blast_report` blast reports):
+
+* ``explain`` — the complete causal chain behind one device's view of one
+  prefix: origin announcement → per-hop policy/decision verdicts → FIB
+  install, plus the losing candidates and why each lost.
+* ``diff`` — FIB differences between two instants of a recorded timeline.
+* ``blame`` — per-fault blast radius: which prefixes each injected fault
+  churned, on which devices, and when each device re-converged.
+
+Usage::
+
+    python -m repro.tools.netscope explain dump.json r3 10.1.0.0/24
+    python -m repro.tools.netscope diff timeline.json 0 120 [--json]
+    python -m repro.tools.netscope blame blast.json [--fault REF]
+    python -m repro.tools.netscope blame timeline.json \\
+        --fault fault:link-down:t0|t1@30 --start 30 --end 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..provenance.timeline import StateTimeline
+
+__all__ = ["main"]
+
+
+def _load_json(path: str) -> dict:
+    with open(path) as fh:
+        text = fh.read()
+    if not text.strip():
+        raise ValueError("file is empty")
+    return json.loads(text)
+
+
+def _render_hop(hop: dict) -> str:
+    parts = [f"t={hop.get('time', 0):<10g}", f"{hop.get('action', '?'):<20}",
+             f"{hop.get('device', '?'):<12}"]
+    if hop.get("peer"):
+        parts.append(f"peer={hop['peer']}")
+    if hop.get("detail"):
+        parts.append(hop["detail"])
+    if hop.get("ref"):
+        parts.append(f"[{hop['ref']}]")
+    return "  " + " ".join(parts)
+
+
+def _render_explain(entry: dict) -> str:
+    lines = [f"{entry.get('device', '?')} {entry.get('prefix', '?')} — "
+             f"{entry.get('state', 'unknown')}"
+             + (f" (origin {entry['origin']})" if entry.get("origin") else "")]
+    for hop in entry.get("chain", ()):
+        lines.append(_render_hop(hop))
+    candidates = entry.get("candidates", ())
+    if candidates:
+        lines.append("candidates:")
+        for cand in candidates:
+            lines.append(
+                f"  peer {cand.get('peer', '?')} (asn {cand.get('peer_asn', '?')}) "
+                f"as-path {cand.get('as_path', [])} "
+                f"local-pref {cand.get('local_pref', '?')} — "
+                f"{cand.get('verdict', '?')}")
+    if entry.get("suppressed"):
+        lines.append(f"suppressed: {', '.join(entry['suppressed'])}")
+    fib = entry.get("fib")
+    if fib:
+        hops = fib.get("next_hops", [])
+        lines.append(f"fib: {len(hops)} next hop(s) via "
+                     f"{', '.join(hops)} (source {fib.get('source', '?')})")
+    return "\n".join(lines)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    doc = _load_json(args.path)
+    devices = doc.get("devices")
+    if not isinstance(devices, dict):
+        raise ValueError("not a provenance network dump (no 'devices')")
+    device = devices.get(args.device)
+    if device is None:
+        print(f"netscope: unknown device {args.device!r} "
+              f"(have: {', '.join(sorted(devices))})", file=sys.stderr)
+        return 2
+    entry = device.get("prefixes", {}).get(args.prefix)
+    if entry is None:
+        known = ", ".join(sorted(device.get("prefixes", {}))) or "(none)"
+        print(f"netscope: {args.device} has no record of {args.prefix} "
+              f"(have: {known})", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    else:
+        print(_render_explain(entry))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    doc = _load_json(args.path)
+    if "records" not in doc:
+        raise ValueError("not a StateTimeline export (no 'records')")
+    timeline = StateTimeline.from_dict(doc)
+    differences = timeline.diff(args.t1, args.t2)
+    if args.json:
+        print(json.dumps(
+            [{"device": d.device, "prefix": d.prefix, "kind": d.kind,
+              "left": sorted(d.left), "right": sorted(d.right)}
+             for d in differences], indent=2, sort_keys=True))
+        return 0
+    if not differences:
+        print(f"(no FIB differences between t={args.t1:g} and t={args.t2:g})")
+        return 0
+    for diff in differences:
+        print(f"{diff.device:<12} {diff.prefix:<20} {diff.kind:<10} "
+              f"{sorted(diff.left)} -> {sorted(diff.right)}")
+    print(f"{len(differences)} difference(s)")
+    return 0
+
+
+def _render_blast(blast: dict) -> str:
+    window = blast.get("window", {})
+    lines = [f"{blast.get('fault', '?')}",
+             f"  window t={window.get('start', 0):g}"
+             f"..{window.get('end', 0):g}  "
+             f"{blast.get('churned_prefixes', 0)} prefixes churned on "
+             f"{blast.get('devices', 0)} device(s)"]
+    converged = blast.get("converged_at", {})
+    for device, prefixes in sorted(blast.get("churned", {}).items()):
+        when = converged.get(device)
+        suffix = f" (converged t={when:g})" if when is not None else ""
+        lines.append(f"  {device}: {', '.join(prefixes)}{suffix}")
+    return "\n".join(lines)
+
+
+def _cmd_blame(args: argparse.Namespace) -> int:
+    doc = _load_json(args.path)
+    if "blast" in doc:
+        blasts = doc["blast"]
+    elif "records" in doc:
+        if args.fault is None or args.start is None or args.end is None:
+            print("netscope: blaming a raw timeline needs --fault, --start "
+                  "and --end (or pass a ChaosEngine.blast_report() file)",
+                  file=sys.stderr)
+            return 2
+        timeline = StateTimeline.from_dict(doc)
+        blasts = [timeline.blame(args.fault, args.start, args.end).to_dict()]
+    else:
+        raise ValueError("neither a blast report nor a timeline export")
+    if args.fault is not None:
+        blasts = [b for b in blasts if args.fault in b.get("fault", "")]
+    if args.json:
+        print(json.dumps({"blast": blasts}, indent=2, sort_keys=True))
+        return 0 if blasts else 1
+    if not blasts:
+        print("(no matching faults)", file=sys.stderr)
+        return 1
+    for blast in blasts:
+        print(_render_blast(blast))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netscope",
+        description="Explain routes, diff timelines, and attribute faults "
+                    "from repro.provenance exports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_explain = sub.add_parser(
+        "explain", help="causal chain for one device's view of one prefix")
+    p_explain.add_argument("path", help="network dump JSON (dump_json)")
+    p_explain.add_argument("device")
+    p_explain.add_argument("prefix")
+    p_explain.add_argument("--json", action="store_true",
+                           help="raw entry instead of rendered text")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_diff = sub.add_parser(
+        "diff", help="FIB differences between two timeline instants")
+    p_diff.add_argument("path", help="StateTimeline.to_json() file")
+    p_diff.add_argument("t1", type=float)
+    p_diff.add_argument("t2", type=float)
+    p_diff.add_argument("--json", action="store_true")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_blame = sub.add_parser(
+        "blame", help="per-fault blast radius (churned prefixes, "
+                      "convergence times)")
+    p_blame.add_argument("path",
+                         help="blast_report() JSON or timeline export")
+    p_blame.add_argument("--fault", default=None,
+                         help="only faults whose provenance id contains this")
+    p_blame.add_argument("--start", type=float, default=None,
+                         help="window start (timeline input only)")
+    p_blame.add_argument("--end", type=float, default=None,
+                         help="window end (timeline input only)")
+    p_blame.add_argument("--json", action="store_true")
+    p_blame.set_defaults(func=_cmd_blame)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:     # output piped into head/less and closed
+        sys.stderr.close()
+        return 0
+    except OSError as exc:
+        print(f"netscope: cannot read {args.path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+        print(f"netscope: {args.path}: not a valid provenance export "
+              f"({exc})", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

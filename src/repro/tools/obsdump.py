@@ -26,7 +26,17 @@ from ..obs.profile import ConvergenceProfiler
 __all__ = ["main"]
 
 
+def _load_text(path: str) -> str:
+    """Read one export file, rejecting empty ones up front."""
+    with open(path) as fh:
+        text = fh.read()
+    if not text.strip():
+        raise ValueError("file is empty")
+    return text
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    _load_text(args.path)
     profiler = ConvergenceProfiler.load(args.path)
     if args.json:
         print(json.dumps(profiler.report(), indent=2, sort_keys=True))
@@ -37,8 +47,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Render a ``MetricsRegistry.to_json()`` snapshot as a table."""
-    with open(args.path) as fh:
-        doc = json.load(fh)
+    doc = json.loads(_load_text(args.path))
     metrics = doc.get("metrics", doc)
     shown = 0
     for name in sorted(metrics):
@@ -64,8 +73,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 def _cmd_events(args: argparse.Namespace) -> int:
     """Render an ``EventLog.to_jsonl()`` export chronologically."""
-    with open(args.path) as fh:
-        lines = [json.loads(line) for line in fh if line.strip()]
+    lines = [json.loads(line)
+             for line in _load_text(args.path).splitlines() if line.strip()]
     for record in lines:
         if args.kind and record.get("kind") != args.kind:
             continue
@@ -114,6 +123,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:     # output piped into head/less and closed
         sys.stderr.close()
         return 0
+    except OSError as exc:      # missing / unreadable export
+        print(f"obsdump: cannot read {args.path}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+        print(f"obsdump: {args.path}: not a valid repro.obs export ({exc})",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

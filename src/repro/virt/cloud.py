@@ -24,6 +24,7 @@ from typing import Dict, Iterator, Optional, TYPE_CHECKING
 
 from ..net.ip import IPv4Address, Prefix
 from ..net.packet import MacAllocator, Ipv4Packet, UdpDatagram, VXLAN_UDP_PORT
+from ..obs import NULL_OBS
 from ..sim import CpuScheduler, Environment, Event
 from .netns import Bridge
 from .vxlan import VniAllocator, VxlanEndpoint
@@ -77,7 +78,8 @@ class VirtualMachine:
         self.state = "provisioning"  # provisioning|running|failed|deleted
         self.cpu = CpuScheduler(env, cores=sku.cores, name=f"{name}.cpu")
         self.vni_allocator = VniAllocator()
-        self.vxlan = VxlanEndpoint(env, underlay_ip, self._underlay_send)
+        self.vxlan = VxlanEndpoint(env, underlay_ip, self._underlay_send,
+                                   obs=cloud.obs)
         self.bridges: Dict[str, Bridge] = {}
         self.docker: Optional["DockerEngine"] = None
         self.spawned_at = env.now
@@ -101,7 +103,7 @@ class VirtualMachine:
             for port in list(bridge.ports):
                 port.set_down()
         self.bridges.clear()
-        self.vxlan.tunnels.clear()
+        self.vxlan.clear_tunnels()
         self.vni_allocator = VniAllocator()
 
     def reboot(self) -> Event:
@@ -162,9 +164,12 @@ class Cloud:
 
     def __init__(self, env: Environment, name: str = "azure",
                  underlay_prefix: str = "100.64.0.0/10",
-                 seed: int = 7, capacity: int = 100000):
+                 seed: int = 7, capacity: int = 100000, obs=NULL_OBS):
         self.env = env
         self.name = name
+        # Read at VM-spawn time (VXLAN gauge); the orchestrator rebinds
+        # it to the emulation's hub for clouds created before CrystalNet.
+        self.obs = obs
         self.rng = random.Random(seed)
         self.capacity = capacity
         self.vms: Dict[str, VirtualMachine] = {}

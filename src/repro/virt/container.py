@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Protocol
 
+from ..obs import NULL_OBS
 from ..sim import Environment, Event
 from .cloud import VirtualMachine
 from .netns import NetworkNamespace
@@ -124,6 +125,7 @@ class Container:
                 return
             self.state = "running"
             self.started_at = self.env.now
+            self.engine._m_lifecycle.inc(event="start")
             if self.guest is not None:
                 self.guest.on_start(self)
             done.succeed(self)
@@ -136,6 +138,7 @@ class Container:
         if self.state not in ("running", "starting"):
             return
         self.state = "exited"
+        self.engine._m_lifecycle.inc(event="stop")
         if self.guest is not None:
             self.guest.on_stop()
 
@@ -154,6 +157,7 @@ class Container:
             return
         self.state = "exited"
         self.oom_kills += 1
+        self.engine._m_lifecycle.inc(event="oom-kill")
         if self.guest is not None:
             self.guest.on_stop()
             if hasattr(self.guest, "status"):
@@ -164,6 +168,7 @@ class Container:
         path of §8.3 — no interface/link re-creation needed)."""
         self.stop()
         self.restarts += 1
+        self.engine._m_lifecycle.inc(event="restart")
         return self.start(warm=True)
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -173,12 +178,17 @@ class Container:
 class DockerEngine:
     """Per-VM container manager."""
 
-    def __init__(self, env: Environment, vm: VirtualMachine):
+    def __init__(self, env: Environment, vm: VirtualMachine, obs=NULL_OBS):
         self.env = env
         self.vm = vm
         vm.docker = self
         self.containers: Dict[str, Container] = {}
         self.images: Dict[str, ContainerImage] = {PHYNET_IMAGE.name: PHYNET_IMAGE}
+        # Lifecycle counter shared by every container on this engine;
+        # labelled per event, not per container (bounded cardinality).
+        self._m_lifecycle = obs.metrics.counter(
+            "repro_container_lifecycle_total",
+            "Container lifecycle events (start/stop/oom-kill/restart)")
 
     def pull_image(self, image: ContainerImage) -> None:
         self.images[image.name] = image

@@ -20,6 +20,7 @@ from ..net.packet import (
     UdpDatagram,
     VxlanHeader,
 )
+from ..obs import NULL_OBS
 from ..sim import Environment
 from .netns import VirtualInterface
 
@@ -97,13 +98,19 @@ class VxlanEndpoint:
     """
 
     def __init__(self, env: Environment, ip: IPv4Address,
-                 underlay_send: UnderlaySend, port: int = VXLAN_UDP_PORT):
+                 underlay_send: UnderlaySend, port: int = VXLAN_UDP_PORT,
+                 obs=NULL_OBS):
         self.env = env
         self.ip = ip
         self.port = port
         self.underlay_send = underlay_send
         self.tunnels: Dict[int, VxlanTunnel] = {}
         self.rx_unknown_vni = 0
+        # Fleet-wide gauge of live tunnels (one unlabelled child shared by
+        # every endpoint bound to the same registry).
+        self._g_tunnels = obs.metrics.gauge(
+            "repro_vxlan_tunnels",
+            "VXLAN tunnels currently terminated").labels()
 
     def create_tunnel(self, vni: int, remote_ip: IPv4Address, name: str,
                       mac: MacAddress,
@@ -112,10 +119,20 @@ class VxlanEndpoint:
             raise ValueError(f"VNI {vni} already terminated at {self.ip}")
         tunnel = VxlanTunnel(self, vni, remote_ip, remote_port, name, mac)
         self.tunnels[vni] = tunnel
+        self._g_tunnels.inc()
         return tunnel
 
     def destroy_tunnel(self, vni: int) -> Optional[VxlanTunnel]:
-        return self.tunnels.pop(vni, None)
+        tunnel = self.tunnels.pop(vni, None)
+        if tunnel is not None:
+            self._g_tunnels.dec()
+        return tunnel
+
+    def clear_tunnels(self) -> None:
+        """Drop every tunnel at once (VM crash path), keeping the gauge
+        honest."""
+        self._g_tunnels.dec(len(self.tunnels))
+        self.tunnels.clear()
 
     def handle_datagram(self, packet: Ipv4Packet) -> None:
         """Entry point for underlay UDP traffic addressed to this endpoint."""

@@ -34,7 +34,9 @@ def run_incident(emulation_id, with_chaos):
     net = CrystalNet(emulation_id=emulation_id, seed=360)
     net.prepare(build_clos(SDC()))
     net.mockup()
+    engine = None
     if with_chaos:
+        net.enable_timeline()
         monitor = HealthMonitor(net, check_interval=5.0, spares=1)
         monitor.start()
         net.run(200)
@@ -50,11 +52,26 @@ def run_incident(emulation_id, with_chaos):
     net.reload(CANARY, vendor=buggy)
     net.converge()
     detected = SUPPRESSED not in dict(net.pull_states(WITNESS)["fib"])
-    return detected
+    return detected, engine
 
 
-def test_verdict_unchanged_under_background_chaos():
-    quiet = run_incident("it-chq", with_chaos=False)
-    chaotic = run_incident("it-chc", with_chaos=True)
+def test_verdict_unchanged_under_background_chaos(tmp_path):
+    quiet, _ = run_incident("it-chq", with_chaos=False)
+    chaotic, engine = run_incident("it-chc", with_chaos=True)
     assert quiet is True  # the emulation catches the bug on a quiet run
     assert chaotic == quiet
+
+    # Blast-radius attribution: at least one background fault is blamed
+    # for the FIB churn its settle window saw, end to end through the
+    # netscope CLI on the exported artifact.
+    assert engine.blast, "chaos run recorded no blast radii"
+    attributed = [b for b in engine.blast if b.churned_prefix_count > 0]
+    assert attributed, "no fault attributed to churned prefixes"
+    blast_path = tmp_path / "blast.json"
+    blast_path.write_text(engine.blast_report())
+    from repro.tools.netscope import main as netscope
+    assert netscope(["blame", str(blast_path),
+                     "--fault", attributed[0].fault_ref]) == 0
+    # A fault id that matches nothing must not exit 0.
+    assert netscope(["blame", str(blast_path),
+                     "--fault", "fault:nonexistent"]) == 1

@@ -1,0 +1,40 @@
+"""obsdump must fail loudly (exit 2) on missing/empty/corrupt exports."""
+
+import json
+
+from repro.tools.obsdump import main as obsdump
+
+
+def test_missing_file_exits_2(tmp_path, capsys):
+    for command in (["profile", str(tmp_path / "gone.json")],
+                    ["metrics", str(tmp_path / "gone.json")],
+                    ["events", str(tmp_path / "gone.jsonl")]):
+        assert obsdump(command) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+def test_empty_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    path.write_text("   \n")
+    for command in (["profile", str(path)], ["metrics", str(path)],
+                    ["events", str(path)]):
+        assert obsdump(command) == 2
+        assert "file is empty" in capsys.readouterr().err
+
+
+def test_corrupt_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "corrupt.json"
+    path.write_text("{definitely not json")
+    for command in (["profile", str(path)], ["metrics", str(path)],
+                    ["events", str(path)]):
+        assert obsdump(command) == 2
+        assert "not a valid" in capsys.readouterr().err
+
+
+def test_valid_metrics_still_render(tmp_path, capsys):
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps({"metrics": {
+        "repro_demo_total": {"type": "counter", "samples": [
+            {"labels": {}, "value": 3}]}}}))
+    assert obsdump(["metrics", str(path)]) == 0
+    assert "repro_demo_total" in capsys.readouterr().out

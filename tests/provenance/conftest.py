@@ -1,0 +1,46 @@
+"""Shared harness: the Fig. 1 divergent-aggregation lab.
+
+R6 (CTNR-A, inherit-best) and R7 (CTNR-B, reset-path) both aggregate
+P1+P2 into P3; R8 prefers R7's shorter path.  The provenance chains for
+P3 must explain *why* — the question the paper's incident took operators
+days to answer on hardware.
+"""
+
+import pytest
+
+from repro.config.model import AggregateConfig
+from repro.firmware.lab import BgpLab
+from repro.net import Prefix
+
+P1 = "10.1.0.0/24"
+P2 = "10.1.1.0/24"
+P3 = "10.1.0.0/23"
+
+
+def build_fig1(vendor_r6: str = "ctnr-a", vendor_r7: str = "ctnr-b",
+               provenance: bool = True) -> BgpLab:
+    lab = BgpLab(seed=51, provenance=provenance)
+    r1 = lab.router("r1", asn=1, networks=[P1, P2])
+    mids = [lab.router(f"r{i}", asn=i) for i in range(2, 6)]
+    r6 = lab.router("r6", asn=6, vendor=vendor_r6)
+    r7 = lab.router("r7", asn=7, vendor=vendor_r7)
+    r8 = lab.router("r8", asn=8)
+    for mid in mids:
+        lab.link(r1, mid)
+    lab.link(mids[0], r6)
+    lab.link(mids[1], r6)
+    lab.link(mids[2], r7)
+    lab.link(mids[3], r7)
+    lab.link(r6, r8)
+    lab.link(r7, r8)
+    agg = AggregateConfig(prefix=Prefix(P3), summary_only=True)
+    r6.aggregates.append(agg)
+    r7.aggregates.append(agg)
+    lab.start()
+    lab.converge(timeout=900)
+    return lab
+
+
+@pytest.fixture(scope="session")
+def fig1_lab() -> BgpLab:
+    return build_fig1()

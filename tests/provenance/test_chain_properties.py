@@ -1,0 +1,131 @@
+"""Property tests for provenance chains (ISSUE 3 satellite).
+
+Three guarantees: chains are acyclic, every chain is rooted at an origin
+announcement (or aggregation) carrying a minted causal id, and two
+pinned-seed runs export byte-identical provenance dumps.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provenance import (
+    ProvenanceTracker,
+    chain_to_dicts,
+    origin_ref,
+)
+from repro.provenance.chain import ROOT_ACTIONS
+from repro.provenance.dump import dump_json, network_dump
+
+from .conftest import build_fig1
+
+DEVICES = st.sampled_from(["r1", "r2", "r3"])
+PREFIXES = st.sampled_from(["10.0.0.0/24", "10.0.1.0/24", "10.1.0.0/23"])
+
+
+# ---------------------------------------------------------------------------
+# Tracker-level properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), DEVICES, PREFIXES),
+                min_size=1, max_size=40))
+def test_minted_refs_are_globally_unique(ops):
+    tracker = ProvenanceTracker()
+    refs = []
+    chain = ()
+    for time, (is_aggregate, device, prefix) in enumerate(ops):
+        if is_aggregate:
+            chain = tracker.aggregate(device, prefix, float(time),
+                                      base=chain, detail="mode=test")
+        else:
+            chain = tracker.originate(device, prefix, float(time))
+        refs.append(origin_ref(chain))
+    assert all(refs)
+    assert len(set(refs)) == len(refs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(DEVICES, st.sampled_from(
+    ["receive", "import", "select", "advertise", "fib-install"])),
+    max_size=30))
+def test_extend_shares_prefix_and_stays_rooted(steps):
+    tracker = ProvenanceTracker()
+    chain = tracker.originate("r1", "10.0.0.0/24", 0.0)
+    root = chain
+    for time, (device, action) in enumerate(steps, start=1):
+        extended = tracker.extend(chain, action, device, float(time))
+        assert extended[:len(chain)] == chain   # append-only prefix sharing
+        chain = extended
+    assert chain[0] is root[0]
+    assert chain[0].action in ROOT_ACTIONS
+    assert origin_ref(chain) == root[0].ref
+    # Acyclic: no hop ever repeats within one chain.
+    assert len(set(chain)) == len(chain)
+    # Times never run backwards.
+    times = [hop.time for hop in chain]
+    assert times == sorted(times)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=3))
+def test_aggregate_reroots_blame(n_extends):
+    tracker = ProvenanceTracker()
+    chain = tracker.originate("r1", "10.0.0.0/24", 0.0)
+    for i in range(n_extends):
+        chain = tracker.extend(chain, "advertise", "r1", float(i + 1))
+    aggregated = tracker.aggregate("r6", "10.0.0.0/23", 10.0, base=chain,
+                                   detail="mode=inherit-best")
+    # The aggregate hop carries a fresh ref and wins origin attribution.
+    assert aggregated[-1].ref != chain[0].ref
+    assert origin_ref(aggregated) == aggregated[-1].ref
+    # ... without erasing the contributor's history.
+    assert aggregated[:len(chain)] == chain
+
+
+# ---------------------------------------------------------------------------
+# Whole-network properties on the Fig. 1 lab
+# ---------------------------------------------------------------------------
+
+def test_every_chain_is_rooted_and_acyclic(fig1_lab):
+    doc = network_dump(fig1_lab)
+    checked = 0
+    for device, body in doc["devices"].items():
+        for prefix, entry in body["prefixes"].items():
+            chain = entry["chain"]
+            if not chain:
+                continue
+            checked += 1
+            first = chain[0]
+            assert first["action"] in ROOT_ACTIONS, (device, prefix)
+            assert first.get("ref"), (device, prefix)
+            assert entry["origin"], (device, prefix)
+            # Acyclic: no identical hop twice, times non-decreasing.
+            seen = [tuple(sorted(hop.items())) for hop in chain]
+            assert len(set(seen)) == len(seen), (device, prefix)
+            times = [hop["time"] for hop in chain]
+            assert times == sorted(times), (device, prefix)
+    assert checked > 10  # the lab produced real chains to check
+
+
+def test_installed_prefixes_explain_their_fib_entry(fig1_lab):
+    doc = network_dump(fig1_lab)
+    for device, body in doc["devices"].items():
+        for prefix, entry in body["prefixes"].items():
+            if entry["state"] != "installed":
+                continue
+            actions = [hop["action"] for hop in entry["chain"]]
+            assert actions[-1] == "fib-install", (device, prefix)
+            assert entry["fib"]["next_hops"], (device, prefix)
+
+
+def test_pinned_seed_runs_dump_byte_identical(fig1_lab):
+    assert dump_json(fig1_lab) == dump_json(build_fig1())
+
+
+def test_chain_to_dicts_omits_empty_fields():
+    tracker = ProvenanceTracker()
+    chain = tracker.extend(tracker.originate("r1", "10.0.0.0/24", 0.0),
+                           "select", "r1", 1.0)
+    dicts = chain_to_dicts(chain)
+    assert "peer" not in dicts[0] and "ref" in dicts[0]
+    assert "ref" not in dicts[1] and "detail" not in dicts[1]

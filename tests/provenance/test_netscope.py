@@ -1,0 +1,113 @@
+"""The netscope CLI against Fig. 1 artifacts, on both vendor profiles."""
+
+import json
+
+import pytest
+
+from repro.provenance import StateTimeline
+from repro.provenance.dump import dump_json, explain_prefix
+from repro.tools.netscope import main as netscope
+
+from .conftest import P3
+
+
+@pytest.fixture(scope="module")
+def dump_path(fig1_lab, tmp_path_factory):
+    path = tmp_path_factory.mktemp("netscope") / "dump.json"
+    path.write_text(dump_json(fig1_lab))
+    return str(path)
+
+
+def test_explain_reset_path_vendor(dump_path, capsys):
+    """R7 (CTNR-B) re-roots P3's chain: blame lands on the aggregation."""
+    assert netscope(["explain", dump_path, "r8", P3]) == 0
+    out = capsys.readouterr().out
+    assert "installed" in out
+    assert "origin r7/10.1.0.0/23#1" in out
+    assert "mode=reset-path" in out
+    assert "fib-install" in out
+    assert "lost:as-path-length" in out        # why R6's aggregate lost
+
+
+def test_explain_inherit_best_vendor(dump_path, capsys):
+    """R6 (CTNR-A) inherits the best contributor — the chain keeps the
+    contributor's full history back to R1's origination."""
+    assert netscope(["explain", dump_path, "r6", P3]) == 0
+    out = capsys.readouterr().out
+    assert "mode=inherit-best" in out
+    assert "originate" in out and "[r1/10.1.0.0/24#1]" in out
+    assert "from=r1/10.1.0.0/24#1,r1/10.1.1.0/24#2" in out
+
+
+def test_explain_json_matches_live_explain(dump_path, fig1_lab, capsys):
+    assert netscope(["explain", dump_path, "r8", P3, "--json"]) == 0
+    rendered = json.loads(capsys.readouterr().out)
+    assert rendered == explain_prefix(fig1_lab, "r8", P3)
+
+
+def test_explain_unknown_targets_fail_loudly(dump_path, capsys):
+    assert netscope(["explain", dump_path, "r99", P3]) == 2
+    assert "unknown device" in capsys.readouterr().err
+    assert netscope(["explain", dump_path, "r8", "192.0.2.0/24"]) == 2
+    assert "no record of" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def timeline_path(tmp_path):
+    timeline = StateTimeline()
+    timeline.record("boot", {
+        "r1": {"fib": [("10.0.0.0/24", ["a"])], "bgp": {"loc_rib": {}}},
+        "r2": {"fib": [("10.0.0.0/24", ["b"])], "bgp": {"loc_rib": {}}},
+    }, time=0.0)
+    timeline.record("fault", {
+        "r1": {"fib": [("10.0.0.0/24", ["c"])], "bgp": {"loc_rib": {}}},
+        "r2": {"fib": [], "bgp": {"loc_rib": {}}},
+    }, time=30.0)
+    path = tmp_path / "timeline.json"
+    path.write_text(timeline.to_json())
+    return str(path)
+
+
+def test_diff_renders_timeline_deltas(timeline_path, capsys):
+    assert netscope(["diff", timeline_path, "0", "30", "--json"]) == 0
+    deltas = json.loads(capsys.readouterr().out)
+    assert {(d["device"], d["kind"]) for d in deltas} == {
+        ("r1", "next-hops"), ("r2", "missing")}
+    assert netscope(["diff", timeline_path, "30", "30"]) == 0
+    assert "no FIB differences" in capsys.readouterr().out
+
+
+def test_blame_computes_from_raw_timeline(timeline_path, capsys):
+    assert netscope(["blame", timeline_path, "--fault", "fault:link-down:x@0",
+                     "--start", "0", "--end", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "fault:link-down:x@0" in out
+    assert "2 prefixes churned on 2 device(s)" in out
+    # Raw timeline without a window is a usage error.
+    assert netscope(["blame", timeline_path]) == 2
+
+
+def test_blame_renders_blast_report(tmp_path, capsys):
+    report = {"version": 1, "blast": [{
+        "fault": "fault:bgp-reset:r1@10", "window": {"start": 10, "end": 40},
+        "devices": 1, "churned_prefixes": 1,
+        "churned": {"r2": ["10.0.0.0/24"]}, "converged_at": {"r2": 25.0}}]}
+    path = tmp_path / "blast.json"
+    path.write_text(json.dumps(report))
+    assert netscope(["blame", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "fault:bgp-reset:r1@10" in out and "converged t=25" in out
+    assert netscope(["blame", str(path), "--fault", "no-such"]) == 1
+
+
+def test_unreadable_inputs_exit_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert netscope(["explain", str(missing), "r8", P3]) == 2
+    assert "cannot read" in capsys.readouterr().err
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    assert netscope(["blame", str(empty)]) == 2
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    assert netscope(["diff", str(corrupt), "0", "1"]) == 2
+    assert "not a valid" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""StateTimeline: delta compression, reconstruction, diff/churn/blame."""
+
+import json
+
+from repro.provenance import StateTimeline
+
+
+def states(**devices):
+    """Build pull_states-shaped input: name -> {prefix: [hops]}."""
+    return {name: {"fib": sorted((p, sorted(h)) for p, h in fib.items()),
+                   "bgp": {"loc_rib": {}}}
+            for name, fib in devices.items()}
+
+
+def make_timeline():
+    timeline = StateTimeline()
+    timeline.record("boot", states(
+        r1={"10.0.0.0/24": ["a"]},
+        r2={"10.0.0.0/24": ["b"], "10.0.1.0/24": ["b"]}), time=0.0)
+    timeline.record("flap", states(
+        r1={"10.0.0.0/24": ["c"]},                      # next hop changed
+        r2={"10.0.0.0/24": ["b"]}), time=10.0)          # 10.0.1.0/24 lost
+    timeline.record("heal", states(
+        r1={"10.0.0.0/24": ["c"]},
+        r2={"10.0.0.0/24": ["b"], "10.0.1.0/24": ["b"]}), time=20.0)
+    return timeline
+
+
+def test_deltas_are_compressed_and_deduplicated():
+    timeline = make_timeline()
+    assert len(timeline.records) == 3
+    # Only the changed entries appear in the second record.
+    delta = timeline.records[1].delta
+    assert delta["r1"]["set"]["fib"] == {"10.0.0.0/24": ["c"]}
+    assert delta["r2"]["del"]["fib"] == ["10.0.1.0/24"]
+    # An identical snapshot records nothing.
+    assert timeline.record("noop", states(
+        r1={"10.0.0.0/24": ["c"]},
+        r2={"10.0.0.0/24": ["b"], "10.0.1.0/24": ["b"]}), time=30.0) is None
+    assert len(timeline.records) == 3
+
+
+def test_snapshot_reconstruction_replays_deltas():
+    timeline = make_timeline()
+    assert timeline.fibs_at(0.0)["r2"] == [
+        ("10.0.0.0/24", ["b"]), ("10.0.1.0/24", ["b"])]
+    assert timeline.fibs_at(10.0)["r2"] == [("10.0.0.0/24", ["b"])]
+    assert timeline.fibs_at()["r1"] == [("10.0.0.0/24", ["c"])]
+    # Mid-window times see the last record at-or-before them.
+    assert timeline.fibs_at(15.0) == timeline.fibs_at(10.0)
+
+
+def test_diff_and_divergence():
+    timeline = make_timeline()
+    differences = timeline.diff(0.0, 10.0)
+    kinds = {(d.device, d.prefix): d.kind for d in differences}
+    assert kinds[("r1", "10.0.0.0/24")] == "next-hops"
+    assert kinds[("r2", "10.0.1.0/24")] == "missing"
+    assert timeline.diff(0.0, 20.0) == [d for d in timeline.diff(0.0, 20.0)]
+    # Golden pinned at the healed state: t=10 diverges, t=20 does not.
+    timeline.set_golden(timeline.fibs_at(20.0))
+    assert timeline.divergence(10.0)
+    assert timeline.divergence(20.0) == []
+
+
+def test_churn_window_is_start_exclusive_end_inclusive():
+    timeline = make_timeline()
+    assert timeline.churn(0.0, 10.0) == {
+        "r1": ["10.0.0.0/24"], "r2": ["10.0.1.0/24"]}
+    assert timeline.churn(10.0, 20.0) == {"r2": ["10.0.1.0/24"]}
+    assert timeline.churn(20.0, 30.0) == {}
+
+
+def test_blame_reports_churn_and_convergence():
+    timeline = make_timeline()
+    blast = timeline.blame("fault:link-down:r1|r2@10", 0.0, 20.0)
+    assert blast.churned == {
+        "r1": ("10.0.0.0/24",), "r2": ("10.0.1.0/24",)}
+    assert blast.churned_prefix_count == 2
+    assert blast.converged_at == {"r1": 10.0, "r2": 20.0}
+    doc = blast.to_dict()
+    assert doc["fault"] == "fault:link-down:r1|r2@10"
+    assert doc["devices"] == 2 and doc["churned_prefixes"] == 2
+
+
+def test_export_round_trips_and_is_deterministic():
+    timeline = make_timeline()
+    timeline.set_golden()
+    first = timeline.to_json()
+    assert first == timeline.to_json()
+    restored = StateTimeline.from_dict(json.loads(first))
+    assert restored.fibs_at() == timeline.fibs_at()
+    assert restored.fibs_at(10.0) == timeline.fibs_at(10.0)
+    assert restored.golden == timeline.golden
+    assert restored.to_json() == first
