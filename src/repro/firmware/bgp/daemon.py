@@ -13,6 +13,7 @@ counterparts' divergences (§2).
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -37,7 +38,7 @@ from .messages import (
     PathAttributes,
     UpdateMessage,
 )
-from .policy import PolicyContext, apply_route_map, evaluate_route_map
+from .policy import PolicyContext, apply_route_map
 from .rib import AdjRibIn, AdjRibOut, LocRib, Route
 from .session import BgpSession
 
@@ -45,6 +46,64 @@ __all__ = ["BgpDaemon"]
 
 # How many NLRI one UPDATE message carries at most (wire MTU analogue).
 MAX_NLRI_PER_UPDATE = 500
+
+# Sentinel distinguishing "cached None (export denied)" from "cache miss".
+_MISS = object()
+
+# 0.0.0.0/0, compared against on every FIB install (quirk check).
+_DEFAULT_ROUTE = Prefix(0, 0)
+
+# Shared next-hop for locally-originated routes (immutable).
+_LOCAL_NEXT_HOP = NextHop(ip=None, interface="local")
+
+
+class _AdvBacklog:
+    """One peer's pending-advertisement queue, drained in prefix order.
+
+    Additions go into a membership dict; the sorted drain order is
+    rebuilt lazily, only when membership changed since the last drain.
+    A 10k-prefix full sync therefore pays one sort total instead of one
+    ``sorted(backlog)`` per advertisement interval — same batches, same
+    order, strictly less work (asserted by the fast-path equivalence
+    tests).
+    """
+
+    __slots__ = ("_members", "_run", "_dirty")
+
+    def __init__(self):
+        self._members: Dict[Prefix, None] = {}
+        self._run: List[Prefix] = []
+        self._dirty = False
+
+    def update(self, prefixes) -> None:
+        members = self._members
+        before = len(members)
+        for prefix in prefixes:
+            members[prefix] = None
+        if len(members) != before:
+            self._dirty = True
+
+    def take(self, cap: int) -> List[Prefix]:
+        """Remove and return the first ``cap`` prefixes in sorted order."""
+        if self._dirty:
+            self._run = sorted(self._members, key=Prefix.key)
+            self._dirty = False
+        batch = self._run[:cap]
+        if batch:
+            del self._run[:cap]
+            members = self._members
+            for prefix in batch:
+                del members[prefix]
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __bool__(self) -> bool:
+        return bool(self._members)
+
+    def __iter__(self):
+        return iter(self._members)
 
 
 class BgpDaemon:
@@ -126,7 +185,25 @@ class BgpDaemon:
         self._dirty: Set[Prefix] = set()
         # Per-peer advertisement backlog, drained max_nlri_per_flush at a
         # time per advertisement interval (vendor send-buffer pacing).
-        self._pending_adv: Dict[int, Set[Prefix]] = {}
+        self._pending_adv: Dict[int, _AdvBacklog] = {}
+        # Export verdicts are pure functions of (peer, best-route identity,
+        # resolved local address); memoized per daemon, invalidated with
+        # the policy cache via :meth:`invalidate_caches`.
+        self._export_cache: Dict[tuple, Optional[PathAttributes]] = {}
+        # With the suppress quirk armed, export verdicts depend on the
+        # prefix even without a route-map (see _export key choice).
+        self._prefix_sensitive = bool(
+            self.vendor.has_quirk("suppress-announcements")
+            and self.vendor.quirk_param("suppress_prefixes"))
+        # Quirk flag read on every FIB install; resolved once (the vendor
+        # profile is fixed for the daemon's lifetime).
+        self._quirk_default_stuck = self.vendor.has_quirk(
+            "default-route-stuck")
+        # Resolved-NextHop memo keyed by gateway address: re-selection
+        # resolves the same handful of gateways constantly, and sharing
+        # the instance lets downstream tuple comparisons (FIB entry
+        # equality, ECMP dedup) short-circuit on identity.
+        self._nh_memo: Dict[int, NextHop] = {}
         self._decision_scheduled = False
         self._flush_scheduled = False
         self.running = False
@@ -151,7 +228,7 @@ class BgpDaemon:
         for network in self.bgp_config.networks:
             self.local_routes[network] = Route(
                 prefix=network,
-                attrs=PathAttributes(as_path=(), origin=ORIGIN_IGP),
+                attrs=PathAttributes.intern(as_path=(), origin=ORIGIN_IGP),
                 peer_ip=None, peer_asn=None, is_ebgp=False,
                 provenance=self.prov.originate(hostname, network,
                                                self.env.now))
@@ -223,11 +300,13 @@ class BgpDaemon:
     def _on_session_established(self, session: BgpSession) -> None:
         peer_key = session.peer_ip.value
         self.worker.submit(self.vendor.session_setup_cost,
-                           lambda: self._mark_full_sync(peer_key))
+                           self._mark_full_sync, peer_key)
 
     def _mark_full_sync(self, peer_key: int) -> None:
         """Queue the entire table toward a newly-established peer."""
-        backlog = self._pending_adv.setdefault(peer_key, set())
+        backlog = self._pending_adv.get(peer_key)
+        if backlog is None:
+            backlog = self._pending_adv[peer_key] = _AdvBacklog()
         backlog.update(self.loc_rib.prefixes())
         self._schedule_flush()
 
@@ -253,7 +332,7 @@ class BgpDaemon:
                            update: UpdateMessage) -> None:
         cost = (self.vendor.update_base_cost
                 + self.vendor.update_per_prefix_cost * update.route_count)
-        self.worker.submit(cost, lambda: self._process_update(session, update))
+        self.worker.submit(cost, self._process_update, session, update)
 
     # -- inbound processing ----------------------------------------------------
 
@@ -263,17 +342,18 @@ class BgpDaemon:
             return
         self._m_updates_rx.inc()
         prov = self.prov
+        prov_enabled = prov.enabled
         hostname = self.config.hostname
         peer_ip = session.peer_ip
         neighbor = session.neighbor
-        peer_str = str(peer_ip) if prov.enabled else ""
+        peer_str = str(peer_ip) if prov_enabled else ""
         now = self.env.now
-        if prov.enabled and update.withdrawn:
+        if prov_enabled and update.withdrawn:
             withdraw_hop = prov.hop("withdraw", hostname, now, peer=peer_str)
         for prefix in update.withdrawn:
             if self.adj_in.withdraw(peer_ip, prefix):
                 self._dirty.add(prefix)
-                if prov.enabled:
+                if prov_enabled:
                     self.reject_prov[prefix] = prov.append((), withdraw_hop)
         if update.nlri:
             attrs = update.attrs
@@ -282,7 +362,7 @@ class BgpDaemon:
                     and not self.vendor.has_quirk("allow-own-asn")):
                 # Loop: discard all NLRI of this update (but leave an
                 # explainable trace of the rejection).
-                if prov.enabled:
+                if prov_enabled:
                     discard_hop = prov.hop(
                         "loop-discard", hostname, now,
                         peer=peer_str, detail=f"own-asn={self.asn}")
@@ -295,7 +375,7 @@ class BgpDaemon:
                 if is_ebgp:
                     # LOCAL_PREF is not transitive across eBGP.
                     attrs = attrs.replace(local_pref=100)
-                if prov.enabled:
+                if prov_enabled:
                     rx_hop = prov.hop(
                         "receive", hostname, now, peer=peer_str,
                         detail=(f"asn={neighbor.remote_asn} "
@@ -304,24 +384,23 @@ class BgpDaemon:
                     # NLRI; share one hop per distinct verdict string.
                     import_hops: Dict[str, object] = {}
                 for i, prefix in enumerate(update.nlri):
-                    imported, verdict = evaluate_route_map(
-                        self.policy, neighbor.import_policy, prefix, attrs,
-                        self.asn)
-                    if prov.enabled:
+                    imported, verdict = self.policy.evaluate(
+                        neighbor.import_policy, prefix, attrs, self.asn)
+                    if prov_enabled:
                         base = rx_chains[i] if i < len(rx_chains) else ()
                         chain = prov.append(base, rx_hop)
                     else:
                         chain = ()
                     if imported is None:
                         # Policy rejection still clears any previous route.
-                        if prov.enabled:
+                        if prov_enabled:
                             self.reject_prov[prefix] = prov.extend(
                                 chain, "import-deny", hostname, now,
                                 detail=verdict)
                         if self.adj_in.withdraw(peer_ip, prefix):
                             self._dirty.add(prefix)
                         continue
-                    if prov.enabled:
+                    if prov_enabled:
                         hop = import_hops.get(verdict)
                         if hop is None:
                             hop = import_hops[verdict] = prov.hop(
@@ -362,8 +441,11 @@ class BgpDaemon:
         if changed:
             for session in self.sessions.values():
                 if session.state == "established":
-                    self._pending_adv.setdefault(
-                        session.peer_ip.value, set()).update(changed)
+                    backlog = self._pending_adv.get(session.peer_ip.value)
+                    if backlog is None:
+                        backlog = self._pending_adv[session.peer_ip.value] \
+                            = _AdvBacklog()
+                    backlog.update(changed)
             self._schedule_flush()
         if self._dirty:
             # Aggregation created new dirty prefixes; go again.
@@ -474,12 +556,12 @@ class BgpDaemon:
             for route in contributors[1:]:
                 from .decision import compare
                 best = compare(best, route, self._tie_breaker)
-            return PathAttributes(
+            return PathAttributes.intern(
                 as_path=best.attrs.as_path, origin=best.attrs.origin,
                 aggregator_asn=self.asn), best
-        return PathAttributes(as_path=(), origin=ORIGIN_IGP,
-                              atomic_aggregate=True,
-                              aggregator_asn=self.asn), None
+        return PathAttributes.intern(as_path=(), origin=ORIGIN_IGP,
+                                     atomic_aggregate=True,
+                                     aggregator_asn=self.asn), None
 
     def _suppressed(self, prefix: Prefix) -> bool:
         for agg in self.bgp_config.aggregates:
@@ -494,8 +576,8 @@ class BgpDaemon:
     def _fib_install(self, prefix: Prefix, multipath: Tuple[Route, ...],
                      chain: tuple = ()) -> None:
         prov = self.prov
-        if (self.vendor.has_quirk("default-route-stuck")
-                and prefix == Prefix(0, 0)
+        if (self._quirk_default_stuck
+                and prefix == _DEFAULT_ROUTE
                 and self.stack.fib.get(prefix) is not None):
             self.errors.append("quirk: default route left stale")
             if prov.enabled:
@@ -545,15 +627,20 @@ class BgpDaemon:
             self.fib_prov.pop(prefix, None)
 
     def _resolve_next_hop(self, route: Route) -> Optional[NextHop]:
-        if route.is_local:
-            return NextHop(ip=None, interface="local")
+        if route.peer_ip is None:   # is_local, without the property hop
+            return _LOCAL_NEXT_HOP
         next_hop = route.attrs.next_hop
         if next_hop is None:
             return None
         connected = self.stack.fib.lookup(next_hop)
         if connected is None or connected.source != "connected":
             return None  # next hop unresolvable
-        return NextHop(ip=next_hop, interface=connected.next_hops[0].interface)
+        interface = connected.next_hops[0].interface
+        hop = self._nh_memo.get(next_hop.value)
+        if hop is None or hop.interface != interface:
+            hop = NextHop(ip=next_hop, interface=interface)
+            self._nh_memo[next_hop.value] = hop
+        return hop
 
     # -- outbound advertisement ------------------------------------------------------
 
@@ -562,9 +649,8 @@ class BgpDaemon:
             return
         self._flush_scheduled = True
         delay = self.vendor.advertisement_interval * self.rng.uniform(0.5, 1.0)
-        self.env.call_later(
-            delay, lambda: self.worker.submit(self.vendor.update_base_cost,
-                                              self._flush))
+        self.env.timer(delay, self.worker.submit,
+                       self.vendor.update_base_cost, self._flush)
 
     def _flush(self) -> None:
         self._flush_scheduled = False
@@ -578,8 +664,7 @@ class BgpDaemon:
             backlog = self._pending_adv.get(session.peer_ip.value)
             if not backlog:
                 continue
-            batch = sorted(backlog, key=lambda p: p.key())[:cap]
-            backlog.difference_update(batch)
+            batch = backlog.take(cap)
             self._advertise(session, batch)
             if backlog:
                 leftovers = True
@@ -588,34 +673,52 @@ class BgpDaemon:
 
     def _advertise(self, session: BgpSession, prefixes: List[Prefix]) -> None:
         prov = self.prov
+        prov_enabled = prov.enabled
         peer_ip = session.peer_ip
         groups: Dict[PathAttributes, List[Prefix]] = {}
         chains: Dict[PathAttributes, List[tuple]] = {}
         withdrawals: List[Prefix] = []
-        if prov.enabled:
+        # One table fetch per batch instead of advertised/record/forget
+        # dispatches per prefix.
+        adv_table = self.adj_out.table(peer_ip)
+        # The resolved local address is FIB-derived and nothing in this
+        # batch mutates the FIB, so resolve it once per batch instead of
+        # per prefix.  Unresolvable (no source address toward the peer)
+        # denies every export, exactly as the per-prefix check did.
+        neighbor = session.neighbor
+        is_ebgp = neighbor.remote_asn != self.asn
+        local_ip: Optional[IPv4Address] = None
+        unreachable = False
+        if is_ebgp:
+            try:
+                local_ip = self.stack.source_address_for(peer_ip)
+            except Exception:
+                unreachable = True
+        if prov_enabled:
             adv_hop = prov.hop(
                 "advertise", self.config.hostname, self.env.now,
                 peer=str(peer_ip),
                 detail=f"to-asn={session.neighbor.remote_asn}")
         for prefix in prefixes:
-            attrs = self._export(session, prefix)
-            previous = self.adj_out.advertised(peer_ip, prefix)
+            attrs = None if unreachable else self._export(
+                session, prefix, is_ebgp, local_ip)
+            previous = adv_table.get(prefix)
             if attrs is None:
                 if previous is not None:
                     withdrawals.append(prefix)
-                    self.adj_out.forget(peer_ip, prefix)
+                    del adv_table[prefix]
                 continue
             if previous == attrs:
                 continue
             groups.setdefault(attrs, []).append(prefix)
-            if prov.enabled:
+            if prov_enabled:
                 base = self.select_prov.get(prefix)
                 if base is None:
                     best = self.loc_rib.best(prefix)
                     base = best.provenance if best is not None else ()
                 chains.setdefault(attrs, []).append(
                     prov.append(base, adv_hop))
-            self.adj_out.record(peer_ip, prefix, attrs)
+            adv_table[prefix] = attrs
         if withdrawals:
             session.send_update(UpdateMessage(withdrawn=tuple(withdrawals)))
             self._m_updates_tx.inc()
@@ -629,15 +732,62 @@ class BgpDaemon:
                         nlri_chains[start:start + MAX_NLRI_PER_UPDATE])))
                 self._m_updates_tx.inc()
 
-    def _export(self, session: BgpSession,
-                prefix: Prefix) -> Optional[PathAttributes]:
+    # Export memoization switch; flip with REPRO_NO_FASTPATH=1 or
+    # ``BgpDaemon.export_caching = False`` (A/B runs).  Results are
+    # identical either way — the computation is side-effect-free and the
+    # cache key covers every input that can vary between calls.
+    export_caching = True
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized export/policy verdicts.
+
+        Must be called if the policy dicts behind :attr:`policy` are
+        mutated in place.  A config commit rebuilds the daemon (and with
+        it both caches), so the normal reload path cannot go stale.
+        """
+        self._export_cache.clear()
+        self.policy.invalidate()
+
+    def _export(self, session: BgpSession, prefix: Prefix,
+                is_ebgp: bool, local_ip: Optional[IPv4Address]
+                ) -> Optional[PathAttributes]:
         best = self.loc_rib.best(prefix)
         if best is None:
             return None
-        if self._suppressed(prefix):
+        if self.bgp_config.aggregates and self._suppressed(prefix):
             return None
         neighbor = session.neighbor
-        is_ebgp = neighbor.remote_asn != self.asn
+        if not BgpDaemon.export_caching:
+            return self._compute_export(neighbor, prefix, best, is_ebgp,
+                                        local_ip)
+        # The verdict depends on the peer (policy/ASN, via peer key), the
+        # best route's attrs and provenance class (eBGP/local flags), and
+        # the resolved local address (FIB-dependent) — all in the key.
+        # The prefix matters only when a route-map (which can match
+        # prefix-lists) or the suppress quirk is in play; without either,
+        # dropping it from the key lets one verdict serve every prefix
+        # sharing an attribute set.  Suppression by aggregates is checked
+        # live above because aggregate activation changes it.
+        cache = self._export_cache
+        if neighbor.export_policy is None and not self._prefix_sensitive:
+            key = (session.peer_ip.value, best.attrs, best.is_ebgp,
+                   best.is_local,
+                   local_ip.value if local_ip is not None else -1)
+        else:
+            key = (session.peer_ip.value, prefix, best.attrs, best.is_ebgp,
+                   best.is_local,
+                   local_ip.value if local_ip is not None else -1)
+        hit = cache.get(key, _MISS)
+        if hit is _MISS:
+            if len(cache) > 500_000:   # runaway guard
+                cache.clear()
+            hit = cache[key] = self._compute_export(neighbor, prefix, best,
+                                                    is_ebgp, local_ip)
+        return hit
+
+    def _compute_export(self, neighbor, prefix: Prefix, best: Route,
+                        is_ebgp: bool, local_ip: Optional[IPv4Address]
+                        ) -> Optional[PathAttributes]:
         # Sender-side loop avoidance: never send a path back into an AS it
         # already traversed (the property Lemma 5.1's proof leans on).
         if best.attrs.contains_asn(neighbor.remote_asn):
@@ -654,10 +804,6 @@ class BgpDaemon:
             return None
         if is_ebgp:
             attrs = attrs.prepend(self.asn).replace(local_pref=100)
-            try:
-                local_ip = self.stack.source_address_for(session.peer_ip)
-            except Exception:
-                return None
             attrs = attrs.with_next_hop(local_ip)
         return attrs
 
@@ -746,3 +892,7 @@ class BgpDaemon:
 
 def _peer_key(route: Route) -> int:
     return route.peer_ip.value if route.peer_ip is not None else -1
+
+
+if os.environ.get("REPRO_NO_FASTPATH") == "1":  # pragma: no cover
+    BgpDaemon.export_caching = False

@@ -40,19 +40,25 @@ def default_tie_breaker(a: Route, b: Route) -> Route:
 
 def compare(a: Route, b: Route,
             tie_breaker: TieBreaker = default_tie_breaker) -> Route:
-    """Return the preferred of two candidate routes for the same prefix."""
-    if a.attrs.local_pref != b.attrs.local_pref:
-        return a if a.attrs.local_pref > b.attrs.local_pref else b
-    if a.is_local != b.is_local:
-        return a if a.is_local else b
-    if a.attrs.path_length() != b.attrs.path_length():
-        return a if a.attrs.path_length() < b.attrs.path_length() else b
-    if a.attrs.origin != b.attrs.origin:
-        return a if a.attrs.origin < b.attrs.origin else b
-    same_neighbor_as = (a.attrs.as_path[:1] == b.attrs.as_path[:1]
-                        and a.attrs.as_path[:1] != ())
-    if same_neighbor_as and a.attrs.med != b.attrs.med:
-        return a if a.attrs.med < b.attrs.med else b
+    """Return the preferred of two candidate routes for the same prefix.
+
+    Hot path of every decision run: attribute handles are hoisted and
+    ``is_local``/``path_length()`` are inlined (``peer_ip is None`` /
+    ``len(as_path)``) to keep this allocation- and dispatch-free.
+    """
+    aa, ba = a.attrs, b.attrs
+    if aa.local_pref != ba.local_pref:
+        return a if aa.local_pref > ba.local_pref else b
+    a_local = a.peer_ip is None
+    if a_local != (b.peer_ip is None):
+        return a if a_local else b
+    if len(aa.as_path) != len(ba.as_path):
+        return a if len(aa.as_path) < len(ba.as_path) else b
+    if aa.origin != ba.origin:
+        return a if aa.origin < ba.origin else b
+    if (aa.as_path and ba.as_path and aa.as_path[0] == ba.as_path[0]
+            and aa.med != ba.med):
+        return a if aa.med < ba.med else b
     if a.is_ebgp != b.is_ebgp:
         return a if a.is_ebgp else b
     return tie_breaker(a, b)
@@ -120,10 +126,11 @@ def explain_candidates(candidates: Sequence[Route],
 
 def _multipath_equivalent(a: Route, b: Route) -> bool:
     """Equal through step 4 (multipath-relax: AS-path *length*, not content)."""
-    return (a.attrs.local_pref == b.attrs.local_pref
-            and a.is_local == b.is_local
-            and a.attrs.path_length() == b.attrs.path_length()
-            and a.attrs.origin == b.attrs.origin
+    aa, ba = a.attrs, b.attrs
+    return (aa.local_pref == ba.local_pref
+            and (a.peer_ip is None) == (b.peer_ip is None)
+            and len(aa.as_path) == len(ba.as_path)
+            and aa.origin == ba.origin
             and a.is_ebgp == b.is_ebgp)
 
 
@@ -134,6 +141,10 @@ def select(candidates: Sequence[Route], multipath: bool = True,
     """Run the decision process over one prefix's candidate set."""
     if not candidates:
         return None, ()
+    if len(candidates) == 1:
+        # Single candidate: it wins and forms the whole ECMP group.
+        best = candidates[0]
+        return best, (best,)
     best = candidates[0]
     for route in candidates[1:]:
         best = compare(best, route, tie_breaker)
@@ -145,10 +156,13 @@ def select(candidates: Sequence[Route], multipath: bool = True,
     best_hop = best.attrs.next_hop
     group: List[Route] = [best]
     seen_next_hops = {best_hop.value if best_hop is not None else -1}
+    # ``is best`` suffices for the membership skip: candidate sets hold
+    # one route per peer, and a value-equal duplicate (same attrs) would
+    # be rejected by the next-hop dedup below anyway.
     for route in sorted(candidates, key=_peer_key):
         if len(group) >= max_paths:
             break
-        if route == best or not _multipath_equivalent(route, best):
+        if route is best or not _multipath_equivalent(route, best):
             continue
         hop = route.attrs.next_hop
         hop_key = hop.value if hop is not None else -1

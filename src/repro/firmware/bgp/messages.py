@@ -10,8 +10,9 @@ errors before close.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import ClassVar, Dict, FrozenSet, Optional, Tuple
 
 from ...net.ip import IPv4Address, Prefix
 
@@ -34,12 +35,26 @@ ORIGIN_EGP = 1
 ORIGIN_INCOMPLETE = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PathAttributes:
     """The attribute set shared by every NLRI in one UPDATE.
 
     Immutable and hash-shared: thousands of RIB entries point at the same
     object, which is what keeps large emulations in memory.
+
+    Two wall-clock fast paths live here (see DESIGN.md "Performance
+    invariants"):
+
+    * the hash is computed once at construction (attribute sets are the
+      dict key of Adj-RIB-Out tables, UPDATE grouping, and the export
+      caches, so per-call tuple hashing used to dominate flushes);
+    * :meth:`interned` hash-conses attribute sets network-wide, so every
+      device announcing the same path shares one object and equality on
+      the hot path is usually a pointer comparison.
+
+    Interning never changes routing decisions: equality stays value-based
+    (``a == b`` answers the same with interning on or off; only ``a is
+    b`` differs), which is what the pinned-seed equivalence tests assert.
     """
 
     as_path: Tuple[int, ...] = ()
@@ -51,13 +66,81 @@ class PathAttributes:
     atomic_aggregate: bool = False
     aggregator_asn: Optional[int] = None
 
+    # Hash-cons table and switch; flip with REPRO_NO_FASTPATH=1 or
+    # ``PathAttributes.interning = False`` (tests/benchmarks A/B runs).
+    _intern_table: ClassVar[Dict["PathAttributes", "PathAttributes"]] = {}
+    # Derivation memo: (base, op, args) -> canonical result, so the hot
+    # prepend/replace/with_next_hop calls skip construction entirely on
+    # repeat — every flush derives the same handful of attribute sets.
+    _derive_table: ClassVar[Dict[tuple, "PathAttributes"]] = {}
+    interning: ClassVar[bool] = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash(
+            (self.as_path, self.next_hop, self.origin, self.med,
+             self.local_pref, self.communities, self.atomic_aggregate,
+             self.aggregator_asn)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PathAttributes):
+            return NotImplemented
+        return (self._hash == other._hash
+                and self.as_path == other.as_path
+                and self.next_hop == other.next_hop
+                and self.origin == other.origin
+                and self.med == other.med
+                and self.local_pref == other.local_pref
+                and self.communities == other.communities
+                and self.atomic_aggregate == other.atomic_aggregate
+                and self.aggregator_asn == other.aggregator_asn)
+
+    # -- interning ---------------------------------------------------------
+
+    def interned(self) -> "PathAttributes":
+        """The canonical shared instance equal to ``self``."""
+        if not PathAttributes.interning:
+            return self
+        table = PathAttributes._intern_table
+        if len(table) > 1_000_000:   # runaway guard; never hit in practice
+            table.clear()
+        canonical = table.get(self)
+        if canonical is None:
+            table[self] = canonical = self
+        return canonical
+
+    @classmethod
+    def intern(cls, **fields) -> "PathAttributes":
+        """Interning constructor: build-or-share in one call."""
+        return cls(**fields).interned()
+
+    @classmethod
+    def clear_intern_table(cls) -> None:
+        cls._intern_table.clear()
+        cls._derive_table.clear()
+
+    def _derived(self, key: tuple, build) -> "PathAttributes":
+        table = PathAttributes._derive_table
+        hit = table.get(key)
+        if hit is None:
+            if len(table) > 1_000_000:   # runaway guard
+                table.clear()
+            hit = table[key] = build().interned()
+        return hit
+
+    # -- accessors / derivations -------------------------------------------
+
     def path_length(self) -> int:
         return len(self.as_path)
 
     def contains_asn(self, asn: int) -> bool:
         return asn in self.as_path
 
-    def prepend(self, asn: int, count: int = 1) -> "PathAttributes":
+    def _build_prepend(self, asn: int, count: int) -> "PathAttributes":
         return PathAttributes(
             as_path=(asn,) * count + self.as_path,
             next_hop=self.next_hop,
@@ -69,7 +152,13 @@ class PathAttributes:
             aggregator_asn=self.aggregator_asn,
         )
 
-    def with_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
+    def prepend(self, asn: int, count: int = 1) -> "PathAttributes":
+        if not PathAttributes.interning:
+            return self._build_prepend(asn, count)
+        return self._derived((self, "prepend", asn, count),
+                             lambda: self._build_prepend(asn, count))
+
+    def _build_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
         return PathAttributes(
             as_path=self.as_path,
             next_hop=next_hop,
@@ -81,7 +170,13 @@ class PathAttributes:
             aggregator_asn=self.aggregator_asn,
         )
 
-    def replace(self, **changes) -> "PathAttributes":
+    def with_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
+        if not PathAttributes.interning:
+            return self._build_next_hop(next_hop)
+        return self._derived((self, "next-hop", next_hop.value),
+                             lambda: self._build_next_hop(next_hop))
+
+    def _build_replace(self, changes: dict) -> "PathAttributes":
         base = {
             "as_path": self.as_path,
             "next_hop": self.next_hop,
@@ -94,6 +189,20 @@ class PathAttributes:
         }
         base.update(changes)
         return PathAttributes(**base)
+
+    def replace(self, **changes) -> "PathAttributes":
+        if not PathAttributes.interning:
+            return self._build_replace(changes)
+        # kwargs order is stable per call site, so the unsorted items
+        # tuple is a perfectly good memo key (at worst two call sites
+        # spelling the same change differently cache it twice).
+        return self._derived(
+            (self, "replace", tuple(changes.items())),
+            lambda: self._build_replace(changes))
+
+
+if os.environ.get("REPRO_NO_FASTPATH") == "1":  # pragma: no cover
+    PathAttributes.interning = False
 
 
 @dataclass(frozen=True)

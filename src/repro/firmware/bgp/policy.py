@@ -8,6 +8,7 @@ operator (and which our human-error scenarios exploit).
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
 from ...config.model import DeviceConfig, PrefixList, RouteMap
@@ -18,16 +19,57 @@ __all__ = ["apply_route_map", "evaluate_route_map", "PolicyContext"]
 
 
 class PolicyContext:
-    """The named policies one device's BGP process can reference."""
+    """The named policies one device's BGP process can reference.
+
+    Route-map evaluation is memoized per context: the verdict for a
+    given ``(map_name, prefix, attrs, own_asn)`` is a pure function of
+    the named policies, so a full-mesh flush that would re-run the same
+    clauses for every peer resolves all but the first evaluation from a
+    dict.  The cache is invalidated by :meth:`invalidate` — called
+    whenever the policy dicts may have changed (config reload rebuilds
+    the daemon, and with it this context, so staleness cannot survive a
+    commit).  ``PolicyContext.caching = False`` (or REPRO_NO_FASTPATH=1)
+    restores the always-evaluate behaviour for A/B runs; results are
+    identical either way, a property the equivalence tests pin.
+    """
+
+    caching = True
 
     def __init__(self, route_maps: Dict[str, RouteMap],
                  prefix_lists: Dict[str, PrefixList]):
         self.route_maps = route_maps
         self.prefix_lists = prefix_lists
+        self._eval_cache: Dict[tuple, Tuple[Optional[PathAttributes], str]] = {}
 
     @classmethod
     def from_config(cls, config: DeviceConfig) -> "PolicyContext":
         return cls(config.route_maps, config.prefix_lists)
+
+    def invalidate(self) -> None:
+        """Drop memoized verdicts (call after mutating the policy dicts)."""
+        self._eval_cache.clear()
+
+    def evaluate(self, map_name: Optional[str], prefix: Prefix,
+                 attrs: PathAttributes, own_asn: int
+                 ) -> Tuple[Optional[PathAttributes], str]:
+        """Memoizing front-end to :func:`evaluate_route_map`."""
+        if map_name is None:
+            return attrs, "no-policy"
+        if not PolicyContext.caching:
+            return evaluate_route_map(self, map_name, prefix, attrs, own_asn)
+        cache = self._eval_cache
+        key = (map_name, prefix, attrs, own_asn)
+        hit = cache.get(key)
+        if hit is None:
+            if len(cache) > 1_000_000:   # runaway guard
+                cache.clear()
+            hit = cache[key] = evaluate_route_map(
+                self, map_name, prefix, attrs, own_asn)
+        return hit
+
+
+if os.environ.get("REPRO_NO_FASTPATH") == "1":  # pragma: no cover
+    PolicyContext.caching = False
 
 
 def evaluate_route_map(context: PolicyContext, map_name: Optional[str],
@@ -75,5 +117,6 @@ def evaluate_route_map(context: PolicyContext, map_name: Optional[str],
 def apply_route_map(context: PolicyContext, map_name: Optional[str],
                     prefix: Prefix, attrs: PathAttributes,
                     own_asn: int) -> Optional[PathAttributes]:
-    """Evaluate a route-map; returns transformed attrs or None (denied)."""
-    return evaluate_route_map(context, map_name, prefix, attrs, own_asn)[0]
+    """Evaluate a route-map (memoized); returns transformed attrs or
+    None (denied)."""
+    return context.evaluate(map_name, prefix, attrs, own_asn)[0]

@@ -40,20 +40,33 @@ class AdjRibIn:
     """All routes accepted from peers, indexed both ways.
 
     ``by_prefix[prefix][peer_ip.value]`` -> Route (the decision process
-    reads per-prefix candidate sets); ``by_peer[peer_ip.value]`` -> set of
-    prefixes (session teardown withdraws per peer).
+    reads per-prefix candidate sets); ``by_peer[peer_ip.value]`` -> the
+    prefixes learned from that peer, as an insertion-ordered dict used
+    as a set (session teardown withdraws per peer without the per-call
+    ``sorted()`` the old set representation needed — insertion order is
+    already deterministic, and every consumer funnels the result into
+    the dirty set anyway).
     """
 
     def __init__(self):
         self.by_prefix: Dict[Prefix, Dict[int, Route]] = {}
-        self.by_peer: Dict[int, Set[Prefix]] = {}
+        self.by_peer: Dict[int, Dict[Prefix, None]] = {}
 
     def insert(self, route: Route) -> None:
         if route.peer_ip is None:
             raise ValueError("AdjRibIn only stores peer-learned routes")
         peer_key = route.peer_ip.value
-        self.by_prefix.setdefault(route.prefix, {})[peer_key] = route
-        self.by_peer.setdefault(peer_key, set()).add(route.prefix)
+        prefix = route.prefix
+        # get-then-assign instead of setdefault: avoids allocating the
+        # default dict on every (hot, usually-hit) call.
+        candidates = self.by_prefix.get(prefix)
+        if candidates is None:
+            candidates = self.by_prefix[prefix] = {}
+        candidates[peer_key] = route
+        prefixes = self.by_peer.get(peer_key)
+        if prefixes is None:
+            prefixes = self.by_peer[peer_key] = {}
+        prefixes[prefix] = None
 
     def withdraw(self, peer_ip: IPv4Address, prefix: Prefix) -> bool:
         peer_key = peer_ip.value
@@ -65,15 +78,14 @@ class AdjRibIn:
             del self.by_prefix[prefix]
         prefixes = self.by_peer.get(peer_key)
         if prefixes is not None:
-            prefixes.discard(prefix)
+            prefixes.pop(prefix, None)
         return True
 
     def drop_peer(self, peer_ip: IPv4Address) -> List[Prefix]:
         """Remove everything learned from a dead peer; returns the prefixes
-        whose candidate set changed."""
+        whose candidate set changed (deterministic learn order)."""
         peer_key = peer_ip.value
-        prefixes = sorted(self.by_peer.pop(peer_key, set()),
-                          key=lambda p: p.key())
+        prefixes = list(self.by_peer.pop(peer_key, ()))
         for prefix in prefixes:
             candidates = self.by_prefix.get(prefix)
             if candidates is not None:
@@ -89,20 +101,34 @@ class AdjRibIn:
         return sum(len(c) for c in self.by_prefix.values())
 
     def peer_prefixes(self, peer_ip: IPv4Address) -> Set[Prefix]:
-        return set(self.by_peer.get(peer_ip.value, set()))
+        return set(self.by_peer.get(peer_ip.value, ()))
 
 
 class LocRib:
-    """Selected routes: per prefix, the best route plus its ECMP set."""
+    """Selected routes: per prefix, the best route plus its ECMP set.
+
+    The sorted prefix ordering every exporter wants is cached behind a
+    dirty flag: membership changes mark it stale, and the next
+    :meth:`prefixes` call sorts once instead of every caller paying
+    O(n log n) per visit.  Callers must treat the returned list as
+    immutable (every in-tree consumer only iterates it).
+    """
 
     def __init__(self):
         self._selected: Dict[Prefix, Tuple[Route, Tuple[Route, ...]]] = {}
+        self._sorted: List[Prefix] = []
+        self._order_dirty = False
 
     def set(self, prefix: Prefix, best: Route, multipath: Tuple[Route, ...]) -> None:
+        if prefix not in self._selected:
+            self._order_dirty = True
         self._selected[prefix] = (best, multipath)
 
     def remove(self, prefix: Prefix) -> bool:
-        return self._selected.pop(prefix, None) is not None
+        removed = self._selected.pop(prefix, None) is not None
+        if removed:
+            self._order_dirty = True
+        return removed
 
     def best(self, prefix: Prefix) -> Optional[Route]:
         selected = self._selected.get(prefix)
@@ -116,7 +142,10 @@ class LocRib:
         return len(self._selected)
 
     def prefixes(self) -> List[Prefix]:
-        return sorted(self._selected, key=lambda p: p.key())
+        if self._order_dirty or len(self._sorted) != len(self._selected):
+            self._sorted = sorted(self._selected, key=Prefix.key)
+            self._order_dirty = False
+        return self._sorted
 
     def items(self) -> Iterator[Tuple[Prefix, Route, Tuple[Route, ...]]]:
         for prefix in self.prefixes():
@@ -125,9 +154,6 @@ class LocRib:
 
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self._selected
-
-    def __len__(self) -> int:
-        return len(self._selected)
 
 
 class AdjRibOut:
@@ -150,6 +176,11 @@ class AdjRibOut:
                    ) -> Optional[PathAttributes]:
         table = self._advertised.get(peer_ip.value)
         return None if table is None else table.get(prefix)
+
+    def table(self, peer_ip: IPv4Address) -> Dict[Prefix, PathAttributes]:
+        """The live per-peer advert dict, for batch callers that would
+        otherwise pay a method call per prefix (``_advertise``)."""
+        return self._advertised.setdefault(peer_ip.value, {})
 
     def drop_peer(self, peer_ip: IPv4Address) -> None:
         self._advertised.pop(peer_ip.value, None)

@@ -21,6 +21,7 @@ from typing import Callable, Optional, TYPE_CHECKING
 from ...net.ip import IPv4Address
 from ...net.stream import Connection, StreamManager
 from ...sim import Environment
+from ...sim.engine import Timer
 from .messages import (
     BGP_PORT,
     KeepaliveMessage,
@@ -72,6 +73,15 @@ class BgpSession:
         self._stopped = False
         self._last_recv = 0.0
         self._hold_check_scheduled = False
+        # Cancellable timer handles (repro.sim.engine.Timer).  Disarming
+        # them on teardown keeps dead protocol timers out of the event
+        # heap and — for keepalives — guarantees a single chain per
+        # session: previously a flap-and-reestablish could leave the old
+        # chain alive alongside the new one.
+        self._keepalive_timer: Optional[Timer] = None
+        self._hold_timer: Optional[Timer] = None
+        self._retry_timer: Optional[Timer] = None
+        self._connect_timer: Optional[Timer] = None
         self.flaps = 0
         # Incremented on every (re-)establishment; provenance receive
         # hops carry it so an explain can tell pre- from post-flap state.
@@ -103,10 +113,20 @@ class BgpSession:
     def stop(self) -> None:
         self._stopped = True
         self._set_state("idle")
+        self._cancel_timers()
         if self.conn is not None:
             conn, self.conn = self.conn, None
             conn.on_close = None   # no down-notification for a local stop
             conn.close()
+
+    def _cancel_timers(self) -> None:
+        for attr in ("_keepalive_timer", "_hold_timer", "_retry_timer",
+                     "_connect_timer"):
+            timer = getattr(self, attr)
+            if timer is not None:
+                timer.cancel()
+                setattr(self, attr, None)
+        self._hold_check_scheduled = False
 
     # -- connecting --------------------------------------------------------
 
@@ -115,7 +135,7 @@ class BgpSession:
             return
         delay = (self.rng.uniform(0.1, 1.0) if first
                  else self.connect_retry * self.rng.uniform(0.8, 1.2))
-        self.env.call_later(delay, self._attempt_connect)
+        self._retry_timer = self.env.timer(delay, self._attempt_connect)
 
     def _attempt_connect(self) -> None:
         if self._stopped or self.state == "established" or self.conn is not None:
@@ -130,14 +150,17 @@ class BgpSession:
         conn.established.add_callback(lambda ev: self._on_connected(conn, ev.ok))
         # A SYN into a dead link is silently dropped; give up on this
         # attempt after the retry interval so the FSM keeps trying.
-        self.env.call_later(self.connect_retry,
-                            lambda: self._connect_timeout(conn))
+        self._connect_timer = self.env.timer(
+            self.connect_retry, lambda: self._connect_timeout(conn))
 
     def _connect_timeout(self, conn: Connection) -> None:
         if conn.state == "connecting":
             conn.abort("connect-timeout")
 
     def _on_connected(self, conn: Connection, ok: Optional[bool]) -> None:
+        if self._connect_timer is not None:
+            self._connect_timer.cancel()
+            self._connect_timer = None
         if self._stopped:
             conn.abort()
             return
@@ -219,6 +242,11 @@ class BgpSession:
     def _establish(self) -> None:
         if self.state == "established":
             return
+        # One keepalive chain per session: disarm any survivor from a
+        # previous epoch before starting the new chain.
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
         self.epoch += 1
         self._set_state("established")
         if self.conn is not None:
@@ -233,9 +261,10 @@ class BgpSession:
         if self.state != "established" or self._stopped:
             return
         delay = self.keepalive_interval * self.rng.uniform(0.75, 1.0)
-        self.env.call_later(delay, self._send_keepalive)
+        self._keepalive_timer = self.env.timer(delay, self._send_keepalive)
 
     def _send_keepalive(self) -> None:
+        self._keepalive_timer = None
         if self.state != "established" or self.conn is None:
             return
         self.conn.send(KeepaliveMessage())
@@ -245,17 +274,19 @@ class BgpSession:
         if self._hold_check_scheduled or self.hold_time <= 0:
             return
         self._hold_check_scheduled = True
-        self.env.call_later(self.hold_time, self._hold_check)
+        self._hold_timer = self.env.timer(self.hold_time, self._hold_check)
 
     def _hold_check(self) -> None:
         self._hold_check_scheduled = False
+        self._hold_timer = None
         if self.state != "established" or self._stopped:
             return
         expired_at = self._last_recv + self.hold_time
         if self.env.now >= expired_at - 1e-9:
             self._go_down("hold-timer-expired")
             return
-        self.env.call_later(expired_at - self.env.now, self._hold_check)
+        self._hold_timer = self.env.timer(expired_at - self.env.now,
+                                          self._hold_check)
         self._hold_check_scheduled = True
 
     # -- teardown ----------------------------------------------------------------
@@ -272,6 +303,15 @@ class BgpSession:
         was_established = self.state == "established"
         self._set_state("connect")
         self.last_error = reason
+        # Disarm liveness timers: they belong to the session that just
+        # died, and the re-established session arms fresh ones.
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
+        if self._hold_timer is not None:
+            self._hold_timer.cancel()
+            self._hold_timer = None
+            self._hold_check_scheduled = False
         if self.conn is not None:
             conn, self.conn = self.conn, None
             conn.on_close = None

@@ -15,7 +15,7 @@ vendor-controlled overflow policy:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..net.ip import IPv4Address, Prefix
 from ..net.trie import PrefixTrie
@@ -67,6 +67,13 @@ class Fib:
         self.overflow_policy = overflow_policy
         self.installed = 0
         self.overflow_drops = 0
+        # LPM memo: next-hop resolution and source-address selection look
+        # up the same handful of addresses thousands of times between
+        # table changes.  Installing or removing a prefix can only change
+        # the longest match of addresses *inside* that prefix, so only
+        # those memo entries are dropped — the memo stays warm through
+        # the convergence churn that dominates emulation runtime.
+        self._lookup_memo: Dict[int, Optional[FibEntry]] = {}
 
     def __len__(self) -> int:
         return len(self._trie)
@@ -77,7 +84,13 @@ class Fib:
     def install(self, entry: FibEntry) -> bool:
         """Install (or replace) a route.  Returns False when the overflow
         policy silently dropped it."""
-        replacing = entry.prefix in self._trie
+        existing = self._trie.get(entry.prefix)
+        replacing = existing is not None
+        if replacing and existing == entry:
+            # Value-identical reinstall: the table is unchanged, so the
+            # lookup memo stays warm (re-selection after an unrelated
+            # candidate change reinstalls the same entry constantly).
+            return True
         if (not replacing and self.capacity is not None
                 and len(self._trie) >= self.capacity):
             self.overflow_drops += 1
@@ -91,13 +104,40 @@ class Fib:
                 f"FIB overflow at {self.capacity} entries")
         self._trie.insert(entry.prefix, entry)
         self.installed += 1
+        self._invalidate_lookups(entry.prefix)
         return True
 
+    def _invalidate_lookups(self, pfx: Prefix) -> None:
+        memo = self._lookup_memo
+        if not memo:
+            return
+        length = pfx.length
+        network = pfx.network
+        if length >= 31:
+            # Host/point-to-point routes (the bulk of a Clos RIB) cover
+            # at most two addresses: delete directly, skip the scan.
+            memo.pop(network, None)
+            if length == 31:
+                memo.pop(network | 1, None)
+            return
+        mask = pfx.mask
+        stale = [a for a in memo if (a & mask) == network]
+        for a in stale:
+            del memo[a]
+
     def remove(self, pfx: Prefix) -> bool:
+        self._invalidate_lookups(pfx)
         return self._trie.delete(pfx)
 
     def lookup(self, addr: IPv4Address) -> Optional[FibEntry]:
-        return self._trie.lookup(addr)
+        memo = self._lookup_memo
+        key = addr.value
+        if key in memo:
+            return memo[key]
+        if len(memo) > 100_000:   # runaway guard
+            memo.clear()
+        entry = memo[key] = self._trie.lookup(addr)
+        return entry
 
     def get(self, pfx: Prefix) -> Optional[FibEntry]:
         return self._trie.get(pfx)
@@ -117,4 +157,5 @@ class Fib:
         victims = [p for p, e in self._trie.items() if e.source == source]
         for pfx in victims:
             self._trie.delete(pfx)
+        self._lookup_memo.clear()
         return len(victims)

@@ -70,6 +70,8 @@ class HostStack:
         self.fib = fib or Fib()
         self.netns: Optional[NetworkNamespace] = None
         self.addresses: Dict[str, InterfaceAddress] = {}
+        # Integer values of all configured addresses (is_local_address).
+        self._local_values: set[int] = set()
         self.arp_table: Dict[int, MacAddress] = {}
         self._arp_pending: Dict[int, List[Tuple[Ipv4Packet, str]]] = {}
         self._protocols: Dict[str, ProtocolHandler] = {}
@@ -106,7 +108,13 @@ class HostStack:
         if not is_loopback:
             if self.netns is None or ifname not in self.netns.interfaces:
                 raise StackError(f"{self.hostname}: no interface {ifname}")
+        rebuild = ifname in self.addresses
         self.addresses[ifname] = InterfaceAddress(ifname, address, prefix_length)
+        if rebuild:
+            self._local_values = {a.address.value
+                                  for a in self.addresses.values()}
+        else:
+            self._local_values.add(address.value)
         self.fib.install(FibEntry(
             prefix=Prefix(address.value, prefix_length),
             next_hops=(NextHop(ip=None, interface=ifname),),
@@ -115,6 +123,7 @@ class HostStack:
 
     def deconfigure_all(self) -> None:
         self.addresses.clear()
+        self._local_values.clear()
         self.fib.clear_protocol("connected")
 
     def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
@@ -123,7 +132,9 @@ class HostStack:
     # -- queries -----------------------------------------------------------
 
     def is_local_address(self, addr: IPv4Address) -> bool:
-        return any(a.address == addr for a in self.addresses.values())
+        # Every delivered frame asks this; the value set is maintained by
+        # configure_interface/deconfigure_all instead of scanning.
+        return addr.value in self._local_values
 
     def address_of(self, ifname: str) -> IPv4Address:
         try:

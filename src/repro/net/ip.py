@@ -51,13 +51,16 @@ class IPv4Address:
         raise AttributeError("IPv4Address is immutable")
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, IPv4Address) and other.value == self.value
+        return self is other or (isinstance(other, IPv4Address)
+                                 and other.value == self.value)
 
     def __lt__(self, other: "IPv4Address") -> bool:
         return self.value < other.value
 
     def __hash__(self) -> int:
-        return hash(("ip4", self.value))
+        # The 32-bit value is its own perfect hash; hashing a wrapper
+        # tuple here used to dominate RIB dict operations.
+        return self.value
 
     def __str__(self) -> str:
         return _format_ipv4(self.value)
@@ -73,9 +76,15 @@ class IPv4Address:
 
 
 class Prefix:
-    """An immutable IPv4 prefix (network + mask length)."""
+    """An immutable IPv4 prefix (network + mask length).
 
-    __slots__ = ("network", "length")
+    The sort key, hash, and netmask are precomputed at construction:
+    prefixes are the universal dict/set key of the RIB layers and the
+    sort key of every deterministic export, so recomputing tuples per
+    call shows up directly in emulation wall-clock time.
+    """
+
+    __slots__ = ("network", "length", "_key", "_hash", "_mask")
 
     def __init__(self, network: int | str | IPv4Address, length: int | None = None):
         if isinstance(network, str) and "/" in network:
@@ -93,15 +102,20 @@ class Prefix:
         if not 0 <= length <= 32:
             raise ValueError(f"invalid prefix length {length}")
         mask = (_MAX32 << (32 - length)) & _MAX32 if length else 0
-        object.__setattr__(self, "network", network & mask)
+        network &= mask
+        key = (network, length)
+        object.__setattr__(self, "network", network)
         object.__setattr__(self, "length", length)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_mask", mask)
 
     def __setattr__(self, *_args) -> None:
         raise AttributeError("Prefix is immutable")
 
     @property
     def mask(self) -> int:
-        return (_MAX32 << (32 - self.length)) & _MAX32 if self.length else 0
+        return self._mask
 
     @property
     def network_address(self) -> IPv4Address:
@@ -120,8 +134,9 @@ class Prefix:
         if isinstance(item, str):
             item = Prefix(item, 32) if "/" not in item else Prefix(item)
         if isinstance(item, IPv4Address):
-            return (item.value & self.mask) == self.network
-        return item.length >= self.length and (item.network & self.mask) == self.network
+            return (item.value & self._mask) == self.network
+        return (item.length >= self.length
+                and (item.network & self._mask) == self.network)
 
     __contains__ = contains
 
@@ -169,20 +184,20 @@ class Prefix:
         return None
 
     def key(self) -> Tuple[int, int]:
-        return (self.network, self.length)
+        return self._key
 
     def __eq__(self, other) -> bool:
-        return (
+        return self is other or (
             isinstance(other, Prefix)
             and other.network == self.network
             and other.length == self.length
         )
 
     def __lt__(self, other: "Prefix") -> bool:
-        return (self.network, self.length) < (other.network, other.length)
+        return self._key < other._key
 
     def __hash__(self) -> int:
-        return hash(("pfx", self.network, self.length))
+        return self._hash
 
     def __str__(self) -> str:
         return f"{_format_ipv4(self.network)}/{self.length}"

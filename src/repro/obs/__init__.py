@@ -93,16 +93,23 @@ class Observability:
         self.events.clock = clock
         return self
 
-    def instrument_environment(self, env=None) -> None:
+    def instrument_environment(self, env=None,
+                               wall_clock: Optional[Callable[[], float]]
+                               = None) -> None:
         """Opt-in engine-level accounting: count every fired simulation
         event per subsystem (derived from the event's name prefix) into
-        ``repro_sim_events_total``.  Off by default — the hook costs one
-        callback per event once installed."""
+        ``repro_sim_events_total``, and track the live heap size in
+        ``repro_sim_heap_size``.  Pass ``wall_clock`` (e.g.
+        ``time.monotonic``) to additionally export the wall-clock
+        ``repro_sim_events_per_sec`` throughput gauge — off by default
+        because wall-clock readings break byte-deterministic exports.
+        Off by default — the hook costs one callback per event once
+        installed."""
         target = env if env is not None else self.env
         if target is None:
             raise ValueError("no environment to instrument; pass one or "
                              "bind() first")
-        instrument_environment(target, self.metrics)
+        instrument_environment(target, self.metrics, wall_clock=wall_clock)
 
     # -- convenience exports ----------------------------------------------
 
@@ -130,7 +137,7 @@ class NullObservability:
     def bind(self, env) -> "NullObservability":
         return self
 
-    def instrument_environment(self, env=None) -> None:
+    def instrument_environment(self, env=None, wall_clock=None) -> None:
         pass
 
     def snapshot(self) -> dict:
@@ -155,13 +162,51 @@ def _subsystem_of(name: str) -> str:
     return head.split("(", 1)[0] or "anonymous"
 
 
-def instrument_environment(env, registry: MetricsRegistry) -> None:
-    """Install the opt-in per-subsystem event counter on ``env``."""
+def instrument_environment(env, registry: MetricsRegistry,
+                           wall_clock: Optional[Callable[[], float]] = None
+                           ) -> None:
+    """Install the opt-in engine accounting hook on ``env``.
+
+    Always exported (deterministic, sim-state-only):
+
+    * ``repro_sim_events_total`` — fired events per subsystem bucket;
+    * ``repro_sim_heap_size`` — scheduled events still on the heap
+      (lazily-cancelled timers included until compaction reclaims them).
+
+    Only with ``wall_clock`` (opt-in, non-deterministic by nature):
+
+    * ``repro_sim_events_per_sec`` — fired events per *real* second,
+      refreshed every 1024 events — the emulator's wall-clock throughput,
+      the quantity the ``bench_wallclock_convergence`` benchmark tracks.
+    """
     counter = registry.counter(
         "repro_sim_events_total",
         "Simulation events fired, by owning subsystem (event-name prefix)")
+    heap_gauge = registry.gauge(
+        "repro_sim_heap_size",
+        "Events currently scheduled on the simulation heap").labels()
 
-    def hook(event) -> None:
-        counter.inc(subsystem=_subsystem_of(event.name))
+    if wall_clock is None:
+        def hook(event) -> None:
+            counter.inc(subsystem=_subsystem_of(event.name))
+            heap_gauge.set(len(env._heap))
+    else:
+        rate_gauge = registry.gauge(
+            "repro_sim_events_per_sec",
+            "Fired simulation events per wall-clock second "
+            "(1024-event window)").labels()
+        state = {"fired": 0, "mark": wall_clock()}
+
+        def hook(event) -> None:
+            counter.inc(subsystem=_subsystem_of(event.name))
+            heap_gauge.set(len(env._heap))
+            state["fired"] += 1
+            if state["fired"] >= 1024:
+                now = wall_clock()
+                elapsed = now - state["mark"]
+                if elapsed > 0:
+                    rate_gauge.set(state["fired"] / elapsed)
+                state["fired"] = 0
+                state["mark"] = now
 
     env.event_hook = hook

@@ -26,6 +26,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Timer",
     "Process",
     "AllOf",
     "AnyOf",
@@ -53,7 +54,8 @@ class Event:
     exactly once, and then invokes its callbacks in registration order.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "name")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "name",
+                 "cancelled")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
@@ -62,6 +64,9 @@ class Event:
         self._ok: Optional[bool] = None
         self._triggered = False
         self.name = name
+        # Lazily-deleted events (see Timer.cancel): still on the heap but
+        # skipped — never dispatched, never shown to the event hook.
+        self.cancelled = False
 
     @property
     def triggered(self) -> bool:
@@ -131,12 +136,70 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(env, name=f"timeout({delay})")
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        # Flattened init (no Event.__init__/_schedule_event calls) and a
+        # constant name: one Timeout per keepalive/flush/transfer tick
+        # makes this one of the hottest allocation sites of a large
+        # emulation.  The delay still shows in repr.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule_event(self, delay)
+        self._ok = True
+        self._triggered = True
+        self.name = "timeout"
+        self.cancelled = False
+        self.delay = delay
+        env._seq += 1
+        heapq.heappush(env._heap, (env.now + delay, env._seq, self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay} @{self.env.now}>"
+
+
+class Timer(Timeout):
+    """A cancellable one-shot timer driving a callback.
+
+    Protocol timers (BGP keepalive/hold, connect-retry) are rearmed or
+    abandoned far more often than they fire; :meth:`cancel` marks the
+    heap entry dead in O(1) instead of the O(n) removal a binary heap
+    would need.  The engine skips dead entries as they surface and
+    compacts the heap when they pile up, so abandoned timers no longer
+    accumulate as heap corpses for the rest of the run.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, env: "Environment", delay: float,
+                 fn: Callable[..., None], args: tuple = ()):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        # Flattened like Timeout.__init__: protocol timers and per-frame
+        # link-latency events make this the single most-constructed type.
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self.name = "timer"
+        self.cancelled = False
+        self.delay = delay
+        self._fn = fn
+        self._args = args
+        env._seq += 1
+        heapq.heappush(env._heap, (env.now + delay, env._seq, self))
+
+    def _run_callbacks(self) -> None:
+        super()._run_callbacks()
+        self._fn(*self._args)
+
+    def cancel(self) -> bool:
+        """Disarm the timer; returns False if it already fired."""
+        if self.cancelled:
+            return True
+        if self.processed:
+            return False
+        self.cancelled = True
+        self.env._note_cancel()
+        return True
 
 
 class _Composite(Event):
@@ -284,6 +347,9 @@ class Environment:
         self.strict = strict
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
+        # Count of lazily-cancelled entries still sitting in the heap;
+        # drives periodic compaction (see _note_cancel).
+        self._cancelled = 0
         # Opt-in observability hook (see repro.obs.instrument_environment):
         # called with each event as it fires.  None (the default) keeps the
         # dispatch loop at a single identity check per event.
@@ -320,6 +386,12 @@ class Environment:
         ev.add_callback(lambda _e: fn())
         return ev
 
+    def timer(self, delay: float, fn: Callable[..., None], *args) -> Timer:
+        """Like :meth:`call_later`, but the returned handle is cancellable
+        and extra ``args`` are passed to ``fn`` (avoiding a closure on hot
+        per-frame paths)."""
+        return Timer(self, delay, fn, args)
+
     # -- scheduling ------------------------------------------------------
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
@@ -328,19 +400,42 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        # Compact when dead entries dominate: rebuilding preserves the
+        # (time, seq) total order, so dispatch order is untouched.
+        if self._cancelled > 64 and self._cancelled * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap
+                          if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
+
+    def _prune(self) -> None:
+        """Drop cancelled entries from the heap head."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._cancelled -= 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
+        self._prune()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._heap:
-            raise SimulationError("no scheduled events")
-        when, _seq, event = heapq.heappop(self._heap)
-        self.now = when
-        if self.event_hook is not None:
-            self.event_hook(event)
-        event._run_callbacks()
+        """Process the single next (live) event."""
+        heap = self._heap
+        while heap:
+            when, _seq, event = heapq.heappop(heap)
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self.now = when
+            if self.event_hook is not None:
+                self.event_hook(event)
+            event._run_callbacks()
+            return
+        raise SimulationError("no scheduled events")
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -351,6 +446,7 @@ class Environment:
         if isinstance(until, Event):
             target = until
             while not target.processed:
+                self._prune()
                 if not self._heap:
                     raise SimulationError(
                         f"event {target.name!r} never fired; simulation starved"
@@ -362,14 +458,14 @@ class Environment:
             raise exc if isinstance(exc, BaseException) else SimulationError(exc)
 
         if until is None:
-            while self._heap:
+            while self.peek() != float("inf"):
                 self.step()
             return None
 
         deadline = float(until)
         if deadline < self.now:
             raise SimulationError(f"deadline {deadline} is in the past (now={self.now})")
-        while self._heap and self._heap[0][0] <= deadline:
+        while self.peek() <= deadline:
             self.step()
         self.now = deadline
         return None

@@ -29,16 +29,44 @@ from ..topology.graph import Topology
 
 __all__ = ["SimRoute", "ControlPlaneSimulator"]
 
+# Sentinel distinguishing "cached None (not exported)" from "cache miss".
+_MISS = object()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class SimRoute:
-    """A route in the idealized simulation."""
+    """A route in the idealized simulation.
+
+    Hashed once at construction: routes are the varying part of the
+    export-cache key, so per-lookup field hashing used to dominate the
+    fixpoint's inner loop.  Equality stays value-based.
+    """
 
     prefix: Prefix
     as_path: Tuple[int, ...]
     next_hop_device: Optional[str]   # None = locally originated
     local_pref: int = 100
     med: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash(
+            (self.prefix, self.as_path, self.next_hop_device,
+             self.local_pref, self.med)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, SimRoute):
+            return NotImplemented
+        return (self._hash == other._hash
+                and self.prefix == other.prefix
+                and self.as_path == other.as_path
+                and self.next_hop_device == other.next_hop_device
+                and self.local_pref == other.local_pref
+                and self.med == other.med)
 
     def key(self):
         return (self.prefix.key(), self.as_path, self.next_hop_device)
@@ -62,6 +90,22 @@ class ControlPlaneSimulator:
         self.multipath: Dict[str, Dict[Prefix, Tuple[str, ...]]] = {}
         self.iterations = 0
         self._computed = False
+        # Per-directed-link policy resolution (export/import map names) is
+        # pure topology+config data; resolved once instead of per prefix
+        # per iteration.
+        self._link_policies: Dict[Tuple[str, str],
+                                  Tuple[Optional[str], Optional[str]]] = {}
+        # Export verdict memo: the outcome is a pure function of the
+        # (sender, receiver) policies — static for the simulator's
+        # lifetime — and the sender's current best route, which is in the
+        # key.  Suppression is rechecked live (aggregate activation flips
+        # it between iterations).
+        self._export_cache: Dict[tuple, Optional[SimRoute]] = {}
+        # Devices with configured aggregates: only their exports need the
+        # per-prefix suppression recheck.
+        self._agg_devices: Set[str] = {
+            name for name, cfg in configs.items()
+            if cfg.bgp is not None and cfg.bgp.aggregates}
 
     # -- public -----------------------------------------------------------
 
@@ -192,20 +236,12 @@ class ControlPlaneSimulator:
                 return True
         return False
 
-    def _export(self, sender: str, receiver: str,
-                prefix: Prefix) -> Optional[SimRoute]:
-        if receiver not in self.configs or self.configs[receiver].bgp is None:
-            return None
-        route = self.ribs[sender].get(prefix)
-        if route is None or self._suppressed(sender, prefix):
-            return None
-        receiver_asn = self._asn(receiver)
-        sender_asn = self._asn(sender)
-        if receiver_asn in route.as_path:
-            return None
-        if receiver_asn == sender_asn:
-            return None  # no iBGP modelling in the idealized baseline
-        # Policies: look up the sender's export map for this neighbor.
+    def _link_policy(self, sender: str, receiver: str
+                     ) -> Tuple[Optional[str], Optional[str]]:
+        """(export-map, import-map) governing sender -> receiver."""
+        cache_key = (sender, receiver)
+        if cache_key in self._link_policies:
+            return self._link_policies[cache_key]
         link = self.topology.link_between(sender, receiver)
         export_map = None
         import_map = None
@@ -220,8 +256,40 @@ class ControlPlaneSimulator:
             for n in receiver_cfg.neighbors:
                 if send_ip is not None and n.peer_ip == send_ip:
                     import_map = n.import_policy
-        attrs = PathAttributes(as_path=route.as_path, origin=ORIGIN_IGP,
-                               local_pref=route.local_pref, med=route.med)
+        self._link_policies[cache_key] = (export_map, import_map)
+        return export_map, import_map
+
+    def _export(self, sender: str, receiver: str,
+                prefix: Prefix) -> Optional[SimRoute]:
+        route = self.ribs[sender].get(prefix)
+        if route is None:
+            return None
+        if sender in self._agg_devices and self._suppressed(sender, prefix):
+            return None
+        if not PolicyContext.caching:
+            return self._compute_export(sender, receiver, route)
+        cache = self._export_cache
+        key = (sender, receiver, route)
+        hit = cache.get(key, _MISS)
+        if hit is _MISS:
+            hit = cache[key] = self._compute_export(sender, receiver, route)
+        return hit
+
+    def _compute_export(self, sender: str, receiver: str,
+                        route: SimRoute) -> Optional[SimRoute]:
+        if receiver not in self.configs or self.configs[receiver].bgp is None:
+            return None
+        prefix = route.prefix
+        receiver_asn = self._asn(receiver)
+        sender_asn = self._asn(sender)
+        if receiver_asn in route.as_path:
+            return None
+        if receiver_asn == sender_asn:
+            return None  # no iBGP modelling in the idealized baseline
+        export_map, import_map = self._link_policy(sender, receiver)
+        attrs = PathAttributes.intern(
+            as_path=route.as_path, origin=ORIGIN_IGP,
+            local_pref=route.local_pref, med=route.med)
         out = apply_route_map(self._policies[sender], export_map, prefix,
                               attrs, sender_asn)
         if out is None:
@@ -237,30 +305,56 @@ class ControlPlaneSimulator:
 
     def _propagate_once(self, devices: Iterable[str]) -> bool:
         changed = False
+        caching = PolicyContext.caching
+        cache = self._export_cache
+        agg_devices = self._agg_devices
         for link in self.topology.links:
             for sender, receiver in ((link.dev_a, link.dev_b),
                                      (link.dev_b, link.dev_a)):
                 if sender not in self.ribs or receiver not in self._candidates:
                     continue
                 seen: Set[Prefix] = set()
-                for prefix in list(self.ribs[sender]):
-                    exported = self._export(sender, receiver, prefix)
-                    key = f"{sender}"
-                    current = self._candidates[receiver].get(prefix, {}).get(key)
+                key = sender
+                sender_rib = self.ribs[sender]
+                receiver_candidates = self._candidates[receiver]
+                check_suppressed = sender in agg_devices
+                # _export inlined: this loop runs (links x prefixes x
+                # iterations) times and the per-call rib lookup, empty-dict
+                # default, and method dispatch were the fixpoint's main
+                # cost.  Semantics identical to _export().
+                for prefix, route in sender_rib.items():
+                    if check_suppressed and self._suppressed(sender, prefix):
+                        exported = None
+                    elif caching:
+                        cache_key = (sender, receiver, route)
+                        exported = cache.get(cache_key, _MISS)
+                        if exported is _MISS:
+                            exported = cache[cache_key] = \
+                                self._compute_export(sender, receiver, route)
+                    else:
+                        exported = self._compute_export(sender, receiver,
+                                                        route)
+                    cand = receiver_candidates.get(prefix)
+                    current = None if cand is None else cand.get(key)
                     if exported is None:
                         if current is not None:
-                            del self._candidates[receiver][prefix][key]
+                            del cand[key]
                             changed = True
                         continue
                     seen.add(prefix)
-                    if current is None or current.key() != exported.key():
+                    # Re-exports of an unchanged best route return the
+                    # same cached object, so identity short-circuits the
+                    # key comparison on every post-convergence pass.
+                    if current is not exported and (
+                            current is None
+                            or current.key() != exported.key()):
                         self._insert(receiver, key, exported)
                         changed = True
                 # Withdraw anything previously learned from this sender that
                 # it no longer exports.
-                for prefix, candidates in self._candidates[receiver].items():
-                    if (f"{sender}" in candidates and prefix not in seen
-                            and prefix not in self.ribs[sender]):
-                        del candidates[f"{sender}"]
+                for prefix, candidates in receiver_candidates.items():
+                    if (key in candidates and prefix not in seen
+                            and prefix not in sender_rib):
+                        del candidates[key]
                         changed = True
         return changed

@@ -239,8 +239,7 @@ class Cloud:
             if self.federation is not None:
                 self.federation.route(packet, self)
             return
-        self.env.call_later(UNDERLAY_LATENCY,
-                            lambda: target.receive_underlay(packet))
+        self.env.timer(UNDERLAY_LATENCY, target.receive_underlay, packet)
 
     # -- billing ---------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Optional
 
 from ..net.packet import BROADCAST_MAC, EthernetFrame, MacAddress
 from ..sim import Environment
+from ..sim.engine import Timer
 
 __all__ = ["VirtualInterface", "VethPair", "NetworkNamespace", "Bridge"]
 
@@ -51,6 +52,10 @@ class VirtualInterface:
         self.tx_frames = 0
         self.rx_frames = 0
         self.tx_dropped = 0
+        # Hop-trace labels are fixed per interface; building them once
+        # keeps the per-frame trace stamp allocation-free.
+        self._tx_label = "tx:" + name
+        self._rx_label = "rx:" + name
         # VXLAN ports override delivery; see vxlan.VxlanTunnel.
         self._tx_override: Optional[Callable[[EthernetFrame], None]] = None
 
@@ -75,7 +80,7 @@ class VirtualInterface:
             self.tx_dropped += 1
             return
         self.tx_frames += 1
-        frame.trace(f"tx:{self.name}")
+        frame.hop_trace.append(self._tx_label)
         if self._tx_override is not None:
             self._tx_override(frame)
             return
@@ -83,14 +88,16 @@ class VirtualInterface:
         if peer is None:
             self.tx_dropped += 1
             return
-        self.env.call_later(self.latency, lambda: peer.receive(frame))
+        # Direct construction: one scheduled event per frame makes even
+        # the factory-method frame measurable at L-DC scale.
+        Timer(self.env, self.latency, peer.receive, (frame,))
 
     def receive(self, frame: EthernetFrame) -> None:
         """Deliver a frame arriving at this interface."""
         if not self.up:
             return
         self.rx_frames += 1
-        frame.trace(f"rx:{self.name}")
+        frame.hop_trace.append(self._rx_label)
         if self.bridge is not None:
             self.bridge.forward(self, frame)
         elif self.namespace is not None:
@@ -189,6 +196,7 @@ class Bridge:
         self.fdb: Dict[MacAddress, VirtualInterface] = {}
         self.forwarded = 0
         self.flooded = 0
+        self._trace_label = "bridge:" + name
 
     def add_port(self, iface: VirtualInterface) -> None:
         if iface.namespace is not None:
@@ -208,7 +216,7 @@ class Bridge:
 
     def forward(self, ingress: VirtualInterface, frame: EthernetFrame) -> None:
         """Standard learning-bridge forwarding."""
-        frame.trace(f"bridge:{self.name}")
+        frame.hop_trace.append(self._trace_label)
         if not frame.src.is_broadcast:
             self.fdb[frame.src] = ingress
         if not frame.dst.is_broadcast:

@@ -68,9 +68,11 @@ class VxlanTunnel:
         self.iface._tx_override = self._encapsulate
         self.tx_encapsulated = 0
         self.rx_decapsulated = 0
+        self._encap_label = f"vxlan-encap:{name}(vni={vni})"
+        self._decap_label = f"vxlan-decap:{name}(vni={vni})"
 
     def _encapsulate(self, frame: EthernetFrame) -> None:
-        frame.trace(f"vxlan-encap:{self.iface.name}(vni={self.vni})")
+        frame.hop_trace.append(self._encap_label)
         self.tx_encapsulated += 1
         datagram = UdpDatagram(
             src_port=self.endpoint.port,
@@ -81,7 +83,7 @@ class VxlanTunnel:
         self.endpoint.underlay_send(packet)
 
     def deliver(self, frame: EthernetFrame) -> None:
-        frame.trace(f"vxlan-decap:{self.iface.name}(vni={self.vni})")
+        frame.hop_trace.append(self._decap_label)
         self.rx_decapsulated += 1
         self.iface.receive(frame)
 

@@ -241,3 +241,73 @@ def test_yielding_non_event_is_an_error():
     with pytest.raises(SimulationError, match="must yield events"):
         env.process(bad())
         env.run()
+
+
+# -- cancellable timers ---------------------------------------------------
+
+
+def test_timer_fires_with_args():
+    env = Environment()
+    seen = []
+    env.timer(2.0, lambda a, b: seen.append((env.now, a, b)), "x", 1)
+    env.run()
+    assert seen == [(2.0, "x", 1)]
+
+
+def test_cancelled_timer_never_fires():
+    env = Environment()
+    fired = []
+    handle = env.timer(5.0, fired.append, "dead")
+    env.timer(1.0, fired.append, "live")
+    assert handle.cancel() is True
+    assert handle.cancel() is True  # idempotent
+    env.run()
+    assert fired == ["live"]
+    # Cancelled entries are skipped without advancing the clock.
+    assert env.now == 1.0
+
+
+def test_cancel_after_fire_returns_false():
+    env = Environment()
+    handle = env.timer(1.0, lambda: None)
+    env.run()
+    assert handle.cancel() is False
+
+
+def test_peek_and_step_skip_cancelled_entries():
+    env = Environment()
+    fired = []
+    dead = env.timer(1.0, fired.append, "dead")
+    env.timer(2.0, fired.append, "live")
+    dead.cancel()
+    assert env.peek() == 2.0  # prune drops the cancelled head
+    env.step()
+    assert fired == ["live"] and env.now == 2.0
+
+
+def test_heap_compaction_preserves_dispatch_order():
+    env = Environment()
+    fired = []
+    # Enough cancellations to cross the compaction threshold (>64 dead
+    # entries outnumbering the live ones) mid-schedule.
+    dead = [env.timer(10.0 + i * 1e-3, fired.append, "dead") for i in range(100)]
+    live = [env.timer(1.0 + i, fired.append, i) for i in range(5)]
+    for handle in dead:
+        assert handle.cancel() is True
+    assert live  # keep a reference; cancellation must not disturb these
+    env.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert env._cancelled == 0 and not env._heap
+
+
+def test_cancellation_does_not_perturb_seq_allocation():
+    """Cancelling never rewinds the (time, seq) order other events got."""
+    env = Environment()
+    order = []
+    env.timer(1.0, order.append, "a")
+    doomed = env.timer(1.0, order.append, "x")
+    env.timer(1.0, order.append, "b")
+    doomed.cancel()
+    env.timer(1.0, order.append, "c")
+    env.run()
+    assert order == ["a", "b", "c"]
