@@ -36,11 +36,23 @@ def find_safe_dc_boundary(topology: Topology, must_have: Iterable[str],
     pending = deque()
     result: Set[str] = set()
     queued: Set[str] = set()
+    too_high: List[str] = []
     for name in must_have:
-        topology.device(name)  # raises on unknown device
+        device = topology.device(name)  # raises on unknown device
+        if device.layer > highest_layer:
+            # A device above the administered top (e.g. a WAN router passed
+            # by mistake) can never be part of a safe DC boundary; emulating
+            # it silently would violate Proposition 5.2's premises.
+            too_high.append(name)
+            continue
         if name not in queued:
             pending.append(name)
             queued.add(name)
+    if too_high:
+        raise ValueError(
+            f"must-have devices above the highest administered layer "
+            f"({highest_layer}): {sorted(too_high)} — external devices are "
+            f"replaced by speakers and cannot be emulated")
 
     while pending:
         device = pending.popleft()

@@ -14,6 +14,7 @@ the emulated region.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,7 +27,8 @@ from ..firmware.bgp.messages import (
     UpdateMessage,
 )
 from ..firmware.bgp.session import BgpSession
-from ..firmware.netstack import HostStack
+from ..firmware.netstack import HostStack, StackError
+from ..obs import NULL_OBS
 from ..provenance.chain import NULL_PROVENANCE
 from ..sim import Environment
 from ..virt.container import Container
@@ -59,17 +61,26 @@ class SpeakerOS:
 
     def __init__(self, env: Environment, hostname: str, config: DeviceConfig,
                  announcements: "List[SpeakerRoute] | Dict[int, List[SpeakerRoute]]",
-                 seed: int = 0, prov=NULL_PROVENANCE):
+                 seed: Optional[int] = None, prov=NULL_PROVENANCE,
+                 obs=NULL_OBS):
         if config.bgp is None:
             raise ValueError(f"speaker {hostname} needs a BGP config")
         self.env = env
         self.hostname = hostname
         self.config = config
         self.prov = prov
+        self.obs = obs
         # Either one list for all peers, or a dict keyed by peer IP value
         # (Prepare computes per-boundary-device snapshots, §6.1).
         self.announcements = announcements
-        self.rng = random.Random(seed or (hash(hostname) & 0xFFFFFF))
+        # The default seed must be stable across processes: Python's str
+        # hash() is salted per interpreter, so it cannot seed anything that
+        # two subprocesses (or two emulation shards) need to agree on.
+        self.rng = random.Random(seed if seed is not None
+                                 else zlib.crc32(hostname.encode()) & 0xFFFFFF)
+        self._m_swallowed = obs.metrics.counter(
+            "repro_swallowed_errors_total",
+            "Exceptions caught and suppressed, by device and site")
         self.status = "stopped"
         self.container: Optional[Container] = None
         self.stack: Optional[HostStack] = None
@@ -89,8 +100,16 @@ class SpeakerOS:
                 try:
                     self.stack.configure_interface(
                         iface.name, iface.address, iface.prefix_length)
-                except Exception:
-                    pass
+                except StackError as exc:
+                    # Config references a port the namespace doesn't have;
+                    # real ExaBGP logs and continues.  Swallowed — but
+                    # visibly: counted and recorded to the event log.
+                    self._m_swallowed.inc(device=self.hostname,
+                                          site="speaker-configure-interface")
+                    self.obs.events.emit(
+                        "swallowed-error", subject=self.hostname,
+                        message=str(exc),
+                        site="speaker-configure-interface")
         self.streams = StreamManager(self.env, self.stack)
         self.streams.listen(BGP_PORT, self._on_accept)
         bgp = self.config.bgp
@@ -122,7 +141,8 @@ class SpeakerOS:
     def _initiates_to(self, peer_ip: IPv4Address) -> bool:
         try:
             return self.stack.source_address_for(peer_ip).value < peer_ip.value
-        except Exception:
+        except StackError:
+            # No usable source address (yet): default to initiating.
             return True
 
     def _on_accept(self, conn) -> None:

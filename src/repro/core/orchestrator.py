@@ -17,6 +17,7 @@ emulation object so the Figure 8/9 benchmarks can read them off directly.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -49,7 +50,7 @@ from ..virt.netns import NetworkNamespace
 from .planner import PlacementPlan, plan_vms
 
 __all__ = ["CrystalNet", "EmulatedDevice", "EmulationMetrics",
-           "OrchestratorError"]
+           "GhostGuest", "OrchestratorError"]
 
 # Orchestrator-side wall-clock cost of issuing one batch of link-creation
 # RPCs (the aggressive batching of §6.2).
@@ -103,6 +104,48 @@ class EmulationMetrics:
         return self.network_ready_latency + self.route_ready_latency
 
 
+class GhostGuest:
+    """Stand-in guest for a device another shard worker owns.
+
+    The sharded backend (:mod:`repro.sim.shard`) boots the full mockup
+    skeleton in every worker — containers, namespaces, links — so phase
+    barriers and CPU-queue contention match the single-process run, but
+    only *owned* devices get a real OS.  Foreign devices get this inert
+    placeholder: it reports ``running`` (its owner's worker vouches for
+    the real boot state during readiness polls), is always quiescent,
+    runs no protocols, and exposes the parsed config so neighbor checks
+    (:func:`_neighbor_shutdown`) see the same peering intent as the real
+    guest would."""
+
+    def __init__(self, hostname: str, kind: str, config: DeviceConfig):
+        self.hostname = hostname
+        self.kind = kind
+        self.config = config
+        self.status = "stopped"
+        self.bgp = None
+        self.container = None
+
+    def on_start(self, container) -> None:
+        self.container = container
+        self.status = "running"
+
+    def on_stop(self) -> None:
+        if self.status != "crashed":
+            self.status = "stopped"
+
+    @property
+    def is_quiescent(self) -> bool:
+        return True
+
+    def pull_states(self) -> dict:
+        return {"hostname": self.hostname, "status": self.status,
+                "ghost": True}
+
+    def execute(self, command: str) -> str:
+        return (f"% {self.hostname} is owned by another shard worker; "
+                f"log in via its owner")
+
+
 @dataclass
 class EmulatedDevice:
     """Runtime record of one emulated device (or speaker)."""
@@ -131,10 +174,17 @@ class CrystalNet:
                  emulation_id: str = "emu", use_ovs: bool = False,
                  clouds: Optional[List[Cloud]] = None,
                  obs: Optional[Observability] = None,
-                 provenance: bool = True):
+                 provenance: bool = True,
+                 shards: Optional[int] = None):
         """``clouds``: run the emulation across several (federated) clouds
         (§3.1); VMs are spread round-robin and cross-cloud links punch the
         NATs automatically.  Defaults to a single cloud.
+
+        ``shards``: run Mockup on the sharded parallel backend
+        (:mod:`repro.sim.shard`) with this many worker processes.  Defaults
+        to the ``REPRO_SHARDS`` environment variable; ``None``/unset keeps
+        the single-process path.  Sharded runs produce byte-identical
+        FIB/provenance output for any shard count.
 
         ``obs``: the observability hub (metrics registry, tracer, event
         log) threaded through every subsystem.  Defaults to a fresh hub on
@@ -200,6 +250,21 @@ class CrystalNet:
         self.lab_server: Optional[VirtualMachine] = None
         self.prepared = False
         self.mocked_up = False
+
+        # Sharded parallel backend (repro.sim.shard).
+        if shards is None:
+            raw = os.environ.get("REPRO_SHARDS", "").strip()
+            if raw:
+                try:
+                    shards = int(raw)
+                except ValueError:
+                    raise OrchestratorError(
+                        f"REPRO_SHARDS must be an integer, got {raw!r}")
+        if shards is not None and shards < 1:
+            raise OrchestratorError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        self._coordinator = None       # parent-side ShardCoordinator
+        self._shard_ctx = None         # worker-side ShardWorkerContext
 
     @property
     def events(self) -> List[str]:
@@ -359,10 +424,61 @@ class CrystalNet:
     # ------------------------------------------------------------------
 
     def mockup(self, route_ready_timeout: float = 3600.0) -> "CrystalNet":
+        if self.shards is not None and self._shard_ctx is None:
+            return self._mockup_sharded(route_ready_timeout)
         done = self.env.process(self.mockup_async(route_ready_timeout),
                                 name="mockup")
         self.env.run(until=done)
         return self
+
+    def _mockup_sharded(self, route_ready_timeout: float) -> "CrystalNet":
+        """Mockup on the parallel backend: fork K workers, coordinate.
+
+        The parent becomes a pure coordinator — its own sim clock stays at
+        the end of Prepare and its device table stays empty; monitor calls
+        (:meth:`pull_states`, :meth:`explain`, :meth:`network_dump`) are
+        served by the workers and merged deterministically.  Interactive
+        control (reload/connect/chaos/...) needs the single-process path.
+        """
+        from ..sim.shard import ShardCoordinator
+        from .planner import plan_shards
+        if not self.prepared:
+            raise OrchestratorError("call prepare() before mockup()")
+        if self.mocked_up:
+            raise OrchestratorError("already mocked up; Clear first")
+        if self.hardware:
+            raise OrchestratorError(
+                "the sharded backend (REPRO_SHARDS) does not support "
+                "fanout-attached hardware devices")
+        if len(self.clouds) > 1:
+            raise OrchestratorError(
+                "the sharded backend (REPRO_SHARDS) does not support "
+                "multi-cloud federation")
+        plan = plan_shards(self.placement, self.shards,
+                           topology=self.topology)
+        self._log(f"sharded mockup: {self.shards} shards, "
+                  f"devices per shard {plan.device_counts()}")
+        self._coordinator = ShardCoordinator(
+            self, plan, route_ready_timeout=route_ready_timeout)
+        result = self._coordinator.run_mockup()
+        self.metrics.network_ready_latency = result.network_ready_latency
+        self.metrics.route_ready_latency = result.route_ready_latency
+        self.metrics.link_count = result.link_count
+        self._phase_gauge.set(result.network_ready_latency,
+                              phase="network-ready")
+        self._phase_gauge.set(result.route_ready_latency,
+                              phase="route-ready")
+        self._phase_gauge.set(self.metrics.mockup_latency, phase="mockup")
+        self.mocked_up = True
+        self._log(f"route-ready in {result.route_ready_latency:.1f}s "
+                  f"({self.shards} shards)")
+        return self
+
+    def close(self) -> None:
+        """Shut down shard workers, if any (no-op on the normal path)."""
+        if self._coordinator is not None:
+            self._coordinator.shutdown()
+            self._coordinator = None
 
     def mockup_async(self, route_ready_timeout: float = 3600.0):
         """Create the emulation (a simulation process)."""
@@ -438,6 +554,15 @@ class CrystalNet:
             boot_events.append(self._boot_guest(record, parent=mockup_span))
         yield self.env.all_of(boot_events)
 
+        if self._shard_ctx is not None:
+            # Shard worker: route-readiness is adjudicated by the
+            # coordinator from per-shard verdicts sampled at the same poll
+            # cadence; this process just records where the wait began.
+            self._shard_ctx.mockup_start = start
+            self._shard_ctx.wait_start = self.env.now
+            self._shard_ctx.route_ready_span = route_ready_span
+            return self
+
         # Route-ready: wait for control-plane quiescence (§8.1).
         yield from self._wait_route_ready(start, route_ready_timeout,
                                           route_ready_span)
@@ -450,12 +575,30 @@ class CrystalNet:
     def _boot_guest(self, record: EmulatedDevice,
                     parent: Optional[object] = None) -> Event:
         name = record.name
-        if record.kind == "speaker":
+        # Drawn before any branching: every shard worker consumes the
+        # orchestrator seed stream for *all* devices in the same order, so
+        # a device's firmware RNG seed never depends on the shard count
+        # (ghosts simply discard theirs).
+        seed = self.rng.getrandbits(32)
+        ctx = self._shard_ctx
+        if ctx is not None and name not in ctx.owned:
+            if record.kind == "speaker":
+                guest = GhostGuest(name, record.kind,
+                                   self._speaker_config(name))
+                sandbox = record.vm.docker.create(
+                    f"speaker-{name}", PHYNET_IMAGE,
+                    netns=record.netns, guest=guest)
+            else:
+                guest = GhostGuest(name, record.kind, self.configs[name])
+                sandbox = record.vm.docker.create(
+                    f"os-{name}", record.vendor.image,
+                    netns=record.netns, guest=guest)
+        elif record.kind == "speaker":
             guest = SpeakerOS(self.env, name,
                               self._speaker_config(name),
                               self.speaker_routes.get(name, {}),
-                              seed=self.rng.getrandbits(32),
-                              prov=self.prov)
+                              seed=seed,
+                              prov=self.prov, obs=self.obs)
             image = PHYNET_IMAGE  # ExaBGP-style: negligible footprint
             sandbox = record.vm.docker.create(f"speaker-{name}", image,
                                               netns=record.netns, guest=guest)
@@ -463,7 +606,7 @@ class CrystalNet:
             vendor = record.vendor
             guest = DeviceOS(self.env, name, vendor,
                              self.config_texts[name],
-                             seed=self.rng.getrandbits(32),
+                             seed=seed,
                              obs=self.obs, prov=self.prov,
                              on_crash=lambda reason, n=name:
                                  self._log(f"{n} CRASHED: {reason}",
@@ -587,10 +730,84 @@ class CrystalNet:
         return config
 
     # ------------------------------------------------------------------
+    # Sharded backend: worker-process side (see repro.sim.shard)
+    # ------------------------------------------------------------------
+
+    def _enter_shard_worker(self, shard_id: int, plan, lookahead: float):
+        """Turn this (forked) process into shard ``shard_id``'s worker."""
+        from ..sim.shard import ShardWorkerContext
+        from ..virt.shard_channel import ShardRouter
+        owned_vms = set(plan.owned_vms(shard_id))
+        owned = {name for name, vm_name in self.placement.assignment.items()
+                 if vm_name in owned_vms}
+        router = ShardRouter(shard_id, owned_vms, lookahead, obs=self.obs)
+        self.cloud.shard_router = router
+        ctx = ShardWorkerContext(shard_id=shard_id, shards=plan.shards,
+                                 owned=owned, router=router)
+        self._shard_ctx = ctx
+        self._coordinator = None
+        return ctx
+
+    def _shard_local_ready(self) -> bool:
+        """This shard's contribution to :meth:`_control_plane_ready`.
+
+        The check decomposes per device, so the conjunction of every
+        shard's local verdict equals the single-process global verdict:
+        ghosts count as alive (their boot state is vouched for by their
+        owner's verdict at the same poll time) unless their owner reported
+        them crashed, which the coordinator broadcasts.
+        """
+        ctx = self._shard_ctx
+        owned = ctx.owned
+        alive: Set[str] = set()
+        for name, record in self.devices.items():
+            if name in owned:
+                if record.status == "running":
+                    alive.add(name)
+            elif name not in ctx.remote_crashed:
+                alive.add(name)
+        for name, record in self.devices.items():
+            if name not in owned:
+                continue
+            guest = record.guest
+            if guest is None:
+                return False
+            if record.status == "booting":
+                return False
+            if record.status == "crashed":
+                continue
+            if not guest.is_quiescent:
+                return False
+            if record.kind in ("device", "hardware") and guest.bgp is not None:
+                expected = self._expected_peers(name, alive)
+                established = {
+                    IPv4Address(peer_value).value
+                    for peer_value, session in guest.bgp.sessions.items()
+                    if session.state == "established"}
+                if not expected <= established:
+                    return False
+        return True
+
+    def _finish_shard_mockup(self, quiet_since: float,
+                             route_ready_latency: float) -> None:
+        """Seal a worker's mockup once the coordinator declared readiness."""
+        ctx = self._shard_ctx
+        self.metrics.route_ready_latency = route_ready_latency
+        if ctx.route_ready_span is not None:
+            ctx.route_ready_span.finish(end=quiet_since)
+        self._phase_gauge.set(route_ready_latency, phase="route-ready")
+        self._phase_gauge.set(self.metrics.mockup_latency, phase="mockup")
+        self.mocked_up = True
+        self.record_timeline("route-ready")
+        self._log(f"route-ready in {route_ready_latency:.1f}s "
+                  f"(shard {ctx.shard_id})")
+
+    # ------------------------------------------------------------------
     # Clear / Destroy
     # ------------------------------------------------------------------
 
     def clear(self) -> "CrystalNet":
+        self._forbid_sharded("clear")
         done = self.env.process(self.clear_async(), name="clear")
         self.env.run(until=done)
         return self
@@ -630,6 +847,11 @@ class CrystalNet:
 
     def destroy(self) -> None:
         """Erase everything including the VMs."""
+        if self._coordinator is not None:
+            # Sharded: the mockup state lives in the (now discarded)
+            # workers; there is nothing parent-side to Clear.
+            self.close()
+            self.mocked_up = False
         if self.mocked_up:
             self.clear()
         for name, vm in list(self.vms.items()):
@@ -650,6 +872,9 @@ class CrystalNet:
         PhyNet namespace (interfaces, links) survives, so this is seconds,
         not minutes (§8.3).
         """
+        # Checked here too: reload_async is a generator, so its own guard
+        # only fires once the process is actually stepped.
+        self._forbid_sharded("reload")
         done = self.env.process(
             self.reload_async(device, config_text=config_text, vendor=vendor),
             name=f"reload:{device}")
@@ -659,6 +884,7 @@ class CrystalNet:
                      vendor: Optional[VendorProfile] = None):
         """Reload as a simulation process (usable from other processes —
         health recovery, chaos injection).  Returns the reload latency."""
+        self._forbid_sharded("reload")
         record = self._device_record(device)
         if record.kind == "speaker":
             raise OrchestratorError(f"{device} is a speaker; reconfigure "
@@ -694,6 +920,7 @@ class CrystalNet:
 
     def connect(self, dev_a: str, dev_b: str) -> None:
         """(Re-)connect the topology link between two devices."""
+        self._forbid_sharded("connect")
         link = self.links.get(frozenset((dev_a, dev_b)))
         if link is None:
             raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
@@ -704,6 +931,7 @@ class CrystalNet:
 
     def disconnect(self, dev_a: str, dev_b: str) -> None:
         """Cut the link between two devices (fiber-cut injection)."""
+        self._forbid_sharded("disconnect")
         link = self.links.get(frozenset((dev_a, dev_b)))
         if link is None:
             raise OrchestratorError(f"no provisioned link {dev_a}<->{dev_b}")
@@ -716,6 +944,7 @@ class CrystalNet:
                        dst: str | IPv4Address, signature: str,
                        count: int = 1, interval: float = 0.1) -> None:
         """Inject ``count`` signed probes at ``device`` (§3.3)."""
+        self._forbid_sharded("inject_packets")
         record = self._device_record(device)
         if record.kind == "speaker":
             raise OrchestratorError("packets are injected at emulated "
@@ -734,6 +963,22 @@ class CrystalNet:
     # ------------------------------------------------------------------
 
     def list_devices(self) -> List[dict]:
+        if self._coordinator is not None:
+            # The device records live in the workers; identity comes from
+            # the plan, liveness from the merged per-device states.
+            states = self._coordinator.pull_states()
+            speaker_set = set(self.speakers)
+            listing = []
+            for name in self.emulated + self.speakers:
+                kind = ("hardware" if name in self.hardware
+                        else "speaker" if name in speaker_set else "device")
+                vendor = None if kind == "speaker" else self._vendor_of(name)
+                listing.append({
+                    "name": name, "kind": kind,
+                    "vendor": vendor.name if vendor else "speaker",
+                    "vm": self.placement.vm_of(name),
+                    "status": states.get(name, {}).get("status", "unknown")})
+            return listing
         return [{"name": r.name, "kind": r.kind,
                  "vendor": r.vendor.name if r.vendor else "speaker",
                  "vm": r.vm.name, "status": r.status}
@@ -760,9 +1005,42 @@ class CrystalNet:
         """The causal chain behind one device's view of one prefix
         (origin announcement → policy/decision verdicts → FIB install);
         see :mod:`repro.provenance` and the ``netscope`` CLI."""
+        if self._coordinator is not None:
+            return self._coordinator.explain(device, str(prefix))
         return explain_prefix(self, device, prefix)
 
+    def network_dump(self, prefixes=None) -> dict:
+        """The full provenance document (``netscope explain``'s input).
+
+        In sharded mode this merges per-worker fragments; the result is
+        byte-identical (via :func:`repro.provenance.dump.dump_json`) to the
+        single-process document."""
+        from ..provenance.dump import network_dump
+        if self._coordinator is not None:
+            return self._coordinator.network_dump(prefixes)
+        return network_dump(self, prefixes)
+
+    def metrics_dump(self) -> dict:
+        """Metric snapshot: the local registry, or in sharded mode the
+        deterministic merge of every worker's registry (counters and
+        histograms summed, gauges from the lowest shard)."""
+        if self._coordinator is not None:
+            return self._coordinator.merged_metrics()
+        return self.obs.metrics.to_dict()
+
     def pull_states(self, device: Optional[str] = None) -> dict:
+        if self._coordinator is not None:
+            states = self._coordinator.pull_states()
+            if device is not None:
+                if device not in states:
+                    raise OrchestratorError(
+                        f"unknown device {device!r} (not emulated)")
+                return states[device]
+            # Same iteration order as the single-process path: the device
+            # table is populated in emulated-then-speakers order.
+            return {name: states[name]
+                    for name in self.emulated + self.speakers
+                    if name in states}
         if device is not None:
             return self._device_record(device).guest.pull_states()
         return {name: record.guest.pull_states()
@@ -770,6 +1048,7 @@ class CrystalNet:
                 if record.guest is not None}
 
     def pull_config(self, device: str) -> str:
+        self._forbid_sharded("pull_config")
         record = self._device_record(device)
         if record.kind == "speaker":
             raise OrchestratorError(f"{device} is a speaker")
@@ -777,6 +1056,7 @@ class CrystalNet:
 
     def pull_packets(self, signature: Optional[str] = None,
                      clean: bool = True) -> List[PacketRecord]:
+        self._forbid_sharded("pull_packets")
         records: List[PacketRecord] = []
         for device in self.devices.values():
             for container in (device.sandbox, device.phynet):
@@ -794,15 +1074,18 @@ class CrystalNet:
         return records
 
     def login(self, device: str) -> LoginSession:
+        self._forbid_sharded("login")
         return self.mgmt.login(device)
 
     def run(self, seconds: float) -> None:
         """Advance the emulation clock (convenience wrapper)."""
+        self._forbid_sharded("run")
         self.env.run(until=self.env.now + seconds)
 
     def converge(self, timeout: float = 1800.0,
                  settle: float = ROUTE_READY_SETTLE) -> float:
         """Run until the control plane stabilizes again (after a change)."""
+        self._forbid_sharded("converge")
         start = self.env.now
         deadline = start + timeout
         quiet_since: Optional[float] = None
@@ -826,6 +1109,13 @@ class CrystalNet:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _forbid_sharded(self, op: str) -> None:
+        if self._coordinator is not None:
+            raise OrchestratorError(
+                f"{op} is not available on the sharded backend "
+                f"(REPRO_SHARDS): the mockup state lives in the worker "
+                f"processes; run unsharded for interactive control")
 
     def _vendor_of(self, name: str) -> VendorProfile:
         if name in self.vendor_overrides:

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional, Tuple
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..virt.cloud import STANDARD_D4, STANDARD_D4_NESTED, VmSku
 
-__all__ = ["PlacementPlan", "VmPlan", "plan_vms", "SPEAKERS_PER_VM"]
+__all__ = ["PlacementPlan", "ShardPlan", "VmPlan", "plan_shards", "plan_vms",
+           "SPEAKERS_PER_VM"]
 
 # Density caps per 4-core VM (devices-per-VM).
 CONTAINER_OS_PER_VM = 12
@@ -159,3 +160,87 @@ def plan_vms(devices: Dict[str, str], speakers: List[str],
         index += 1
 
     return PlacementPlan(vms=vms)
+
+
+# ---------------------------------------------------------------------------
+# Shard partitioning (the parallel backend, repro.sim.shard)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardPlan:
+    """A VM-aligned partition of one placement into K shards.
+
+    Shards must be VM-aligned: every device on a VM belongs to the same
+    shard, so all intra-VM interactions (the FCFS CPU queue, bridges,
+    veth hops) stay inside one event loop and only *cross-VM* underlay
+    traffic — which already pays :data:`~repro.virt.cloud.UNDERLAY_LATENCY`
+    — crosses the shard boundary.  That latency is the backend's lookahead.
+    """
+
+    shards: int
+    vm_to_shard: Dict[str, int]
+    device_to_shard: Dict[str, int] = field(default_factory=dict)
+
+    def owned_vms(self, shard: int) -> List[str]:
+        return sorted(vm for vm, s in self.vm_to_shard.items() if s == shard)
+
+    def owned_devices(self, shard: int) -> List[str]:
+        return sorted(d for d, s in self.device_to_shard.items()
+                      if s == shard)
+
+    def device_counts(self) -> List[int]:
+        counts = [0] * self.shards
+        for shard in self.device_to_shard.values():
+            counts[shard] += 1
+        return counts
+
+
+def plan_shards(placement: PlacementPlan, shards: int,
+                topology=None) -> ShardPlan:
+    """Partition a placement into ``shards`` VM-aligned shards.
+
+    Pod/boundary-aware: VMs are grouped by the dominant pod of the devices
+    they host (speaker and podless VMs — borders, spines — form their own
+    groups), and whole groups go to the least-loaded shard, largest group
+    first.  Devices of one pod talk mostly to each other and to the podless
+    spine layer, so keeping a pod's VMs co-sharded minimizes the window
+    traffic the coordinator must relay.  Fully deterministic: ties break on
+    group key, then VM name.
+    """
+    if shards < 1:
+        raise ValueError(f"need at least one shard, got {shards}")
+    pods: Dict[str, object] = {}
+    if topology is not None:
+        for spec in topology:
+            pods[spec.name] = getattr(spec, "pod", None)
+
+    groups: Dict[str, List[VmPlan]] = {}
+    for vm in placement.vms:
+        if vm.vendor_group == "speakers":
+            key = "speakers"
+        else:
+            tally: Dict[object, int] = {}
+            for device in vm.devices:
+                pod = pods.get(device)
+                tally[pod] = tally.get(pod, 0) + 1
+            dominant = max(sorted(tally, key=str), key=lambda p: tally[p]) \
+                if tally else None
+            key = "podless" if dominant is None else f"pod:{dominant}"
+        groups.setdefault(key, []).append(vm)
+
+    ordered = sorted(groups.items(),
+                     key=lambda kv: (-sum(len(vm.devices) for vm in kv[1]),
+                                     kv[0]))
+    loads = [0] * shards
+    vm_to_shard: Dict[str, int] = {}
+    for _key, vms_in_group in ordered:
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        for vm in vms_in_group:
+            vm_to_shard[vm.name] = target
+            loads[target] += len(vm.devices)
+
+    device_to_shard = {device: vm_to_shard[vm_name]
+                       for device, vm_name in placement.assignment.items()}
+    return ShardPlan(shards=shards, vm_to_shard=vm_to_shard,
+                     device_to_shard=device_to_shard)

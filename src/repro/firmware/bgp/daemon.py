@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import random
+import zlib
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ...config.model import DeviceConfig
@@ -28,7 +29,7 @@ from ...provenance.chain import (
 )
 from ...sim import Environment
 from ..fib import Fib, FibEntry, FibFullError, FirmwareCrash, NextHop
-from ..netstack import HostStack
+from ..netstack import HostStack, StackError
 from ..vendors.profiles import VendorProfile
 from ..worker import SerialWorker
 from .decision import default_tie_breaker, explain_candidates, select
@@ -124,7 +125,11 @@ class BgpDaemon:
         self.bgp_config = config.bgp
         self.vendor = vendor
         self.worker = worker
-        self.rng = rng or random.Random(hash(config.hostname) & 0xFFFF)
+        # crc32, not hash(): str hash() is salted per interpreter, so the
+        # fallback seed must not depend on it (two processes emulating the
+        # same device would jitter their timers differently).
+        self.rng = rng or random.Random(
+            zlib.crc32(config.hostname.encode()) & 0xFFFF)
         self.on_crash = on_crash
         self.obs = obs
         # Hot-path handles resolved once; with a detached hub these are the
@@ -277,7 +282,8 @@ class BgpDaemon:
     def _initiates_to(self, peer_ip: IPv4Address) -> bool:
         try:
             local = self.stack.source_address_for(peer_ip)
-        except Exception:
+        except StackError:
+            # No usable source address (yet): default to initiating.
             return True
         return local.value < peer_ip.value
 
@@ -692,7 +698,7 @@ class BgpDaemon:
         if is_ebgp:
             try:
                 local_ip = self.stack.source_address_for(peer_ip)
-            except Exception:
+            except StackError:
                 unreachable = True
         if prov_enabled:
             adv_hop = prov.hop(

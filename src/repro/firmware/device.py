@@ -15,6 +15,7 @@ the container's capture buffer for PullPackets.
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -58,14 +59,17 @@ class DeviceOS:
     """Vendor firmware instance (container guest)."""
 
     def __init__(self, env: Environment, hostname: str, vendor: VendorProfile,
-                 config_text: str, seed: int = 0,
+                 config_text: str, seed: Optional[int] = None,
                  on_crash: Optional[Callable[[str], None]] = None,
                  obs=NULL_OBS, prov=NULL_PROVENANCE):
         self.env = env
         self.hostname = hostname
         self.vendor = vendor
         self.config_text = config_text
-        self.rng = random.Random(seed or (hash(hostname) & 0xFFFFFF))
+        # crc32, not hash(): str hash() is salted per interpreter, and the
+        # old ``seed or ...`` idiom also discarded an explicit ``seed=0``.
+        self.rng = random.Random(seed if seed is not None
+                                 else zlib.crc32(hostname.encode()) & 0xFFFFFF)
         self.on_crash = on_crash
         self.obs = obs
         self.prov = prov

@@ -23,7 +23,7 @@ from ...net.ip import IPv4Address, Prefix
 from ...net.packet import Ipv4Packet
 from ...obs import NULL_OBS
 from ...sim import Environment
-from ..fib import FibEntry, NextHop
+from ..fib import FibEntry, FibFullError, FirmwareCrash, NextHop
 from ..netstack import HostStack
 from ..worker import SerialWorker
 from .messages import HelloPacket, Lsa, LsUpdate, OSPF_PROTO
@@ -88,6 +88,9 @@ class OspfDaemon:
         self._g_lsdb = metrics.gauge(
             "repro_ospf_lsdb_size",
             "Router LSAs held in the LSDB").labels(device=device)
+        self._m_swallowed = metrics.counter(
+            "repro_swallowed_errors_total",
+            "Exceptions caught and suppressed, by device and site")
 
         # Per-interface neighbor tables and DR/BDR views.
         self.neighbors: Dict[str, Dict[int, _Neighbor]] = {
@@ -382,8 +385,15 @@ class OspfDaemon:
                 try:
                     self.stack.fib.install(FibEntry(
                         prefix=prefix, next_hops=(hop,), source="ospf"))
-                except Exception:
-                    pass
+                except (FibFullError, FirmwareCrash) as exc:
+                    # Vendor overflow policy rejected the install.  Real
+                    # routers log "table full" and keep converging; we do
+                    # the same, but visibly: counted, not lost.
+                    self._m_swallowed.inc(device=self._device,
+                                          site="ospf-fib-install")
+                    self.obs.events.emit(
+                        "swallowed-error", subject=self._device,
+                        message=str(exc), site="ospf-fib-install")
 
     def _neighbor_next_hop(self, rid: Optional[int]) -> Optional[NextHop]:
         if rid is None:

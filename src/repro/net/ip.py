@@ -50,6 +50,12 @@ class IPv4Address:
     def __setattr__(self, *_args) -> None:
         raise AttributeError("IPv4Address is immutable")
 
+    def __reduce__(self):
+        # Rebuild through the constructor: slots + immutable __setattr__
+        # defeat default pickling, and the sharded backend ships packets
+        # between worker processes.
+        return (IPv4Address, (self.value,))
+
     def __eq__(self, other) -> bool:
         return self is other or (isinstance(other, IPv4Address)
                                  and other.value == self.value)
@@ -112,6 +118,9 @@ class Prefix:
 
     def __setattr__(self, *_args) -> None:
         raise AttributeError("Prefix is immutable")
+
+    def __reduce__(self):
+        return (Prefix, (self.network, self.length))
 
     @property
     def mask(self) -> int:

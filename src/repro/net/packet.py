@@ -54,6 +54,11 @@ class MacAddress:
     def __setattr__(self, *_args) -> None:
         raise AttributeError("MacAddress is immutable")
 
+    def __reduce__(self):
+        # Slots + immutable __setattr__ defeat default pickling; the
+        # sharded backend ships frames between worker processes.
+        return (MacAddress, (self.value,))
+
     @property
     def is_broadcast(self) -> bool:
         return self.value == (1 << 48) - 1

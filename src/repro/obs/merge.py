@@ -1,0 +1,83 @@
+"""Deterministic merge of metric snapshots from shard workers.
+
+Each shard worker of the parallel backend (:mod:`repro.sim.shard`)
+accumulates metrics in its own process; at the end of mockup the
+coordinator pulls every worker's :meth:`MetricsRegistry.to_dict` snapshot
+and merges them into one document with the same schema, so a sharded run
+exports the same metric families an unsharded run does.
+
+Merge rules, chosen so the result is independent of shard count for
+partitioned work:
+
+* **counter** / **histogram** samples with the same name and label set are
+  summed (bucket-wise for histograms; bounds must agree).  Work that is
+  partitioned across shards — anything labelled by device, since each
+  real guest boots on exactly one shard — sums to the single-process
+  value.  Counters fed by the *replicated* skeleton (every worker boots
+  the same VMs and links) are intentionally reported as-is, i.e. once
+  per worker: they describe what each process actually executed.
+* **gauge** (and anything untyped) samples keep the value from the
+  lowest-numbered shard that reports them — gauges are point-in-time
+  readings (phase latencies, utilization) that every worker computes from
+  the same replicated skeleton, so the first is as good as any; summing
+  would K-fold-count them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["merge_metric_dicts"]
+
+
+def _sample_key(sample: dict) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted(sample.get("labels", {}).items()))
+
+
+def merge_metric_dicts(dumps: Iterable[dict]) -> dict:
+    merged: Dict[str, dict] = {}
+    for dump in dumps:
+        for name in dump:
+            family = dump[name]
+            target = merged.get(name)
+            if target is None:
+                merged[name] = {
+                    key: (list(value) if isinstance(value, list) else value)
+                    for key, value in family.items() if key != "samples"}
+                merged[name]["samples"] = [
+                    {k: (dict(v) if isinstance(v, dict) else
+                         list(v) if isinstance(v, list) else v)
+                     for k, v in sample.items()}
+                    for sample in family.get("samples", ())]
+                continue
+            if family.get("type") != target.get("type"):
+                raise ValueError(
+                    f"metric {name!r} has conflicting types across shards: "
+                    f"{target.get('type')} vs {family.get('type')}")
+            index = {_sample_key(s): s for s in target["samples"]}
+            for sample in family.get("samples", ()):
+                existing = index.get(_sample_key(sample))
+                if existing is None:
+                    copy = {k: (dict(v) if isinstance(v, dict) else
+                                list(v) if isinstance(v, list) else v)
+                            for k, v in sample.items()}
+                    target["samples"].append(copy)
+                    index[_sample_key(copy)] = copy
+                    continue
+                kind = family.get("type")
+                if kind == "counter":
+                    existing["value"] += sample["value"]
+                elif kind == "histogram":
+                    if len(existing["buckets"]) != len(sample["buckets"]):
+                        raise ValueError(
+                            f"metric {name!r} has conflicting histogram "
+                            f"buckets across shards")
+                    existing["buckets"] = [
+                        a + b for a, b in zip(existing["buckets"],
+                                              sample["buckets"])]
+                    existing["sum"] += sample["sum"]
+                    existing["count"] += sample["count"]
+                # gauges / untyped: first (lowest shard) reading wins.
+    for family in merged.values():
+        family["samples"].sort(key=_sample_key)
+    return {name: merged[name] for name in sorted(merged)}

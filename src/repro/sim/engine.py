@@ -437,6 +437,36 @@ class Environment:
             return
         raise SimulationError("no scheduled events")
 
+    def run_window(self, until: float) -> int:
+        """Process every event *strictly before* ``until``; returns the count.
+
+        This is the barrier primitive of the conservative parallel backend
+        (:mod:`repro.sim.shard`): a shard granted the window ``[now, until)``
+        may process exactly the events with ``time < until`` — events at or
+        beyond the horizon could still be affected by not-yet-delivered
+        cross-shard traffic (which arrives at ``>= until`` by the lookahead
+        rule).  Afterwards the clock rests at ``until`` so cross-shard
+        injections for the next window (all stamped ``>= until``) can be
+        scheduled as ordinary future events.
+
+        Chunking a run into windows never reorders anything: dispatch order
+        is the heap's ``(time, seq)`` order either way, which is why a K=1
+        windowed run is event-for-event identical to a monolithic ``run()``.
+        """
+        if until < self.now:
+            raise SimulationError(
+                f"window end {until} is in the past (now={self.now})")
+        count = 0
+        heap = self._heap
+        while True:
+            self._prune()
+            if not heap or heap[0][0] >= until:
+                break
+            self.step()
+            count += 1
+        self.now = until
+        return count
+
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
 

@@ -1,0 +1,530 @@
+"""Sharded parallel emulation backend (conservative time windows).
+
+CrystalNet's production deployments run thousands of devices across VM
+fleets; this reproduction's event loop is single-threaded, so after the
+PR-4 fast paths the remaining wall-clock ceiling is one CPU core.  This
+module scales out: the emulated region is partitioned into K VM-aligned
+shards (:func:`repro.core.planner.plan_shards`) and each shard's event
+loop runs in its own ``multiprocessing`` worker, synchronized by a
+conservative (YAWNS-style) window protocol.
+
+**Why the trajectory is preserved.**  All intra-VM causality (FCFS CPU
+queues, bridges, veth hops) stays inside one shard because partitioning
+is VM-aligned; the only inter-shard influence is cross-VM underlay
+traffic, which always pays :data:`~repro.virt.cloud.UNDERLAY_LATENCY` —
+the protocol's *lookahead* L.  Each round the coordinator grants shard i
+a window ending at ``T_i = min(others_i + L, gmin + 2L)`` where
+``others_i`` is the earliest known horizon of any *other* shard and
+``gmin`` the global minimum (horizons count undelivered in-flight
+messages as events of their destination shard).  The first term bounds
+direct sends: a message a peer's already-known event could emit arrives
+at ``send + L >= others_i + L``.  The second bounds *cascades* —
+including replies provoked by shard i's own sends inside this very
+window: any send not yet known to the coordinator is caused by a
+message still in flight, so it executes at or after ``gmin + L`` and
+its output arrives at or after ``gmin + 2L`` (deeper chains only add
+more L).  Every event a shard processes inside its window therefore has
+its full causal past already local, and chunking a heap run into
+windows never reorders events, so the per-shard trajectory is
+event-for-event the trajectory of the single-process run.
+
+**Replicated skeleton.**  Workers are forked *after* ``prepare()`` from
+the same parent image, so every worker holds the identical provisioned
+substrate.  Each then runs the full mockup skeleton — every VM, phynet
+container, link, and sandbox (identical static boot costs keep the phase
+barriers aligned) — but boots a real guest OS only for devices it owns;
+foreign devices get inert ghost guests.  Per-device RNG seeds stay
+aligned because every worker draws the orchestrator seed stream for
+*all* devices in the same order.
+
+**Deterministic merge.**  Route-readiness is adjudicated by the
+coordinator from per-shard verdicts sampled at the exact single-process
+poll cadence (grants are clamped to the 5 s poll boundaries so verdicts
+are evaluated with precisely the events before the boundary processed),
+and RIB/FIB/provenance/metrics outputs are merged from the workers in
+deterministic order — so ``REPRO_SHARDS=1`` and ``REPRO_SHARDS=4``
+produce byte-identical FIB dumps, provenance chains, and netscope
+output, matching the unsharded path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+__all__ = ["ShardCoordinator", "ShardError", "ShardMockupResult",
+           "ShardWorkerContext", "K1_GRANT_CHUNK"]
+
+# Window granted to a lone shard (K=1): no peers means no lookahead bound,
+# so grant generous fixed chunks past the next event to amortize the
+# coordination round-trips.  Chunk size never affects the trajectory.
+K1_GRANT_CHUNK = 5.0
+
+
+class ShardError(Exception):
+    """Sharded-backend protocol failure (worker died, starvation, ...)."""
+
+
+@dataclass
+class ShardWorkerContext:
+    """Worker-process side state (attached to the orchestrator)."""
+
+    shard_id: int
+    shards: int
+    owned: Set[str]                  # device + speaker names this shard boots
+    router: object                   # repro.virt.shard_channel.ShardRouter
+    remote_crashed: Set[str] = field(default_factory=set)
+    wait_start: Optional[float] = None
+    mockup_start: Optional[float] = None
+    route_ready_span: Optional[object] = None
+
+
+@dataclass
+class ShardMockupResult:
+    """What the coordinator hands back to the parent orchestrator."""
+
+    network_ready_latency: float
+    route_ready_latency: float
+    link_count: int
+    quiet_since: float
+    route_ready_at: float
+    shard_stats: List[dict]
+
+
+def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
+                       conn, route_ready_timeout: float) -> None:
+    """Entry point of one forked shard worker.
+
+    Protocol (coordinator -> worker):
+
+    * ``("advance", T, inbox, crashed)`` — inject relayed messages, run the
+      event window ``[now, T)``, reply ``("report", next, outbox, stats)``.
+    * ``("poll", crashed)`` — evaluate the local route-ready verdict at the
+      current (poll-boundary) time, reply ``("verdict", now, ok, stats)``.
+    * ``("finalize", quiet_since, route_ready_latency)`` — seal mockup
+      state, reply ``("finalized", stats)``.
+    * ``("pull_states" | "dump" | "explain" | "metrics", ...)`` — serve
+      merged-output fragments for owned devices.
+    * ``("exit",)`` — leave.
+    """
+    try:
+        ctx = net._enter_shard_worker(shard_id, shard_plan, lookahead)
+        env = net.env
+        router = ctx.router
+        proc = env.process(net.mockup_async(route_ready_timeout),
+                           name=f"mockup-shard{shard_id}")
+        windows = 0
+        events = 0
+        idle_wall = 0.0
+
+        def stats() -> dict:
+            return {
+                "shard": shard_id,
+                "wait_start": ctx.wait_start,
+                "mockup_start": ctx.mockup_start,
+                "network_ready_latency": net.metrics.network_ready_latency,
+                "link_count": net.metrics.link_count,
+                "crashed": sorted(
+                    name for name in ctx.owned
+                    if net.devices.get(name) is not None
+                    and net.devices[name].status == "crashed"),
+                "windows": windows,
+                "events": events,
+                "idle_wall_s": idle_wall,
+                "sent": router.sent_total,
+                "received": router.received_total,
+                "owned_devices": len(ctx.owned),
+            }
+
+        conn.send(("report", env.peek(), [], stats()))
+        while True:
+            t0 = time.monotonic()
+            msg = conn.recv()
+            idle_wall += time.monotonic() - t0
+            op = msg[0]
+            if op == "advance":
+                _op, horizon, inbox, crashed = msg
+                ctx.remote_crashed = set(crashed)
+                if inbox:
+                    router.inject(net.cloud, inbox)
+                events += env.run_window(horizon)
+                windows += 1
+                if proc.triggered and not proc.ok:
+                    raise proc.value
+                conn.send(("report", env.peek(), router.drain_outbox(),
+                           stats()))
+            elif op == "poll":
+                ctx.remote_crashed = set(msg[1])
+                conn.send(("verdict", env.now, net._shard_local_ready(),
+                           stats()))
+            elif op == "finalize":
+                _op, quiet_since, route_ready_latency = msg
+                net._finish_shard_mockup(quiet_since, route_ready_latency)
+                conn.send(("finalized", stats()))
+            elif op in ("pull_states", "dump", "explain", "metrics"):
+                # Monitor RPCs: failures (unknown device, no daemon, ...)
+                # are reported per-call, not fatal to the emulation.
+                try:
+                    conn.send(_serve_rpc(net, ctx, msg))
+                except Exception:
+                    conn.send(("rpc_error", traceback.format_exc()))
+            elif op == "exit":
+                break
+            else:  # pragma: no cover - protocol bug
+                raise ShardError(f"unknown op {op!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+    finally:
+        conn.close()
+
+
+def _serve_rpc(net, ctx: ShardWorkerContext, msg):
+    """Build the reply for one monitor RPC (owned devices only)."""
+    op = msg[0]
+    if op == "pull_states":
+        return ("states", {
+            name: net.devices[name].guest.pull_states()
+            for name in sorted(ctx.owned)
+            if net.devices.get(name) is not None
+            and net.devices[name].guest is not None})
+    if op == "dump":
+        from ..provenance.dump import network_dump
+        daemons = {
+            name: net.devices[name].guest.bgp
+            for name in sorted(ctx.owned)
+            if net.devices.get(name) is not None
+            and getattr(net.devices[name].guest, "bgp", None) is not None}
+        return ("dumped", network_dump(daemons, msg[1])["devices"])
+    if op == "explain":
+        from ..provenance.dump import explain_prefix
+        _op, device, prefix = msg
+        daemon = getattr(net.devices[device].guest, "bgp", None)
+        return ("explained", explain_prefix({device: daemon}, device, prefix))
+    if op == "metrics":
+        return ("metric_dump", net.obs.metrics.to_dict())
+    raise ShardError(f"unknown RPC {op!r}")  # pragma: no cover
+
+
+class ShardCoordinator:
+    """Parent-side: forks workers, runs the window protocol."""
+
+    def __init__(self, net, shard_plan, route_ready_timeout: float = 3600.0):
+        from ..virt.cloud import UNDERLAY_LATENCY
+        self.net = net
+        self.plan = shard_plan
+        self.shards = shard_plan.shards
+        self.lookahead = UNDERLAY_LATENCY
+        self.route_ready_timeout = route_ready_timeout
+        self._workers: List[multiprocessing.Process] = []
+        self._conns: List = []
+        self._alive = False
+        self.shard_stats: List[dict] = [{} for _ in range(self.shards)]
+        # Resolved once on the parent's registry: per-shard channel and
+        # window telemetry lands here at finalize.
+        metrics = net.obs.metrics
+        self._g_windows = metrics.gauge(
+            "repro_shard_windows_total",
+            "Conservative windows executed, per shard")
+        self._g_messages = metrics.gauge(
+            "repro_shard_channel_messages_total",
+            "Inter-shard channel messages, per shard and direction")
+        self._g_idle = metrics.gauge(
+            "repro_shard_idle_wall_seconds",
+            "Wall-clock seconds each shard worker spent waiting at the "
+            "window barrier")
+        self._g_devices = metrics.gauge(
+            "repro_shard_devices",
+            "Devices (and speakers) owned, per shard")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn(self) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platform
+            raise ShardError(
+                "REPRO_SHARDS needs the fork start method (POSIX); "
+                "unset it on this platform") from exc
+        for shard_id in range(self.shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(self.net, shard_id, self.plan, self.lookahead,
+                      child_conn, self.route_ready_timeout),
+                name=f"repro-shard-{shard_id}", daemon=True)
+            proc.start()
+            child_conn.close()
+            self._workers.append(proc)
+            self._conns.append(parent_conn)
+        self._alive = True
+
+    def shutdown(self) -> None:
+        if not self._alive:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._workers.clear()
+        self._conns.clear()
+        self._alive = False
+
+    # -- protocol --------------------------------------------------------
+
+    def _recv(self, shard_id: int):
+        msg = self._conns[shard_id].recv()
+        if msg[0] == "error":
+            detail = msg[1]
+            self.shutdown()
+            raise ShardError(f"shard {shard_id} worker failed:\n{detail}")
+        return msg
+
+    def _broadcast(self, message) -> None:
+        for conn in self._conns:
+            conn.send(message)
+
+    def rpc(self, shard_id: int, *message):
+        """One request/response exchange with a (quiesced) worker."""
+        if not self._alive:
+            raise ShardError("shard workers are not running")
+        self._conns[shard_id].send(tuple(message))
+        reply = self._recv(shard_id)
+        if reply[0] == "rpc_error":
+            raise ShardError(
+                f"shard {shard_id} RPC {message[0]!r} failed:\n{reply[1]}")
+        return reply
+
+    def run_mockup(self) -> ShardMockupResult:
+        """Drive every worker through mockup; returns the merged metrics."""
+        from ..core.orchestrator import (
+            OrchestratorError,
+            ROUTE_READY_POLL,
+            ROUTE_READY_SETTLE,
+        )
+        self._spawn()
+        try:
+            nexts = [0.0] * self.shards
+            crashed: Set[str] = set()
+            # Cross-shard messages awaiting delivery, per destination shard.
+            pending: List[List] = [[] for _ in range(self.shards)]
+            for shard_id in range(self.shards):
+                kind, nxt, outbox, stats = self._recv(shard_id)
+                assert kind == "report"
+                nexts[shard_id] = nxt
+                self._route(outbox, pending)
+                self._note_stats(shard_id, stats, crashed)
+
+            wait_start: Optional[float] = None
+            deadline: Optional[float] = None
+            next_poll: Optional[float] = None
+            quiet_since: Optional[float] = None
+
+            while True:
+                stats_list = [self.shard_stats[i] for i in range(self.shards)]
+                if wait_start is None:
+                    starts = {s.get("wait_start") for s in stats_list}
+                    starts.discard(None)
+                    if len(starts) > 1:  # pragma: no cover - protocol bug
+                        raise ShardError(
+                            f"shards disagree on the route-ready epoch: "
+                            f"{sorted(starts)}")
+                    if starts and all(
+                            s.get("wait_start") is not None
+                            for s in stats_list):
+                        wait_start = starts.pop()
+                        deadline = wait_start + self.route_ready_timeout
+                        # The verdict at wait_start itself is skipped: the
+                        # boot wave has just completed, so devices are
+                        # still in their vendor boot delay and the
+                        # single-process check is always False there.
+                        next_poll = wait_start + ROUTE_READY_POLL
+
+                # A shard's effective horizon includes messages the
+                # coordinator has not delivered yet: an undelivered arrival
+                # is an event of the destination shard just as much as
+                # anything already in its heap, and everything it triggers
+                # (including further sends) can precede the reported next
+                # event.  Grants computed from the bare reports would let
+                # peers run past those arrivals.
+                eff = [min([nexts[i]] + [m.arrival for m in pending[i]])
+                       for i in range(self.shards)]
+
+                # Poll boundary reached by everyone: adjudicate.
+                if (next_poll is not None
+                        and all(n >= next_poll for n in eff)
+                        and self._all_at(next_poll)):
+                    if next_poll >= deadline:
+                        raise OrchestratorError(
+                            f"routes did not stabilize within "
+                            f"{self.route_ready_timeout}s (sharded backend, "
+                            f"{self.shards} shards)")
+                    verdict = True
+                    for shard_id in range(self.shards):
+                        self._conns[shard_id].send(("poll", sorted(crashed)))
+                    for shard_id in range(self.shards):
+                        kind, at, ok, stats = self._recv(shard_id)
+                        assert kind == "verdict" and at == next_poll
+                        self._note_stats(shard_id, stats, crashed)
+                        verdict = verdict and ok
+                    if verdict:
+                        if quiet_since is None:
+                            quiet_since = next_poll
+                        elif next_poll - quiet_since >= ROUTE_READY_SETTLE:
+                            return self._finalize(quiet_since, next_poll,
+                                                  wait_start)
+                    else:
+                        quiet_since = None
+                    next_poll += ROUTE_READY_POLL
+                    continue
+
+                # Grant the next conservative window to every shard.
+                if all(n == float("inf") for n in eff):
+                    if next_poll is None:
+                        raise ShardError(
+                            "all shards starved before the boot wave "
+                            "completed; simulation deadlock")
+                    # Heap drained but not settled: step poll boundaries.
+                    grants = [next_poll] * self.shards
+                else:
+                    gmin = min(eff)
+                    grants = []
+                    for i in range(self.shards):
+                        if self.shards == 1:
+                            horizon = eff[0] + K1_GRANT_CHUNK
+                        else:
+                            # Earliest unknown arrival at shard i: a peer's
+                            # *known* event can send directly (others + L),
+                            # and any relayed cascade — including replies
+                            # provoked by shard i's own sends this window —
+                            # needs at least two channel hops (gmin + 2L).
+                            others = min(eff[j] for j in range(self.shards)
+                                         if j != i)
+                            horizon = min(others + self.lookahead,
+                                          gmin + 2 * self.lookahead)
+                        # Never pass an unadjudicated poll boundary: the
+                        # verdict must see exactly the events before it.
+                        if next_poll is not None:
+                            horizon = min(horizon, next_poll)
+                        grants.append(max(horizon, self._now(i)))
+
+                crashed_list = sorted(crashed)
+                inboxes, pending = pending, [[] for _ in range(self.shards)]
+                for shard_id in range(self.shards):
+                    self._conns[shard_id].send(
+                        ("advance", grants[shard_id], inboxes[shard_id],
+                         crashed_list))
+                for shard_id in range(self.shards):
+                    kind, nxt, outbox, stats = self._recv(shard_id)
+                    assert kind == "report"
+                    nexts[shard_id] = nxt
+                    self._route(outbox, pending)
+                    self._note_stats(shard_id, stats, crashed)
+                    self.shard_stats[shard_id]["now"] = grants[shard_id]
+        except BaseException:
+            self.shutdown()
+            raise
+
+    def _route(self, outbox, pending: List[List]) -> None:
+        for message in outbox:
+            owner = self.plan.vm_to_shard.get(message.dst_vm)
+            if owner is not None:
+                pending[owner].append(message)
+
+    def _now(self, shard_id: int) -> float:
+        return self.shard_stats[shard_id].get("now", 0.0)
+
+    def _all_at(self, when: float) -> bool:
+        return all(self._now(i) == when for i in range(self.shards))
+
+    def _note_stats(self, shard_id: int, stats: dict,
+                    crashed: Set[str]) -> None:
+        now = self.shard_stats[shard_id].get("now", 0.0)
+        self.shard_stats[shard_id] = stats
+        self.shard_stats[shard_id]["now"] = now
+        crashed.update(stats.get("crashed", ()))
+
+    def _finalize(self, quiet_since: float, route_ready_at: float,
+                  wait_start: float) -> ShardMockupResult:
+        stats0 = self.shard_stats[0]
+        network_ready_at = (stats0["mockup_start"]
+                            + stats0["network_ready_latency"])
+        route_ready_latency = quiet_since - network_ready_at
+        for shard_id in range(self.shards):
+            self._conns[shard_id].send(
+                ("finalize", quiet_since, route_ready_latency))
+        for shard_id in range(self.shards):
+            kind, stats = self._recv(shard_id)
+            assert kind == "finalized"
+            self.shard_stats[shard_id] = stats
+            label = str(shard_id)
+            self._g_windows.set(stats["windows"], shard=label)
+            self._g_messages.set(stats["sent"], shard=label,
+                                 direction="sent")
+            self._g_messages.set(stats["received"], shard=label,
+                                 direction="received")
+            self._g_idle.set(round(stats["idle_wall_s"], 6), shard=label)
+            self._g_devices.set(stats["owned_devices"], shard=label)
+        return ShardMockupResult(
+            network_ready_latency=stats0["network_ready_latency"],
+            route_ready_latency=route_ready_latency,
+            link_count=stats0["link_count"],
+            quiet_since=quiet_since,
+            route_ready_at=route_ready_at,
+            shard_stats=list(self.shard_stats))
+
+    # -- merged monitor surface -----------------------------------------
+
+    def pull_states(self) -> Dict[str, dict]:
+        merged: Dict[str, dict] = {}
+        for shard_id in range(self.shards):
+            kind, states = self.rpc(shard_id, "pull_states")
+            assert kind == "states"
+            merged.update(states)
+        return merged
+
+    def network_dump(self, prefixes=None) -> dict:
+        devices: Dict[str, dict] = {}
+        for shard_id in range(self.shards):
+            kind, fragment = self.rpc(shard_id, "dump", prefixes)
+            assert kind == "dumped"
+            devices.update(fragment)
+        return {"version": 1,
+                "devices": {name: devices[name] for name in sorted(devices)}}
+
+    def explain(self, device: str, prefix) -> dict:
+        owner = self.plan.device_to_shard.get(device)
+        if owner is None:
+            raise KeyError(f"unknown device {device!r}")
+        kind, result = self.rpc(owner, "explain", device, prefix)
+        assert kind == "explained"
+        return result
+
+    def merged_metrics(self) -> dict:
+        from ..obs.merge import merge_metric_dicts
+        # The coordinator's own per-shard telemetry (windows, channel
+        # messages, idle wall time, ownership) lives on the parent
+        # registry, not in any worker; lead with it so its gauge
+        # readings win the first-reading-wins merge rule.
+        parent = {name: family
+                  for name, family in self.net.obs.metrics.to_dict().items()
+                  if name.startswith("repro_shard_")}
+        dumps = [parent]
+        for shard_id in range(self.shards):
+            kind, dump = self.rpc(shard_id, "metrics")
+            assert kind == "metric_dump"
+            dumps.append(dump)
+        return merge_metric_dicts(dumps)

@@ -18,6 +18,7 @@ timing lives in :mod:`repro.firmware.vendors.profiles`).
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, TYPE_CHECKING
@@ -85,6 +86,12 @@ class VirtualMachine:
         self.spawned_at = env.now
         self.deleted_at: Optional[float] = None
         self.crash_count = 0
+        # Pending underlay arrivals, ordered by (arrival, src, pair seq).
+        # Simultaneous arrivals from different senders are processed in
+        # this content-determined order — never in event-heap insertion
+        # order, which the sharded backend (repro.sim.shard) cannot
+        # reproduce across workers.
+        self._ingress: list = []
 
     # -- lifecycle -------------------------------------------------------
 
@@ -146,6 +153,22 @@ class VirtualMachine:
         if isinstance(datagram, UdpDatagram) and datagram.dst_port == VXLAN_UDP_PORT:
             self.vxlan.handle_datagram(packet)
 
+    def enqueue_underlay(self, arrival: float, src_key: int, seq: int,
+                         packet: Ipv4Packet) -> None:
+        """Queue an underlay packet for delivery at ``arrival``.
+
+        ``(src_key, seq)`` — the sender's IP and the per-(src, dst) send
+        sequence — totally orders same-instant arrivals; the tuple never
+        ties, so ``heapq`` never compares packets.
+        """
+        heapq.heappush(self._ingress, (arrival, src_key, seq, packet))
+        self.env.timer(arrival - self.env.now, self._drain_ingress)
+
+    def _drain_ingress(self) -> None:
+        while self._ingress and self._ingress[0][0] <= self.env.now:
+            packet = heapq.heappop(self._ingress)[3]
+            self.receive_underlay(packet)
+
     # -- accounting ------------------------------------------------------
 
     def uptime_hours(self) -> float:
@@ -176,6 +199,14 @@ class Cloud:
         self._retired: list[VirtualMachine] = []
         # Set by CloudFederation.join(); enables cross-cloud underlay.
         self.federation = None
+        # Set by the sharded backend (repro.sim.shard): intercepts underlay
+        # packets for VMs owned by other shard workers.  None (the default)
+        # keeps deliver() at a single identity check.
+        self.shard_router = None
+        # Per-(src, dst) underlay send sequence: a pure function of the
+        # sender's trajectory, so every shard worker stamps the same
+        # numbers the single-process run would.  See deliver().
+        self._pair_seq: Dict[tuple, int] = {}
         self.mac_allocator = MacAllocator()
         self._underlay_pool = Prefix(underlay_prefix).hosts()
         self._ip_index: Dict[int, VirtualMachine] = {}
@@ -233,13 +264,29 @@ class Cloud:
     # -- underlay --------------------------------------------------------
 
     def deliver(self, packet: Ipv4Packet) -> None:
-        """Deliver an underlay IP packet to the destination VM."""
+        """Deliver an underlay IP packet to the destination VM.
+
+        Simultaneous arrivals at one VM are ordered by ``(src, pair
+        seq)``, not by event-heap insertion order: insertion order at
+        equal timestamps is an artifact of the global event interleaving,
+        which a sharded run cannot reconstruct across workers — boot-
+        synchronized protocol timers on different devices *do* produce
+        same-instant sends at scale.
+        """
         target = self._ip_index.get(packet.dst.value)
         if target is None:
             if self.federation is not None:
                 self.federation.route(packet, self)
             return
-        self.env.timer(UNDERLAY_LATENCY, target.receive_underlay, packet)
+        pair = (packet.src.value, packet.dst.value)
+        seq = self._pair_seq.get(pair, 0) + 1
+        self._pair_seq[pair] = seq
+        if (self.shard_router is not None
+                and self.shard_router.intercept(self, packet, target.name,
+                                                seq)):
+            return
+        target.enqueue_underlay(self.env.now + UNDERLAY_LATENCY,
+                                packet.src.value, seq, packet)
 
     # -- billing ---------------------------------------------------------
 

@@ -1,0 +1,129 @@
+"""The serialized inter-shard underlay channel (repro.sim.shard).
+
+When the emulation is partitioned into shards, each worker process runs
+the *entire* cloud substrate but owns only a subset of the VMs.  All
+cross-VM traffic already funnels through :meth:`repro.virt.cloud.Cloud.
+deliver` and pays :data:`~repro.virt.cloud.UNDERLAY_LATENCY` — exactly
+like the federated underlay in :mod:`repro.virt.federation`, which relays
+packets between clouds with a fixed latency through one choke point.  The
+shard channel reuses that shape: a :class:`ShardRouter` installed on the
+worker's cloud intercepts packets whose destination VM the worker does
+not own, stamps them with their arrival time (``send + lookahead``), and
+queues them on an outbox the coordinator relays to the owning shard,
+which re-injects them as ordinary future events.
+
+Ordering is part of the protocol: every message carries the sender's
+underlay IP and the per-(src, dst) send sequence the source worker's
+:class:`~repro.virt.cloud.Cloud` stamped on it — the same numbers the
+single-process run stamps, because they are a pure function of the
+sender's (identical) trajectory.  Relayed packets join the destination
+VM's ingress queue, where simultaneous arrivals from *any* mix of local
+and remote senders are processed in ``(arrival, src, seq)`` order on
+both backends.  Same-instant cross-shard sends are systematic at scale
+(boot-synchronized protocol timers on different devices), so this
+content-determined order is what makes sharded provenance timelines
+byte-identical to the single-process run — shard ids or event-heap
+insertion order could not be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, TYPE_CHECKING
+
+from ..obs import NULL_OBS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..net.packet import Ipv4Packet
+    from .cloud import Cloud
+
+__all__ = ["ShardMessage", "ShardRouter"]
+
+
+@dataclass
+class ShardMessage:
+    """One underlay packet crossing a shard boundary."""
+
+    arrival: float       # absolute sim time the packet reaches dst_vm
+    send_time: float     # sim time the source VM handed it to the underlay
+    src_shard: int
+    src_key: int         # sender underlay IP (ingress-queue order key)
+    seq: int             # per-(src, dst) send sequence; per-link FIFO key
+    dst_vm: str
+    packet: "Ipv4Packet"
+
+    def sort_key(self):
+        return (self.arrival, self.src_key, self.seq)
+
+
+class ShardRouter:
+    """Worker-side channel endpoint: intercept, stamp, and inject.
+
+    Installed as ``cloud.shard_router``; :meth:`Cloud.deliver` consults it
+    for every underlay packet.  Packets for owned VMs are delivered
+    locally (the normal latency timer); packets for foreign VMs go to
+    :attr:`outbox` for the coordinator to relay.
+    """
+
+    def __init__(self, shard_id: int, owned_vms: Set[str], lookahead: float,
+                 obs=NULL_OBS):
+        self.shard_id = shard_id
+        self.owned_vms = set(owned_vms)
+        self.lookahead = lookahead
+        self.outbox: List[ShardMessage] = []
+        self.sent_total = 0
+        self.received_total = 0
+        self._m_sent = obs.metrics.counter(
+            "repro_shard_messages_sent_total",
+            "Underlay packets handed to the inter-shard channel")
+        self._m_received = obs.metrics.counter(
+            "repro_shard_messages_received_total",
+            "Underlay packets injected from the inter-shard channel")
+
+    def owns(self, vm_name: str) -> bool:
+        return vm_name in self.owned_vms
+
+    def intercept(self, cloud: "Cloud", packet: "Ipv4Packet",
+                  dst_vm_name: str, pair_seq: int) -> bool:
+        """Claim ``packet`` for the channel; False = deliver locally.
+
+        ``pair_seq`` is the per-(src, dst) send sequence the cloud just
+        stamped; it rides along so the owning shard can slot the packet
+        into the destination VM's ingress queue exactly where the
+        single-process run would.
+        """
+        if dst_vm_name in self.owned_vms:
+            return False
+        now = cloud.env.now
+        self.outbox.append(ShardMessage(
+            arrival=now + self.lookahead, send_time=now,
+            src_shard=self.shard_id, src_key=packet.src.value,
+            seq=pair_seq, dst_vm=dst_vm_name, packet=packet))
+        self.sent_total += 1
+        self._m_sent.inc(shard=str(self.shard_id))
+        return True
+
+    def drain_outbox(self) -> List[ShardMessage]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject(self, cloud: "Cloud", messages: List[ShardMessage]) -> None:
+        """Schedule relayed messages as local arrival events.
+
+        Arrivals are in the future by construction: the window protocol
+        only advances a shard to ``min(peer next-event) + lookahead``,
+        and every relayed message arrives at ``send + lookahead >= `` that
+        horizon.  Packets join the destination VM's ingress queue under
+        their ``(arrival, src, seq)`` key, so simultaneous arrivals —
+        local or relayed — drain in the single-process order regardless
+        of injection order.
+        """
+        for msg in sorted(messages, key=ShardMessage.sort_key):
+            target = cloud.vms.get(msg.dst_vm)
+            if target is None:
+                continue  # VM deleted meanwhile; underlay drops, like K=1
+            target.enqueue_underlay(msg.arrival, msg.src_key, msg.seq,
+                                    msg.packet)
+            self.received_total += 1
+        if messages:
+            self._m_received.inc(len(messages), shard=str(self.shard_id))

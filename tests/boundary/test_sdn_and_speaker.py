@@ -130,3 +130,37 @@ class TestSpeakerDevice:
         assert speaker.status == "stopped"
         lab.wait(90)  # hold timer on the router side
         assert router.daemon.established_sessions() == 0
+
+
+class TestSwallowedErrorsVisible:
+    """Broad catches in the speaker record what they suppress."""
+
+    def test_missing_interface_fault_is_counted_not_lost(self):
+        from repro.obs import Observability
+        from repro.sim import Environment
+        from repro.virt.netns import NetworkNamespace
+
+        env = Environment()
+        hub = Observability(env=env)
+        config = DeviceConfig(hostname="speaker", vendor="ctnr-b")
+        # The config references a port the namespace does not have — the
+        # speaker must keep booting (real ExaBGP logs and continues), but
+        # the suppressed fault has to be visible.
+        config.interfaces = [
+            InterfaceConfig("et9", IPv4Address("172.30.0.1"), 31)]
+        config.bgp = BgpConfig(asn=65000, router_id=IPv4Address("9.9.9.9"))
+        speaker = SpeakerOS(env, "speaker", config, [], seed=3, obs=hub)
+
+        class FakeContainer:
+            netns = NetworkNamespace("speaker")
+
+        speaker.on_start(FakeContainer())
+        assert speaker.status == "running"  # fault did not abort the boot
+        assert hub.metrics.value(
+            "repro_swallowed_errors_total", device="speaker",
+            site="speaker-configure-interface") == 1
+        records = hub.events.records(kind="swallowed-error")
+        assert len(records) == 1
+        assert records[0].subject == "speaker"
+        assert records[0].fields["site"] == "speaker-configure-interface"
+        assert "et9" in records[0].message

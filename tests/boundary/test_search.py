@@ -96,3 +96,31 @@ def test_sdc_full_emulation_plan():
     plan = boundary_plan(topo, administered)
     assert plan.proportion_of_network() == 1.0
     assert plan.verdict.safe
+
+
+class TestMustHaveAboveBoundary:
+    """External devices in must_have are rejected loudly, never emulated."""
+
+    def test_wan_must_have_raises_naming_devices(self, ldc):
+        with pytest.raises(ValueError) as excinfo:
+            find_safe_dc_boundary(ldc, ["tor-0-0", "wan-0"])
+        message = str(excinfo.value)
+        assert "wan-0" in message
+        assert "tor-0-0" not in message  # only the offenders are named
+
+    def test_all_offenders_listed(self, ldc):
+        with pytest.raises(ValueError) as excinfo:
+            find_safe_dc_boundary(ldc, ["wan-1", "wan-0"])
+        assert "['wan-0', 'wan-1']" in str(excinfo.value)
+
+    def test_explicit_highest_layer_rejects_higher_device(self):
+        # A spine (layer 2) passed while the administered top is capped
+        # at the leaf layer must be rejected, not silently emulated.
+        fig7 = figure7_topology()
+        with pytest.raises(ValueError) as excinfo:
+            find_safe_dc_boundary(fig7, ["T1", "S1"], highest_layer=1)
+        assert "S1" in str(excinfo.value)
+
+    def test_boundary_plan_propagates_rejection(self, ldc):
+        with pytest.raises(ValueError):
+            boundary_plan(ldc, ["wan-0"])

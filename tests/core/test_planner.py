@@ -75,3 +75,86 @@ def test_deterministic_plan():
     b = plan_vms(devices, speakers=["s1"], num_vms=4)
     assert [(vm.name, vm.devices) for vm in a.vms] == \
         [(vm.name, vm.devices) for vm in b.vms]
+
+
+class TestShardPlanning:
+    """plan_shards: VM-aligned, pod-aware partitioning for repro.sim.shard."""
+
+    @staticmethod
+    def _sdc():
+        from repro.topology import SDC, build_clos
+        topo = build_clos(SDC())
+        devices = {d.name: d.vendor for d in topo if d.role != "wan"}
+        speakers = [d.name for d in topo.by_role("wan")]
+        return topo, plan_vms(devices, speakers)
+
+    def test_every_vm_and_device_assigned(self):
+        from repro.core.planner import plan_shards
+        topo, placement = self._sdc()
+        plan = plan_shards(placement, 3, topology=topo)
+        assert set(plan.vm_to_shard) == {vm.name for vm in placement.vms}
+        assert set(plan.device_to_shard) == set(placement.assignment)
+        assert set(plan.vm_to_shard.values()) <= set(range(3))
+
+    def test_partition_is_vm_aligned(self):
+        from repro.core.planner import plan_shards
+        topo, placement = self._sdc()
+        plan = plan_shards(placement, 4, topology=topo)
+        for vm in placement.vms:
+            shards = {plan.device_to_shard[d] for d in vm.devices}
+            assert shards == {plan.vm_to_shard[vm.name]}
+
+    def test_dominant_pod_groups_stay_co_sharded(self):
+        from repro.core.planner import plan_shards
+        from repro.topology import MDC, build_clos
+        topo = build_clos(MDC())
+        devices = {d.name: d.vendor for d in topo if d.role != "wan"}
+        speakers = [d.name for d in topo.by_role("wan")]
+        placement = plan_vms(devices, speakers)
+        plan = plan_shards(placement, 4, topology=topo)
+        # VMs whose hosted devices are dominated by the same pod form one
+        # group, and groups move to a shard as a unit.
+        by_pod = {}
+        for vm in placement.vms:
+            if vm.vendor_group == "speakers":
+                continue
+            tally = {}
+            for device in vm.devices:
+                pod = getattr(topo.device(device), "pod", None)
+                tally[pod] = tally.get(pod, 0) + 1
+            dominant = max(sorted(tally, key=str), key=lambda p: tally[p])
+            if dominant is not None:
+                by_pod.setdefault(dominant, set()).add(
+                    plan.vm_to_shard[vm.name])
+        assert by_pod  # the M-DC placement has pod-dominated VMs
+        for pod, shards in by_pod.items():
+            assert len(shards) == 1, f"pod {pod} group split across {shards}"
+
+    def test_deterministic(self):
+        from repro.core.planner import plan_shards
+        topo, placement = self._sdc()
+        a = plan_shards(placement, 4, topology=topo)
+        b = plan_shards(placement, 4, topology=topo)
+        assert a.vm_to_shard == b.vm_to_shard
+        assert a.device_to_shard == b.device_to_shard
+
+    def test_single_shard_owns_everything(self):
+        from repro.core.planner import plan_shards
+        topo, placement = self._sdc()
+        plan = plan_shards(placement, 1, topology=topo)
+        assert set(plan.vm_to_shard.values()) == {0}
+        assert plan.device_counts() == [len(placement.assignment)]
+
+    def test_zero_shards_rejected(self):
+        from repro.core.planner import plan_shards
+        _topo, placement = self._sdc()
+        with pytest.raises(ValueError, match="at least one shard"):
+            plan_shards(placement, 0)
+
+    def test_counts_cover_all_devices(self):
+        from repro.core.planner import plan_shards
+        topo, placement = self._sdc()
+        plan = plan_shards(placement, 4, topology=topo)
+        assert sum(plan.device_counts()) == len(placement.assignment)
+        assert plan.owned_devices(0) == sorted(
+            d for d, s in plan.device_to_shard.items() if s == 0)

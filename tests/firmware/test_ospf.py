@@ -170,3 +170,30 @@ def test_spf_counts_and_stop(wire):
     da.stop()
     wire.run(until=wire.env.now + 60)
     assert da.spf_runs == runs  # no further work after stop
+
+
+def test_fib_overflow_fault_is_counted_not_lost(wire):
+    """A FIB-full rejection during OSPF route install is swallowed (the
+    daemon keeps converging, like a real "table full" router) but counted
+    and recorded — never silently lost."""
+    from repro.obs import Observability
+
+    a, b = wire.stack("a"), wire.stack("b")
+    wire.cable(a, "10.0.0.0", b, "10.0.0.1")
+    hub = Observability(env=wire.env)
+    make_daemon(wire, a, "1.1.1.1", ["et0"], stubs=["10.9.0.0/24"])
+    daemon_b = OspfDaemon(wire.env, b, IPv4Address("2.2.2.2"),
+                          [OspfInterfaceConfig("et0")], obs=hub)
+    daemon_b.start()
+    # Freeze b's FIB at its current (connected-routes-only) size: every
+    # OSPF install from here on overflows with the `reject` policy.
+    b.fib.capacity = len(b.fib)
+    wire.run(until=120)
+    assert daemon_b.full_neighbors() == 1  # still converging
+    assert b.fib.lookup(IPv4Address("10.9.0.5")) is None
+    assert hub.metrics.value(
+        "repro_swallowed_errors_total", device="b",
+        site="ospf-fib-install") >= 1
+    records = hub.events.records(kind="swallowed-error", subject="b")
+    assert records and records[0].fields["site"] == "ospf-fib-install"
+    assert "FIB full" in records[0].message

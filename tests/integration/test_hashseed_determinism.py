@@ -1,0 +1,136 @@
+"""Default RNG seeds must not depend on Python's salted ``hash()``.
+
+The speaker and the firmware daemons derive their default RNG seed from
+the hostname.  Seeding from ``hash(hostname)`` silently varies per
+interpreter (PYTHONHASHSEED is salted unless pinned), so two processes
+emulating the same pinned scenario would jitter their timers differently
+— exactly the failure mode the sharded backend cannot tolerate.  The
+seeds now come from ``zlib.crc32(hostname)``; this regression test runs
+one pinned speaker-plus-router scenario in two subprocesses with
+*different* ``PYTHONHASHSEED`` values and asserts identical event
+streams and RNG states.
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import zlib
+
+REPO = Path(__file__).resolve().parents[2]
+
+# The scenario builds the Fig.-5-style speaker bench by hand so the
+# SpeakerOS and BgpDaemon are constructed WITHOUT explicit seeds — the
+# derived-default code path is the one under test.  It prints every
+# jitter-sensitive observable: the event trajectory length, the sim
+# clock at convergence, the converged routes, and post-run RNG draws
+# (a digest of each generator's full consumption history).
+SCENARIO_SRC = """\
+import json
+from repro.boundary import SpeakerOS, SpeakerRoute
+from repro.config.model import BgpConfig, BgpNeighborConfig, DeviceConfig, \\
+    InterfaceConfig
+from repro.firmware.bgp.daemon import BgpDaemon
+from repro.firmware.lab import BgpLab
+from repro.net import IPv4Address, Prefix
+from repro.virt.netns import NetworkNamespace, VethPair
+
+lab = BgpLab(seed=171)
+router = lab.router("r1", asn=100, networks=["10.5.0.0/24"])
+pair = VethPair(lab.env, "et0", "et0s", lab.macs.allocate(),
+                lab.macs.allocate())
+pair.a.attach_namespace(router.stack.netns)
+router.stack.configure_interface("et0", IPv4Address("172.30.0.0"), 31)
+router.neighbors.append(BgpNeighborConfig(
+    peer_ip=IPv4Address("172.30.0.1"), remote_asn=65000))
+
+config = DeviceConfig(hostname="speaker", vendor="ctnr-b")
+config.interfaces = [InterfaceConfig("et0", IPv4Address("172.30.0.1"), 31)]
+config.bgp = BgpConfig(asn=65000, router_id=IPv4Address("9.9.9.9"),
+                       neighbors=[BgpNeighborConfig(
+                           peer_ip=IPv4Address("172.30.0.0"),
+                           remote_asn=100)])
+# No seed: the speaker derives its default from the hostname.
+speaker = SpeakerOS(lab.env, "speaker", config,
+                    [SpeakerRoute(prefix=Prefix("50.0.0.0/8"),
+                                  as_path=(65000, 7018))])
+
+class FakeContainer:
+    netns = NetworkNamespace("speaker")
+
+container = FakeContainer()
+pair.b.attach_namespace(container.netns)
+iface = container.netns.interfaces.pop("et0s")
+iface.name = "et0"
+container.netns.interfaces["et0"] = iface
+speaker.on_start(container)
+
+# Boot the router daemon WITHOUT an rng, so it too derives its default.
+router.daemon = BgpDaemon(lab.env, router.stack, router.streams,
+                          router.config(), router.vendor, router.worker)
+router.daemon.start()
+converged_at = lab.converge(timeout=600)
+
+print(json.dumps({
+    "events": lab.env._seq,
+    "converged_at": round(converged_at, 9),
+    "routes": lab.routes("r1"),
+    "received": sorted(str(p) for p in speaker.received_prefixes()),
+    "speaker_rng": [speaker.rng.random() for _ in range(4)],
+    "daemon_rng": [router.daemon.rng.random() for _ in range(4)],
+}, sort_keys=True))
+"""
+
+
+def _run_scenario(hashseed: str) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"),
+               PYTHONHASHSEED=hashseed)
+    proc = subprocess.run([sys.executable, "-c", SCENARIO_SRC], env=env,
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_event_streams_identical_across_hash_seeds():
+    first = _run_scenario("1")
+    second = _run_scenario("2971215073")
+    assert first == second
+    # Sanity: the scenario actually converged and carried routes.
+    assert first["received"] and "50.0.0.0/8" in json.dumps(first["routes"])
+
+
+def test_explicit_seed_zero_is_honored():
+    """``seed=0`` must seed with 0, not fall through to the default
+    (the old ``seed or ...`` idiom discarded it)."""
+    from repro.boundary import SpeakerOS
+    from repro.config.model import BgpConfig, DeviceConfig
+    from repro.firmware.device import DeviceOS
+    from repro.firmware.vendors.profiles import get_vendor
+    from repro.net import IPv4Address
+    from repro.sim import Environment
+
+    env = Environment()
+    config = DeviceConfig(hostname="spk", vendor="ctnr-b")
+    config.bgp = BgpConfig(asn=65000, router_id=IPv4Address("1.1.1.1"))
+    speaker = SpeakerOS(env, "spk", config, [], seed=0)
+    assert speaker.rng.getstate() == random.Random(0).getstate()
+
+    device = DeviceOS(Environment(), "dev", get_vendor("ctnr-a"),
+                      "hostname dev", seed=0)
+    assert device.rng.getstate() == random.Random(0).getstate()
+
+
+def test_default_seed_is_crc32_of_hostname():
+    from repro.config.model import BgpConfig, DeviceConfig
+    from repro.boundary import SpeakerOS
+    from repro.net import IPv4Address
+    from repro.sim import Environment
+
+    config = DeviceConfig(hostname="wan-3", vendor="ctnr-b")
+    config.bgp = BgpConfig(asn=65000, router_id=IPv4Address("1.1.1.1"))
+    speaker = SpeakerOS(Environment(), "wan-3", config, [])
+    expected = random.Random(zlib.crc32(b"wan-3") & 0xFFFFFF)
+    assert speaker.rng.getstate() == expected.getstate()

@@ -1,0 +1,94 @@
+"""Unit tests for the deterministic shard-metric merge."""
+
+import pytest
+
+from repro.obs.merge import merge_metric_dicts
+
+
+def counter(value, **labels):
+    return {"type": "counter", "help": "h",
+            "samples": [{"labels": labels, "value": value}]}
+
+
+def gauge(value, **labels):
+    return {"type": "gauge", "help": "h",
+            "samples": [{"labels": labels, "value": value}]}
+
+
+def histogram(buckets, total, count, **labels):
+    return {"type": "histogram", "help": "h", "bounds": [0.1, 1.0],
+            "samples": [{"labels": labels, "buckets": list(buckets),
+                         "sum": total, "count": count}]}
+
+
+class TestCounters:
+    def test_same_labels_summed(self):
+        merged = merge_metric_dicts([{"c": counter(2, device="a")},
+                                     {"c": counter(3, device="a")}])
+        assert merged["c"]["samples"] == [
+            {"labels": {"device": "a"}, "value": 5}]
+
+    def test_distinct_labels_kept_apart(self):
+        merged = merge_metric_dicts([{"c": counter(2, device="a")},
+                                     {"c": counter(3, device="b")}])
+        assert [s["value"] for s in merged["c"]["samples"]] == [2, 3]
+
+    def test_samples_sorted_by_labels(self):
+        merged = merge_metric_dicts([{"c": counter(1, device="z")},
+                                     {"c": counter(1, device="a")}])
+        labels = [s["labels"]["device"] for s in merged["c"]["samples"]]
+        assert labels == ["a", "z"]
+
+
+class TestGauges:
+    def test_first_reading_wins(self):
+        merged = merge_metric_dicts([{"g": gauge(7.0, phase="mockup")},
+                                     {"g": gauge(9.0, phase="mockup")}])
+        assert merged["g"]["samples"][0]["value"] == 7.0
+
+    def test_missing_sample_filled_from_later_shard(self):
+        merged = merge_metric_dicts([{"g": gauge(7.0, shard="0")},
+                                     {"g": gauge(9.0, shard="1")}])
+        values = {s["labels"]["shard"]: s["value"]
+                  for s in merged["g"]["samples"]}
+        assert values == {"0": 7.0, "1": 9.0}
+
+
+class TestHistograms:
+    def test_buckets_sum_and_count_summed(self):
+        merged = merge_metric_dicts([
+            {"h": histogram([1, 2], 0.5, 3, device="a")},
+            {"h": histogram([4, 8], 1.5, 12, device="a")}])
+        sample = merged["h"]["samples"][0]
+        assert sample["buckets"] == [5, 10]
+        assert sample["sum"] == 2.0
+        assert sample["count"] == 15
+
+    def test_conflicting_bucket_count_rejected(self):
+        bad = {"type": "histogram", "help": "h", "bounds": [0.1],
+               "samples": [{"labels": {"device": "a"}, "buckets": [1],
+                            "sum": 0.0, "count": 1}]}
+        with pytest.raises(ValueError, match="buckets"):
+            merge_metric_dicts([{"h": histogram([1, 2], 0.5, 3, device="a")},
+                                {"h": bad}])
+
+
+class TestStructure:
+    def test_conflicting_types_rejected(self):
+        with pytest.raises(ValueError, match="conflicting types"):
+            merge_metric_dicts([{"m": counter(1, device="a")},
+                                {"m": gauge(1.0, device="a")}])
+
+    def test_families_sorted_by_name(self):
+        merged = merge_metric_dicts([{"z": counter(1), "a": counter(1)}])
+        assert list(merged) == ["a", "z"]
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = {"c": counter(2, device="a")}
+        second = {"c": counter(3, device="a")}
+        merge_metric_dicts([first, second])
+        assert first["c"]["samples"][0]["value"] == 2
+        assert second["c"]["samples"][0]["value"] == 3
+
+    def test_empty_input(self):
+        assert merge_metric_dicts([]) == {}

@@ -1,0 +1,201 @@
+"""Unit tests for the sharded backend: env switch, guards, channel.
+
+The trajectory-equivalence contract lives in
+``test_shard_equivalence.py``; this module covers the plumbing around
+it — ``REPRO_SHARDS`` parsing, the interactive-control guards, ghost
+guests, and the inter-shard channel's determinism rules.
+"""
+
+import pytest
+
+from repro.core import CrystalNet, OrchestratorError
+from repro.core.orchestrator import GhostGuest
+from repro.net import IPv4Address, Prefix
+from repro.sim import Environment
+from repro.topology import SDC, build_clos
+from repro.virt.shard_channel import ShardMessage, ShardRouter
+
+pytestmark = pytest.mark.shard
+
+
+class TestEnvSwitch:
+    def test_env_var_selects_shard_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert CrystalNet(emulation_id="t", seed=1).shards == 3
+
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert CrystalNet(emulation_id="t", seed=1, shards=2).shards == 2
+
+    def test_unset_means_single_process(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert CrystalNet(emulation_id="t", seed=1).shards is None
+
+    def test_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "four")
+        with pytest.raises(OrchestratorError, match="must be an integer"):
+            CrystalNet(emulation_id="t", seed=1)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(OrchestratorError, match="at least one shard"):
+            CrystalNet(emulation_id="t", seed=1, shards=0)
+
+
+@pytest.fixture(scope="module")
+def sharded_net():
+    net = CrystalNet(emulation_id="t-guard", seed=5, shards=2)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    yield net
+    net.close()
+
+
+class TestShardedMonitorSurface:
+    """What still works after a sharded mockup (served by the workers)."""
+
+    def test_mockup_metrics_adopted(self, sharded_net):
+        m = sharded_net.metrics
+        assert m.network_ready_latency > 0
+        assert m.route_ready_latency > m.network_ready_latency
+
+    def test_pull_states_all_devices(self, sharded_net):
+        states = sharded_net.pull_states()
+        assert set(sharded_net.emulated + sharded_net.speakers) == set(states)
+
+    def test_list_devices_served_from_workers(self, sharded_net):
+        listing = sharded_net.list_devices()
+        assert {d["name"] for d in listing} == \
+            set(sharded_net.emulated + sharded_net.speakers)
+        assert {d["status"] for d in listing} == {"running"}
+
+    def test_pull_states_single_device(self, sharded_net):
+        one = sharded_net.pull_states("tor-0-0")
+        assert one["hostname"] == "tor-0-0"
+        assert not one.get("ghost")
+
+    def test_pull_states_unknown_device(self, sharded_net):
+        with pytest.raises(OrchestratorError):
+            sharded_net.pull_states("nonexistent")
+
+    def test_explain_routes_to_owning_shard(self, sharded_net):
+        entry = sharded_net.explain("tor-0-0", "100.100.0.0/16")
+        assert entry
+
+    def test_metrics_dump_merges_workers(self, sharded_net):
+        merged = sharded_net.metrics_dump()
+        assert "repro_shard_windows_total" in merged
+        assert "repro_shard_devices" in merged
+
+
+class TestShardedControlGuards:
+    """Interactive control needs the single-process path — loudly."""
+
+    @pytest.mark.parametrize("call", [
+        lambda net: net.run(5),
+        lambda net: net.converge(),
+        lambda net: net.clear(),
+        lambda net: net.connect("tor-0-0", "lf-0-0"),
+        lambda net: net.disconnect("tor-0-0", "lf-0-0"),
+        lambda net: net.login("tor-0-0"),
+        lambda net: net.pull_config("tor-0-0"),
+        lambda net: net.pull_packets(),
+        lambda net: net.inject_packets(
+            "tor-0-0", "10.192.0.9", "10.192.1.9", signature="t"),
+        lambda net: net.reload("tor-0-0"),
+    ], ids=["run", "converge", "clear", "connect", "disconnect", "login",
+            "pull_config", "pull_packets", "inject_packets", "reload"])
+    def test_guarded_operation_raises(self, sharded_net, call):
+        with pytest.raises(OrchestratorError, match="sharded backend"):
+            call(sharded_net)
+
+
+class TestGhostGuest:
+    def test_lifecycle_mirrors_a_real_guest(self):
+        ghost = GhostGuest("lf-9-9", "device", config=None)
+        assert ghost.status == "stopped"
+        ghost.on_start(container=object())
+        assert ghost.status == "running"
+        assert ghost.is_quiescent
+        assert ghost.bgp is None
+        ghost.on_stop()
+        assert ghost.status == "stopped"
+
+    def test_pull_states_is_marked_ghost(self):
+        ghost = GhostGuest("lf-9-9", "device", config=None)
+        assert ghost.pull_states()["ghost"] is True
+
+    def test_execute_refuses(self):
+        ghost = GhostGuest("lf-9-9", "device", config=None)
+        assert "another shard" in ghost.execute("show ip bgp")
+
+
+class FakePacket:
+    def __init__(self, src_value=0xA000001):
+        self.src = type("Src", (), {"value": src_value})()
+
+
+class TestShardChannel:
+    def test_owned_vm_traffic_is_not_intercepted(self):
+        env = Environment()
+        router = ShardRouter(shard_id=0, owned_vms={"vm0"},
+                             lookahead=300e-6)
+
+        class FakeCloud:
+            pass
+
+        cloud = FakeCloud()
+        cloud.env = env
+        assert not router.intercept(cloud, FakePacket(), "vm0", 1)
+        assert router.drain_outbox() == []
+
+    def test_foreign_vm_traffic_is_queued_with_lookahead(self):
+        env = Environment()
+        router = ShardRouter(shard_id=0, owned_vms={"vm0"},
+                             lookahead=300e-6)
+
+        class FakeCloud:
+            pass
+
+        cloud = FakeCloud()
+        cloud.env = env
+        packet = FakePacket(src_value=42)
+        assert router.intercept(cloud, packet, "vm1", 7)
+        (message,) = router.drain_outbox()
+        assert message.dst_vm == "vm1"
+        assert message.arrival == pytest.approx(env.now + 300e-6)
+        assert message.packet is packet
+        assert message.src_key == 42     # sender IP orders the ingress queue
+        assert message.seq == 7          # cloud-stamped per-(src, dst) seq
+        assert router.drain_outbox() == []  # drained exactly once
+
+    def test_messages_sort_deterministically(self):
+        # Same arrival: sender IP, then the per-(src, dst) sequence break
+        # the tie — the content-determined order the single-process
+        # ingress queue uses, independent of which shard sent first.
+        msgs = [
+            ShardMessage(arrival=1.0, send_time=0.9, src_shard=2,
+                         src_key=20, seq=1, dst_vm="vm0", packet=None),
+            ShardMessage(arrival=1.0, send_time=0.9, src_shard=1,
+                         src_key=10, seq=2, dst_vm="vm0", packet=None),
+            ShardMessage(arrival=1.0, send_time=0.9, src_shard=1,
+                         src_key=10, seq=1, dst_vm="vm0", packet=None),
+            ShardMessage(arrival=0.5, send_time=0.4, src_shard=3,
+                         src_key=30, seq=9, dst_vm="vm0", packet=None),
+        ]
+        ordered = sorted(msgs, key=ShardMessage.sort_key)
+        assert [(m.arrival, m.src_key, m.seq) for m in ordered] == [
+            (0.5, 30, 9), (1.0, 10, 1), (1.0, 10, 2), (1.0, 20, 1)]
+
+
+class TestPicklableValueObjects:
+    """Cross-shard frames must survive the worker pipe."""
+
+    def test_ip_prefix_mac_roundtrip(self):
+        import pickle
+
+        from repro.net.packet import MacAddress
+
+        for obj in (IPv4Address("10.1.2.3"), Prefix("10.1.0.0/16"),
+                    MacAddress("02:00:00:00:00:07")):
+            clone = pickle.loads(pickle.dumps(obj))
+            assert clone == obj

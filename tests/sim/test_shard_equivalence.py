@@ -1,0 +1,121 @@
+"""The sharded backend changes wall-clock shape, never state (pinned seed).
+
+Mocks up the same pinned S-DC three ways — ``REPRO_SHARDS`` unset
+(classic single-process path), K=1, and K=4 — and asserts every
+externally-visible artifact is byte-identical: the full ``pull_states``
+document, the provenance network dump, and rendered netscope output.
+Runs with both vendor-profile assignments (the paper's ToR=CTNR-B layout
+and its inverse), so both aggregation quirk paths cross the shard
+boundary on each side of the comparison.
+
+This is the PR-4 ``test_fastpath_equivalence`` bar applied to scale-out:
+a "speedup" that perturbs the event trajectory is a behaviour change,
+not an optimization.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.tools.netscope import main as netscope
+from repro.topology import SDC, build_clos
+
+pytestmark = pytest.mark.shard
+
+VENDOR_PROFILES = {
+    "paper": None,  # ToRs CTNR-B, the rest CTNR-A (§8.1)
+    "inverted": {"tor": "ctnr-a", "leaf": "ctnr-b", "spine": "ctnr-b",
+                 "border": "ctnr-b", "wan": "vm-b"},
+}
+SHARD_CASES = ("unset", 1, 4)
+# One external (speaker-injected) and one ToR-originated view.
+EXPLAIN_TARGETS = (("tor-0-0", "100.100.0.0/16"),
+                   ("spn-0", "10.192.1.0/24"))
+
+
+def snapshot(shards, vendors):
+    """Converge one pinned S-DC and freeze its externally-visible state."""
+    params = SDC() if vendors is None else dataclasses.replace(
+        SDC(), vendors=vendors)
+    net = CrystalNet(emulation_id="t-shard", seed=5, shards=shards)
+    net.prepare(build_clos(params))
+    net.mockup()
+    try:
+        states = json.dumps(net.pull_states(), sort_keys=True, default=str)
+        dump = json.dumps(net.network_dump(), sort_keys=True, indent=2) + "\n"
+        rrl = net.metrics.route_ready_latency
+        merged = net.metrics_dump()
+    finally:
+        net.close()
+    return {"states": states, "dump": dump, "rrl": rrl, "metrics": merged}
+
+
+@pytest.fixture(scope="module", params=sorted(VENDOR_PROFILES),
+                ids=sorted(VENDOR_PROFILES))
+def trio(request):
+    vendors = VENDOR_PROFILES[request.param]
+    saved = os.environ.pop("REPRO_SHARDS", None)
+    try:
+        result = {case: snapshot(None if case == "unset" else case, vendors)
+                  for case in SHARD_CASES}
+    finally:
+        if saved is not None:
+            os.environ["REPRO_SHARDS"] = saved
+    return result
+
+
+def test_pull_states_byte_identical(trio):
+    assert trio[1]["states"] == trio["unset"]["states"]
+    assert trio[4]["states"] == trio["unset"]["states"]
+
+
+def test_provenance_dumps_byte_identical(trio):
+    assert trio[1]["dump"] == trio["unset"]["dump"]
+    assert trio[4]["dump"] == trio["unset"]["dump"]
+
+
+def test_route_ready_latency_identical(trio):
+    assert trio[1]["rrl"] == trio["unset"]["rrl"]
+    assert trio[4]["rrl"] == trio["unset"]["rrl"]
+
+
+def test_netscope_explain_byte_identical(trio, tmp_path, capsys):
+    rendered = {}
+    for case in SHARD_CASES:
+        path = tmp_path / f"{case}.json"
+        path.write_text(trio[case]["dump"])
+        outputs = []
+        for device, prefix in EXPLAIN_TARGETS:
+            assert netscope(["explain", str(path), device, prefix]) == 0
+            outputs.append(capsys.readouterr().out)
+        rendered[case] = outputs
+    assert rendered[1] == rendered["unset"]
+    assert rendered[4] == rendered["unset"]
+
+
+def test_sharded_metrics_cover_the_protocol(trio):
+    """K=4 exports the per-shard obs families the coordinator maintains."""
+    merged = trio[4]["metrics"]
+    for family in ("repro_shard_windows_total",
+                   "repro_shard_channel_messages_total",
+                   "repro_shard_idle_wall_seconds",
+                   "repro_shard_devices"):
+        assert family in merged, family
+    devices = {s["labels"]["shard"]: s["value"]
+               for s in merged["repro_shard_devices"]["samples"]}
+    assert len(devices) == 4
+    # Every emulated device (and speaker) is owned by exactly one shard.
+    unsharded = json.loads(trio["unset"]["states"])
+    assert sum(devices.values()) == len(unsharded)
+
+
+def test_device_bgp_counters_survive_the_merge(trio):
+    """Real guests run on exactly one shard, so per-device protocol
+    counters merged across workers equal the single-process values."""
+    base = trio["unset"]["metrics"].get("repro_bgp_updates_rx_total")
+    if base is None:
+        pytest.skip("BGP update counter family not exported")
+    assert trio[4]["metrics"]["repro_bgp_updates_rx_total"] == base

@@ -135,3 +135,86 @@ class TestCrossCloudLinks:
         assert len(got_b) == 1 and len(got_a) == 1
         trace = " ".join(got_b[0].hop_trace)
         assert "vxlan-encap" in trace and "vxlan-decap" in trace
+
+
+class TestNatOrdering:
+    """punch_hole ordering: inbound before the punch is dropped (and
+    counted); after the punch both directions pass."""
+
+    def test_inbound_then_punch_then_both_directions(self, env, federation):
+        fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        got_a, got_b = [], []
+        vm_a.receive_underlay = lambda pkt: got_a.append(pkt)
+        vm_b.receive_underlay = lambda pkt: got_b.append(pkt)
+
+        def send(src, dst):
+            src.cloud.deliver(Ipv4Packet(
+                src=src.underlay_ip, dst=dst.underlay_ip,
+                payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                    payload=("x",))))
+
+        # Before the punch: inbound is NAT-dropped, and counted.
+        send(vm_b, vm_a)
+        env.run()
+        assert got_a == []
+        assert fed.nats["azure"].dropped_inbound == 1
+        # Punch, then the same send passes — in both directions.  (The
+        # punch probes themselves arrive at whichever side's NAT already
+        # has the flow; ignore them.)
+        assert punch_hole(vm_a, vm_b)
+        env.run()
+        got_a.clear(), got_b.clear()
+        send(vm_b, vm_a)
+        send(vm_a, vm_b)
+        env.run()
+        assert len(got_a) == 1 and len(got_b) == 1
+        assert fed.nats["azure"].dropped_inbound == 1  # no new drops
+
+    def test_punch_is_directional_per_pair(self, env, federation):
+        """A punch toward g1 does not open a's NAT for g2."""
+        fed, azure, gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, gcp, "g1")
+        vm_c = spawn(env, gcp, "g2")
+        punch_hole(vm_a, vm_b)
+        env.run()
+        got_a = []
+        vm_a.receive_underlay = lambda pkt: got_a.append(pkt)
+        gcp.deliver(Ipv4Packet(
+            src=vm_c.underlay_ip, dst=vm_a.underlay_ip,
+            payload=UdpDatagram(VXLAN_UDP_PORT, VXLAN_UDP_PORT,
+                                payload=("x",))))
+        env.run()
+        assert got_a == []
+        assert fed.nats["azure"].dropped_inbound == 1
+
+
+class TestRouteEdgeCases:
+    """Direct CloudFederation.route calls for unknown / same-cloud dsts."""
+
+    def test_route_unknown_address_is_noop(self, env, federation):
+        fed, azure, _gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        fed.route(Ipv4Packet(src=vm_a.underlay_ip,
+                             dst=IPv4Address("203.0.113.9"), payload=None),
+                  source_cloud=azure)
+        env.run()
+        # Dropped before touching either NAT: no flow state, no drops.
+        assert all(nat.dropped_inbound == 0 for nat in fed.nats.values())
+        assert all(not nat._outbound for nat in fed.nats.values())
+
+    def test_route_same_cloud_address_is_noop(self, env, federation):
+        fed, azure, _gcp = federation
+        vm_a = spawn(env, azure, "a1")
+        vm_b = spawn(env, azure, "a2")
+        got_b = []
+        vm_b.receive_underlay = lambda pkt: got_b.append(pkt)
+        fed.route(Ipv4Packet(src=vm_a.underlay_ip, dst=vm_b.underlay_ip,
+                             payload=None), source_cloud=azure)
+        env.run()
+        # Intra-cloud traffic never transits the federation: not delivered
+        # by it, and no NAT state perturbed.
+        assert got_b == []
+        assert all(not nat._outbound for nat in fed.nats.values())
