@@ -83,10 +83,23 @@ def shard_protocol_stats(net: CrystalNet) -> dict:
     return totals
 
 
+def slim_profile(profile: dict) -> dict:
+    """A window_profile() export without the per-shard raw rings —
+    aggregates and per-shard summaries are what the artifact (and
+    ``netscope windows``) needs; the rings are bounded but bulky."""
+    return {
+        "version": profile.get("version", 1),
+        "shards": [{k: v for k, v in shard.items() if k != "recent"}
+                   for shard in profile.get("shards", ())],
+        "aggregate": profile.get("aggregate", {}),
+    }
+
+
 def one_mockup(preset, num_vms: int, shards) -> tuple:
     """Prepare + mockup one datacenter (sharded when ``shards``); returns
-    (row, fingerprint) where the row carries wall seconds and the
-    fingerprint hashes the converged state for equivalence checks."""
+    (row, fingerprint, profile) where the row carries wall seconds, the
+    fingerprint hashes the converged state for equivalence checks, and
+    the profile is the window-protocol telemetry (None unsharded)."""
     gc.collect()  # don't charge one configuration for another's garbage
     topo = build_clos(preset())
     net = CrystalNet(emulation_id=f"shard-bench-{topo.name}", seed=SEED,
@@ -97,33 +110,38 @@ def one_mockup(preset, num_vms: int, shards) -> tuple:
     wall = time.perf_counter() - t0
     try:
         fingerprint = freeze(net)
+        profile = None
         row = {"wall_s": round(wall, 2)}
         if shards is not None:
             row.update(shard_protocol_stats(net))
+            profile = slim_profile(net.window_profile())
         else:
             row["events"] = net.env._seq
     finally:
         net.close()
-    return row, fingerprint
+    return row, fingerprint, profile
 
 
 def run() -> dict:
     cores = usable_cores()
     scales = {}
     identical = True
+    head_profile = None
+    head_scale, head_k = HEADLINE
     for preset, num_vms, shard_counts in SWEEP:
         name = preset().name
-        base_row, base_print = one_mockup(preset, num_vms, None)
+        base_row, base_print, _ = one_mockup(preset, num_vms, None)
         entry = {"unsharded": {**base_row, **base_print}, "sharded": {}}
         for k in shard_counts:
-            row, print_ = one_mockup(preset, num_vms, k)
+            row, print_, profile = one_mockup(preset, num_vms, k)
             row["speedup"] = round(base_row["wall_s"] / row["wall_s"], 2)
             row["trajectory_identical"] = (print_ == base_print)
             row["cores_sufficient"] = cores >= k
             identical = identical and row["trajectory_identical"]
             entry["sharded"][str(k)] = row
+            if (name, k) == (head_scale, head_k):
+                head_profile = profile
         scales[name] = entry
-    head_scale, head_k = HEADLINE
     head = scales[head_scale]["sharded"][str(head_k)]
     return {
         "seed": SEED,
@@ -131,6 +149,10 @@ def run() -> dict:
         "lookahead_s": UNDERLAY_LATENCY,
         "scales": scales,
         "trajectory_identical": identical,
+        # The headline run's window-protocol telemetry: granted vs
+        # consumed lookahead and per-window channel accounting
+        # (``netscope windows BENCH_shard.json`` renders this).
+        "window_profile": head_profile,
         "headline": {
             "scale": head_scale,
             "workers": head_k,
@@ -152,6 +174,20 @@ def check_shape(report: dict) -> None:
     for name, entry in report["scales"].items():
         for k, row in entry["sharded"].items():
             assert row["windows"] > 0, (name, k)
+    # The headline run's window profile must account for every window
+    # grant and channel crossing the protocol counters saw: per-window
+    # message tallies sum to the channel totals, and consumed lookahead
+    # never exceeds granted.
+    head_scale, head_k = report["headline"]["scale"], str(
+        report["headline"]["workers"])
+    head_row = report["scales"][head_scale]["sharded"][head_k]
+    agg = report["window_profile"]["aggregate"]
+    assert agg["windows"] == head_row["windows"], (
+        agg["windows"], head_row["windows"])
+    assert agg["msgs_out"] + agg["msgs_in"] == head_row[
+        "channel_messages"], (agg, head_row)
+    assert agg["granted_s"] >= agg["consumed_s"] > 0.0, agg
+    assert agg["bytes_out"] > 0, agg
     # Machine-dependent: only hold the speedup floor when the cores that
     # the claim presumes were actually available.
     head = report["headline"]
@@ -195,6 +231,12 @@ def main() -> None:
                if not head["cores_sufficient"] else "NOT met")
     print(f"headline: {head['scale']} @ {head['workers']} workers -> "
           f"{head['speedup']}x (floor {head['floor']}x): {verdict}")
+    agg = report["window_profile"]["aggregate"]
+    print(f"window profile ({head['scale']} @ {head['workers']}): "
+          f"{agg['windows']} windows, "
+          f"{agg['consumed_s']:.1f}s of {agg['granted_s']:.1f}s lookahead "
+          f"consumed ({100.0 * agg['utilization']:.1f}%), "
+          f"{agg['msgs_out']} msgs / {agg['bytes_out']} bytes out")
     path = emit("shard", data=report, wall_time=watch.elapsed)
     print(f"wrote {path}")
 

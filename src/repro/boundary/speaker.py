@@ -110,6 +110,10 @@ class SpeakerOS:
                         "swallowed-error", subject=self.hostname,
                         message=str(exc),
                         site="speaker-configure-interface")
+                    self.obs.flight.note(
+                        "swallowed-error", subject=self.hostname,
+                        site="speaker-configure-interface",
+                        message=str(exc))
         self.streams = StreamManager(self.env, self.stack)
         self.streams.listen(BGP_PORT, self._on_accept)
         bgp = self.config.bgp

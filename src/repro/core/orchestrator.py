@@ -31,7 +31,8 @@ from ..config.model import DeviceConfig
 from ..firmware.device import DeviceOS, PacketRecord
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..net.ip import IPv4Address
-from ..obs import Observability
+from ..obs import MemoryMonitor, NULL_MEMORY_MONITOR, Observability
+from ..obs.flight import write_flight_artifact
 from ..provenance import (
     NULL_PROVENANCE,
     ProvenanceTracker,
@@ -209,6 +210,10 @@ class CrystalNet:
         self._m_ops = self.obs.metrics.counter(
             "repro_orchestrator_ops_total",
             "Table 2 control/monitor API invocations by operation")
+        # Per-subsystem memory gauges, refreshed at route-ready polls
+        # (workers re-create theirs with their shard label on fork).
+        self._mem = (MemoryMonitor(self.obs) if self.obs.enabled
+                     else NULL_MEMORY_MONITOR)
         if clouds:
             from ..virt.federation import CloudFederation
             federation = CloudFederation(self.env)
@@ -561,6 +566,7 @@ class CrystalNet:
             self._shard_ctx.mockup_start = start
             self._shard_ctx.wait_start = self.env.now
             self._shard_ctx.route_ready_span = route_ready_span
+            self._shard_ctx.mockup_span = mockup_span
             return self
 
         # Route-ready: wait for control-plane quiescence (§8.1).
@@ -628,10 +634,14 @@ class CrystalNet:
         deadline = self.env.now + timeout
         quiet_since: Optional[float] = None
         while self.env.now < deadline:
+            self._mem.poll(self)
             if self._control_plane_ready():
                 if quiet_since is None:
                     quiet_since = self.env.now
                 elif self.env.now - quiet_since >= ROUTE_READY_SETTLE:
+                    # Converged: force a final walk so the memory gauges
+                    # report the exact settled state (poll() decimates).
+                    self._mem.sample(self)
                     self.metrics.route_ready_latency = (
                         quiet_since - network_ready_at)
                     if span is not None:
@@ -648,9 +658,16 @@ class CrystalNet:
             yield self.env.timeout(ROUTE_READY_POLL)
         if span is not None:
             span.annotate(timed_out=True).finish()
+        # The black box outlives the exception: recent phase transitions,
+        # polls, and swallowed errors, persisted if $REPRO_FLIGHT_DIR is
+        # set (see repro.obs.flight).
+        _doc, flight_path = write_flight_artifact(
+            [self.obs.flight.snapshot()], "route-ready-timeout")
+        hint = f"; flight recorder: {flight_path}" if flight_path else ""
         raise OrchestratorError(
             f"routes did not stabilize within {timeout}s; "
-            f"statuses={ {n: r.status for n, r in self.devices.items()} }")
+            f"statuses={ {n: r.status for n, r in self.devices.items()} }"
+            f"{hint}")
 
     def _control_plane_ready(self) -> bool:
         alive: Set[str] = set()
@@ -742,11 +759,28 @@ class CrystalNet:
                  if vm_name in owned_vms}
         router = ShardRouter(shard_id, owned_vms, lookahead, obs=self.obs)
         self.cloud.shard_router = router
+        if router.trace_enabled:
+            # Route owned VMs' ingress through the router so a delivery
+            # that came over the channel runs under its trace context
+            # (local arrivals pass straight through; see deliver_traced).
+            for vm_name in owned_vms:
+                vm = self.cloud.vms.get(vm_name)
+                if vm is not None:
+                    vm.ingress_tap = router.deliver_traced
+        if self.obs.enabled:
+            # Re-key the fork-inherited telemetry to this worker.
+            self._mem = MemoryMonitor(self.obs, shard=str(shard_id))
+            self.obs.flight.shard = shard_id
         ctx = ShardWorkerContext(shard_id=shard_id, shards=plan.shards,
                                  owned=owned, router=router)
         self._shard_ctx = ctx
         self._coordinator = None
         return ctx
+
+    def _sample_memory(self) -> Optional[dict]:
+        """Refresh the per-subsystem memory gauges (worker poll cadence,
+        decimated; :meth:`_finish_shard_mockup` forces the final walk)."""
+        return self._mem.poll(self)
 
     def _shard_local_ready(self) -> bool:
         """This shard's contribution to :meth:`_control_plane_ready`.
@@ -792,9 +826,18 @@ class CrystalNet:
                              route_ready_latency: float) -> None:
         """Seal a worker's mockup once the coordinator declared readiness."""
         ctx = self._shard_ctx
+        # Final memory walk: the converged gauge values ship with this
+        # worker's registry at finalize (poll-time sampling is decimated).
+        self._mem.sample(self)
         self.metrics.route_ready_latency = route_ready_latency
         if ctx.route_ready_span is not None:
             ctx.route_ready_span.finish(end=quiet_since)
+        if ctx.mockup_span is not None:
+            # env.now here is the detection poll — the same instant the
+            # single-process loop returns from its route-ready wait — so
+            # the span ends exactly where the unsharded mockup span does
+            # and the cross-worker span merge dedupes them to one.
+            ctx.mockup_span.annotate(devices=len(self.devices)).finish()
         self._phase_gauge.set(route_ready_latency, phase="route-ready")
         self._phase_gauge.set(self.metrics.mockup_latency, phase="mockup")
         self.mocked_up = True
@@ -1028,6 +1071,68 @@ class CrystalNet:
             return self._coordinator.merged_metrics()
         return self.obs.metrics.to_dict()
 
+    def trace_dump(self) -> dict:
+        """The canonical span document for this run.
+
+        Both paths go through :func:`repro.obs.merge.merge_span_dumps`
+        (a single-dump "merge" just canonicalizes: chronological order,
+        renumbered ids, wall annotations dropped), so for a pinned seed
+        the sharded merge is byte-identical to the single-process dump.
+        """
+        from ..obs.merge import merge_span_dumps
+        if self._coordinator is not None:
+            spans = self._coordinator.merged_spans()
+        else:
+            spans = merge_span_dumps(
+                [[span.to_dict() for span in self.obs.tracer.spans]])
+        return {"version": 1, "spans": spans}
+
+    def window_profile(self) -> dict:
+        """Per-shard window-protocol profiles + the fleet aggregate
+        (``netscope windows``'s input).  Empty on the unsharded path —
+        there is no window protocol to profile."""
+        from ..obs.windows import WindowProfiler
+        profiles = (list(self._coordinator.window_profiles)
+                    if self._coordinator is not None else [])
+        return {"version": 1, "shards": profiles,
+                "aggregate": WindowProfiler.aggregate(profiles)}
+
+    def channel_traces(self) -> dict:
+        """Merged cross-shard causal traces (deterministic for a pinned
+        seed at a given shard count; empty on the unsharded path)."""
+        from ..obs.merge import merge_channel_traces
+        if self._coordinator is not None:
+            return self._coordinator.channel_traces()
+        return merge_channel_traces([])
+
+    def memory_report(self) -> dict:
+        """Where the bytes go, from the ``repro_mem_entries`` gauges.
+
+        Partitioned subsystems (Loc-RIB, Adj-RIB-Out, FIB) are summed
+        across shards — ghosts contribute nothing, so the totals equal
+        the unsharded run's.  Process-local subsystems (interned
+        attributes, event heap) report the per-shard maximum: every
+        worker holds its own copy, so summing would overstate any one
+        process's footprint.
+        """
+        from ..obs.memory import SUBSYSTEMS
+        family = self.metrics_dump().get("repro_mem_entries", {})
+        per_shard: Dict[str, Dict[str, float]] = {}
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            shard = labels.get("shard", "0")
+            per_shard.setdefault(shard, {})[labels.get("subsystem", "?")] = \
+                sample.get("value", 0)
+        partitioned = ("loc-rib", "adj-rib-out", "fib")
+        network = {s: sum(per_shard[k].get(s, 0) for k in per_shard)
+                   for s in partitioned}
+        process_max = {s: max((per_shard[k].get(s, 0) for k in per_shard),
+                              default=0)
+                       for s in SUBSYSTEMS if s not in partitioned}
+        return {"version": 1,
+                "per_shard": {k: per_shard[k] for k in sorted(per_shard)},
+                "network": network, "process_max": process_max}
+
     def pull_states(self, device: Optional[str] = None) -> dict:
         if self._coordinator is not None:
             states = self._coordinator.pull_states()
@@ -1132,3 +1237,6 @@ class CrystalNet:
              subject: str = "", **fields) -> None:
         self.obs.events.emit(kind, subject=subject, message=message,
                              **fields)
+        # Mirror into the flight-recorder ring: phase transitions are
+        # exactly the breadcrumbs a post-mortem wants first.
+        self.obs.flight.note(kind, subject=subject, message=message)

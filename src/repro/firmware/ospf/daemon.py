@@ -394,6 +394,9 @@ class OspfDaemon:
                     self.obs.events.emit(
                         "swallowed-error", subject=self._device,
                         message=str(exc), site="ospf-fib-install")
+                    self.obs.flight.note(
+                        "swallowed-error", subject=self._device,
+                        site="ospf-fib-install", message=str(exc))
 
     def _neighbor_next_hop(self, rid: Optional[int]) -> Optional[NextHop]:
         if rid is None:

@@ -23,6 +23,14 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .events import EventLog, EventRecord, NULL_EVENT_LOG, NullEventLog
+from .flight import (
+    FlightRecorder,
+    NULL_FLIGHT,
+    NullFlightRecorder,
+    Watchdog,
+    write_flight_artifact,
+)
+from .memory import MemoryMonitor, NULL_MEMORY_MONITOR, NullMemoryMonitor
 from .metrics import (
     Counter,
     Gauge,
@@ -33,27 +41,39 @@ from .metrics import (
 )
 from .profile import ConvergenceProfiler
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
+from .windows import NULL_WINDOW_PROFILER, NullWindowProfiler, WindowProfiler
 
 __all__ = [
     "ConvergenceProfiler",
     "Counter",
     "EventLog",
     "EventRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MemoryMonitor",
     "MetricsRegistry",
     "NULL_EVENT_LOG",
+    "NULL_FLIGHT",
+    "NULL_MEMORY_MONITOR",
     "NULL_OBS",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NULL_WINDOW_PROFILER",
     "NullEventLog",
+    "NullFlightRecorder",
+    "NullMemoryMonitor",
     "NullObservability",
     "NullRegistry",
     "NullTracer",
+    "NullWindowProfiler",
     "Observability",
     "Span",
     "Tracer",
+    "Watchdog",
+    "WindowProfiler",
     "instrument_environment",
+    "write_flight_artifact",
 ]
 
 
@@ -74,6 +94,7 @@ class Observability:
         self.tracer = Tracer(clock=clock, wall_clock=wall_clock,
                              capacity=trace_capacity)
         self.events = EventLog(clock=clock, capacity=event_capacity)
+        self.flight = FlightRecorder(clock=clock)
         if env is not None:
             self.env = env
 
@@ -91,6 +112,7 @@ class Observability:
         self.env = env
         self.tracer.clock = clock
         self.events.clock = clock
+        self.flight.clock = clock
         return self
 
     def instrument_environment(self, env=None,
@@ -119,6 +141,7 @@ class Observability:
             "metrics": self.metrics.to_dict(),
             "spans": [s.to_dict() for s in self.tracer.spans],
             "events": [r.to_dict() for r in self.events],
+            "flight": self.flight.snapshot(),
         }
 
     def profiler(self) -> ConvergenceProfiler:
@@ -133,6 +156,7 @@ class NullObservability:
     metrics = NULL_REGISTRY
     tracer = NULL_TRACER
     events = NULL_EVENT_LOG
+    flight = NULL_FLIGHT
 
     def bind(self, env) -> "NullObservability":
         return self
@@ -141,7 +165,7 @@ class NullObservability:
         pass
 
     def snapshot(self) -> dict:
-        return {"metrics": {}, "spans": [], "events": []}
+        return {"metrics": {}, "spans": [], "events": [], "flight": {}}
 
     def profiler(self) -> ConvergenceProfiler:
         return ConvergenceProfiler([])

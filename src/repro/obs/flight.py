@@ -1,0 +1,177 @@
+"""Flight recorder + watchdog: the black box for hung or dead emulations.
+
+A stalled convergence, a starved shard worker, or a worker that died
+mid-window used to leave nothing but a traceback (or, worse, a parent
+blocked in ``recv``).  The flight recorder keeps a bounded ring of the
+most recent noteworthy moments per process — phase transitions, window
+grants, polls, swallowed errors — cheap enough to stay on during every
+run.  The watchdog sits in the coordinator's poll loop and trips when
+convergence stops making progress; on a trip (or starvation, timeout, or
+worker death) the coordinator collects every process's ring and writes
+one deterministic **flight artifact** that ``obsdump flight`` renders
+chronologically.
+
+Determinism: entries are stamped with the sim clock and content-only
+fields, snapshots sort deterministically, and the artifact filename is a
+pure function of the trip reason — two identical hangs produce identical
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+__all__ = [
+    "FLIGHT_DIR_ENV",
+    "FlightRecorder",
+    "NULL_FLIGHT",
+    "NullFlightRecorder",
+    "Watchdog",
+    "write_flight_artifact",
+]
+
+# Where trip-time artifacts land; unset means in-memory only (the
+# coordinator still embeds the document in the raised error's context).
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
+
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring of recent noteworthy moments in one process."""
+
+    __slots__ = ("clock", "shard", "capacity", "_ring", "total", "dropped")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = DEFAULT_CAPACITY,
+                 shard: Optional[int] = None):
+        self.clock = clock
+        self.shard = shard
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.total = 0
+        self.dropped = 0
+
+    def note(self, kind: str, subject: str = "", **detail) -> None:
+        """Record one moment.  Hot-path cheap: a dict and an append."""
+        self.total += 1
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        entry = {"time": self.clock() if self.clock is not None else 0.0,
+                 "kind": kind, "subject": subject}
+        if detail:
+            entry["detail"] = detail
+        self._ring.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> dict:
+        """Deterministic export of the ring for one process."""
+        return {
+            "shard": self.shard,
+            "total": self.total,
+            "dropped": self.dropped,
+            "entries": [dict(entry) for entry in self._ring],
+        }
+
+
+class NullFlightRecorder:
+    """No-op twin: disabled recording costs one method call."""
+
+    __slots__ = ()
+    shard = None
+    total = 0
+    dropped = 0
+
+    def note(self, kind: str, subject: str = "", **detail) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict:
+        return {"shard": None, "total": 0, "dropped": 0, "entries": []}
+
+
+NULL_FLIGHT = NullFlightRecorder()
+
+
+class Watchdog:
+    """Trips when consecutive not-ready polls show zero progress.
+
+    The coordinator feeds it one observation per route-ready poll: the
+    verdict (converged or not) and a *progress tuple* — total events
+    executed, channel messages sent/received, and swallowed errors,
+    summed over workers.  ``stall_polls`` consecutive not-ready polls
+    with an unchanged tuple mean the fleet is burning windows without
+    moving state: a convergence stall (likely a swallowed error or a
+    protocol deadlock), worth a flight dump *before* the run times out.
+    """
+
+    __slots__ = ("stall_polls", "_last", "_stalled")
+
+    def __init__(self, stall_polls: int = 3):
+        if stall_polls < 1:
+            raise ValueError("stall_polls must be >= 1")
+        self.stall_polls = stall_polls
+        self._last: Optional[Tuple] = None
+        self._stalled = 0
+
+    def observe(self, ready: bool, progress: Tuple) -> Optional[str]:
+        """Feed one poll; returns a trip reason or None."""
+        if ready:
+            self._last = progress
+            self._stalled = 0
+            return None
+        if progress == self._last:
+            self._stalled += 1
+            if self._stalled >= self.stall_polls:
+                return (f"convergence-stall: {self._stalled} consecutive "
+                        f"polls with no progress (events/sent/received/"
+                        f"swallowed frozen at {progress})")
+        else:
+            self._stalled = 0
+            self._last = progress
+        return None
+
+
+def write_flight_artifact(snapshots: List[dict], reason: str,
+                          directory: Optional[str] = None
+                          ) -> Tuple[dict, Optional[str]]:
+    """Assemble (and optionally persist) the flight artifact.
+
+    ``snapshots`` are per-process :meth:`FlightRecorder.snapshot` dicts;
+    the document orders them by shard (coordinator ``None`` first) so it
+    is independent of collection order.  When ``directory`` (or
+    ``$REPRO_FLIGHT_DIR``) names a writable location, the document is
+    written to ``flight-<slug>.json`` there — the slug is derived from
+    the reason alone, so identical failures overwrite rather than
+    accumulate.  Returns ``(document, path-or-None)``; persistence
+    failures degrade to in-memory (this code runs while crashing).
+    """
+    doc = {
+        "version": 1,
+        "reason": reason,
+        "shards": sorted(snapshots,
+                         key=lambda s: (s.get("shard") is not None,
+                                        s.get("shard") or 0)),
+    }
+    target = directory if directory is not None \
+        else os.environ.get(FLIGHT_DIR_ENV)
+    if not target:
+        return doc, None
+    slug = "".join(c if c.isalnum() or c in "-_" else "-"
+                   for c in reason.split(":", 1)[0].lower()) or "trip"
+    path = os.path.join(target, f"flight-{slug}.json")
+    try:
+        os.makedirs(target, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+    except OSError:
+        return doc, None
+    return doc, path

@@ -1,0 +1,173 @@
+"""Per-subsystem memory accounting, sampled on the sim clock.
+
+The 20M-route milestone (ROADMAP) needs to know *where* the bytes go
+before anything can be put on a diet.  :class:`MemoryMonitor` walks the
+live emulation and refreshes one gauge family,
+
+    ``repro_mem_entries{subsystem=..., shard=...}``
+
+with entry counts for the structures that dominate control-plane state:
+
+==================  =====================================================
+``loc-rib``         BGP Loc-RIB entries, summed over real guests
+``adj-rib-out``     advertised (peer, prefix) pairs in every Adj-RIB-Out
+``fib``             installed FIB entries across network stacks
+``interned-attrs``  distinct hash-consed :class:`PathAttributes` objects
+                    referenced by live RIB state (loc-rib + adj-rib-out)
+``event-heap``      live entries in the simulator's event heap
+==================  =====================================================
+
+``interned-attrs`` deliberately counts *referenced* interned objects,
+not the global intern-table size: the table is a process-level cache
+that survives across emulations in one interpreter, so its length is
+cumulative state, not a property of this run.  The referenced count is
+a pure function of the trajectory and directly measures hash-consing
+effectiveness (route entries divided by this is the sharing factor).
+
+Entry counts are pure functions of the pinned-seed trajectory, so the
+gauges are deterministic; they carry a ``shard`` label and the
+``repro_mem_`` prefix, which the equivalence projection strips
+(different shard counts legitimately partition the state differently —
+ghosts contribute nothing, so the *sums* still match the unsharded run).
+
+Actual process RSS is inherently nondeterministic, so it is opt-in: set
+``REPRO_MEM_RSS=1`` to also refresh ``repro_mem_rss_kb`` from
+``/proc/self/status`` (silently skipped where unavailable).
+
+Sampling happens at existing sim-clock boundaries — the orchestrator's
+route-ready polls and the shard workers' poll replies — never from a
+self-rescheduling timer, which would keep the event heap non-empty and
+stall ``env.run()`` quiescence detection.
+
+The walk is O(routes), which at L-DC scale (~60K FIB entries) costs
+tens of milliseconds — too much for every 5s poll of a long
+convergence.  :meth:`MemoryMonitor.poll` therefore decimates: the
+first call and every ``SAMPLE_EVERY``-th after it do the full walk,
+and the orchestrator forces one final :meth:`~MemoryMonitor.sample` at
+convergence, so the gauges' converged values are exact regardless of
+cadence (and the decimation counter is deterministic, so so are the
+intermediate ones).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["MemoryMonitor", "NullMemoryMonitor", "NULL_MEMORY_MONITOR",
+           "read_rss_kb"]
+
+SUBSYSTEMS = ("loc-rib", "adj-rib-out", "fib", "interned-attrs",
+              "event-heap")
+
+# Full walks per poll: 1 in SAMPLE_EVERY (plus the forced final sample).
+SAMPLE_EVERY = 16
+
+
+def read_rss_kb() -> Optional[int]:
+    """VmRSS of this process in kB, or None where /proc is unavailable."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+class MemoryMonitor:
+    """Refreshes per-subsystem entry-count gauges for one process."""
+
+    __slots__ = ("obs", "shard", "_gauge", "_rss_gauge", "_rss_enabled",
+                 "_polls")
+
+    def __init__(self, obs, shard: str = "0"):
+        self.obs = obs
+        self.shard = shard
+        self._polls = 0
+        self._gauge = obs.metrics.gauge(
+            "repro_mem_entries",
+            "Live entries per memory subsystem (deterministic counts)")
+        self._rss_enabled = os.environ.get("REPRO_MEM_RSS") == "1"
+        self._rss_gauge = (obs.metrics.gauge(
+            "repro_mem_rss_kb",
+            "Resident set size per worker process (opt-in, nondeterministic)")
+            if self._rss_enabled else None)
+
+    def poll(self, net) -> Optional[dict]:
+        """Decimated :meth:`sample` for hot poll loops.
+
+        Walks on the first call and every ``SAMPLE_EVERY``-th after it;
+        returns None on the skipped polls.  Callers force a plain
+        :meth:`sample` once converged so the final values are exact.
+        """
+        self._polls += 1
+        if (self._polls - 1) % SAMPLE_EVERY:
+            return None
+        return self.sample(net)
+
+    def sample(self, net) -> dict:
+        """Walk ``net`` (a CrystalNet) and refresh every gauge.
+
+        Defensive throughout: ghosts and partially-booted guests simply
+        contribute nothing.  Returns the sampled counts (for tests).
+        """
+        counts = dict.fromkeys(SUBSYSTEMS, 0)
+        referenced_attrs = set()
+        for record in getattr(net, "devices", {}).values():
+            # Device records wrap the guest OS; ghosts have guest=None.
+            guest = getattr(record, "guest", record)
+            if guest is None:
+                continue
+            stack = getattr(guest, "stack", None)
+            if stack is not None:
+                fib = getattr(stack, "fib", None)
+                if fib is not None:
+                    counts["fib"] += len(fib)
+            daemon = getattr(guest, "bgp", None)
+            if daemon is not None:
+                loc_rib = getattr(daemon, "loc_rib", None)
+                if loc_rib is not None:
+                    counts["loc-rib"] += len(loc_rib)
+                    for _prefix, _best, multi in loc_rib.items():
+                        for route in multi:
+                            attrs = getattr(route, "attrs", None)
+                            if attrs is not None:
+                                referenced_attrs.add(id(attrs))
+                adj_out = getattr(daemon, "adj_out", None)
+                advertised = getattr(adj_out, "_advertised", None)
+                if advertised:
+                    for per_peer in advertised.values():
+                        counts["adj-rib-out"] += len(per_peer)
+                        for attrs in per_peer.values():
+                            if attrs is not None:
+                                referenced_attrs.add(id(attrs))
+        counts["interned-attrs"] = len(referenced_attrs)
+        env = getattr(net, "env", None)
+        if env is not None:
+            counts["event-heap"] = len(getattr(env, "_heap", ()))
+        for subsystem in SUBSYSTEMS:
+            self._gauge.labels(subsystem=subsystem, shard=self.shard).set(
+                counts[subsystem])
+        if self._rss_gauge is not None:
+            rss = read_rss_kb()
+            if rss is not None:
+                self._rss_gauge.labels(shard=self.shard).set(rss)
+        return counts
+
+
+class NullMemoryMonitor:
+    """No-op twin used when observability is disabled."""
+
+    __slots__ = ()
+    shard = "0"
+
+    def poll(self, net) -> Optional[dict]:
+        return None
+
+    def sample(self, net) -> dict:
+        return {}
+
+
+NULL_MEMORY_MONITOR = NullMemoryMonitor()

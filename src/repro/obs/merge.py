@@ -1,37 +1,98 @@
-"""Deterministic merge of metric snapshots from shard workers.
+"""Deterministic merges of per-worker observability exports.
 
 Each shard worker of the parallel backend (:mod:`repro.sim.shard`)
-accumulates metrics in its own process; at the end of mockup the
-coordinator pulls every worker's :meth:`MetricsRegistry.to_dict` snapshot
-and merges them into one document with the same schema, so a sharded run
-exports the same metric families an unsharded run does.
+accumulates metrics, spans, and channel-trace records in its own process;
+at the end of mockup the coordinator pulls every worker's export and
+merges them into one document with the single-process schema, so a
+sharded run exposes the same observability surface an unsharded run does.
 
-Merge rules, chosen so the result is independent of shard count for
-partitioned work:
+**Metric merge rules** (:func:`merge_metric_dicts`), chosen so the result
+is independent of shard count for partitioned work:
 
-* **counter** / **histogram** samples with the same name and label set are
-  summed (bucket-wise for histograms; bounds must agree).  Work that is
-  partitioned across shards — anything labelled by device, since each
-  real guest boots on exactly one shard — sums to the single-process
-  value.  Counters fed by the *replicated* skeleton (every worker boots
-  the same VMs and links) are intentionally reported as-is, i.e. once
-  per worker: they describe what each process actually executed.
+* **counter** / **histogram** samples with the same name and label set
+  are summed (bucket-wise for histograms; bounds must agree exactly).
+  Work that is partitioned across shards — anything labelled by device,
+  since each real guest boots on exactly one shard — sums to the
+  single-process value.
+* Counter families fed by the *replicated* skeleton (every worker boots
+  the same VMs, containers, and links) would K-fold-count under the sum
+  rule; the families named in :data:`REPLICATED_COUNTER_FAMILIES` take
+  the first (lowest-shard) reading instead — every worker executed the
+  identical skeleton, so the first reading equals the single-process
+  value.
 * **gauge** (and anything untyped) samples keep the value from the
   lowest-numbered shard that reports them — gauges are point-in-time
-  readings (phase latencies, utilization) that every worker computes from
-  the same replicated skeleton, so the first is as good as any; summing
-  would K-fold-count them.
+  readings (phase latencies, utilization) that every worker computes
+  from the same replicated skeleton, so the first is as good as any;
+  summing would K-fold-count them.
+
+**Span merge** (:func:`merge_span_dumps`): every worker's tracer holds
+the replicated-skeleton spans (prepare, mockup, network/route-ready, one
+boot per device) plus spans only its real guests produced (e.g. SPF
+runs).  The merge canonicalizes each span by content — (start, track,
+name, end, attrs) plus the canonical identity of its parent, recursively
+— deduplicates replicated spans by taking the *maximum* multiplicity any
+one worker reported (so genuine same-content duplicates inside one
+process survive), unions the owned-only spans, sorts chronologically,
+and renumbers ids.  Running the single tracer of an unsharded run
+through the same canonicalization yields a byte-identical document,
+which is what the K=1/K=4 trace-equivalence tests pin.
+
+**Channel traces** (:func:`merge_channel_traces`): cross-shard trace
+records (repro.virt.shard_channel) grouped by trace id with each trace's
+records in (time, event, shard, seq) order — deterministic for a pinned
+seed regardless of worker arrival order.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["merge_metric_dicts"]
+__all__ = [
+    "REPLICATED_COUNTER_FAMILIES",
+    "PROCESS_LOCAL_METRIC_PREFIXES",
+    "comparable_metric_dict",
+    "merge_channel_traces",
+    "merge_metric_dicts",
+    "merge_span_dumps",
+]
+
+# Counter families incremented identically by every worker's replicated
+# mockup skeleton: summing across K workers would report K times the
+# single-process value, so the merge takes the first reading instead.
+REPLICATED_COUNTER_FAMILIES = frozenset({
+    "repro_container_lifecycle_total",
+})
+
+# Families that describe one *process*, not the emulated network: the
+# parent coordinator's window-protocol telemetry and per-worker memory
+# gauges.  They are meaningful in a merged dump but necessarily differ
+# between shard counts, so equivalence checks strip them (see
+# :func:`comparable_metric_dict`).
+PROCESS_LOCAL_METRIC_PREFIXES = ("repro_shard_", "repro_mem_")
 
 
 def _sample_key(sample: dict) -> Tuple[Tuple[str, str], ...]:
     return tuple(sorted(sample.get("labels", {}).items()))
+
+
+def _copy_sample(sample: dict) -> dict:
+    return {k: (dict(v) if isinstance(v, dict) else
+                list(v) if isinstance(v, list) else v)
+            for k, v in sample.items()}
+
+
+def _check_buckets(name: str, bounds: Optional[list], sample: dict) -> None:
+    """One histogram sample must carry len(bounds)+1 buckets (+Inf last)."""
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        raise ValueError(
+            f"metric {name!r}: histogram sample without buckets")
+    if bounds is not None and len(buckets) != len(bounds) + 1:
+        raise ValueError(
+            f"metric {name!r}: histogram sample has {len(buckets)} "
+            f"buckets for {len(bounds)} bounds (want {len(bounds) + 1})")
 
 
 def merge_metric_dicts(dumps: Iterable[dict]) -> dict:
@@ -39,45 +100,200 @@ def merge_metric_dicts(dumps: Iterable[dict]) -> dict:
     for dump in dumps:
         for name in dump:
             family = dump[name]
+            kind = family.get("type")
             target = merged.get(name)
             if target is None:
-                merged[name] = {
+                merged[name] = target = {
                     key: (list(value) if isinstance(value, list) else value)
                     for key, value in family.items() if key != "samples"}
-                merged[name]["samples"] = [
-                    {k: (dict(v) if isinstance(v, dict) else
-                         list(v) if isinstance(v, list) else v)
-                     for k, v in sample.items()}
-                    for sample in family.get("samples", ())]
+                target["samples"] = [_copy_sample(sample)
+                                     for sample in family.get("samples", ())]
+                if kind == "histogram":
+                    for sample in target["samples"]:
+                        _check_buckets(name, target.get("bounds"), sample)
                 continue
-            if family.get("type") != target.get("type"):
+            if kind != target.get("type"):
                 raise ValueError(
                     f"metric {name!r} has conflicting types across shards: "
-                    f"{target.get('type')} vs {family.get('type')}")
+                    f"{target.get('type')} vs {kind}")
+            if kind == "histogram":
+                # Bounds are part of the family's identity: same-length
+                # bucket lists over different bounds (a single-bucket
+                # family is the degenerate case) must never merge.
+                if family.get("bounds") != target.get("bounds"):
+                    raise ValueError(
+                        f"metric {name!r} has conflicting histogram bounds "
+                        f"across shards: {target.get('bounds')} vs "
+                        f"{family.get('bounds')}")
             index = {_sample_key(s): s for s in target["samples"]}
+            first_wins = (kind not in ("counter", "histogram")
+                          or name in REPLICATED_COUNTER_FAMILIES)
             for sample in family.get("samples", ()):
+                if kind == "histogram":
+                    _check_buckets(name, target.get("bounds"), sample)
                 existing = index.get(_sample_key(sample))
                 if existing is None:
-                    copy = {k: (dict(v) if isinstance(v, dict) else
-                                list(v) if isinstance(v, list) else v)
-                            for k, v in sample.items()}
+                    copy = _copy_sample(sample)
                     target["samples"].append(copy)
                     index[_sample_key(copy)] = copy
                     continue
-                kind = family.get("type")
+                if first_wins:
+                    # Gauges, untyped, and replicated counters: the first
+                    # (lowest shard) reading stands.
+                    continue
                 if kind == "counter":
                     existing["value"] += sample["value"]
-                elif kind == "histogram":
-                    if len(existing["buckets"]) != len(sample["buckets"]):
-                        raise ValueError(
-                            f"metric {name!r} has conflicting histogram "
-                            f"buckets across shards")
+                else:  # histogram, bounds already verified equal
                     existing["buckets"] = [
                         a + b for a, b in zip(existing["buckets"],
                                               sample["buckets"])]
                     existing["sum"] += sample["sum"]
                     existing["count"] += sample["count"]
-                # gauges / untyped: first (lowest shard) reading wins.
     for family in merged.values():
         family["samples"].sort(key=_sample_key)
     return {name: merged[name] for name in sorted(merged)}
+
+
+def comparable_metric_dict(merged: dict) -> dict:
+    """The shard-count-invariant projection of a (merged) metric dump.
+
+    Everything an emulation *run* produced is kept; families that
+    describe the *processes that ran it* (window-protocol telemetry,
+    per-worker memory gauges) are stripped, because an unsharded run has
+    no workers to report them.  ``unset``, ``K=1`` and ``K=4`` runs of a
+    pinned seed must agree byte-for-byte on this projection.
+    """
+    return {name: family for name, family in merged.items()
+            if not name.startswith(PROCESS_LOCAL_METRIC_PREFIXES)}
+
+
+# ---------------------------------------------------------------------------
+# Span merge
+# ---------------------------------------------------------------------------
+
+_SPAN_FIELDS = ("name", "track", "start", "end", "attrs")
+
+
+def _canonical_spans(spans: Sequence[dict],
+                     exclude_tracks: Tuple[str, ...]) -> List[Tuple]:
+    """Per-dump list of (sort_key, canonical_key, parent_key, span)."""
+    by_id = {span["id"]: span for span in spans if "id" in span}
+    memo: Dict[int, str] = {}
+
+    def key_of(span: dict) -> str:
+        span_id = span.get("id")
+        if span_id in memo:
+            return memo[span_id]
+        parent_id = span.get("parent")
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        parent_key = key_of(parent) if parent is not None else None
+        key = json.dumps(
+            [[span.get(field) for field in _SPAN_FIELDS], parent_key],
+            sort_keys=True, default=str)
+        if span_id is not None:
+            memo[span_id] = key
+        return key
+
+    out = []
+    for span in spans:
+        if span.get("track") in exclude_tracks:
+            continue
+        key = key_of(span)
+        parent_id = span.get("parent")
+        parent = by_id.get(parent_id) if parent_id is not None else None
+        parent_key = (key_of(parent)
+                      if parent is not None
+                      and parent.get("track") not in exclude_tracks
+                      else None)
+        end = span.get("end")
+        sort_key = (span.get("start", 0.0), span.get("track", ""),
+                    span.get("name", ""),
+                    float("inf") if end is None else end, key)
+        out.append((sort_key, key, parent_key, span))
+    return out
+
+
+def merge_span_dumps(dumps: Iterable[Sequence[dict]],
+                     exclude_tracks: Tuple[str, ...] = ("xshard",)
+                     ) -> List[dict]:
+    """Merge per-worker ``Span.to_dict()`` lists into one canonical list.
+
+    Pass a single dump to canonicalize an unsharded tracer's spans: the
+    output (chronological order, renumbered ids, remapped parents, wall
+    annotations dropped) is what sharded merges are compared against.
+    """
+    per_key_count: Dict[str, int] = {}
+    representative: Dict[str, Tuple] = {}
+    for dump in dumps:
+        local_count: Dict[str, int] = {}
+        for entry in _canonical_spans(dump, exclude_tracks):
+            _sort_key, key, _parent_key, _span = entry
+            local_count[key] = local_count.get(key, 0) + 1
+            if key not in representative:
+                representative[key] = entry
+        for key, count in local_count.items():
+            if count > per_key_count.get(key, 0):
+                per_key_count[key] = count
+
+    ordered = sorted(representative.values(), key=lambda e: e[0])
+    new_ids: Dict[str, int] = {}
+    next_id = 1
+    merged: List[dict] = []
+    for _sort_key, key, parent_key, span in ordered:
+        for _ in range(per_key_count[key]):
+            if key not in new_ids:
+                new_ids[key] = next_id
+            merged.append({
+                "id": next_id,
+                "name": span.get("name"),
+                "track": span.get("track"),
+                "start": span.get("start"),
+                "end": span.get("end"),
+                "parent": None,
+                "attrs": dict(span.get("attrs", {})),
+                "_parent_key": parent_key,
+            })
+            next_id += 1
+    for span in merged:
+        parent_key = span.pop("_parent_key")
+        if parent_key is not None:
+            span["parent"] = new_ids.get(parent_key)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Channel-trace merge
+# ---------------------------------------------------------------------------
+
+def merge_channel_traces(logs: Iterable[dict]) -> dict:
+    """Merge per-worker ``ShardRouter.export_traces()`` documents.
+
+    Each worker contributes the records *it* observed — the sends it
+    intercepted and the deliveries it executed — so one cross-shard
+    causal chain is scattered over several workers.  Grouping by trace
+    id and ordering each trace's records by (time, event, shard, seq)
+    reassembles the chain deterministically: every field is a pure
+    function of the pinned-seed trajectory, so two identical runs merge
+    to byte-identical documents regardless of worker reply order.
+    """
+    records: List[dict] = []
+    dropped = 0
+    total = 0
+    for log in logs:
+        records.extend(log.get("records", ()))
+        dropped += log.get("dropped", 0)
+        total += log.get("total", 0)
+    traces: Dict[str, List[dict]] = {}
+    for record in records:
+        traces.setdefault(record["trace"], []).append(record)
+    order = {"send": 0, "recv": 1}
+    for trace_records in traces.values():
+        trace_records.sort(key=lambda r: (
+            r.get("time", 0.0), order.get(r.get("event"), 2),
+            r.get("shard", 0), r.get("seq", 0)))
+    return {
+        "version": 1,
+        "total": total,
+        "dropped": dropped,
+        "traces": {trace: traces[trace] for trace in sorted(traces)},
+    }

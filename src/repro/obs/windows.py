@@ -1,0 +1,165 @@
+"""Window-protocol profiler for the sharded backend.
+
+The conservative window protocol (:mod:`repro.sim.shard`) advances each
+worker in granted lookahead windows.  BENCH_shard shows where that goes
+wrong at scale — L-DC spends 427k windows moving 238k channel messages —
+but not *why*: how much of each granted window is actually consumed by
+events, how long workers stall waiting for grants, and where the
+timer-quiet stretches are that an adaptive-lookahead grant policy could
+exploit.  :class:`WindowProfiler` records exactly that, one record per
+granted window, and aggregates into a compact :meth:`to_dict` profile
+that ships back to the coordinator in the finalize reply and renders via
+``netscope windows``.
+
+Aggregation is pure arithmetic on the deterministic window sequence, so
+profiles are reproducible for a pinned seed.  The raw per-window ring is
+bounded (:data:`RAW_WINDOW_CAPACITY`); aggregates always cover every
+window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+__all__ = ["RAW_WINDOW_CAPACITY", "NullWindowProfiler", "WindowProfiler",
+           "NULL_WINDOW_PROFILER"]
+
+# Most recent raw windows kept verbatim (for flight-recorder dumps and
+# netscope --json drill-down); aggregates span the whole run regardless.
+RAW_WINDOW_CAPACITY = 512
+
+
+class WindowProfiler:
+    """Per-worker accounting of the window protocol, one record a window."""
+
+    __slots__ = (
+        "shard", "windows", "events_total", "granted_total",
+        "consumed_total", "stall_wall_total", "msgs_in_total",
+        "msgs_out_total", "bytes_out_total", "zero_event_windows",
+        "quiet_run_windows", "quiet_run_start", "longest_quiet_windows",
+        "longest_quiet_span", "longest_quiet_start", "raw",
+    )
+
+    def __init__(self, shard: int = 0):
+        self.shard = shard
+        self.windows = 0
+        self.events_total = 0
+        self.granted_total = 0.0      # sim seconds of lookahead granted
+        self.consumed_total = 0.0     # sim seconds actually traversed by events
+        self.stall_wall_total = 0.0   # wall seconds blocked waiting for grants
+        self.msgs_in_total = 0
+        self.msgs_out_total = 0
+        self.bytes_out_total = 0
+        self.zero_event_windows = 0
+        # Current and longest runs of consecutive zero-event windows: the
+        # timer-quiet stretches an adaptive grant policy could coalesce.
+        self.quiet_run_windows = 0
+        self.quiet_run_start: Optional[float] = None
+        self.longest_quiet_windows = 0
+        self.longest_quiet_span = 0.0
+        self.longest_quiet_start: Optional[float] = None
+        self.raw: deque = deque(maxlen=RAW_WINDOW_CAPACITY)
+
+    def record(self, start: float, granted: float, consumed: float,
+               events: int, msgs_in: int = 0, msgs_out: int = 0,
+               bytes_out: int = 0, stall_wall: float = 0.0) -> None:
+        """Account one granted window.
+
+        ``granted`` is the lookahead extent (grant horizon − window
+        start); ``consumed`` is how far the last executed event actually
+        advanced the clock into that window (0 for a timer-quiet
+        window).
+        """
+        self.windows += 1
+        self.events_total += events
+        self.granted_total += granted
+        self.consumed_total += consumed
+        self.stall_wall_total += stall_wall
+        self.msgs_in_total += msgs_in
+        self.msgs_out_total += msgs_out
+        self.bytes_out_total += bytes_out
+        if events == 0:
+            if self.quiet_run_windows == 0:
+                self.quiet_run_start = start
+            self.quiet_run_windows += 1
+            span = (start + granted) - (self.quiet_run_start or start)
+            if (self.quiet_run_windows, span) > (
+                    self.longest_quiet_windows, self.longest_quiet_span):
+                self.longest_quiet_windows = self.quiet_run_windows
+                self.longest_quiet_span = span
+                self.longest_quiet_start = self.quiet_run_start
+        else:
+            self.zero_event_windows += self.quiet_run_windows
+            self.quiet_run_windows = 0
+            self.quiet_run_start = None
+        self.raw.append({
+            "start": start, "granted": granted, "consumed": consumed,
+            "events": events, "msgs_in": msgs_in, "msgs_out": msgs_out,
+            "bytes_out": bytes_out, "stall_wall": stall_wall,
+        })
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of granted lookahead actually consumed by events."""
+        if self.granted_total <= 0.0:
+            return 0.0
+        return self.consumed_total / self.granted_total
+
+    def to_dict(self) -> dict:
+        zero = self.zero_event_windows + self.quiet_run_windows
+        return {
+            "shard": self.shard,
+            "windows": self.windows,
+            "events": self.events_total,
+            "granted_s": self.granted_total,
+            "consumed_s": self.consumed_total,
+            "utilization": self.utilization,
+            "stall_wall_s": self.stall_wall_total,
+            "msgs_in": self.msgs_in_total,
+            "msgs_out": self.msgs_out_total,
+            "bytes_out": self.bytes_out_total,
+            "zero_event_windows": zero,
+            "longest_quiet": {
+                "windows": self.longest_quiet_windows,
+                "span_s": self.longest_quiet_span,
+                "start": self.longest_quiet_start,
+            },
+            "recent": list(self.raw),
+        }
+
+    @staticmethod
+    def aggregate(profiles) -> dict:
+        """Fleet-wide roll-up of per-shard :meth:`to_dict` documents."""
+        agg = {
+            "shards": 0, "windows": 0, "events": 0, "granted_s": 0.0,
+            "consumed_s": 0.0, "stall_wall_s": 0.0, "msgs_in": 0,
+            "msgs_out": 0, "bytes_out": 0, "zero_event_windows": 0,
+        }
+        for profile in profiles:
+            agg["shards"] += 1
+            for field in ("windows", "events", "granted_s", "consumed_s",
+                          "stall_wall_s", "msgs_in", "msgs_out",
+                          "bytes_out", "zero_event_windows"):
+                agg[field] += profile.get(field, 0)
+        agg["utilization"] = (agg["consumed_s"] / agg["granted_s"]
+                              if agg["granted_s"] > 0 else 0.0)
+        return agg
+
+
+class NullWindowProfiler:
+    """No-op twin: disabled telemetry costs one method call per window."""
+
+    __slots__ = ()
+    shard = 0
+    windows = 0
+    utilization = 0.0
+
+    def record(self, *args, **kwargs) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+NULL_WINDOW_PROFILER = NullWindowProfiler()

@@ -354,6 +354,9 @@ class Environment:
         # called with each event as it fires.  None (the default) keeps the
         # dispatch loop at a single identity check per event.
         self.event_hook: Optional[Callable[[Event], None]] = None
+        # Sim time the most recent run_window() actually traversed before
+        # clamping to its horizon (see the window profiler).
+        self.last_window_consumed: float = 0.0
 
     # -- factories -------------------------------------------------------
 
@@ -457,6 +460,7 @@ class Environment:
             raise SimulationError(
                 f"window end {until} is in the past (now={self.now})")
         count = 0
+        start = self.now
         heap = self._heap
         while True:
             self._prune()
@@ -464,6 +468,10 @@ class Environment:
                 break
             self.step()
             count += 1
+        # How far events actually advanced the clock into this window,
+        # before the clamp to the horizon: the window profiler's
+        # granted-vs-consumed signal.
+        self.last_window_consumed = self.now - start
         self.now = until
         return count
 

@@ -50,18 +50,26 @@ output, matching the unsharded path.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..obs import NULL_WINDOW_PROFILER, Watchdog, WindowProfiler
+from ..obs.flight import write_flight_artifact
+
 __all__ = ["ShardCoordinator", "ShardError", "ShardMockupResult",
-           "ShardWorkerContext", "K1_GRANT_CHUNK"]
+           "ShardWorkerContext", "K1_GRANT_CHUNK", "WATCHDOG_STALL_POLLS"]
 
 # Window granted to a lone shard (K=1): no peers means no lookahead bound,
 # so grant generous fixed chunks past the next event to amortize the
 # coordination round-trips.  Chunk size never affects the trajectory.
 K1_GRANT_CHUNK = 5.0
+
+# Consecutive not-ready polls with a frozen progress tuple before the
+# watchdog declares a convergence stall and dumps the flight recorder.
+WATCHDOG_STALL_POLLS = 3
 
 
 class ShardError(Exception):
@@ -80,6 +88,7 @@ class ShardWorkerContext:
     wait_start: Optional[float] = None
     mockup_start: Optional[float] = None
     route_ready_span: Optional[object] = None
+    mockup_span: Optional[object] = None
 
 
 @dataclass
@@ -92,6 +101,7 @@ class ShardMockupResult:
     quiet_since: float
     route_ready_at: float
     shard_stats: List[dict]
+    window_profiles: List[dict] = field(default_factory=list)
 
 
 def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
@@ -105,20 +115,34 @@ def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
     * ``("poll", crashed)`` — evaluate the local route-ready verdict at the
       current (poll-boundary) time, reply ``("verdict", now, ok, stats)``.
     * ``("finalize", quiet_since, route_ready_latency)`` — seal mockup
-      state, reply ``("finalized", stats)``.
-    * ``("pull_states" | "dump" | "explain" | "metrics", ...)`` — serve
-      merged-output fragments for owned devices.
+      state, reply ``("finalized", stats, window_profile)``.
+    * ``("pull_states" | "dump" | "explain" | "metrics" | "spans" |
+      "traces" | "flight", ...)`` — serve merged-output fragments for
+      owned devices and this worker's telemetry exports.
     * ``("exit",)`` — leave.
+
+    A worker that dies replies ``("error", traceback, flight_snapshot)``
+    so the coordinator can fold the black box into the raised error.
     """
     try:
         ctx = net._enter_shard_worker(shard_id, shard_plan, lookahead)
         env = net.env
         router = ctx.router
+        flight = net.obs.flight
+        telemetry = bool(getattr(net.obs, "enabled", False))
+        profiler = (WindowProfiler(shard_id) if telemetry
+                    else NULL_WINDOW_PROFILER)
         proc = env.process(net.mockup_async(route_ready_timeout),
                            name=f"mockup-shard{shard_id}")
         windows = 0
         events = 0
         idle_wall = 0.0
+
+        def swallowed_total() -> float:
+            metric = net.obs.metrics.get("repro_swallowed_errors_total")
+            if metric is None:
+                return 0
+            return sum(child.value for _key, child in metric.samples())
 
         def stats() -> dict:
             return {
@@ -137,34 +161,52 @@ def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
                 "sent": router.sent_total,
                 "received": router.received_total,
                 "owned_devices": len(ctx.owned),
+                "swallowed": swallowed_total(),
             }
 
         conn.send(("report", env.peek(), [], stats()))
         while True:
             t0 = time.monotonic()
             msg = conn.recv()
-            idle_wall += time.monotonic() - t0
+            wait_wall = time.monotonic() - t0
+            idle_wall += wait_wall
             op = msg[0]
             if op == "advance":
                 _op, horizon, inbox, crashed = msg
                 ctx.remote_crashed = set(crashed)
                 if inbox:
                     router.inject(net.cloud, inbox)
-                events += env.run_window(horizon)
+                w_start = env.now
+                fired = env.run_window(horizon)
+                events += fired
                 windows += 1
                 if proc.triggered and not proc.ok:
                     raise proc.value
-                conn.send(("report", env.peek(), router.drain_outbox(),
-                           stats()))
+                outbox = router.drain_outbox()
+                if telemetry:
+                    profiler.record(
+                        w_start, horizon - w_start,
+                        env.last_window_consumed, fired,
+                        msgs_in=len(inbox), msgs_out=len(outbox),
+                        bytes_out=(len(pickle.dumps(outbox)) if outbox
+                                   else 0),
+                        stall_wall=wait_wall)
+                    flight.note("advance", f"shard{shard_id}",
+                                horizon=horizon, events=fired,
+                                sent=len(outbox), received=len(inbox))
+                conn.send(("report", env.peek(), outbox, stats()))
             elif op == "poll":
                 ctx.remote_crashed = set(msg[1])
-                conn.send(("verdict", env.now, net._shard_local_ready(),
-                           stats()))
+                net._sample_memory()
+                ok = net._shard_local_ready()
+                flight.note("poll", f"shard{shard_id}", ready=ok)
+                conn.send(("verdict", env.now, ok, stats()))
             elif op == "finalize":
                 _op, quiet_since, route_ready_latency = msg
                 net._finish_shard_mockup(quiet_since, route_ready_latency)
-                conn.send(("finalized", stats()))
-            elif op in ("pull_states", "dump", "explain", "metrics"):
+                conn.send(("finalized", stats(), profiler.to_dict()))
+            elif op in ("pull_states", "dump", "explain", "metrics",
+                        "spans", "traces", "flight"):
                 # Monitor RPCs: failures (unknown device, no daemon, ...)
                 # are reported per-call, not fatal to the emulation.
                 try:
@@ -177,7 +219,11 @@ def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
                 raise ShardError(f"unknown op {op!r}")
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            try:
+                snapshot = net.obs.flight.snapshot()
+            except Exception:  # pragma: no cover - crashing while crashing
+                snapshot = {}
+            conn.send(("error", traceback.format_exc(), snapshot))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
     finally:
@@ -208,6 +254,13 @@ def _serve_rpc(net, ctx: ShardWorkerContext, msg):
         return ("explained", explain_prefix({device: daemon}, device, prefix))
     if op == "metrics":
         return ("metric_dump", net.obs.metrics.to_dict())
+    if op == "spans":
+        return ("spans", [span.to_dict()
+                          for span in net.obs.tracer.spans])
+    if op == "traces":
+        return ("traces", ctx.router.export_traces())
+    if op == "flight":
+        return ("flight", net.obs.flight.snapshot())
     raise ShardError(f"unknown RPC {op!r}")  # pragma: no cover
 
 
@@ -225,6 +278,13 @@ class ShardCoordinator:
         self._conns: List = []
         self._alive = False
         self.shard_stats: List[dict] = [{} for _ in range(self.shards)]
+        # Per-shard WindowProfiler.to_dict() documents (set at finalize).
+        self.window_profiles: List[dict] = []
+        # Convergence-stall watchdog + the flight artifact it (or a fatal
+        # path) produced: (document, path-or-None), at most one per run.
+        self.watchdog = Watchdog(stall_polls=WATCHDOG_STALL_POLLS)
+        self.flight_doc: Optional[dict] = None
+        self.flight_path: Optional[str] = None
         # Resolved once on the parent's registry: per-shard channel and
         # window telemetry lands here at finalize.
         metrics = net.obs.metrics
@@ -289,8 +349,18 @@ class ShardCoordinator:
         msg = self._conns[shard_id].recv()
         if msg[0] == "error":
             detail = msg[1]
+            # Telemetry-aware workers attach their flight-recorder ring;
+            # persist it as the worker-death black box.
+            snapshot = msg[2] if len(msg) > 2 else None
+            where = ""
+            if snapshot:
+                self._dump_flight(f"worker-death: shard {shard_id}",
+                                  snapshots=[snapshot])
+                if self.flight_path is not None:
+                    where = f"\nflight recorder: {self.flight_path}"
             self.shutdown()
-            raise ShardError(f"shard {shard_id} worker failed:\n{detail}")
+            raise ShardError(
+                f"shard {shard_id} worker failed:\n{detail}{where}")
         return msg
 
     def _broadcast(self, message) -> None:
@@ -368,10 +438,13 @@ class ShardCoordinator:
                         and all(n >= next_poll for n in eff)
                         and self._all_at(next_poll)):
                     if next_poll >= deadline:
+                        self._dump_flight("route-ready-timeout")
+                        hint = (f"; flight recorder: {self.flight_path}"
+                                if self.flight_path else "")
                         raise OrchestratorError(
                             f"routes did not stabilize within "
                             f"{self.route_ready_timeout}s (sharded backend, "
-                            f"{self.shards} shards)")
+                            f"{self.shards} shards){hint}")
                     verdict = True
                     for shard_id in range(self.shards):
                         self._conns[shard_id].send(("poll", sorted(crashed)))
@@ -380,6 +453,18 @@ class ShardCoordinator:
                         assert kind == "verdict" and at == next_poll
                         self._note_stats(shard_id, stats, crashed)
                         verdict = verdict and ok
+                    # Watchdog: a not-ready fleet whose progress tuple is
+                    # frozen is stalled, not converging — dump the black
+                    # box now, while every worker can still be asked for
+                    # its ring (the run itself continues to the timeout,
+                    # so slow-but-live convergence is never aborted).
+                    progress = tuple(
+                        sum(s.get(key) or 0 for s in self.shard_stats)
+                        for key in ("events", "sent", "received",
+                                    "swallowed"))
+                    reason = self.watchdog.observe(verdict, progress)
+                    if reason is not None:
+                        self._dump_flight(reason)
                     if verdict:
                         if quiet_since is None:
                             quiet_since = next_poll
@@ -394,9 +479,12 @@ class ShardCoordinator:
                 # Grant the next conservative window to every shard.
                 if all(n == float("inf") for n in eff):
                     if next_poll is None:
+                        self._dump_flight("window-starvation")
+                        hint = (f"; flight recorder: {self.flight_path}"
+                                if self.flight_path else "")
                         raise ShardError(
                             "all shards starved before the boot wave "
-                            "completed; simulation deadlock")
+                            f"completed; simulation deadlock{hint}")
                     # Heap drained but not settled: step poll boundaries.
                     grants = [next_poll] * self.shards
                 else:
@@ -450,6 +538,35 @@ class ShardCoordinator:
     def _all_at(self, when: float) -> bool:
         return all(self._now(i) == when for i in range(self.shards))
 
+    def _dump_flight(self, reason: str,
+                     snapshots: Optional[List[dict]] = None) -> None:
+        """Write the flight artifact once (first trip wins).
+
+        Without ``snapshots``, every live worker is asked for its ring
+        over the raw pipes (not :meth:`rpc` — this also runs from the
+        error path, where the RPC machinery would recurse); a worker
+        that cannot answer is simply absent from the artifact.
+        """
+        if self.flight_doc is not None:
+            return
+        if snapshots is None:
+            snapshots = []
+            for conn in self._conns:
+                try:
+                    conn.send(("flight",))
+                    reply = conn.recv()
+                except (OSError, EOFError, BrokenPipeError):
+                    continue
+                if reply and reply[0] == "flight":
+                    snapshots.append(reply[1])
+        snapshots = [self.net.obs.flight.snapshot()] + list(snapshots)
+        self.flight_doc, self.flight_path = write_flight_artifact(
+            snapshots, reason)
+        self.net._log(
+            f"flight recorder dumped ({reason})"
+            + (f": {self.flight_path}" if self.flight_path else ""),
+            kind="flight-dump", subject=f"shards={self.shards}")
+
     def _note_stats(self, shard_id: int, stats: dict,
                     crashed: Set[str]) -> None:
         now = self.shard_stats[shard_id].get("now", 0.0)
@@ -466,10 +583,13 @@ class ShardCoordinator:
         for shard_id in range(self.shards):
             self._conns[shard_id].send(
                 ("finalize", quiet_since, route_ready_latency))
+        profiles: List[dict] = []
         for shard_id in range(self.shards):
-            kind, stats = self._recv(shard_id)
+            kind, stats, profile = self._recv(shard_id)
             assert kind == "finalized"
             self.shard_stats[shard_id] = stats
+            if profile:
+                profiles.append(profile)
             label = str(shard_id)
             self._g_windows.set(stats["windows"], shard=label)
             self._g_messages.set(stats["sent"], shard=label,
@@ -478,13 +598,15 @@ class ShardCoordinator:
                                  direction="received")
             self._g_idle.set(round(stats["idle_wall_s"], 6), shard=label)
             self._g_devices.set(stats["owned_devices"], shard=label)
+        self.window_profiles = profiles
         return ShardMockupResult(
             network_ready_latency=stats0["network_ready_latency"],
             route_ready_latency=route_ready_latency,
             link_count=stats0["link_count"],
             quiet_since=quiet_since,
             route_ready_at=route_ready_at,
-            shard_stats=list(self.shard_stats))
+            shard_stats=list(self.shard_stats),
+            window_profiles=profiles)
 
     # -- merged monitor surface -----------------------------------------
 
@@ -528,3 +650,41 @@ class ShardCoordinator:
             assert kind == "metric_dump"
             dumps.append(dump)
         return merge_metric_dicts(dumps)
+
+    def merged_spans(self) -> List[dict]:
+        """Deterministic cross-worker span merge (see obs.merge).
+
+        Every worker holds the replicated-skeleton spans (prepare is
+        inherited through the fork; mockup/network-ready/route-ready and
+        the boot wave are finished at coordinator-aligned sim times) plus
+        the spans only its owned guests produced; the parent's tracer is
+        folded in for anything created coordinator-side.
+        """
+        from ..obs.merge import merge_span_dumps
+        dumps = [[span.to_dict() for span in self.net.obs.tracer.spans]]
+        for shard_id in range(self.shards):
+            kind, spans = self.rpc(shard_id, "spans")
+            assert kind == "spans"
+            dumps.append(spans)
+        return merge_span_dumps(dumps)
+
+    def channel_traces(self) -> dict:
+        """Reassembled cross-shard causal traces (see obs.merge)."""
+        from ..obs.merge import merge_channel_traces
+        logs = []
+        for shard_id in range(self.shards):
+            kind, log = self.rpc(shard_id, "traces")
+            assert kind == "traces"
+            logs.append(log)
+        return merge_channel_traces(logs)
+
+    def collect_flight(self) -> dict:
+        """On-demand flight document (without tripping the watchdog)."""
+        snapshots = [self.net.obs.flight.snapshot()]
+        for shard_id in range(self.shards):
+            kind, snap = self.rpc(shard_id, "flight")
+            assert kind == "flight"
+            snapshots.append(snap)
+        doc, _path = write_flight_artifact(snapshots, "on-demand",
+                                           directory="")
+        return doc

@@ -11,6 +11,10 @@ writes (:func:`repro.provenance.dump_json` network dumps,
 * ``diff`` — FIB differences between two instants of a recorded timeline.
 * ``blame`` — per-fault blast radius: which prefixes each injected fault
   churned, on which devices, and when each device re-converged.
+* ``windows`` — the sharded backend's window-protocol profile: granted
+  vs. consumed lookahead, grant-wait stalls, and channel traffic per
+  shard (:meth:`CrystalNet.window_profile` output, or a
+  ``BENCH_shard.json`` artifact that embeds one).
 
 Usage::
 
@@ -19,6 +23,7 @@ Usage::
     python -m repro.tools.netscope blame blast.json [--fault REF]
     python -m repro.tools.netscope blame timeline.json \\
         --fault fault:link-down:t0|t1@30 --start 30 --end 90
+    python -m repro.tools.netscope windows profile.json [--json]
 """
 
 from __future__ import annotations
@@ -165,6 +170,75 @@ def _cmd_blame(args: argparse.Namespace) -> int:
     return 0
 
 
+def _window_profile_of(doc: dict) -> dict:
+    """Accept a window_profile() export or a BENCH_shard artifact."""
+    if "shards" in doc and "aggregate" in doc:
+        return doc
+    embedded = doc.get("data", {}).get("window_profile")
+    if isinstance(embedded, dict) and "shards" in embedded:
+        return embedded
+    raise ValueError("not a window profile (no 'shards'/'aggregate'; "
+                     "pass CrystalNet.window_profile() output or a "
+                     "BENCH_shard.json that embeds one)")
+
+
+def _fmt_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            return (f"{count:.0f}{unit}" if unit == "B"
+                    else f"{count:.1f}{unit}")
+        count /= 1024.0
+    return f"{count:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def _render_windows(profile: dict) -> str:
+    header = (f"{'shard':>5} {'windows':>8} {'events':>9} {'granted':>10} "
+              f"{'consumed':>10} {'util':>6} {'quiet':>7} {'in':>8} "
+              f"{'out':>8} {'bytes':>9} {'stall':>8}")
+    lines = [header, "-" * len(header)]
+    for shard in profile.get("shards", ()):
+        quiet = shard.get("longest_quiet", {})
+        lines.append(
+            f"{shard.get('shard', '?'):>5} {shard.get('windows', 0):>8} "
+            f"{shard.get('events', 0):>9} "
+            f"{shard.get('granted_s', 0.0):>9.1f}s "
+            f"{shard.get('consumed_s', 0.0):>9.1f}s "
+            f"{100.0 * shard.get('utilization', 0.0):>5.1f}% "
+            f"{shard.get('zero_event_windows', 0):>7} "
+            f"{shard.get('msgs_in', 0):>8} {shard.get('msgs_out', 0):>8} "
+            f"{_fmt_bytes(shard.get('bytes_out', 0)):>9} "
+            f"{shard.get('stall_wall_s', 0.0):>7.2f}s")
+        if quiet.get("windows"):
+            lines.append(
+                f"      longest timer-quiet stretch: "
+                f"{quiet['windows']} windows / {quiet.get('span_s', 0.0):g}s "
+                f"of sim time from t={quiet.get('start', 0.0):g}")
+    agg = profile.get("aggregate", {})
+    if agg.get("shards"):
+        lines.append(
+            f"fleet: {agg.get('shards', 0)} shard(s), "
+            f"{agg.get('windows', 0)} windows, "
+            f"{agg.get('msgs_out', 0)} channel messages "
+            f"({_fmt_bytes(agg.get('bytes_out', 0))}), "
+            f"lookahead utilization "
+            f"{100.0 * agg.get('utilization', 0.0):.1f}% "
+            f"({agg.get('consumed_s', 0.0):g}s of "
+            f"{agg.get('granted_s', 0.0):g}s granted)")
+    else:
+        lines.append("(no shards profiled — unsharded run, or telemetry "
+                     "was disabled)")
+    return "\n".join(lines)
+
+
+def _cmd_windows(args: argparse.Namespace) -> int:
+    profile = _window_profile_of(_load_json(args.path))
+    if args.json:
+        print(json.dumps(profile, indent=2, sort_keys=True))
+        return 0
+    print(_render_windows(profile))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="netscope",
@@ -202,6 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="window end (timeline input only)")
     p_blame.add_argument("--json", action="store_true")
     p_blame.set_defaults(func=_cmd_blame)
+
+    p_windows = sub.add_parser(
+        "windows", help="window-protocol profile of a sharded run "
+                        "(granted vs consumed lookahead, stalls, channel "
+                        "traffic)")
+    p_windows.add_argument("path",
+                           help="window_profile() JSON or BENCH_shard.json")
+    p_windows.add_argument("--json", action="store_true",
+                           help="raw profile instead of the table")
+    p_windows.set_defaults(func=_cmd_windows)
     return parser
 
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro.tools.obsdump profile trace.jsonl --json
     python -m repro.tools.obsdump metrics metrics.json [--name PREFIX]
     python -m repro.tools.obsdump events events.jsonl [--kind KIND]
+    python -m repro.tools.obsdump flight flight-<reason>.json
 """
 
 from __future__ import annotations
@@ -85,6 +86,42 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flight(args: argparse.Namespace) -> int:
+    """Render a flight-recorder artifact chronologically.
+
+    Accepts the coordinator artifact ``write_flight_artifact`` emits —
+    ``{"version", "reason", "shards": [snapshot, ...]}`` — or a single
+    bare ``FlightRecorder.snapshot()``.
+    """
+    doc = json.loads(_load_text(args.path))
+    snapshots = doc["shards"] if "shards" in doc else [doc]
+    reason = doc.get("reason")
+    if reason:
+        print(f"flight recorder dump — {reason}")
+    total = dropped = 0
+    rows = []
+    for snap in snapshots:
+        shard = snap.get("shard")
+        where = "coord" if shard is None else f"shard{shard}"
+        total += snap.get("total", 0)
+        dropped += snap.get("dropped", 0)
+        for entry in snap.get("entries", []):
+            rows.append((entry.get("time", 0.0) or 0.0, where, entry))
+    rows.sort(key=lambda row: (row[0], row[1]))
+    for time_s, where, entry in rows:
+        if args.kind and entry.get("kind") != args.kind:
+            continue
+        detail = entry.get("detail", {})
+        detail_text = " ".join(
+            f"{k}={v}" for k, v in sorted(detail.items()))
+        subject = entry.get("subject", "")
+        line = f"[{time_s:10.1f}] {where:<8} {entry.get('kind', '?'):<16} {subject}"
+        print(f"{line} {detail_text}".rstrip())
+    print(f"({total} entries recorded, {dropped} dropped from "
+          f"{len(snapshots)} recorder(s))", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="obsdump",
@@ -113,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_events.add_argument("--kind", default="",
                           help="only events of this kind")
     p_events.set_defaults(func=_cmd_events)
+
+    p_flight = sub.add_parser(
+        "flight", help="chronological view of a flight-recorder artifact")
+    p_flight.add_argument("path", help="write_flight_artifact() JSON file")
+    p_flight.add_argument("--kind", default="",
+                          help="only entries of this kind")
+    p_flight.set_defaults(func=_cmd_flight)
     return parser
 
 

@@ -92,6 +92,11 @@ class VirtualMachine:
         # order, which the sharded backend (repro.sim.shard) cannot
         # reproduce across workers.
         self._ingress: list = []
+        # Optional delivery interceptor (see ShardRouter.deliver_traced):
+        # called as tap(vm, src_key, seq, packet) instead of
+        # receive_underlay, so cross-shard trace context can be restored
+        # around the delivery.  None keeps draining at one identity check.
+        self.ingress_tap = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -165,9 +170,13 @@ class VirtualMachine:
         self.env.timer(arrival - self.env.now, self._drain_ingress)
 
     def _drain_ingress(self) -> None:
+        tap = self.ingress_tap
         while self._ingress and self._ingress[0][0] <= self.env.now:
-            packet = heapq.heappop(self._ingress)[3]
-            self.receive_underlay(packet)
+            _arrival, src_key, seq, packet = heapq.heappop(self._ingress)
+            if tap is not None:
+                tap(self, src_key, seq, packet)
+            else:
+                self.receive_underlay(packet)
 
     # -- accounting ------------------------------------------------------
 

@@ -24,12 +24,31 @@ both backends.  Same-instant cross-shard sends are systematic at scale
 content-determined order is what makes sharded provenance timelines
 byte-identical to the single-process run — shard ids or event-heap
 insertion order could not be.
+
+**Distributed traces.** With observability enabled, every boundary
+crossing also carries a *trace context* ``(trace_id, depth)``.  A packet
+sent outside any active trace mints a root id from content alone —
+``"<src-ip>><dst-vm>#<seq>"`` — so both the sending and the receiving
+worker (and a rerun) name the causal chain identically without any
+coordination.  When the owning shard delivers the packet (via the
+destination VM's ingress tap), the router marks the context active for
+the duration of the synchronous delivery; any cross-shard send the
+delivery itself triggers — a received route advertisement re-advertised
+onward — inherits the context at ``depth+1`` instead of minting a new
+root.  One cross-shard route cascade therefore shows up as ONE trace
+spanning workers.  Continuations deferred through the CPU scheduler
+leave the synchronous extent and mint fresh roots — the trace follows
+the synchronous causal spine, which is exactly the part no single
+worker's log can see.  Records live in a bounded ring (counters keep
+exact totals) and merge deterministically via
+:func:`repro.obs.merge.merge_channel_traces`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Set, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..obs import NULL_OBS
 
@@ -37,7 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..net.packet import Ipv4Packet
     from .cloud import Cloud
 
-__all__ = ["ShardMessage", "ShardRouter"]
+__all__ = ["ShardMessage", "ShardRouter", "TRACE_RECORD_CAPACITY"]
+
+# Most recent channel-trace records kept per worker; totals stay exact
+# in counters, so a saturated ring loses tail records, never accounting.
+TRACE_RECORD_CAPACITY = 4096
 
 
 @dataclass
@@ -51,6 +74,9 @@ class ShardMessage:
     seq: int             # per-(src, dst) send sequence; per-link FIFO key
     dst_vm: str
     packet: "Ipv4Packet"
+    # Trace context (trace_id, depth) — None when tracing is disabled.
+    # Trailing + defaulted so pre-telemetry pickles still construct.
+    trace: Optional[Tuple[str, int]] = None
 
     def sort_key(self):
         return (self.arrival, self.src_key, self.seq)
@@ -79,9 +105,30 @@ class ShardRouter:
         self._m_received = obs.metrics.counter(
             "repro_shard_messages_received_total",
             "Underlay packets injected from the inter-shard channel")
+        # -- distributed tracing (enabled iff the worker has a live hub) --
+        self.trace_enabled = bool(getattr(obs, "enabled", False))
+        # Context of the cross-shard delivery currently executing, if any.
+        self.active_trace: Optional[Tuple[str, int]] = None
+        # Contexts of injected-but-undelivered messages, keyed the same
+        # way the ingress queue orders them.
+        self._inbound: Dict[Tuple[str, int, int], Tuple[str, int]] = {}
+        self.trace_records: deque = deque(maxlen=TRACE_RECORD_CAPACITY)
+        self.trace_total = 0
+        self.trace_roots = 0
+        self.trace_dropped = 0
 
     def owns(self, vm_name: str) -> bool:
         return vm_name in self.owned_vms
+
+    def _record(self, event: str, trace: Tuple[str, int], time: float,
+                vm: str, seq: int) -> None:
+        self.trace_total += 1
+        if len(self.trace_records) == TRACE_RECORD_CAPACITY:
+            self.trace_dropped += 1
+        self.trace_records.append({
+            "trace": trace[0], "depth": trace[1], "event": event,
+            "time": time, "shard": self.shard_id, "vm": vm, "seq": seq,
+        })
 
     def intercept(self, cloud: "Cloud", packet: "Ipv4Packet",
                   dst_vm_name: str, pair_seq: int) -> bool:
@@ -95,10 +142,22 @@ class ShardRouter:
         if dst_vm_name in self.owned_vms:
             return False
         now = cloud.env.now
+        trace = None
+        if self.trace_enabled:
+            if self.active_trace is not None:
+                # Sent while delivering a traced cross-shard packet: this
+                # send *is* the causal continuation — inherit, one deeper.
+                trace = (self.active_trace[0], self.active_trace[1] + 1)
+            else:
+                # A fresh causal chain: the root id is pure content, so
+                # every worker (and every rerun) names it identically.
+                trace = (f"{packet.src}>{dst_vm_name}#{pair_seq}", 0)
+                self.trace_roots += 1
+            self._record("send", trace, now, dst_vm_name, pair_seq)
         self.outbox.append(ShardMessage(
             arrival=now + self.lookahead, send_time=now,
             src_shard=self.shard_id, src_key=packet.src.value,
-            seq=pair_seq, dst_vm=dst_vm_name, packet=packet))
+            seq=pair_seq, dst_vm=dst_vm_name, packet=packet, trace=trace))
         self.sent_total += 1
         self._m_sent.inc(shard=str(self.shard_id))
         return True
@@ -122,8 +181,41 @@ class ShardRouter:
             target = cloud.vms.get(msg.dst_vm)
             if target is None:
                 continue  # VM deleted meanwhile; underlay drops, like K=1
+            trace = getattr(msg, "trace", None)
+            if trace is not None and self.trace_enabled:
+                self._inbound[(msg.dst_vm, msg.src_key, msg.seq)] = trace
             target.enqueue_underlay(msg.arrival, msg.src_key, msg.seq,
                                     msg.packet)
             self.received_total += 1
         if messages:
             self._m_received.inc(len(messages), shard=str(self.shard_id))
+
+    def deliver_traced(self, vm, src_key: int, seq: int, packet) -> None:
+        """Ingress tap for owned VMs (see ``VirtualMachine.ingress_tap``).
+
+        Looks up whether this arrival came over the channel with a trace
+        context; if so, restores the context around the synchronous
+        delivery so cascade sends inherit it, and records the receive.
+        Local (same-shard) arrivals pass straight through.
+        """
+        trace = self._inbound.pop((vm.name, src_key, seq), None)
+        if trace is None:
+            vm.receive_underlay(packet)
+            return
+        self._record("recv", trace, vm.env.now, vm.name, seq)
+        saved = self.active_trace
+        self.active_trace = trace
+        try:
+            vm.receive_underlay(packet)
+        finally:
+            self.active_trace = saved
+
+    def export_traces(self) -> dict:
+        """This worker's channel-trace records (bounded; totals exact)."""
+        return {
+            "shard": self.shard_id,
+            "total": self.trace_total,
+            "roots": self.trace_roots,
+            "dropped": self.trace_dropped,
+            "records": [dict(record) for record in self.trace_records],
+        }

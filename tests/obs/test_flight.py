@@ -1,0 +1,130 @@
+"""Unit tests for the flight recorder, watchdog, and artifact writer."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_DIR_ENV,
+    FlightRecorder,
+    NULL_FLIGHT,
+    Watchdog,
+    write_flight_artifact,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestFlightRecorder:
+    def test_entries_carry_clock_and_detail(self):
+        now = [12.5]
+        recorder = FlightRecorder(clock=lambda: now[0], shard=2)
+        recorder.note("poll", "shards=4", ready=False)
+        now[0] = 17.5
+        recorder.note("advance", "shard2")
+        snap = recorder.snapshot()
+        assert snap["shard"] == 2
+        assert snap["total"] == 2
+        assert snap["entries"][0] == {
+            "time": 12.5, "kind": "poll", "subject": "shards=4",
+            "detail": {"ready": False}}
+        assert snap["entries"][1] == {
+            "time": 17.5, "kind": "advance", "subject": "shard2"}
+
+    def test_ring_bounds_but_totals_exact(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.note("tick", str(i))
+        snap = recorder.snapshot()
+        assert len(snap["entries"]) == 4
+        assert snap["total"] == 10
+        assert snap["dropped"] == 6
+        assert [e["subject"] for e in snap["entries"]] == [
+            "6", "7", "8", "9"]
+
+    def test_clockless_recorder_stamps_zero(self):
+        recorder = FlightRecorder()
+        recorder.note("boot")
+        assert recorder.snapshot()["entries"][0]["time"] == 0.0
+
+    def test_null_twin_is_inert(self):
+        NULL_FLIGHT.note("anything", "x", y=1)
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_FLIGHT.snapshot() == {
+            "shard": None, "total": 0, "dropped": 0, "entries": []}
+
+
+class TestWatchdog:
+    PROGRESS = (100, 5, 5, 0)
+
+    def test_trips_after_n_frozen_not_ready_polls(self):
+        dog = Watchdog(stall_polls=3)
+        # First not-ready poll establishes the baseline; the trip needs
+        # stall_polls *further* polls with the tuple frozen.
+        assert dog.observe(False, self.PROGRESS) is None
+        assert dog.observe(False, self.PROGRESS) is None
+        assert dog.observe(False, self.PROGRESS) is None
+        reason = dog.observe(False, self.PROGRESS)
+        assert reason is not None
+        assert reason.startswith("convergence-stall")
+        assert "frozen" in reason
+
+    def test_progress_resets_the_count(self):
+        dog = Watchdog(stall_polls=2)
+        assert dog.observe(False, (1, 0, 0, 0)) is None
+        assert dog.observe(False, (2, 0, 0, 0)) is None  # progress moved
+        assert dog.observe(False, (2, 0, 0, 0)) is None  # frozen x1
+        assert dog.observe(False, (2, 0, 0, 0)) is not None
+
+    def test_ready_poll_resets(self):
+        dog = Watchdog(stall_polls=2)
+        assert dog.observe(False, self.PROGRESS) is None
+        assert dog.observe(True, self.PROGRESS) is None
+        assert dog.observe(False, self.PROGRESS) is None
+        assert dog.observe(False, self.PROGRESS) is not None
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            Watchdog(stall_polls=0)
+
+
+class TestFlightArtifact:
+    def snapshots(self):
+        coord = FlightRecorder(shard=None)
+        coord.note("poll", "shards=2")
+        worker = FlightRecorder(shard=1)
+        worker.note("advance", "shard1")
+        return [worker.snapshot(), coord.snapshot()]
+
+    def test_coordinator_sorts_first(self):
+        doc, path = write_flight_artifact(self.snapshots(), "window-starvation")
+        assert path is None  # no directory configured in tests
+        assert doc["reason"] == "window-starvation"
+        assert [s["shard"] for s in doc["shards"]] == [None, 1]
+
+    def test_document_is_deterministic(self):
+        first, _ = write_flight_artifact(self.snapshots(), "r")
+        second, _ = write_flight_artifact(self.snapshots(), "r")
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True)
+
+    def test_persisted_when_directory_given(self, tmp_path):
+        doc, path = write_flight_artifact(
+            self.snapshots(), "convergence-stall: 3 polls frozen",
+            directory=str(tmp_path))
+        assert path == str(tmp_path / "flight-convergence-stall.json")
+        on_disk = json.loads((tmp_path / "flight-convergence-stall.json")
+                             .read_text())
+        assert on_disk == doc
+
+    def test_env_var_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FLIGHT_DIR_ENV, str(tmp_path))
+        _doc, path = write_flight_artifact([], "route-ready-timeout")
+        assert path == str(tmp_path / "flight-route-ready-timeout.json")
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        doc, path = write_flight_artifact([], "r", directory=str(blocker))
+        assert path is None
+        assert doc["reason"] == "r"

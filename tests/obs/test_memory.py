@@ -1,0 +1,119 @@
+"""Unit tests for the memory-accounting monitor (repro.obs.memory)."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.memory import (
+    MemoryMonitor,
+    NULL_MEMORY_MONITOR,
+    SAMPLE_EVERY,
+    SUBSYSTEMS,
+    read_rss_kb,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class FakeFib:
+    def __init__(self, n):
+        self._n = n
+
+    def __len__(self):
+        return self._n
+
+
+class FakeLocRib:
+    """(prefix, best, multi) triples, like repro.firmware.bgp.rib."""
+
+    def __init__(self, entries):
+        self._entries = entries
+
+    def __len__(self):
+        return len(self._entries)
+
+    def items(self):
+        return iter(self._entries)
+
+
+class Route:
+    def __init__(self, attrs):
+        self.attrs = attrs
+
+
+class FakeNet:
+    """The attribute surface MemoryMonitor walks, nothing more."""
+
+    def __init__(self):
+        shared = object()  # one interned attrs object, referenced twice
+        lone = object()
+
+        class Guest:
+            pass
+
+        class Record:
+            def __init__(self, guest):
+                self.guest = guest
+
+        g = Guest()
+        g.stack = type("S", (), {"fib": FakeFib(7)})()
+        g.bgp = type("B", (), {})()
+        g.bgp.loc_rib = FakeLocRib([
+            ("10.0.0.0/24", None, [Route(shared), Route(lone)]),
+            ("10.0.1.0/24", None, [Route(shared)]),
+        ])
+        g.bgp.adj_out = type("A", (), {})()
+        g.bgp.adj_out._advertised = {1: {"10.0.0.0/24": shared}}
+        self.devices = {"r1": Record(g), "ghost": Record(None)}
+        self.env = type("E", (), {"_heap": [1, 2, 3]})()
+
+
+class TestSample:
+    def test_counts_the_walked_structures(self):
+        mon = MemoryMonitor(Observability())
+        counts = mon.sample(FakeNet())
+        assert counts["fib"] == 7
+        assert counts["loc-rib"] == 2
+        assert counts["adj-rib-out"] == 1
+        assert counts["interned-attrs"] == 2  # shared counted once
+        assert counts["event-heap"] == 3
+
+    def test_gauges_refreshed_with_shard_label(self):
+        obs = Observability()
+        MemoryMonitor(obs, shard="3").sample(FakeNet())
+        family = obs.metrics.to_dict()["repro_mem_entries"]
+        by_subsystem = {s["labels"]["subsystem"]: s["value"]
+                        for s in family["samples"]
+                        if s["labels"]["shard"] == "3"}
+        assert set(by_subsystem) == set(SUBSYSTEMS)
+        assert by_subsystem["fib"] == 7
+
+    def test_bare_net_counts_zero(self):
+        counts = MemoryMonitor(Observability()).sample(object())
+        assert all(counts[s] == 0 for s in SUBSYSTEMS)
+
+
+class TestPollDecimation:
+    def test_walks_first_then_every_nth(self):
+        mon = MemoryMonitor(Observability())
+        net = FakeNet()
+        walked = [i for i in range(2 * SAMPLE_EVERY)
+                  if mon.poll(net) is not None]
+        assert walked == [0, SAMPLE_EVERY]
+
+    def test_forced_sample_ignores_the_counter(self):
+        mon = MemoryMonitor(Observability())
+        net = FakeNet()
+        mon.poll(net)
+        assert mon.poll(net) is None     # decimated away
+        assert mon.sample(net)["fib"] == 7  # force always walks
+
+
+class TestNullTwin:
+    def test_inert(self):
+        assert NULL_MEMORY_MONITOR.poll(object()) is None
+        assert NULL_MEMORY_MONITOR.sample(object()) == {}
+
+
+def test_read_rss_kb_on_linux():
+    rss = read_rss_kb()
+    assert rss is None or rss > 0

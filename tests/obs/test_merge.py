@@ -1,12 +1,20 @@
-"""Unit tests for the deterministic shard-metric merge."""
+"""Unit tests for the deterministic shard-export merges."""
+
+import json
 
 import pytest
 
-from repro.obs.merge import merge_metric_dicts
+from repro.obs.merge import (
+    REPLICATED_COUNTER_FAMILIES,
+    comparable_metric_dict,
+    merge_channel_traces,
+    merge_metric_dicts,
+    merge_span_dumps,
+)
 
 
-def counter(value, **labels):
-    return {"type": "counter", "help": "h",
+def counter(value, name_help="h", **labels):
+    return {"type": "counter", "help": name_help,
             "samples": [{"labels": labels, "value": value}]}
 
 
@@ -15,8 +23,9 @@ def gauge(value, **labels):
             "samples": [{"labels": labels, "value": value}]}
 
 
-def histogram(buckets, total, count, **labels):
-    return {"type": "histogram", "help": "h", "bounds": [0.1, 1.0],
+def histogram(buckets, total, count, bounds=(0.1, 1.0), **labels):
+    """A faithful Histogram.to_dict(): len(bounds)+1 buckets, +Inf last."""
+    return {"type": "histogram", "help": "h", "bounds": list(bounds),
             "samples": [{"labels": labels, "buckets": list(buckets),
                          "sum": total, "count": count}]}
 
@@ -39,6 +48,14 @@ class TestCounters:
         labels = [s["labels"]["device"] for s in merged["c"]["samples"]]
         assert labels == ["a", "z"]
 
+    def test_replicated_family_takes_first_reading(self):
+        """Counters fed by the replicated skeleton must not K-fold-count."""
+        name = next(iter(REPLICATED_COUNTER_FAMILIES))
+        merged = merge_metric_dicts([{name: counter(12, kind="started")},
+                                     {name: counter(12, kind="started")},
+                                     {name: counter(12, kind="started")}])
+        assert merged[name]["samples"][0]["value"] == 12
+
 
 class TestGauges:
     def test_first_reading_wins(self):
@@ -57,20 +74,59 @@ class TestGauges:
 class TestHistograms:
     def test_buckets_sum_and_count_summed(self):
         merged = merge_metric_dicts([
-            {"h": histogram([1, 2], 0.5, 3, device="a")},
-            {"h": histogram([4, 8], 1.5, 12, device="a")}])
+            {"h": histogram([1, 2, 0], 0.5, 3, device="a")},
+            {"h": histogram([4, 8, 1], 1.5, 13, device="a")}])
         sample = merged["h"]["samples"][0]
-        assert sample["buckets"] == [5, 10]
+        assert sample["buckets"] == [5, 10, 1]
         assert sample["sum"] == 2.0
-        assert sample["count"] == 15
+        assert sample["count"] == 16
 
-    def test_conflicting_bucket_count_rejected(self):
-        bad = {"type": "histogram", "help": "h", "bounds": [0.1],
-               "samples": [{"labels": {"device": "a"}, "buckets": [1],
+    def test_malformed_bucket_count_rejected(self):
+        """A sample with len(bounds) buckets (no +Inf) must be refused."""
+        bad = {"type": "histogram", "help": "h", "bounds": [0.1, 1.0],
+               "samples": [{"labels": {"device": "a"}, "buckets": [1, 2],
+                            "sum": 0.0, "count": 3}]}
+        with pytest.raises(ValueError, match="buckets"):
+            merge_metric_dicts([{"h": bad}])
+
+    def test_malformed_appended_sample_rejected(self):
+        """Validation applies to samples appended after the first dump too."""
+        bad = {"type": "histogram", "help": "h", "bounds": [0.1, 1.0],
+               "samples": [{"labels": {"device": "b"}, "buckets": [1],
                             "sum": 0.0, "count": 1}]}
         with pytest.raises(ValueError, match="buckets"):
-            merge_metric_dicts([{"h": histogram([1, 2], 0.5, 3, device="a")},
-                                {"h": bad}])
+            merge_metric_dicts(
+                [{"h": histogram([1, 2, 0], 0.5, 3, device="a")}, {"h": bad}])
+
+    def test_conflicting_bounds_rejected(self):
+        """Same bucket-list length over different bounds must never merge."""
+        with pytest.raises(ValueError, match="bounds"):
+            merge_metric_dicts([
+                {"h": histogram([1, 2, 0], 0.5, 3, device="a")},
+                {"h": histogram([1, 2, 0], 0.5, 3, bounds=(0.5, 5.0),
+                                device="a")}])
+
+    def test_single_bucket_family_merges(self):
+        """The degenerate one-bound family (two buckets) merges bucket-wise."""
+        merged = merge_metric_dicts([
+            {"h": histogram([3, 1], 0.2, 4, bounds=(1.0,), device="a")},
+            {"h": histogram([5, 0], 0.1, 5, bounds=(1.0,), device="a")}])
+        sample = merged["h"]["samples"][0]
+        assert sample["buckets"] == [8, 1]
+        assert sample["count"] == 9
+
+    def test_empty_shard_contributes_nothing(self):
+        """A worker with no observations (empty dump / empty samples) must
+        neither crash the merge nor disturb the other shards' totals."""
+        empty_family = {"type": "histogram", "help": "h",
+                        "bounds": [0.1, 1.0], "samples": []}
+        merged = merge_metric_dicts([
+            {},
+            {"h": empty_family},
+            {"h": histogram([1, 2, 3], 0.5, 6, device="a")}])
+        sample = merged["h"]["samples"][0]
+        assert sample["buckets"] == [1, 2, 3]
+        assert sample["count"] == 6
 
 
 class TestStructure:
@@ -92,3 +148,117 @@ class TestStructure:
 
     def test_empty_input(self):
         assert merge_metric_dicts([]) == {}
+
+
+class TestComparableProjection:
+    def test_process_local_families_stripped(self):
+        merged = merge_metric_dicts([
+            {"repro_shard_windows_total": counter(4, shard="0"),
+             "repro_mem_entries": gauge(10, subsystem="fib", shard="0"),
+             "repro_bgp_updates_rx_total": counter(7, device="a")}])
+        comparable = comparable_metric_dict(merged)
+        assert list(comparable) == ["repro_bgp_updates_rx_total"]
+
+    def test_projection_preserves_family_contents(self):
+        merged = merge_metric_dicts([{"c": counter(2, device="a")}])
+        assert comparable_metric_dict(merged)["c"] is merged["c"]
+
+
+def span(sid, name, track, start, end, parent=None, **attrs):
+    return {"id": sid, "name": name, "track": track, "start": start,
+            "end": end, "parent": parent, "attrs": attrs}
+
+
+class TestSpanMerge:
+    def test_replicated_spans_dedupe(self):
+        """The same skeleton span reported by two workers appears once."""
+        dump_a = [span(1, "prepare", "orchestrator", 0.0, 5.0)]
+        dump_b = [span(7, "prepare", "orchestrator", 0.0, 5.0)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        assert len(merged) == 1
+        assert merged[0]["name"] == "prepare"
+        assert merged[0]["id"] == 1
+
+    def test_owned_spans_union(self):
+        dump_a = [span(1, "boot:a", "boot", 0.0, 1.0)]
+        dump_b = [span(1, "boot:b", "boot", 0.0, 2.0)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        assert [s["name"] for s in merged] == ["boot:a", "boot:b"]
+
+    def test_parent_links_remapped(self):
+        dump_a = [span(3, "mockup", "orchestrator", 0.0, 9.0),
+                  span(5, "boot:a", "boot", 1.0, 2.0, parent=3)]
+        dump_b = [span(1, "mockup", "orchestrator", 0.0, 9.0),
+                  span(2, "boot:b", "boot", 1.0, 3.0, parent=1)]
+        merged = merge_span_dumps([dump_a, dump_b])
+        by_name = {s["name"]: s for s in merged}
+        mockup_id = by_name["mockup"]["id"]
+        assert by_name["boot:a"]["parent"] == mockup_id
+        assert by_name["boot:b"]["parent"] == mockup_id
+
+    def test_intra_process_duplicates_survive(self):
+        """Max multiplicity: two identical spans in ONE worker are real."""
+        twice = [span(1, "spf", "ospf", 4.0, 4.1),
+                 span(2, "spf", "ospf", 4.0, 4.1)]
+        once = [span(1, "spf", "ospf", 4.0, 4.1)]
+        merged = merge_span_dumps([twice, once])
+        assert len(merged) == 2
+
+    def test_sorted_numerically_not_lexically(self):
+        """Start times sort as floats: 2.0 before 10.0."""
+        dump = [span(1, "late", "boot", 10.0, 11.0),
+                span(2, "early", "boot", 2.0, 3.0)]
+        merged = merge_span_dumps([dump])
+        assert [s["name"] for s in merged] == ["early", "late"]
+
+    def test_excluded_tracks_dropped(self):
+        dump = [span(1, "relay", "xshard", 0.0, 1.0),
+                span(2, "boot:a", "boot", 0.0, 1.0)]
+        merged = merge_span_dumps([dump])
+        assert [s["name"] for s in merged] == ["boot:a"]
+
+    def test_single_dump_canonicalization_is_idempotent(self):
+        dump = [span(4, "mockup", "orchestrator", 0.0, 9.0),
+                span(9, "boot:a", "boot", 1.0, 2.0, parent=4)]
+        once = merge_span_dumps([dump])
+        twice = merge_span_dumps([once])
+        assert json.dumps(once, sort_keys=True) == json.dumps(
+            twice, sort_keys=True)
+
+
+def trace_record(trace, depth, event, time, shard, vm, seq):
+    return {"trace": trace, "depth": depth, "event": event, "time": time,
+            "shard": shard, "vm": vm, "seq": seq}
+
+
+class TestChannelTraces:
+    def test_records_grouped_and_ordered(self):
+        send = trace_record("t1", 0, "send", 1.0, 0, "vm-b", 3)
+        recv = trace_record("t1", 0, "recv", 1.0003, 1, "vm-b", 3)
+        merged = merge_channel_traces([
+            {"shard": 1, "total": 1, "roots": 0, "dropped": 0,
+             "records": [recv]},
+            {"shard": 0, "total": 1, "roots": 1, "dropped": 0,
+             "records": [send]}])
+        assert list(merged["traces"]) == ["t1"]
+        assert [r["event"] for r in merged["traces"]["t1"]] == [
+            "send", "recv"]
+        assert merged["total"] == 2
+
+    def test_send_sorts_before_recv_at_equal_time(self):
+        send = trace_record("t1", 1, "send", 2.0, 1, "vm-c", 5)
+        recv = trace_record("t1", 0, "recv", 2.0, 1, "vm-b", 4)
+        merged = merge_channel_traces([{"records": [send, recv]}])
+        assert [r["event"] for r in merged["traces"]["t1"]] == [
+            "send", "recv"]
+
+    def test_trace_ids_sorted(self):
+        merged = merge_channel_traces([
+            {"records": [trace_record("z", 0, "send", 1.0, 0, "a", 1),
+                         trace_record("a", 0, "send", 1.0, 0, "a", 2)]}])
+        assert list(merged["traces"]) == ["a", "z"]
+
+    def test_empty_merge(self):
+        merged = merge_channel_traces([])
+        assert merged == {"version": 1, "total": 0, "dropped": 0,
+                          "traces": {}}

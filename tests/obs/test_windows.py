@@ -1,0 +1,94 @@
+"""Unit tests for the window-protocol profiler."""
+
+import pytest
+
+from repro.obs.windows import (
+    NULL_WINDOW_PROFILER,
+    RAW_WINDOW_CAPACITY,
+    WindowProfiler,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+class TestRecording:
+    def test_totals_accumulate(self):
+        prof = WindowProfiler(shard=3)
+        prof.record(0.0, 5.0, 4.0, events=10, msgs_in=2, msgs_out=3,
+                    bytes_out=400, stall_wall=0.01)
+        prof.record(5.0, 5.0, 1.0, events=2, msgs_in=0, msgs_out=1,
+                    bytes_out=100, stall_wall=0.02)
+        doc = prof.to_dict()
+        assert doc["shard"] == 3
+        assert doc["windows"] == 2
+        assert doc["events"] == 12
+        assert doc["granted_s"] == 10.0
+        assert doc["consumed_s"] == 5.0
+        assert doc["utilization"] == 0.5
+        assert doc["msgs_in"] == 2
+        assert doc["msgs_out"] == 4
+        assert doc["bytes_out"] == 500
+        assert doc["stall_wall_s"] == pytest.approx(0.03)
+
+    def test_zero_grant_utilization_is_zero(self):
+        assert WindowProfiler().to_dict()["utilization"] == 0.0
+
+    def test_raw_ring_is_bounded(self):
+        prof = WindowProfiler()
+        for i in range(RAW_WINDOW_CAPACITY + 10):
+            prof.record(float(i), 1.0, 0.0, events=0)
+        doc = prof.to_dict()
+        assert len(doc["recent"]) == RAW_WINDOW_CAPACITY
+        assert doc["windows"] == RAW_WINDOW_CAPACITY + 10  # totals exact
+
+
+class TestQuietRuns:
+    def test_longest_quiet_stretch_tracked(self):
+        prof = WindowProfiler()
+        prof.record(0.0, 5.0, 1.0, events=4)     # busy
+        prof.record(5.0, 5.0, 0.0, events=0)     # quiet x1
+        prof.record(10.0, 5.0, 0.0, events=0)    # quiet x2
+        prof.record(15.0, 5.0, 2.0, events=1)    # busy again
+        prof.record(20.0, 5.0, 0.0, events=0)    # quiet x1
+        doc = prof.to_dict()
+        assert doc["zero_event_windows"] == 3
+        assert doc["longest_quiet"] == {
+            "windows": 2, "span_s": 10.0, "start": 5.0}
+
+    def test_live_quiet_run_counts_in_snapshot(self):
+        prof = WindowProfiler()
+        prof.record(0.0, 5.0, 0.0, events=0)
+        prof.record(5.0, 5.0, 0.0, events=0)
+        doc = prof.to_dict()
+        assert doc["zero_event_windows"] == 2
+        assert doc["longest_quiet"]["windows"] == 2
+
+
+class TestAggregate:
+    def test_fleet_rollup(self):
+        a = WindowProfiler(shard=0)
+        a.record(0.0, 5.0, 5.0, events=10, msgs_out=2, bytes_out=50)
+        b = WindowProfiler(shard=1)
+        b.record(0.0, 5.0, 0.0, events=0, msgs_in=2)
+        agg = WindowProfiler.aggregate([a.to_dict(), b.to_dict()])
+        assert agg["shards"] == 2
+        assert agg["windows"] == 2
+        assert agg["events"] == 10
+        assert agg["granted_s"] == 10.0
+        assert agg["utilization"] == 0.5
+        assert agg["msgs_in"] == 2
+        assert agg["msgs_out"] == 2
+        assert agg["bytes_out"] == 50
+        assert agg["zero_event_windows"] == 1
+
+    def test_empty_fleet(self):
+        agg = WindowProfiler.aggregate([])
+        assert agg["shards"] == 0
+        assert agg["utilization"] == 0.0
+
+
+class TestNullTwin:
+    def test_inert(self):
+        NULL_WINDOW_PROFILER.record(0.0, 5.0, 5.0, events=3)
+        assert NULL_WINDOW_PROFILER.to_dict() == {}
+        assert NULL_WINDOW_PROFILER.windows == 0

@@ -209,6 +209,26 @@ def test_shard_artifact_schema(shard_report):
             "claim_met"} <= set(shard_report["headline"])
 
 
+def test_shard_artifact_embeds_window_profile(shard_report):
+    """The headline run's window-protocol telemetry is committed with
+    the artifact (``netscope windows BENCH_shard.json`` renders it) and
+    must account for every window grant and channel crossing that the
+    protocol counters recorded."""
+    head = shard_report["headline"]
+    head_row = (shard_report["scales"][head["scale"]]
+                ["sharded"][str(head["workers"])])
+    profile = shard_report["window_profile"]
+    assert len(profile["shards"]) == head["workers"]
+    agg = profile["aggregate"]
+    assert agg["windows"] == head_row["windows"], (agg, head_row)
+    assert agg["msgs_out"] + agg["msgs_in"] == head_row[
+        "channel_messages"], (agg, head_row)
+    assert agg["granted_s"] >= agg["consumed_s"] > 0.0, agg
+    assert agg["bytes_out"] > 0, agg
+    for shard in profile["shards"]:
+        assert shard["granted_s"] >= shard["consumed_s"], shard
+
+
 def test_shard_artifact_trajectories_identical(shard_report):
     """Machine-independent half of the contract: sharding never perturbs
     the converged state, whatever the wall clock did."""

@@ -1,0 +1,180 @@
+"""The telemetry plane is shard-count-invariant where it describes the
+*run*, and exact where it describes the *processes*.
+
+Same pinned S-DC, both vendor-profile assignments, ``REPRO_SHARDS``
+unset / K=1 / K=4: the canonical trace dump and the comparable metric
+projection must be byte-identical across backends, the K=4 window
+profile must account for every channel message the counters saw, and a
+repeated K=4 run must merge to byte-identical channel traces.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.obs.merge import comparable_metric_dict
+from repro.topology import SDC, build_clos
+
+pytestmark = [pytest.mark.shard, pytest.mark.telemetry]
+
+VENDOR_PROFILES = {
+    "paper": None,  # ToRs CTNR-B, the rest CTNR-A (§8.1)
+    "inverted": {"tor": "ctnr-a", "leaf": "ctnr-b", "spine": "ctnr-b",
+                 "border": "ctnr-b", "wan": "vm-b"},
+}
+SHARD_CASES = ("unset", 1, 4)
+
+
+def snapshot(shards, vendors):
+    """Converge one pinned S-DC and freeze its telemetry exports."""
+    params = SDC() if vendors is None else dataclasses.replace(
+        SDC(), vendors=vendors)
+    net = CrystalNet(emulation_id="t-tele", seed=5, shards=shards)
+    net.prepare(build_clos(params))
+    net.mockup()
+    try:
+        merged = net.metrics_dump()
+        result = {
+            "trace": json.dumps(net.trace_dump(), sort_keys=True),
+            "comparable": json.dumps(comparable_metric_dict(merged),
+                                     sort_keys=True, default=str),
+            "metrics": merged,
+            "windows": net.window_profile(),
+            "channel": json.dumps(net.channel_traces(), sort_keys=True),
+            "memory": net.memory_report(),
+            "flight_total": net.obs.flight.total,
+        }
+    finally:
+        net.close()
+    return result
+
+
+@pytest.fixture(scope="module", params=sorted(VENDOR_PROFILES),
+                ids=sorted(VENDOR_PROFILES))
+def trio(request):
+    vendors = VENDOR_PROFILES[request.param]
+    saved = os.environ.pop("REPRO_SHARDS", None)
+    try:
+        result = {case: snapshot(None if case == "unset" else case, vendors)
+                  for case in SHARD_CASES}
+    finally:
+        if saved is not None:
+            os.environ["REPRO_SHARDS"] = saved
+    return result
+
+
+def test_trace_dump_byte_identical(trio):
+    """One causal story per run: the K=1 and K=4 span merges reproduce
+    the single-process canonical trace byte-for-byte."""
+    assert trio[1]["trace"] == trio["unset"]["trace"]
+    assert trio[4]["trace"] == trio["unset"]["trace"]
+
+
+def test_trace_dump_is_non_trivial(trio):
+    doc = json.loads(trio["unset"]["trace"])
+    tracks = {span["track"] for span in doc["spans"]}
+    assert {"orchestrator", "boot"} <= tracks
+    assert len(doc["spans"]) > 10
+
+
+def test_comparable_metrics_byte_identical(trio):
+    """The shard-count-invariant metric projection agrees across
+    backends — including the swallowed-error counters."""
+    assert trio[1]["comparable"] == trio["unset"]["comparable"]
+    assert trio[4]["comparable"] == trio["unset"]["comparable"]
+    assert "repro_swallowed_errors_total" in json.loads(
+        trio["unset"]["comparable"])
+
+
+def test_window_profile_covers_every_channel_message(trio):
+    """Granted vs consumed lookahead is reported per shard, and the
+    per-window message accounting sums to the channel counters."""
+    profile = trio[4]["windows"]
+    assert len(profile["shards"]) == 4
+    agg = profile["aggregate"]
+    assert agg["windows"] > 0
+    assert agg["granted_s"] >= agg["consumed_s"] > 0.0
+    assert 0.0 < agg["utilization"] <= 1.0
+    for shard_profile in profile["shards"]:
+        assert shard_profile["granted_s"] >= shard_profile["consumed_s"]
+    sent = sum(s["value"] for s in trio[4]["metrics"]
+               ["repro_shard_messages_sent_total"]["samples"])
+    received = sum(s["value"] for s in trio[4]["metrics"]
+                   ["repro_shard_messages_received_total"]["samples"])
+    assert agg["msgs_out"] == sent
+    assert agg["msgs_in"] == received
+    assert agg["bytes_out"] > 0
+
+
+def test_unsharded_window_profile_is_empty(trio):
+    profile = trio["unset"]["windows"]
+    assert profile["shards"] == []
+    assert profile["aggregate"]["windows"] == 0
+
+
+def test_channel_traces_span_workers(trio):
+    doc = json.loads(trio[4]["channel"])
+    assert doc["total"] > 0
+    assert doc["traces"]
+    crossings = 0
+    for records in doc["traces"].values():
+        events = [r["event"] for r in records]
+        assert events[0] == "send"
+        shards = {r["shard"] for r in records}
+        if len(shards) > 1:
+            crossings += 1
+    assert crossings > 0  # at least one chain is visible on both sides
+
+
+def test_unsharded_channel_traces_empty(trio):
+    doc = json.loads(trio["unset"]["channel"])
+    assert doc["total"] == 0
+    assert doc["traces"] == {}
+
+
+def test_memory_report_network_sums_invariant(trio):
+    """Partitioned subsystems (Loc-RIB, Adj-RIB-Out, FIB) sum across
+    shards to the single-process values — ghosts hold no state."""
+    base = trio["unset"]["memory"]["network"]
+    assert base["fib"] > 0
+    assert base["loc-rib"] > 0
+    assert trio[1]["memory"]["network"] == base
+    assert trio[4]["memory"]["network"] == base
+    assert len(trio[4]["memory"]["per_shard"]) == 4
+
+
+def test_flight_recorder_always_on(trio):
+    """The parent's recorder saw lifecycle moments on every backend."""
+    for case in SHARD_CASES:
+        assert trio[case]["flight_total"] > 0
+
+
+def test_repeated_k4_run_is_byte_identical():
+    """Channel traces and window profiles are pure functions of the
+    pinned-seed trajectory: a rerun merges to identical documents."""
+    saved = os.environ.pop("REPRO_SHARDS", None)
+    try:
+        first = snapshot(4, None)
+        second = snapshot(4, None)
+    finally:
+        if saved is not None:
+            os.environ["REPRO_SHARDS"] = saved
+    assert first["channel"] == second["channel"]
+    assert first["trace"] == second["trace"]
+    assert _sim_profile(first["windows"]) == _sim_profile(second["windows"])
+
+
+def _sim_profile(profile):
+    """The window profile minus its wall-clock fields (grant-wait stalls
+    are measured with a monotonic clock, so they legitimately vary
+    between reruns); everything else is sim-deterministic."""
+
+    def strip(doc):
+        return {k: ([strip(e) for e in v] if isinstance(v, list)
+                    else strip(v) if isinstance(v, dict) else v)
+                for k, v in doc.items() if not k.startswith("stall_wall")}
+
+    return json.dumps(strip(profile), sort_keys=True)
