@@ -33,8 +33,10 @@ class Stopwatch:
 
 def emit(name, *, data=None, registry=None, sim_time=None, wall_time=None):
     """Write ``BENCH_<name>.json`` and return its path."""
+    from repro.obs.schema import SCHEMA_VERSION
     payload = {
         "benchmark": name,
+        "schema_version": SCHEMA_VERSION,
         "sim_time_seconds": (None if sim_time is None
                              else round(float(sim_time), 3)),
         "wall_time_seconds": (None if wall_time is None

@@ -127,6 +127,7 @@ class SpeakerOS:
                 on_down=self._on_down,
                 on_update=self._on_update,
             )
+            session.hostname = self.hostname
             self.sessions[neighbor.peer_ip.value] = session
             session.start(initiator=self._initiates_to(neighbor.peer_ip))
 

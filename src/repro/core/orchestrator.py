@@ -32,7 +32,9 @@ from ..firmware.device import DeviceOS, PacketRecord
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..net.ip import IPv4Address
 from ..obs import MemoryMonitor, NULL_MEMORY_MONITOR, Observability
+from ..obs.critpath import CriticalPathRecorder, NULL_CRITPATH
 from ..obs.flight import write_flight_artifact
+from ..obs.schema import SCHEMA_VERSION
 from ..provenance import (
     NULL_PROVENANCE,
     ProvenanceTracker,
@@ -176,7 +178,8 @@ class CrystalNet:
                  clouds: Optional[List[Cloud]] = None,
                  obs: Optional[Observability] = None,
                  provenance: bool = True,
-                 shards: Optional[int] = None):
+                 shards: Optional[int] = None,
+                 critpath: Optional[bool] = None):
         """``clouds``: run the emulation across several (federated) clouds
         (§3.1); VMs are spread round-robin and cross-cloud links punch the
         NATs automatically.  Defaults to a single cloud.
@@ -196,7 +199,14 @@ class CrystalNet:
         causal hop chains on every RIB/FIB entry, queryable via
         :meth:`explain` and the ``netscope`` CLI.  Chains are excluded
         from route equality, so tracing never alters protocol behaviour;
-        pass False to skip chain bookkeeping entirely."""
+        pass False to skip chain bookkeeping entirely.
+
+        ``critpath``: causal critical-path recording (repro.obs.critpath)
+        — every scheduled event remembers its scheduling parent, so
+        :meth:`critical_path` can explain where convergence time went.
+        Defaults to the ``REPRO_CRITPATH`` environment variable (``1``
+        enables); when off, the engine pays one identity check per
+        dispatched event."""
         self.env = env or Environment()
         self.obs = (obs if obs is not None
                     else Observability(self.env)).bind(self.env)
@@ -214,6 +224,18 @@ class CrystalNet:
         # (workers re-create theirs with their shard label on fork).
         self._mem = (MemoryMonitor(self.obs) if self.obs.enabled
                      else NULL_MEMORY_MONITOR)
+        # Causal critical-path recording (repro.obs.critpath).  The live
+        # recorder installs itself as env.critpath; disabled runs keep
+        # that engine field None so the dispatch loop stays at one
+        # identity check per event.
+        if critpath is None:
+            critpath = os.environ.get("REPRO_CRITPATH", "").strip() == "1"
+        self.critpath = (CriticalPathRecorder(self.env) if critpath
+                         else NULL_CRITPATH)
+        # Convergence-window endpoints for critical-path analysis
+        # (mockup begin / quiescence onset, in sim time).
+        self._mockup_start: Optional[float] = None
+        self._quiet_since: Optional[float] = None
         if clouds:
             from ..virt.federation import CloudFederation
             federation = CloudFederation(self.env)
@@ -466,6 +488,11 @@ class CrystalNet:
         self._coordinator = ShardCoordinator(
             self, plan, route_ready_timeout=route_ready_timeout)
         result = self._coordinator.run_mockup()
+        # Analysis window for critical_path(): every worker recorded the
+        # same mockup-start sim time (replicated skeleton), and the
+        # coordinator adjudicated one quiescence onset for the fleet.
+        self._mockup_start = result.shard_stats[0].get("mockup_start")
+        self._quiet_since = result.quiet_since
         self.metrics.network_ready_latency = result.network_ready_latency
         self.metrics.route_ready_latency = result.route_ready_latency
         self.metrics.link_count = result.link_count
@@ -492,6 +519,7 @@ class CrystalNet:
         if self.mocked_up:
             raise OrchestratorError("already mocked up; Clear first")
         start = self.env.now
+        self._mockup_start = start
         tracer = self.obs.tracer
         mockup_span = tracer.begin("mockup", track="orchestrator")
         net_ready_span = tracer.begin("network-ready", track="orchestrator",
@@ -536,7 +564,9 @@ class CrystalNet:
             self.links[frozenset((link.dev_a, link.dev_b))] = data_link
             batch += 1
             if batch % LINK_BATCH_SIZE == 0:
-                yield self.env.timeout(LINK_BATCH_LATENCY)
+                pause = self.env.timeout(LINK_BATCH_LATENCY)
+                pause.name = "link-batch"  # critpath waterfall label
+                yield pause
         # Links are up once every VM has drained its setup work: a zero-cost
         # task on a FCFS CPU completes after everything queued before it.
         yield self.env.all_of([vm.cpu.execute(0.0)
@@ -642,6 +672,7 @@ class CrystalNet:
                     # Converged: force a final walk so the memory gauges
                     # report the exact settled state (poll() decimates).
                     self._mem.sample(self)
+                    self._quiet_since = quiet_since
                     self.metrics.route_ready_latency = (
                         quiet_since - network_ready_at)
                     if span is not None:
@@ -655,7 +686,9 @@ class CrystalNet:
                     return
             else:
                 quiet_since = None
-            yield self.env.timeout(ROUTE_READY_POLL)
+            pause = self.env.timeout(ROUTE_READY_POLL)
+            pause.name = "route-ready-poll"  # classified idle, not work
+            yield pause
         if span is not None:
             span.annotate(timed_out=True).finish()
         # The black box outlives the exception: recent phase transitions,
@@ -771,6 +804,10 @@ class CrystalNet:
             # Re-key the fork-inherited telemetry to this worker.
             self._mem = MemoryMonitor(self.obs, shard=str(shard_id))
             self.obs.flight.shard = shard_id
+        if self.env.critpath is not None:
+            # The recorder (and its prepare-phase forest) came through
+            # the fork; only its shard label needs this worker's id.
+            self.env.critpath.shard = shard_id
         ctx = ShardWorkerContext(shard_id=shard_id, shards=plan.shards,
                                  owned=owned, router=router)
         self._shard_ctx = ctx
@@ -829,6 +866,8 @@ class CrystalNet:
         # Final memory walk: the converged gauge values ship with this
         # worker's registry at finalize (poll-time sampling is decimated).
         self._mem.sample(self)
+        self._mockup_start = ctx.mockup_start
+        self._quiet_since = quiet_since
         self.metrics.route_ready_latency = route_ready_latency
         if ctx.route_ready_span is not None:
             ctx.route_ready_span.finish(end=quiet_since)
@@ -1085,7 +1124,8 @@ class CrystalNet:
         else:
             spans = merge_span_dumps(
                 [[span.to_dict() for span in self.obs.tracer.spans]])
-        return {"version": 1, "spans": spans}
+        return {"version": 1, "schema_version": SCHEMA_VERSION,
+                "spans": spans}
 
     def window_profile(self) -> dict:
         """Per-shard window-protocol profiles + the fleet aggregate
@@ -1094,7 +1134,8 @@ class CrystalNet:
         from ..obs.windows import WindowProfiler
         profiles = (list(self._coordinator.window_profiles)
                     if self._coordinator is not None else [])
-        return {"version": 1, "shards": profiles,
+        return {"version": 1, "schema_version": SCHEMA_VERSION,
+                "shards": profiles,
                 "aggregate": WindowProfiler.aggregate(profiles)}
 
     def channel_traces(self) -> dict:
@@ -1104,6 +1145,29 @@ class CrystalNet:
         if self._coordinator is not None:
             return self._coordinator.channel_traces()
         return merge_channel_traces([])
+
+    def critical_path(self, k: int = 5) -> dict:
+        """The analyzed critical-path document for the last mockup
+        (``netscope critpath``'s input): top-``k`` sim-time-weighted
+        causal chains from boot to route-ready, with a per-phase /
+        per-device waterfall, slack, and attribution coverage.
+
+        Needs ``critpath=True`` / ``REPRO_CRITPATH=1``.  For a pinned
+        seed the document is byte-identical whatever the shard count —
+        chains are canonicalized to event content, so process-local ids
+        and the replicated skeleton's duplicates collapse.
+        """
+        from ..obs.critpath import analyze
+        if not self.critpath.enabled:
+            raise OrchestratorError(
+                "critical-path recording is off; construct with "
+                "critpath=True or set REPRO_CRITPATH=1")
+        if self._coordinator is not None:
+            exports, start, horizon = self._coordinator.critical_paths()
+            return analyze(exports, start=start, horizon=horizon, k=k)
+        return analyze([self.critpath.export(horizon=self._quiet_since)],
+                       start=self._mockup_start,
+                       horizon=self._quiet_since, k=k)
 
     def memory_report(self) -> dict:
         """Where the bytes go, from the ``repro_mem_entries`` gauges.
@@ -1129,7 +1193,7 @@ class CrystalNet:
         process_max = {s: max((per_shard[k].get(s, 0) for k in per_shard),
                               default=0)
                        for s in SUBSYSTEMS if s not in partitioned}
-        return {"version": 1,
+        return {"version": 1, "schema_version": SCHEMA_VERSION,
                 "per_shard": {k: per_shard[k] for k in sorted(per_shard)},
                 "network": network, "process_max": process_max}
 

@@ -123,6 +123,7 @@ class BgpDaemon:
         self.streams = streams
         self.config = config
         self.bgp_config = config.bgp
+        self.hostname = config.hostname
         self.vendor = vendor
         self.worker = worker
         # crc32, not hash(): str hash() is salted per interpreter, so the
@@ -251,6 +252,7 @@ class BgpDaemon:
                 on_update=self._on_session_update,
                 on_transition=self._on_transition,
             )
+            session.hostname = self.hostname
             self.sessions[neighbor.peer_ip.value] = session
             session.start(initiator=self._initiates_to(neighbor.peer_ip))
         self._schedule_decision()
@@ -655,8 +657,13 @@ class BgpDaemon:
             return
         self._flush_scheduled = True
         delay = self.vendor.advertisement_interval * self.rng.uniform(0.5, 1.0)
-        self.env.timer(delay, self.worker.submit,
-                       self.vendor.update_base_cost, self._flush)
+        self.env.timer(delay, self._mrai_fire)
+
+    def _mrai_fire(self) -> None:
+        # Named MRAI edge: same timer, one extra frame.  The critical-path
+        # recorder classifies this label as the advertisement-interval
+        # wait, which the what-if estimator re-weights.
+        self.worker.submit(self.vendor.update_base_cost, self._flush)
 
     def _flush(self) -> None:
         self._flush_scheduled = False

@@ -10,6 +10,17 @@ Standard ordering:
 6. eBGP over iBGP
 7. lowest peer router address (deterministic final tie-break)
 
+Because step 5 only applies within one neighbor AS, pairwise preference
+is not transitive: three routes can form a cycle (A beats B on the
+tie-break, B beats C on the tie-break, C beats A on MED), so a naive
+fold over the candidate list is order-dependent.  ``select`` therefore
+runs *deterministic MED* (the ``bgp deterministic-med`` behaviour
+production deployments enable): candidates are grouped by neighbor AS,
+each group elects its winner (MED applies inside a group), and the
+group winners — between which MED never applies — are folded into the
+overall best.  Both folds are over total orders, so selection is
+independent of candidate order.
+
 ``select`` returns (best, multipath): the multipath set is every candidate
 equal to the best through step 4 with distinct next hops (multipath-relax,
 as datacenter BGP deployments configure).  A vendor hook can override the
@@ -145,8 +156,24 @@ def select(candidates: Sequence[Route], multipath: bool = True,
         # Single candidate: it wins and forms the whole ECMP group.
         best = candidates[0]
         return best, (best,)
-    best = candidates[0]
-    for route in candidates[1:]:
+    # Deterministic MED: elect a winner per neighbor-AS group first
+    # (``compare`` applies MED inside a group, where it is a total
+    # order), then fold the group winners (between which the MED step
+    # never fires).  A direct fold over the candidates would be
+    # order-dependent whenever same-AS routes carry different MEDs —
+    # the classic MED preference cycle.  When no MEDs differ the MED
+    # step never decides anything and this is identical to the naive
+    # fold, so fabric emulations (which never set MED) are unchanged.
+    group_best: dict = {}
+    for route in candidates:
+        path = route.attrs.as_path
+        key = path[0] if path else -1
+        held = group_best.get(key)
+        group_best[key] = (route if held is None
+                           else compare(held, route, tie_breaker))
+    winners = iter(group_best.values())
+    best = next(winners)
+    for route in winners:
         best = compare(best, route, tie_breaker)
     if not multipath:
         return best, (best,)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, FrozenSet, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from ...net.ip import IPv4Address, Prefix
 
@@ -65,15 +65,6 @@ class PathAttributes:
     communities: FrozenSet[str] = frozenset()
     atomic_aggregate: bool = False
     aggregator_asn: Optional[int] = None
-
-    # Hash-cons table and switch; flip with REPRO_NO_FASTPATH=1 or
-    # ``PathAttributes.interning = False`` (tests/benchmarks A/B runs).
-    _intern_table: ClassVar[Dict["PathAttributes", "PathAttributes"]] = {}
-    # Derivation memo: (base, op, args) -> canonical result, so the hot
-    # prepend/replace/with_next_hop calls skip construction entirely on
-    # repeat — every flush derives the same handful of attribute sets.
-    _derive_table: ClassVar[Dict[tuple, "PathAttributes"]] = {}
-    interning: ClassVar[bool] = True
 
     def __post_init__(self):
         object.__setattr__(self, "_hash", hash(
@@ -200,6 +191,22 @@ class PathAttributes:
             (self, "replace", tuple(changes.items())),
             lambda: self._build_replace(changes))
 
+
+# Hash-cons table, derivation memo, and interning switch.  Assigned as
+# plain class attributes AFTER the class body, never as annotated
+# ClassVars: dataclass machinery records annotated ClassVars in
+# ``__dataclass_fields__``, and introspection tools that walk it
+# (hypothesis's pretty-printer renders every init field of a dataclass)
+# would then print the whole populated intern table inside every
+# instance — recursively, since the table's entries are themselves
+# PathAttributes.  Flip interning with REPRO_NO_FASTPATH=1 or
+# ``PathAttributes.interning = False`` (tests/benchmarks A/B runs).
+# The derivation memo maps (base, op, args) -> canonical result, so the
+# hot prepend/replace/with_next_hop calls skip construction entirely on
+# repeat — every flush derives the same handful of attribute sets.
+PathAttributes._intern_table = {}
+PathAttributes._derive_table = {}
+PathAttributes.interning = True
 
 if os.environ.get("REPRO_NO_FASTPATH") == "1":  # pragma: no cover
     PathAttributes.interning = False

@@ -53,6 +53,9 @@ class BgpSession:
         self.streams = streams
         self.neighbor = neighbor
         self.peer_ip = neighbor.peer_ip
+        # Owner device name, set by the daemon/speaker that created us;
+        # used only for labelling (critical-path recorder, diagnostics).
+        self.hostname = ""
         self.local_asn = local_asn
         self.router_id = router_id
         self.hold_time = hold_time
@@ -151,7 +154,7 @@ class BgpSession:
         # A SYN into a dead link is silently dropped; give up on this
         # attempt after the retry interval so the FSM keeps trying.
         self._connect_timer = self.env.timer(
-            self.connect_retry, lambda: self._connect_timeout(conn))
+            self.connect_retry, self._connect_timeout, conn)
 
     def _connect_timeout(self, conn: Connection) -> None:
         if conn.state == "connecting":

@@ -128,9 +128,11 @@ class DeviceOS:
                                    name=f"{self.hostname}.worker")
         self.cli = VendorCli(self)
         # Vendor software initialization delay before protocols come up.
+        # A named Timer (same single heap push as call_later) so the
+        # critical-path recorder labels this edge as the device's boot
+        # delay rather than an anonymous timeout.
         delay = self.rng.uniform(*self.vendor.boot_delay_range)
-        boot_id = self.boot_count
-        self.env.call_later(delay, lambda: self._start_protocols(boot_id))
+        self.env.timer(delay, self._start_protocols, self.boot_count)
 
     def on_stop(self) -> None:
         if self.bgp is not None:

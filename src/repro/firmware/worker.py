@@ -74,5 +74,11 @@ class SerialWorker:
                     return
                 if self._stopped:
                     return
+                critpath = self.env.critpath
+                if critpath is not None:
+                    # Rename the generic <vm>.cpu:task completion after
+                    # the routing work it actually ran, so critical-path
+                    # waterfalls attribute time to devices, not VMs.
+                    critpath.relabel_current(fn, self.name)
                 fn(*args)
                 self.jobs_done += 1

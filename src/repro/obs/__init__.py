@@ -22,6 +22,11 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from .critpath import (
+    CriticalPathRecorder,
+    NULL_CRITPATH,
+    NullCriticalPathRecorder,
+)
 from .events import EventLog, EventRecord, NULL_EVENT_LOG, NullEventLog
 from .flight import (
     FlightRecorder,
@@ -40,12 +45,14 @@ from .metrics import (
     NullRegistry,
 )
 from .profile import ConvergenceProfiler
+from .schema import SCHEMA_VERSION, SchemaMismatch, check_schema
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 from .windows import NULL_WINDOW_PROFILER, NullWindowProfiler, WindowProfiler
 
 __all__ = [
     "ConvergenceProfiler",
     "Counter",
+    "CriticalPathRecorder",
     "EventLog",
     "EventRecord",
     "FlightRecorder",
@@ -53,6 +60,7 @@ __all__ = [
     "Histogram",
     "MemoryMonitor",
     "MetricsRegistry",
+    "NULL_CRITPATH",
     "NULL_EVENT_LOG",
     "NULL_FLIGHT",
     "NULL_MEMORY_MONITOR",
@@ -60,6 +68,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NULL_WINDOW_PROFILER",
+    "NullCriticalPathRecorder",
     "NullEventLog",
     "NullFlightRecorder",
     "NullMemoryMonitor",
@@ -68,10 +77,13 @@ __all__ = [
     "NullTracer",
     "NullWindowProfiler",
     "Observability",
+    "SCHEMA_VERSION",
+    "SchemaMismatch",
     "Span",
     "Tracer",
     "Watchdog",
     "WindowProfiler",
+    "check_schema",
     "instrument_environment",
     "write_flight_artifact",
 ]

@@ -1,0 +1,605 @@
+"""Causal critical-path analysis: where convergence time actually goes.
+
+Every scheduled event has exactly one *scheduling parent* — the event
+that was being dispatched when it was pushed onto the heap — so the
+causal history of a run is a forest, and "why did route-ready take 24
+seconds?" has a concrete answer: the longest sim-time-weighted ancestor
+chain ending at the last piece of routing work.  This module records
+that forest and extracts the answer.
+
+Recording (:class:`CriticalPathRecorder`, installed as ``env.critpath``)
+rides the engine's three heap-push sites plus the dispatch loop, and is
+precise about the joins that a naive parent rule would misattribute:
+
+* **CPU completions** — :meth:`CpuScheduler.execute` succeeds its done
+  event eagerly at submit time, so the parent is the submitter and the
+  edge weight is queue-wait plus cost, which is the quantity Figures 8/9
+  are about.
+* **Serial workers** — the per-device FIFO worker relabels the generic
+  ``<vm>.cpu:task`` completion with the job it actually ran (for
+  example ``BgpDaemon._run_decision@r3.worker``), so the waterfall
+  names routing work, not VMs.  When the worker was busy the parent is
+  the previous job (the serialization *is* the binding dependency);
+  when it was idle the parent is the submitter's wake event.
+* **Underlay deliveries** — per-VM ingress queues coalesce same-instant
+  arrivals under one drain timer, whose identity differs between the
+  sharded and unsharded backends.  Each delivery therefore becomes its
+  own synthetic node whose parent is the *send* of that specific packet
+  (content-addressed, like PR 6's trace roots), never the drain timer —
+  which is also what lets a cross-shard delivery stitch to its sending
+  worker's node via the channel key ``src>dst#seq``.
+
+Analysis (:func:`analyze`) canonicalizes chains to ``(sim-time, label)``
+content — engine sequence numbers never surface — so the output is
+byte-identical across ``REPRO_SHARDS`` unset/K=1/K=4: the replicated
+skeleton's duplicate chains collapse by content, exactly like
+``merge_span_dumps``.  On top of the chains it builds a per-phase /
+per-device waterfall, slack for near-critical chains, and
+:func:`what_if` re-weights edge classes (MRAI, underlay latency) to
+predict convergence under changed parameters without re-running.
+
+The recorder is opt-in (``REPRO_CRITPATH=1`` or
+``CrystalNet(critpath=True)``); :data:`NULL_CRITPATH` is the usual
+no-op twin and ``env.critpath is None`` keeps the disabled engine at
+one identity check per event (gated <10% by
+``benchmarks/bench_critpath_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Tuple
+
+from .schema import SCHEMA_VERSION
+
+__all__ = [
+    "ANCHOR_CLASSES",
+    "CriticalPathRecorder",
+    "NULL_CRITPATH",
+    "NullCriticalPathRecorder",
+    "analyze",
+    "classify_label",
+    "device_of_label",
+    "to_dot",
+    "what_if",
+]
+
+# How many recent anchor candidates each process exports; the analyzer
+# re-selects globally, so this only needs to cover the global tail.
+ANCHOR_LIMIT = 32
+
+# Top-k chains shipped in the analyzed document by default.
+DEFAULT_TOP_K = 5
+
+# Label classes that terminate a convergence chain: actual routing work.
+# Keepalive/hold maintenance and raw deliveries keep happening after the
+# network converged, so anchoring on them would measure quiescence
+# detection, not convergence.
+ANCHOR_CLASSES = ("bgp-work", "ospf-work", "mrai")
+
+# Segment classes that count as "attributed" in the coverage metric;
+# everything else ("idle" timeouts, "other") is unexplained time.
+NAMED_CLASSES = ("underlay", "cpu", "mrai", "boot", "bgp-work", "ospf-work",
+                 "bgp-fsm", "tcp", "link", "keepalive", "lifecycle", "sched")
+
+_QUAL_CLASSES = {
+    "BgpDaemon._mrai_fire": "mrai",
+    "DeviceOS._start_protocols": "boot",
+    "BgpSession._send_keepalive": "keepalive",
+    "BgpSession._hold_check": "keepalive",
+}
+
+_PREFIX_CLASSES = (
+    ("BgpSession.", "bgp-fsm"),
+    ("BgpDaemon.", "bgp-work"),
+    ("SpeakerOS.", "bgp-work"),
+    ("OspfDaemon.", "ospf-work"),
+    ("Connection.", "tcp"),
+    ("StreamManager.", "tcp"),
+    ("DataLink.", "link"),
+    ("Bridge.", "link"),
+    ("VethPair.", "link"),
+    ("VirtualMachine.", "underlay"),
+    ("SerialWorker.", "sched"),
+    ("HostStack.", "link"),
+)
+
+_LIFECYCLE_PREFIXES = ("start:", "spawn:", "init:", "link-batch")
+
+_IDLE_LABELS = ("timeout", "timer", "event", "all_of", "any_of")
+
+
+def classify_label(label: str) -> str:
+    """Map a node label to its phase/edge class (pure, deterministic)."""
+    if label.startswith("underlay>"):
+        return "underlay"
+    base = label.partition("@")[0]
+    cls = _QUAL_CLASSES.get(base)
+    if cls is not None:
+        return cls
+    for prefix, cls in _PREFIX_CLASSES:
+        if base.startswith(prefix):
+            return cls
+    if base.endswith(".cpu:task"):
+        return "cpu"
+    if base.startswith(_LIFECYCLE_PREFIXES):
+        return "lifecycle"
+    if base.endswith((".wake", ".loop")):
+        return "sched"
+    if base in _IDLE_LABELS or base.startswith("route-ready"):
+        return "idle"
+    return "other"
+
+
+def device_of_label(label: str) -> str:
+    """Best-effort device/VM attribution for one label ('' if none)."""
+    if "@" in label:
+        who = label.rsplit("@", 1)[1]
+        return who[:-7] if who.endswith(".worker") else who
+    if label.startswith("underlay>"):
+        return label[len("underlay>"):]
+    cut = label.find(".cpu:task")
+    if cut > 0:
+        return label[:cut]
+    for prefix in ("start:", "spawn:"):
+        if label.startswith(prefix):
+            name = label[len(prefix):]
+            for ctr in ("os-", "phynet-", "speaker-"):
+                if name.startswith(ctr):
+                    return name[len(ctr):]
+            return name
+    return ""
+
+
+class CriticalPathRecorder:
+    """Append-only causal forest for one simulator process.
+
+    Node ids are engine sequence numbers (positive) for dispatched
+    events and negative integers for synthetic delivery nodes; ``0`` is
+    the no-parent sentinel.  Ids are process-local bookkeeping only —
+    exports are canonicalized to content before anything is compared.
+    """
+
+    enabled = True
+
+    def __init__(self, env, shard: int = 0):
+        self.env = env
+        self.shard = shard
+        self._base = env._seq
+        self._current = 0          # node id whose dispatch we are inside
+        self._last_seq = 0         # last *event* node id (for relabel)
+        self._saved = 0            # _current stacked across one delivery
+        # Scheduling parents, indexed by (seq - base - 1): every heap
+        # push appends exactly once, in seq order.
+        self._parents = array("q")
+        # Dispatched event nodes (parallel arrays).
+        self._n_id = array("q")
+        self._n_parent = array("q")
+        self._n_time = array("d")
+        self._n_label = array("l")
+        # Synthetic delivery nodes (id = -(index + 1)).
+        self._d_parent = array("q")
+        self._d_time = array("d")
+        self._d_label = array("l")
+        # Interned labels.
+        self._labels: List[str] = []
+        self._label_ids: Dict[str, int] = {}
+        self._timer_memo: Dict[tuple, int] = {}
+        self._deliver_memo: Dict[str, int] = {}
+        # In-flight underlay packets: (vm, src_key, seq) -> parent node
+        # id (same process) or channel key string (cross-shard).
+        self._ingress: Dict[tuple, object] = {}
+        # Cross-shard stitches, by PR 6's content key "src>dst#seq".
+        self._xsend: Dict[str, int] = {}
+        self._xrecv: Dict[int, str] = {}
+        # Pre-bound appends: the hooks below run once per simulated
+        # event, so each saved attribute lookup is measurable at L-DC
+        # scale (~750K causal nodes per run).
+        self._push_parent = self._parents.append
+        self._push_id = self._n_id.append
+        self._push_node_parent = self._n_parent.append
+        self._push_time = self._n_time.append
+        self._push_label = self._n_label.append
+        env.critpath = self
+
+    # -- engine hooks (hot) ----------------------------------------------
+    # These run once per heap push / pop; everything is a local-bound
+    # array append (no dicts, no objects) except the first sighting of a
+    # label, which interns it.
+
+    def on_schedule(self) -> None:
+        self._push_parent(self._current)
+
+    def on_dispatch(self, seq: int, when: float, event) -> None:
+        idx = seq - self._base - 1
+        if idx >= 0:
+            try:
+                parent = self._parents[idx]
+            except IndexError:
+                parent = 0
+        else:
+            parent = 0  # scheduled before recording started
+        name = event.name
+        if name == "timer":
+            label = self._timer_label(event._fn)
+        else:
+            label = self._label_ids.get(name)
+            if label is None:
+                label = self._intern(name or "event")
+        self._push_id(seq)
+        self._push_node_parent(parent)
+        self._push_time(when)
+        self._push_label(label)
+        self._current = seq
+        self._last_seq = seq
+
+    # -- delivery hooks (per underlay packet) ----------------------------
+
+    def note_enqueue(self, vm_name: str, src_key: int, seq: int) -> None:
+        self._ingress[(vm_name, src_key, seq)] = self._current
+
+    def note_channel_send(self, key: str) -> None:
+        self._xsend[key] = self._current
+
+    def note_channel_recv(self, vm_name: str, src_key: int, seq: int,
+                          key: str) -> None:
+        self._ingress[(vm_name, src_key, seq)] = key
+
+    def begin_delivery(self, vm_name: str, src_key: int, seq: int) -> None:
+        src = self._ingress.pop((vm_name, src_key, seq), 0)
+        nid = -(len(self._d_time) + 1)
+        if type(src) is str:
+            self._xrecv[nid] = src
+            parent = 0
+        else:
+            parent = src
+        label = self._deliver_memo.get(vm_name)
+        if label is None:
+            label = self._intern(f"underlay>{vm_name}")
+            self._deliver_memo[vm_name] = label
+        self._d_parent.append(parent)
+        self._d_time.append(self.env.now)
+        self._d_label.append(label)
+        self._saved = self._current
+        self._current = nid
+
+    def end_delivery(self) -> None:
+        self._current = self._saved
+
+    def relabel_current(self, fn, owner: str) -> None:
+        """Rename the node being dispatched after the work it ran (called
+        by :class:`SerialWorker` right before executing a job)."""
+        if self._current != self._last_seq:
+            return
+        func = getattr(fn, "__func__", fn)
+        key = (func, owner)
+        label = self._timer_memo.get(key)
+        if label is None:
+            qual = getattr(func, "__qualname__", None) or repr(func)
+            label = self._intern(f"{qual}@{owner}")
+            self._timer_memo[key] = label
+        self._n_label[-1] = label
+
+    # -- internals -------------------------------------------------------
+
+    def _intern(self, label: str) -> int:
+        lid = self._label_ids.get(label)
+        if lid is None:
+            lid = len(self._labels)
+            self._labels.append(label)
+            self._label_ids[label] = lid
+        return lid
+
+    def _timer_label(self, fn) -> int:
+        owner = getattr(fn, "__self__", None)
+        who = None
+        if owner is not None:
+            who = getattr(owner, "hostname", None)
+            if who is None:
+                who = getattr(owner, "name", None)
+        func = getattr(fn, "__func__", fn)
+        key = (func, id(owner) if who is None else who)
+        label = self._timer_memo.get(key)
+        if label is None:
+            qual = getattr(func, "__qualname__", None) \
+                or getattr(func, "__name__", "fn")
+            label = self._intern(f"{qual}@{who}" if who else str(qual))
+            self._timer_memo[key] = label
+        return label
+
+    # -- export ----------------------------------------------------------
+
+    def node_count(self) -> int:
+        return len(self._n_id) + len(self._d_time)
+
+    def export(self, horizon: Optional[float] = None,
+               anchors: int = ANCHOR_LIMIT, prune: bool = True) -> dict:
+        """One process's share of the forest, pruned to the ancestor
+        closure of (recent anchor candidates + cross-shard sends)."""
+        ids: List[int] = list(self._n_id)
+        parents: List[int] = list(self._n_parent)
+        times: List[float] = list(self._n_time)
+        labels: List[int] = list(self._n_label)
+        for i in range(len(self._d_time)):
+            ids.append(-(i + 1))
+            parents.append(self._d_parent[i])
+            times.append(self._d_time[i])
+            labels.append(self._d_label[i])
+        index = {nid: i for i, nid in enumerate(ids)}
+
+        if prune:
+            classes = [classify_label(lab) for lab in self._labels]
+            candidates = [
+                (times[i], self._labels[labels[i]], ids[i])
+                for i in range(len(ids))
+                if classes[labels[i]] in ANCHOR_CLASSES
+                and (horizon is None or times[i] <= horizon)]
+            candidates.sort()
+            keep = {nid for _t, _l, nid in candidates[-anchors:]}
+            keep.update(self._xsend.values())
+            stack = list(keep)
+            while stack:
+                nid = stack.pop()
+                pos = index.get(nid)
+                if pos is None:
+                    continue
+                parent = parents[pos]
+                if parent and parent not in keep:
+                    keep.add(parent)
+                    stack.append(parent)
+            rows = [i for i, nid in enumerate(ids) if nid in keep]
+        else:
+            rows = range(len(ids))
+
+        return {
+            "shard": self.shard,
+            "n": [ids[i] for i in rows],
+            "p": [parents[i] for i in rows],
+            "t": [times[i] for i in rows],
+            "l": [self._labels[labels[i]] for i in rows],
+            "xsend": dict(self._xsend),
+            "xrecv": {nid: key for nid, key in self._xrecv.items()},
+        }
+
+
+class NullCriticalPathRecorder:
+    """No-op twin: critical-path recording disabled."""
+
+    enabled = False
+    shard = 0
+
+    def on_schedule(self) -> None:
+        pass
+
+    def on_dispatch(self, seq, when, event) -> None:
+        pass
+
+    def note_enqueue(self, vm_name, src_key, seq) -> None:
+        pass
+
+    def note_channel_send(self, key) -> None:
+        pass
+
+    def note_channel_recv(self, vm_name, src_key, seq, key) -> None:
+        pass
+
+    def begin_delivery(self, vm_name, src_key, seq) -> None:
+        pass
+
+    def end_delivery(self) -> None:
+        pass
+
+    def relabel_current(self, fn, owner) -> None:
+        pass
+
+    def node_count(self) -> int:
+        return 0
+
+    def export(self, horizon=None, anchors=ANCHOR_LIMIT, prune=True) -> dict:
+        return {"shard": 0, "n": [], "p": [], "t": [], "l": [],
+                "xsend": {}, "xrecv": {}}
+
+
+NULL_CRITPATH = NullCriticalPathRecorder()
+
+
+# ---------------------------------------------------------------------------
+# Analysis: canonical chains, waterfall, slack, what-if.
+# ---------------------------------------------------------------------------
+
+def _chain_of(tables, xsend_global, worker: int, nid: int,
+              start: Optional[float]) -> List[Tuple[float, str]]:
+    """Ancestor chain of one node as (time, label) content, root-first,
+    clipped at ``start`` and stitched across the shard channel."""
+    nodes, xrecvs = tables
+    out: List[Tuple[float, str]] = []
+    seen = set()
+    w, n = worker, nid
+    while n and (w, n) not in seen:
+        seen.add((w, n))
+        row = nodes[w].get(n)
+        if row is None:
+            break
+        parent, time, label = row
+        if start is not None and time < start:
+            break
+        out.append((time, label))
+        key = xrecvs[w].get(n)
+        if key is not None:
+            nxt = xsend_global.get(key)
+            if nxt is None:
+                break
+            w, n = nxt
+            continue
+        n = parent
+    out.reverse()
+    return out
+
+
+def _segments(chain: List[Tuple[float, str]],
+              start: Optional[float]) -> List[dict]:
+    prev = start if start is not None else (chain[0][0] if chain else 0.0)
+    segments = []
+    for time, label in chain:
+        segments.append({
+            "t0": prev,
+            "t1": time,
+            "dur": time - prev,
+            "label": label,
+            "class": classify_label(label),
+            "device": device_of_label(label),
+        })
+        prev = time
+    return segments
+
+
+def analyze(exports: List[dict], *, start: Optional[float] = None,
+            horizon: Optional[float] = None, k: int = DEFAULT_TOP_K,
+            anchors: int = ANCHOR_LIMIT) -> dict:
+    """Merge per-process forests into the canonical critpath document.
+
+    The output depends only on event content ``(sim-time, label)``:
+    replicated-skeleton duplicates and process-local ids collapse, so
+    unset/K=1/K=4 runs of the same seed produce identical bytes.
+    """
+    nodes: List[Dict[int, tuple]] = []
+    xrecvs: List[Dict[int, str]] = []
+    xsend_global: Dict[str, Tuple[int, int]] = {}
+    for w, export in enumerate(exports):
+        table = {}
+        for nid, parent, time, label in zip(export["n"], export["p"],
+                                            export["t"], export["l"]):
+            table[nid] = (parent, time, label)
+        nodes.append(table)
+        xrecvs.append({int(nid): key
+                       for nid, key in export.get("xrecv", {}).items()})
+        for key, nid in export.get("xsend", {}).items():
+            xsend_global.setdefault(key, (w, nid))
+
+    # Candidate anchors, grouped by content so skeleton replicas and
+    # process-local ids collapse before ranking.
+    groups: Dict[Tuple[float, str], List[Tuple[int, int]]] = {}
+    for w, table in enumerate(nodes):
+        for nid, (_parent, time, label) in table.items():
+            if horizon is not None and time > horizon:
+                continue
+            if classify_label(label) in ANCHOR_CLASSES:
+                groups.setdefault((time, label), []).append((w, nid))
+    ranked = sorted(groups, key=lambda key: (-key[0], key[1]))[:anchors]
+
+    tables = (nodes, xrecvs)
+    chains: Dict[tuple, List[Tuple[float, str]]] = {}
+    for content_key in ranked:
+        for w, nid in sorted(groups[content_key]):
+            chain = _chain_of(tables, xsend_global, w, nid, start)
+            if chain:
+                chains.setdefault(tuple(chain), chain)
+
+    ordered = sorted(chains.values(),
+                     key=lambda c: (-c[-1][0], tuple(c)))[:k]
+
+    top_end = ordered[0][-1][0] if ordered else 0.0
+    chain_docs = []
+    for rank, chain in enumerate(ordered, start=1):
+        chain_docs.append({
+            "rank": rank,
+            "end": chain[-1][0],
+            "slack": top_end - chain[-1][0],
+            "events": len(chain),
+            "segments": _segments(chain, start),
+        })
+
+    phases: Dict[str, float] = {}
+    devices: Dict[str, float] = {}
+    named = 0.0
+    if chain_docs:
+        for seg in chain_docs[0]["segments"]:
+            phases[seg["class"]] = phases.get(seg["class"], 0.0) + seg["dur"]
+            if seg["device"]:
+                devices[seg["device"]] = (devices.get(seg["device"], 0.0)
+                                          + seg["dur"])
+            if seg["class"] in NAMED_CLASSES:
+                named += seg["dur"]
+    chain_start = start if start is not None else (
+        chain_docs[0]["segments"][0]["t0"] if chain_docs else 0.0)
+    chain_span = top_end - chain_start if chain_docs else 0.0
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "critpath",
+        "window": {"start": chain_start, "horizon": horizon, "end": top_end},
+        "chains": chain_docs,
+        "phases": {cls: phases[cls] for cls in sorted(phases)},
+        "devices": {dev: devices[dev] for dev in sorted(devices)},
+        "coverage": {
+            "chain_s": chain_span,
+            "named_s": named,
+            "named_fraction": (named / chain_span) if chain_span > 0 else 0.0,
+        },
+    }
+
+
+def what_if(doc: dict, *, mrai_scale: float = 1.0,
+            underlay_scale: float = 1.0) -> dict:
+    """Predict convergence under re-weighted edges, without re-running.
+
+    Scales every ``mrai`` segment by ``mrai_scale`` and every
+    ``underlay`` segment by ``underlay_scale`` on the extracted chains;
+    the predicted end is the max re-weighted chain end.  The estimate
+    assumes the recorded dependency structure is unchanged — i.e. one
+    of the recorded top-k chains remains critical under the new
+    parameters (chains not in the top-k could overtake under extreme
+    re-weighting).
+    """
+    start = doc["window"]["start"]
+    per_chain = []
+    for chain in doc["chains"]:
+        end = start
+        for seg in chain["segments"]:
+            dur = seg["dur"]
+            if seg["class"] == "mrai":
+                dur *= mrai_scale
+            elif seg["class"] == "underlay":
+                dur *= underlay_scale
+            end += dur
+        per_chain.append({"rank": chain["rank"], "baseline_end": chain["end"],
+                          "predicted_end": end})
+    predicted = max((c["predicted_end"] for c in per_chain),
+                    default=start)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "critpath-what-if",
+        "mrai_scale": mrai_scale,
+        "underlay_scale": underlay_scale,
+        "baseline_end": doc["window"]["end"],
+        "predicted_end": predicted,
+        "predicted_delta": predicted - doc["window"]["end"],
+        "chains": per_chain,
+    }
+
+
+def to_dot(doc: dict) -> str:
+    """Graphviz rendering of the top-k chains (deterministic output)."""
+    nodes: Dict[Tuple[float, str], str] = {}
+    lines = ["digraph critpath {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace", fontsize=9];']
+    edges = []
+    for chain in doc["chains"]:
+        prev = None
+        for seg in chain["segments"]:
+            key = (seg["t1"], seg["label"])
+            name = nodes.get(key)
+            if name is None:
+                name = f"n{len(nodes)}"
+                nodes[key] = name
+                text = seg["label"].replace("\\", "\\\\").replace('"', '\\"')
+                lines.append(
+                    f'  {name} [label="{text}\\nt={seg["t1"]:.3f}s"];')
+            if prev is not None:
+                edges.append(
+                    f'  {prev} -> {name} '
+                    f'[label="+{seg["dur"]:.3f}s {seg["class"]}"];')
+            prev = name
+    lines.extend(sorted(set(edges)))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

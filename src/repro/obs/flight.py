@@ -24,6 +24,8 @@ import os
 from collections import deque
 from typing import Callable, List, Optional, Tuple
 
+from .schema import SCHEMA_VERSION
+
 __all__ = [
     "FLIGHT_DIR_ENV",
     "FlightRecorder",
@@ -155,6 +157,7 @@ def write_flight_artifact(snapshots: List[dict], reason: str,
     """
     doc = {
         "version": 1,
+        "schema_version": SCHEMA_VERSION,
         "reason": reason,
         "shards": sorted(snapshots,
                          key=lambda s: (s.get("shard") is not None,

@@ -61,7 +61,25 @@ SUBSYSTEMS = ("loc-rib", "adj-rib-out", "fib", "interned-attrs",
               "event-heap")
 
 # Full walks per poll: 1 in SAMPLE_EVERY (plus the forced final sample).
+# Override per run with REPRO_MEM_SAMPLE=<n> (n >= 1; 1 walks every poll).
 SAMPLE_EVERY = 16
+SAMPLE_ENV = "REPRO_MEM_SAMPLE"
+
+
+def _sample_every_from_env() -> int:
+    """The decimation factor, honouring ``REPRO_MEM_SAMPLE``."""
+    raw = os.environ.get(SAMPLE_ENV, "").strip()
+    if not raw:
+        return SAMPLE_EVERY
+    try:
+        every = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SAMPLE_ENV} must be an integer >= 1, got {raw!r}")
+    if every < 1:
+        raise ValueError(
+            f"{SAMPLE_ENV} must be an integer >= 1, got {raw!r}")
+    return every
 
 
 def read_rss_kb() -> Optional[int]:
@@ -80,12 +98,13 @@ class MemoryMonitor:
     """Refreshes per-subsystem entry-count gauges for one process."""
 
     __slots__ = ("obs", "shard", "_gauge", "_rss_gauge", "_rss_enabled",
-                 "_polls")
+                 "_polls", "_sample_every")
 
     def __init__(self, obs, shard: str = "0"):
         self.obs = obs
         self.shard = shard
         self._polls = 0
+        self._sample_every = _sample_every_from_env()
         self._gauge = obs.metrics.gauge(
             "repro_mem_entries",
             "Live entries per memory subsystem (deterministic counts)")
@@ -98,12 +117,13 @@ class MemoryMonitor:
     def poll(self, net) -> Optional[dict]:
         """Decimated :meth:`sample` for hot poll loops.
 
-        Walks on the first call and every ``SAMPLE_EVERY``-th after it;
-        returns None on the skipped polls.  Callers force a plain
+        Walks on the first call and every ``SAMPLE_EVERY``-th after it
+        (``REPRO_MEM_SAMPLE`` overrides the factor per run); returns
+        None on the skipped polls.  Callers force a plain
         :meth:`sample` once converged so the final values are exact.
         """
         self._polls += 1
-        if (self._polls - 1) % SAMPLE_EVERY:
+        if (self._polls - 1) % self._sample_every:
             return None
         return self.sample(net)
 

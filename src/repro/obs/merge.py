@@ -49,6 +49,8 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .schema import SCHEMA_VERSION
+
 __all__ = [
     "REPLICATED_COUNTER_FAMILIES",
     "PROCESS_LOCAL_METRIC_PREFIXES",
@@ -293,6 +295,7 @@ def merge_channel_traces(logs: Iterable[dict]) -> dict:
             r.get("shard", 0), r.get("seq", 0)))
     return {
         "version": 1,
+        "schema_version": SCHEMA_VERSION,
         "total": total,
         "dropped": dropped,
         "traces": {trace: traces[trace] for trace in sorted(traces)},

@@ -45,8 +45,21 @@ def _label_key(labels: Dict[str, str]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format escaping for quoted label values:
+    backslash, double-quote, and line-feed must be escaped (the promtext
+    conformance tests pin this)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """# HELP text escaping: backslash and line-feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: str = "") -> str:
-    parts = [f'{name}="{value}"' for name, value in key]
+    parts = [f'{name}="{_escape_label_value(value)}"' for name, value in key]
     if extra:
         parts.append(extra)
     if not parts:
@@ -141,7 +154,7 @@ class Metric:
         }
 
     def render(self) -> List[str]:
-        lines = [f"# HELP {self.name} {self.help}",
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}",
                  f"# TYPE {self.name} {self.kind}"]
         for key, child in self.samples():
             lines.append(f"{self.name}{_render_labels(key)} "
@@ -222,7 +235,7 @@ class Histogram(Metric):
         }
 
     def render(self) -> List[str]:
-        lines = [f"# HELP {self.name} {self.help}",
+        lines = [f"# HELP {self.name} {_escape_help(self.help)}",
                  f"# TYPE {self.name} {self.kind}"]
         for key, child in self.samples():
             cumulative = 0

@@ -1,0 +1,43 @@
+"""Versioning for persisted obs JSON artifacts.
+
+Every JSON document the observability stack writes to disk — flight
+artifacts, window profiles, memory reports, convergence profiles,
+critpath documents, BENCH_* embeds — carries a ``schema_version``
+field.  The CLI tools (``obsdump``, ``netscope``) call
+:func:`check_schema` before rendering, so an artifact written by an
+incompatible version of this codebase fails loudly with a clear message
+instead of rendering garbage.
+
+Artifacts written before this field existed (legacy ``version``-only
+documents) are accepted: the point is to catch *future* format changes,
+not to orphan committed history.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_VERSION", "SchemaMismatch", "check_schema"]
+
+# Bump when any persisted obs artifact changes shape incompatibly.
+SCHEMA_VERSION = 1
+
+
+class SchemaMismatch(ValueError):
+    """Artifact was written by an incompatible schema version."""
+
+
+def check_schema(doc, source: str = "artifact") -> None:
+    """Fail loudly when ``doc`` declares an unsupported schema_version.
+
+    Dicts without the field pass (legacy/pre-schema artifacts);
+    non-dict documents pass (the caller validates shape separately).
+    """
+    if not isinstance(doc, dict):
+        return
+    found = doc.get("schema_version")
+    if found is None or found == SCHEMA_VERSION:
+        return
+    raise SchemaMismatch(
+        f"{source}: schema_version {found!r} is not supported by this "
+        f"build (expected {SCHEMA_VERSION}); the artifact was written by "
+        f"an incompatible version of repro — regenerate it with the "
+        f"matching tools")

@@ -150,6 +150,8 @@ class Timeout(Event):
         self.delay = delay
         env._seq += 1
         heapq.heappush(env._heap, (env.now + delay, env._seq, self))
+        if env.critpath is not None:
+            env.critpath.on_schedule()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Timeout delay={self.delay} @{self.env.now}>"
@@ -186,6 +188,8 @@ class Timer(Timeout):
         self._args = args
         env._seq += 1
         heapq.heappush(env._heap, (env.now + delay, env._seq, self))
+        if env.critpath is not None:
+            env.critpath.on_schedule()
 
     def _run_callbacks(self) -> None:
         super()._run_callbacks()
@@ -354,6 +358,11 @@ class Environment:
         # called with each event as it fires.  None (the default) keeps the
         # dispatch loop at a single identity check per event.
         self.event_hook: Optional[Callable[[Event], None]] = None
+        # Opt-in causal critical-path recorder (repro.obs.critpath): notes
+        # each schedule/dispatch so convergence time can be attributed to
+        # a dependency chain.  None (the default) costs one identity check
+        # at each of the three heap-push sites and one in step().
+        self.critpath = None
         # Sim time the most recent run_window() actually traversed before
         # clamping to its horizon (see the window profiler).
         self.last_window_consumed: float = 0.0
@@ -402,6 +411,8 @@ class Environment:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if self.critpath is not None:
+            self.critpath.on_schedule()
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
@@ -434,6 +445,8 @@ class Environment:
                 self._cancelled -= 1
                 continue
             self.now = when
+            if self.critpath is not None:
+                self.critpath.on_dispatch(_seq, when, event)
             if self.event_hook is not None:
                 self.event_hook(event)
             event._run_callbacks()

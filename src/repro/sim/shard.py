@@ -132,8 +132,10 @@ def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
         telemetry = bool(getattr(net.obs, "enabled", False))
         profiler = (WindowProfiler(shard_id) if telemetry
                     else NULL_WINDOW_PROFILER)
+        # Same process name as the unsharded path: it surfaces in causal
+        # labels ("init:mockup"), which must be shard-count-invariant.
         proc = env.process(net.mockup_async(route_ready_timeout),
-                           name=f"mockup-shard{shard_id}")
+                           name="mockup")
         windows = 0
         events = 0
         idle_wall = 0.0
@@ -206,7 +208,7 @@ def _shard_worker_main(net, shard_id: int, shard_plan, lookahead: float,
                 net._finish_shard_mockup(quiet_since, route_ready_latency)
                 conn.send(("finalized", stats(), profiler.to_dict()))
             elif op in ("pull_states", "dump", "explain", "metrics",
-                        "spans", "traces", "flight"):
+                        "spans", "traces", "flight", "critpath"):
                 # Monitor RPCs: failures (unknown device, no daemon, ...)
                 # are reported per-call, not fatal to the emulation.
                 try:
@@ -261,6 +263,14 @@ def _serve_rpc(net, ctx: ShardWorkerContext, msg):
         return ("traces", ctx.router.export_traces())
     if op == "flight":
         return ("flight", net.obs.flight.snapshot())
+    if op == "critpath":
+        # This worker's causal-forest fragment (pruned to the ancestor
+        # closure of its convergence anchors + cross-shard sends), with
+        # the analysis window it sealed at finalize.
+        recorder = net.env.critpath
+        export = (recorder.export(horizon=net._quiet_since)
+                  if recorder is not None else None)
+        return ("critpath", export, ctx.mockup_start, net._quiet_since)
     raise ShardError(f"unknown RPC {op!r}")  # pragma: no cover
 
 
@@ -458,11 +468,19 @@ class ShardCoordinator:
                     # box now, while every worker can still be asked for
                     # its ring (the run itself continues to the timeout,
                     # so slow-but-live convergence is never aborted).
+                    # Only event-idle polls count: a fleet with future
+                    # events scheduled (vendor boot delays, MRAI/hold
+                    # timers) is waiting, not stalled — its horizons are
+                    # finite.  All-infinite horizons mean no worker holds
+                    # an event and no message is undelivered, so a
+                    # not-ready verdict can never change on its own.
                     progress = tuple(
                         sum(s.get(key) or 0 for s in self.shard_stats)
                         for key in ("events", "sent", "received",
                                     "swallowed"))
-                    reason = self.watchdog.observe(verdict, progress)
+                    idle = all(n == float("inf") for n in eff)
+                    reason = self.watchdog.observe(verdict or not idle,
+                                                   progress)
                     if reason is not None:
                         self._dump_flight(reason)
                     if verdict:
@@ -677,6 +695,25 @@ class ShardCoordinator:
             assert kind == "traces"
             logs.append(log)
         return merge_channel_traces(logs)
+
+    def critical_paths(self):
+        """Per-worker critpath forest exports + the analysis window.
+
+        Every worker reports the same (mockup_start, quiet_since) pair —
+        the skeleton is replicated and quiescence was adjudicated once —
+        so the pair from shard 0 is the fleet's window.
+        """
+        exports = []
+        start = horizon = None
+        for shard_id in range(self.shards):
+            kind, export, mockup_start, quiet_since = self.rpc(
+                shard_id, "critpath")
+            assert kind == "critpath"
+            if export is not None:
+                exports.append(export)
+            if shard_id == 0:
+                start, horizon = mockup_start, quiet_since
+        return exports, start, horizon
 
     def collect_flight(self) -> dict:
         """On-demand flight document (without tripping the watchdog)."""

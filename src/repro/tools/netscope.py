@@ -15,6 +15,11 @@ writes (:func:`repro.provenance.dump_json` network dumps,
   vs. consumed lookahead, grant-wait stalls, and channel traffic per
   shard (:meth:`CrystalNet.window_profile` output, or a
   ``BENCH_shard.json`` artifact that embeds one).
+* ``critpath`` — where convergence time went: the top-k sim-time-weighted
+  causal chains from boot to route-ready with a per-phase waterfall,
+  plus the ``--what-if`` re-weighting estimator and Graphviz export
+  (:meth:`CrystalNet.critical_path` output, or a ``BENCH_critpath.json``
+  artifact that embeds one).
 
 Usage::
 
@@ -24,6 +29,12 @@ Usage::
     python -m repro.tools.netscope blame timeline.json \\
         --fault fault:link-down:t0|t1@30 --start 30 --end 90
     python -m repro.tools.netscope windows profile.json [--json]
+    python -m repro.tools.netscope critpath critpath.json [--json|--dot]
+    python -m repro.tools.netscope critpath critpath.json --what-if-mrai 0.5
+
+Artifacts stamped with a ``schema_version`` this build does not
+understand are rejected with a distinct error (exit 2) instead of being
+misread.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ import json
 import sys
 from typing import List, Optional
 
+from ..obs.schema import SchemaMismatch, check_schema
 from ..provenance.timeline import StateTimeline
 
 __all__ = ["main"]
@@ -43,7 +55,9 @@ def _load_json(path: str) -> dict:
         text = fh.read()
     if not text.strip():
         raise ValueError("file is empty")
-    return json.loads(text)
+    doc = json.loads(text)
+    check_schema(doc, source=path)
+    return doc
 
 
 def _render_hop(hop: dict) -> str:
@@ -239,6 +253,91 @@ def _cmd_windows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _critpath_doc_of(doc: dict) -> dict:
+    """Accept a critical_path() export or a BENCH_critpath artifact."""
+    if doc.get("kind") == "critpath":
+        return doc
+    embedded = doc.get("data", {}).get("critpath")
+    if isinstance(embedded, dict) and embedded.get("kind") == "critpath":
+        check_schema(embedded, source="embedded critpath document")
+        return embedded
+    raise ValueError("not a critical-path document (no kind='critpath'; "
+                     "pass CrystalNet.critical_path() output or a "
+                     "BENCH_critpath.json that embeds one)")
+
+
+def _render_critpath(doc: dict) -> str:
+    from ..obs.critpath import NAMED_CLASSES
+    window = doc.get("window", {})
+    start = window.get("start") or 0.0
+    end = window.get("end") or 0.0
+    lines = [f"critical path: t={start:g}s .. t={end:g}s "
+             f"({end - start:g}s from mockup to route-ready)"]
+    for chain in doc.get("chains", ()):
+        lines.append(
+            f"#{chain.get('rank', '?')}  ends t={chain.get('end', 0):g}s  "
+            f"slack {chain.get('slack', 0):g}s  "
+            f"{chain.get('events', 0)} event(s)")
+        for seg in chain.get("segments", ()):
+            device = seg.get("device") or "-"
+            lines.append(
+                f"  +{seg.get('dur', 0):>9.3f}s  t={seg.get('t1', 0):<10g} "
+                f"{seg.get('class', '?'):<10} {device:<14} "
+                f"{seg.get('label', '?')}")
+    phases = doc.get("phases", {})
+    if phases:
+        total = sum(phases.values()) or 1.0
+        ranked = sorted(phases.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append("phases (top chain): " + ", ".join(
+            f"{cls} {dur:g}s ({100.0 * dur / total:.0f}%)"
+            for cls, dur in ranked))
+    devices = doc.get("devices", {})
+    if devices:
+        ranked = sorted(devices.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append("devices (top chain): " + ", ".join(
+            f"{dev} {dur:g}s" for dev, dur in ranked[:8]))
+    coverage = doc.get("coverage", {})
+    if coverage:
+        lines.append(
+            f"coverage: {100.0 * coverage.get('named_fraction', 0.0):.1f}% "
+            f"of {coverage.get('chain_s', 0.0):g}s attributed to named "
+            f"work ({', '.join(NAMED_CLASSES)})")
+    return "\n".join(lines)
+
+
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    from ..obs.critpath import to_dot, what_if
+    doc = _critpath_doc_of(_load_json(args.path))
+    if not doc.get("chains"):
+        print("netscope: document contains no critical-path chains "
+              "(was the run recorded with REPRO_CRITPATH=1?)",
+              file=sys.stderr)
+        return 1
+    if args.dot:
+        sys.stdout.write(to_dot(doc))
+        return 0
+    if args.what_if_mrai != 1.0 or args.what_if_underlay != 1.0:
+        prediction = what_if(doc, mrai_scale=args.what_if_mrai,
+                             underlay_scale=args.what_if_underlay)
+        if args.json:
+            print(json.dumps(prediction, indent=2, sort_keys=True))
+            return 0
+        print(f"what-if (mrai x{args.what_if_mrai:g}, "
+              f"underlay x{args.what_if_underlay:g}): "
+              f"baseline end t={prediction['baseline_end']:g}s, "
+              f"predicted end t={prediction['predicted_end']:g}s "
+              f"(delta {prediction['predicted_delta']:+g}s)")
+        for chain in prediction["chains"]:
+            print(f"  #{chain['rank']}: t={chain['baseline_end']:g}s "
+                  f"-> t={chain['predicted_end']:g}s")
+        return 0
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(_render_critpath(doc))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="netscope",
@@ -286,6 +385,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_windows.add_argument("--json", action="store_true",
                            help="raw profile instead of the table")
     p_windows.set_defaults(func=_cmd_windows)
+
+    p_critpath = sub.add_parser(
+        "critpath", help="where convergence time went: top-k causal "
+                         "chains, per-phase waterfall, what-if estimator")
+    p_critpath.add_argument("path",
+                            help="critical_path() JSON or "
+                                 "BENCH_critpath.json")
+    p_critpath.add_argument("--json", action="store_true",
+                            help="canonical document instead of the "
+                                 "waterfall")
+    p_critpath.add_argument("--dot", action="store_true",
+                            help="Graphviz digraph of the chains")
+    p_critpath.add_argument("--what-if-mrai", type=float, default=1.0,
+                            metavar="SCALE",
+                            help="predict convergence with MRAI edges "
+                                 "scaled by this factor (no re-run)")
+    p_critpath.add_argument("--what-if-underlay", type=float, default=1.0,
+                            metavar="SCALE",
+                            help="predict convergence with underlay "
+                                 "latency edges scaled by this factor")
+    p_critpath.set_defaults(func=_cmd_critpath)
     return parser
 
 
@@ -299,6 +419,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:
         print(f"netscope: cannot read {args.path}: {exc.strerror or exc}",
               file=sys.stderr)
+        return 2
+    except SchemaMismatch as exc:
+        print(f"netscope: {args.path}: {exc}", file=sys.stderr)
         return 2
     except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
         print(f"netscope: {args.path}: not a valid provenance export "

@@ -23,6 +23,7 @@ import sys
 from typing import List, Optional
 
 from ..obs.profile import ConvergenceProfiler
+from ..obs.schema import SchemaMismatch, check_schema
 
 __all__ = ["main"]
 
@@ -36,8 +37,21 @@ def _load_text(path: str) -> str:
     return text
 
 
+def _load_doc(path: str) -> dict:
+    """One JSON export, with its schema_version stamp verified."""
+    doc = json.loads(_load_text(path))
+    check_schema(doc, source=path)
+    return doc
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    _load_text(args.path)
+    text = _load_text(args.path)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # span JSONL: one object per line, no version stamp
+    if isinstance(doc, dict):
+        check_schema(doc, source=args.path)
     profiler = ConvergenceProfiler.load(args.path)
     if args.json:
         print(json.dumps(profiler.report(), indent=2, sort_keys=True))
@@ -48,7 +62,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Render a ``MetricsRegistry.to_json()`` snapshot as a table."""
-    doc = json.loads(_load_text(args.path))
+    doc = _load_doc(args.path)
     metrics = doc.get("metrics", doc)
     shown = 0
     for name in sorted(metrics):
@@ -93,7 +107,7 @@ def _cmd_flight(args: argparse.Namespace) -> int:
     ``{"version", "reason", "shards": [snapshot, ...]}`` — or a single
     bare ``FlightRecorder.snapshot()``.
     """
-    doc = json.loads(_load_text(args.path))
+    doc = _load_doc(args.path)
     snapshots = doc["shards"] if "shards" in doc else [doc]
     reason = doc.get("reason")
     if reason:
@@ -170,6 +184,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except OSError as exc:      # missing / unreadable export
         print(f"obsdump: cannot read {args.path}: {exc.strerror or exc}",
               file=sys.stderr)
+        return 2
+    except SchemaMismatch as exc:
+        print(f"obsdump: {args.path}: {exc}", file=sys.stderr)
         return 2
     except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
         print(f"obsdump: {args.path}: not a valid repro.obs export ({exc})",

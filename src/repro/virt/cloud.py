@@ -168,15 +168,35 @@ class VirtualMachine:
         """
         heapq.heappush(self._ingress, (arrival, src_key, seq, packet))
         self.env.timer(arrival - self.env.now, self._drain_ingress)
+        critpath = self.env.critpath
+        if critpath is not None:
+            critpath.note_enqueue(self.name, src_key, seq)
 
     def _drain_ingress(self) -> None:
         tap = self.ingress_tap
+        critpath = self.env.critpath
+        if critpath is None:
+            while self._ingress and self._ingress[0][0] <= self.env.now:
+                _arrival, src_key, seq, packet = heapq.heappop(self._ingress)
+                if tap is not None:
+                    tap(self, src_key, seq, packet)
+                else:
+                    self.receive_underlay(packet)
+            return
+        # Instrumented twin: each delivery becomes its own causal node
+        # parented on the *send* of that packet, never on whichever drain
+        # timer happened to pop first (same-instant arrivals coalesce
+        # under one drain, and its identity differs across backends).
         while self._ingress and self._ingress[0][0] <= self.env.now:
             _arrival, src_key, seq, packet = heapq.heappop(self._ingress)
-            if tap is not None:
-                tap(self, src_key, seq, packet)
-            else:
-                self.receive_underlay(packet)
+            critpath.begin_delivery(self.name, src_key, seq)
+            try:
+                if tap is not None:
+                    tap(self, src_key, seq, packet)
+                else:
+                    self.receive_underlay(packet)
+            finally:
+                critpath.end_delivery()
 
     # -- accounting ------------------------------------------------------
 

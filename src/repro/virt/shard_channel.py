@@ -154,6 +154,13 @@ class ShardRouter:
                 trace = (f"{packet.src}>{dst_vm_name}#{pair_seq}", 0)
                 self.trace_roots += 1
             self._record("send", trace, now, dst_vm_name, pair_seq)
+        critpath = cloud.env.critpath
+        if critpath is not None:
+            # Content-keyed causal stitch (see repro.obs.critpath): the
+            # receiving worker reconstructs the same key from the message
+            # fields, linking its delivery node to this send's node.
+            critpath.note_channel_send(
+                f"{packet.src.value}>{dst_vm_name}#{pair_seq}")
         self.outbox.append(ShardMessage(
             arrival=now + self.lookahead, send_time=now,
             src_shard=self.shard_id, src_key=packet.src.value,
@@ -177,6 +184,7 @@ class ShardRouter:
         local or relayed — drain in the single-process order regardless
         of injection order.
         """
+        critpath = cloud.env.critpath
         for msg in sorted(messages, key=ShardMessage.sort_key):
             target = cloud.vms.get(msg.dst_vm)
             if target is None:
@@ -186,6 +194,13 @@ class ShardRouter:
                 self._inbound[(msg.dst_vm, msg.src_key, msg.seq)] = trace
             target.enqueue_underlay(msg.arrival, msg.src_key, msg.seq,
                                     msg.packet)
+            if critpath is not None:
+                # After enqueue: replace the (meaningless) local parent
+                # with the channel key so the delivery stitches to the
+                # sending worker's node instead.
+                critpath.note_channel_recv(
+                    msg.dst_vm, msg.src_key, msg.seq,
+                    f"{msg.src_key}>{msg.dst_vm}#{msg.seq}")
             self.received_total += 1
         if messages:
             self._m_received.inc(len(messages), shard=str(self.shard_id))

@@ -39,21 +39,59 @@ def test_best_is_a_candidate_and_in_multipath(candidates):
     assert set(multipath) <= set(candidates)
 
 
-@given(routes())
+@st.composite
+def routes_and_shuffle(draw):
+    candidates = draw(routes())
+    order = draw(st.permutations(range(len(candidates))))
+    return candidates, [candidates[i] for i in order]
+
+
+@given(routes_and_shuffle())
 @settings(max_examples=120, deadline=None)
-def test_selection_is_order_independent(candidates):
+def test_selection_is_order_independent(pair):
+    """Any permutation of the candidates selects the same best path.
+
+    This is exactly what deterministic-MED selection guarantees; a
+    naive pairwise fold fails it whenever same-AS routes with
+    different MEDs form a preference cycle with a third AS's route.
+    """
+    candidates, shuffled = pair
     best_fwd, multi_fwd = select(candidates)
-    best_rev, multi_rev = select(list(reversed(candidates)))
-    assert best_fwd == best_rev
-    assert set(multi_fwd) == set(multi_rev)
+    best_shuf, multi_shuf = select(shuffled)
+    assert best_fwd == best_shuf
+    assert set(multi_fwd) == set(multi_shuf)
+
+
+def _neighbor_as(route):
+    return route.attrs.as_path[0] if route.attrs.as_path else None
 
 
 @given(routes())
 @settings(max_examples=120, deadline=None)
-def test_best_dominates_every_candidate(candidates):
+def test_best_dominates_its_group_and_every_group_winner(candidates):
+    """Best beats same-AS rivals outright and every other AS's winner.
+
+    Pairwise dominance over *all* candidates is not a BGP invariant:
+    MED compares only within one neighbor AS, so a route eliminated by
+    MED inside its own group can still beat the overall best on the
+    final tie-break (the classic MED cycle).  Deterministic-MED
+    selection guarantees dominance over everything in the best path's
+    own group plus each other group's MED-elected winner.
+    """
     best, _ = select(candidates)
+    groups = {}
     for route in candidates:
+        groups.setdefault(_neighbor_as(route), []).append(route)
+    for route in groups[_neighbor_as(best)]:
         assert compare(best, route) == best or compare(route, best) == best
+    for key, members in groups.items():
+        if key == _neighbor_as(best):
+            continue
+        winner = members[0]
+        for route in members[1:]:
+            winner = compare(winner, route)
+        assert (compare(best, winner) == best
+                or compare(winner, best) == best)
 
 
 @given(routes())
@@ -80,6 +118,36 @@ def test_multipath_next_hops_are_distinct(candidates):
 def test_max_paths_respected(candidates, max_paths):
     _best, multipath = select(candidates, max_paths=max_paths)
     assert 1 <= len(multipath) <= max_paths
+
+
+def test_med_cycle_selects_deterministically():
+    """Pinned MED preference cycle (found by hypothesis 2026-08-08).
+
+    Three same-length, same-local-pref iBGP routes: A and C share
+    neighbor AS 3 (C wins on MED), B sits alone in AS 1.  Pairwise, A
+    beats B and B beats C on the peer-address tie-break while C beats
+    A on MED — a cycle, so a naive fold picks a different "best" per
+    candidate order.  Deterministic-MED must pick B from every
+    permutation: C eliminates A inside AS 3, then B beats C.
+    """
+    import itertools
+
+    def mk(i, as_path, med):
+        return Route(
+            prefix=PREFIX,
+            attrs=PathAttributes(as_path=as_path, med=med, local_pref=200,
+                                 next_hop=IPv4Address(0x0A000000 + 1 + i)),
+            peer_ip=IPv4Address(0x01010100 + i),
+            peer_asn=as_path[0],
+            is_ebgp=False)
+
+    a = mk(0, (3, 1, 1, 1), 1)
+    b = mk(1, (1, 1, 1, 1), 0)
+    c = mk(2, (3, 1, 1, 1), 0)
+    assert compare(a, b) == a and compare(b, c) == b and compare(c, a) == c
+    for perm in itertools.permutations([a, b, c]):
+        best, _ = select(list(perm))
+        assert best == b, perm
 
 
 @given(routes())

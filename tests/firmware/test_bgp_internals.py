@@ -58,6 +58,22 @@ class TestPathAttributes:
         with pytest.raises(ValueError):
             UpdateMessage(nlri=(Prefix("10.0.0.0/8"),))
 
+    def test_intern_tables_stay_out_of_dataclass_fields(self):
+        """The hash-cons tables must be invisible to field introspection.
+
+        Annotated ClassVars land in ``__dataclass_fields__``, and tools
+        that walk it (hypothesis's failure pretty-printer renders every
+        init field) would then print the whole populated intern table
+        inside every attribute set — recursively, since its entries are
+        themselves PathAttributes.  One falsifying example mid-suite
+        produced a multi-terabyte repr that span for hours.
+        """
+        assert set(PathAttributes.__dataclass_fields__) == {
+            "as_path", "next_hop", "origin", "med", "local_pref",
+            "communities", "atomic_aggregate", "aggregator_asn"}
+        assert PathAttributes._intern_table is not None
+        assert PathAttributes.interning in (True, False)
+
 
 class TestAdjRibIn:
     def test_insert_and_candidates(self):

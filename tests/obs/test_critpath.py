@@ -1,0 +1,267 @@
+"""Unit tests for the causal critical-path recorder and analyzer."""
+
+import json
+
+import pytest
+
+from repro.obs.critpath import (
+    CriticalPathRecorder,
+    NULL_CRITPATH,
+    analyze,
+    classify_label,
+    device_of_label,
+    to_dot,
+    what_if,
+)
+from repro.obs.schema import SCHEMA_VERSION, SchemaMismatch, check_schema
+from repro.sim import Environment
+
+
+def make_export(n, p, t, l, shard=0, xsend=None, xrecv=None):
+    return {"shard": shard, "n": list(n), "p": list(p), "t": list(t),
+            "l": list(l), "xsend": dict(xsend or {}),
+            "xrecv": dict(xrecv or {})}
+
+
+class TestClassification:
+    def test_routing_work_classes(self):
+        assert classify_label("BgpDaemon._run_decision@r3.worker") == \
+            "bgp-work"
+        assert classify_label("BgpDaemon._mrai_fire@r3") == "mrai"
+        assert classify_label("BgpSession._attempt_connect@r3") == "bgp-fsm"
+        assert classify_label("BgpSession._send_keepalive@r3") == "keepalive"
+        assert classify_label("DeviceOS._start_protocols@r3") == "boot"
+        assert classify_label("OspfDaemon._run_spf@r3.worker") == "ospf-work"
+
+    def test_substrate_classes(self):
+        assert classify_label("underlay>vm0") == "underlay"
+        assert classify_label("vm0.cpu:task") == "cpu"
+        assert classify_label("Connection._deliver@r1") == "tcp"
+        assert classify_label("start:os-r1") == "lifecycle"
+        assert classify_label("link-batch") == "lifecycle"
+        assert classify_label("SerialWorker._run@r1.worker") == "sched"
+
+    def test_idle_and_other(self):
+        assert classify_label("timeout") == "idle"
+        assert classify_label("all_of") == "idle"
+        assert classify_label("route-ready-poll") == "idle"
+        assert classify_label("something-novel") == "other"
+
+    def test_device_attribution(self):
+        assert device_of_label("BgpDaemon._run_decision@r3.worker") == "r3"
+        assert device_of_label("BgpDaemon._mrai_fire@r3") == "r3"
+        assert device_of_label("underlay>vm2") == "vm2"
+        assert device_of_label("vm1.cpu:task") == "vm1"
+        assert device_of_label("start:os-tor-1") == "tor-1"
+        assert device_of_label("spawn:vm0") == "vm0"
+        assert device_of_label("timeout") == ""
+
+
+class TestRecorder:
+    def test_parent_capture_through_timers(self):
+        env = Environment()
+        rec = CriticalPathRecorder(env)
+        assert env.critpath is rec
+
+        def leaf():
+            pass
+
+        def root():
+            env.timer(1.0, leaf)
+
+        env.timer(1.0, root)
+        env.run()
+        export = rec.export(prune=False)
+        by_label = {lab: (nid, par)
+                    for nid, par, lab in zip(export["n"], export["p"],
+                                             export["l"])}
+        root_label = next(lab for lab in by_label if "root" in lab)
+        leaf_label = next(lab for lab in by_label if "leaf" in lab)
+        # leaf's scheduling parent is root's dispatch node.
+        assert by_label[leaf_label][1] == by_label[root_label][0]
+        assert by_label[root_label][1] == 0  # scheduled outside any event
+
+    def test_timer_label_uses_owner_hostname(self):
+        env = Environment()
+        rec = CriticalPathRecorder(env)
+
+        class Daemon:
+            hostname = "r7"
+
+            def fire(self):
+                pass
+
+        env.timer(1.0, Daemon().fire)
+        env.run()
+        export = rec.export(prune=False)
+        assert any(lab.endswith(".fire@r7") for lab in export["l"])
+
+    def test_delivery_nodes_parent_on_the_send(self):
+        env = Environment()
+        rec = CriticalPathRecorder(env)
+
+        def send():
+            rec.note_enqueue("vm1", 42, 7)
+
+        env.timer(1.0, send)
+        env.run()
+        send_node = rec.export(prune=False)["n"][-1]
+        rec.begin_delivery("vm1", 42, 7)
+        rec.end_delivery()
+        export = rec.export(prune=False)
+        idx = export["l"].index("underlay>vm1")
+        assert export["n"][idx] == -1      # synthetic id
+        assert export["p"][idx] == send_node
+
+    def test_cross_shard_delivery_stitches_by_key(self):
+        env = Environment()
+        rec = CriticalPathRecorder(env, shard=1)
+        rec.note_channel_recv("vm1", 42, 7, "42>vm1#7")
+        rec.begin_delivery("vm1", 42, 7)
+        rec.end_delivery()
+        export = rec.export(prune=False)
+        assert export["p"][export["l"].index("underlay>vm1")] == 0
+        assert export["xrecv"] == {-1: "42>vm1#7"}
+
+    def test_relabel_only_applies_inside_own_dispatch(self):
+        env = Environment()
+        rec = CriticalPathRecorder(env)
+
+        def job():
+            pass
+
+        def run_job():
+            rec.relabel_current(job, "r1.worker")
+
+        env.timer(1.0, run_job)
+        env.run()
+        labels = rec.export(prune=False)["l"]
+        assert any(lab.endswith(".job@r1.worker") for lab in labels)
+        # Inside a synthetic delivery dispatch, relabel is guarded off:
+        # the current node is the delivery, not an event node.
+        rec.note_enqueue("vm1", 1, 1)
+        rec.begin_delivery("vm1", 1, 1)
+        rec.relabel_current(job, "r2.worker")
+        rec.end_delivery()
+        assert not any(lab.endswith("@r2.worker")
+                       for lab in rec.export(prune=False)["l"])
+
+    def test_null_twin_is_inert(self):
+        assert NULL_CRITPATH.node_count() == 0
+        NULL_CRITPATH.on_schedule()
+        NULL_CRITPATH.relabel_current(None, "x")
+        assert NULL_CRITPATH.export()["n"] == []
+
+    def test_disabled_env_field_stays_none(self):
+        assert Environment().critpath is None
+
+
+class TestAnalyze:
+    def chain_export(self, shard=0):
+        # boot(1) -> cpu(2) -> decision(3, anchor); an unrelated idle(4).
+        return make_export(
+            n=[1, 2, 3, 4],
+            p=[0, 1, 2, 0],
+            t=[1.0, 3.0, 6.0, 2.0],
+            l=["DeviceOS._start_protocols@r1", "vm0.cpu:task",
+               "BgpDaemon._run_decision@r1.worker", "timeout"],
+            shard=shard)
+
+    def test_single_chain_waterfall(self):
+        doc = analyze([self.chain_export()], start=0.0, horizon=10.0)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["kind"] == "critpath"
+        assert len(doc["chains"]) == 1
+        top = doc["chains"][0]
+        assert top["end"] == 6.0
+        assert top["slack"] == 0.0
+        assert [seg["dur"] for seg in top["segments"]] == [1.0, 2.0, 3.0]
+        assert doc["phases"] == {"boot": 1.0, "cpu": 2.0, "bgp-work": 3.0}
+        assert doc["devices"] == {"r1": 4.0, "vm0": 2.0}
+        assert doc["coverage"]["named_fraction"] == 1.0
+
+    def test_replicated_exports_collapse(self):
+        """K identical skeleton copies (different local ids) produce the
+        same document as one copy — the shard-invariance mechanism."""
+        copy = make_export(
+            n=[11, 12, 13], p=[0, 11, 12], t=[1.0, 3.0, 6.0],
+            l=["DeviceOS._start_protocols@r1", "vm0.cpu:task",
+               "BgpDaemon._run_decision@r1.worker"], shard=1)
+        one = analyze([self.chain_export()], start=0.0, horizon=10.0)
+        many = analyze([self.chain_export(), copy], start=0.0, horizon=10.0)
+        assert json.dumps(one, sort_keys=True) == \
+            json.dumps(many, sort_keys=True)
+
+    def test_horizon_excludes_late_anchors(self):
+        doc = analyze([self.chain_export()], start=0.0, horizon=5.0)
+        assert doc["chains"] == []
+
+    def test_cross_shard_stitch(self):
+        sender = make_export(
+            n=[1], p=[0], t=[2.0], l=["BgpDaemon._flush@r1.worker"],
+            shard=0, xsend={"1>vm1#7": 1})
+        receiver = make_export(
+            n=[-1, 5], p=[0, -1], t=[2.5, 4.0],
+            l=["underlay>vm1", "BgpDaemon._run_decision@r2.worker"],
+            shard=1, xrecv={-1: "1>vm1#7"})
+        doc = analyze([sender, receiver], start=0.0, horizon=10.0)
+        top = doc["chains"][0]
+        assert [seg["label"] for seg in top["segments"]] == [
+            "BgpDaemon._flush@r1.worker", "underlay>vm1",
+            "BgpDaemon._run_decision@r2.worker"]
+
+    def test_slack_orders_near_critical_chains(self):
+        second = make_export(
+            n=[21, 22], p=[0, 21], t=[1.0, 5.0],
+            l=["DeviceOS._start_protocols@r2",
+               "BgpDaemon._run_decision@r2.worker"])
+        doc = analyze([self.chain_export(), second], start=0.0,
+                      horizon=10.0)
+        assert [c["rank"] for c in doc["chains"]] == [1, 2]
+        assert doc["chains"][0]["slack"] == 0.0
+        assert doc["chains"][1]["slack"] == 1.0
+
+    def test_what_if_scales_classes(self):
+        doc = analyze([self.chain_export()], start=0.0, horizon=10.0)
+        same = what_if(doc)
+        assert same["predicted_delta"] == 0.0
+        # cpu 2s is untouched; boot 1s untouched; no mrai/underlay here,
+        # so scaling them is a no-op too.
+        assert what_if(doc, mrai_scale=0.0)["predicted_end"] == 6.0
+
+    def test_what_if_mrai_reduction(self):
+        export = make_export(
+            n=[1, 2], p=[0, 1], t=[10.0, 12.0],
+            l=["BgpDaemon._mrai_fire@r1",
+               "BgpDaemon._run_decision@r1.worker"])
+        doc = analyze([export], start=0.0, horizon=20.0)
+        halved = what_if(doc, mrai_scale=0.5)
+        assert halved["predicted_end"] == pytest.approx(7.0)
+        assert halved["predicted_delta"] == pytest.approx(-5.0)
+
+    def test_to_dot_deterministic_and_quoted(self):
+        export = make_export(
+            n=[1, 2], p=[0, 1], t=[1.0, 2.0],
+            l=['Weird"label\\x', "BgpDaemon._run_decision@r1.worker"])
+        doc = analyze([export], start=0.0, horizon=10.0)
+        dot = to_dot(doc)
+        assert dot == to_dot(doc)
+        assert dot.startswith("digraph critpath {")
+        assert '\\"' in dot and "\\\\" in dot
+        assert "->" in dot
+
+
+class TestSchema:
+    def test_missing_version_passes(self):
+        check_schema({"anything": 1})
+        check_schema([1, 2, 3])
+
+    def test_matching_version_passes(self):
+        check_schema({"schema_version": SCHEMA_VERSION})
+
+    def test_mismatch_raises_loudly(self):
+        with pytest.raises(SchemaMismatch) as err:
+            check_schema({"schema_version": 99}, source="x.json")
+        assert "99" in str(err.value)
+        assert "x.json" in str(err.value)
+        assert isinstance(err.value, ValueError)

@@ -108,6 +108,32 @@ class TestPollDecimation:
         assert mon.sample(net)["fib"] == 7  # force always walks
 
 
+class TestSampleEveryEnv:
+    def test_default_is_sixteen(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEM_SAMPLE", raising=False)
+        assert MemoryMonitor(Observability())._sample_every == SAMPLE_EVERY
+        assert SAMPLE_EVERY == 16
+
+    def test_one_walks_every_poll(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEM_SAMPLE", "1")
+        mon = MemoryMonitor(Observability())
+        net = FakeNet()
+        assert all(mon.poll(net) is not None for _ in range(5))
+
+    def test_custom_factor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEM_SAMPLE", "3")
+        mon = MemoryMonitor(Observability())
+        net = FakeNet()
+        walked = [i for i in range(7) if mon.poll(net) is not None]
+        assert walked == [0, 3, 6]
+
+    @pytest.mark.parametrize("raw", ["0", "-2", "fast", "1.5"])
+    def test_invalid_values_fail_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_MEM_SAMPLE", raw)
+        with pytest.raises(ValueError, match="REPRO_MEM_SAMPLE"):
+            MemoryMonitor(Observability())
+
+
 class TestNullTwin:
     def test_inert(self):
         assert NULL_MEMORY_MONITOR.poll(object()) is None

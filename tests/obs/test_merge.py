@@ -260,5 +260,5 @@ class TestChannelTraces:
 
     def test_empty_merge(self):
         merged = merge_channel_traces([])
-        assert merged == {"version": 1, "total": 0, "dropped": 0,
-                          "traces": {}}
+        assert merged == {"version": 1, "schema_version": 1, "total": 0,
+                          "dropped": 0, "traces": {}}

@@ -1,0 +1,59 @@
+"""CLI tools reject obs artifacts from a different schema generation.
+
+Every obs JSON artifact carries ``schema_version``; ``obsdump`` and
+``netscope`` must fail loudly (exit 2, message naming the file and both
+versions) instead of misrendering a document whose layout they do not
+understand.  Artifacts without the field (pre-versioning) still load.
+"""
+
+import json
+
+from repro.obs.schema import SCHEMA_VERSION
+from repro.tools.netscope import main as netscope
+from repro.tools.obsdump import main as obsdump
+
+
+def write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_obsdump_rejects_future_schema(tmp_path, capsys):
+    doc = {"schema_version": 99, "metrics": {}}
+    for command in (["metrics", write(tmp_path, "m.json", doc)],
+                    ["flight", write(tmp_path, "f.json",
+                                     {"schema_version": 99, "shards": []})],
+                    ["profile", write(tmp_path, "p.json",
+                                      {"schema_version": 99, "shards": []})]):
+        assert obsdump(command) == 2
+        err = capsys.readouterr().err
+        assert "schema_version 99" in err
+        assert str(SCHEMA_VERSION) in err
+        assert command[1] in err
+
+
+def test_netscope_rejects_future_schema(tmp_path, capsys):
+    path = write(tmp_path, "bench.json", {"schema_version": 99, "data": {}})
+    assert netscope(["critpath", path]) == 2
+    err = capsys.readouterr().err
+    assert "schema_version 99" in err
+    assert path in err
+
+
+def test_unversioned_artifacts_still_load(tmp_path, capsys):
+    """Committed pre-versioning artifacts keep working."""
+    path = write(tmp_path, "legacy.json", {"metrics": {
+        "repro_demo_total": {"type": "counter",
+                             "samples": [{"labels": {}, "value": 1}]}}})
+    assert obsdump(["metrics", path]) == 0
+    assert "repro_demo_total" in capsys.readouterr().out
+
+
+def test_current_schema_accepted(tmp_path, capsys):
+    path = write(tmp_path, "current.json", {
+        "schema_version": SCHEMA_VERSION,
+        "metrics": {"repro_demo_total": {
+            "type": "counter", "samples": [{"labels": {}, "value": 2}]}}})
+    assert obsdump(["metrics", path]) == 0
+    capsys.readouterr()

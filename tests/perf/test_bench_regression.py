@@ -271,3 +271,45 @@ def test_live_shard_trajectory_and_speedup(shard_report):
         pytest.skip(f"machine too loaded to measure shard speedup "
                     f"(best {best:.2f}x over {PROBE_ROUNDS} rounds)")
     assert best >= 1.0
+
+
+# --- Critical-path gate (benchmarks/BENCH_critpath.json) --------------
+
+CRITPATH_ARTIFACT = REPO / "benchmarks" / "BENCH_critpath.json"
+
+
+@pytest.fixture(scope="module")
+def critpath_report() -> dict:
+    assert CRITPATH_ARTIFACT.is_file(), (
+        "benchmarks/BENCH_critpath.json is missing; regenerate it with "
+        "`python benchmarks/bench_critpath_overhead.py`")
+    return json.loads(CRITPATH_ARTIFACT.read_text())["data"]
+
+
+def test_critpath_artifact_schema(critpath_report):
+    assert critpath_report["scale"] == "L-DC"
+    assert critpath_report["nodes"] > 0
+    doc = critpath_report["critpath"]
+    assert doc["kind"] == "critpath"
+    assert doc["chains"], "committed artifact has no critical path"
+    top = doc["chains"][0]
+    assert top["slack"] == 0.0
+    assert top["segments"]
+
+
+def test_critpath_artifact_overhead_within_budget(critpath_report):
+    """The leave-it-on claim, as committed: recording the causal forest
+    for a full L-DC run cost under the 10% budget."""
+    assert critpath_report["overhead_fraction"] < \
+        critpath_report["budget_fraction"]
+    assert critpath_report["budget_fraction"] == 0.10
+
+
+def test_critpath_artifact_attributes_the_wall(critpath_report):
+    """>=90% of the critical path's sim-time lands in named phase
+    classes — the artifact actually explains where the L-DC wall goes."""
+    coverage = critpath_report["critpath"]["coverage"]
+    assert coverage["chain_s"] > 0.0
+    assert coverage["named_fraction"] >= 0.90, coverage
+    phases = critpath_report["critpath"]["phases"]
+    assert phases.get("boot", 0.0) > 0.0  # the dominant L-DC segment

@@ -1,0 +1,97 @@
+"""Critical-path analysis is shard-count-invariant.
+
+The causal record grows from whichever heap the events actually ran on,
+so the raw node tables differ wildly between backends — but the
+*analysis* is content-keyed: same pinned S-DC, both vendor-profile
+assignments, ``REPRO_SHARDS`` unset / K=1 / K=4 must produce a
+byte-identical ``critical_path()`` document (ISSUE 8 acceptance bar).
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.topology import SDC, build_clos
+
+pytestmark = [pytest.mark.shard, pytest.mark.telemetry]
+
+VENDOR_PROFILES = {
+    "paper": None,  # ToRs CTNR-B, the rest CTNR-A (§8.1)
+    "inverted": {"tor": "ctnr-a", "leaf": "ctnr-b", "spine": "ctnr-b",
+                 "border": "ctnr-b", "wan": "vm-b"},
+}
+SHARD_CASES = ("unset", 1, 4)
+
+
+def critpath_doc(shards, vendors):
+    """Converge one pinned S-DC with recording on; freeze the analysis."""
+    params = SDC() if vendors is None else dataclasses.replace(
+        SDC(), vendors=vendors)
+    net = CrystalNet(emulation_id="t-crit", seed=5, shards=shards,
+                     critpath=True)
+    net.prepare(build_clos(params))
+    net.mockup()
+    try:
+        return net.critical_path()
+    finally:
+        net.close()
+
+
+@pytest.fixture(scope="module", params=sorted(VENDOR_PROFILES),
+                ids=sorted(VENDOR_PROFILES))
+def trio(request):
+    vendors = VENDOR_PROFILES[request.param]
+    saved = os.environ.pop("REPRO_SHARDS", None)
+    try:
+        result = {case: critpath_doc(None if case == "unset" else case,
+                                     vendors)
+                  for case in SHARD_CASES}
+    finally:
+        if saved is not None:
+            os.environ["REPRO_SHARDS"] = saved
+    return result
+
+
+def test_critical_path_byte_identical_across_backends(trio):
+    base = json.dumps(trio["unset"], sort_keys=True)
+    assert json.dumps(trio[1], sort_keys=True) == base
+    assert json.dumps(trio[4], sort_keys=True) == base
+
+
+def test_critical_path_is_substantial(trio):
+    doc = trio["unset"]
+    assert doc["kind"] == "critpath"
+    assert doc["chains"], "no chain from boot to route-ready"
+    top = doc["chains"][0]
+    assert top["slack"] == 0.0
+    assert len(top["segments"]) > 5
+    # The chain spans the mockup window: it ends at/after the last
+    # routing work and starts at/after mockup start.
+    assert doc["window"]["start"] is not None
+    assert top["end"] <= doc["window"]["end"]
+
+
+def test_critical_path_attributes_convergence(trio):
+    """The acceptance bar: >= 90% of critical-path sim-time lands in
+    named phase classes, not 'other'."""
+    coverage = trio["unset"]["coverage"]
+    assert coverage["chain_s"] > 0.0
+    assert coverage["named_fraction"] >= 0.9
+
+
+def test_recording_off_raises():
+    from repro.core.orchestrator import OrchestratorError
+    saved = os.environ.pop("REPRO_SHARDS", None)
+    try:
+        net = CrystalNet(emulation_id="t-crit-off", seed=5)
+        try:
+            with pytest.raises(OrchestratorError, match="REPRO_CRITPATH"):
+                net.critical_path()
+        finally:
+            net.close()
+    finally:
+        if saved is not None:
+            os.environ["REPRO_SHARDS"] = saved

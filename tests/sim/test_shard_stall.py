@@ -1,0 +1,92 @@
+"""A convergence stall in a sharded run trips the watchdog and dumps a
+replayable flight artifact — pinned end to end.
+
+The scenario: two linkless devices (no BGP sessions, so the event heap
+drains right after boot) with the local readiness verdict forced False.
+Every route-ready poll then sees a not-ready fleet whose progress tuple
+(events / sent / received / swallowed) is frozen — exactly the signature
+:class:`repro.obs.flight.Watchdog` exists for.  The run itself continues
+to its timeout; the black box must already be on disk by then.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.core.orchestrator import OrchestratorError
+from repro.net.ip import IPv4Address, Prefix
+from repro.sim.shard import WATCHDOG_STALL_POLLS
+from repro.tools import obsdump
+from repro.topology.graph import DeviceSpec, Topology
+
+pytestmark = [pytest.mark.shard, pytest.mark.telemetry]
+
+
+def linkless_pair() -> Topology:
+    """Two isolated ToRs: boots, then a silent (stalled-looking) heap."""
+    topo = Topology("stall-pair")
+    for i in (1, 2):
+        topo.add_device(DeviceSpec(
+            name=f"T{i}", role="tor", asn=65000 + i, layer=0,
+            vendor="ctnr-b",  # shortest boot-delay range: keeps sim short
+            loopback=IPv4Address(f"192.0.2.{i}"),
+            originated=[Prefix(f"10.{i}.0.0/16")]))
+    topo.validate()
+    return topo
+
+
+def test_convergence_stall_dumps_replayable_flight(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    # Force the per-worker readiness verdict False *before* the fork so
+    # every worker inherits the stall.
+    monkeypatch.setattr(CrystalNet, "_shard_local_ready", lambda self: False)
+    net = CrystalNet(emulation_id="t-stall", seed=5, shards=2)
+    net.prepare(linkless_pair())
+    try:
+        # Long enough for the ctnr-b boot delays (<= 360s past network
+        # ready) plus the stalled polls; the watchdog must dump well
+        # before this deadline aborts the run.
+        with pytest.raises(OrchestratorError, match="did not stabilize"):
+            net.mockup(route_ready_timeout=600.0)
+    finally:
+        net.close()
+
+    path = tmp_path / "flight-convergence-stall.json"
+    assert path.exists(), sorted(p.name for p in tmp_path.iterdir())
+    doc = json.loads(path.read_text())
+
+    # The watchdog's reason, not the later timeout's: first trip wins.
+    assert doc["reason"].startswith("convergence-stall:")
+    assert str(WATCHDOG_STALL_POLLS) in doc["reason"]
+    assert doc["schema_version"] == 1
+
+    # Coordinator-first ordering, then workers by shard id.
+    shards = [snap.get("shard") for snap in doc["shards"]]
+    assert shards[0] is None
+    assert shards[1:] == sorted(s for s in shards if s is not None)
+    # Every worker answered with a ring that saw the stalled polls.
+    assert len(doc["shards"]) == 3
+    assert any(entry["kind"] == "poll"
+               for snap in doc["shards"][1:]
+               for entry in snap["entries"])
+
+    # And the artifact replays through the CLI.
+    assert obsdump.main(["flight", str(path)]) == 0
+
+
+def test_healthy_sharded_run_writes_no_artifact(monkeypatch, tmp_path):
+    """Control: the same knobs on a healthy run leave the dir empty."""
+    monkeypatch.setenv("REPRO_FLIGHT_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    from repro.topology import SDC, build_clos
+    net = CrystalNet(emulation_id="t-stall-ok", seed=5, shards=2)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    try:
+        assert net._coordinator.flight_doc is None
+    finally:
+        net.close()
+    assert sorted(tmp_path.iterdir()) == []

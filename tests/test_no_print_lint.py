@@ -35,8 +35,8 @@ def test_telemetry_plane_modules_are_linted():
     allowlisted CLI layer), so the no-print rule covers them."""
     covered = {str(p.relative_to(SRC)) for p in library_files()}
     for module in ("obs/merge.py", "obs/windows.py", "obs/memory.py",
-                   "obs/flight.py", "virt/shard_channel.py",
-                   "sim/shard.py"):
+                   "obs/flight.py", "obs/critpath.py", "obs/schema.py",
+                   "virt/shard_channel.py", "sim/shard.py"):
         assert module in covered, module
 
 
