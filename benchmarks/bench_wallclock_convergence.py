@@ -8,19 +8,29 @@ fast paths (attribute interning, export memoization, maintained RIB
 orderings, cancellable timers — see DESIGN.md "Performance invariants")
 were built against.
 
-``BASELINE`` freezes the numbers measured at commit 3e05892, immediately
-before those fast paths landed, on the same pinned seed.  The committed
-``BENCH_wallclock.json`` therefore carries both sides of the comparison;
-the headline claim is the >=2x L-DC speedup.  Absolute wall seconds are
+``BASELINE`` is commit 3e05892 — immediately before those fast paths
+landed — re-measured with the same pinned seed **on the machine that
+produced the committed artifact** (interleaved fresh-interpreter runs),
+so both sides of the speedup compare on identical hardware.  The
+fast-path PR originally measured >=2x at L-DC on its reference machine;
+the ratio is cache- and machine-dependent (the committed artifact
+records what the artifact machine measures), so the standing portable
+claim is the ``SPEEDUP_FLOOR`` below.  Absolute wall seconds are
 machine-dependent, so the assertions here check shape only:
 
-  * determinism — the pinned seed produces the exact event trajectory the
-    baseline run produced (the fast paths changed *nothing* the decision
-    process sees);
-  * the fastpath A/B probe (interning/caching toggled off in-process)
-    fires the same events as the optimized run;
-  * events/second improves on the baseline at L-DC scale (a weak, noise-
-    tolerant floor; the 2x claim lives in the committed artifact).
+  * determinism — the fastpath A/B probe (interning/caching toggled off
+    in-process) fires the exact same events as the optimized run; the
+    committed artifact's per-scale event counts are what the perf gate
+    (``tests/perf/test_bench_regression.py``) pins live runs against;
+  * the L-DC mockup speedup over the same-machine baseline clears
+    ``SPEEDUP_FLOOR``, and events/second improves on the baseline.
+
+Baseline *event counts* are historical record only: the warm-snapshot
+engine rework (generator processes replaced by picklable callback/timer
+chains) deterministically removed events from every trajectory, so
+cross-generation event equality no longer holds — equality is enforced
+within an engine generation (A/B probe, live gate vs. the committed
+artifact), and wall/RSS comparisons against the baseline remain valid.
 
 Run directly (``python benchmarks/bench_wallclock_convergence.py``) or
 through pytest-benchmark; either path rewrites ``BENCH_wallclock.json``.
@@ -41,6 +51,18 @@ from repro.topology import LDC, MDC, SDC, build_clos
 
 SEED = 7
 
+# Portable half of the speedup claim: every regeneration, on whatever
+# machine, must beat the same-machine baseline by at least this much on
+# the L-DC *mockup*.  The fast-path PR's reference machine measured >=2x;
+# the current artifact machine measures 1.4-1.7x run to run (the baseline
+# side is the noisier one).  The floor sits below that whole range: it is
+# the regression tripwire that survives cache-hierarchy, CPU, and load
+# differences — the headline numbers are the recorded measurements.
+# Churn/total ratios are recorded but not gated: the timer-cancellation
+# win that dominated churn on the reference machine measures near parity
+# on some CPUs.
+SPEEDUP_FLOOR = 1.25
+
 # (preset, #VMs, churn?) — churn resets 4 sessions on each of the first
 # 4 spines and re-converges, the incremental-convergence workload.
 SWEEP = [
@@ -49,19 +71,23 @@ SWEEP = [
     (LDC, 12, True),
 ]
 
-# Measured at commit 3e05892 (pre-fast-path), seed=7, same sweep, on the
-# machine that produced the committed artifact.  churn_events differs
-# from the optimized run by design: cancellable timers stop scheduling
+# Measured at commit 3e05892 (pre-fast-path), seed=7, same sweep,
+# re-run on the machine that produced the committed artifact (event
+# counts reproduced the original measurement exactly — determinism
+# across machines).  Event counts here are the retired generator
+# engine's trajectory — kept as historical record; wall/RSS are what
+# the speedup claim compares against.  churn_events additionally
+# differs by design: cancellable timers stop scheduling
 # (deterministically) dead keepalive/hold events after session resets.
 BASELINE = {
-    "S-DC": {"mockup_wall_s": 0.25, "mockup_events": 13350,
-            "mockup_events_per_s": 54327, "peak_rss_mb": 19},
-    "M-DC": {"mockup_wall_s": 1.42, "mockup_events": 40699,
-            "mockup_events_per_s": 28624, "peak_rss_mb": 33},
-    "L-DC": {"mockup_wall_s": 48.84, "mockup_events": 620471,
-            "mockup_events_per_s": 12703,
-            "churn_wall_s": 4.59, "churn_events": 48771,
-            "churn_events_per_s": 10619, "peak_rss_mb": 324},
+    "S-DC": {"mockup_wall_s": 0.39, "mockup_events": 13350,
+            "mockup_events_per_s": 34572, "peak_rss_mb": 18},
+    "M-DC": {"mockup_wall_s": 2.01, "mockup_events": 40699,
+            "mockup_events_per_s": 20257, "peak_rss_mb": 32},
+    "L-DC": {"mockup_wall_s": 51.91, "mockup_events": 620471,
+            "mockup_events_per_s": 11952,
+            "churn_wall_s": 3.05, "churn_events": 48771,
+            "churn_events_per_s": 15986, "peak_rss_mb": 324},
 }
 
 
@@ -154,20 +180,22 @@ def run() -> dict:
         "baseline": BASELINE,
         "optimized": table,
         "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
         "fastpath_ab": fastpath_ab_probe(),
     }
 
 
 def check_shape(report: dict) -> None:
     opt = report["optimized"]
-    # Determinism: same pinned-seed trajectory the baseline run walked.
-    for name, base in BASELINE.items():
-        assert opt[name]["mockup_events"] == base["mockup_events"], (
-            f"{name}: event trajectory diverged from baseline "
-            f"({opt[name]['mockup_events']} != {base['mockup_events']})")
-    # Fast paths change timing, never the trajectory.
+    # Fast paths change timing, never the trajectory — and the A/B probe
+    # must agree with the sweep's own M-DC measurement (same engine
+    # generation, same seed, fresh emulation).
     assert report["fastpath_ab"]["same_event_trajectory"]
-    # Weak machine-independent floor; the 2x claim is the committed JSON.
+    assert (report["fastpath_ab"]["fastpaths_on"]["mockup_events"]
+            == opt["M-DC"]["mockup_events"])
+    # The standing speedup claim, against the same-machine baseline.
+    assert report["speedup"]["L-DC"]["mockup"] >= SPEEDUP_FLOOR, (
+        report["speedup"]["L-DC"])
     assert (opt["L-DC"]["mockup_events_per_s"]
             > BASELINE["L-DC"]["mockup_events_per_s"]), (
         "L-DC events/second did not improve on the pre-fast-path baseline")

@@ -1,0 +1,200 @@
+"""What-if throughput: warm-snapshot forking vs cold-boot validation.
+
+The warm-snapshot engine (``repro.snapshot`` + ``repro.serve``) exists
+so that validating one hypothetical change does not cost one full
+convergence.  This benchmark measures that claim at L-DC scale and
+commits both headline numbers in ``BENCH_whatif.json``:
+
+* **>=10x fork speedup** — a copy-on-write fork of the materialized
+  snapshot reconverging one link cut (carrier-loss detected on both
+  endpoints) completes at least 10x faster than paying the cold mockup
+  a validation pipeline would otherwise boot for the same verdict;
+* **>=100 verdicts/minute** — one warm snapshot sustains at least 100
+  sequential what-if verdicts per minute through the inline
+  :class:`~repro.serve.WhatIfServer` (the deterministic mode the
+  fidelity gates pin; the pool-mode measurement rides along with a
+  ``cores`` reading, like ``bench_shard_scaling.py``).
+
+The one-time materialization (unpickling the snapshot into the server,
+``materialize_wall_s``) is recorded separately: a service pays it once
+at startup, not per verdict.
+
+Run directly (``python benchmarks/bench_whatif_throughput.py``) or
+through pytest-benchmark; either path rewrites ``BENCH_whatif.json``.
+The perf gate (``tests/perf/test_bench_regression.py``) pins the
+committed artifact's claims and probes a live fork on this machine.
+"""
+
+import os
+import time
+
+from _harness import Stopwatch, emit
+from conftest import banner, run_once
+
+from repro.core import CrystalNet
+from repro.serve import WhatIfServer
+from repro.snapshot import LinkCut, fork, snapshot
+from repro.topology import LDC, build_clos
+
+SEED = 7
+NUM_VMS = 12                 # matches the wallclock sweep's L-DC row
+SEQUENTIAL_VERDICTS = 12     # distinct link cuts drained inline
+POOL_WORKERS = 4
+
+SPEEDUP_FLOOR = 10.0         # fork+reconverge vs cold mockup
+THROUGHPUT_FLOOR = 100.0     # sequential verdicts per minute
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _spine_leaf_cuts(net, count: int):
+    """Deterministic distinct spine-adjacent link cuts to validate."""
+    links = sorted(sorted(link) for link in net.links
+                   if any(dev.startswith("spn-") for dev in link))
+    if len(links) < count:
+        raise AssertionError(
+            f"topology has only {len(links)} spine links, need {count}")
+    step = len(links) // count
+    return [LinkCut(a, b) for a, b in links[::step][:count]]
+
+
+def run() -> dict:
+    topo = build_clos(LDC())
+
+    # Cold side of the comparison: what a validation pipeline pays per
+    # verdict without warm snapshots — a full prepare+mockup from zero.
+    net = CrystalNet(emulation_id="whatif-bench", seed=SEED)
+    t0 = time.perf_counter()
+    net.prepare(topo, num_vms=NUM_VMS)
+    net.mockup()
+    cold_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    snap = snapshot(net)
+    capture_wall = time.perf_counter() - t0
+    cuts = _spine_leaf_cuts(net, SEQUENTIAL_VERDICTS)
+
+    # Warm side: COW fork + the same one-link-cut verdict, measured
+    # through the server so the number includes everything a caller pays
+    # per request (the one-time materialization is timed separately).
+    with WhatIfServer(snap) as server:
+        t0 = time.perf_counter()
+        server.materialize()
+        materialize_wall = time.perf_counter() - t0
+        server.submit(cuts[0])
+        t0 = time.perf_counter()
+        verdict = server.drain()[0]
+        single_wall = time.perf_counter() - t0
+
+        # Sustained sequential throughput from the same snapshot.
+        for cut in cuts:
+            server.submit(cut)
+        t0 = time.perf_counter()
+        inline_verdicts = server.drain()
+        inline_wall = time.perf_counter() - t0
+
+    cores = _usable_cores()
+    with WhatIfServer(snap, workers=POOL_WORKERS) as pool:
+        for cut in cuts:
+            pool.submit(cut)
+        t0 = time.perf_counter()
+        pool_verdicts = pool.drain()
+        pool_wall = time.perf_counter() - t0
+
+    # Pool workers are independent replicas of the inline fork: verdict
+    # content must agree byte-for-byte (only wall timing may differ).
+    assert ([v["report"] for v in pool_verdicts]
+            == [v["report"] for v in inline_verdicts])
+
+    speedup = cold_wall / single_wall
+    per_minute = len(inline_verdicts) * 60.0 / inline_wall
+    report = {
+        "seed": SEED,
+        "scale": topo.name,
+        "cores": cores,
+        "cold": {
+            "mockup_wall_s": round(cold_wall, 2),
+            "mockup_events": net.env._seq,
+        },
+        "snapshot": {
+            "capture_wall_s": round(capture_wall, 3),
+            "payload_mb": round(len(snap.payload) / (1024 * 1024), 2),
+            "sim_time_s": round(snap.sim_time, 1),
+        },
+        "warm": {
+            "materialize_wall_s": round(materialize_wall, 2),
+            "verdict_wall_s": round(single_wall, 3),
+            "fork_seconds": round(verdict["timing"]["fork_seconds"], 3),
+            "changed_entries": verdict["report"]["fibdiff"]
+                                      ["changed_entries"],
+        },
+        "throughput": {
+            "verdicts": len(inline_verdicts),
+            "wall_s": round(inline_wall, 2),
+            "verdicts_per_minute": round(per_minute, 1),
+        },
+        "pool": {
+            "workers": POOL_WORKERS,
+            "cores_sufficient": cores >= POOL_WORKERS,
+            "wall_s": round(pool_wall, 2),
+            "verdicts_per_minute": round(
+                len(pool_verdicts) * 60.0 / pool_wall, 1),
+            "reports_identical_to_inline": True,  # asserted above
+        },
+        "claims": {
+            "fork_speedup_vs_cold": round(speedup, 1),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_claim_met": speedup >= SPEEDUP_FLOOR,
+            "verdicts_per_minute": round(per_minute, 1),
+            "throughput_floor": THROUGHPUT_FLOOR,
+            "throughput_claim_met": per_minute >= THROUGHPUT_FLOOR,
+        },
+    }
+    net.destroy()
+    return report
+
+
+def check_shape(report: dict) -> None:
+    claims = report["claims"]
+    assert claims["speedup_claim_met"], (
+        f"fork+reconverge speedup {claims['fork_speedup_vs_cold']}x "
+        f"under the {claims['speedup_floor']}x floor")
+    assert claims["throughput_claim_met"], (
+        f"{claims['verdicts_per_minute']} verdicts/minute under the "
+        f"{claims['throughput_floor']} floor")
+    assert report["pool"]["reports_identical_to_inline"] is True
+    assert report["warm"]["changed_entries"] > 0, (
+        "the benchmark's link cut moved no FIB entries — not a "
+        "representative what-if query")
+
+
+def test_whatif_throughput(benchmark):
+    with Stopwatch() as watch:
+        report = run_once(benchmark, run)
+    check_shape(report)
+    banner("What-if throughput (warm snapshot forking vs cold boot)",
+           "DESIGN.md: Warm snapshots")
+    claims = report["claims"]
+    print(f"cold L-DC mockup: {report['cold']['mockup_wall_s']}s; "
+          f"warm verdict: {report['warm']['verdict_wall_s']}s "
+          f"({claims['fork_speedup_vs_cold']}x, floor "
+          f"{claims['speedup_floor']}x)")
+    print(f"sequential: {claims['verdicts_per_minute']} verdicts/minute "
+          f"(floor {claims['throughput_floor']}); pool x"
+          f"{report['pool']['workers']}: "
+          f"{report['pool']['verdicts_per_minute']} verdicts/minute")
+    emit("whatif", data=report, wall_time=watch.elapsed)
+
+
+if __name__ == "__main__":
+    with Stopwatch() as watch:
+        report = run()
+    check_shape(report)
+    path = emit("whatif", data=report, wall_time=watch.elapsed)
+    print(f"wrote {path}")
+    print(report["claims"])

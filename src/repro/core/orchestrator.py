@@ -17,6 +17,7 @@ emulation object so the Figure 8/9 benchmarks can read them off directly.
 
 from __future__ import annotations
 
+import functools
 import os
 import random
 from dataclasses import dataclass, field
@@ -25,13 +26,13 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..boundary.safety import BoundaryVerdict, classify_boundary
 from ..boundary.search import find_safe_dc_boundary
 from ..boundary.speaker import SpeakerOS, SpeakerRoute
-from ..config.dialects import render_config
+from ..config.dialects import parse_config, render_config
 from ..config.generator import ConfigGenerator
 from ..config.model import DeviceConfig
 from ..firmware.device import DeviceOS, PacketRecord
 from ..firmware.vendors.profiles import VendorProfile, get_vendor
 from ..net.ip import IPv4Address
-from ..obs import MemoryMonitor, NULL_MEMORY_MONITOR, Observability
+from ..obs import EnvClock, MemoryMonitor, NULL_MEMORY_MONITOR, Observability
 from ..obs.critpath import CriticalPathRecorder, NULL_CRITPATH
 from ..obs.flight import write_flight_artifact
 from ..obs.schema import SCHEMA_VERSION
@@ -644,9 +645,8 @@ class CrystalNet:
                              self.config_texts[name],
                              seed=seed,
                              obs=self.obs, prov=self.prov,
-                             on_crash=lambda reason, n=name:
-                                 self._log(f"{n} CRASHED: {reason}",
-                                           kind="firmware-crash", subject=n))
+                             on_crash=functools.partial(
+                                 self._note_firmware_crash, name))
             sandbox = record.vm.docker.create(f"os-{name}", vendor.image,
                                               netns=record.netns, guest=guest)
         record.sandbox = sandbox
@@ -1000,6 +1000,47 @@ class CrystalNet:
             yield record.sandbox.restart()
         return self.env.now - start
 
+    def warm_reload(self, device: str, config_text: str) -> None:
+        """Apply a config change to a running device without a reboot.
+
+        The incremental-reconvergence path of the what-if engine
+        (:mod:`repro.snapshot`): the BGP daemon keeps its converged RIBs
+        and sessions and re-processes only what the new configuration
+        perturbs (see :meth:`BgpDaemon.warm_reload
+        <repro.firmware.bgp.daemon.BgpDaemon.warm_reload>`).  Changes the
+        warm path cannot express — interfaces, FIB capacity, vendor
+        identity — raise; use :meth:`reload` (cold) for those.
+        """
+        self._forbid_sharded("warm_reload")
+        record = self._device_record(device)
+        if record.kind == "speaker":
+            raise OrchestratorError(f"{device} is a speaker; reconfigure "
+                                    f"the boundary instead")
+        guest: DeviceOS = record.guest
+        if (guest is None or guest.status != "running"
+                or guest.bgp is None):
+            raise OrchestratorError(
+                f"{device} is not running a warm-reloadable daemon; "
+                f"use reload()")
+        new_config = parse_config(
+            config_text, guest.vendor.name,
+            firmware_version=guest.vendor.acl_firmware_version)
+        old_config = guest.config
+        if new_config.interfaces != old_config.interfaces:
+            raise OrchestratorError(
+                f"{device}: interface changes require a cold reload()")
+        if new_config.fib_capacity != old_config.fib_capacity:
+            raise OrchestratorError(
+                f"{device}: FIB capacity changes require a cold reload()")
+        self._m_ops.inc(op="warm-reload")
+        self._log(f"warm-reload {device}", kind="control", subject=device,
+                  op="warm-reload")
+        self.config_texts[device] = config_text
+        guest.config_text = config_text
+        guest.bgp.warm_reload(new_config)
+        guest.config = new_config
+        guest._apply_transit_acl()
+
     def connect(self, dev_a: str, dev_b: str) -> None:
         """(Re-)connect the topology link between two devices."""
         self._forbid_sharded("connect")
@@ -1038,7 +1079,7 @@ class CrystalNet:
         for i in range(count):
             self.env.call_later(
                 i * interval,
-                lambda: guest.inject_packet(src_ip, dst_ip, signature))
+                guest.inject_packet, src_ip, dst_ip, signature)
 
     # ------------------------------------------------------------------
     # Monitor functions
@@ -1074,7 +1115,7 @@ class CrystalNet:
         samples it through each fault's settle window — the data
         ``netscope diff``/``blame`` render."""
         if self.timeline is None:
-            self.timeline = StateTimeline(clock=lambda: self.env.now,
+            self.timeline = StateTimeline(clock=EnvClock(self.env),
                                           obs=self.obs)
         return self.timeline
 
@@ -1296,6 +1337,12 @@ class CrystalNet:
         if record is None:
             raise OrchestratorError(f"unknown device {name!r} (not emulated)")
         return record
+
+    def _note_firmware_crash(self, name: str, reason: str) -> None:
+        # A named method (handed to guests via functools.partial) rather
+        # than a per-device lambda, so converged mockups stay picklable.
+        self._log(f"{name} CRASHED: {reason}",
+                  kind="firmware-crash", subject=name)
 
     def _log(self, message: str, kind: str = "orchestrator",
              subject: str = "", **fields) -> None:

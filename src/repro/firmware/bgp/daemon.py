@@ -219,8 +219,7 @@ class BgpDaemon:
         self.total_flaps = 0
 
         if self.vendor.tie_break == "highest-peer":
-            self._tie_breaker = lambda a, b: (
-                a if _peer_key(a) >= _peer_key(b) else b)
+            self._tie_breaker = _highest_peer_tie_breaker
         else:
             self._tie_breaker = default_tie_breaker
 
@@ -240,22 +239,26 @@ class BgpDaemon:
                                                self.env.now))
             self._dirty.add(network)
         for neighbor in self.bgp_config.neighbors:
-            session = BgpSession(
-                self.env, self.streams, neighbor,
-                local_asn=self.asn, router_id=self.router_id,
-                hold_time=self.vendor.hold_time,
-                keepalive_interval=self.vendor.keepalive_interval,
-                connect_retry=self.vendor.connect_retry,
-                rng=self.rng,
-                on_established=self._on_session_established,
-                on_down=self._on_session_down,
-                on_update=self._on_session_update,
-                on_transition=self._on_transition,
-            )
-            session.hostname = self.hostname
+            session = self._make_session(neighbor)
             self.sessions[neighbor.peer_ip.value] = session
             session.start(initiator=self._initiates_to(neighbor.peer_ip))
         self._schedule_decision()
+
+    def _make_session(self, neighbor) -> BgpSession:
+        session = BgpSession(
+            self.env, self.streams, neighbor,
+            local_asn=self.asn, router_id=self.router_id,
+            hold_time=self.vendor.hold_time,
+            keepalive_interval=self.vendor.keepalive_interval,
+            connect_retry=self.vendor.connect_retry,
+            rng=self.rng,
+            on_established=self._on_session_established,
+            on_down=self._on_session_down,
+            on_update=self._on_session_update,
+            on_transition=self._on_transition,
+        )
+        session.hostname = self.hostname
+        return session
 
     def stop(self) -> None:
         """Graceful daemon stop: sessions close, BGP routes leave the FIB."""
@@ -268,6 +271,142 @@ class BgpDaemon:
         self.fib_prov.clear()
         self.select_prov.clear()
         self.worker.stop()
+
+    # -- warm reconfiguration ----------------------------------------------
+
+    def warm_reload(self, config: DeviceConfig) -> None:
+        """Apply a new configuration to the live daemon, no restart.
+
+        The warm-start entry point of the what-if engine
+        (:mod:`repro.snapshot`): a forked mockup re-applies a config or
+        policy edit here and re-runs only the perturbed region instead
+        of cold-booting the daemon.  Semantics:
+
+        * sessions whose peering is untouched keep running (their RIBs
+          and timers are already converged state);
+        * sessions whose *import* path changed are hard-reset —
+          Adj-RIB-In stores post-import-policy routes, so re-learning
+          through the new policy is the only faithful option (the reset
+          re-converges to the same fixpoint a cold boot reaches);
+        * *export*-side changes propagate via a full re-advertisement
+          sweep: :meth:`_advertise` diffs against Adj-RIB-Out, so
+          unchanged exports send nothing and newly-denied exports become
+          withdrawals;
+        * identity changes (ASN, router-id) refuse — that is a cold
+          reload.
+        """
+        if config.bgp is None:
+            raise ValueError(f"{self.hostname}: warm reload needs a BGP "
+                             f"configuration")
+        new_bgp = config.bgp
+        if (new_bgp.asn != self.asn
+                or new_bgp.router_id != self.router_id):
+            raise ValueError(f"{self.hostname}: ASN/router-id change "
+                             f"requires a cold reload")
+        if self.crashed or not self.running:
+            raise ValueError(f"{self.hostname}: daemon is not running")
+        old_config, old_bgp = self.config, self.bgp_config
+        self.config = config
+        self.bgp_config = new_bgp
+        self.policy = PolicyContext.from_config(config)
+        self.invalidate_caches()
+        hostname = self.hostname
+
+        # Locally-originated networks.
+        old_nets, new_nets = set(old_bgp.networks), set(new_bgp.networks)
+        for network in sorted(old_nets - new_nets, key=Prefix.key):
+            self.local_routes.pop(network, None)
+            self._dirty.add(network)
+        for network in sorted(new_nets - old_nets, key=Prefix.key):
+            self.local_routes[network] = Route(
+                prefix=network,
+                attrs=PathAttributes.intern(as_path=(), origin=ORIGIN_IGP),
+                peer_ip=None, peer_asn=None, is_ebgp=False,
+                provenance=self.prov.originate(hostname, network,
+                                               self.env.now))
+            self._dirty.add(network)
+
+        # Aggregates: re-derive any statement that changed or vanished
+        # (dropping the cached aggregate also clears inherit-first
+        # stickiness, as a fresh statement would).
+        old_aggs = {a.prefix: a for a in old_bgp.aggregates}
+        new_aggs = {a.prefix: a for a in new_bgp.aggregates}
+        for prefix in old_aggs.keys() - new_aggs.keys():
+            if self.aggregate_routes.pop(prefix, None) is not None:
+                self._dirty.add(prefix)
+        for prefix, agg in new_aggs.items():
+            if old_aggs.get(prefix) != agg:
+                self.aggregate_routes.pop(prefix, None)
+                self._dirty.add(prefix)
+
+        # Selection-mode changes re-run the decision over everything.
+        if (old_bgp.multipath != new_bgp.multipath
+                or old_bgp.max_paths != new_bgp.max_paths):
+            self._dirty.update(self.adj_in.by_prefix)
+            self._dirty.update(self.local_routes)
+            self._dirty.update(self.aggregate_routes)
+
+        # Neighbors.
+        old_nbrs = {n.peer_ip.value: n for n in old_bgp.neighbors}
+        new_nbrs = {n.peer_ip.value: n for n in new_bgp.neighbors}
+        for key in sorted(old_nbrs.keys() - new_nbrs.keys()):
+            self._drop_neighbor(key)
+        for key in sorted(new_nbrs):
+            neighbor = new_nbrs[key]
+            old = old_nbrs.get(key)
+            if old is not None and (old.remote_asn != neighbor.remote_asn
+                                    or old.shutdown != neighbor.shutdown):
+                # Identity/admin change: tear down and renegotiate.
+                self._drop_neighbor(key)
+                old = None
+            if old is None:
+                session = self._make_session(neighbor)
+                self.sessions[key] = session
+                session.start(
+                    initiator=self._initiates_to(neighbor.peer_ip))
+                continue
+            session = self.sessions[key]
+            session.neighbor = neighbor
+            if self._import_path_changed(old, neighbor, old_config, config):
+                session.reset("warm-reload")
+        # Export-side changes surface through a full re-sync toward every
+        # established session (cheap: unchanged exports diff to nothing).
+        for session in self.sessions.values():
+            if session.state == "established":
+                self._mark_full_sync(session.peer_ip.value)
+        self._schedule_decision()
+
+    def _drop_neighbor(self, peer_key: int) -> None:
+        session = self.sessions.pop(peer_key, None)
+        if session is None:
+            return
+        session.stop()
+        peer_ip = session.peer_ip
+        self.adj_out.drop_peer(peer_ip)
+        self._pending_adv.pop(peer_key, None)
+        for prefix in self.adj_in.drop_peer(peer_ip):
+            self._dirty.add(prefix)
+
+    @staticmethod
+    def _policy_closure(config: DeviceConfig, name: Optional[str]):
+        """Everything an import policy's verdicts depend on, comparable."""
+        if name is None:
+            return None
+        route_map = config.route_maps.get(name)
+        if route_map is None:
+            return ("missing", name)
+        referenced = tuple(
+            config.prefix_lists.get(clause.match_prefix_list)
+            for clause in route_map.clauses
+            if clause.match_prefix_list is not None)
+        return (route_map, referenced)
+
+    def _import_path_changed(self, old, new, old_config: DeviceConfig,
+                             new_config: DeviceConfig) -> bool:
+        if old.import_policy != new.import_policy:
+            return True
+        return (self._policy_closure(old_config, old.import_policy)
+                != self._policy_closure(new_config, new.import_policy))
 
     def _crash(self, reason: str) -> None:
         if self.crashed:
@@ -905,6 +1044,12 @@ class BgpDaemon:
 
 def _peer_key(route: Route) -> int:
     return route.peer_ip.value if route.peer_ip is not None else -1
+
+
+def _highest_peer_tie_breaker(a: Route, b: Route) -> Route:
+    """Vendor "highest-peer" decision tie-break (module-level, not a
+    lambda, so daemons holding it stay picklable for warm snapshots)."""
+    return a if _peer_key(a) >= _peer_key(b) else b
 
 
 if os.environ.get("REPRO_NO_FASTPATH") == "1":  # pragma: no cover

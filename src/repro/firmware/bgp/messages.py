@@ -90,6 +90,24 @@ class PathAttributes:
                 and self.atomic_aggregate == other.atomic_aggregate
                 and self.aggregator_asn == other.aggregator_asn)
 
+    # -- pickling ----------------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle by field values, rebuild through :meth:`intern`.
+
+        Two reasons not to pickle the instance dict verbatim: the
+        precomputed ``_hash`` is PYTHONHASHSEED-dependent (``communities``
+        is a frozenset of strings), so a verbatim restore in another
+        process would corrupt every dict keyed by attribute sets; and
+        routing ``intern()`` on load means all snapshots restored into
+        one process share one canonical instance per attribute set —
+        the copy-on-write sharing between sibling forks.
+        """
+        return (_restore_attrs, (
+            self.as_path, self.next_hop, self.origin, self.med,
+            self.local_pref, tuple(sorted(self.communities)),
+            self.atomic_aggregate, self.aggregator_asn))
+
     # -- interning ---------------------------------------------------------
 
     def interned(self) -> "PathAttributes":
@@ -204,6 +222,15 @@ class PathAttributes:
 # The derivation memo maps (base, op, args) -> canonical result, so the
 # hot prepend/replace/with_next_hop calls skip construction entirely on
 # repeat — every flush derives the same handful of attribute sets.
+def _restore_attrs(as_path, next_hop, origin, med, local_pref, communities,
+                   atomic_aggregate, aggregator_asn) -> PathAttributes:
+    """Unpickle target of :meth:`PathAttributes.__reduce__`."""
+    return PathAttributes.intern(
+        as_path=as_path, next_hop=next_hop, origin=origin, med=med,
+        local_pref=local_pref, communities=frozenset(communities),
+        atomic_aggregate=atomic_aggregate, aggregator_asn=aggregator_asn)
+
+
 PathAttributes._intern_table = {}
 PathAttributes._derive_table = {}
 PathAttributes.interning = True

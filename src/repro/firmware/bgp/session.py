@@ -15,6 +15,7 @@ comparator of §9.)
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Callable, Optional, TYPE_CHECKING
 
@@ -150,7 +151,10 @@ class BgpSession:
             self.last_error = str(exc)
             self._schedule_connect()
             return
-        conn.established.add_callback(lambda ev: self._on_connected(conn, ev.ok))
+        # partial, not a lambda: the pending established-event callback
+        # of a still-connecting session must survive pickling (snapshots).
+        conn.established.add_callback(
+            functools.partial(self._established_callback, conn))
         # A SYN into a dead link is silently dropped; give up on this
         # attempt after the retry interval so the FSM keeps trying.
         self._connect_timer = self.env.timer(
@@ -159,6 +163,9 @@ class BgpSession:
     def _connect_timeout(self, conn: Connection) -> None:
         if conn.state == "connecting":
             conn.abort("connect-timeout")
+
+    def _established_callback(self, conn: Connection, event) -> None:
+        self._on_connected(conn, event.ok)
 
     def _on_connected(self, conn: Connection, ok: Optional[bool]) -> None:
         if self._connect_timer is not None:

@@ -41,6 +41,22 @@ __all__ = ["DeviceOS", "PacketRecord"]
 TRANSIT_ACL = "FORWARD"
 
 
+class _AclPermitFilter:
+    """Picklable packet filter: permit exactly what ``acl`` permits.
+
+    Installed as ``HostStack.packet_filter`` for the device's lifetime —
+    a lambda here would make every ACL-bearing device unsnapshottable.
+    """
+
+    __slots__ = ("acl",)
+
+    def __init__(self, acl):
+        self.acl = acl
+
+    def __call__(self, src: IPv4Address, dst: IPv4Address) -> bool:
+        return self.acl.evaluate(src, dst) == "permit"
+
+
 @dataclass
 class PacketRecord:
     """One captured telemetry packet at one device."""
@@ -205,8 +221,7 @@ class DeviceOS:
         if acl is None:
             self.stack.packet_filter = None
             return
-        self.stack.packet_filter = (
-            lambda src, dst: acl.evaluate(src, dst) == "permit")
+        self.stack.packet_filter = _AclPermitFilter(acl)
 
     def _capture(self, ifname: str, event: str, packet: Ipv4Packet) -> None:
         if packet.signature is None or self.container is None:
@@ -226,6 +241,17 @@ class DeviceOS:
             return False
         return self.bgp is None or self.bgp.is_quiescent()
 
+    def pull_fib(self) -> list:
+        """The rendered FIB alone — the ``pull_states()["fib"]`` payload
+        without the RIB snapshot (what-if verdicts diff thousands of FIBs
+        and must not pay for the rest of the state document)."""
+        if self.stack is None:
+            return []
+        return [
+            (str(p), sorted(str(h.ip) if h.ip else f"dev:{h.interface}"
+                            for h in hops))
+            for p, hops in self.stack.fib.routes()]
+
     def pull_states(self) -> dict:
         """The PullStates payload: FIB, RIB summary, sessions, resources."""
         out = {
@@ -235,10 +261,7 @@ class DeviceOS:
             "config_errors": list(self.config_errors),
         }
         if self.stack is not None:
-            out["fib"] = [
-                (str(p), sorted(str(h.ip) if h.ip else f"dev:{h.interface}"
-                                for h in hops))
-                for p, hops in self.stack.fib.routes()]
+            out["fib"] = self.pull_fib()
             out["counters"] = dict(self.stack.counters)
             out["fib_overflow_drops"] = self.stack.fib.overflow_drops
         if self.bgp is not None:

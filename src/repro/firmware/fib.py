@@ -67,6 +67,11 @@ class Fib:
         self.overflow_policy = overflow_policy
         self.installed = 0
         self.overflow_drops = 0
+        # Bumped on every effective table mutation (install/remove/clear);
+        # equal versions guarantee equal ``routes()`` output, so FIB
+        # renderers can reuse a prior snapshot instead of re-stringifying
+        # the whole table (the what-if fast path).
+        self.version = 0
         # LPM memo: next-hop resolution and source-address selection look
         # up the same handful of addresses thousands of times between
         # table changes.  Installing or removing a prefix can only change
@@ -104,6 +109,7 @@ class Fib:
                 f"FIB overflow at {self.capacity} entries")
         self._trie.insert(entry.prefix, entry)
         self.installed += 1
+        self.version += 1
         self._invalidate_lookups(entry.prefix)
         return True
 
@@ -127,7 +133,10 @@ class Fib:
 
     def remove(self, pfx: Prefix) -> bool:
         self._invalidate_lookups(pfx)
-        return self._trie.delete(pfx)
+        deleted = self._trie.delete(pfx)
+        if deleted:
+            self.version += 1
+        return deleted
 
     def lookup(self, addr: IPv4Address) -> Optional[FibEntry]:
         memo = self._lookup_memo
@@ -157,5 +166,7 @@ class Fib:
         victims = [p for p, e in self._trie.items() if e.source == source]
         for pfx in victims:
             self._trie.delete(pfx)
+        if victims:
+            self.version += 1
         self._lookup_memo.clear()
         return len(victims)

@@ -229,7 +229,7 @@ class HostStack:
                                sender_ip=local.address, target_ip=target)))
         self.env.call_later(
             ARP_TIMEOUT,
-            lambda: self._send_arp_request(target, ifname, retries_left - 1))
+            self._send_arp_request, target, ifname, retries_left - 1)
 
     def _on_arp(self, iface: VirtualInterface, message: ArpMessage) -> None:
         local = self.addresses.get(iface.name)

@@ -127,7 +127,7 @@ class OspfDaemon:
         self._send_hello(ifname)
         delay = config.hello_interval * (self.rng.uniform(0.1, 0.5) if first
                                          else self.rng.uniform(0.9, 1.1))
-        self.env.call_later(delay, lambda: self._hello_loop(ifname))
+        self.env.call_later(delay, self._hello_loop, ifname)
 
     def _send_hello(self, ifname: str) -> None:
         if ifname not in self.stack.addresses:

@@ -6,6 +6,18 @@ gets one :class:`SerialWorker`: jobs carry a CPU cost, are executed in FIFO
 order, and the cost is charged to the *hosting VM's* scheduler — so packing
 more devices per VM slows everyone down, which is the resource/latency
 trade-off Figures 8 and 9 measure.
+
+The worker is a callback state machine, not a generator process.  It used
+to be one (a perpetual ``while True`` loop parked on a wakeup event), but
+generators cannot be pickled, and one parked loop per device would have
+made every converged mockup unsnapshottable (see :mod:`repro.snapshot`).
+The timing semantics are unchanged: a job submitted to an idle worker
+starts its CPU charge at the submission instant (the old wakeup event
+fired at delay 0), completion times come from the same
+:meth:`~repro.sim.resources.CpuScheduler.execute` arithmetic, and queued
+jobs still run strictly FIFO back-to-back.  Only the engine's bookkeeping
+changes: no bootstrap/wakeup events, so sequence numbers — never event
+*times* — differ from the generator version.
 """
 
 from __future__ import annotations
@@ -13,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional, Tuple
 
-from ..sim import CpuScheduler, Environment, Event, Interrupt
+from ..sim import CpuScheduler, Environment
 
 __all__ = ["SerialWorker"]
 
@@ -26,10 +38,10 @@ class SerialWorker:
         self.cpu = cpu
         self.name = name
         self._queue: Deque[Tuple[float, Callable[..., None], tuple]] = deque()
-        self._wakeup: Optional[Event] = None
+        # The (fn, args) whose CPU charge is in flight; None when idle.
+        self._current: Optional[Tuple[Callable[..., None], tuple]] = None
         self._stopped = False
         self.jobs_done = 0
-        self._process = env.process(self._run(), name=f"{name}.loop")
 
     def submit(self, cost: float, fn: Callable[..., None], *args) -> None:
         """Queue ``fn(*args)`` to run after ``cost`` cpu-seconds of this
@@ -38,47 +50,48 @@ class SerialWorker:
         if self._stopped:
             return
         self._queue.append((cost, fn, args))
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        if self._current is None:
+            self._dispatch_next()
 
     @property
     def idle(self) -> bool:
-        return not self._queue and self._wakeup is not None
+        return not self._queue and self._current is None
 
     @property
     def pending(self) -> int:
         return len(self._queue)
 
     def stop(self) -> None:
-        """Discard queued work and stop the loop."""
+        """Discard queued work and stop accepting jobs.
+
+        An in-flight CPU charge still completes on the scheduler (the
+        core stays busy, as it would on real hardware), but its job
+        callback is dropped.
+        """
         self._stopped = True
         self._queue.clear()
-        if self._process.is_alive:
-            self._process.interrupt("stop")
 
-    def _run(self):
-        while True:
-            if not self._queue:
-                self._wakeup = self.env.event(name=f"{self.name}.wake")
-                try:
-                    yield self._wakeup
-                except Interrupt:
-                    return
-                finally:
-                    self._wakeup = None
-            while self._queue:
-                cost, fn, args = self._queue.popleft()
-                try:
-                    yield self.cpu.execute(cost)
-                except Interrupt:
-                    return
-                if self._stopped:
-                    return
-                critpath = self.env.critpath
-                if critpath is not None:
-                    # Rename the generic <vm>.cpu:task completion after
-                    # the routing work it actually ran, so critical-path
-                    # waterfalls attribute time to devices, not VMs.
-                    critpath.relabel_current(fn, self.name)
-                fn(*args)
-                self.jobs_done += 1
+    def _dispatch_next(self) -> None:
+        cost, fn, args = self._queue.popleft()
+        self._current = (fn, args)
+        self.cpu.execute(cost).add_callback(self._job_done)
+
+    def _job_done(self, _event) -> None:
+        fn, args = self._current
+        if self._stopped:
+            self._current = None
+            return
+        critpath = self.env.critpath
+        if critpath is not None:
+            # Rename the generic <vm>.cpu:task completion after
+            # the routing work it actually ran, so critical-path
+            # waterfalls attribute time to devices, not VMs.
+            critpath.relabel_current(fn, self.name)
+        # _current stays set while fn runs: a submit() from inside the
+        # job must queue, not dispatch — the next CPU charge starts only
+        # once this job returns (as the generator loop behaved).
+        fn(*args)
+        self.jobs_done += 1
+        self._current = None
+        if self._queue and not self._stopped:
+            self._dispatch_next()

@@ -11,7 +11,8 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterator, List, Tuple
 
-__all__ = ["IPv4Address", "Prefix", "ip", "prefix", "summarize"]
+__all__ = ["HostPool", "IPv4Address", "Prefix", "SubnetPool", "ip",
+           "prefix", "summarize"]
 
 _MAX32 = 0xFFFFFFFF
 
@@ -177,6 +178,14 @@ class Prefix:
             for v in range(self.network + 1, self.network + self.num_addresses - 1):
                 yield IPv4Address(v)
 
+    def host_pool(self) -> "HostPool":
+        """A picklable allocator over :meth:`hosts` (long-lived state)."""
+        return HostPool(self)
+
+    def subnet_pool(self, new_length: int) -> "SubnetPool":
+        """A picklable allocator over :meth:`subnets` (long-lived state)."""
+        return SubnetPool(self, new_length)
+
     def address_at(self, offset: int) -> IPv4Address:
         if offset >= self.num_addresses:
             raise ValueError(f"offset {offset} outside {self}")
@@ -213,6 +222,63 @@ class Prefix:
 
     def __repr__(self) -> str:
         return f"Prefix('{self}')"
+
+
+class HostPool:
+    """Cursor-based host-address allocator over one prefix.
+
+    Semantically ``iter(prefix.hosts())``, but a plain object with an
+    integer cursor instead of a generator frame — address pools live for
+    the whole emulation, and generators cannot be pickled into warm
+    snapshots (:mod:`repro.snapshot`).
+    """
+
+    __slots__ = ("prefix", "_next", "_stop")
+
+    def __init__(self, prefix: Prefix):
+        self.prefix = prefix
+        if prefix.length >= 31:
+            self._next = prefix.network
+            self._stop = prefix.network + prefix.num_addresses
+        else:
+            self._next = prefix.network + 1
+            self._stop = prefix.network + prefix.num_addresses - 1
+
+    def __iter__(self) -> "HostPool":
+        return self
+
+    def __next__(self) -> IPv4Address:
+        if self._next >= self._stop:
+            raise StopIteration
+        value = self._next
+        self._next = value + 1
+        return IPv4Address(value)
+
+
+class SubnetPool:
+    """Cursor-based subnet allocator over one prefix (see :class:`HostPool`)."""
+
+    __slots__ = ("prefix", "new_length", "_next", "_step", "_stop")
+
+    def __init__(self, prefix: Prefix, new_length: int):
+        if new_length < prefix.length or new_length > 32:
+            raise ValueError(
+                f"cannot split /{prefix.length} into /{new_length}")
+        self.prefix = prefix
+        self.new_length = new_length
+        self._next = prefix.network
+        self._step = 1 << (32 - new_length)
+        self._stop = prefix.network + prefix.num_addresses
+
+    def __iter__(self) -> "SubnetPool":
+        return self
+
+    def __next__(self) -> Prefix:
+        if self._next >= self._stop:
+            raise StopIteration
+        network = self._next
+        self._next = network + self._step
+        return Prefix(network, self.new_length)
 
 
 @lru_cache(maxsize=65536)

@@ -53,6 +53,7 @@ __all__ = [
     "ConvergenceProfiler",
     "Counter",
     "CriticalPathRecorder",
+    "EnvClock",
     "EventLog",
     "EventRecord",
     "FlightRecorder",
@@ -79,6 +80,7 @@ __all__ = [
     "Observability",
     "SCHEMA_VERSION",
     "SchemaMismatch",
+    "SimEventHook",
     "Span",
     "Tracer",
     "Watchdog",
@@ -87,6 +89,24 @@ __all__ = [
     "instrument_environment",
     "write_flight_artifact",
 ]
+
+
+class EnvClock:
+    """Picklable sim-clock callable: ``EnvClock(env)() == env.now``.
+
+    Every clock the observability plane hands out used to be a
+    ``lambda: env.now`` closure; an instance holding the environment
+    serializes with the rest of the object graph, which warm snapshots
+    (:mod:`repro.snapshot`) require.
+    """
+
+    __slots__ = ("env",)
+
+    def __init__(self, env):
+        self.env = env
+
+    def __call__(self) -> float:
+        return self.env.now
 
 
 class Observability:
@@ -112,7 +132,7 @@ class Observability:
 
     @staticmethod
     def _clock_of(env) -> Callable[[], float]:
-        return lambda: env.now
+        return EnvClock(env)
 
     def bind(self, env) -> "Observability":
         """Attach the sim clock of ``env`` (idempotent; the orchestrator
@@ -198,6 +218,55 @@ def _subsystem_of(name: str) -> str:
     return head.split("(", 1)[0] or "anonymous"
 
 
+class SimEventHook:
+    """The engine accounting hook installed by
+    :func:`instrument_environment`.
+
+    A picklable object rather than a closure so instrumented
+    environments can be snapshotted; :meth:`reset` recomputes the
+    state-derived gauges after a restore, where the donor process's
+    last readings would otherwise be carried over stale.
+    """
+
+    def __init__(self, env, counter, heap_gauge, rate_gauge=None,
+                 wall_clock: Optional[Callable[[], float]] = None):
+        self.env = env
+        self.counter = counter
+        self.heap_gauge = heap_gauge
+        self.rate_gauge = rate_gauge
+        self.wall_clock = wall_clock
+        self._fired = 0
+        self._mark = wall_clock() if wall_clock is not None else 0.0
+
+    def __call__(self, event) -> None:
+        self.counter.inc(subsystem=_subsystem_of(event.name))
+        self.heap_gauge.set(len(self.env._heap))
+        if self.wall_clock is None:
+            return
+        self._fired += 1
+        if self._fired >= 1024:
+            now = self.wall_clock()
+            elapsed = now - self._mark
+            if elapsed > 0:
+                self.rate_gauge.set(self._fired / elapsed)
+            self._fired = 0
+            self._mark = now
+
+    def reset(self) -> None:
+        """Recompute state-derived gauges for this process.
+
+        Called after a snapshot restore: ``repro_sim_heap_size`` is
+        re-read from the live heap, and the events/sec window restarts
+        from the restoring process's wall clock (zeroed first — the
+        donor's throughput reading is meaningless here).
+        """
+        self.heap_gauge.set(len(self.env._heap))
+        self._fired = 0
+        if self.wall_clock is not None:
+            self._mark = self.wall_clock()
+            self.rate_gauge.set(0.0)
+
+
 def instrument_environment(env, registry: MetricsRegistry,
                            wall_clock: Optional[Callable[[], float]] = None
                            ) -> None:
@@ -221,28 +290,12 @@ def instrument_environment(env, registry: MetricsRegistry,
     heap_gauge = registry.gauge(
         "repro_sim_heap_size",
         "Events currently scheduled on the simulation heap").labels()
-
-    if wall_clock is None:
-        def hook(event) -> None:
-            counter.inc(subsystem=_subsystem_of(event.name))
-            heap_gauge.set(len(env._heap))
-    else:
+    rate_gauge = None
+    if wall_clock is not None:
         rate_gauge = registry.gauge(
             "repro_sim_events_per_sec",
             "Fired simulation events per wall-clock second "
             "(1024-event window)").labels()
-        state = {"fired": 0, "mark": wall_clock()}
-
-        def hook(event) -> None:
-            counter.inc(subsystem=_subsystem_of(event.name))
-            heap_gauge.set(len(env._heap))
-            state["fired"] += 1
-            if state["fired"] >= 1024:
-                now = wall_clock()
-                elapsed = now - state["mark"]
-                if elapsed > 0:
-                    rate_gauge.set(state["fired"] / elapsed)
-                state["fired"] = 0
-                state["mark"] = now
-
-    env.event_hook = hook
+    env.event_hook = SimEventHook(env, counter, heap_gauge,
+                                  rate_gauge=rate_gauge,
+                                  wall_clock=wall_clock)

@@ -84,12 +84,17 @@ class BlastRadius:
         }
 
 
+def _zero_clock() -> float:
+    """Default clock for detached timelines (picklable, unlike a lambda)."""
+    return 0.0
+
+
 class StateTimeline:
     """Delta-compressed recorder of network-wide RIB/FIB state."""
 
     def __init__(self, clock: Optional[Callable[[], float]] = None,
                  obs=NULL_OBS):
-        self.clock = clock or (lambda: 0.0)
+        self.clock = clock or _zero_clock
         self.obs = obs
         self.records: List[TimelineRecord] = []
         self._current: NetworkState = {}

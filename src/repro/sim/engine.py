@@ -261,6 +261,28 @@ class AnyOf(_Composite):
             self.fail(ev.value)
 
 
+class _Call:
+    """Picklable callback adapter: invokes ``fn(*args)``, dropping the
+    event argument.
+
+    :meth:`Environment.call_later`/:meth:`~Environment.call_at` used to
+    wrap ``fn`` in a lambda, which made any pending heap entry
+    unpicklable — a problem for warm snapshots (:mod:`repro.snapshot`),
+    where the entire converged event heap is serialized.  An instance
+    holding (fn, args) pickles as long as ``fn`` does (bound methods and
+    module functions do), and costs the same single call per fire.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: tuple = ()):
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _event: Event) -> None:
+        self.fn(*self.args)
+
+
 ProcessGenerator = Generator[Event, Any, Any]
 
 
@@ -384,18 +406,22 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn`` at absolute sim-time ``when``."""
+    def call_at(self, when: float, fn: Callable[..., None], *args) -> Event:
+        """Run ``fn(*args)`` at absolute sim-time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
         ev = self.timeout(when - self.now)
-        ev.add_callback(lambda _e: fn())
+        ev.add_callback(_Call(fn, args))
         return ev
 
-    def call_later(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn`` after ``delay`` sim-seconds."""
+    def call_later(self, delay: float, fn: Callable[..., None], *args) -> Event:
+        """Run ``fn(*args)`` after ``delay`` sim-seconds.
+
+        Prefer passing ``args`` over a closure: the pending heap entry
+        then stays picklable, which warm snapshots require.
+        """
         ev = self.timeout(delay)
-        ev.add_callback(lambda _e: fn())
+        ev.add_callback(_Call(fn, args))
         return ev
 
     def timer(self, delay: float, fn: Callable[..., None], *args) -> Timer:

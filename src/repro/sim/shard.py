@@ -60,7 +60,8 @@ from ..obs import NULL_WINDOW_PROFILER, Watchdog, WindowProfiler
 from ..obs.flight import write_flight_artifact
 
 __all__ = ["ShardCoordinator", "ShardError", "ShardMockupResult",
-           "ShardWorkerContext", "K1_GRANT_CHUNK", "WATCHDOG_STALL_POLLS"]
+           "ShardWorkerContext", "K1_GRANT_CHUNK", "WATCHDOG_STALL_POLLS",
+           "forbid_snapshot"]
 
 # Window granted to a lone shard (K=1): no peers means no lookahead bound,
 # so grant generous fixed chunks past the next event to amortize the
@@ -74,6 +75,26 @@ WATCHDOG_STALL_POLLS = 3
 
 class ShardError(Exception):
     """Sharded-backend protocol failure (worker died, starvation, ...)."""
+
+
+def forbid_snapshot(net) -> None:
+    """Refuse warm snapshots (:mod:`repro.snapshot`) on the sharded backend.
+
+    Worker side: between window barriers a shard's clock sits mid-window
+    and its object graph holds only its own devices (foreign devices are
+    inert ghosts), so no instant of one worker is a consistent network
+    image.  Coordinator side: the mockup state lives in the worker
+    processes, not in this one.  Either way there is nothing coherent to
+    serialize — snapshot an unsharded mockup instead.
+    """
+    if getattr(net, "_shard_ctx", None) is not None:
+        raise ShardError(
+            "warm snapshot inside a shard worker: a shard is mid-window "
+            "and holds only its own devices; snapshot an unsharded mockup")
+    if getattr(net, "_coordinator", None) is not None:
+        raise ShardError(
+            "warm snapshot of a sharded mockup (REPRO_SHARDS): the state "
+            "lives in the worker processes; run unsharded to snapshot")
 
 
 @dataclass

@@ -9,6 +9,11 @@ writes (:func:`repro.provenance.dump_json` network dumps,
   prefix: origin announcement → per-hop policy/decision verdicts → FIB
   install, plus the losing candidates and why each lost.
 * ``diff`` — FIB differences between two instants of a recorded timeline.
+* ``fibdiff`` — the canonical deterministic FIB-diff document
+  (:func:`repro.verify.fibdiff.fibdiff_doc`): extract it from a what-if
+  verdict/report (:mod:`repro.serve`), recompute it between two timeline
+  instants, or compare two raw FIB dumps — all through one renderer, so
+  a serve verdict diffs byte-for-byte against an offline timeline diff.
 * ``blame`` — per-fault blast radius: which prefixes each injected fault
   churned, on which devices, and when each device re-converged.
 * ``windows`` — the sharded backend's window-protocol profile: granted
@@ -25,6 +30,9 @@ Usage::
 
     python -m repro.tools.netscope explain dump.json r3 10.1.0.0/24
     python -m repro.tools.netscope diff timeline.json 0 120 [--json]
+    python -m repro.tools.netscope fibdiff verdict.json
+    python -m repro.tools.netscope fibdiff timeline.json --t1 0 --t2 120
+    python -m repro.tools.netscope fibdiff before_fibs.json after_fibs.json
     python -m repro.tools.netscope blame blast.json [--fault REF]
     python -m repro.tools.netscope blame timeline.json \\
         --fault fault:link-down:t0|t1@30 --start 30 --end 90
@@ -46,6 +54,7 @@ from typing import List, Optional
 
 from ..obs.schema import SchemaMismatch, check_schema
 from ..provenance.timeline import StateTimeline
+from ..verify.fibdiff import FibComparator, fibdiff_doc, render_fibdiff
 
 __all__ = ["main"]
 
@@ -140,6 +149,77 @@ def _cmd_diff(args: argparse.Namespace) -> int:
               f"{sorted(diff.left)} -> {sorted(diff.right)}")
     print(f"{len(differences)} difference(s)")
     return 0
+
+
+def _fibs_of(doc: dict, path: str) -> dict:
+    """Coerce a raw FIB dump (device -> [[prefix, hops], ...]) for diffing."""
+    if not isinstance(doc, dict) or not doc:
+        raise ValueError(f"{path}: not a FIB dump (expected a non-empty "
+                         f"device -> fib object)")
+    for device, fib in doc.items():
+        if not isinstance(fib, list):
+            raise ValueError(f"{path}: device {device!r} does not map to a "
+                             f"FIB list (is this a provenance dump? "
+                             f"fibdiff wants repro.snapshot.network_fibs "
+                             f"output)")
+    return {device: [(prefix, hops) for prefix, hops in fib]
+            for device, fib in doc.items()}
+
+
+def _fibdiff_doc_of(doc: dict, args: argparse.Namespace) -> dict:
+    """Extract or recompute the canonical fibdiff document from one file."""
+    kind = doc.get("kind")
+    if kind == "fibdiff":
+        return doc
+    if kind == "whatif-verdict":        # repro.serve verdict
+        embedded = doc.get("report", {}).get("fibdiff")
+    elif kind == "whatif-report":       # ReconvergenceReport.to_dict()
+        embedded = doc.get("fibdiff")
+    elif "records" in doc:              # StateTimeline export
+        if args.t1 is None or args.t2 is None:
+            raise ValueError("diffing a timeline needs --t1 and --t2")
+        timeline = StateTimeline.from_dict(doc)
+        comparator = FibComparator(args.tolerate)
+        return fibdiff_doc(timeline.fibs_at(args.t1),
+                           timeline.fibs_at(args.t2), comparator=comparator)
+    else:
+        raise ValueError("not a fibdiff source (want a fibdiff document, a "
+                         "what-if verdict/report, a timeline export, or "
+                         "two raw FIB dumps)")
+    if not isinstance(embedded, dict) or embedded.get("kind") != "fibdiff":
+        raise ValueError(f"{kind} document carries no fibdiff")
+    check_schema(embedded, source="embedded fibdiff document")
+    return embedded
+
+
+def _render_fibdiff_text(doc: dict) -> str:
+    if doc.get("identical"):
+        return "(FIBs identical)"
+    lines = []
+    for diff in doc.get("differences", ()):
+        lines.append(f"{diff.get('device', '?'):<12} "
+                     f"{diff.get('prefix', '?'):<20} "
+                     f"{diff.get('kind', '?'):<10} "
+                     f"{diff.get('left', [])} -> {diff.get('right', [])}")
+    lines.append(f"{doc.get('changed_entries', 0)} changed entr(ies) on "
+                 f"{len(doc.get('devices_changed', ()))} device(s)")
+    return "\n".join(lines)
+
+
+def _cmd_fibdiff(args: argparse.Namespace) -> int:
+    doc = _load_json(args.path)
+    if args.right is not None:
+        comparator = FibComparator(args.tolerate)
+        fibdiff = fibdiff_doc(_fibs_of(doc, args.path),
+                              _fibs_of(_load_json(args.right), args.right),
+                              comparator=comparator)
+    else:
+        fibdiff = _fibdiff_doc_of(doc, args)
+    if args.json:
+        sys.stdout.write(render_fibdiff(fibdiff))
+    else:
+        print(_render_fibdiff_text(fibdiff))
+    return 0 if fibdiff.get("identical") else 1
 
 
 def _render_blast(blast: dict) -> str:
@@ -361,6 +441,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("t2", type=float)
     p_diff.add_argument("--json", action="store_true")
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_fibdiff = sub.add_parser(
+        "fibdiff", help="canonical deterministic FIB-diff document "
+                        "(what-if verdicts, timeline instants, raw dumps "
+                        "— one renderer)")
+    p_fibdiff.add_argument("path",
+                           help="what-if verdict/report, fibdiff document, "
+                                "timeline export, or raw FIB dump")
+    p_fibdiff.add_argument("right", nargs="?", default=None,
+                           help="second raw FIB dump (compare mode)")
+    p_fibdiff.add_argument("--t1", type=float, default=None,
+                           help="left instant (timeline input only)")
+    p_fibdiff.add_argument("--t2", type=float, default=None,
+                           help="right instant (timeline input only)")
+    p_fibdiff.add_argument("--tolerate", action="append", default=[],
+                           metavar="PREFIX",
+                           help="treat this prefix's next-hop set as "
+                                "non-deterministic (repeatable; recompute "
+                                "modes only)")
+    p_fibdiff.add_argument("--json", action="store_true",
+                           help="canonical document instead of the table")
+    p_fibdiff.set_defaults(func=_cmd_fibdiff)
 
     p_blame = sub.add_parser(
         "blame", help="per-fault blast radius (churned prefixes, "

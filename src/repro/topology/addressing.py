@@ -26,9 +26,9 @@ class AddressPlan:
                  p2p_pool: str = "10.128.0.0/10",
                  loopback_pool: str = "10.64.0.0/12",
                  server_pool: str = "10.192.0.0/10"):
-        self._p2p = Prefix(p2p_pool).subnets(31)
-        self._loopbacks = Prefix(loopback_pool).subnets(32)
-        self._servers = Prefix(server_pool).subnets(24)
+        self._p2p = Prefix(p2p_pool).subnet_pool(31)
+        self._loopbacks = Prefix(loopback_pool).subnet_pool(32)
+        self._servers = Prefix(server_pool).subnet_pool(24)
         self.p2p_pool = Prefix(p2p_pool)
         self.loopback_pool = Prefix(loopback_pool)
         self.server_pool = Prefix(server_pool)

@@ -4,8 +4,10 @@ from .batfish import ControlPlaneSimulator, SimRoute
 from .fibdiff import (
     FibComparator,
     FibDifference,
+    fibdiff_doc,
     find_nondeterministic_prefixes,
     normalize_fib,
+    render_fibdiff,
 )
 from .properties import (
     Property,
@@ -34,6 +36,7 @@ __all__ = [
     "WalkResult",
     "ecmp_width",
     "fib_contains",
+    "fibdiff_doc",
     "find_nondeterministic_prefixes",
     "generate_reachability_suite",
     "isolated",
@@ -41,5 +44,6 @@ __all__ = [
     "normalize_fib",
     "path_through",
     "reachable",
+    "render_fibdiff",
     "sessions_established",
 ]

@@ -15,13 +15,19 @@ entries would produce false alarms, so the comparator:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Set, Tuple
+
+from ..obs.schema import SCHEMA_VERSION
 
 __all__ = [
     "FibDifference",
     "FibComparator",
+    "fibdiff_doc",
     "normalize_fib",
+    "render_fibdiff",
     "find_nondeterministic_prefixes",
 ]
 
@@ -86,13 +92,56 @@ class FibComparator:
         """Compare complete network snapshots (device -> FIB)."""
         out: List[FibDifference] = []
         for device in sorted(set(left) | set(right)):
-            out.extend(self.diff_device(device, left.get(device, ()),
-                                        right.get(device, ())))
+            l, r = left.get(device, ()), right.get(device, ())
+            if l is r:
+                # Shared-object fast path: the serve-side FIB cache hands
+                # back the *same* list for devices whose ``Fib.version``
+                # did not move, so identity guarantees equality and the
+                # entry-by-entry walk (the bulk of a what-if diff over an
+                # untouched fabric) can be skipped.
+                continue
+            out.extend(self.diff_device(device, l, r))
         return out
 
     def equivalent(self, left: Dict[str, RawFib],
                    right: Dict[str, RawFib]) -> bool:
         return not self.diff(left, right)
+
+
+def fibdiff_doc(left: Dict[str, RawFib], right: Dict[str, RawFib],
+                comparator: Optional[FibComparator] = None) -> dict:
+    """The canonical deterministic FIB-diff document.
+
+    One renderer for every consumer: what-if verdicts
+    (:mod:`repro.serve`), timeline diffs, and the ``netscope fibdiff``
+    CLI all emit this shape, so a serve verdict can be compared
+    byte-for-byte against an offline timeline diff.  ``kind`` values:
+    ``missing`` (left-only), ``extra`` (right-only), ``next-hops``
+    (present on both sides with different hop sets).
+    """
+    diffs = (comparator or FibComparator()).diff(left, right)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "fibdiff",
+        "identical": not diffs,
+        "devices_changed": sorted({d.device for d in diffs}),
+        "changed_entries": len(diffs),
+        "differences": [
+            {
+                "device": d.device,
+                "prefix": d.prefix,
+                "kind": d.kind,
+                "left": sorted(d.left),
+                "right": sorted(d.right),
+            }
+            for d in diffs
+        ],
+    }
+
+
+def render_fibdiff(doc: dict) -> str:
+    """Byte-deterministic JSON text of a :func:`fibdiff_doc`."""
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
 
 
 def find_nondeterministic_prefixes(

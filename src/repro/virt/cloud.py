@@ -237,7 +237,7 @@ class Cloud:
         # numbers the single-process run would.  See deliver().
         self._pair_seq: Dict[tuple, int] = {}
         self.mac_allocator = MacAllocator()
-        self._underlay_pool = Prefix(underlay_prefix).hosts()
+        self._underlay_pool = Prefix(underlay_prefix).host_pool()
         self._ip_index: Dict[int, VirtualMachine] = {}
 
     # -- VM lifecycle ----------------------------------------------------

@@ -90,7 +90,7 @@ class CloudFederation:
         if target_vm is None:
             return
         self.env.call_later(self.latency,
-                            lambda: target_vm.receive_underlay(packet))
+                            target_vm.receive_underlay, packet)
 
 
 def punch_hole(vm_a: VirtualMachine, vm_b: VirtualMachine) -> bool:

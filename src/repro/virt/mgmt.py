@@ -108,7 +108,7 @@ class ManagementPlane:
         self.env = env
         self.dns = DnsServer()
         self.jumpboxes: List[Jumpbox] = [Jumpbox("jumpbox-linux", "linux")]
-        self._pool = Prefix(mgmt_prefix).hosts()
+        self._pool = Prefix(mgmt_prefix).host_pool()
         self._entries: Dict[str, _MgmtEntry] = {}
         self._by_ip: Dict[int, str] = {}
         # VMs whose management bridge + VXLAN tunnel to the jumpbox exists.

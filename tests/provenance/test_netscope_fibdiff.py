@@ -1,0 +1,112 @@
+"""``netscope fibdiff``: one renderer, every fibdiff source.
+
+All source modes — an embedded what-if verdict/report, a standalone
+fibdiff document, and two raw FIB dumps — must render the *same*
+canonical bytes for the same underlying diff, and the exit code encodes
+the verdict (0 identical, 1 differences, 2 unusable input).
+"""
+
+import json
+
+import pytest
+
+from repro.tools.netscope import main as netscope
+from repro.verify import fibdiff_doc, render_fibdiff
+
+LEFT = {
+    "tor-0-0": [["10.0.0.0/24", ["leaf-0-0"]],
+                ["10.0.1.0/24", ["leaf-0-0", "leaf-0-1"]]],
+    "tor-0-1": [["10.0.0.0/24", ["leaf-0-1"]]],
+}
+RIGHT = {
+    "tor-0-0": [["10.0.0.0/24", ["leaf-0-1"]],          # next-hops moved
+                ["10.0.1.0/24", ["leaf-0-0", "leaf-0-1"]]],
+    "tor-0-1": [["10.0.2.0/24", ["leaf-0-1"]]],          # 10.0.0.0/24 gone
+}
+
+
+def write_json(tmp_path, name, doc) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+@pytest.fixture()
+def canonical() -> dict:
+    return fibdiff_doc(LEFT, RIGHT)
+
+
+def test_two_raw_dumps(tmp_path, capsys, canonical):
+    left = write_json(tmp_path, "left.json", LEFT)
+    right = write_json(tmp_path, "right.json", RIGHT)
+    assert netscope(["fibdiff", left, right, "--json"]) == 1
+    assert capsys.readouterr().out == render_fibdiff(canonical)
+
+
+def test_all_sources_render_identical_bytes(tmp_path, capsys, canonical):
+    """A committed fibdiff doc, a what-if report carrying it, and a serve
+    verdict wrapping that report all render the exact same bytes."""
+    report = {"schema_version": canonical["schema_version"],
+              "kind": "whatif-report", "delta": {"kind": "link-cut"},
+              "converged": True, "fibdiff": canonical, "blame": {}}
+    verdict = {"schema_version": canonical["schema_version"],
+               "kind": "whatif-verdict", "ticket": 0, "report": report,
+               "timing": {"fork_seconds": 0.1}}
+    outputs = []
+    for name, doc in (("doc.json", canonical), ("report.json", report),
+                      ("verdict.json", verdict)):
+        path = write_json(tmp_path, name, doc)
+        assert netscope(["fibdiff", path, "--json"]) == 1
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == render_fibdiff(canonical)
+    assert len(set(outputs)) == 1
+
+
+def test_identical_dumps_exit_zero(tmp_path, capsys):
+    left = write_json(tmp_path, "left.json", LEFT)
+    twin = write_json(tmp_path, "twin.json", LEFT)
+    assert netscope(["fibdiff", left, twin]) == 0
+    assert "(FIBs identical)" in capsys.readouterr().out
+
+
+def test_text_table_summarizes(tmp_path, capsys):
+    left = write_json(tmp_path, "left.json", LEFT)
+    right = write_json(tmp_path, "right.json", RIGHT)
+    assert netscope(["fibdiff", left, right]) == 1
+    out = capsys.readouterr().out
+    assert "next-hops" in out
+    assert "missing" in out
+    assert "extra" in out
+    assert "3 changed entr(ies) on 2 device(s)" in out
+
+
+def test_tolerate_suppresses_nexthop_churn(tmp_path, capsys):
+    """--tolerate declares a prefix's next hops non-deterministic: hop
+    churn is forgiven, but missing/extra routes never are."""
+    left = write_json(tmp_path, "left.json", LEFT)
+    right = write_json(tmp_path, "right.json", RIGHT)
+    assert netscope(["fibdiff", left, right,
+                     "--tolerate", "10.0.0.0/24", "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    kinds = {d["kind"] for d in doc["differences"]}
+    assert "next-hops" not in kinds
+    assert doc["devices_changed"] == ["tor-0-1"]
+
+
+def test_unusable_sources_exit_two(tmp_path, capsys):
+    not_a_source = write_json(tmp_path, "nope.json",
+                              {"kind": "blast-report"})
+    assert netscope(["fibdiff", not_a_source]) == 2
+    provenance_like = write_json(tmp_path, "prov.json",
+                                 {"tor-0-0": {"events": []}})
+    raw = write_json(tmp_path, "raw.json", LEFT)
+    assert netscope(["fibdiff", raw, provenance_like]) == 2
+    err = capsys.readouterr().err
+    assert "network_fibs" in err
+
+
+def test_timeline_instants_need_both_bounds(tmp_path, capsys):
+    timeline_like = write_json(tmp_path, "timeline.json",
+                               {"records": []})
+    assert netscope(["fibdiff", timeline_like, "--t1", "0"]) == 2
+    assert "--t2" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""Shared labs for the warm-snapshot what-if engine tests.
+
+The fidelity contract is vendor-sensitive (hold timers, advertisement
+intervals, aggregation modes all differ), so the labs parametrize over
+two vendor mixes: the S-DC default (containerized ToR/fabric vendors,
+VM WAN) and an all-VM-image variant.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.snapshot import snapshot
+from repro.topology import SDC, build_clos
+
+# S-DC's default mix is ctnr-b ToRs / ctnr-a fabric / vm-b WAN; the "vm"
+# mix runs everything on the VM-image vendor family (slow boot, 12s
+# advertisement interval, inherit-first/reset-path aggregation).
+VENDOR_MIXES = {
+    "ctnr": None,
+    "vm": {"tor": "vm-a", "leaf": "vm-b", "spine": "vm-b",
+           "border": "vm-b", "wan": "vm-a"},
+}
+
+
+def make_params(mix: str):
+    params = SDC()
+    vendors = VENDOR_MIXES[mix]
+    if vendors is None:
+        return params
+    return dataclasses.replace(params, name=f"S-DC-{mix}", vendors=vendors)
+
+
+def mockup_net(mix: str = "ctnr", seed: int = 11, emulation_id: str = "",
+               **kwargs) -> CrystalNet:
+    net = CrystalNet(emulation_id=emulation_id or f"t-whatif-{mix}",
+                     seed=seed, **kwargs)
+    net.prepare(build_clos(make_params(mix)))
+    net.mockup()
+    return net
+
+
+@pytest.fixture(scope="session", params=sorted(VENDOR_MIXES))
+def warm_lab(request):
+    """(mix, converged net, warm snapshot) — read-only / fork-only.
+
+    Session-scoped: tests must never mutate the base net, only forks.
+    """
+    net = mockup_net(request.param)
+    return request.param, net, snapshot(net)
+
+
+def spine_link(net):
+    """A deterministic spine-adjacent link to cut."""
+    links = sorted(sorted(link) for link in net.links
+                   if any(dev.startswith("spn-") for dev in link))
+    return links[0]
+
+
+def policy_edit_text(net, device: str) -> str:
+    """A real policy change: local-pref 200 on the first neighbor's
+    imports (forces a session reset and moves best paths).  Dialect
+    aware: the ctnr family says ``router bgp``, the vm family
+    ``protocols bgp``; route-map syntax is shared."""
+    text = net.pull_config(device)
+    peer = net.configs[device].bgp.neighbors[0].peer_ip
+    marker = "router bgp" if "router bgp" in text else "protocols bgp"
+    idx = text.index(marker)
+    block_end = text.index("!", idx)
+    text = (text[:block_end]
+            + f" neighbor {peer} route-map WHATIF_IN in\n"
+            + text[block_end:])
+    return (text + "route-map WHATIF_IN permit 10\n"
+                   " set local-preference 200\n!\n")
+
+
+def config_reload_text(net, device: str) -> str:
+    """A non-policy config commit: disable multipath."""
+    text = net.pull_config(device)
+    assert "maximum-paths" in text
+    return text.replace("maximum-paths 64", "maximum-paths 1")

@@ -1,0 +1,85 @@
+"""``repro.serve``: queue semantics and inline/pool verdict identity.
+
+The server's contract: verdict *content* is a pure function of
+(snapshot, delta) — execution mode (inline vs. worker pool) and
+completion order may change wall-clock ``timing`` but never the
+deterministic ``report`` core — and admission control pushes back
+instead of queueing unboundedly.
+"""
+
+import pytest
+
+from repro.serve import AdmissionError, ServeError, WhatIfServer
+from repro.snapshot import LinkCut, PolicyEdit
+
+from .conftest import policy_edit_text, spine_link
+
+
+@pytest.fixture()
+def deltas(warm_lab):
+    mix, net, snap = warm_lab
+    return [
+        LinkCut(*spine_link(net)),
+        PolicyEdit("tor-0-0", policy_edit_text(net, "tor-0-0")),
+    ]
+
+
+def test_inline_drain_returns_ticket_ordered_verdicts(warm_lab, deltas):
+    mix, net, snap = warm_lab
+    with WhatIfServer(snap) as server:
+        tickets = [server.submit(d) for d in deltas]
+        assert tickets == [0, 1]
+        assert server.pending == 2
+        verdicts = server.drain()
+        assert server.pending == 0
+    assert [v["ticket"] for v in verdicts] == tickets
+    for verdict, delta in zip(verdicts, deltas):
+        assert verdict["kind"] == "whatif-verdict"
+        assert verdict["snapshot"]["emulation_id"] == snap.emulation_id
+        assert verdict["report"]["delta"] == delta.describe()
+        assert verdict["report"]["converged"] is True
+        assert verdict["report"]["fibdiff"]["changed_entries"] > 0
+
+
+def test_pool_reports_match_inline(warm_lab, deltas):
+    """Same snapshot, same deltas: a 2-worker pool must return the exact
+    deterministic reports the inline mode computes (timing aside)."""
+    mix, net, snap = warm_lab
+    with WhatIfServer(snap) as inline:
+        for d in deltas:
+            inline.submit(d)
+        expected = [v["report"] for v in inline.drain()]
+    with WhatIfServer(snap, workers=2) as pool:
+        for d in deltas:
+            pool.submit(d)
+        verdicts = pool.drain()
+    assert [v["ticket"] for v in verdicts] == [0, 1]
+    assert [v["report"] for v in verdicts] == expected
+
+
+def test_admission_control_pushes_back(warm_lab, deltas):
+    mix, net, snap = warm_lab
+    server = WhatIfServer(snap, max_pending=1)
+    try:
+        server.submit(deltas[0])
+        with pytest.raises(AdmissionError):
+            server.submit(deltas[1])
+        # Draining frees the slot.
+        server.drain()
+        server.submit(deltas[1])
+    finally:
+        server.close()
+
+
+def test_submit_after_close_raises(warm_lab, deltas):
+    mix, net, snap = warm_lab
+    server = WhatIfServer(snap)
+    server.close()
+    with pytest.raises(ServeError):
+        server.submit(deltas[0])
+
+
+def test_max_pending_must_be_positive(warm_lab):
+    mix, net, snap = warm_lab
+    with pytest.raises(ValueError):
+        WhatIfServer(snap, max_pending=0)

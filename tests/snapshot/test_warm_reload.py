@@ -1,0 +1,86 @@
+"""``warm_reload``: incremental config commits without a reboot.
+
+The warm path is what makes :class:`~repro.snapshot.ConfigReload` /
+:class:`~repro.snapshot.PolicyEdit` deltas cheap — the daemon keeps its
+converged RIBs and re-processes only what the new configuration
+perturbs.  Its contract: semantically a no-op commit changes nothing, a
+real commit lands on exactly the state a cold reboot-and-reconverge
+reaches, and changes the warm path cannot express refuse loudly.
+"""
+
+import pytest
+
+from repro.core.orchestrator import OrchestratorError
+from repro.snapshot import fork, network_fibs
+
+from .conftest import config_reload_text
+
+DEVICE = "tor-0-0"
+
+
+def test_noop_commit_is_fib_neutral(warm_lab):
+    mix, net, snap = warm_lab
+    twin = fork(snap)
+    before = network_fibs(twin)
+    twin.warm_reload(DEVICE, twin.pull_config(DEVICE))
+    twin.converge()
+    assert network_fibs(twin) == before
+
+
+def test_warm_commit_matches_cold_reboot(warm_lab):
+    """A maximum-paths change through the warm path converges to the
+    same FIBs as a cold reboot with the same config."""
+    mix, net, snap = warm_lab
+    new_text = config_reload_text(net, DEVICE)
+
+    warm = fork(snap)
+    warm.warm_reload(DEVICE, new_text)
+    warm.converge()
+
+    cold = fork(snap)
+    cold.reload(DEVICE, config_text=new_text)
+    cold.converge()
+
+    assert network_fibs(warm) == network_fibs(cold)
+    # And the commit was not a no-op: multipath collapsed somewhere.
+    assert network_fibs(warm) != network_fibs(fork(snap))
+
+
+def test_refuses_interface_changes(warm_lab):
+    mix, net, snap = warm_lab
+    twin = fork(snap)
+    lines = twin.pull_config(DEVICE).splitlines()
+    # Dialect aware: "ip address" (ctnr family) vs "address" (vm family).
+    idx, keyword = next(
+        (i, "ip address" if line.startswith(" ip address ") else "address")
+        for i, line in enumerate(lines)
+        if line.startswith((" ip address ", " address ")))
+    lines[idx] = f" {keyword} 203.0.113.1/32"
+    mutated = "\n".join(lines) + "\n"
+    with pytest.raises(OrchestratorError, match="interface"):
+        twin.warm_reload(DEVICE, mutated)
+
+
+def test_refuses_fib_capacity_changes(warm_lab):
+    mix, net, snap = warm_lab
+    twin = fork(snap)
+    lines = twin.pull_config(DEVICE).splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("fib capacity "):
+            lines[i] = "fib capacity 16"
+            break
+    else:
+        lines.append("fib capacity 16")
+    mutated = "\n".join(lines) + "\n"
+    with pytest.raises(OrchestratorError, match="capacity"):
+        twin.warm_reload(DEVICE, mutated)
+
+
+def test_refuses_speakers(warm_lab):
+    mix, net, snap = warm_lab
+    twin = fork(snap)
+    speakers = sorted(twin.speakers)
+    if not speakers:
+        pytest.skip("no speaker in this topology")
+    with pytest.raises(OrchestratorError, match="speaker"):
+        twin.warm_reload(speakers[0], "router bgp 65000\n!\n")
