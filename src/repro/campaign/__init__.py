@@ -1,0 +1,37 @@
+"""repro.campaign — coverage-guided chaos-scenario search.
+
+Fuzzing for the network control plane: seeded fault schedules run
+against forks of one warm snapshot, coverage signatures built from
+blast-radius churn + invariant violations, a corpus of minimized
+novel-signature scenarios, and mutation biased toward rare coverage.
+See DESIGN.md ("Coverage signatures") and EXPERIMENTS.md for the
+operator walkthrough.
+"""
+
+from .corpus import CORPUS_KIND, Corpus, CorpusEntry, MANIFEST_NAME
+from .minimize import minimize_schedule
+from .mutate import MUTATION_OPS, mutate_faults
+from .runner import (CampaignConfig, CampaignRunner, default_campaign_spec,
+                     run_campaign)
+from .signature import element_class, scenario_signature, signature_hash
+from .worker import CampaignError, ScenarioEvaluator, run_scenario
+
+__all__ = [
+    "CORPUS_KIND",
+    "MANIFEST_NAME",
+    "MUTATION_OPS",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignRunner",
+    "Corpus",
+    "CorpusEntry",
+    "ScenarioEvaluator",
+    "default_campaign_spec",
+    "element_class",
+    "minimize_schedule",
+    "mutate_faults",
+    "run_campaign",
+    "run_scenario",
+    "scenario_signature",
+    "signature_hash",
+]

@@ -1,0 +1,187 @@
+"""The campaign corpus: coverage bookkeeping + the replayable artifact.
+
+A :class:`Corpus` holds everything a finished (or checkpointed) campaign
+learned: the global coverage-element set, per-element hit counts (the
+rarity signal mutation prioritization feeds on), and one
+:class:`CorpusEntry` per novel signature — each carrying the *minimized*
+generative schedule plus the pinned, replayable
+:class:`~repro.chaos.report.ChaosReport` of its minimized run.
+
+``save()`` writes a corpus directory::
+
+    <dir>/manifest.json        deterministic index (the campaign gate
+                               asserts byte-identical manifests for
+                               identical seeds)
+    <dir>/<sig_hash>.json      pinned ChaosReport per entry — feed any
+                               of these to ChaosEngine.replay() on a
+                               fork of the campaign snapshot to
+                               reproduce the incident
+
+Wall-clock numbers never enter the manifest; they live in
+:attr:`Corpus.stats` and the benchmark artifact instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..obs.schema import SCHEMA_VERSION, check_schema
+from .signature import element_class
+
+__all__ = ["Corpus", "CorpusEntry", "CORPUS_KIND", "MANIFEST_NAME"]
+
+CORPUS_KIND = "campaign-corpus"
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One novel-signature scenario, minimized and pinned."""
+
+    sig_hash: str                  # identity of the minimized signature
+    scenario_index: int            # campaign scenario that found it
+    scenario_seed: int             # seed of the generative schedule
+    elements: Tuple[str, ...]      # full signature of the minimized run
+    novel: Tuple[str, ...]         # the elements that were new when found
+    schedule: Tuple[dict, ...]     # minimized generative schedule (dicts)
+    original_faults: int           # schedule length before minimization
+    report_json: str               # pinned replayable ChaosReport JSON
+
+    @property
+    def faults(self) -> int:
+        return len(self.schedule)
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({f["kind"] for f in self.schedule}))
+
+    def to_dict(self) -> dict:
+        """The manifest row (the report itself lives in its own file)."""
+        return {
+            "sig_hash": self.sig_hash,
+            "scenario_index": self.scenario_index,
+            "scenario_seed": self.scenario_seed,
+            "elements": list(self.elements),
+            "novel": list(self.novel),
+            "schedule": [dict(f) for f in self.schedule],
+            "faults": self.faults,
+            "original_faults": self.original_faults,
+            "kinds": list(self.kinds),
+            "report_file": f"{self.sig_hash}.json",
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, report_json: str = "") -> "CorpusEntry":
+        return cls(
+            sig_hash=data["sig_hash"],
+            scenario_index=data["scenario_index"],
+            scenario_seed=data["scenario_seed"],
+            elements=tuple(data["elements"]),
+            novel=tuple(data["novel"]),
+            schedule=tuple(data["schedule"]),
+            original_faults=data["original_faults"],
+            report_json=report_json)
+
+
+@dataclass
+class Corpus:
+    """Coverage state + corpus entries of one campaign."""
+
+    campaign: dict = field(default_factory=dict)   # CampaignConfig.to_dict()
+    entries: Dict[str, CorpusEntry] = field(default_factory=dict)
+    coverage: Set[str] = field(default_factory=set)
+    element_hits: Dict[str, int] = field(default_factory=dict)
+    scenarios_run: int = 0
+    stats: dict = field(default_factory=dict)      # wall-clock extras only
+
+    # -- coverage bookkeeping ---------------------------------------------
+
+    def note_scenario(self, elements) -> Tuple[str, ...]:
+        """Count one finished scenario; returns its novel elements."""
+        self.scenarios_run += 1
+        novel = tuple(sorted(set(elements) - self.coverage))
+        self.absorb(elements)
+        return novel
+
+    def absorb(self, elements) -> None:
+        """Fold elements into coverage without counting a scenario
+        (minimization re-runs also discover elements)."""
+        for element in elements:
+            self.coverage.add(element)
+            self.element_hits[element] = self.element_hits.get(element, 0) + 1
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Admit one novel entry; refuses signature-hash duplicates."""
+        if entry.sig_hash in self.entries:
+            return False
+        self.entries[entry.sig_hash] = entry
+        return True
+
+    def coverage_by_class(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for element in self.coverage:
+            cls = element_class(element)
+            out[cls] = out.get(cls, 0) + 1
+        return dict(sorted(out.items()))
+
+    # -- serialization ----------------------------------------------------
+
+    def manifest(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": CORPUS_KIND,
+            "campaign": self.campaign,
+            "scenarios_run": self.scenarios_run,
+            "coverage": {
+                "elements": len(self.coverage),
+                "by_class": self.coverage_by_class(),
+            },
+            "entries": [e.to_dict() for e in self.entries.values()],
+        }
+
+    def manifest_json(self) -> str:
+        """Deterministic bytes — the same-seed identity gate compares
+        these directly."""
+        return json.dumps(self.manifest(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, directory: str) -> str:
+        """Write ``manifest.json`` + one pinned report per entry; returns
+        the manifest path."""
+        os.makedirs(directory, exist_ok=True)
+        for entry in self.entries.values():
+            with open(os.path.join(directory,
+                                   f"{entry.sig_hash}.json"), "w") as fh:
+                fh.write(entry.report_json)
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path, "w") as fh:
+            fh.write(self.manifest_json())
+        return path
+
+    @classmethod
+    def load(cls, directory: str) -> "Corpus":
+        """Read a corpus directory back (replay tooling, netscope)."""
+        path = directory
+        if os.path.isdir(path):
+            path = os.path.join(path, MANIFEST_NAME)
+        with open(path) as fh:
+            doc = json.load(fh)
+        check_schema(doc, source=path)
+        if doc.get("kind") != CORPUS_KIND:
+            raise ValueError(f"{path}: kind={doc.get('kind')!r} is not a "
+                             f"campaign corpus manifest")
+        corpus = cls(campaign=doc.get("campaign", {}),
+                     scenarios_run=doc.get("scenarios_run", 0))
+        base = os.path.dirname(path)
+        for row in doc.get("entries", ()):
+            report_json = ""
+            report_path = os.path.join(base, row.get("report_file", ""))
+            if row.get("report_file") and os.path.exists(report_path):
+                with open(report_path) as fh:
+                    report_json = fh.read()
+            entry = CorpusEntry.from_dict(row, report_json=report_json)
+            corpus.add(entry)
+            corpus.absorb(entry.elements)
+        return corpus

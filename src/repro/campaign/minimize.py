@@ -1,0 +1,65 @@
+"""Scenario minimization: shrink a schedule while its signature holds.
+
+A campaign hit is only useful if an operator can stare at it: a 4-fault
+schedule where one fault does the damage should land in the corpus as
+the 1-fault schedule.  The minimizer greedily drops faults (classic
+delta-debugging single-drop passes, restarted after every success) and
+then compresses the inter-fault gaps — accepting a candidate only while
+its re-run still exhibits **every novel element** that made the
+original scenario interesting.  All re-runs go through the campaign's
+deterministic evaluator, so minimization is as replayable as the search
+itself.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple, TYPE_CHECKING
+
+from ..chaos import Fault, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import CampaignConfig
+    from .worker import ScenarioEvaluator
+
+__all__ = ["minimize_schedule"]
+
+
+def _holds(novel: Set[str], result: dict) -> bool:
+    return novel <= set(result["elements"])
+
+
+def minimize_schedule(evaluator: "ScenarioEvaluator",
+                      schedule: FaultSchedule, novel,
+                      original_result: dict,
+                      cfg: "CampaignConfig") -> Tuple[FaultSchedule, dict]:
+    """Return (minimized schedule, its result); at worst the originals."""
+    wanted = set(novel)
+    best = list(schedule.faults)
+    best_result = original_result
+
+    # Drop pass: remove one fault at a time (last first — later faults
+    # are most often incidental tail noise), restart after any success.
+    changed = True
+    while changed and len(best) > 1:
+        changed = False
+        for i in reversed(range(len(best))):
+            candidate = best[:i] + best[i + 1:]
+            result = evaluator.eval_one(
+                FaultSchedule(candidate, seed=schedule.seed))
+            if _holds(wanted, result):
+                best, best_result = candidate, result
+                changed = True
+                break
+
+    # Shrink pass: compress injection times onto a tight fixed grid so
+    # the replay wastes no schedule idle time.
+    grid = [Fault(kind=f.kind,
+                  time=round(cfg.spec.start + (i + 1) * cfg.shrink_gap, 3),
+                  target=f.target, pick=f.pick)
+            for i, f in enumerate(best)]
+    if [f.time for f in grid] != [f.time for f in best]:
+        result = evaluator.eval_one(FaultSchedule(grid, seed=schedule.seed))
+        if _holds(wanted, result):
+            best, best_result = grid, result
+
+    return FaultSchedule(best, seed=schedule.seed), best_result

@@ -1,0 +1,64 @@
+"""Deterministic schedule mutations — the campaign's exploration moves.
+
+Mutation is how the campaign turns one interesting schedule into its
+neighbors: drop a fault, duplicate one later in time, swap a fault's
+kind, redraw its victim pick, stretch or compress its injection time,
+or append a fresh fault.  Every draw comes from the caller-provided
+``random.Random`` (seeded from the campaign seed), never global RNG
+state, so a campaign's entire search trajectory replays from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..chaos import ChaosSpec, Fault
+
+__all__ = ["mutate_faults", "MUTATION_OPS"]
+
+MUTATION_OPS = ("drop", "duplicate", "rekind", "repick", "retime", "append")
+
+
+def _kinds(spec: ChaosSpec) -> List[str]:
+    return sorted(k for k, w in spec.mix.items() if w > 0)
+
+
+def _tail_time(faults: Sequence[Fault], spec: ChaosSpec) -> float:
+    times = [f.time for f in faults if f.time is not None]
+    return max(times) if times else spec.start
+
+
+def mutate_faults(rng: random.Random, faults: Sequence[Fault],
+                  spec: ChaosSpec, max_faults: int) -> List[Fault]:
+    """Return a mutated copy of ``faults`` (1-2 ops; never empty)."""
+    out = list(faults)
+    kinds = _kinds(spec)
+    for _ in range(rng.randint(1, 2)):
+        op = rng.choice(MUTATION_OPS)
+        if op == "drop" and len(out) > 1:
+            out.pop(rng.randrange(len(out)))
+        elif op == "duplicate" and 0 < len(out) < max_faults:
+            src = out[rng.randrange(len(out))]
+            when = round((src.time or spec.start)
+                         + rng.uniform(1.0, spec.mean_gap), 3)
+            out.append(Fault(kind=src.kind, time=when, pick=src.pick))
+        elif op == "rekind" and out:
+            i = rng.randrange(len(out))
+            out[i] = Fault(kind=rng.choice(kinds), time=out[i].time,
+                           pick=out[i].pick)
+        elif op == "repick" and out:
+            i = rng.randrange(len(out))
+            out[i] = Fault(kind=out[i].kind, time=out[i].time,
+                           pick=rng.random())
+        elif op == "retime" and out:
+            i = rng.randrange(len(out))
+            when = round(max(0.001, (out[i].time or spec.start)
+                             * rng.uniform(0.5, 1.5)), 3)
+            out[i] = Fault(kind=out[i].kind, time=when, pick=out[i].pick)
+        elif op == "append" and len(out) < max_faults:
+            when = round(_tail_time(out, spec)
+                         + rng.expovariate(1.0 / spec.mean_gap), 3)
+            out.append(Fault(kind=rng.choice(kinds), time=when,
+                             pick=rng.random()))
+    return out

@@ -1,0 +1,234 @@
+"""The campaign driver: coverage-guided search over chaos schedules.
+
+``CampaignRunner`` is fuzzing for the network control plane.  Each
+*scenario* is a seeded :class:`~repro.chaos.spec.FaultSchedule` run
+against a fork of one warm snapshot; its *coverage signature*
+(:mod:`repro.campaign.signature`) plays the role a fuzzer's edge bitmap
+plays.  Scenarios whose signatures contain never-before-seen elements
+are minimized and admitted to the :class:`~repro.campaign.corpus.Corpus`;
+later scenarios are biased toward *mutations* of corpus schedules whose
+elements are rare — so the search climbs toward the hard-to-reach
+corners of the failure space instead of resampling the easy middle.
+
+Determinism contract: the whole trajectory — which schedules run, in
+what order, which entries land in the corpus, the manifest bytes — is a
+pure function of ``(snapshot, CampaignConfig)``.  Scenario seeds and
+mutation decisions are drawn *before* any results arrive, one batch at a
+time, and batch results are folded back in scenario-index order; worker
+count and completion order therefore cannot leak into the search.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chaos import ChaosSpec, FaultSchedule
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..snapshot import Snapshot
+from .corpus import Corpus, CorpusEntry
+from .minimize import minimize_schedule
+from .mutate import mutate_faults
+from .worker import ScenarioEvaluator
+
+__all__ = ["CampaignConfig", "CampaignRunner", "default_campaign_spec"]
+
+
+def default_campaign_spec() -> ChaosSpec:
+    """A campaign-tuned spec: tight gaps and an aggressive give-up bound
+    keep single scenarios cheap enough to run by the hundred."""
+    return ChaosSpec(mean_gap=40.0, recovery_timeout=600.0, settle=10.0)
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign's trajectory (plus the
+    execution knobs — worker count, COW, output dir — that must NOT)."""
+
+    scenarios: int = 32            # total scenarios to run
+    batch: int = 8                 # schedules generated per batch
+    seed: int = 0                  # campaign master seed
+    spec: ChaosSpec = field(default_factory=default_campaign_spec)
+    min_faults: int = 1            # fresh-schedule length bounds
+    max_faults: int = 3
+    fresh_fraction: float = 0.5    # fresh vs mutate once a corpus exists
+    # Health-monitor attachment (per scenario fork; warm snapshots cannot
+    # carry a live monitor process).  None = no monitor.
+    monitor_spares: Optional[int] = None
+    monitor_interval: float = 5.0
+    monitor_settle: float = 200.0
+    minimize: bool = True
+    shrink_gap: float = 10.0       # fault spacing after time-compression
+    # Execution-only knobs — excluded from to_dict() so they can never
+    # alter the manifest the determinism gate compares.
+    workers: int = 0               # 0 = evaluate in-process
+    use_cow: bool = True
+    corpus_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.scenarios < 1:
+            raise ValueError("scenarios must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if not 1 <= self.min_faults <= self.max_faults:
+            raise ValueError("need 1 <= min_faults <= max_faults")
+        if not 0.0 <= self.fresh_fraction <= 1.0:
+            raise ValueError("fresh_fraction must be in [0, 1]")
+
+    def to_dict(self) -> dict:
+        """The trajectory-determining fields only (manifest header)."""
+        return {
+            "scenarios": self.scenarios,
+            "batch": self.batch,
+            "seed": self.seed,
+            "spec": self.spec.to_dict(),
+            "min_faults": self.min_faults,
+            "max_faults": self.max_faults,
+            "fresh_fraction": self.fresh_fraction,
+            "monitor_spares": self.monitor_spares,
+            "monitor_interval": self.monitor_interval,
+            "monitor_settle": self.monitor_settle,
+            "minimize": self.minimize,
+            "shrink_gap": self.shrink_gap,
+        }
+
+
+class CampaignRunner:
+    """Drive one coverage-guided campaign over one warm snapshot."""
+
+    def __init__(self, snap: Snapshot, config: Optional[CampaignConfig] = None,
+                 registry: MetricsRegistry = NULL_REGISTRY):
+        self.snap = snap
+        self.cfg = config or CampaignConfig()
+        self.corpus = Corpus(campaign=self.cfg.to_dict())
+        self.history: List[dict] = []
+        # String seeds hash PYTHONHASHSEED-independently (random.Random
+        # feeds str seeds through sha512), keeping trajectories portable.
+        self._rng = random.Random(f"campaign:{self.cfg.seed}")
+        self._registry = registry
+        self._c_scenarios = registry.counter(
+            "repro_campaign_scenarios_total",
+            "Chaos scenarios evaluated, by outcome").labels(outcome="run")
+        self._c_novel = registry.counter(
+            "repro_campaign_novel_total",
+            "Scenarios whose signature reached novel coverage").labels()
+        self._g_corpus = registry.gauge(
+            "repro_campaign_corpus_size",
+            "Corpus entries (distinct novel signatures)").labels()
+        self._g_coverage = registry.gauge(
+            "repro_campaign_coverage_elements",
+            "Distinct coverage elements reached so far").labels()
+        self._g_rate = registry.gauge(
+            "repro_campaign_scenarios_per_sec",
+            "Scenario evaluation throughput (wall clock)").labels()
+
+    # -- schedule generation ----------------------------------------------
+
+    def _fresh_faults(self, scenario_seed: int) -> List:
+        n = self._rng.randint(self.cfg.min_faults, self.cfg.max_faults)
+        return list(FaultSchedule.generate(scenario_seed, self.cfg.spec, n))
+
+    def _pick_parent(self) -> CorpusEntry:
+        """Rarity-weighted corpus draw: an entry whose elements were hit
+        least often across the campaign is the most promising mutation
+        base (its neighborhood is under-explored)."""
+        entries = sorted(self.corpus.entries.values(),
+                         key=lambda e: e.sig_hash)
+        weights = []
+        for entry in entries:
+            rarest = min((self.corpus.element_hits.get(el, 1)
+                          for el in entry.elements), default=1)
+            weights.append(1.0 / rarest)
+        return self._rng.choices(entries, weights=weights)[0]
+
+    def _next_schedule(self, scenario_seed: int) -> Tuple[FaultSchedule, str]:
+        if (not self.corpus.entries
+                or self._rng.random() < self.cfg.fresh_fraction):
+            return (FaultSchedule(self._fresh_faults(scenario_seed),
+                                  seed=scenario_seed), "fresh")
+        parent = self._pick_parent()
+        mut_rng = random.Random(f"mutate:{scenario_seed}")
+        faults = mutate_faults(
+            mut_rng, list(FaultSchedule.from_dicts(parent.schedule)),
+            self.cfg.spec, self.cfg.max_faults)
+        return FaultSchedule(faults, seed=scenario_seed), "mutate"
+
+    # -- corpus folding ---------------------------------------------------
+
+    def _absorb(self, evaluator: ScenarioEvaluator, index: int,
+                schedule: FaultSchedule, origin: str, result: dict,
+                wall: float) -> None:
+        novel = self.corpus.note_scenario(result["elements"])
+        self._c_scenarios.inc()
+        if novel:
+            self._c_novel.inc()
+            original_faults = len(schedule)
+            if self.cfg.minimize and len(schedule) > 0:
+                schedule, result = minimize_schedule(
+                    evaluator, schedule, novel, result, self.cfg)
+                self.corpus.absorb(result["elements"])
+            entry = CorpusEntry(
+                sig_hash=result["sig_hash"],
+                scenario_index=index,
+                scenario_seed=schedule.seed,
+                elements=tuple(result["elements"]),
+                novel=novel,
+                schedule=tuple(schedule.to_dicts()),
+                original_faults=original_faults,
+                report_json=result["report_json"])
+            self.corpus.add(entry)
+        self.history.append({
+            "index": index, "origin": origin, "seed": schedule.seed,
+            "faults": result["faults"], "novel": list(novel),
+            "sig_hash": result["sig_hash"],
+            "elements": len(result["elements"]),
+            "wall": round(wall, 3),
+        })
+        self._g_corpus.set(len(self.corpus.entries))
+        self._g_coverage.set(len(self.corpus.coverage))
+
+    # -- the search loop --------------------------------------------------
+
+    def run(self) -> Corpus:
+        cfg = self.cfg
+        started = time.monotonic()
+        with ScenarioEvaluator(self.snap, cfg) as evaluator:
+            index = 0
+            while index < cfg.scenarios:
+                count = min(cfg.batch, cfg.scenarios - index)
+                # Draw the whole batch from campaign RNG state *before*
+                # any result lands: generation never depends on timing.
+                plan = []
+                for offset in range(count):
+                    scenario_seed = self._rng.getrandbits(32)
+                    schedule, origin = self._next_schedule(scenario_seed)
+                    plan.append((index + offset, schedule, origin))
+                batch_start = time.monotonic()
+                results = evaluator.eval_batch(
+                    [(i, schedule) for i, schedule, _ in plan])
+                wall = time.monotonic() - batch_start
+                by_index = {i: r for i, r in results}
+                for i, schedule, origin in plan:
+                    self._absorb(evaluator, i, schedule, origin,
+                                 by_index[i], wall / max(count, 1))
+                index += count
+            evaluations = evaluator.evals
+        elapsed = max(time.monotonic() - started, 1e-9)
+        self.corpus.stats = {
+            "wall_seconds": round(elapsed, 3),
+            "scenarios_per_sec": round(self.corpus.scenarios_run / elapsed,
+                                       3),
+            "evaluations": evaluations,
+        }
+        self._g_rate.set(self.corpus.stats["scenarios_per_sec"])
+        if cfg.corpus_dir:
+            self.corpus.save(cfg.corpus_dir)
+        return self.corpus
+
+
+def run_campaign(snap: Snapshot, config: Optional[CampaignConfig] = None,
+                 registry: MetricsRegistry = NULL_REGISTRY) -> Corpus:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(snap, config, registry=registry).run()

@@ -1,0 +1,70 @@
+"""Coverage signatures: what one chaos scenario *did* to the network.
+
+A scenario's signature is the set of observable consequences the fault
+schedule produced, rendered as flat, deterministic strings so they can
+be compared, counted, and hashed across processes:
+
+* ``churn:<fault-kind>:<device>:<prefix>`` — one blast-radius churn
+  tuple: this fault kind made this device's FIB entry for this prefix
+  move during the settle window (requires the timeline recorder, which
+  the campaign arms on every scenario fork).
+* ``invariant:<fault-kind>:<target>:<name>`` — an emulation invariant
+  (:mod:`repro.chaos.invariants`) evaluated red after this fault
+  settled.
+* ``unrecovered:<fault-kind>:<target>`` — the fault never recovered
+  within the spec's timeout.
+
+The campaign treats each element like a fuzzer treats a coverage edge:
+a scenario is *interesting* when its signature contains any element no
+earlier scenario reached, and the corpus prioritizes mutating schedules
+whose signatures hold rare elements.  Identical (snapshot, schedule,
+config) always yields the identical signature — the determinism the
+byte-identical corpus gate pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..chaos import ChaosEngine, ChaosReport
+
+__all__ = ["scenario_signature", "signature_hash", "element_class"]
+
+# A skipped fault (no candidates, or a pinned target that no longer
+# exists) contributes nothing to coverage.
+_NO_TARGET = ("", "(none)")
+
+
+def scenario_signature(engine: "ChaosEngine",
+                       report: "ChaosReport") -> Tuple[str, ...]:
+    """The sorted coverage-element tuple for one finished scenario."""
+    elements = set()
+    for blast in engine.blast:
+        # fault_ref shape: "fault:<kind>:<target>@<time>"
+        kind = blast.fault_ref.split(":", 2)[1]
+        for device, prefixes in blast.churned.items():
+            for prefix in prefixes:
+                elements.add(f"churn:{kind}:{device}:{prefix}")
+    for record in report.faults:
+        if record.target in _NO_TARGET:
+            continue
+        if not record.recovered:
+            elements.add(f"unrecovered:{record.kind}:{record.target}")
+        for verdict in record.invariants:
+            if not verdict.passed:
+                elements.add(f"invariant:{record.kind}:{record.target}:"
+                             f"{verdict.name}")
+    return tuple(sorted(elements))
+
+
+def signature_hash(elements: Iterable[str]) -> str:
+    """Stable 16-hex-char identity of a signature (corpus entry key)."""
+    joined = "\n".join(sorted(elements))
+    return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+
+def element_class(element: str) -> str:
+    """``churn`` / ``invariant`` / ``unrecovered`` — the coverage class."""
+    return element.split(":", 1)[0]

@@ -82,6 +82,12 @@ class ChaosEngine:
         # id.  Kept off FaultRecord so ChaosReport JSON stays byte-stable.
         self.blast: List["BlastRadius"] = []
         self._fault_refs: dict = {}   # id(record) -> provenance id
+        # Per-victim pre-fault configs for reload-failure repair.  Keyed
+        # by target (not a single slot): two un-settled reload failures
+        # must each repair with their *own* victim's good config, and a
+        # second fault on the same victim must not capture the corrupted
+        # text the first one shipped.
+        self._good_configs: dict = {}   # victim -> pre-fault config text
 
     # ------------------------------------------------------------------
     # Top-level drivers
@@ -111,6 +117,16 @@ class ChaosEngine:
         return self.run(schedule=report.schedule())
 
     def finish(self) -> ChaosReport:
+        # Close the books on any fault injected without a matching
+        # settle() (campaign schedules drive bare inject() freely): open
+        # spans are finished, and the per-record side tables are cleared
+        # so a long-lived engine never accumulates unbounded bookkeeping.
+        for span in self._spans.values():
+            span.annotate(settled=False)
+            span.finish()
+        self._spans.clear()
+        self._fault_refs.clear()
+        self._good_configs.clear()
         return ChaosReport(seed=self.seed, spec=self.spec,
                            faults=list(self.records))
 
@@ -149,10 +165,24 @@ class ChaosEngine:
                              provenance=fault_ref)
         return record
 
-    def _resolve(self, fault: Fault, candidates: List[str]) -> Optional[str]:
+    def _resolve(self, fault: Fault, candidates: List[str],
+                 record: FaultRecord, empty_detail: str) -> Optional[str]:
+        """Pick the victim, or record a deterministic no-op and return None.
+
+        Pinned targets (replays, scenario tests) are validated against
+        the live candidate list: a recorded schedule replayed on a
+        diverged topology must degrade to a recorded ``(none)`` skip,
+        not raise ``KeyError`` deep inside an injector.
+        """
         if fault.target is not None:
-            return fault.target
+            if fault.target in candidates:
+                return fault.target
+            record.target = "(none)"
+            record.detail = (f"pinned target {fault.target!r} absent from "
+                             f"live candidates; fault skipped")
+            return None
         if not candidates:
+            record.target, record.detail = "(none)", empty_detail
             return None
         return candidates[int(fault.pick * len(candidates)) % len(candidates)]
 
@@ -161,9 +191,8 @@ class ChaosEngine:
         candidates = sorted(
             name for name, vm in self.net.vms.items()
             if vm.state == "running" and vm is not lab)
-        victim = self._resolve(fault, candidates)
+        victim = self._resolve(fault, candidates, record, "no running VMs")
         if victim is None:
-            record.target, record.detail = "(none)", "no running VMs"
             return
         vm = self.net.vms[victim]
         hosted = sum(1 for r in self.net.devices.values() if r.vm is vm)
@@ -176,9 +205,9 @@ class ChaosEngine:
             name for name, r in self.net.devices.items()
             if r.kind == "device" and r.sandbox is not None
             and r.sandbox.state == "running")
-        victim = self._resolve(fault, candidates)
+        victim = self._resolve(fault, candidates, record,
+                               "no running sandboxes")
         if victim is None:
-            record.target, record.detail = "(none)", "no running sandboxes"
             return
         self.net.devices[victim].sandbox.oom_kill()
         record.target = victim
@@ -189,9 +218,9 @@ class ChaosEngine:
                       for pair, link in self.net.links.items() if link.up)
 
     def _inject_link_down(self, fault: Fault, record: FaultRecord) -> None:
-        target = self._resolve(fault, self._link_candidates())
+        target = self._resolve(fault, self._link_candidates(), record,
+                               "no links up")
         if target is None:
-            record.target, record.detail = "(none)", "no links up"
             return
         dev_a, dev_b = target.split("|")
         self.net.disconnect(dev_a, dev_b)
@@ -199,9 +228,9 @@ class ChaosEngine:
         record.detail = f"fiber cut; repair in {self.spec.link_outage:g}s"
 
     def _inject_link_flap(self, fault: Fault, record: FaultRecord) -> None:
-        target = self._resolve(fault, self._link_candidates())
+        target = self._resolve(fault, self._link_candidates(), record,
+                               "no links up")
         if target is None:
-            record.target, record.detail = "(none)", "no links up"
             return
         dev_a, dev_b = target.split("|")
         self.net.disconnect(dev_a, dev_b)
@@ -218,9 +247,9 @@ class ChaosEngine:
             for peer_value in sorted(bgp.sessions):
                 if bgp.sessions[peer_value].state == "established":
                     candidates.append(f"{name}@{IPv4Address(peer_value)}")
-        target = self._resolve(fault, candidates)
+        target = self._resolve(fault, candidates, record,
+                               "no established sessions")
         if target is None:
-            record.target, record.detail = "(none)", "no established sessions"
             return
         device, peer = target.split("@")
         bgp = self.net.devices[device].guest.bgp
@@ -233,11 +262,14 @@ class ChaosEngine:
         candidates = sorted(
             name for name, r in self.net.devices.items()
             if r.kind == "device" and r.status == "running")
-        victim = self._resolve(fault, candidates)
+        victim = self._resolve(fault, candidates, record,
+                               "no running devices")
         if victim is None:
-            record.target, record.detail = "(none)", "no running devices"
             return
-        self._good_config = self.net.config_texts[victim]
+        # setdefault: a second un-settled fault on the same victim must
+        # keep the original good config, not the corrupted text the
+        # first fault already shipped into config_texts.
+        self._good_configs.setdefault(victim, self.net.config_texts[victim])
         self.net.reload(victim, config_text=CORRUPTED_CONFIG)
         record.target = victim
         record.detail = (f"reload shipped corrupted config; firmware "
@@ -340,9 +372,16 @@ class ChaosEngine:
                 if cycle < self.spec.flap_count - 1:
                     self.net.disconnect(dev_a, dev_b)
         elif record.kind == "reload-failure":
-            # The operator notices the crash and re-ships the good config.
+            # The operator notices the crash and re-ships the good
+            # config — *this* victim's, popped so a later repair of an
+            # overlapping fault cannot re-use it for the wrong device.
+            good = self._good_configs.pop(record.target, None)
             self.env.run(until=self.env.now + 5.0)
-            self.net.reload(record.target, config_text=self._good_config)
+            if good is None:
+                # Already repaired (double settle of one record): the
+                # current config_texts entry is the good config again.
+                good = self.net.config_texts[record.target]
+            self.net.reload(record.target, config_text=good)
 
     def _await_ready(self, deadline: float) -> Optional[float]:
         while True:

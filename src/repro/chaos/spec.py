@@ -97,6 +97,18 @@ class Fault:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (campaign corpus manifests)."""
+        out = {"kind": self.kind, "time": self.time, "pick": self.pick}
+        if self.target is not None:
+            out["target"] = self.target
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Fault":
+        return cls(kind=data["kind"], time=data.get("time"),
+                   target=data.get("target"), pick=data.get("pick", 0.0))
+
 
 class FaultSchedule:
     """An ordered, deterministic list of faults."""
@@ -141,3 +153,12 @@ class FaultSchedule:
     def timeline(self) -> List[tuple]:
         """The (time, kind) skeleton — what determinism tests compare."""
         return [(f.time, f.kind, f.pick) for f in self.faults]
+
+    def to_dicts(self) -> List[dict]:
+        """The schedule as plain dicts, in injection order."""
+        return [f.to_dict() for f in self.faults]
+
+    @classmethod
+    def from_dicts(cls, data: Sequence[dict],
+                   seed: int = 0) -> "FaultSchedule":
+        return cls([Fault.from_dict(d) for d in data], seed=seed)

@@ -41,6 +41,7 @@ import gc
 import multiprocessing
 import os
 import pickle
+import queue
 import time
 import traceback
 from typing import Dict, List, Optional
@@ -54,6 +55,15 @@ __all__ = ["AdmissionError", "ServeError", "WhatIfServer"]
 # the pool wedged (wall-clock; generous — an L-DC reconvergence is
 # sub-second from a warm image).
 _RESULT_TIMEOUT = 600.0
+
+# drain() polls the result queue at this granularity so it can notice a
+# dead worker between verdicts instead of blocking the full timeout.
+_DEAD_POLL = 1.0
+
+# A dead worker plus this much result silence means its request died
+# with it: the queued backlog may still be draining through surviving
+# workers, so one empty poll is not proof — sustained silence is.
+_DEAD_GRACE = 15.0
 
 # Copy-on-write forking needs POSIX fork(); everywhere else each verdict
 # re-materializes the snapshot (deterministically identical, slower).
@@ -333,16 +343,35 @@ class WhatIfServer:
     def _drain_pool(self) -> List[dict]:
         collected: Dict[int, dict] = {}
         errors: List[str] = []
+        deadline = time.monotonic() + _RESULT_TIMEOUT
+        silent_since = time.monotonic()
         while self._outstanding:
-            if not any(p.is_alive() for p in self._procs):
-                raise ServeError("all what-if workers died")
+            # Bounded poll: a worker SIGKILLed mid-request can never
+            # report its ticket, so an unbounded results.get() would
+            # block this loop forever.  Wake up regularly, check child
+            # liveness, and fail the lost tickets with a clear error.
             try:
                 status, ticket, payload = self._results.get(
-                    timeout=_RESULT_TIMEOUT)
-            except Exception:
-                raise ServeError(
-                    f"no verdict within {_RESULT_TIMEOUT}s; pool wedged "
-                    f"({self._outstanding} outstanding)") from None
+                    timeout=_DEAD_POLL)
+            except queue.Empty:
+                now = time.monotonic()
+                dead = [p for p in self._procs if not p.is_alive()]
+                if dead and (len(dead) == len(self._procs)
+                             or now - silent_since >= _DEAD_GRACE):
+                    lost = self._outstanding
+                    self._outstanding = 0
+                    names = ", ".join(
+                        f"{p.name} (exitcode {p.exitcode})" for p in dead)
+                    raise ServeError(
+                        f"what-if worker(s) died holding request(s): "
+                        f"{names}; {lost} ticket(s) lost") from None
+                if now >= deadline:
+                    raise ServeError(
+                        f"no verdict within {_RESULT_TIMEOUT}s; pool "
+                        f"wedged ({self._outstanding} outstanding)") \
+                        from None
+                continue
+            silent_since = time.monotonic()
             self._outstanding -= 1
             if status == "ok":
                 collected[ticket] = payload

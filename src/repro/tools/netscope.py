@@ -25,6 +25,11 @@ writes (:func:`repro.provenance.dump_json` network dumps,
   plus the ``--what-if`` re-weighting estimator and Graphviz export
   (:meth:`CrystalNet.critical_path` output, or a ``BENCH_critpath.json``
   artifact that embeds one).
+* ``campaign`` — inspect a coverage-guided campaign corpus
+  (:meth:`repro.campaign.Corpus.save` directory or its
+  ``manifest.json``): coverage totals by class, per-entry minimized
+  schedules, and which entries pin incidents (invariant violations or
+  unrecovered faults) worth replaying.
 
 Usage::
 
@@ -39,6 +44,8 @@ Usage::
     python -m repro.tools.netscope windows profile.json [--json]
     python -m repro.tools.netscope critpath critpath.json [--json|--dot]
     python -m repro.tools.netscope critpath critpath.json --what-if-mrai 0.5
+    python -m repro.tools.netscope campaign corpus/ [--incidents] [--json]
+    python -m repro.tools.netscope campaign corpus/manifest.json --entry HASH
 
 Artifacts stamped with a ``schema_version`` this build does not
 understand are rejected with a distinct error (exit 2) instead of being
@@ -418,6 +425,82 @@ def _cmd_critpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _entry_incident_classes(entry: dict) -> List[str]:
+    """Non-churn coverage classes an entry reached (its incident badge)."""
+    return sorted({el.split(":", 1)[0] for el in entry.get("elements", ())
+                   if not el.startswith("churn:")})
+
+
+def _render_campaign_entry(entry: dict) -> str:
+    badges = _entry_incident_classes(entry)
+    badge = f"  [{', '.join(badges)}]" if badges else ""
+    lines = [f"{entry.get('sig_hash', '?')}  scenario "
+             f"#{entry.get('scenario_index', '?')} "
+             f"(seed {entry.get('scenario_seed', '?')})  "
+             f"{entry.get('faults', 0)} fault(s)"
+             + (f" (minimized from {entry['original_faults']})"
+                if entry.get("original_faults", 0) > entry.get("faults", 0)
+                else "") + badge]
+    for fault in entry.get("schedule", ()):
+        target = fault.get("target")
+        where = f" target={target}" if target else f" pick={fault.get('pick', 0):.3f}"
+        lines.append(f"  t={fault.get('time', 0):<10g} "
+                     f"{fault.get('kind', '?'):<16}{where}")
+    interesting = [el for el in entry.get("novel", ())
+                   if not el.startswith("churn:")]
+    churn_novel = len(entry.get("novel", ())) - len(interesting)
+    for el in interesting:
+        lines.append(f"  novel: {el}")
+    if churn_novel:
+        lines.append(f"  novel: {churn_novel} churn tuple(s)")
+    if entry.get("report_file"):
+        lines.append(f"  replay: {entry['report_file']}")
+    return "\n".join(lines)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from ..campaign.corpus import CORPUS_KIND, MANIFEST_NAME
+    path = args.path
+    if not path.endswith(".json"):
+        import os as _os
+        path = _os.path.join(path, MANIFEST_NAME)
+    doc = _load_json(path)
+    if doc.get("kind") != CORPUS_KIND:
+        raise ValueError(f"kind={doc.get('kind')!r} is not a campaign "
+                         f"corpus manifest")
+    entries = doc.get("entries", ())
+    if args.entry is not None:
+        entries = [e for e in entries
+                   if e.get("sig_hash", "").startswith(args.entry)]
+        if not entries:
+            print(f"netscope: no corpus entry matches {args.entry!r}",
+                  file=sys.stderr)
+            return 2
+    if args.incidents:
+        entries = [e for e in entries if _entry_incident_classes(e)]
+    if args.json:
+        print(json.dumps({**doc, "entries": list(entries)},
+                         indent=2, sort_keys=True))
+        return 0
+    campaign = doc.get("campaign", {})
+    coverage = doc.get("coverage", {})
+    by_class = coverage.get("by_class", {})
+    print(f"campaign seed {campaign.get('seed', '?')}: "
+          f"{doc.get('scenarios_run', 0)} scenario(s), "
+          f"{len(doc.get('entries', ()))} corpus entr(ies), "
+          f"{coverage.get('elements', 0)} coverage element(s)")
+    if by_class:
+        print("coverage by class: " + ", ".join(
+            f"{cls}={count}" for cls, count in sorted(by_class.items())))
+    incidents = sum(1 for e in doc.get("entries", ())
+                    if _entry_incident_classes(e))
+    print(f"incident entries (invariant/unrecovered): {incidents}")
+    for entry in entries:
+        print()
+        print(_render_campaign_entry(entry))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="netscope",
@@ -508,6 +591,23 @@ def build_parser() -> argparse.ArgumentParser:
                             help="predict convergence with underlay "
                                  "latency edges scaled by this factor")
     p_critpath.set_defaults(func=_cmd_critpath)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="inspect a coverage-guided campaign corpus: "
+                         "coverage by class, minimized schedules, "
+                         "incident entries")
+    p_campaign.add_argument("path",
+                            help="corpus directory or its manifest.json")
+    p_campaign.add_argument("--entry", default=None, metavar="HASH",
+                            help="only entries whose signature hash starts "
+                                 "with this")
+    p_campaign.add_argument("--incidents", action="store_true",
+                            help="only entries with invariant/unrecovered "
+                                 "coverage")
+    p_campaign.add_argument("--json", action="store_true",
+                            help="manifest (filtered) instead of the "
+                                 "rendered summary")
+    p_campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 

@@ -1,0 +1,59 @@
+"""Shared substrate for the campaign suite.
+
+Two session-scoped warm snapshots of the S-DC clos:
+
+* ``campaign_lab`` — a healthy converged emulation; campaigns over it
+  exercise search mechanics (determinism, corpus, minimization).
+* ``buggy_lab`` — the same emulation with a *deliberately seeded bug*:
+  the orchestrator's saved config for one ToR has silently drifted
+  (a policy edit landed on the device but ``config_texts`` kept the
+  stale text — the classic config-management split-brain).  Any
+  reload-failure repair on that device re-ships the drifted text, so
+  the fabric diverges from golden: the needle campaigns must find.
+
+Both are snapshot-only fixtures: tests must fork, never mutate.
+"""
+
+import pytest
+
+from repro.core import CrystalNet
+from repro.snapshot import snapshot
+from repro.topology import SDC, build_clos
+
+# The device whose saved config is drifted in buggy_lab, and the seeded
+# bug's tell-tale coverage element.
+BUG_DEVICE = "tor-0-0"
+BUG_ELEMENT = f"invariant:reload-failure:{BUG_DEVICE}:fib-golden"
+
+
+def drifted_text(net, device: str) -> str:
+    """A policy drift: local-pref 200 on the first neighbor's imports."""
+    text = net.pull_config(device)
+    peer = net.configs[device].bgp.neighbors[0].peer_ip
+    marker = "router bgp" if "router bgp" in text else "protocols bgp"
+    block_end = text.index("!", text.index(marker))
+    text = (text[:block_end]
+            + f" neighbor {peer} route-map CAMPAIGN_DRIFT in\n"
+            + text[block_end:])
+    return (text + "route-map CAMPAIGN_DRIFT permit 10\n"
+                   " set local-preference 200\n!\n")
+
+
+def _mockup(emulation_id: str) -> CrystalNet:
+    net = CrystalNet(emulation_id=emulation_id, seed=11)
+    net.prepare(build_clos(SDC()))
+    net.mockup()
+    return net
+
+
+@pytest.fixture(scope="session")
+def campaign_lab():
+    net = _mockup("t-campaign")
+    return net, snapshot(net)
+
+
+@pytest.fixture(scope="session")
+def buggy_lab():
+    net = _mockup("t-campaign-bug")
+    net.config_texts[BUG_DEVICE] = drifted_text(net, BUG_DEVICE)
+    return net, snapshot(net)

@@ -1,0 +1,92 @@
+"""The campaign determinism gate.
+
+A campaign's entire trajectory must be a pure function of
+``(snapshot, CampaignConfig)``: same seed ⇒ byte-identical corpus
+manifests, *including* across worker counts — parallelism may change
+wall clock, never the search.
+"""
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner, Corpus
+from repro.chaos import ChaosSpec
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.campaign
+
+SPEC = ChaosSpec(mix={"reload-failure": 1.0, "link-down": 1.0,
+                      "vm-crash": 0.5},
+                 mean_gap=40.0, recovery_timeout=600.0)
+
+
+def _config(**kwargs) -> CampaignConfig:
+    base = dict(scenarios=6, batch=3, seed=7, spec=SPEC)
+    base.update(kwargs)
+    return CampaignConfig(**base)
+
+
+def test_same_seed_manifests_are_byte_identical(campaign_lab, tmp_path):
+    net, snap = campaign_lab
+    corpus_a = CampaignRunner(snap, _config()).run()
+    corpus_b = CampaignRunner(snap, _config()).run()
+    assert corpus_a.manifest_json() == corpus_b.manifest_json()
+    # And through the filesystem: save() writes exactly those bytes.
+    path = corpus_a.save(str(tmp_path / "corpus"))
+    with open(path) as fh:
+        assert fh.read() == corpus_b.manifest_json()
+
+
+def test_worker_count_cannot_change_the_search(campaign_lab):
+    """workers=2 must produce the byte-identical manifest workers=0
+    does: batch generation happens before any result lands, and results
+    fold back in scenario-index order."""
+    net, snap = campaign_lab
+    serial = CampaignRunner(snap, _config(workers=0)).run()
+    pooled = CampaignRunner(snap, _config(workers=2)).run()
+    assert serial.manifest_json() == pooled.manifest_json()
+
+
+def test_different_seeds_diverge(campaign_lab):
+    net, snap = campaign_lab
+    corpus_a = CampaignRunner(snap, _config(seed=7)).run()
+    corpus_b = CampaignRunner(snap, _config(seed=8)).run()
+    assert corpus_a.manifest_json() != corpus_b.manifest_json()
+
+
+def test_execution_knobs_stay_out_of_the_manifest():
+    cfg = _config(workers=4, use_cow=False, corpus_dir="/tmp/x")
+    doc = cfg.to_dict()
+    assert "workers" not in doc
+    assert "use_cow" not in doc
+    assert "corpus_dir" not in doc
+
+
+def test_corpus_roundtrips_through_save_and_load(campaign_lab, tmp_path):
+    net, snap = campaign_lab
+    corpus = CampaignRunner(snap, _config()).run()
+    corpus.save(str(tmp_path / "corpus"))
+    loaded = Corpus.load(str(tmp_path / "corpus"))
+    assert set(loaded.entries) == set(corpus.entries)
+    for sig_hash, entry in corpus.entries.items():
+        twin = loaded.entries[sig_hash]
+        assert twin.schedule == entry.schedule
+        assert twin.elements == entry.elements
+        assert twin.report_json == entry.report_json
+
+
+def test_campaign_exports_obs_metrics(campaign_lab):
+    net, snap = campaign_lab
+    registry = MetricsRegistry()
+    corpus = CampaignRunner(snap, _config(scenarios=3, batch=3, seed=2),
+                            registry=registry).run()
+    text = registry.render_prometheus()
+    assert "repro_campaign_scenarios_total" in text
+    assert "repro_campaign_novel_total" in text
+    assert "repro_campaign_corpus_size" in text
+    assert "repro_campaign_scenarios_per_sec" in text
+    assert registry.value("repro_campaign_scenarios_total",
+                          outcome="run") == 3
+    assert registry.value("repro_campaign_corpus_size") == len(corpus.entries)
+    assert registry.value("repro_campaign_coverage_elements") == \
+        len(corpus.coverage)
+    assert corpus.stats["scenarios_per_sec"] > 0

@@ -1,0 +1,111 @@
+"""Seeded-bug search: the campaign must actually find planted needles.
+
+``buggy_lab`` carries a deliberate config-management split-brain (the
+orchestrator's saved text for one ToR has drifted); a monitor-less
+campaign additionally cannot recover VM crashes.  Both defects must
+surface in the corpus within a pinned scenario budget, every pinned
+corpus report must replay to the same incident, and ``netscope
+campaign`` must render the corpus an operator can act on.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignConfig, CampaignRunner
+from repro.chaos import ChaosEngine, ChaosReport, ChaosSpec
+from repro.campaign.signature import scenario_signature
+from repro.snapshot import fork
+from repro.tools.netscope import main as netscope
+
+from .conftest import BUG_ELEMENT
+
+pytestmark = pytest.mark.campaign
+
+# Restricted mix pointed at the two seeded defects; a 12-scenario budget
+# is ~3x the expected time-to-find for the drift needle (19 candidate
+# devices, reload-failure weight 2/3 of draws, 1-3 faults/scenario).
+SPEC = ChaosSpec(mix={"reload-failure": 1.0, "vm-crash": 0.5},
+                 mean_gap=40.0, recovery_timeout=600.0)
+BUDGET = 12
+
+
+@pytest.fixture(scope="module")
+def found(buggy_lab, tmp_path_factory):
+    net, snap = buggy_lab
+    corpus_dir = str(tmp_path_factory.mktemp("corpus") / "buggy")
+    cfg = CampaignConfig(scenarios=BUDGET, batch=4, seed=1, spec=SPEC,
+                         corpus_dir=corpus_dir)
+    corpus = CampaignRunner(snap, cfg).run()
+    return snap, cfg, corpus, corpus_dir
+
+
+def test_campaign_finds_the_config_drift_bug(found):
+    snap, cfg, corpus, _ = found
+    assert corpus.scenarios_run == BUDGET
+    assert BUG_ELEMENT in corpus.coverage, (
+        f"seeded drift bug not found in {BUDGET} scenarios; coverage has "
+        f"{sorted(el for el in corpus.coverage if ':' in el and not el.startswith('churn'))}")
+    hits = [e for e in corpus.entries.values() if BUG_ELEMENT in e.elements]
+    assert hits, "drift bug covered but no corpus entry pins it"
+
+
+def test_campaign_finds_the_unrecovered_crash_bug(found):
+    snap, cfg, corpus, _ = found
+    unrecovered = [el for el in corpus.coverage
+                   if el.startswith("unrecovered:vm-crash:")]
+    assert unrecovered, ("monitor-less vm-crash never surfaced as an "
+                         "unrecovered element")
+
+
+def test_pinned_corpus_report_replays_to_the_same_incident(found):
+    """The corpus artifact contract: feed an entry's pinned report back
+    through ChaosEngine.replay on a fresh fork and the incident
+    reproduces — same signature elements, same red invariants."""
+    snap, cfg, corpus, _ = found
+    entry = next(e for e in corpus.entries.values()
+                 if BUG_ELEMENT in e.elements)
+    report = ChaosReport.from_json(entry.report_json)
+    net = fork(snap)
+    net.enable_timeline()
+    engine = ChaosEngine(net, seed=report.seed, spec=cfg.spec)
+    replayed = engine.replay(report)
+    elements = scenario_signature(engine, replayed)
+    assert elements == entry.elements
+    assert BUG_ELEMENT in elements
+
+
+def test_netscope_renders_the_corpus(found, capsys):
+    snap, cfg, corpus, corpus_dir = found
+    assert netscope(["campaign", corpus_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"campaign seed {cfg.seed}:" in out
+    assert f"{corpus.scenarios_run} scenario(s)" in out
+    assert "incident entries (invariant/unrecovered):" in out
+    assert "replay:" in out
+
+    # --incidents narrows to entries with non-churn coverage.
+    assert netscope(["campaign", corpus_dir, "--incidents"]) == 0
+    out = capsys.readouterr().out
+    assert "[invariant" in out or "[unrecovered" in out or "[invariant, unrecovered]" in out
+
+    # --json emits the (filtered) manifest verbatim.
+    assert netscope(["campaign", corpus_dir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "campaign-corpus"
+    assert len(doc["entries"]) == len(corpus.entries)
+
+
+def test_netscope_rejects_non_corpus_documents(tmp_path, capsys):
+    bogus = tmp_path / "not_corpus.json"
+    bogus.write_text(json.dumps({"schema_version": 1, "kind": "fibdiff"}))
+    assert netscope(["campaign", str(bogus)]) == 2
+    assert "not a valid provenance export" in capsys.readouterr().err
+
+
+def test_netscope_entry_filter(found, capsys):
+    snap, cfg, corpus, corpus_dir = found
+    sig = sorted(corpus.entries)[0]
+    assert netscope(["campaign", corpus_dir, "--entry", sig[:8]]) == 0
+    assert sig in capsys.readouterr().out
+    assert netscope(["campaign", corpus_dir, "--entry", "zzzzzz"]) == 2

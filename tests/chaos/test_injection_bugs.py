@@ -1,0 +1,148 @@
+"""Regressions for three injection-path bugs the campaign work exposed.
+
+Campaign schedules drive ``inject()`` far harder than the scenario suite
+ever did — overlapping un-settled faults, replays of pinned schedules on
+diverged topologies, schedules abandoned without ``settle()`` — and each
+of those shook out a latent engine bug:
+
+* the reload-failure "good config" lived in a single slot, so a second
+  overlapping fault clobbered the first victim's pre-fault config;
+* pinned ``Fault.target`` values were trusted blindly, so replaying a
+  schedule against a topology where the victim no longer exists raised
+  ``KeyError``/``OrchestratorError`` deep inside an injector;
+* the ``id(record)``-keyed span/provenance side tables only drained in
+  ``settle()``, leaking per fault for inject-only consumers.
+"""
+
+import pytest
+
+from repro.chaos import ChaosEngine, ChaosSpec, Fault
+from repro.chaos.engine import CORRUPTED_CONFIG
+from tests.chaos.conftest import build_emulation
+
+pytestmark = pytest.mark.chaos
+
+SPEC = ChaosSpec(recovery_timeout=2400.0)
+
+
+# ---------------------------------------------------------------------------
+# Bug 1: overlapping reload-failures must restore per-victim configs.
+# ---------------------------------------------------------------------------
+
+def test_overlapping_reload_failures_restore_own_configs():
+    """Two un-settled reload-failures on different devices: each repair
+    must re-ship *its own* victim's pre-fault config.  (The engine once
+    kept one ``_good_config`` slot; the second inject overwrote the
+    first victim's saved text, so device A came back running device B's
+    config and the fabric never returned to golden.)
+
+    Fault A's settle legitimately times out red — victim B is still
+    crashed while it waits — so the assertions that pin the fix are the
+    restored config texts and fault B going green once both repairs
+    have landed."""
+    # A's settle cannot succeed while B is down: bound its give-up wait
+    # well under the default 2400s, but leave room for both firmware
+    # reboots to finish inside B's window.
+    spec = ChaosSpec(recovery_timeout=600.0)
+    net, monitor = build_emulation("cx-reload2", 350)
+    engine = ChaosEngine(net, monitor, seed=350, spec=spec)
+
+    victims = sorted(name for name, r in net.devices.items()
+                     if r.kind == "device" and r.status == "running")[:2]
+    a, b = victims
+    good_a = net.config_texts[a]
+    good_b = net.config_texts[b]
+    assert good_a != good_b
+
+    rec_a = engine.inject(Fault(kind="reload-failure", target=a))
+    rec_b = engine.inject(Fault(kind="reload-failure", target=b))
+    engine.settle(rec_a)
+    engine.settle(rec_b)
+
+    assert net.config_texts[a] == good_a
+    assert net.config_texts[b] == good_b
+    failed = [v for v in rec_b.invariants if not v.passed]
+    assert not failed, f"{rec_b.kind}@{rec_b.target}: {failed}"
+    assert rec_b.recovery_latency is not None
+
+
+def test_refault_same_victim_keeps_original_good_config():
+    """A second reload-failure on a victim whose first fault has not yet
+    settled must not capture the corrupted text as 'good'."""
+    net, monitor = build_emulation("cx-reload3", 351)
+    engine = ChaosEngine(net, monitor, seed=351, spec=SPEC)
+    victim = sorted(name for name, r in net.devices.items()
+                    if r.kind == "device" and r.status == "running")[0]
+    good = net.config_texts[victim]
+
+    rec1 = engine.inject(Fault(kind="reload-failure", target=victim))
+    assert net.config_texts[victim] == CORRUPTED_CONFIG
+    rec2 = engine.inject(Fault(kind="reload-failure", target=victim))
+    engine.settle(rec1)
+    assert net.config_texts[victim] == good
+    engine.settle(rec2)
+    assert net.config_texts[victim] == good
+
+
+# ---------------------------------------------------------------------------
+# Bug 2: pinned targets must be validated against live candidates.
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind,bogus", [
+    ("vm-crash", "no-such-vm"),
+    ("container-oom", "no-such-device"),
+    ("link-down", "ghost-a|ghost-b"),
+    ("link-flap", "ghost-a|ghost-b"),
+    ("bgp-reset", "ghost@10.99.99.99"),
+    ("reload-failure", "no-such-device"),
+])
+def test_pinned_target_absent_becomes_deterministic_skip(kind, bogus):
+    """Replaying a schedule whose pinned victim no longer exists must
+    degrade to a recorded ``(none)`` no-op, not raise from inside the
+    injector."""
+    net, monitor = build_emulation("cx-pin", 352)
+    engine = ChaosEngine(net, monitor, seed=352, spec=SPEC)
+    record = engine.inject(Fault(kind=kind, target=bogus))
+    assert record.target == "(none)"
+    assert bogus in record.detail and "skipped" in record.detail
+    engine.settle(record)          # must be a no-op too, not a crash
+    report = engine.finish()
+    assert report.faults[0].target == "(none)"
+
+
+def test_pinned_target_still_alive_is_honored():
+    """Validation must not break the normal pinned-replay path."""
+    net, monitor = build_emulation("cx-pin2", 353)
+    engine = ChaosEngine(net, monitor, seed=353, spec=SPEC)
+    victim = sorted(net.vms)[0]
+    if net.vms[victim] is net.lab_server:
+        victim = sorted(net.vms)[1]
+    record = engine.inject(Fault(kind="vm-crash", target=victim))
+    assert record.target == victim
+    engine.settle(record)
+
+
+# ---------------------------------------------------------------------------
+# Bug 3: inject() without settle() must not leak side-table entries.
+# ---------------------------------------------------------------------------
+
+def test_finish_drains_span_and_provenance_tables():
+    """``finish()`` is the backstop for inject-only consumers: the
+    ``id(record)``-keyed span and provenance tables must drain, so a
+    long-lived engine (one campaign explorer evaluates thousands of
+    scenarios) never accumulates unbounded bookkeeping."""
+    net, monitor = build_emulation("cx-leak", 354)
+    engine = ChaosEngine(net, monitor, seed=354, spec=SPEC)
+
+    settled = engine.inject(Fault(kind="bgp-reset", pick=0.3))
+    engine.settle(settled)
+    engine.inject(Fault(kind="link-down", pick=0.1))     # never settled
+    engine.inject(Fault(kind="probe-skew"))              # never settled
+    assert len(engine._spans) == 2
+    assert len(engine._fault_refs) == 2
+
+    report = engine.finish()
+    assert not engine._spans
+    assert not engine._fault_refs
+    assert not engine._good_configs
+    assert len(report.faults) == 3

@@ -1,0 +1,74 @@
+"""Worker-death regression for the what-if pool.
+
+A pool worker SIGKILLed mid-request (OOM killer, operator, segfault)
+can never report its ticket.  ``drain()`` once blocked forever on an
+unbounded ``results.get()``; it must instead notice the dead child and
+fail the lost tickets with a clear error, promptly.
+
+The killer delta murders the worker *deterministically mid-request*:
+queue items are unpickled inside the worker process, so a delta whose
+``__setstate__`` SIGKILLs its own process dies after the request was
+taken off the queue and before any result can be produced — exactly the
+lost-ticket window.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.serve import ServeError, WhatIfServer
+from repro.snapshot.deltas import Delta, LinkCut
+
+from .conftest import spine_link
+
+if not hasattr(os, "fork"):  # pragma: no cover
+    pytest.skip("what-if pool needs fork", allow_module_level=True)
+
+
+class _WorkerKiller(Delta):
+    """Kills whichever pool worker unpickles it."""
+
+    def __init__(self):
+        # Non-empty state: without it object.__getstate__ returns None
+        # and pickle never emits the BUILD step that calls __setstate__.
+        self.armed = True
+
+    def describe(self) -> dict:
+        return {"kind": "worker-killer"}
+
+    def __setstate__(self, state):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_drain_fails_fast_when_all_workers_die(warm_lab):
+    mix, net, snap = warm_lab
+    with WhatIfServer(snap, workers=1) as server:
+        server.submit(_WorkerKiller())
+        started = time.monotonic()
+        with pytest.raises(ServeError, match=r"died holding.*1 ticket"):
+            server.drain()
+        # All workers dead -> no grace wait; seconds, not the 600s
+        # wedge timeout.
+        assert time.monotonic() - started < 30.0
+        assert server.pending == 0
+
+
+def test_survivors_finish_before_dead_worker_is_reported(warm_lab,
+                                                         monkeypatch):
+    """One worker dies, one lives: the pool must keep draining through
+    the grace window (the survivor's verdict is received — only *1*
+    ticket reports lost, not 2) before the dead worker surfaces as an
+    error."""
+    monkeypatch.setattr("repro.serve._DEAD_GRACE", 3.0)
+    mix, net, snap = warm_lab
+    with WhatIfServer(snap, workers=2) as server:
+        killed = server.submit(_WorkerKiller())
+        server.submit(LinkCut(*spine_link(net)))
+        with pytest.raises(ServeError) as excinfo:
+            server.drain()
+        assert "died holding" in str(excinfo.value)
+        assert "1 ticket(s) lost" in str(excinfo.value)
+        assert server.pending == 0
+    assert killed == 0
